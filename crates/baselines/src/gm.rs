@@ -1,0 +1,232 @@
+//! GM: improved sequential-pattern indexing (Gao & Michel, EDBT 2012).
+//!
+//! The paper's headline baseline. GM refines the forward-index family with
+//! a compacted list organization: since "the presence of a phrase in a
+//! document implies the presence of its prefix" (paper §2), a document's
+//! forward list need only store phrases that are not the prefix of another
+//! stored phrase of that document; prefixes are reconstructed at query
+//! time. (Gao & Michel additionally share common *subsequences* between
+//! stored patterns; the prefix form implemented here captures the same
+//! space/time trade-off on contiguous n-grams, where every sub-pattern of a
+//! dictionary phrase is itself a dictionary phrase.)
+//!
+//! Query processing stays exact and linear in `|D'|`: materialize `D'`,
+//! expand each document's compacted list through the prefix chain, count
+//! distinct phrases per document, score by `freq(p, D')/freq(p, D)`.
+
+use crate::TopKBaseline;
+use ipm_core::exact::materialize_subset;
+use ipm_core::query::Query;
+use ipm_core::result::{truncate_top_k, PhraseHit};
+use ipm_corpus::hash::FxHashMap;
+use ipm_corpus::{DocId, PhraseId};
+use ipm_index::corpus_index::CorpusIndex;
+
+/// The GM baseline with its compacted per-document lists.
+#[derive(Debug, Clone)]
+pub struct GmBaseline {
+    /// CSR offsets into `compacted`.
+    offsets: Vec<u64>,
+    /// Per document: phrases that are not a prefix of another phrase of the
+    /// same document (sorted by id).
+    compacted: Vec<PhraseId>,
+    /// For every phrase: its immediate (length − 1) prefix, if any.
+    prefix_of: Vec<Option<PhraseId>>,
+    /// Uncompacted entry count, for the compression statistics.
+    raw_entries: usize,
+}
+
+impl GmBaseline {
+    /// Builds the compacted index from the shared corpus index.
+    pub fn build(index: &CorpusIndex) -> Self {
+        // Immediate-prefix table (phrases are prefix-closed by mining).
+        let mut prefix_of: Vec<Option<PhraseId>> = vec![None; index.dict.len()];
+        for (id, words, _) in index.dict.iter() {
+            if words.len() >= 2 {
+                prefix_of[id.index()] = index.dict.get(&words[..words.len() - 1]);
+            }
+        }
+
+        let num_docs = index.forward.num_docs();
+        let mut offsets = Vec::with_capacity(num_docs + 1);
+        let mut compacted: Vec<PhraseId> = Vec::new();
+        let mut raw_entries = 0usize;
+        let mut is_prefix: Vec<bool> = Vec::new();
+        offsets.push(0u64);
+        for d in 0..num_docs {
+            let list = index.forward.doc(DocId(d as u32));
+            raw_entries += list.len();
+            // Mark entries that are the immediate prefix of another entry.
+            is_prefix.clear();
+            is_prefix.resize(list.len(), false);
+            for &p in list {
+                if let Some(pre) = prefix_of[p.index()] {
+                    if let Ok(pos) = list.binary_search(&pre) {
+                        is_prefix[pos] = true;
+                    }
+                }
+            }
+            for (i, &p) in list.iter().enumerate() {
+                if !is_prefix[i] {
+                    compacted.push(p);
+                }
+            }
+            offsets.push(compacted.len() as u64);
+        }
+
+        Self {
+            offsets,
+            compacted,
+            prefix_of,
+            raw_entries,
+        }
+    }
+
+    /// The compacted list of a document.
+    pub fn doc(&self, id: DocId) -> &[PhraseId] {
+        let i = id.index();
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.compacted[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Entries stored after compaction.
+    pub fn compacted_entries(&self) -> usize {
+        self.compacted.len()
+    }
+
+    /// Entries the plain forward index stores.
+    pub fn raw_entries(&self) -> usize {
+        self.raw_entries
+    }
+
+    /// Space saving of the compaction, in `[0, 1)`.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.raw_entries == 0 {
+            0.0
+        } else {
+            1.0 - self.compacted_entries() as f64 / self.raw_entries as f64
+        }
+    }
+
+    /// Expands a compacted list back to the full distinct phrase set of the
+    /// document, walking prefix chains (used by scoring; public for tests).
+    pub fn expand_into(&self, compacted: &[PhraseId], out: &mut Vec<PhraseId>) {
+        out.clear();
+        for &p in compacted {
+            let mut cur = Some(p);
+            while let Some(id) = cur {
+                out.push(id);
+                cur = self.prefix_of[id.index()];
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
+impl TopKBaseline for GmBaseline {
+    fn name(&self) -> &'static str {
+        "GM"
+    }
+
+    fn top_k(&self, index: &CorpusIndex, query: &Query, k: usize) -> Vec<PhraseHit> {
+        let subset = materialize_subset(index, query);
+        let mut counts: FxHashMap<PhraseId, u32> = FxHashMap::default();
+        let mut scratch: Vec<PhraseId> = Vec::new();
+        for doc in subset.iter() {
+            self.expand_into(self.doc(doc), &mut scratch);
+            for &p in &scratch {
+                *counts.entry(p).or_insert(0) += 1;
+            }
+        }
+        let mut hits: Vec<PhraseHit> = counts
+            .into_iter()
+            .map(|(p, c)| PhraseHit::exact(p, c as f64 / index.phrases.df(p) as f64))
+            .collect();
+        truncate_top_k(&mut hits, k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{frequent_query, tiny_indexed};
+    use ipm_core::exact::exact_top_k;
+    use ipm_core::query::Operator;
+
+    #[test]
+    fn expansion_reconstructs_forward_lists() {
+        let (_, index) = tiny_indexed();
+        let gm = GmBaseline::build(&index);
+        let mut out = Vec::new();
+        for d in 0..index.forward.num_docs() {
+            let doc = DocId(d as u32);
+            gm.expand_into(gm.doc(doc), &mut out);
+            assert_eq!(
+                out.as_slice(),
+                index.forward.doc(doc),
+                "doc {d} expansion mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_actually_saves_space() {
+        let (_, index) = tiny_indexed();
+        let gm = GmBaseline::build(&index);
+        assert!(gm.compacted_entries() < gm.raw_entries());
+        assert!(gm.compression_ratio() > 0.0);
+    }
+
+    #[test]
+    fn gm_is_exact_for_both_operators() {
+        let (c, index) = tiny_indexed();
+        let gm = GmBaseline::build(&index);
+        for op in [Operator::And, Operator::Or] {
+            let q = frequent_query(&c, op);
+            let got = gm.top_k(&index, &q, 5);
+            let truth = exact_top_k(&index, &q, 5);
+            assert_eq!(
+                got.iter().map(|h| h.phrase).collect::<Vec<_>>(),
+                truth.iter().map(|h| h.phrase).collect::<Vec<_>>(),
+                "op {op}"
+            );
+            for (a, b) in got.iter().zip(&truth) {
+                assert!((a.score - b.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_doc_is_empty() {
+        let (_, index) = tiny_indexed();
+        let gm = GmBaseline::build(&index);
+        assert!(gm.doc(DocId(1_000_000)).is_empty());
+    }
+
+    #[test]
+    fn compacted_lists_contain_no_internal_prefixes() {
+        let (_, index) = tiny_indexed();
+        let gm = GmBaseline::build(&index);
+        for d in 0..index.forward.num_docs() {
+            let list = gm.doc(DocId(d as u32));
+            for &p in list {
+                if let Some(pre) = gm.prefix_of[p.index()] {
+                    assert!(
+                        list.binary_search(&pre).is_err(),
+                        "doc {d}: stored phrase {p:?} alongside its prefix {pre:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn name_is_gm() {
+        let (_, index) = tiny_indexed();
+        assert_eq!(GmBaseline::build(&index).name(), "GM");
+    }
+}

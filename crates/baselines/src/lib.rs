@@ -1,0 +1,74 @@
+//! Baseline algorithms for interesting-phrase mining from sub-collections.
+//!
+//! The paper's Table 3 surveys three prior techniques; all are implemented
+//! here so every comparison in the evaluation can be regenerated:
+//!
+//! * [`fi`] — the plain forward-index method of Bedathur et al. (VLDB
+//!   2010): one list per document, merge-aggregated over `D'`. Exact.
+//! * [`gm`] — Gao & Michel's improved sequential-pattern indexing (EDBT
+//!   2012), the paper's headline baseline ("GM"): forward lists compacted
+//!   by the prefix-implication property, aggregated over `D'` with prefix
+//!   expansion. Exact, and the paper's response-time comparisons (Figures
+//!   7, 8, 12, 13, Table 7) measure this implementation.
+//! * [`simitsis`] — the phrase-based index of Simitsis et al. (PVLDB
+//!   2008): global-df-ordered phrase lists with a two-phase
+//!   filter-then-score flow. Approximate (the paper's Table 3 flags it so).
+//!
+//! All baselines expose the common [`TopKBaseline`] trait consumed by the
+//! experiment harness.
+
+pub mod fi;
+pub mod gm;
+pub mod simitsis;
+
+use ipm_core::query::Query;
+use ipm_core::result::PhraseHit;
+use ipm_index::corpus_index::CorpusIndex;
+
+/// A uniform interface over the baseline algorithms.
+pub trait TopKBaseline {
+    /// Human-readable name for reports ("GM", "FI", "Simitsis").
+    fn name(&self) -> &'static str;
+
+    /// Top-k interesting phrases for the query.
+    fn top_k(&self, index: &CorpusIndex, query: &Query, k: usize) -> Vec<PhraseHit>;
+}
+
+pub use fi::ForwardIndexBaseline;
+pub use gm::GmBaseline;
+pub use simitsis::SimitsisBaseline;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use ipm_corpus::Corpus;
+    use ipm_index::corpus_index::{CorpusIndex, IndexConfig};
+    use ipm_index::mining::MiningConfig;
+
+    /// A small synthetic corpus + index shared by the baseline tests.
+    pub fn tiny_indexed() -> (Corpus, CorpusIndex) {
+        let (c, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+        let index = CorpusIndex::build(
+            &c,
+            &IndexConfig {
+                mining: MiningConfig {
+                    min_df: 3,
+                    max_len: 4,
+                    min_len: 1,
+                },
+            },
+        );
+        (c, index)
+    }
+
+    /// A query of the corpus's two most frequent words.
+    pub fn frequent_query(c: &Corpus, op: ipm_core::query::Operator) -> ipm_core::query::Query {
+        let top = ipm_corpus::stats::top_words_by_df(c, 2);
+        ipm_core::query::Query::new(
+            top.iter()
+                .map(|&(w, _)| ipm_corpus::Feature::Word(w))
+                .collect(),
+            op,
+        )
+        .unwrap()
+    }
+}

@@ -1,0 +1,96 @@
+//! Criterion benchmarks of the baseline algorithms against the paper's
+//! methods on an indexed synthetic corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipm_baselines::{ForwardIndexBaseline, GmBaseline, SimitsisBaseline, TopKBaseline};
+use ipm_core::miner::{MinerConfig, PhraseMiner};
+use ipm_core::query::{Operator, Query};
+use ipm_corpus::Feature;
+use ipm_index::corpus_index::IndexConfig;
+use ipm_index::mining::MiningConfig;
+
+fn setup() -> (PhraseMiner, Vec<Query>, Vec<Query>) {
+    let mut cfg = ipm_corpus::synth::tiny();
+    cfg.num_docs = 2000;
+    cfg.vocab_size = 4000;
+    let (corpus, _) = ipm_corpus::synth::generate(&cfg);
+    let miner = PhraseMiner::build(
+        &corpus,
+        MinerConfig {
+            index: IndexConfig {
+                mining: MiningConfig {
+                    min_df: 5,
+                    max_len: 5,
+                    min_len: 1,
+                },
+            },
+            ..Default::default()
+        },
+    );
+    let top = ipm_corpus::stats::top_words_by_df(miner.corpus(), 6);
+    let features: Vec<Feature> = top.iter().map(|&(w, _)| Feature::Word(w)).collect();
+    let make = |op| {
+        (0..3)
+            .map(|i| Query::new(features[i..i + 2].to_vec(), op).unwrap())
+            .collect::<Vec<_>>()
+    };
+    let and = make(Operator::And);
+    let or = make(Operator::Or);
+    (miner, and, or)
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let (miner, and_queries, or_queries) = setup();
+    let gm = GmBaseline::build(miner.index());
+    let fi = ForwardIndexBaseline::new();
+    let sim = SimitsisBaseline::build(miner.index());
+
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(30);
+    for (label, queries) in [("and", &and_queries), ("or", &or_queries)] {
+        group.bench_function(format!("gm/{label}"), |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| gm.top_k(miner.index(), q, 5).len())
+                    .sum::<usize>()
+            })
+        });
+        group.bench_function(format!("fi/{label}"), |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| fi.top_k(miner.index(), q, 5).len())
+                    .sum::<usize>()
+            })
+        });
+        group.bench_function(format!("simitsis/{label}"), |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| sim.top_k(miner.index(), q, 5).len())
+                    .sum::<usize>()
+            })
+        });
+        group.bench_function(format!("smj/{label}"), |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| miner.top_k_smj(q, 5).len())
+                    .sum::<usize>()
+            })
+        });
+        group.bench_function(format!("nra/{label}"), |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| miner.top_k_nra(q, 5).hits.len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benchmarks of offline index construction: phrase mining,
+//! postings, word-list construction (serial vs parallel), plus the
+//! galloping-vs-merge intersection ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipm_corpus::{Corpus, DocId};
+use ipm_index::corpus_index::{CorpusIndex, IndexConfig};
+use ipm_index::mining::{mine_phrases, MiningConfig};
+use ipm_index::postings::Postings;
+use ipm_index::wordlists::{WordListConfig, WordPhraseLists};
+
+fn corpus() -> Corpus {
+    let mut cfg = ipm_corpus::synth::tiny();
+    cfg.num_docs = 1500;
+    let (c, _) = ipm_corpus::synth::generate(&cfg);
+    c
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut group = c.benchmark_group("build/mining");
+    group.sample_size(10);
+    for min_df in [5u32, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(min_df), &min_df, |b, &df| {
+            b.iter(|| {
+                mine_phrases(
+                    &corpus,
+                    &MiningConfig {
+                        min_df: df,
+                        max_len: 6,
+                        min_len: 1,
+                    },
+                )
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_wordlists_parallelism(c: &mut Criterion) {
+    let corpus = corpus();
+    let index = CorpusIndex::build(&corpus, &IndexConfig::default());
+    let mut group = c.benchmark_group("build/wordlists_threads");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                WordPhraseLists::build(
+                    &corpus,
+                    &index,
+                    &WordListConfig {
+                        threads: t,
+                        ..Default::default()
+                    },
+                )
+                .total_entries()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_intersection_ablation(c: &mut Criterion) {
+    // Galloping pays off on skewed size ratios; the adaptive intersect
+    // picks per-call. Compare a balanced and a skewed workload.
+    let big = Postings::from_sorted((0..200_000).map(DocId).collect());
+    let small = Postings::from_sorted((0..200_000).step_by(997).map(DocId).collect());
+    let medium = Postings::from_sorted((0..200_000).step_by(2).map(DocId).collect());
+
+    let mut group = c.benchmark_group("postings/intersect");
+    group.bench_function("skewed_small_x_big", |b| b.iter(|| small.intersect(&big).len()));
+    group.bench_function("balanced_medium_x_big", |b| b.iter(|| medium.intersect(&big).len()));
+    group.bench_function("union_medium_x_big", |b| b.iter(|| medium.union(&big).len()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mining,
+    bench_wordlists_parallelism,
+    bench_intersection_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks of the NRA algorithm, including the batch
+//! size ablation called out in the paper's §4.5 analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipm_core::nra::{run_nra, NraConfig};
+use ipm_core::query::Operator;
+use ipm_corpus::PhraseId;
+use ipm_index::cursor::MemoryCursor;
+use ipm_index::wordlists::ListEntry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthesizes `r` score-ordered lists of `len` entries over a phrase
+/// universe 4x the list length, with Zipf-ish decaying scores.
+fn synth_lists(r: usize, len: usize, seed: u64) -> Vec<Vec<ListEntry>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..r)
+        .map(|_| {
+            let mut ids: Vec<u32> = (0..(len as u32 * 4)).collect();
+            // partial shuffle: take `len` distinct ids
+            for i in 0..len {
+                let j = rng.gen_range(i..ids.len());
+                ids.swap(i, j);
+            }
+            let mut entries: Vec<ListEntry> = ids[..len]
+                .iter()
+                .enumerate()
+                .map(|(rank, &id)| ListEntry {
+                    phrase: PhraseId(id),
+                    prob: 1.0 / (rank + 1) as f64 + rng.gen::<f64>() * 1e-3,
+                })
+                .collect();
+            entries.sort_by(|a, b| b.prob.partial_cmp(&a.prob).unwrap());
+            entries
+        })
+        .collect()
+}
+
+fn bench_list_lengths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nra/list_len");
+    group.sample_size(30);
+    for len in [1_000usize, 10_000, 50_000] {
+        let lists = synth_lists(3, len, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &lists, |b, lists| {
+            b.iter(|| {
+                let cursors: Vec<MemoryCursor> =
+                    lists.iter().map(|l| MemoryCursor::new(l)).collect();
+                run_nra(cursors, Operator::Or, &NraConfig::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_size_ablation(c: &mut Criterion) {
+    // Paper §4.5: "small batch sizes in the order of thousands could
+    // drastically improve run-times, extremely large values can be
+    // detrimental".
+    let lists = synth_lists(3, 20_000, 7);
+    let mut group = c.benchmark_group("nra/batch_size");
+    group.sample_size(30);
+    for b_size in [16usize, 256, 1024, 8192, 1_000_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(b_size), &b_size, |b, &bs| {
+            b.iter(|| {
+                let cursors: Vec<MemoryCursor> =
+                    lists.iter().map(|l| MemoryCursor::new(l)).collect();
+                run_nra(
+                    cursors,
+                    Operator::Or,
+                    &NraConfig {
+                        k: 5,
+                        batch_size: bs,
+                        lists_are_partial: false,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let lists = synth_lists(4, 10_000, 11);
+    let mut group = c.benchmark_group("nra/operator");
+    group.sample_size(30);
+    for (name, op) in [("and", Operator::And), ("or", Operator::Or)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let cursors: Vec<MemoryCursor> =
+                    lists.iter().map(|l| MemoryCursor::new(l)).collect();
+                run_nra(cursors, op, &NraConfig::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_or_cutoff_ablation(c: &mut Criterion) {
+    // Eq. 11 vs the Eq. 12 first-order cut: per-candidate scoring cost.
+    let mut rng = StdRng::seed_from_u64(3);
+    let probs: Vec<Vec<f64>> = (0..1000)
+        .map(|_| (0..5).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let mut group = c.benchmark_group("scoring/or_cutoff");
+    for cutoff in [1usize, 2, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(cutoff), &cutoff, |b, &cut| {
+            b.iter(|| {
+                probs
+                    .iter()
+                    .map(|p| ipm_core::scoring::or_score_truncated(p, cut))
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_list_lengths,
+    bench_batch_size_ablation,
+    bench_operators,
+    bench_or_cutoff_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks of the SMJ algorithm: list-length scaling
+//! and the SMJ-vs-NRA in-memory comparison underlying §5.5's crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipm_core::nra::{run_nra, NraConfig};
+use ipm_core::query::Operator;
+use ipm_core::smj::run_smj_slices;
+use ipm_corpus::PhraseId;
+use ipm_index::cursor::MemoryCursor;
+use ipm_index::wordlists::ListEntry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthesizes `r` id-ordered lists of `len` entries.
+fn synth_id_lists(r: usize, len: usize, seed: u64) -> Vec<Vec<ListEntry>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..r)
+        .map(|_| {
+            let mut ids: Vec<u32> = (0..(len as u32 * 3)).collect();
+            for i in 0..len {
+                let j = rng.gen_range(i..ids.len());
+                ids.swap(i, j);
+            }
+            let mut picked = ids[..len].to_vec();
+            picked.sort_unstable();
+            picked
+                .into_iter()
+                .map(|id| ListEntry {
+                    phrase: PhraseId(id),
+                    prob: rng.gen::<f64>(),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_list_lengths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smj/list_len");
+    group.sample_size(40);
+    for len in [1_000usize, 10_000, 50_000] {
+        let lists = synth_id_lists(3, len, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &lists, |b, lists| {
+            let slices: Vec<&[ListEntry]> = lists.iter().map(Vec::as_slice).collect();
+            b.iter(|| run_smj_slices(&slices, Operator::Or, 5))
+        });
+    }
+    group.finish();
+}
+
+fn bench_smj_vs_nra_short_lists(c: &mut Criterion) {
+    // §5.5: SMJ wins on short (truncated) lists, NRA on long ones.
+    let mut group = c.benchmark_group("smj_vs_nra");
+    group.sample_size(40);
+    for len in [500usize, 5_000, 50_000] {
+        let id_lists = synth_id_lists(3, len, 9);
+        let mut score_lists = id_lists.clone();
+        for l in &mut score_lists {
+            l.sort_by(|a, b| b.prob.partial_cmp(&a.prob).unwrap());
+        }
+        group.bench_with_input(BenchmarkId::new("smj", len), &id_lists, |b, lists| {
+            let slices: Vec<&[ListEntry]> = lists.iter().map(Vec::as_slice).collect();
+            b.iter(|| run_smj_slices(&slices, Operator::Or, 5))
+        });
+        group.bench_with_input(BenchmarkId::new("nra", len), &score_lists, |b, lists| {
+            b.iter(|| {
+                let cursors: Vec<MemoryCursor> =
+                    lists.iter().map(|l| MemoryCursor::new(l)).collect();
+                run_nra(cursors, Operator::Or, &NraConfig::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smj/query_width");
+    group.sample_size(40);
+    for r in [2usize, 4, 6] {
+        let lists = synth_id_lists(r, 10_000, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &lists, |b, lists| {
+            let slices: Vec<&[ListEntry]> = lists.iter().map(Vec::as_slice).collect();
+            b.iter(|| run_smj_slices(&slices, Operator::And, 5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_list_lengths,
+    bench_smj_vs_nra_short_lists,
+    bench_query_width
+);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Criterion benchmarks of the storage substrate: buffer-pool overhead,
+//! the pool-size / lookahead ablation of the disk cost model, and the
+//! bit-packed (§4.2.2) vs 12-byte list layout.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipm_index::cursor::ScoredListCursor;
+use ipm_storage::{BufferPool, CostModel, PoolConfig};
+
+fn bench_pool_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool/scan_10k_pages");
+    group.sample_size(50);
+    for lookahead in [0usize, 1, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(lookahead),
+            &lookahead,
+            |b, &la| {
+                b.iter(|| {
+                    let mut pool = BufferPool::new(PoolConfig {
+                        page_size: 32 * 1024,
+                        capacity_pages: 16,
+                        lookahead_pages: la,
+                    });
+                    for p in 0..10_000u64 {
+                        pool.access(p, 10_000);
+                    }
+                    pool.stats().io_ms(&CostModel::default())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pool_capacity_ablation(c: &mut Criterion) {
+    // Round-robin over 4 interleaved streams (the NRA access pattern):
+    // a larger pool absorbs the interleaving, a small one thrashes.
+    let mut group = c.benchmark_group("pool/interleaved_streams");
+    group.sample_size(50);
+    for capacity in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &capacity,
+            |b, &cap| {
+                b.iter(|| {
+                    let mut pool = BufferPool::new(PoolConfig {
+                        page_size: 32 * 1024,
+                        capacity_pages: cap,
+                        lookahead_pages: 1,
+                    });
+                    let bases = [0u64, 25_000, 50_000, 75_000];
+                    for i in 0..2_000u64 {
+                        for &base in &bases {
+                            pool.access(base + i / 8, 100_000);
+                        }
+                    }
+                    pool.stats().io_ms(&CostModel::default())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_packed_vs_plain_scan(c: &mut Criterion) {
+    // Decode + simulated-IO cost of scanning the longest word list end to
+    // end in both serialized layouts. Packing touches ~3/4 of the pages at
+    // a small per-entry bit-twiddling cost.
+    let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+    let miner = ipm_core::PhraseMiner::build(&corpus, ipm_core::MinerConfig::default());
+    let packed = miner.to_packed(1.0);
+    let disk = miner.to_disk(1.0);
+    let feat = *miner
+        .lists()
+        .features()
+        .iter()
+        .max_by_key(|f| miner.lists().list(**f).len())
+        .unwrap();
+
+    let mut group = c.benchmark_group("storage/list_scan");
+    group.sample_size(30);
+    group.bench_function("plain_12B", |b| {
+        b.iter(|| {
+            disk.reset_io();
+            let mut cur = disk.cursor(feat, 1.0);
+            let mut acc = 0.0;
+            while let Some(e) = cur.next_entry() {
+                acc += e.prob;
+            }
+            acc
+        })
+    });
+    group.bench_function("packed_log2P_plus_64b", |b| {
+        b.iter(|| {
+            packed.reset_io();
+            let mut cur = packed.cursor(feat, 1.0);
+            let mut acc = 0.0;
+            while let Some(e) = cur.next_entry() {
+                acc += e.prob;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pool_scan,
+    bench_pool_capacity_ablation,
+    bench_packed_vs_plain_scan
+);
+criterion_main!(benches);

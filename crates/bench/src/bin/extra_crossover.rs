@@ -1,0 +1,20 @@
+//! Regenerates the §5.5 analysis: the partial-list fraction at which
+//! in-memory NRA overtakes SMJ.
+
+use ipm_bench::{emit, K};
+use ipm_core::query::Operator;
+use ipm_eval::experiments::{crossover, datasets};
+
+const SWEEP: &[f64] = &[0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 0.90, 1.00];
+
+fn main() {
+    let reuters = datasets::build_reuters();
+    for op in [Operator::And, Operator::Or] {
+        emit(&crossover::run(&reuters, op, SWEEP, K));
+    }
+    drop(reuters);
+    let pubmed = datasets::build_pubmed();
+    for op in [Operator::And, Operator::Or] {
+        emit(&crossover::run(&pubmed, op, SWEEP, K));
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the §5.7 extension experiment: quality on metadata-facet
+//! queries (the verification the paper deferred for lack of faceted data).
+
+use ipm_bench::{emit, K, QUALITY_FRACTIONS};
+use ipm_eval::experiments::{datasets, facets};
+
+fn main() {
+    let reuters = datasets::build_reuters();
+    emit(&facets::run(&reuters, QUALITY_FRACTIONS, K));
+}

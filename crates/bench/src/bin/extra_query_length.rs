@@ -1,0 +1,17 @@
+//! Regenerates the §4.5 ablation: per-query cost and NRA traversal depth
+//! as a function of the number of query features `r` (the paper analyzes
+//! SMJ as `O(lr)` and NRA as `O(l²r²/b)` but reports only mixed-length
+//! aggregates).
+
+use ipm_bench::{emit, K};
+use ipm_eval::experiments::{datasets, query_length};
+
+const MAX_R: usize = 6;
+
+fn main() {
+    let reuters = datasets::build_reuters();
+    emit(&query_length::run(&reuters, MAX_R, K));
+    drop(reuters);
+    let pubmed = datasets::build_pubmed();
+    emit(&query_length::run(&pubmed, MAX_R, K));
+}

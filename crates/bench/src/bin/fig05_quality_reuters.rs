@@ -1,0 +1,9 @@
+//! Regenerates Figure 5: result quality on the Reuters-like dataset.
+
+use ipm_bench::{emit, K, QUALITY_FRACTIONS};
+use ipm_eval::experiments::{datasets, quality};
+
+fn main() {
+    let ds = datasets::build_reuters();
+    emit(&quality::run(&ds, QUALITY_FRACTIONS, K));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 6: result quality on the PubMed-like dataset.
+
+use ipm_bench::{emit, K, QUALITY_FRACTIONS};
+use ipm_eval::experiments::{datasets, quality};
+
+fn main() {
+    let ds = datasets::build_pubmed();
+    emit(&quality::run(&ds, QUALITY_FRACTIONS, K));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 7: SMJ vs GM running times (Reuters-like).
+
+use ipm_bench::{emit, K, RUNTIME_FRACTIONS};
+use ipm_eval::experiments::{datasets, runtime};
+
+fn main() {
+    let ds = datasets::build_reuters();
+    emit(&runtime::run_smj_vs_gm(&ds, RUNTIME_FRACTIONS, K));
+}

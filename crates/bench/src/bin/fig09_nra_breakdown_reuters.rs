@@ -1,0 +1,10 @@
+//! Regenerates Figure 9: NRA compute/disk cost break-up (Reuters-like, AND).
+
+use ipm_bench::{emit, BREAKDOWN_FRACTIONS, K};
+use ipm_core::query::Operator;
+use ipm_eval::experiments::{breakdown, datasets};
+
+fn main() {
+    let ds = datasets::build_reuters();
+    emit(&breakdown::run(&ds, Operator::And, BREAKDOWN_FRACTIONS, K));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 10: NRA compute/disk cost break-up (PubMed-like, AND).
+
+use ipm_bench::{emit, BREAKDOWN_FRACTIONS, K};
+use ipm_core::query::Operator;
+use ipm_eval::experiments::{breakdown, datasets};
+
+fn main() {
+    let ds = datasets::build_pubmed();
+    emit(&breakdown::run(&ds, Operator::And, BREAKDOWN_FRACTIONS, K));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 11: fraction of lists traversed by NRA before its
+//! stopping condition fires, on both datasets.
+
+use ipm_bench::{emit, K};
+use ipm_eval::experiments::{datasets, traversal};
+
+fn main() {
+    let reuters = datasets::build_reuters();
+    emit(&traversal::run(&reuters, K));
+    drop(reuters);
+    let pubmed = datasets::build_pubmed();
+    emit(&traversal::run(&pubmed, K));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 13: disk-based NRA vs in-memory GM (PubMed-like).
+
+use ipm_bench::{emit, K};
+use ipm_eval::experiments::{datasets, runtime};
+
+fn main() {
+    let ds = datasets::build_pubmed();
+    emit(&runtime::run_nra_vs_gm(&ds, 1.0, K));
+}

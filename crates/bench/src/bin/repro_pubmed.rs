@@ -1,0 +1,30 @@
+//! Runs the full experiment suite on the PubMed-like dataset only
+//! (companion to `repro_all`; useful when the Reuters half has already been
+//! recorded and the PubMed scale is being re-run, e.g. with a different
+//! `IPM_PUBMED_DOCS`).
+
+use ipm_bench::{emit, BREAKDOWN_FRACTIONS, K, QUALITY_FRACTIONS, RUNTIME_FRACTIONS, SIZE_FRACTIONS};
+use ipm_core::query::Operator;
+use ipm_eval::experiments::{
+    accuracy, breakdown, crossover, datasets, index_sizes, quality, runtime, samples, summary,
+    traversal,
+};
+
+const SWEEP: &[f64] = &[0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 0.90, 1.00];
+
+fn main() {
+    let ds = datasets::build_pubmed();
+    eprintln!("[repro_pubmed] === {} ===", ds.name);
+    emit(&samples::run(&ds, Operator::And, 2, K));
+    emit(&quality::run(&ds, QUALITY_FRACTIONS, K));
+    emit(&runtime::run_smj_vs_gm(&ds, RUNTIME_FRACTIONS, K));
+    emit(&breakdown::run(&ds, Operator::And, BREAKDOWN_FRACTIONS, K));
+    emit(&traversal::run(&ds, K));
+    emit(&runtime::run_nra_vs_gm(&ds, 1.0, K));
+    emit(&index_sizes::run(&ds, SIZE_FRACTIONS, K));
+    emit(&accuracy::run(&ds, K));
+    emit(&summary::run(&ds, QUALITY_FRACTIONS, K));
+    for op in [Operator::And, Operator::Or] {
+        emit(&crossover::run(&ds, op, SWEEP, K));
+    }
+}

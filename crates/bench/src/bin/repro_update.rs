@@ -1,0 +1,22 @@
+//! Regenerates only the artifacts affected by the packed-layout,
+//! exact-OR and query-length additions: Table 5 (new packed-size column),
+//! Table 6 (new full-Eq.-11 row) and the §4.5 query-length ablation —
+//! building each dataset once. `repro_all` remains the full driver.
+
+use ipm_bench::{emit, K, SIZE_FRACTIONS};
+use ipm_eval::experiments::{accuracy, datasets, index_sizes, query_length, DatasetBundle};
+
+fn run_dataset(ds: &DatasetBundle) {
+    eprintln!("[repro_update] === {} ===", ds.name);
+    emit(&index_sizes::run(ds, SIZE_FRACTIONS, K));
+    emit(&accuracy::run(ds, K));
+    emit(&query_length::run(ds, 6, K));
+}
+
+fn main() {
+    let reuters = datasets::build_reuters();
+    run_dataset(&reuters);
+    drop(reuters);
+    let pubmed = datasets::build_pubmed();
+    run_dataset(&pubmed);
+}

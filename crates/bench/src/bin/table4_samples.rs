@@ -1,0 +1,14 @@
+//! Regenerates Table 4: sample top-5 phrases — an AND query on the
+//! PubMed-like dataset and an OR query on the Reuters-like dataset.
+
+use ipm_bench::{emit, K};
+use ipm_core::query::Operator;
+use ipm_eval::experiments::{datasets, samples};
+
+fn main() {
+    let pubmed = datasets::build_pubmed();
+    emit(&samples::run(&pubmed, Operator::And, 3, K));
+    drop(pubmed);
+    let reuters = datasets::build_reuters();
+    emit(&samples::run(&reuters, Operator::Or, 2, K));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 5: index sizes vs partial-list % vs NDCG.
+
+use ipm_bench::{emit, K, SIZE_FRACTIONS};
+use ipm_eval::experiments::{datasets, index_sizes};
+
+fn main() {
+    let reuters = datasets::build_reuters();
+    emit(&index_sizes::run(&reuters, SIZE_FRACTIONS, K));
+    drop(reuters);
+    let pubmed = datasets::build_pubmed();
+    emit(&index_sizes::run(&pubmed, SIZE_FRACTIONS, K));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 6: mean |estimated − real| interestingness.
+
+use ipm_bench::{emit, K};
+use ipm_eval::experiments::{accuracy, datasets};
+
+fn main() {
+    let reuters = datasets::build_reuters();
+    emit(&accuracy::run(&reuters, K));
+    drop(reuters);
+    let pubmed = datasets::build_pubmed();
+    emit(&accuracy::run(&pubmed, K));
+}

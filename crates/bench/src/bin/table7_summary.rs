@@ -1,0 +1,12 @@
+//! Regenerates Table 7: the consolidated quality/performance summary.
+
+use ipm_bench::{emit, K, QUALITY_FRACTIONS};
+use ipm_eval::experiments::{datasets, summary};
+
+fn main() {
+    let reuters = datasets::build_reuters();
+    emit(&summary::run(&reuters, QUALITY_FRACTIONS, K));
+    drop(reuters);
+    let pubmed = datasets::build_pubmed();
+    emit(&summary::run(&pubmed, QUALITY_FRACTIONS, K));
+}

@@ -1,0 +1,84 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Each `src/bin/*.rs` regenerates one table or figure of the paper (see
+//! `DESIGN.md` §7 for the full index). Reports print as aligned text; set
+//! `IPM_RESULTS=<dir>` to also write one JSON file per report.
+
+use ipm_eval::experiments::Report;
+use std::path::PathBuf;
+
+/// Prints a report and, when `IPM_RESULTS` is set, writes
+/// `<dir>/<slug>.json`.
+pub fn emit(report: &Report) {
+    report.print();
+    if let Ok(dir) = std::env::var("IPM_RESULTS") {
+        let dir = PathBuf::from(dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("[emit] cannot create {}: {e}", dir.display());
+            return;
+        }
+        let slug: String = report
+            .title
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect::<String>()
+            .split('_')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("_");
+        let path = dir.join(format!("{slug}.json"));
+        match serde_json::to_string_pretty(&report.to_json()) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("[emit] cannot write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("[emit] serialization failed: {e}"),
+        }
+    }
+}
+
+/// The partial-list fractions the paper's runtime figures sweep.
+pub const RUNTIME_FRACTIONS: &[f64] = &[0.10, 0.20, 0.50, 1.00];
+
+/// The fractions of the quality figures (5/6) and Table 5/7.
+pub const QUALITY_FRACTIONS: &[f64] = &[0.20, 0.50];
+
+/// The fractions of the NRA cost break-up figures (9/10).
+pub const BREAKDOWN_FRACTIONS: &[f64] = &[0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90];
+
+/// Table 5's fractions.
+pub const SIZE_FRACTIONS: &[f64] = &[0.10, 0.20, 0.50];
+
+/// The paper's k.
+pub const K: usize = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_writes_json_when_requested() {
+        let mut r = Report::new("Emit Test 42", &["a"]);
+        r.push_row(vec!["x".into()]);
+        let dir = std::env::temp_dir().join("ipm_emit_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        // emit() reads the env var; guard against parallel tests by using
+        // a unique directory and restoring afterwards.
+        std::env::set_var("IPM_RESULTS", &dir);
+        emit(&r);
+        std::env::remove_var("IPM_RESULTS");
+        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(files.len(), 1);
+        let content = std::fs::read_to_string(files[0].as_ref().unwrap().path()).unwrap();
+        assert!(content.contains("Emit Test 42"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn constants_match_paper() {
+        assert_eq!(K, 5);
+        assert!(QUALITY_FRACTIONS.contains(&0.2) && QUALITY_FRACTIONS.contains(&0.5));
+        assert_eq!(BREAKDOWN_FRACTIONS.len(), 9);
+    }
+}

@@ -1,0 +1,376 @@
+//! A shared, thread-safe query front-end.
+//!
+//! The paper's closing claim is that list-based scoring makes interesting-
+//! phrase mining "a feasible task for search-like interactive systems".
+//! Such a system serves many concurrent queries over one immutable index.
+//! [`QueryEngine`] packages a built [`PhraseMiner`] behind an [`Arc`] with
+//! a string-query API, per-query algorithm choice, optional §5.6
+//! redundancy filtering, and served-query accounting. All index state is
+//! immutable after build, so clones of the engine can be handed to any
+//! number of threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::miner::PhraseMiner;
+use crate::parse::ParseError;
+use crate::query::Query;
+use crate::redundancy::RedundancyConfig;
+use crate::result::PhraseHit;
+use crate::scoring::estimated_interestingness;
+
+/// Which retrieval algorithm serves a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// NRA over score-ordered lists (paper Alg. 1) — the default.
+    #[default]
+    Nra,
+    /// Sort-merge join over ID-ordered lists (paper Alg. 2).
+    Smj,
+    /// The threshold algorithm with random probes (in-memory extension).
+    Ta,
+    /// The exact scorer (ground truth; linear in `|D'|`).
+    Exact,
+}
+
+/// Per-request options.
+#[derive(Debug, Clone, Default)]
+pub struct SearchOptions {
+    /// Retrieval algorithm.
+    pub algorithm: Algorithm,
+    /// Fraction of each score-ordered list NRA may read (`1.0` = full;
+    /// ignored by the other algorithms — SMJ's fraction is fixed at build
+    /// time, paper §4.4.2).
+    pub nra_fraction: Option<f64>,
+    /// Optional §5.6 redundancy filter applied post-retrieval.
+    pub redundancy: Option<RedundancyConfig>,
+}
+
+/// One resolved result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// The raw hit (phrase id, score, bounds).
+    pub hit: PhraseHit,
+    /// The phrase rendered as text.
+    pub text: String,
+    /// The score mapped back to an interestingness estimate in `[0, 1]`.
+    pub interestingness: f64,
+}
+
+/// A served response.
+#[derive(Debug, Clone)]
+pub struct SearchResponse {
+    /// The parsed query that was executed.
+    pub query: Query,
+    /// Resolved hits, best first.
+    pub hits: Vec<SearchHit>,
+    /// Wall-clock service time.
+    pub elapsed: Duration,
+}
+
+/// A cloneable, thread-safe handle to an immutable phrase-mining index.
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    miner: PhraseMiner,
+    served: AtomicU64,
+}
+
+// The index is immutable after build; a compile-time check that the miner
+// really is shareable keeps that invariant honest.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryEngine>();
+};
+
+impl QueryEngine {
+    /// Wraps a built miner.
+    pub fn new(miner: PhraseMiner) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                miner,
+                served: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The underlying miner (for direct algorithm access).
+    pub fn miner(&self) -> &PhraseMiner {
+        &self.inner.miner
+    }
+
+    /// Queries served across all clones of this engine.
+    pub fn queries_served(&self) -> u64 {
+        self.inner.served.load(Ordering::Relaxed)
+    }
+
+    /// Parses and serves a string query (`"trade AND reserves"`,
+    /// `"topic:t04 OR minister"`) with default options.
+    ///
+    /// # Errors
+    /// Returns the parse error for malformed input or unknown terms.
+    pub fn search(&self, input: &str, k: usize) -> Result<SearchResponse, ParseError> {
+        self.search_with(input, k, &SearchOptions::default())
+    }
+
+    /// Parses and serves a string query with explicit options.
+    ///
+    /// # Errors
+    /// Returns the parse error for malformed input or unknown terms.
+    pub fn search_with(
+        &self,
+        input: &str,
+        k: usize,
+        options: &SearchOptions,
+    ) -> Result<SearchResponse, ParseError> {
+        let query = self.inner.miner.parse_query_str(input)?;
+        Ok(self.execute(query, k, options))
+    }
+
+    /// Serves an already-parsed query.
+    pub fn execute(&self, query: Query, k: usize, options: &SearchOptions) -> SearchResponse {
+        let m = &self.inner.miner;
+        let start = Instant::now();
+        let mut hits = match (options.algorithm, options.redundancy.as_ref()) {
+            (Algorithm::Nra, None) => {
+                let fraction = options.nra_fraction.unwrap_or(1.0);
+                m.top_k_nra_partial(&query, k, fraction).hits
+            }
+            (Algorithm::Nra, Some(r)) => m.top_k_nonredundant(&query, k, r),
+            (Algorithm::Smj, red) => {
+                fetch_filtered(k, red, |fetch| m.top_k_smj(&query, fetch), |h| {
+                    apply_filter(m, &query, h, red)
+                })
+            }
+            (Algorithm::Ta, red) => {
+                fetch_filtered(k, red, |fetch| m.top_k_ta(&query, fetch).hits, |h| {
+                    apply_filter(m, &query, h, red)
+                })
+            }
+            (Algorithm::Exact, red) => {
+                fetch_filtered(k, red, |fetch| m.top_k_exact(&query, fetch), |h| {
+                    apply_filter(m, &query, h, red)
+                })
+            }
+        };
+        hits.truncate(k);
+        let resolved = hits
+            .into_iter()
+            .map(|hit| SearchHit {
+                text: m.phrase_text(hit.phrase),
+                interestingness: estimated_interestingness(query.op, hit.score),
+                hit,
+            })
+            .collect();
+        let elapsed = start.elapsed();
+        self.inner.served.fetch_add(1, Ordering::Relaxed);
+        SearchResponse {
+            query,
+            hits: resolved,
+            elapsed,
+        }
+    }
+}
+
+/// Runs `fetch_k` at increasing depths until `k` results survive
+/// `filter`, mirroring [`PhraseMiner::top_k_nonredundant`]'s loop (first
+/// round `2k + 8`, doubling; stops once the unfiltered fetch comes back
+/// short, i.e. the candidate space is exhausted). Without a filter it is
+/// a single plain fetch.
+fn fetch_filtered(
+    k: usize,
+    red: Option<&RedundancyConfig>,
+    mut fetch_k: impl FnMut(usize) -> Vec<PhraseHit>,
+    mut filter: impl FnMut(&mut Vec<PhraseHit>),
+) -> Vec<PhraseHit> {
+    if red.is_none() {
+        return fetch_k(k);
+    }
+    let mut fetch = k * 2 + 8;
+    loop {
+        let mut hits = fetch_k(fetch);
+        let exhausted = hits.len() < fetch;
+        filter(&mut hits);
+        if hits.len() >= k || exhausted {
+            return hits;
+        }
+        fetch *= 2;
+    }
+}
+
+fn apply_filter(
+    m: &PhraseMiner,
+    query: &Query,
+    hits: &mut Vec<PhraseHit>,
+    red: Option<&RedundancyConfig>,
+) {
+    if let Some(r) = red {
+        crate::redundancy::filter_hits(&m.index().dict, query, hits, r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::MinerConfig;
+    use crate::query::Operator;
+    use ipm_index::corpus_index::IndexConfig;
+    use ipm_index::mining::MiningConfig;
+
+    fn engine() -> QueryEngine {
+        let (c, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+        QueryEngine::new(PhraseMiner::build(
+            &c,
+            MinerConfig {
+                index: IndexConfig {
+                    mining: MiningConfig {
+                        min_df: 3,
+                        max_len: 4,
+                        min_len: 1,
+                    },
+                },
+                ..Default::default()
+            },
+        ))
+    }
+
+    fn query_string(e: &QueryEngine, op: Operator) -> String {
+        let top = ipm_corpus::stats::top_words_by_df(e.miner().corpus(), 2);
+        let words: Vec<&str> = top
+            .iter()
+            .map(|&(w, _)| e.miner().corpus().words().term(w).unwrap())
+            .collect();
+        words.join(&format!(" {op} "))
+    }
+
+    #[test]
+    fn search_returns_resolved_hits() {
+        let e = engine();
+        let q = query_string(&e, Operator::Or);
+        let resp = e.search(&q, 5).unwrap();
+        assert!(!resp.hits.is_empty());
+        for h in &resp.hits {
+            assert!(!h.text.is_empty());
+            assert!((0.0..=1.0).contains(&h.interestingness));
+        }
+        assert_eq!(e.queries_served(), 1);
+    }
+
+    #[test]
+    fn malformed_query_is_an_error_not_a_panic() {
+        let e = engine();
+        assert!(e.search("", 5).is_err());
+        assert!(e.search("zzzz_not_a_word_zzzz", 5).is_err());
+        assert_eq!(e.queries_served(), 0);
+    }
+
+    #[test]
+    fn algorithms_agree_through_the_engine() {
+        let e = engine();
+        let q = query_string(&e, Operator::Or);
+        let mut phrases: Vec<Vec<_>> = Vec::new();
+        for alg in [Algorithm::Nra, Algorithm::Smj, Algorithm::Ta] {
+            let resp = e
+                .search_with(
+                    &q,
+                    5,
+                    &SearchOptions {
+                        algorithm: alg,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            phrases.push(resp.hits.iter().map(|h| h.hit.phrase).collect());
+        }
+        assert_eq!(phrases[0], phrases[1], "NRA vs SMJ");
+        assert_eq!(phrases[1], phrases[2], "SMJ vs TA");
+    }
+
+    #[test]
+    fn redundancy_option_filters_across_algorithms() {
+        let e = engine();
+        let q = query_string(&e, Operator::Or);
+        let red = RedundancyConfig::default();
+        for alg in [Algorithm::Nra, Algorithm::Smj, Algorithm::Ta, Algorithm::Exact] {
+            let resp = e
+                .search_with(
+                    &q,
+                    5,
+                    &SearchOptions {
+                        algorithm: alg,
+                        redundancy: Some(red),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            let query = &resp.query;
+            for h in &resp.hits {
+                let words = e.miner().index().dict.words(h.hit.phrase).unwrap();
+                assert!(
+                    crate::redundancy::overlap_fraction(words, query) < red.max_overlap,
+                    "{alg:?} leaked redundant phrase {}",
+                    h.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_clones_serve_identical_results() {
+        let e = engine();
+        let q = query_string(&e, Operator::And);
+        let baseline: Vec<_> = e
+            .search(&q, 5)
+            .unwrap()
+            .hits
+            .iter()
+            .map(|h| h.hit.phrase)
+            .collect();
+        let threads = 8;
+        let per_thread = 25;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let eng = e.clone();
+                let q = q.clone();
+                let want = baseline.clone();
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        let got: Vec<_> = eng
+                            .search(&q, 5)
+                            .unwrap()
+                            .hits
+                            .iter()
+                            .map(|h| h.hit.phrase)
+                            .collect();
+                        assert_eq!(got, want);
+                    }
+                });
+            }
+        });
+        assert_eq!(e.queries_served(), 1 + threads * per_thread);
+    }
+
+    #[test]
+    fn nra_fraction_option_is_honoured() {
+        let e = engine();
+        let q = query_string(&e, Operator::Or);
+        // A tiny fraction still returns *something* (≥1 entry per list) and
+        // must not panic.
+        let resp = e
+            .search_with(
+                &q,
+                5,
+                &SearchOptions {
+                    nra_fraction: Some(0.05),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(!resp.hits.is_empty());
+    }
+}

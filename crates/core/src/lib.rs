@@ -1,0 +1,50 @@
+//! The paper's contribution: phrase scoring under conditional query-word
+//! independence, and the NRA/SMJ top-k algorithms over word-specific lists.
+//!
+//! Layout:
+//!
+//! * [`query`] — the query model `Q = [{q1..qr}, O]` (paper §3);
+//! * [`scoring`] — per-entry score transforms and aggregation for AND
+//!   (sum of logs, Eq. 8) and OR (sum of probabilities, Eq. 12), plus the
+//!   full inclusion–exclusion form (Eq. 11) used by the ablation bench;
+//! * [`result`] — result types with score bounds;
+//! * [`nra`] — Algorithm 1: No-Random-Access-style scoring over
+//!   score-ordered lists with candidate bounds, batch pruning, the
+//!   `checknew` gate and early stopping;
+//! * [`smj`] — Algorithm 2: sort-merge-join scoring over phrase-ID-ordered
+//!   lists;
+//! * [`exact`] — the exact top-k scorer (ground truth for the quality
+//!   experiments; paper Eq. 1/3);
+//! * [`delta`] — the incremental-operation side index of §4.5.1;
+//! * [`redundancy`] — the §5.6 post-retrieval filter dropping results with
+//!   high lexical overlap with the query;
+//! * [`measures`] — the §7 future-work answer: PMI (rank-equivalent to
+//!   Eq. 1 per query) and NPMI (reranks; approximated by over-fetch +
+//!   rescore);
+//! * [`miner`] — the high-level [`miner::PhraseMiner`] facade tying corpus,
+//!   indexes and algorithms together;
+//! * [`engine`] — a cloneable, thread-safe [`engine::QueryEngine`] for
+//!   serving concurrent string queries over one immutable index.
+
+pub mod delta;
+pub mod engine;
+pub mod exact;
+pub mod measures;
+pub mod miner;
+pub mod nra;
+pub mod parse;
+pub mod query;
+pub mod redundancy;
+pub mod result;
+pub mod scoring;
+pub mod smj;
+pub mod ta;
+
+pub use engine::{Algorithm, QueryEngine, SearchHit, SearchOptions, SearchResponse};
+pub use miner::{MinerConfig, PhraseMiner};
+pub use redundancy::RedundancyConfig;
+pub use nra::{NraConfig, NraOutcome, TraversalStats};
+pub use parse::parse_query;
+pub use query::{Operator, Query};
+pub use result::PhraseHit;
+pub use ta::{run_ta, TaOutcome};

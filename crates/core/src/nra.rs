@@ -1,0 +1,556 @@
+//! Algorithm 1: scoring over score-ordered lists, NRA style.
+//!
+//! Modeled on the No-Random-Access member of the threshold-algorithm family
+//! (Fagin et al.), as the paper adapts it (§4.3):
+//!
+//! * the `r` lists are read round-robin, one entry per list per iteration;
+//! * every candidate keeps the sum of its *seen* score terms (its lower
+//!   bound for OR; for AND the lower bound stays `-∞` until the phrase has
+//!   been seen in all lists, since an absent feature zeroes the product);
+//! * per-list *global bounds* — the last score seen on each list — bound
+//!   every unseen entry, giving candidate upper bounds and the score ceiling
+//!   of hitherto-unseen phrases;
+//! * when no unseen phrase can reach the current top-k, the `checknew` flag
+//!   turns off and new phrases are no longer admitted (paper line 11);
+//! * candidates are pruned and the stop condition tested once per batch of
+//!   `b` iterations (the paper's §4.5 batching optimization);
+//! * the algorithm stops early when the current top-k is final, and always
+//!   returns the top-k *by upper bound* (paper: "the phrases corresponding
+//!   to top-k candidates from C based on their upper bounds").
+//!
+//! Works over any [`ScoredListCursor`] — in-memory slices or the simulated
+//! disk of `ipm-storage`.
+
+use crate::query::Operator;
+use crate::result::PhraseHit;
+use crate::scoring::{absent_score, entry_score};
+use ipm_corpus::hash::FxHashMap;
+use ipm_corpus::PhraseId;
+use ipm_index::cursor::ScoredListCursor;
+
+/// NRA tuning parameters.
+#[derive(Debug, Clone)]
+pub struct NraConfig {
+    /// Result size `k`.
+    pub k: usize,
+    /// Batch size `b`: pruning and stop checks run every `b` round-robin
+    /// iterations. "While small batch sizes in the order of thousands could
+    /// drastically improve run-times, extremely large values can be
+    /// detrimental" (paper §4.5).
+    pub batch_size: usize,
+    /// Whether the cursors expose *partial* (truncated) lists. With full
+    /// lists, a list that is exhausted contributes `P = 0` (OR) or `-∞`
+    /// (AND) to unseen candidates; with partial lists the tail below the
+    /// truncation point may still hold the phrase, so the last seen score
+    /// remains the only safe bound.
+    pub lists_are_partial: bool,
+}
+
+impl Default for NraConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            batch_size: 1024,
+            lists_are_partial: false,
+        }
+    }
+}
+
+/// Traversal accounting (drives the paper's Figure 11).
+#[derive(Debug, Clone, Default)]
+pub struct TraversalStats {
+    /// Entries read per list.
+    pub entries_read: Vec<usize>,
+    /// Full (possibly truncated) list lengths.
+    pub list_lens: Vec<usize>,
+    /// Whether the stop condition fired before the lists were exhausted.
+    pub stopped_early: bool,
+    /// Largest candidate-set size observed.
+    pub peak_candidates: usize,
+    /// Number of prune/stop evaluation rounds.
+    pub prune_rounds: usize,
+}
+
+impl TraversalStats {
+    /// Mean fraction of the lists traversed, averaged over non-empty lists
+    /// (Figure 11's y-axis).
+    pub fn fraction_traversed(&self) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for (&read, &len) in self.entries_read.iter().zip(&self.list_lens) {
+            if len > 0 {
+                total += read as f64 / len as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+
+    /// Total entries read across lists.
+    pub fn total_entries_read(&self) -> usize {
+        self.entries_read.iter().sum()
+    }
+}
+
+/// The result of an NRA run.
+#[derive(Debug, Clone)]
+pub struct NraOutcome {
+    /// Top-k hits, ranked by upper bound (desc), then lower bound, then id.
+    pub hits: Vec<PhraseHit>,
+    /// Traversal accounting.
+    pub stats: TraversalStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    sum_seen: f64,
+    seen_mask: u32,
+}
+
+/// Runs NRA over `cursors` (one per query feature, score-ordered).
+///
+/// # Panics
+/// Panics if more than 32 cursors are supplied (queries are 2–6 words in
+/// practice; the seen-set is a `u32` bitmask) or if `k == 0`.
+pub fn run_nra<C: ScoredListCursor>(
+    mut cursors: Vec<C>,
+    op: Operator,
+    config: &NraConfig,
+) -> NraOutcome {
+    let r = cursors.len();
+    assert!(r <= 32, "at most 32 query features supported");
+    assert!(config.k > 0, "k must be positive");
+    let full_mask: u32 = if r == 32 { u32::MAX } else { (1u32 << r) - 1 };
+
+    let list_lens: Vec<usize> = cursors.iter().map(|c| c.len()).collect();
+
+    // Per-list state. Before any entry is read the best possible score of a
+    // list entry is entry_score(op, 1.0) (probabilities never exceed 1).
+    let mut last_seen: Vec<f64> = vec![entry_score(op, 1.0); r];
+    let mut exhausted: Vec<bool> = cursors.iter().map(|c| c.is_empty()).collect();
+
+    let mut candidates: FxHashMap<PhraseId, Candidate> = FxHashMap::default();
+    let mut checknew = true;
+    let mut stats = TraversalStats {
+        entries_read: vec![0; r],
+        list_lens,
+        ..Default::default()
+    };
+
+    let batch = config.batch_size.max(1);
+    let mut iter_in_batch = 0usize;
+
+    loop {
+        let mut progressed = false;
+        for i in 0..r {
+            if exhausted[i] {
+                continue;
+            }
+            match cursors[i].next_entry() {
+                Some(entry) => {
+                    progressed = true;
+                    stats.entries_read[i] += 1;
+                    let s = entry_score(op, entry.prob);
+                    last_seen[i] = s;
+                    let bit = 1u32 << i;
+                    if let Some(c) = candidates.get_mut(&entry.phrase) {
+                        if c.seen_mask & bit == 0 {
+                            c.sum_seen += s;
+                            c.seen_mask |= bit;
+                        }
+                    } else if checknew {
+                        candidates.insert(
+                            entry.phrase,
+                            Candidate {
+                                sum_seen: s,
+                                seen_mask: bit,
+                            },
+                        );
+                    }
+                }
+                None => exhausted[i] = true,
+            }
+        }
+        stats.peak_candidates = stats.peak_candidates.max(candidates.len());
+
+        let all_exhausted = exhausted.iter().all(|&e| e);
+        iter_in_batch += 1;
+        if iter_in_batch >= batch || all_exhausted {
+            iter_in_batch = 0;
+            stats.prune_rounds += 1;
+            let done = prune_and_check(
+                &mut candidates,
+                &mut checknew,
+                op,
+                config,
+                full_mask,
+                &last_seen,
+                &exhausted,
+            );
+            if done && !all_exhausted {
+                stats.stopped_early = true;
+                break;
+            }
+        }
+        if all_exhausted || !progressed {
+            break;
+        }
+    }
+
+    // Final ranking by upper bound (paper §4.3), tie by lower bound, tie by
+    // phrase id.
+    let bounds = list_bounds(op, config, &last_seen, &exhausted);
+    let mut ranked: Vec<PhraseHit> = candidates
+        .iter()
+        .map(|(&phrase, c)| {
+            let (lower, upper) = candidate_bounds(c, op, full_mask, &bounds);
+            let score = if lower.is_finite() { lower } else { upper };
+            PhraseHit {
+                phrase,
+                score,
+                lower,
+                upper,
+            }
+        })
+        .filter(|h| h.upper > f64::NEG_INFINITY)
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.upper
+            .partial_cmp(&a.upper)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                b.lower
+                    .partial_cmp(&a.lower)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(a.phrase.cmp(&b.phrase))
+    });
+    ranked.truncate(config.k);
+    NraOutcome {
+        hits: ranked,
+        stats,
+    }
+}
+
+/// Per-list bound on the score of an entry not yet seen on that list.
+fn list_bounds(
+    op: Operator,
+    config: &NraConfig,
+    last_seen: &[f64],
+    exhausted: &[bool],
+) -> Vec<f64> {
+    last_seen
+        .iter()
+        .zip(exhausted)
+        .map(|(&s, &ex)| {
+            if ex && !config.lists_are_partial {
+                // Fully read: any phrase not seen there is truly absent.
+                absent_score(op)
+            } else {
+                s
+            }
+        })
+        .collect()
+}
+
+/// `(lower, upper)` bounds of one candidate given per-list bounds.
+fn candidate_bounds(c: &Candidate, op: Operator, full_mask: u32, bounds: &[f64]) -> (f64, f64) {
+    let mut upper = c.sum_seen;
+    for (i, &b) in bounds.iter().enumerate() {
+        if c.seen_mask & (1 << i) == 0 {
+            upper += b;
+        }
+    }
+    let lower = match op {
+        Operator::Or => c.sum_seen,
+        Operator::And => {
+            if c.seen_mask == full_mask {
+                c.sum_seen
+            } else {
+                f64::NEG_INFINITY
+            }
+        }
+    };
+    (lower, upper)
+}
+
+/// Prunes hopeless candidates, refreshes `checknew`, and reports whether the
+/// current top-k is final.
+#[allow(clippy::too_many_arguments)]
+fn prune_and_check(
+    candidates: &mut FxHashMap<PhraseId, Candidate>,
+    checknew: &mut bool,
+    op: Operator,
+    config: &NraConfig,
+    full_mask: u32,
+    last_seen: &[f64],
+    exhausted: &[bool],
+) -> bool {
+    let bounds = list_bounds(op, config, last_seen, exhausted);
+    // Upper bound of a completely unseen phrase.
+    let unseen_upper: f64 = bounds.iter().sum();
+
+    // Candidate bounds, then the k-th best lower bound.
+    let mut pairs: Vec<(f64, f64)> = candidates
+        .values()
+        .map(|c| candidate_bounds(c, op, full_mask, &bounds))
+        .collect();
+    let kth_lower = if pairs.len() < config.k {
+        f64::NEG_INFINITY
+    } else {
+        let idx = config.k - 1;
+        pairs.select_nth_unstable_by(idx, |a, b| b.0.partial_cmp(&a.0).unwrap());
+        pairs[idx].0
+    };
+
+    // Line 11: no new candidates once they cannot reach the top-k. `>=`
+    // keeps admitting score ties (conservative).
+    *checknew = unseen_upper >= kth_lower;
+
+    // Line 12: drop candidates whose ceiling is below the k-th floor.
+    if kth_lower > f64::NEG_INFINITY {
+        candidates.retain(|_, c| candidate_bounds(c, op, full_mask, &bounds).1 >= kth_lower);
+    } else if matches!(op, Operator::And) {
+        // Even without k candidates yet, AND candidates that can never be
+        // completed (missing from a fully-read list) are dead.
+        candidates.retain(|_, c| candidate_bounds(c, op, full_mask, &bounds).1 > f64::NEG_INFINITY);
+    }
+
+    // Line 13: the top-k (by lower bound) is final when (a) no unseen
+    // phrase can reach it and (b) no candidate *outside* it can overtake,
+    // i.e. the maximum upper bound among the remaining candidates is at
+    // most the k-th best lower bound.
+    if kth_lower == f64::NEG_INFINITY || unseen_upper > kth_lower {
+        return false;
+    }
+    // `pairs` is partitioned by lower bound around index k-1: elements
+    // after it are exactly the non-top-k candidates.
+    let max_other_upper = pairs[config.k..]
+        .iter()
+        .map(|&(_, u)| u)
+        .fold(f64::NEG_INFINITY, f64::max);
+    max_other_upper <= kth_lower
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipm_index::cursor::MemoryCursor;
+    use ipm_index::wordlists::ListEntry;
+
+    fn entries(pairs: &[(u32, f64)]) -> Vec<ListEntry> {
+        pairs
+            .iter()
+            .map(|&(id, prob)| ListEntry {
+                phrase: PhraseId(id),
+                prob,
+            })
+            .collect()
+    }
+
+    fn run(
+        lists: &[Vec<ListEntry>],
+        op: Operator,
+        k: usize,
+        batch: usize,
+        partial: bool,
+    ) -> NraOutcome {
+        let cursors: Vec<MemoryCursor> = lists.iter().map(|l| MemoryCursor::new(l)).collect();
+        run_nra(
+            cursors,
+            op,
+            &NraConfig {
+                k,
+                batch_size: batch,
+                lists_are_partial: partial,
+            },
+        )
+    }
+
+    /// The paper's worked example (Figure 3): OR query, two lists, k = 2;
+    /// after reading three entries each the algorithm can stop and declare
+    /// {P1, P103}.
+    #[test]
+    fn paper_figure3_example() {
+        let l1 = entries(&[(103, 0.26), (5, 0.113), (1, 0.0333), (77, 0.01), (78, 0.005)]);
+        let l2 = entries(&[(1, 0.121), (2, 0.0539), (3, 0.0445), (4, 0.04), (6, 0.01)]);
+        // Scores: P1 = 0.0333 + 0.121 = 0.1543 (paper rounds to 0.15467 with
+        // slightly different values); P103 in [0.26, 0.26 + last2].
+        let out = run(&[l1, l2], Operator::Or, 2, 1, false);
+        let ids: Vec<u32> = out.hits.iter().map(|h| h.phrase.raw()).collect();
+        assert!(ids.contains(&1) && ids.contains(&103), "got {ids:?}");
+        assert!(out.stats.stopped_early, "should stop before exhausting lists");
+        assert!(out.stats.total_entries_read() < 10);
+    }
+
+    #[test]
+    fn or_scores_are_sums_when_lists_fully_read() {
+        let l1 = entries(&[(1, 0.5), (2, 0.4), (3, 0.1)]);
+        let l2 = entries(&[(2, 0.6), (1, 0.2)]);
+        let out = run(&[l1, l2], Operator::Or, 3, 1024, false);
+        // P2 = 1.0, P1 = 0.7, P3 = 0.1
+        assert_eq!(out.hits[0].phrase, PhraseId(2));
+        assert!((out.hits[0].score - 1.0).abs() < 1e-12);
+        assert_eq!(out.hits[1].phrase, PhraseId(1));
+        assert!((out.hits[1].score - 0.7).abs() < 1e-12);
+        assert_eq!(out.hits[2].phrase, PhraseId(3));
+        assert!((out.hits[2].score - 0.1).abs() < 1e-12);
+        // Fully resolved: bounds collapsed.
+        for h in &out.hits {
+            assert!(h.is_resolved(), "{h:?}");
+        }
+    }
+
+    #[test]
+    fn and_requires_presence_in_all_lists() {
+        let l1 = entries(&[(1, 0.5), (2, 0.4)]);
+        let l2 = entries(&[(1, 0.5), (3, 0.9)]);
+        let out = run(&[l1, l2], Operator::And, 5, 1024, false);
+        // Only phrase 1 appears in both; 2 and 3 have -inf AND scores.
+        assert_eq!(out.hits.len(), 1);
+        assert_eq!(out.hits[0].phrase, PhraseId(1));
+        assert!((out.hits[0].score - (0.5f64.ln() * 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_orders_by_product_of_probs() {
+        let l1 = entries(&[(1, 0.9), (2, 0.8), (3, 0.1)]);
+        let l2 = entries(&[(3, 0.9), (2, 0.7), (1, 0.1)]);
+        let out = run(&[l1, l2], Operator::And, 3, 1024, false);
+        // products: p1 = .09, p2 = .56, p3 = .09 -> p2 first, tie p1/p3 by id
+        assert_eq!(out.hits[0].phrase, PhraseId(2));
+        assert_eq!(out.hits[1].phrase, PhraseId(1));
+        assert_eq!(out.hits[2].phrase, PhraseId(3));
+    }
+
+    #[test]
+    fn early_stop_does_not_change_top_k() {
+        // Top entries dominate; stop should fire long before the tail.
+        let l1: Vec<ListEntry> = entries(
+            &std::iter::once((1000, 0.9))
+                .chain((0..500).map(|i| (i, 0.001 / (i + 1) as f64)))
+                .collect::<Vec<_>>(),
+        );
+        let l2: Vec<ListEntry> = entries(
+            &std::iter::once((1000, 0.8))
+                .chain((500..1000).map(|i| (i, 0.001 / (i - 499) as f64)))
+                .collect::<Vec<_>>(),
+        );
+        let eager = run(&[l1.clone(), l2.clone()], Operator::Or, 1, 4, false);
+        assert!(eager.stats.stopped_early);
+        assert_eq!(eager.hits[0].phrase, PhraseId(1000));
+        assert!((eager.hits[0].score - 1.7).abs() < 1e-9);
+        assert!(eager.stats.fraction_traversed() < 0.2);
+    }
+
+    #[test]
+    fn batch_size_changes_work_not_results() {
+        let l1 = entries(&[(1, 0.5), (2, 0.45), (3, 0.3), (4, 0.2), (5, 0.1)]);
+        let l2 = entries(&[(3, 0.5), (1, 0.45), (5, 0.3), (2, 0.2), (4, 0.1)]);
+        let small = run(&[l1.clone(), l2.clone()], Operator::Or, 2, 1, false);
+        let large = run(&[l1, l2], Operator::Or, 2, 1_000_000, false);
+        let ids = |o: &NraOutcome| o.hits.iter().map(|h| h.phrase).collect::<Vec<_>>();
+        assert_eq!(ids(&small), ids(&large));
+        for (a, b) in small.hits.iter().zip(&large.hits) {
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn checknew_blocks_late_arrivals() {
+        // After k strong candidates are resolved, weak tail phrases must
+        // not enter the candidate set.
+        let l1: Vec<ListEntry> = entries(
+            &(0..100)
+                .map(|i| (i, if i < 2 { 0.9 - 0.1 * i as f64 } else { 1e-6 }))
+                .collect::<Vec<_>>(),
+        );
+        let l2: Vec<ListEntry> = entries(
+            &(0..100)
+                .map(|i| (i, if i < 2 { 0.9 - 0.1 * i as f64 } else { 1e-6 }))
+                .collect::<Vec<_>>(),
+        );
+        let out = run(&[l1, l2], Operator::Or, 2, 8, false);
+        assert!(out.stats.peak_candidates < 100, "peak {}", out.stats.peak_candidates);
+        assert_eq!(out.hits[0].phrase, PhraseId(0));
+        assert_eq!(out.hits[1].phrase, PhraseId(1));
+    }
+
+    #[test]
+    fn partial_lists_keep_last_seen_bound() {
+        // With partial lists, candidates unseen on an exhausted list keep a
+        // non-trivial upper bound instead of being zeroed out.
+        let l1 = entries(&[(1, 0.6), (2, 0.5)]); // truncated list
+        let l2 = entries(&[(3, 0.55), (2, 0.5), (1, 0.4)]);
+        let out = run(&[l1, l2], Operator::Or, 3, 1, true);
+        let h3 = out.hits.iter().find(|h| h.phrase == PhraseId(3)).unwrap();
+        // P3 unseen on (exhausted) l1: upper must include l1's last seen 0.5.
+        assert!((h3.upper - (0.55 + 0.5)).abs() < 1e-12);
+        assert!((h3.lower - 0.55).abs() < 1e-12);
+        assert!(!h3.is_resolved());
+    }
+
+    #[test]
+    fn full_lists_zero_exhausted_bound() {
+        let l1 = entries(&[(1, 0.6), (2, 0.5)]);
+        let l2 = entries(&[(3, 0.55), (2, 0.5), (1, 0.4)]);
+        let out = run(&[l1, l2], Operator::Or, 3, 1024, false);
+        let h3 = out.hits.iter().find(|h| h.phrase == PhraseId(3)).unwrap();
+        assert!(h3.is_resolved());
+        assert!((h3.score - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_lists_yield_empty_results() {
+        let out = run(&[vec![], vec![]], Operator::Or, 5, 16, false);
+        assert!(out.hits.is_empty());
+        assert_eq!(out.stats.fraction_traversed(), 0.0);
+    }
+
+    #[test]
+    fn single_list_query() {
+        let l1 = entries(&[(7, 0.9), (8, 0.5)]);
+        let out = run(&[l1], Operator::And, 1, 1024, false);
+        assert_eq!(out.hits[0].phrase, PhraseId(7));
+        assert!((out.hits[0].score - 0.9f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_candidates() {
+        let l1 = entries(&[(1, 0.5)]);
+        let l2 = entries(&[(1, 0.5), (2, 0.3)]);
+        let out = run(&[l1, l2], Operator::Or, 10, 1024, false);
+        assert_eq!(out.hits.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_phrase_in_same_list_counted_once() {
+        // Defensive: malformed list with a repeated phrase must not double
+        // its score.
+        let l1 = entries(&[(1, 0.5), (1, 0.5)]);
+        let l2 = entries(&[(1, 0.4)]);
+        let out = run(&[l1, l2], Operator::Or, 1, 1024, false);
+        assert!((out.hits[0].score - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traversal_stats_track_reads() {
+        let l1 = entries(&[(1, 0.5), (2, 0.4), (3, 0.3)]);
+        let l2 = entries(&[(1, 0.5), (2, 0.4), (3, 0.3)]);
+        let out = run(&[l1, l2], Operator::Or, 3, 1024, false);
+        assert_eq!(out.stats.entries_read, vec![3, 3]);
+        assert_eq!(out.stats.list_lens, vec![3, 3]);
+        assert!((out.stats.fraction_traversed() - 1.0).abs() < 1e-12);
+        assert!(!out.stats.stopped_early);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = run(&[vec![]], Operator::Or, 0, 1, false);
+    }
+}

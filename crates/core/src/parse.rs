@@ -1,0 +1,184 @@
+//! A small query-string language: `trade AND reserves`, `q1 OR q2 OR q3`,
+//! `venue:sigmod AND year:1997`.
+//!
+//! Grammar (case-insensitive connectives):
+//!
+//! ```text
+//! query  := term (connective term)*
+//! term   := word | facet          facet := key ':' value
+//! connective := 'AND' | 'OR'     (all connectives must agree)
+//! ```
+//!
+//! Bare space-separated terms default to AND (the common search-engine
+//! convention the paper's Table 1 reflects). Mixing AND and OR in one query
+//! is rejected — the paper's model has a single operator per query (Eq. 2).
+
+use crate::query::{Operator, Query, QueryError};
+use ipm_corpus::Corpus;
+
+/// Errors from query-string parsing (superset of [`QueryError`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Feature resolution failed (unknown word/facet, empty query).
+    Query(QueryError),
+    /// AND and OR were mixed in one query string.
+    MixedOperators,
+    /// A connective appeared without a term on one of its sides.
+    DanglingConnective,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Query(e) => write!(f, "{e}"),
+            ParseError::MixedOperators => {
+                write!(f, "cannot mix AND and OR in one query (single-operator model)")
+            }
+            ParseError::DanglingConnective => write!(f, "connective without a term beside it"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<QueryError> for ParseError {
+    fn from(e: QueryError) -> Self {
+        ParseError::Query(e)
+    }
+}
+
+/// Parses a query string against a corpus's vocabularies.
+pub fn parse_query(corpus: &Corpus, input: &str) -> Result<Query, ParseError> {
+    let tokens: Vec<&str> = input.split_whitespace().collect();
+    if tokens.is_empty() {
+        return Err(ParseError::Query(QueryError::Empty));
+    }
+    let mut terms: Vec<&str> = Vec::new();
+    let mut op: Option<Operator> = None;
+    let mut expect_term = true;
+    for tok in &tokens {
+        let upper = tok.to_ascii_uppercase();
+        let connective = match upper.as_str() {
+            "AND" => Some(Operator::And),
+            "OR" => Some(Operator::Or),
+            _ => None,
+        };
+        match connective {
+            Some(this_op) => {
+                if expect_term {
+                    return Err(ParseError::DanglingConnective);
+                }
+                match op {
+                    None => op = Some(this_op),
+                    Some(existing) if existing == this_op => {}
+                    Some(_) => return Err(ParseError::MixedOperators),
+                }
+                expect_term = true;
+            }
+            None => {
+                terms.push(tok);
+                expect_term = false;
+            }
+        }
+    }
+    if expect_term && !terms.is_empty() {
+        // Input ended right after a connective, e.g. "a AND".
+        return Err(ParseError::DanglingConnective);
+    }
+    // Bare term lists ("trade reserves") default to AND.
+    let op = op.unwrap_or(Operator::And);
+    Ok(Query::from_terms(corpus, &terms, op)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipm_corpus::{CorpusBuilder, TokenizerConfig};
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new(TokenizerConfig::default());
+        b.add_text_with_facets("trade reserves economic minister", &[("venue", "sigmod")]);
+        b.build()
+    }
+
+    #[test]
+    fn parses_and_query() {
+        let c = corpus();
+        let q = parse_query(&c, "trade AND reserves").unwrap();
+        assert_eq!(q.op, Operator::And);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn parses_or_query_case_insensitive() {
+        let c = corpus();
+        let q = parse_query(&c, "trade or reserves or economic").unwrap();
+        assert_eq!(q.op, Operator::Or);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn bare_terms_default_to_and() {
+        let c = corpus();
+        let q = parse_query(&c, "trade reserves").unwrap();
+        assert_eq!(q.op, Operator::And);
+    }
+
+    #[test]
+    fn facet_terms_parse() {
+        let c = corpus();
+        let q = parse_query(&c, "trade AND venue:sigmod").unwrap();
+        assert_eq!(q.len(), 2);
+        assert!(q.features.iter().any(|f| f.as_facet().is_some()));
+    }
+
+    #[test]
+    fn mixed_operators_rejected() {
+        let c = corpus();
+        assert_eq!(
+            parse_query(&c, "trade AND reserves OR economic").unwrap_err(),
+            ParseError::MixedOperators
+        );
+    }
+
+    #[test]
+    fn dangling_connectives_rejected() {
+        let c = corpus();
+        assert_eq!(
+            parse_query(&c, "AND trade").unwrap_err(),
+            ParseError::DanglingConnective
+        );
+        assert_eq!(
+            parse_query(&c, "trade AND").unwrap_err(),
+            ParseError::DanglingConnective
+        );
+        assert_eq!(
+            parse_query(&c, "trade AND AND reserves").unwrap_err(),
+            ParseError::DanglingConnective
+        );
+    }
+
+    #[test]
+    fn unknown_word_propagates() {
+        let c = corpus();
+        match parse_query(&c, "trade AND zzz") {
+            Err(ParseError::Query(QueryError::UnknownWord(w))) => assert_eq!(w, "zzz"),
+            other => panic!("expected UnknownWord, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let c = corpus();
+        assert_eq!(
+            parse_query(&c, "   ").unwrap_err(),
+            ParseError::Query(QueryError::Empty)
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ParseError::MixedOperators.to_string().contains("mix"));
+        assert!(ParseError::DanglingConnective.to_string().contains("connective"));
+    }
+}

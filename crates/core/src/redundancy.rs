@@ -1,0 +1,212 @@
+//! Post-retrieval redundancy filtering (paper §5.6).
+//!
+//! The paper observes that result phrases containing query words carry
+//! "limited utility due to the redundant information" and suggests that "in
+//! cases where we would like to suppress such redundant information
+//! altogether, we could just use a post-retrieval filter to filter out
+//! results with high overlap with the query". This module is that filter:
+//! a phrase is *redundant* when the fraction of its words that are query
+//! keywords reaches a configurable threshold.
+//!
+//! Facet features have no lexical form, so they never contribute to
+//! overlap; a facet-only query filters nothing.
+
+use crate::query::Query;
+use crate::result::PhraseHit;
+use ipm_corpus::{Feature, WordId};
+use ipm_index::phrase::PhraseDictionary;
+
+/// Configuration of the post-retrieval redundancy filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedundancyConfig {
+    /// A result is dropped when
+    /// `|phrase words ∩ query words| / |phrase words| ≥ max_overlap`.
+    /// `1.0` drops only phrases made up entirely of query words;
+    /// any value above `1.0` disables the filter; `0.0` keeps only phrases
+    /// with *no* lexical overlap (the paper's "suppress altogether" mode is
+    /// any positive threshold ≤ `1/max phrase length`).
+    pub max_overlap: f64,
+}
+
+impl Default for RedundancyConfig {
+    /// Drops phrases where at least half the words come from the query.
+    fn default() -> Self {
+        Self { max_overlap: 0.5 }
+    }
+}
+
+impl RedundancyConfig {
+    /// The strictest useful setting: any shared word makes a result
+    /// redundant (overlap threshold just above zero).
+    pub fn no_shared_words() -> Self {
+        Self {
+            max_overlap: f64::MIN_POSITIVE,
+        }
+    }
+}
+
+/// Fraction of `phrase_words` that appear among the query's *word*
+/// features. Empty phrases have overlap 0 (nothing to be redundant about).
+pub fn overlap_fraction(phrase_words: &[WordId], query: &Query) -> f64 {
+    if phrase_words.is_empty() {
+        return 0.0;
+    }
+    let shared = phrase_words
+        .iter()
+        .filter(|w| {
+            query
+                .features
+                .iter()
+                .any(|f| matches!(f, Feature::Word(qw) if qw == *w))
+        })
+        .count();
+    shared as f64 / phrase_words.len() as f64
+}
+
+/// Whether the phrase is redundant for the query under `config`.
+pub fn is_redundant(
+    dict: &PhraseDictionary,
+    phrase: ipm_corpus::PhraseId,
+    query: &Query,
+    config: &RedundancyConfig,
+) -> bool {
+    let Some(words) = dict.words(phrase) else {
+        return false;
+    };
+    overlap_fraction(words, query) >= config.max_overlap
+}
+
+/// Retains only non-redundant hits, preserving order. Returns the number of
+/// hits removed.
+pub fn filter_hits(
+    dict: &PhraseDictionary,
+    query: &Query,
+    hits: &mut Vec<PhraseHit>,
+    config: &RedundancyConfig,
+) -> usize {
+    let before = hits.len();
+    hits.retain(|h| !is_redundant(dict, h.phrase, query, config));
+    before - hits.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Operator;
+    use ipm_corpus::{CorpusBuilder, TokenizerConfig};
+
+    fn setup() -> (ipm_corpus::Corpus, PhraseDictionary, Vec<WordId>) {
+        let mut b = CorpusBuilder::new(TokenizerConfig::default());
+        b.add_text("trade reserves economic minister planning development");
+        let c = b.build();
+        let ids: Vec<WordId> = [
+            "trade",
+            "reserves",
+            "economic",
+            "minister",
+            "planning",
+            "development",
+        ]
+        .iter()
+        .map(|t| c.word_id(t).unwrap())
+        .collect();
+        let dict = PhraseDictionary::new();
+        (c, dict, ids)
+    }
+
+    fn query(c: &ipm_corpus::Corpus) -> Query {
+        Query::from_words(c, &["trade", "reserves"], Operator::Or).unwrap()
+    }
+
+    #[test]
+    fn overlap_counts_query_words_only() {
+        let (c, _, ids) = setup();
+        let q = query(&c);
+        // "economic minister": no overlap.
+        assert_eq!(overlap_fraction(&[ids[2], ids[3]], &q), 0.0);
+        // "trade reserves": full overlap.
+        assert_eq!(overlap_fraction(&[ids[0], ids[1]], &q), 1.0);
+        // "trade economic minister": 1 of 3.
+        let f = overlap_fraction(&[ids[0], ids[2], ids[3]], &q);
+        assert!((f - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_phrase_has_zero_overlap() {
+        let (c, _, _) = setup();
+        assert_eq!(overlap_fraction(&[], &query(&c)), 0.0);
+    }
+
+    #[test]
+    fn facet_features_never_overlap() {
+        let mut b = CorpusBuilder::new(TokenizerConfig::default());
+        b.add_text_with_facets("trade reserves", &[("venue", "sigmod")]);
+        let c = b.build();
+        let q = Query::from_terms(&c, &["venue:sigmod"], Operator::And).unwrap();
+        let w = c.word_id("trade").unwrap();
+        assert_eq!(overlap_fraction(&[w], &q), 0.0);
+    }
+
+    #[test]
+    fn default_threshold_drops_half_overlap() {
+        let (c, mut dict, ids) = setup();
+        let q = query(&c);
+        let half = dict.insert(&[ids[0], ids[2]], 1); // "trade economic" — 1/2
+        let none = dict.insert(&[ids[2], ids[3]], 1); // "economic minister" — 0
+        let cfg = RedundancyConfig::default();
+        assert!(is_redundant(&dict, half, &q, &cfg));
+        assert!(!is_redundant(&dict, none, &q, &cfg));
+    }
+
+    #[test]
+    fn no_shared_words_mode_drops_any_overlap() {
+        let (c, mut dict, ids) = setup();
+        let q = query(&c);
+        let slight = dict.insert(&[ids[0], ids[2], ids[3], ids[4]], 1); // 1/4
+        let cfg = RedundancyConfig::no_shared_words();
+        assert!(is_redundant(&dict, slight, &q, &cfg));
+        let clean = dict.insert(&[ids[2], ids[3], ids[4]], 1);
+        assert!(!is_redundant(&dict, clean, &q, &cfg));
+    }
+
+    #[test]
+    fn threshold_above_one_disables_filter() {
+        let (c, mut dict, ids) = setup();
+        let q = query(&c);
+        let full = dict.insert(&[ids[0], ids[1]], 1); // overlap 1.0
+        let cfg = RedundancyConfig { max_overlap: 1.1 };
+        assert!(!is_redundant(&dict, full, &q, &cfg));
+    }
+
+    #[test]
+    fn unknown_phrase_is_kept() {
+        let (c, dict, _) = setup();
+        let q = query(&c);
+        assert!(!is_redundant(
+            &dict,
+            ipm_corpus::PhraseId(42),
+            &q,
+            &RedundancyConfig::default()
+        ));
+    }
+
+    #[test]
+    fn filter_hits_preserves_order_and_reports_removed() {
+        let (c, mut dict, ids) = setup();
+        let q = query(&c);
+        let p_redundant = dict.insert(&[ids[0], ids[1]], 1);
+        let p_a = dict.insert(&[ids[2], ids[3]], 1);
+        let p_b = dict.insert(&[ids[4], ids[5]], 1);
+        let mut hits = vec![
+            PhraseHit::exact(p_a, 0.9),
+            PhraseHit::exact(p_redundant, 0.8),
+            PhraseHit::exact(p_b, 0.7),
+        ];
+        let removed = filter_hits(&dict, &q, &mut hits, &RedundancyConfig::default());
+        assert_eq!(removed, 1);
+        assert_eq!(
+            hits.iter().map(|h| h.phrase).collect::<Vec<_>>(),
+            vec![p_a, p_b]
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! TA: the random-access member of the threshold-algorithm family.
+//!
+//! The paper models its disk algorithm on **NRA** because random accesses
+//! cost 10× a sequential page fetch on disk (§5.5). In memory that
+//! asymmetry vanishes, which makes classic **TA** (Fagin et al., the same
+//! family the paper builds on) an attractive extension: on each sorted
+//! access, immediately *resolve* the candidate's full score by probing the
+//! remaining lists (binary search in the ID-ordered lists), and stop as
+//! soon as the k-th best resolved score reaches the threshold
+//! `τ = Σ_i last_seen_i`. TA therefore stops at least as early as NRA in
+//! sorted-access depth, at the price of `r − 1` random probes per distinct
+//! phrase seen.
+//!
+//! This module is an *extension* beyond the paper's evaluated algorithms;
+//! the ablation bench compares its traversal depth and cost against NRA.
+
+use crate::query::{Operator, Query};
+use crate::result::{sort_hits, PhraseHit};
+use crate::scoring::entry_score;
+use ipm_corpus::hash::FxHashSet;
+use ipm_corpus::{Feature, PhraseId};
+use ipm_index::wordlists::{IdOrderedLists, ListEntry, WordPhraseLists};
+
+/// Accounting for a TA run.
+#[derive(Debug, Clone, Default)]
+pub struct TaStats {
+    /// Entries consumed by sorted access, per list.
+    pub sorted_accesses: Vec<usize>,
+    /// Random probes performed (binary searches into ID-ordered lists).
+    pub random_accesses: usize,
+    /// List lengths.
+    pub list_lens: Vec<usize>,
+    /// Whether the threshold condition stopped the scan early.
+    pub stopped_early: bool,
+}
+
+impl TaStats {
+    /// Mean traversed fraction across non-empty lists (comparable with
+    /// `NraOutcome::stats.fraction_traversed`).
+    pub fn fraction_traversed(&self) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0;
+        for (&read, &len) in self.sorted_accesses.iter().zip(&self.list_lens) {
+            if len > 0 {
+                total += read as f64 / len as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+/// The result of a TA run.
+#[derive(Debug, Clone)]
+pub struct TaOutcome {
+    /// Top-k hits with fully-resolved scores.
+    pub hits: Vec<PhraseHit>,
+    /// Accounting.
+    pub stats: TaStats,
+}
+
+/// Probes `P(q|p)` by binary search in the feature's ID-ordered list;
+/// `0.0` when absent.
+fn probe(id_lists: &IdOrderedLists, feature: Feature, phrase: PhraseId) -> f64 {
+    let list = id_lists.list(feature);
+    match list.binary_search_by_key(&phrase, |e: &ListEntry| e.phrase) {
+        Ok(i) => list[i].prob,
+        Err(_) => 0.0,
+    }
+}
+
+/// Runs TA for `query` over the score-ordered `lists` (sorted access) and
+/// the ID-ordered `id_lists` (random access). Both must be built from the
+/// same (full) word lists; with *partial* ID-ordered lists the probes — and
+/// hence the results — become approximate.
+pub fn run_ta(
+    lists: &WordPhraseLists,
+    id_lists: &IdOrderedLists,
+    query: &Query,
+    k: usize,
+) -> TaOutcome {
+    assert!(k > 0, "k must be positive");
+    let r = query.features.len();
+    let sorted: Vec<&[ListEntry]> = query.features.iter().map(|&f| lists.list(f)).collect();
+    let mut pos = vec![0usize; r];
+    let mut last_seen = vec![entry_score(query.op, 1.0); r];
+    let mut resolved: FxHashSet<PhraseId> = FxHashSet::default();
+    let mut top: Vec<PhraseHit> = Vec::new(); // kept sorted, at most k entries
+    let mut stats = TaStats {
+        sorted_accesses: vec![0; r],
+        list_lens: sorted.iter().map(|l| l.len()).collect(),
+        ..Default::default()
+    };
+
+    loop {
+        let mut progressed = false;
+        for i in 0..r {
+            let Some(entry) = sorted[i].get(pos[i]) else {
+                continue;
+            };
+            pos[i] += 1;
+            stats.sorted_accesses[i] += 1;
+            progressed = true;
+            last_seen[i] = entry_score(query.op, entry.prob);
+
+            if !resolved.insert(entry.phrase) {
+                continue; // already fully scored via an earlier access
+            }
+            // Resolve the complete score now: current list contributes its
+            // sorted-access value; the others are probed randomly.
+            let mut score = entry_score(query.op, entry.prob);
+            let mut complete = true;
+            for (j, &feat) in query.features.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                stats.random_accesses += 1;
+                let p = probe(id_lists, feat, entry.phrase);
+                if p == 0.0 {
+                    complete = false;
+                    if matches!(query.op, Operator::And) {
+                        break;
+                    }
+                } else {
+                    score += entry_score(query.op, p);
+                }
+            }
+            if matches!(query.op, Operator::And) && !complete {
+                continue; // absent from some list: -inf under AND
+            }
+            top.push(PhraseHit::exact(entry.phrase, score));
+            sort_hits(&mut top);
+            top.truncate(k);
+        }
+        if !progressed {
+            break;
+        }
+        // Threshold test: no unseen phrase can beat the k-th resolved score.
+        if top.len() == k {
+            let threshold: f64 = last_seen.iter().sum();
+            if top[k - 1].score >= threshold {
+                stats.stopped_early = pos
+                    .iter()
+                    .zip(&stats.list_lens)
+                    .any(|(&p, &l)| p < l);
+                break;
+            }
+        }
+    }
+
+    TaOutcome { hits: top, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::{MinerConfig, PhraseMiner};
+    use ipm_index::corpus_index::IndexConfig;
+    use ipm_index::mining::MiningConfig;
+
+    fn miner() -> PhraseMiner {
+        let (c, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+        PhraseMiner::build(
+            &c,
+            MinerConfig {
+                index: IndexConfig {
+                    mining: MiningConfig {
+                        min_df: 3,
+                        max_len: 4,
+                        min_len: 1,
+                    },
+                },
+                ..Default::default()
+            },
+        )
+    }
+
+    fn frequent_query(m: &PhraseMiner, op: Operator) -> Query {
+        let top = ipm_corpus::stats::top_words_by_df(m.corpus(), 2);
+        Query::new(
+            top.iter().map(|&(w, _)| Feature::Word(w)).collect(),
+            op,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ta_matches_smj_results() {
+        let m = miner();
+        for op in [Operator::And, Operator::Or] {
+            let q = frequent_query(&m, op);
+            let ta = run_ta(m.lists(), m.id_lists(), &q, 5);
+            let smj = m.top_k_smj(&q, 5);
+            assert_eq!(
+                ta.hits.iter().map(|h| h.phrase).collect::<Vec<_>>(),
+                smj.iter().map(|h| h.phrase).collect::<Vec<_>>(),
+                "{op}"
+            );
+            for (a, b) in ta.hits.iter().zip(&smj) {
+                assert!((a.score - b.score).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ta_scores_are_fully_resolved() {
+        let m = miner();
+        let q = frequent_query(&m, Operator::Or);
+        for h in run_ta(m.lists(), m.id_lists(), &q, 5).hits {
+            assert!(h.is_resolved());
+        }
+    }
+
+    #[test]
+    fn ta_stops_no_later_than_full_scan() {
+        let m = miner();
+        let q = frequent_query(&m, Operator::Or);
+        let ta = run_ta(m.lists(), m.id_lists(), &q, 5);
+        assert!(ta.stats.fraction_traversed() <= 1.0);
+        // Each resolved phrase costs at most r-1 probes.
+        let distinct_seen: usize = ta.stats.sorted_accesses.iter().sum();
+        assert!(ta.stats.random_accesses <= distinct_seen * (q.features.len() - 1));
+    }
+
+    #[test]
+    fn ta_traversal_not_deeper_than_nra() {
+        // TA resolves scores instantly, so its sorted-access depth is at
+        // most NRA's on the same lists.
+        let m = miner();
+        for op in [Operator::And, Operator::Or] {
+            let q = frequent_query(&m, op);
+            let ta = run_ta(m.lists(), m.id_lists(), &q, 5);
+            let nra = m.top_k_nra(&q, 5);
+            assert!(
+                ta.stats.fraction_traversed() <= nra.stats.fraction_traversed() + 1e-9,
+                "{op}: TA {} vs NRA {}",
+                ta.stats.fraction_traversed(),
+                nra.stats.fraction_traversed()
+            );
+        }
+    }
+
+    #[test]
+    fn probe_finds_existing_and_missing() {
+        let m = miner();
+        let q = frequent_query(&m, Operator::Or);
+        let f = q.features[0];
+        let list = m.id_lists().list(f);
+        assert!(!list.is_empty());
+        let e = list[list.len() / 2];
+        assert_eq!(probe(m.id_lists(), f, e.phrase), e.prob);
+        assert_eq!(probe(m.id_lists(), f, PhraseId(u32::MAX)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let m = miner();
+        let q = frequent_query(&m, Operator::Or);
+        let _ = run_ta(m.lists(), m.id_lists(), &q, 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic corpus generation.
+//!
+//! The paper evaluates on Reuters-21578 (21,578 newswire documents, ~15k
+//! distinct words) and on PubMed abstracts (655k documents, ~170k distinct
+//! words). Neither collection ships with this repository, so this module
+//! provides generators that reproduce the *statistical* properties the
+//! paper's algorithms and experiments depend on:
+//!
+//! * Zipfian word frequencies (so postings-list lengths, index sizes and
+//!   df-threshold effects are realistic),
+//! * topical structure: documents draw most of their words from one to three
+//!   topics, so query words are *correlated* with topic phrases — the exact
+//!   structure the paper's conditional-independence assumption (§4.1.1)
+//!   exploits and the quality experiments stress, and
+//! * injected multi-word collocations per topic, which become the frequent
+//!   n-grams that the phrase miner admits into the dictionary `P`.
+//!
+//! Generation is deterministic for a given [`SynthConfig::seed`].
+
+mod presets;
+mod randutil;
+mod topics;
+mod zipf;
+
+pub use presets::{pubmed_like, reuters_like, tiny};
+pub use randutil::{lognormal_usize, sample_distinct};
+pub use topics::{SynthConfig, TopicModel, generate};
+pub use zipf::Zipf;

@@ -1,0 +1,130 @@
+//! Small sampling helpers on top of `rand` (the workspace does not depend on
+//! `rand_distr`).
+
+use rand::Rng;
+
+/// Samples from a lognormal distribution (via Box–Muller) and rounds to a
+/// `usize`, clamped to `[min, max]`.
+///
+/// `mu`/`sigma` are the parameters of the underlying normal, i.e. the result
+/// is `exp(N(mu, sigma))`.
+pub fn lognormal_usize<R: Rng + ?Sized>(
+    rng: &mut R,
+    mu: f64,
+    sigma: f64,
+    min: usize,
+    max: usize,
+) -> usize {
+    let n = standard_normal(rng);
+    let v = (mu + sigma * n).exp();
+    let v = v.round();
+    let v = if v.is_finite() && v >= 0.0 {
+        v as usize
+    } else {
+        min
+    };
+    v.clamp(min, max)
+}
+
+/// One draw from N(0, 1) using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 which would make ln(0) = -inf.
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `k` distinct values in `0..n` uniformly (partial Fisher–Yates on
+/// an index map, O(k) memory).
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_distinct<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct values from {n}");
+    // Sparse Fisher-Yates: a map holding only touched slots.
+    let mut swapped = crate::hash::FxHashMap::default();
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        let vj = *swapped.get(&j).unwrap_or(&j);
+        let vi = *swapped.get(&i).unwrap_or(&i);
+        out.push(vj);
+        swapped.insert(j, vi);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_respects_clamp() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = lognormal_usize(&mut rng, 4.0, 0.6, 10, 500);
+            assert!((10..=500).contains(&v));
+        }
+    }
+
+    #[test]
+    fn lognormal_mean_roughly_matches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mu = 4.5f64; // exp(4.5 + 0.3^2/2) ~ 94
+        let n = 20_000;
+        let total: usize = (0..n)
+            .map(|_| lognormal_usize(&mut rng, mu, 0.3, 1, 100_000))
+            .sum();
+        let mean = total as f64 / n as f64;
+        let expected = (mu + 0.3f64 * 0.3 / 2.0).exp();
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let s = sample_distinct(&mut rng, 50, 20);
+            assert_eq!(s.len(), 20);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), 20);
+            assert!(s.iter().all(|&v| v < 50));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = sample_distinct(&mut rng, 8, 8);
+        s.sort_unstable();
+        assert_eq!(s, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn sample_distinct_overdraw_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = sample_distinct(&mut rng, 3, 4);
+    }
+}

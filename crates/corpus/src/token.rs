@@ -1,0 +1,158 @@
+//! Tokenization of raw document text.
+//!
+//! The paper operates on word n-grams, so tokenization is deliberately
+//! simple and deterministic: lowercase, split on non-alphanumeric runs,
+//! optionally drop very short tokens and stopwords.
+//!
+//! Stopwords are *kept* by default: the paper's interestingness measure
+//! (Eq. 1) normalizes by corpus-wide frequency precisely so that
+//! stopword-heavy phrases are de-prioritized without filtering ("a purely
+//! frequency based scoring is likely to score phrases composed of stopwords
+//! highly... this is easily overcome by normalizing", §1).
+
+/// Configuration for [`tokenize`].
+#[derive(Debug, Clone)]
+pub struct TokenizerConfig {
+    /// Minimum token length in characters; shorter tokens are dropped.
+    pub min_token_len: usize,
+    /// Whether to drop tokens consisting only of digits.
+    pub drop_numeric: bool,
+    /// Explicit stopword list; tokens in this list are dropped.
+    /// Empty by default (see module docs).
+    pub stopwords: Vec<String>,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        Self {
+            min_token_len: 1,
+            drop_numeric: false,
+            stopwords: Vec::new(),
+        }
+    }
+}
+
+impl TokenizerConfig {
+    /// A config that removes a small English stopword list and numerals;
+    /// useful when building demo tag clouds, not for the paper pipeline.
+    pub fn aggressive() -> Self {
+        Self {
+            min_token_len: 2,
+            drop_numeric: true,
+            stopwords: ENGLISH_STOPWORDS.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+}
+
+/// A minimal English stopword list for [`TokenizerConfig::aggressive`].
+pub const ENGLISH_STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "in",
+    "is", "it", "its", "of", "on", "or", "that", "the", "this", "to", "was", "were", "will",
+    "with",
+];
+
+/// Splits `text` into lowercase alphanumeric tokens according to `config`.
+///
+/// Unicode alphanumerics are preserved (`char::is_alphanumeric`); everything
+/// else is a separator. The output order follows the input order, which the
+/// phrase miner relies on for n-gram extraction.
+pub fn tokenize(text: &str, config: &TokenizerConfig) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                current.push(lc);
+            }
+        } else if !current.is_empty() {
+            push_token(&mut out, std::mem::take(&mut current), config);
+        }
+    }
+    if !current.is_empty() {
+        push_token(&mut out, current, config);
+    }
+    out
+}
+
+fn push_token(out: &mut Vec<String>, token: String, config: &TokenizerConfig) {
+    if token.chars().count() < config.min_token_len {
+        return;
+    }
+    if config.drop_numeric && token.chars().all(|c| c.is_ascii_digit()) {
+        return;
+    }
+    if config.stopwords.iter().any(|s| s == &token) {
+        return;
+    }
+    out.push(token);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_tokens(text: &str) -> Vec<String> {
+        tokenize(text, &TokenizerConfig::default())
+    }
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            default_tokens("Trade reserves, economic-minister!"),
+            vec!["trade", "reserves", "economic", "minister"]
+        );
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(default_tokens("SIGMOD Papers"), vec!["sigmod", "papers"]);
+    }
+
+    #[test]
+    fn keeps_digits_by_default() {
+        assert_eq!(default_tokens("year 1997"), vec!["year", "1997"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_input() {
+        assert!(default_tokens("").is_empty());
+        assert!(default_tokens("... --- !!!").is_empty());
+    }
+
+    #[test]
+    fn preserves_order_and_duplicates() {
+        assert_eq!(default_tokens("the cat the cat"), vec!["the", "cat", "the", "cat"]);
+    }
+
+    #[test]
+    fn min_token_len_filters() {
+        let cfg = TokenizerConfig {
+            min_token_len: 3,
+            ..Default::default()
+        };
+        assert_eq!(tokenize("a an the query", &cfg), vec!["the", "query"]);
+    }
+
+    #[test]
+    fn drop_numeric_filters_pure_numbers_only() {
+        let cfg = TokenizerConfig {
+            drop_numeric: true,
+            ..Default::default()
+        };
+        assert_eq!(tokenize("1997 b2b 42", &cfg), vec!["b2b"]);
+    }
+
+    #[test]
+    fn stopword_removal() {
+        let cfg = TokenizerConfig::aggressive();
+        assert_eq!(
+            tokenize("the query optimization of a database", &cfg),
+            vec!["query", "optimization", "database"]
+        );
+    }
+
+    #[test]
+    fn unicode_tokens_survive() {
+        assert_eq!(default_tokens("naïve Bayes café"), vec!["naïve", "bayes", "café"]);
+    }
+}

@@ -1,0 +1,115 @@
+//! §5.7 extension: metadata-facet queries.
+//!
+//! The paper experimented only with keywords ("due to the unavailability of
+//! metadata facets in the datasets we used") but argues the technique
+//! "may be easily extended to metadata facets by creating list indexes for
+//! keyword facets", with the independence assumption expected to hold for
+//! *coherent* facets (topical ones). The synthetic corpora attach topic
+//! facets to every document, so this runner performs the verification the
+//! paper deferred: quality of facet-only and facet+keyword queries against
+//! the exact ground truth.
+
+use super::datasets::DatasetBundle;
+use super::report::{f3, Report};
+use crate::judgments::RelevanceJudgments;
+use crate::metrics::QualityScores;
+use ipm_core::query::{Operator, Query};
+use ipm_corpus::Feature;
+
+/// Builds the facet query set: one facet-only query per facet value, and
+/// one facet+keyword AND query (the facet plus a word co-occurring in the
+/// facet's documents).
+pub fn facet_queries(ds: &DatasetBundle, op: Operator, max_queries: usize) -> Vec<Query> {
+    let corpus = ds.miner.corpus();
+    let index = ds.miner.index();
+    let mut queries = Vec::new();
+    for (facet, _) in corpus.facets().iter() {
+        if queries.len() >= max_queries {
+            break;
+        }
+        let postings = index.features.facet(facet);
+        if postings.is_empty() {
+            continue;
+        }
+        queries.push(Query::new(vec![Feature::Facet(facet)], op).expect("non-empty"));
+        // Facet + correlated keyword.
+        if let Some(doc) = postings.iter().next() {
+            if let Some(&w) = corpus.doc(doc).and_then(|d| d.tokens.first()) {
+                if let Ok(q) = Query::new(vec![Feature::Facet(facet), Feature::Word(w)], op) {
+                    if queries.len() < max_queries {
+                        queries.push(q);
+                    }
+                }
+            }
+        }
+    }
+    queries
+}
+
+/// Mean quality of the list-based method on facet queries.
+pub fn evaluate(ds: &DatasetBundle, op: Operator, fraction: f64, k: usize) -> QualityScores {
+    let queries = facet_queries(ds, op, 40);
+    let mut per_query = Vec::with_capacity(queries.len());
+    for q in &queries {
+        let judge = RelevanceJudgments::compute(ds.miner.index(), q, k);
+        let out = ds.miner.top_k_nra_partial(q, k, fraction);
+        per_query.push(judge.score(&out.hits, k));
+    }
+    QualityScores::mean(&per_query)
+}
+
+/// Runs the facet-extension experiment.
+pub fn run(ds: &DatasetBundle, fractions: &[f64], k: usize) -> Report {
+    let mut report = Report::new(
+        format!("§5.7 extension — facet-query quality ({})", ds.name),
+        &["config", "Precision", "MRR", "MAP", "NDCG"],
+    );
+    for &fraction in fractions {
+        for op in [Operator::And, Operator::Or] {
+            let s = evaluate(ds, op, fraction, k);
+            report.push_row(vec![
+                format!("{}-{}", (fraction * 100.0).round() as u32, op),
+                f3(s.precision),
+                f3(s.mrr),
+                f3(s.map),
+                f3(s.ndcg),
+            ]);
+        }
+    }
+    report.push_note(
+        "facet-only and facet+keyword queries over the generator's topic facets \
+         (coherent facets, where the paper expects the independence assumption to hold)",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::datasets::shared_test_bundle;
+
+    #[test]
+    fn facet_queries_are_wellformed() {
+        let ds = shared_test_bundle();
+        let qs = facet_queries(ds, Operator::And, 10);
+        assert!(!qs.is_empty());
+        for q in &qs {
+            assert!(!q.features.is_empty());
+            assert!(q.features.iter().any(|f| f.as_facet().is_some()));
+        }
+    }
+
+    #[test]
+    fn facet_quality_is_reasonable() {
+        let ds = shared_test_bundle();
+        let s = evaluate(ds, Operator::And, 1.0, 5);
+        assert!(s.ndcg > 0.5, "{s:?}");
+    }
+
+    #[test]
+    fn report_shape() {
+        let ds = shared_test_bundle();
+        let r = run(ds, &[0.5], 5);
+        assert_eq!(r.rows.len(), 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Table 5: index sizes at various partial-list percentages, with the
+//! quality each size buys.
+
+use super::datasets::DatasetBundle;
+use super::quality::evaluate;
+use super::report::{bytes, f3, Report};
+use ipm_core::query::Operator;
+
+/// Runs the table for one dataset.
+pub fn run(ds: &DatasetBundle, fractions: &[f64], k: usize) -> Report {
+    let mut report = Report::new(
+        format!("Table 5 — index sizes ({})", ds.name),
+        &["list %", "index size", "packed size", "NDCG AND", "NDCG OR"],
+    );
+    let num_phrases = ds.miner.index().dict.len();
+    for &f in fractions {
+        let partial = ds.miner.lists().partial(f);
+        let size = partial.size_bytes();
+        let packed = ipm_storage::PackedWordListFile::build(&partial, num_phrases);
+        let and = evaluate(ds, Operator::And, f, k);
+        let or = evaluate(ds, Operator::Or, f, k);
+        report.push_row(vec![
+            format!("{}%", (f * 100.0).round() as u32),
+            bytes(size),
+            bytes(packed.len_bytes()),
+            f3(and.ndcg),
+            f3(or.ndcg),
+        ]);
+    }
+    let stats = ipm_corpus::stats::CorpusStats::compute(ds.miner.corpus());
+    let id_bits = ipm_storage::bits::bits_for_ids(num_phrases);
+    report.push_note(format!(
+        "corpus: {} docs, vocab {}, |P| = {}, full word-list index {} ({} entries at 12 B/entry; \
+         packed layout is ⌈log₂|P|⌉+64 = {} bits/entry, paper §4.2.2)",
+        stats.num_docs,
+        stats.vocab_size,
+        num_phrases,
+        bytes(ds.miner.lists().size_bytes()),
+        ds.miner.lists().total_entries(),
+        id_bits + 64,
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::datasets::shared_test_bundle;
+
+    #[test]
+    fn sizes_grow_with_fraction() {
+        let ds = shared_test_bundle();
+        let p10 = ds.miner.lists().partial(0.1).size_bytes();
+        let p50 = ds.miner.lists().partial(0.5).size_bytes();
+        let full = ds.miner.lists().size_bytes();
+        assert!(p10 <= p50 && p50 <= full);
+        assert!(p10 > 0);
+    }
+
+    #[test]
+    fn report_shape() {
+        let ds = shared_test_bundle();
+        let r = run(ds, &[0.1, 0.5], 5);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.headers.len(), 5);
+        assert!(r.notes[0].contains("docs"));
+    }
+
+    #[test]
+    fn packed_column_is_smaller() {
+        let ds = shared_test_bundle();
+        let lists = ds.miner.lists();
+        let packed =
+            ipm_storage::PackedWordListFile::build(lists, ds.miner.index().dict.len());
+        assert!(packed.len_bytes() < lists.size_bytes());
+    }
+}

@@ -1,0 +1,83 @@
+//! Figures 5 & 6: result quality of the approximate methods.
+//!
+//! For every `[partial-list %, operator]` configuration, the top-5 phrases
+//! of the list-based method (NRA and SMJ return identical results — paper
+//! §5.3 — so NRA runs here) are judged against the paper's correctness
+//! criterion and averaged over the query set.
+
+use super::datasets::DatasetBundle;
+use super::report::{f3, Report};
+use crate::judgments::RelevanceJudgments;
+use crate::metrics::QualityScores;
+use crate::queryset::to_queries;
+use ipm_core::query::Operator;
+
+/// Mean quality of the approximate method at one configuration.
+pub fn evaluate(ds: &DatasetBundle, op: Operator, fraction: f64, k: usize) -> QualityScores {
+    let queries = to_queries(&ds.queries, op);
+    let mut per_query = Vec::with_capacity(queries.len());
+    for q in &queries {
+        let judge = RelevanceJudgments::compute(ds.miner.index(), q, k);
+        let out = ds.miner.top_k_nra_partial(q, k, fraction);
+        per_query.push(judge.score(&out.hits, k));
+    }
+    QualityScores::mean(&per_query)
+}
+
+/// Runs the full figure: both operators at the given fractions.
+pub fn run(ds: &DatasetBundle, fractions: &[f64], k: usize) -> Report {
+    let mut report = Report::new(
+        format!("Figures 5/6 — result quality ({})", ds.name),
+        &["config", "Precision", "MRR", "MAP", "NDCG"],
+    );
+    for &fraction in fractions {
+        for op in [Operator::And, Operator::Or] {
+            let scores = evaluate(ds, op, fraction, k);
+            report.push_row(vec![
+                format!("{}-{}", (fraction * 100.0).round() as u32, op),
+                f3(scores.precision),
+                f3(scores.mrr),
+                f3(scores.map),
+                f3(scores.ndcg),
+            ]);
+        }
+    }
+    report.push_note(format!(
+        "k = {k}; {} queries; quality vs exact top-k under the paper's correctness criterion",
+        ds.num_queries()
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::datasets::shared_test_bundle;
+
+    #[test]
+    fn full_lists_or_quality_is_high() {
+        let ds = shared_test_bundle();
+        let s = evaluate(ds, Operator::Or, 1.0, 5);
+        // With full lists the OR scoring is the exact independence score;
+        // quality should be near-perfect on the tiny corpus.
+        assert!(s.ndcg > 0.6, "NDCG {:?}", s);
+        assert!(s.precision > 0.0);
+    }
+
+    #[test]
+    fn report_has_rows_for_all_configs() {
+        let ds = shared_test_bundle();
+        let r = run(ds, &[0.2, 0.5], 5);
+        assert_eq!(r.rows.len(), 4);
+        assert!(r.rows[0][0].contains("20-AND"));
+        assert!(r.rows[3][0].contains("50-OR"));
+    }
+
+    #[test]
+    fn larger_fraction_never_hurts_much() {
+        let ds = shared_test_bundle();
+        let small = evaluate(ds, Operator::Or, 0.2, 5);
+        let full = evaluate(ds, Operator::Or, 1.0, 5);
+        assert!(full.ndcg + 1e-9 >= small.ndcg - 0.2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Table 7: the consolidated quality + performance summary.
+//!
+//! GM (exact, NDCG 1.0 by definition) against NRA and SMJ at 20% and 50%
+//! partial lists, for both operators — the paper's "Experiments Summary"
+//! table.
+
+use super::datasets::DatasetBundle;
+use super::quality::evaluate;
+use super::report::{f3, ms, Report};
+use super::runtime::{gm_times, nra_times, smj_times};
+use ipm_baselines::GmBaseline;
+use ipm_core::query::Operator;
+
+/// Runs the summary table for one dataset.
+pub fn run(ds: &DatasetBundle, fractions: &[f64], k: usize) -> Report {
+    let mut report = Report::new(
+        format!("Table 7 — summary, in-memory operation ({})", ds.name),
+        &[
+            "method",
+            "list %",
+            "NDCG AND",
+            "NDCG OR",
+            "runtime AND ms",
+            "runtime OR ms",
+        ],
+    );
+
+    let gm = GmBaseline::build(ds.miner.index());
+    let gm_and = gm_times(ds, &gm, Operator::And, k);
+    let gm_or = gm_times(ds, &gm, Operator::Or, k);
+    report.push_row(vec![
+        "GM (baseline)".into(),
+        "NA".into(),
+        "1.000".into(),
+        "1.000".into(),
+        ms(gm_and.mean_ms),
+        ms(gm_or.mean_ms),
+    ]);
+
+    for &f in fractions {
+        let pct = format!("{}%", (f * 100.0).round() as u32);
+        let q_and = evaluate(ds, Operator::And, f, k);
+        let q_or = evaluate(ds, Operator::Or, f, k);
+
+        let nra_and = nra_times(ds, Operator::And, f, k);
+        let nra_or = nra_times(ds, Operator::Or, f, k);
+        report.push_row(vec![
+            "NRA".into(),
+            pct.clone(),
+            f3(q_and.ndcg),
+            f3(q_or.ndcg),
+            ms(nra_and.mean_ms),
+            ms(nra_or.mean_ms),
+        ]);
+
+        let smj_and = smj_times(ds, Operator::And, f, k);
+        let smj_or = smj_times(ds, Operator::Or, f, k);
+        report.push_row(vec![
+            "SMJ".into(),
+            pct,
+            f3(q_and.ndcg),
+            f3(q_or.ndcg),
+            ms(smj_and.mean_ms),
+            ms(smj_or.mean_ms),
+        ]);
+    }
+    report.push_note(format!(
+        "k = {k}; NRA/SMJ share NDCG per fraction (identical results, different traversal)"
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::datasets::shared_test_bundle;
+
+    #[test]
+    fn summary_has_gm_plus_two_rows_per_fraction() {
+        let ds = shared_test_bundle();
+        let r = run(ds, &[0.2, 0.5], 5);
+        assert_eq!(r.rows.len(), 1 + 2 * 2);
+        assert!(r.rows[0][0].contains("GM"));
+        assert_eq!(r.rows[1][1], "20%");
+        assert_eq!(r.rows[3][1], "50%");
+    }
+}

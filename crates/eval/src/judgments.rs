@@ -1,0 +1,168 @@
+//! The paper's correctness criterion (§5.3).
+//!
+//! "For every query, we collect the top-5 result phrases from our
+//! list-based approach ... and mark each of them as correct if they either
+//! have an actual interestingness of 1.0 (being the absolute maximum
+//! interestingness possible) or are among the top-5 most interesting
+//! phrases for that query."
+
+use ipm_core::exact::{exact_scores_for_subset, materialize_subset};
+use ipm_core::query::Query;
+use ipm_core::result::{sort_hits, PhraseHit};
+use ipm_corpus::hash::FxHashSet;
+use ipm_corpus::PhraseId;
+use ipm_index::corpus_index::CorpusIndex;
+
+/// Relevance oracle for one query.
+#[derive(Debug, Clone)]
+pub struct RelevanceJudgments {
+    relevant: FxHashSet<PhraseId>,
+    exact_top_k: Vec<PhraseHit>,
+}
+
+impl RelevanceJudgments {
+    /// Computes the relevant set for `query`: the exact top-k plus every
+    /// phrase whose true interestingness equals 1.0.
+    pub fn compute(index: &CorpusIndex, query: &Query, k: usize) -> Self {
+        let subset = materialize_subset(index, query);
+        let mut all = exact_scores_for_subset(index, &subset);
+        sort_hits(&mut all);
+        let mut relevant: FxHashSet<PhraseId> = FxHashSet::default();
+        for (i, h) in all.iter().enumerate() {
+            if i < k || h.score >= 1.0 - 1e-12 {
+                relevant.insert(h.phrase);
+            } else {
+                // Sorted descending: once below top-k and below 1.0, all
+                // later phrases are too.
+                break;
+            }
+        }
+        let exact_top_k = all.into_iter().take(k).collect();
+        Self {
+            relevant,
+            exact_top_k,
+        }
+    }
+
+    /// Whether a returned phrase counts as correct.
+    pub fn is_relevant(&self, p: PhraseId) -> bool {
+        self.relevant.contains(&p)
+    }
+
+    /// Total number of relevant answers (for MAP/NDCG ideals).
+    pub fn num_relevant(&self) -> usize {
+        self.relevant.len()
+    }
+
+    /// The exact top-k (ground truth ranking, used by Table 6's
+    /// interestingness-error analysis).
+    pub fn exact_top_k(&self) -> &[PhraseHit] {
+        &self.exact_top_k
+    }
+
+    /// Marks a ranked result list: `true` per returned hit that is correct.
+    pub fn mark(&self, hits: &[PhraseHit]) -> Vec<bool> {
+        hits.iter().map(|h| self.is_relevant(h.phrase)).collect()
+    }
+
+    /// Convenience: quality scores of a ranked result list under this
+    /// judgment.
+    pub fn score(&self, hits: &[PhraseHit], k: usize) -> crate::metrics::QualityScores {
+        crate::metrics::QualityScores::compute(&self.mark(hits), k, self.num_relevant())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipm_core::query::Operator;
+    use ipm_corpus::{Corpus, CorpusBuilder, TokenizerConfig};
+    use ipm_index::corpus_index::IndexConfig;
+    use ipm_index::mining::MiningConfig;
+
+    fn setup() -> (Corpus, CorpusIndex) {
+        let mut b = CorpusBuilder::new(TokenizerConfig::default());
+        for t in [
+            "q o d s", "q o x", "d s q", "q o d s", "x y", "d s x", "x y q o",
+        ] {
+            b.add_text(t);
+        }
+        let c = b.build();
+        let index = CorpusIndex::build(
+            &c,
+            &IndexConfig {
+                mining: MiningConfig {
+                    min_df: 2,
+                    max_len: 3,
+                    min_len: 1,
+                },
+            },
+        );
+        (c, index)
+    }
+
+    #[test]
+    fn exact_top_k_members_are_relevant() {
+        let (c, index) = setup();
+        let q = Query::from_words(&c, &["q", "o"], Operator::And).unwrap();
+        let j = RelevanceJudgments::compute(&index, &q, 3);
+        for h in j.exact_top_k() {
+            assert!(j.is_relevant(h.phrase));
+        }
+        assert!(j.num_relevant() >= j.exact_top_k().len().min(3));
+    }
+
+    #[test]
+    fn perfect_interestingness_is_relevant_even_outside_top_k() {
+        let (c, index) = setup();
+        let q = Query::from_words(&c, &["q", "o"], Operator::Or).unwrap();
+        // k = 1 keeps only one top phrase, but several have I == 1.0.
+        let j = RelevanceJudgments::compute(&index, &q, 1);
+        let subset = materialize_subset(&index, &q);
+        let mut count_perfect = 0;
+        for (id, _, _) in index.dict.iter() {
+            if (index.interestingness(id, &subset) - 1.0).abs() < 1e-12 {
+                assert!(j.is_relevant(id), "perfect phrase {id:?} not relevant");
+                count_perfect += 1;
+            }
+        }
+        assert!(count_perfect > 1, "test corpus should have several perfect phrases");
+        assert!(j.num_relevant() >= count_perfect);
+    }
+
+    #[test]
+    fn irrelevant_phrases_marked_false() {
+        let (c, index) = setup();
+        let q = Query::from_words(&c, &["q", "o"], Operator::And).unwrap();
+        let j = RelevanceJudgments::compute(&index, &q, 2);
+        // "x y" never co-occurs with the AND subset fully... find a phrase
+        // with low interestingness:
+        let subset = materialize_subset(&index, &q);
+        let low = index
+            .dict
+            .iter()
+            .map(|(id, _, _)| id)
+            .filter(|&id| {
+                let s = index.interestingness(id, &subset);
+                s > 0.0 && s < 0.5
+            })
+            .find(|id| !j.is_relevant(*id));
+        if let Some(id) = low {
+            assert!(!j.is_relevant(id));
+        }
+    }
+
+    #[test]
+    fn mark_and_score_pipeline() {
+        let (c, index) = setup();
+        let q = Query::from_words(&c, &["q", "o"], Operator::And).unwrap();
+        let j = RelevanceJudgments::compute(&index, &q, 5);
+        // Scoring the exact top-k itself must be perfect.
+        let s = j.score(j.exact_top_k().to_vec().as_slice(), 5);
+        assert!((s.ndcg - 1.0).abs() < 1e-12);
+        assert!((s.mrr - 1.0).abs() < 1e-12);
+        // Marks align with membership.
+        let marks = j.mark(j.exact_top_k());
+        assert!(marks.iter().all(|&m| m));
+    }
+}

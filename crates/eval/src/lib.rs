@@ -1,0 +1,25 @@
+//! Evaluation: IR quality metrics, relevance judgments, query harvesting,
+//! and the experiment harness reproducing the paper's tables and figures.
+//!
+//! * [`metrics`] — Precision, MRR, MAP and NDCG over binary relevance
+//!   (the measures of paper §5.2);
+//! * [`judgments`] — the paper's correctness criterion: a returned phrase
+//!   is correct iff its true interestingness is 1.0 (the maximum possible)
+//!   or it belongs to the exact top-k (§5.3);
+//! * [`queryset`] — query harvesting in the shape of the paper's two query
+//!   sets (100 frequent-phrase queries for Reuters; 52 stem-plus-extension
+//!   queries for PubMed, §5.1);
+//! * [`timing`] — wall-clock measurement helpers;
+//! * [`experiments`] — one runner per paper table/figure, shared by the
+//!   `ipm-bench` binaries, each emitting aligned text tables and
+//!   machine-readable JSON.
+
+pub mod experiments;
+pub mod judgments;
+pub mod metrics;
+pub mod queryset;
+pub mod timing;
+
+pub use judgments::RelevanceJudgments;
+pub use metrics::QualityScores;
+pub use queryset::{harvest_queries, QuerySetConfig};

@@ -1,0 +1,326 @@
+//! Query harvesting in the shape of the paper's query sets (§5.1).
+//!
+//! * **Reuters**: "We use 100 queries ... harvested from among frequent
+//!   phrases in the corpus. Among the query set are two queries of six
+//!   words each, and a further two queries made up of five words each; the
+//!   rest are formed of two to four words."
+//! * **PubMed**: 52 queries built from frequent phrase *stems* extended
+//!   with correlated terms (the paper used Google AutoComplete; here the
+//!   extension word is drawn from the stem's co-occurring vocabulary),
+//!   keeping only queries matching at least a dozen documents — the paper's
+//!   own filter.
+
+use ipm_core::query::{Operator, Query};
+use ipm_corpus::{Feature, PhraseId, WordId};
+use ipm_index::corpus_index::CorpusIndex;
+use ipm_index::postings::Postings;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the harvester.
+#[derive(Debug, Clone)]
+pub struct QuerySetConfig {
+    /// Number of queries to produce.
+    pub count: usize,
+    /// RNG seed (harvesting is deterministic given corpus + config).
+    pub seed: u64,
+    /// Word-length mix: `(len, how_many)` pairs; lengths are drawn from
+    /// frequent phrases of exactly that many words. Pairs are consumed in
+    /// order; the remainder of `count` is filled from `fill_len_range`.
+    pub fixed_lengths: Vec<(usize, usize)>,
+    /// Length range (inclusive) for the remaining queries.
+    pub fill_len_range: (usize, usize),
+    /// Minimum number of documents the query's AND subset must match
+    /// (the paper's PubMed filter used "at least a dozen").
+    pub min_and_matches: usize,
+}
+
+impl QuerySetConfig {
+    /// The Reuters shape: 100 queries, two of 6 words, two of 5, rest 2–4.
+    pub fn reuters() -> Self {
+        Self {
+            count: 100,
+            seed: 0xC0FFEE,
+            fixed_lengths: vec![(6, 2), (5, 2)],
+            fill_len_range: (2, 4),
+            min_and_matches: 1,
+        }
+    }
+
+    /// The PubMed shape: 52 stem+extension queries matching ≥ 12 docs.
+    pub fn pubmed() -> Self {
+        Self {
+            count: 52,
+            seed: 0xBEEF,
+            fixed_lengths: vec![],
+            fill_len_range: (2, 4),
+            min_and_matches: 12,
+        }
+    }
+}
+
+/// Harvests a query set from the corpus's frequent phrases. Returned
+/// queries carry no operator preference — the experiments run each under
+/// both AND and OR (as the paper does).
+///
+/// Falls back gracefully: if the corpus lacks phrases of a requested
+/// length, shorter ones fill in; the result may be smaller than
+/// `config.count` only if the corpus is pathologically small.
+pub fn harvest_queries(index: &CorpusIndex, config: &QuerySetConfig) -> Vec<Vec<WordId>> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Bucket dictionary phrases by word count, most frequent first.
+    let max_len = index.dict.max_phrase_words();
+    let mut by_len: Vec<Vec<(PhraseId, u32)>> = vec![Vec::new(); max_len + 1];
+    for (id, words, df) in index.dict.iter() {
+        by_len[words.len()].push((id, df));
+    }
+    for bucket in &mut by_len {
+        bucket.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        // Keep the frequent head; harvesting from the tail would produce
+        // queries with near-empty subsets.
+        bucket.truncate(500);
+    }
+
+    let mut queries: Vec<Vec<WordId>> = Vec::with_capacity(config.count);
+    let emit = |words: Vec<WordId>, queries: &mut Vec<Vec<WordId>>| {
+        if !queries.contains(&words) {
+            queries.push(words);
+            true
+        } else {
+            false
+        }
+    };
+
+    // Fixed-length draws first.
+    for &(len, how_many) in &config.fixed_lengths {
+        let mut produced = 0;
+        let mut attempts = 0;
+        while produced < how_many && attempts < 200 {
+            attempts += 1;
+            if let Some(words) = draw_query(index, &by_len, len, config, &mut rng) {
+                if emit(words, &mut queries) {
+                    produced += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    // Fill the rest from the range.
+    let mut attempts = 0;
+    while queries.len() < config.count && attempts < config.count * 100 {
+        attempts += 1;
+        let len = rng.gen_range(config.fill_len_range.0..=config.fill_len_range.1);
+        if let Some(words) = draw_query(index, &by_len, len, config, &mut rng) {
+            emit(words, &mut queries);
+        }
+    }
+
+    queries
+}
+
+/// Draws one query of `len` distinct words whose AND subset meets the
+/// minimum-match filter. The words come from a frequent phrase of that
+/// length (or a frequent stem extended with a co-occurring word when no
+/// such phrase exists — the PubMed construction).
+fn draw_query(
+    index: &CorpusIndex,
+    by_len: &[Vec<(PhraseId, u32)>],
+    len: usize,
+    config: &QuerySetConfig,
+    rng: &mut StdRng,
+) -> Option<Vec<WordId>> {
+    for _ in 0..50 {
+        let words = if len < by_len.len() && !by_len[len].is_empty() {
+            // Straight harvest: the words of a frequent phrase of that length.
+            let bucket = &by_len[len];
+            let (id, _) = bucket[rng.gen_range(0..bucket.len())];
+            let mut ws: Vec<WordId> = index.dict.words(id)?.to_vec();
+            ws.dedup();
+            if ws.len() != len {
+                continue; // phrase had repeated words; redraw
+            }
+            ws
+        } else {
+            // Stem + extension: a shorter frequent phrase plus a word
+            // co-occurring with it (simulating autocomplete extensions).
+            let stem_len = (2..len.min(by_len.len()))
+                .rev()
+                .find(|&l| !by_len[l].is_empty())?;
+            let bucket = &by_len[stem_len];
+            let (id, _) = bucket[rng.gen_range(0..bucket.len())];
+            let mut ws: Vec<WordId> = index.dict.words(id)?.to_vec();
+            let stem_docs = index.phrases.phrase(id);
+            let ext = pick_cooccurring_word(index, stem_docs, &ws, rng)?;
+            ws.push(ext);
+            ws.dedup();
+            if ws.len() != len {
+                continue;
+            }
+            ws
+        };
+
+        // Apply the subset-size filter on the AND interpretation.
+        let lists: Vec<&Postings> = words
+            .iter()
+            .map(|&w| index.features.word(w))
+            .collect();
+        let and = Postings::intersect_many(&lists);
+        if and.len() >= config.min_and_matches {
+            return Some(words);
+        }
+    }
+    None
+}
+
+/// Picks a word (other than the stem's own) appearing in one of the stem's
+/// documents.
+fn pick_cooccurring_word(
+    index: &CorpusIndex,
+    stem_docs: &Postings,
+    exclude: &[WordId],
+    rng: &mut StdRng,
+) -> Option<WordId> {
+    let docs: Vec<_> = stem_docs.iter().collect();
+    let &doc = docs.choose(rng)?;
+    // Use the document's unigram phrases as its word inventory (unigrams
+    // are in the dictionary when min_len == 1); fall back to None when not.
+    let candidates: Vec<WordId> = index
+        .forward
+        .doc(doc)
+        .iter()
+        .filter_map(|&p| {
+            let ws = index.dict.words(p)?;
+            if ws.len() == 1 && !exclude.contains(&ws[0]) {
+                Some(ws[0])
+            } else {
+                None
+            }
+        })
+        .collect();
+    candidates.choose(rng).copied()
+}
+
+/// Materializes harvested word sets into executable queries under an
+/// operator.
+pub fn to_queries(word_sets: &[Vec<WordId>], op: Operator) -> Vec<Query> {
+    word_sets
+        .iter()
+        .map(|ws| {
+            Query::new(ws.iter().map(|&w| Feature::Word(w)).collect(), op)
+                .expect("harvested queries are non-empty")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipm_index::corpus_index::IndexConfig;
+    use ipm_index::mining::MiningConfig;
+
+    fn tiny_index() -> CorpusIndex {
+        let (c, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+        CorpusIndex::build(
+            &c,
+            &IndexConfig {
+                mining: MiningConfig {
+                    min_df: 3,
+                    max_len: 4,
+                    min_len: 1,
+                },
+            },
+        )
+    }
+
+    #[test]
+    fn harvests_requested_count() {
+        let index = tiny_index();
+        let cfg = QuerySetConfig {
+            count: 20,
+            seed: 1,
+            fixed_lengths: vec![(3, 2)],
+            fill_len_range: (2, 3),
+            min_and_matches: 1,
+        };
+        let qs = harvest_queries(&index, &cfg);
+        assert_eq!(qs.len(), 20);
+        // No duplicates.
+        let set: std::collections::BTreeSet<_> = qs.iter().collect();
+        assert_eq!(set.len(), qs.len());
+    }
+
+    #[test]
+    fn queries_have_nonempty_and_subsets() {
+        let index = tiny_index();
+        let cfg = QuerySetConfig {
+            count: 15,
+            seed: 2,
+            fixed_lengths: vec![],
+            fill_len_range: (2, 3),
+            min_and_matches: 2,
+        };
+        for ws in harvest_queries(&index, &cfg) {
+            let lists: Vec<_> = ws.iter().map(|&w| index.features.word(w)).collect();
+            let and = Postings::intersect_many(&lists);
+            assert!(and.len() >= 2, "query {ws:?} matches {} docs", and.len());
+        }
+    }
+
+    #[test]
+    fn lengths_respect_config() {
+        let index = tiny_index();
+        let cfg = QuerySetConfig {
+            count: 10,
+            seed: 3,
+            fixed_lengths: vec![],
+            fill_len_range: (2, 2),
+            min_and_matches: 1,
+        };
+        for ws in harvest_queries(&index, &cfg) {
+            assert_eq!(ws.len(), 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let index = tiny_index();
+        let cfg = QuerySetConfig {
+            count: 12,
+            seed: 9,
+            fixed_lengths: vec![],
+            fill_len_range: (2, 3),
+            min_and_matches: 1,
+        };
+        assert_eq!(harvest_queries(&index, &cfg), harvest_queries(&index, &cfg));
+    }
+
+    #[test]
+    fn to_queries_materializes_operators() {
+        let index = tiny_index();
+        let cfg = QuerySetConfig {
+            count: 5,
+            seed: 4,
+            fixed_lengths: vec![],
+            fill_len_range: (2, 2),
+            min_and_matches: 1,
+        };
+        let ws = harvest_queries(&index, &cfg);
+        let qs = to_queries(&ws, Operator::And);
+        assert_eq!(qs.len(), ws.len());
+        assert!(qs.iter().all(|q| q.op == Operator::And));
+    }
+
+    #[test]
+    fn paper_shapes_are_encoded() {
+        let r = QuerySetConfig::reuters();
+        assert_eq!(r.count, 100);
+        assert_eq!(r.fixed_lengths, vec![(6, 2), (5, 2)]);
+        let p = QuerySetConfig::pubmed();
+        assert_eq!(p.count, 52);
+        assert_eq!(p.min_and_matches, 12);
+    }
+}

@@ -1,0 +1,134 @@
+//! Cursor abstraction over word-specific phrase lists.
+//!
+//! The NRA algorithm (crate `ipm-core`) consumes lists one entry at a time
+//! in score order, regardless of whether the list lives in memory
+//! ([`crate::wordlists::WordPhraseLists`]) or behind the simulated disk
+//! (crate `ipm-storage`). This trait is the seam between the two.
+
+use crate::wordlists::{ListEntry, WordPhraseLists};
+use ipm_corpus::Feature;
+
+/// A forward-only cursor over one feature's score-ordered list.
+pub trait ScoredListCursor {
+    /// Next `[phrase, prob]` entry, or `None` when the (possibly partial)
+    /// list is exhausted.
+    fn next_entry(&mut self) -> Option<ListEntry>;
+
+    /// Total entries this cursor will yield (after partial truncation).
+    fn len(&self) -> usize;
+
+    /// Whether the cursor yields no entries at all.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries yielded so far.
+    fn position(&self) -> usize;
+}
+
+/// In-memory cursor over a slice of a score-ordered list.
+#[derive(Debug, Clone)]
+pub struct MemoryCursor<'a> {
+    entries: &'a [ListEntry],
+    pos: usize,
+}
+
+impl<'a> MemoryCursor<'a> {
+    /// Cursor over a full in-memory list.
+    pub fn new(entries: &'a [ListEntry]) -> Self {
+        Self { entries, pos: 0 }
+    }
+
+    /// Cursor over the top-`fraction` prefix of `lists`' entry for `feature`
+    /// (run-time partial lists, paper §4.3).
+    pub fn partial(lists: &'a WordPhraseLists, feature: Feature, fraction: f64) -> Self {
+        let full = lists.list(feature);
+        let keep = prefix_len(full.len(), fraction);
+        Self {
+            entries: &full[..keep],
+            pos: 0,
+        }
+    }
+}
+
+impl ScoredListCursor for MemoryCursor<'_> {
+    #[inline]
+    fn next_entry(&mut self) -> Option<ListEntry> {
+        let e = self.entries.get(self.pos).copied();
+        if e.is_some() {
+            self.pos += 1;
+        }
+        e
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Number of entries in the top-`fraction` prefix of a list of `len`
+/// entries: `ceil(len · fraction)`, at least 1 for non-empty lists, clamped
+/// to `len`. Shared by the in-memory and disk cursors so partial semantics
+/// agree everywhere.
+pub fn prefix_len(len: usize, fraction: f64) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let fraction = fraction.clamp(f64::MIN_POSITIVE, 1.0);
+    ((len as f64 * fraction).ceil() as usize).clamp(1, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipm_corpus::PhraseId;
+
+    fn entries(n: usize) -> Vec<ListEntry> {
+        (0..n)
+            .map(|i| ListEntry {
+                phrase: PhraseId(i as u32),
+                prob: 1.0 / (i + 1) as f64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn memory_cursor_yields_all_in_order() {
+        let es = entries(4);
+        let mut c = MemoryCursor::new(&es);
+        assert_eq!(c.len(), 4);
+        let mut got = Vec::new();
+        while let Some(e) = c.next_entry() {
+            got.push(e.phrase.raw());
+        }
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(c.position(), 4);
+        assert!(c.next_entry().is_none());
+    }
+
+    #[test]
+    fn empty_cursor() {
+        let es = entries(0);
+        let mut c = MemoryCursor::new(&es);
+        assert!(c.is_empty());
+        assert!(c.next_entry().is_none());
+        assert_eq!(c.position(), 0);
+    }
+
+    #[test]
+    fn prefix_len_boundaries() {
+        assert_eq!(prefix_len(0, 0.5), 0);
+        assert_eq!(prefix_len(10, 1.0), 10);
+        assert_eq!(prefix_len(10, 0.5), 5);
+        assert_eq!(prefix_len(10, 0.01), 1); // at least one entry
+        assert_eq!(prefix_len(10, 0.11), 2); // ceil
+        assert_eq!(prefix_len(3, 2.0), 3); // clamped
+        assert_eq!(prefix_len(7, -1.0), 1); // clamped up from nonsense
+    }
+}

@@ -1,0 +1,147 @@
+//! The forward index: per-document phrase lists.
+//!
+//! This is the index family of Bedathur et al. (ref. \[2\]) and Gao &
+//! Michel (ref. \[8\])
+//! (paper Table 3, "one list per d, (Phrases in d) ∩ P"): for every
+//! document, the sorted list of dictionary phrases it contains. The exact
+//! baselines and the ground-truth scorer aggregate these lists over `D'`.
+//!
+//! Stored in CSR form (one offsets array + one flat id array) so that the
+//! whole index is two allocations regardless of document count.
+
+use crate::inverted::collect_doc_phrases;
+use crate::phrase::PhraseDictionary;
+use ipm_corpus::{Corpus, DocId, PhraseId};
+
+/// CSR-packed per-document phrase lists.
+#[derive(Debug, Default, Clone)]
+pub struct ForwardIndex {
+    offsets: Vec<u64>,
+    phrases: Vec<PhraseId>,
+}
+
+impl ForwardIndex {
+    /// Builds forward lists for every document in the corpus.
+    pub fn build(corpus: &Corpus, dict: &PhraseDictionary) -> Self {
+        let max_len = dict.max_phrase_words();
+        let mut offsets = Vec::with_capacity(corpus.num_docs() + 1);
+        let mut phrases = Vec::new();
+        let mut scratch: Vec<PhraseId> = Vec::new();
+        offsets.push(0u64);
+        for doc in corpus.docs() {
+            collect_doc_phrases(&doc.tokens, dict, max_len, &mut scratch);
+            phrases.extend_from_slice(&scratch);
+            offsets.push(phrases.len() as u64);
+        }
+        Self { offsets, phrases }
+    }
+
+    /// The sorted, distinct phrase list of a document; empty if out of range.
+    #[inline]
+    pub fn doc(&self, id: DocId) -> &[PhraseId] {
+        let i = id.index();
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.phrases[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of documents covered.
+    pub fn num_docs(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of (doc, phrase) entries — the paper's forward-index
+    /// size driver.
+    pub fn total_entries(&self) -> usize {
+        self.phrases.len()
+    }
+
+    /// Mean forward-list length.
+    pub fn mean_list_len(&self) -> f64 {
+        if self.num_docs() == 0 {
+            0.0
+        } else {
+            self.total_entries() as f64 / self.num_docs() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mining::{mine_phrases, MiningConfig};
+    use ipm_corpus::{CorpusBuilder, TokenizerConfig};
+
+    fn build_all(texts: &[&str], min_df: u32) -> (Corpus, PhraseDictionary, ForwardIndex) {
+        let mut b = CorpusBuilder::new(TokenizerConfig::default());
+        for t in texts {
+            b.add_text(t);
+        }
+        let c = b.build();
+        let dict = mine_phrases(
+            &c,
+            &MiningConfig {
+                min_df,
+                max_len: 4,
+                min_len: 1,
+            },
+        );
+        let fwd = ForwardIndex::build(&c, &dict);
+        (c, dict, fwd)
+    }
+
+    #[test]
+    fn forward_lists_are_sorted_distinct() {
+        let (_, _, fwd) = build_all(&["a b a b c", "a b c", "a b", "c a"], 2);
+        for i in 0..fwd.num_docs() {
+            let list = fwd.doc(DocId(i as u32));
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "doc {i} list not sorted");
+        }
+    }
+
+    #[test]
+    fn forward_agrees_with_phrase_postings() {
+        let (c, dict, fwd) = build_all(&["e m t", "e m", "m t", "e m t r"], 2);
+        let pp = crate::inverted::PhrasePostings::build(&c, &dict);
+        for (id, _, _) in dict.iter() {
+            for doc in pp.phrase(id).iter() {
+                assert!(
+                    fwd.doc(doc).binary_search(&id).is_ok(),
+                    "phrase {id:?} in postings of {doc:?} but not forward list"
+                );
+            }
+        }
+        // And the reverse direction.
+        for i in 0..fwd.num_docs() {
+            let d = DocId(i as u32);
+            for &p in fwd.doc(d) {
+                assert!(pp.phrase(p).contains(d));
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_doc_is_empty() {
+        let (_, _, fwd) = build_all(&["a a", "a a"], 2);
+        assert!(fwd.doc(DocId(99)).is_empty());
+    }
+
+    #[test]
+    fn entry_statistics() {
+        let (_, _, fwd) = build_all(&["a b", "a b", "a b"], 3);
+        // dict: "a", "b", "a b" -> 3 entries per doc
+        assert_eq!(fwd.num_docs(), 3);
+        assert_eq!(fwd.total_entries(), 9);
+        assert!((fwd.mean_list_len() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = CorpusBuilder::default().build();
+        let dict = PhraseDictionary::new();
+        let fwd = ForwardIndex::build(&c, &dict);
+        assert_eq!(fwd.num_docs(), 0);
+        assert_eq!(fwd.mean_list_len(), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Phrase mining and index structures for interesting-phrase mining.
+//!
+//! This crate builds everything the EDBT 2014 paper's query-time algorithms
+//! consume:
+//!
+//! * [`postings`] — sorted document-id lists with merge/galloping set algebra;
+//! * [`phrase`] — the global phrase dictionary `P` (paper Table 2);
+//! * [`mining`] — Apriori level-wise n-gram mining with a document-frequency
+//!   threshold (paper §1: "word n-grams of up to 6 words which occur in more
+//!   than a pre-specified number (usually, 5 or 10) of documents");
+//! * [`inverted`] — feature → postings (keywords and metadata facets) and
+//!   phrase → postings indexes;
+//! * [`forward`] — per-document phrase lists, the index family used by the
+//!   baselines of Bedathur et al. and Gao & Michel (paper Table 3);
+//! * [`occurrence`] — per-document `(phrase, occurrence-count)` lists for
+//!   the occurrence-count reading of Eq. 1's `freq` (`DESIGN.md` §2
+//!   ablation);
+//! * [`corpus_index`] — one-stop construction of all of the above;
+//! * [`wordlists`] — the paper's contribution-side index: per-feature lists
+//!   of `[phrase_id, P(q|p)]` pairs, score-ordered (for NRA, §4.2.2) or
+//!   phrase-ID-ordered (for SMJ, §4.4.1), with partial-list truncation.
+
+pub mod corpus_index;
+pub mod cursor;
+pub mod forward;
+pub mod inverted;
+pub mod mining;
+pub mod occurrence;
+pub mod phrase;
+pub mod postings;
+pub mod wordlists;
+
+pub use corpus_index::{CorpusIndex, IndexConfig};
+pub use cursor::{MemoryCursor, ScoredListCursor};
+pub use mining::{mine_phrases, MiningConfig};
+pub use phrase::PhraseDictionary;
+pub use postings::Postings;
+pub use wordlists::{IdOrderedLists, ListEntry, WordPhraseLists};

@@ -1,0 +1,322 @@
+//! Apriori level-wise n-gram phrase mining.
+//!
+//! `P` is "the set of word n-grams of up to 6 words which occur in more than
+//! a pre-specified number (usually, 5 or 10) of documents in D" (paper §1).
+//! Document frequency is *anti-monotone* in the n-gram containment order: a
+//! document containing `a b c` contains `a b` and `b c`, so
+//! `df(abc) ≤ min(df(ab), df(bc))`. The miner exploits this Apriori-style:
+//! level `n` candidates are only those windows whose length-(n-1) prefix
+//! *and* suffix were frequent at the previous level, which keeps the
+//! candidate space (and the per-level hash map) small.
+
+use crate::phrase::PhraseDictionary;
+use ipm_corpus::hash::{fx_map_with_capacity, FxHashMap, FxHashSet};
+use ipm_corpus::{Corpus, WordId};
+
+/// Configuration of the phrase miner.
+#[derive(Debug, Clone)]
+pub struct MiningConfig {
+    /// Minimum document frequency for a phrase to enter `P`
+    /// (the paper uses 5 or 10).
+    pub min_df: u32,
+    /// Maximum phrase length in words (the paper uses 6).
+    pub max_len: usize,
+    /// Minimum phrase length in words. The paper's result lists contain
+    /// single-word phrases (its Table 4 includes "reserves"), so this
+    /// defaults to 1; set 2 to restrict `P` to multi-word phrases.
+    pub min_len: usize,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        Self {
+            min_df: 5,
+            max_len: 6,
+            min_len: 1,
+        }
+    }
+}
+
+/// Mines the frequent-phrase dictionary from `corpus`.
+///
+/// Returns the dictionary with document frequencies populated. Phrase ids
+/// are assigned level by level (all frequent 1-grams first, then 2-grams,
+/// ...), each level in deterministic first-occurrence order.
+pub fn mine_phrases(corpus: &Corpus, config: &MiningConfig) -> PhraseDictionary {
+    assert!(config.max_len >= 1, "max_len must be at least 1");
+    assert!(
+        (1..=config.max_len).contains(&config.min_len),
+        "min_len must be in 1..=max_len"
+    );
+    assert!(config.min_df >= 1, "min_df must be at least 1");
+
+    let mut dict = PhraseDictionary::new();
+
+    // Level 1: dense word document frequencies.
+    let word_df = ipm_corpus::stats::word_document_frequencies(corpus);
+    let frequent_word = |w: WordId| word_df[w.index()] >= config.min_df;
+
+    if config.min_len == 1 {
+        // Admit unigrams in (deterministic) word-id order.
+        for (i, &df) in word_df.iter().enumerate() {
+            if df >= config.min_df {
+                dict.insert(&[WordId(i as u32)], df);
+            }
+        }
+    }
+    if config.max_len == 1 {
+        return dict;
+    }
+
+    // Level 2 upwards. `prev` holds the frequent (n-1)-grams.
+    // For level 2 the prefix/suffix check is against word dfs directly.
+    let mut prev: FxHashSet<Box<[WordId]>> = FxHashSet::default();
+    // Reused per-document window buffer; the borrowed windows point into
+    // `corpus`, which outlives the loop.
+    let mut doc_wins: Vec<&[WordId]> = Vec::new();
+
+    for level in 2..=config.max_len {
+        let mut counts: FxHashMap<Box<[WordId]>, u32> = fx_map_with_capacity(prev.len().max(1024));
+        for doc in corpus.docs() {
+            if doc.tokens.len() < level {
+                continue;
+            }
+            doc_wins.clear();
+            for win in doc.tokens.windows(level) {
+                let candidate_ok = if level == 2 {
+                    frequent_word(win[0]) && frequent_word(win[1])
+                } else {
+                    prev.contains(&win[..level - 1]) && prev.contains(&win[1..])
+                };
+                if candidate_ok {
+                    doc_wins.push(win);
+                }
+            }
+            // Per-document dedup: each distinct window counts once.
+            doc_wins.sort_unstable();
+            doc_wins.dedup();
+            for win in &doc_wins {
+                match counts.get_mut(*win) {
+                    Some(c) => *c += 1,
+                    None => {
+                        counts.insert((*win).into(), 1);
+                    }
+                }
+            }
+        }
+
+        // Collect survivors in deterministic (lexicographic) order.
+        let mut survivors: Vec<(Box<[WordId]>, u32)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= config.min_df)
+            .collect();
+        survivors.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+        if survivors.is_empty() {
+            break; // no level-n phrases => no level-(n+1) candidates either
+        }
+
+        prev = survivors.iter().map(|(g, _)| g.clone()).collect();
+        if level >= config.min_len {
+            for (gram, df) in &survivors {
+                dict.insert(gram, *df);
+            }
+        }
+    }
+
+    dict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipm_corpus::{CorpusBuilder, TokenizerConfig};
+
+    fn corpus_from(texts: &[&str]) -> Corpus {
+        let mut b = CorpusBuilder::new(TokenizerConfig::default());
+        for t in texts {
+            b.add_text(t);
+        }
+        b.build()
+    }
+
+    /// Reference miner: enumerate every window of every length and count
+    /// document frequency exactly with no pruning.
+    fn naive_mine(corpus: &Corpus, cfg: &MiningConfig) -> std::collections::BTreeMap<Vec<WordId>, u32> {
+        let mut counts = std::collections::BTreeMap::new();
+        for doc in corpus.docs() {
+            let mut seen = std::collections::BTreeSet::new();
+            for len in cfg.min_len..=cfg.max_len {
+                if doc.tokens.len() < len {
+                    continue;
+                }
+                for win in doc.tokens.windows(len) {
+                    seen.insert(win.to_vec());
+                }
+            }
+            for g in seen {
+                *counts.entry(g).or_insert(0) += 1;
+            }
+        }
+        counts.retain(|_, c| *c >= cfg.min_df);
+        counts
+    }
+
+    #[test]
+    fn mines_repeated_bigram() {
+        let texts: Vec<String> = (0..5).map(|i| format!("economic minister spoke {i}")).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let c = corpus_from(&refs);
+        let cfg = MiningConfig {
+            min_df: 5,
+            max_len: 3,
+            min_len: 2,
+        };
+        let dict = mine_phrases(&c, &cfg);
+        let econ = c.word_id("economic").unwrap();
+        let min = c.word_id("minister").unwrap();
+        let spoke = c.word_id("spoke").unwrap();
+        assert!(dict.get(&[econ, min]).is_some());
+        assert!(dict.get(&[min, spoke]).is_some());
+        assert!(dict.get(&[econ, min, spoke]).is_some());
+        // The numbered tail words have df 1 each.
+        assert_eq!(dict.len(), 3);
+        for (_, _, df) in dict.iter() {
+            assert_eq!(df, 5);
+        }
+    }
+
+    #[test]
+    fn unigrams_included_when_min_len_1() {
+        let c = corpus_from(&["a b", "a c", "a d"]);
+        let dict = mine_phrases(
+            &c,
+            &MiningConfig {
+                min_df: 3,
+                max_len: 2,
+                min_len: 1,
+            },
+        );
+        let a = c.word_id("a").unwrap();
+        assert_eq!(dict.len(), 1);
+        let id = dict.get(&[a]).unwrap();
+        assert_eq!(dict.df(id), 3);
+    }
+
+    #[test]
+    fn df_counts_documents_not_occurrences() {
+        let c = corpus_from(&["x y x y x y", "x y"]);
+        let dict = mine_phrases(
+            &c,
+            &MiningConfig {
+                min_df: 2,
+                max_len: 2,
+                min_len: 2,
+            },
+        );
+        let x = c.word_id("x").unwrap();
+        let y = c.word_id("y").unwrap();
+        let id = dict.get(&[x, y]).unwrap();
+        assert_eq!(dict.df(id), 2);
+    }
+
+    #[test]
+    fn apriori_matches_naive_on_random_corpus() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = CorpusBuilder::new(TokenizerConfig::default());
+        for _ in 0..60 {
+            let len = rng.gen_range(3..40);
+            let text: Vec<String> = (0..len).map(|_| format!("t{}", rng.gen_range(0..12))).collect();
+            b.add_text(&text.join(" "));
+        }
+        let c = b.build();
+        for (min_df, max_len, min_len) in [(2, 4, 1), (3, 3, 2), (5, 6, 1)] {
+            let cfg = MiningConfig {
+                min_df,
+                max_len,
+                min_len,
+            };
+            let dict = mine_phrases(&c, &cfg);
+            let naive = naive_mine(&c, &cfg);
+            assert_eq!(dict.len(), naive.len(), "cfg {cfg:?}");
+            for (gram, df) in &naive {
+                let id = dict
+                    .get(gram)
+                    .unwrap_or_else(|| panic!("missing gram {gram:?} under {cfg:?}"));
+                assert_eq!(dict.df(id), *df);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_closure_holds() {
+        // Every prefix (indeed every contiguous sub-gram) of an admitted
+        // phrase must itself be in the dictionary when min_len == 1.
+        let (c, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+        let dict = mine_phrases(&c, &MiningConfig::default());
+        for (_, words, _) in dict.iter() {
+            for start in 0..words.len() {
+                for end in (start + 1)..=words.len() {
+                    assert!(
+                        dict.get(&words[start..end]).is_some(),
+                        "sub-gram of {words:?} missing"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn df_antimonotone_in_length() {
+        let (c, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+        let dict = mine_phrases(&c, &MiningConfig::default());
+        for (id, words, df) in dict.iter() {
+            if words.len() >= 2 {
+                let prefix = dict.get(&words[..words.len() - 1]).unwrap();
+                assert!(
+                    dict.df(prefix) >= df,
+                    "df({prefix:?}) < df({id:?}) violates anti-monotonicity"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_dictionary() {
+        let c = CorpusBuilder::default().build();
+        let dict = mine_phrases(&c, &MiningConfig::default());
+        assert!(dict.is_empty());
+    }
+
+    #[test]
+    fn max_len_respected() {
+        let texts: Vec<String> = (0..6).map(|_| "a b c d e f g h".to_owned()).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let c = corpus_from(&refs);
+        let dict = mine_phrases(
+            &c,
+            &MiningConfig {
+                min_df: 6,
+                max_len: 4,
+                min_len: 1,
+            },
+        );
+        assert_eq!(dict.max_phrase_words(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_len")]
+    fn invalid_config_panics() {
+        let c = corpus_from(&["a"]);
+        let _ = mine_phrases(
+            &c,
+            &MiningConfig {
+                min_df: 1,
+                max_len: 2,
+                min_len: 3,
+            },
+        );
+    }
+}

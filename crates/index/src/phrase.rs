@@ -1,0 +1,197 @@
+//! The global phrase dictionary `P`.
+//!
+//! Phrases are word n-grams admitted by the miner ([`crate::mining`]); the
+//! dictionary assigns them dense [`PhraseId`]s, stores their token
+//! sequences, and records their global document frequency `freq(p, D)` —
+//! the denominator of the interestingness measure (paper Eq. 1).
+
+use ipm_corpus::hash::FxHashMap;
+use ipm_corpus::{Corpus, PhraseId, WordId};
+
+/// Dictionary mapping phrase token sequences to ids and back.
+#[derive(Debug, Default, Clone)]
+pub struct PhraseDictionary {
+    phrases: Vec<Box<[WordId]>>,
+    df: Vec<u32>,
+    lookup: FxHashMap<Box<[WordId]>, u32>,
+}
+
+impl PhraseDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a phrase with its global document frequency, returning its id.
+    /// Re-inserting an existing phrase updates its df and returns the
+    /// existing id.
+    pub fn insert(&mut self, words: &[WordId], df: u32) -> PhraseId {
+        if let Some(&id) = self.lookup.get(words) {
+            self.df[id as usize] = df;
+            return PhraseId(id);
+        }
+        let id = self.phrases.len() as u32;
+        let boxed: Box<[WordId]> = words.into();
+        self.phrases.push(boxed.clone());
+        self.df.push(df);
+        self.lookup.insert(boxed, id);
+        PhraseId(id)
+    }
+
+    /// Looks up a phrase by its token sequence.
+    #[inline]
+    pub fn get(&self, words: &[WordId]) -> Option<PhraseId> {
+        self.lookup.get(words).copied().map(PhraseId)
+    }
+
+    /// The token sequence of `id`, if in range.
+    #[inline]
+    pub fn words(&self, id: PhraseId) -> Option<&[WordId]> {
+        self.phrases.get(id.index()).map(|b| &**b)
+    }
+
+    /// Global document frequency `freq(p, D)` of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn df(&self, id: PhraseId) -> u32 {
+        self.df[id.index()]
+    }
+
+    /// Number of phrases, `|P|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.phrases.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.phrases.is_empty()
+    }
+
+    /// Length in words of the longest phrase.
+    pub fn max_phrase_words(&self) -> usize {
+        self.phrases.iter().map(|p| p.len()).max().unwrap_or(0)
+    }
+
+    /// Iterates `(PhraseId, &[WordId], df)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PhraseId, &[WordId], u32)> {
+        self.phrases
+            .iter()
+            .zip(&self.df)
+            .enumerate()
+            .map(|(i, (p, &df))| (PhraseId(i as u32), &**p, df))
+    }
+
+    /// Renders a phrase as text using the corpus vocabulary.
+    pub fn render(&self, id: PhraseId, corpus: &Corpus) -> String {
+        match self.words(id) {
+            Some(ws) => corpus.render_words(ws),
+            None => format!("<unknown phrase {id}>"),
+        }
+    }
+
+    /// Longest dictionary phrase that starts at `tokens[0]`, i.e. the
+    /// longest prefix of `tokens` (capped at `max_len`) present in `P`.
+    ///
+    /// Relies on the prefix property: if an n-gram is frequent, so is every
+    /// prefix — so the first missing length terminates the scan.
+    pub fn longest_prefix_match(&self, tokens: &[WordId], max_len: usize) -> Option<(PhraseId, usize)> {
+        let cap = tokens.len().min(max_len);
+        let mut best = None;
+        for len in 1..=cap {
+            match self.get(&tokens[..len]) {
+                Some(id) => best = Some((id, len)),
+                None => break,
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipm_corpus::{CorpusBuilder, TokenizerConfig};
+
+    fn w(ids: &[u32]) -> Vec<WordId> {
+        ids.iter().map(|&i| WordId(i)).collect()
+    }
+
+    #[test]
+    fn insert_assigns_dense_ids() {
+        let mut d = PhraseDictionary::new();
+        assert_eq!(d.insert(&w(&[1, 2]), 5), PhraseId(0));
+        assert_eq!(d.insert(&w(&[3]), 7), PhraseId(1));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_df_keeps_id() {
+        let mut d = PhraseDictionary::new();
+        let id = d.insert(&w(&[1, 2]), 5);
+        let id2 = d.insert(&w(&[1, 2]), 9);
+        assert_eq!(id, id2);
+        assert_eq!(d.df(id), 9);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn lookup_by_slice() {
+        let mut d = PhraseDictionary::new();
+        let id = d.insert(&w(&[4, 5, 6]), 3);
+        assert_eq!(d.get(&w(&[4, 5, 6])), Some(id));
+        assert_eq!(d.get(&w(&[4, 5])), None);
+        assert_eq!(d.words(id), Some(&w(&[4, 5, 6])[..]));
+        assert_eq!(d.words(PhraseId(9)), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut d = PhraseDictionary::new();
+        d.insert(&w(&[1]), 10);
+        d.insert(&w(&[2, 3]), 20);
+        let collected: Vec<_> = d.iter().map(|(id, ws, df)| (id.raw(), ws.len(), df)).collect();
+        assert_eq!(collected, vec![(0, 1, 10), (1, 2, 20)]);
+    }
+
+    #[test]
+    fn render_uses_vocabulary() {
+        let mut b = CorpusBuilder::new(TokenizerConfig::default());
+        b.add_text("economic minister trade");
+        let c = b.build();
+        let econ = c.word_id("economic").unwrap();
+        let min = c.word_id("minister").unwrap();
+        let mut d = PhraseDictionary::new();
+        let id = d.insert(&[econ, min], 2);
+        assert_eq!(d.render(id, &c), "economic minister");
+        assert!(d.render(PhraseId(50), &c).contains("unknown"));
+    }
+
+    #[test]
+    fn longest_prefix_match_walks_up() {
+        let mut d = PhraseDictionary::new();
+        d.insert(&w(&[1]), 9);
+        d.insert(&w(&[1, 2]), 8);
+        d.insert(&w(&[1, 2, 3]), 5);
+        // [1,2,3,4] present only up to length 3.
+        let (id, len) = d.longest_prefix_match(&w(&[1, 2, 3, 4]), 6).unwrap();
+        assert_eq!(len, 3);
+        assert_eq!(d.words(id), Some(&w(&[1, 2, 3])[..]));
+        // cap respected
+        let (_, len) = d.longest_prefix_match(&w(&[1, 2, 3]), 2).unwrap();
+        assert_eq!(len, 2);
+        // no match at all
+        assert_eq!(d.longest_prefix_match(&w(&[7]), 6), None);
+    }
+
+    #[test]
+    fn max_phrase_words() {
+        let mut d = PhraseDictionary::new();
+        assert_eq!(d.max_phrase_words(), 0);
+        d.insert(&w(&[1]), 1);
+        d.insert(&w(&[1, 2, 3, 4]), 1);
+        assert_eq!(d.max_phrase_words(), 4);
+    }
+}

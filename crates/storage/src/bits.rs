@@ -1,0 +1,202 @@
+//! Minimal bit-level serialization used by the packed word-list layout.
+//!
+//! The paper (§4.2.2) sizes each word-list pair at exactly
+//! `⌈log₂(|P|)⌉ + 64` bits — phrase IDs are packed at the minimum width that
+//! can address the dictionary, probabilities stay full-width doubles. This
+//! module provides the little-endian-within-byte bit writer/reader those
+//! entries are built from. Values are written LSB-first: the first bit
+//! written lands in bit 0 of byte 0.
+
+/// Append-only bit writer over a growable byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: u64,
+}
+
+impl BitWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writer with room for `bits` bits preallocated.
+    pub fn with_capacity_bits(bits: u64) -> Self {
+        Self {
+            bytes: Vec::with_capacity((bits as usize).div_ceil(8)),
+            bit_len: 0,
+        }
+    }
+
+    /// Appends the low `bits` bits of `value` (`1 ..= 64`).
+    ///
+    /// # Panics
+    /// In debug builds, panics if `value` has bits set above `bits`.
+    pub fn write(&mut self, value: u64, bits: u32) {
+        debug_assert!((1..=64).contains(&bits));
+        debug_assert!(bits == 64 || value < (1u64 << bits), "value overflows width");
+        let mut v = value;
+        let mut remaining = bits;
+        while remaining > 0 {
+            let byte_idx = (self.bit_len / 8) as usize;
+            let bit_in_byte = (self.bit_len % 8) as u32;
+            if byte_idx == self.bytes.len() {
+                self.bytes.push(0);
+            }
+            let take = (8 - bit_in_byte).min(remaining);
+            let mask = (1u64 << take) - 1; // take <= 8, never overflows
+            self.bytes[byte_idx] |= ((v & mask) as u8) << bit_in_byte;
+            v >>= take;
+            self.bit_len += u64::from(take);
+            remaining -= take;
+        }
+    }
+
+    /// Bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.bit_len
+    }
+
+    /// Consumes the writer, returning the backing bytes (final partial byte
+    /// zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads `bits` bits (`1 ..= 64`) starting at absolute `bit_offset`,
+/// mirroring [`BitWriter::write`]'s layout.
+///
+/// # Panics
+/// Panics if the range extends past `data`.
+pub fn read_bits(data: &[u8], bit_offset: u64, bits: u32) -> u64 {
+    debug_assert!((1..=64).contains(&bits));
+    assert!(
+        bit_offset + u64::from(bits) <= data.len() as u64 * 8,
+        "bit range out of bounds"
+    );
+    let mut v = 0u64;
+    let mut got = 0u32;
+    let mut off = bit_offset;
+    while got < bits {
+        let byte = u64::from(data[(off / 8) as usize]);
+        let bit_in_byte = (off % 8) as u32;
+        let take = (8 - bit_in_byte).min(bits - got);
+        let chunk = (byte >> bit_in_byte) & ((1u64 << take) - 1);
+        v |= chunk << got;
+        got += take;
+        off += u64::from(take);
+    }
+    v
+}
+
+/// Minimum ID width for a dictionary of `n` phrases: `⌈log₂ n⌉`, at least 1
+/// (IDs live in `[0, n)`; `n ≤ 1` still needs one bit to be addressable).
+pub fn bits_for_ids(n: usize) -> u32 {
+    if n <= 1 {
+        return 1;
+    }
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_byte_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        w.write(0b11, 2);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 1);
+        assert_eq!(read_bits(&bytes, 0, 3), 0b101);
+        assert_eq!(read_bits(&bytes, 3, 2), 0b11);
+    }
+
+    #[test]
+    fn cross_byte_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write(0x3FF, 10); // spans bytes 0-1
+        w.write(0x1, 1);
+        w.write(0xABCD, 16); // spans bytes 1-3
+        let bytes = w.into_bytes();
+        assert_eq!(read_bits(&bytes, 0, 10), 0x3FF);
+        assert_eq!(read_bits(&bytes, 10, 1), 0x1);
+        assert_eq!(read_bits(&bytes, 11, 16), 0xABCD);
+    }
+
+    #[test]
+    fn full_width_64_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write(0x5, 3); // misalign first
+        w.write(u64::MAX, 64);
+        w.write(0x0123_4567_89AB_CDEF, 64);
+        let bytes = w.into_bytes();
+        assert_eq!(read_bits(&bytes, 3, 64), u64::MAX);
+        assert_eq!(read_bits(&bytes, 67, 64), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn bit_len_tracks_exactly() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write(1, 1);
+        w.write(0, 7);
+        w.write(0x1234, 17);
+        assert_eq!(w.bit_len(), 25);
+        assert_eq!(w.into_bytes().len(), 4); // ceil(25 / 8)
+    }
+
+    #[test]
+    fn final_partial_byte_zero_padded() {
+        let mut w = BitWriter::new();
+        w.write(0b1, 1);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1]);
+    }
+
+    #[test]
+    fn bits_for_ids_boundaries() {
+        assert_eq!(bits_for_ids(0), 1);
+        assert_eq!(bits_for_ids(1), 1);
+        assert_eq!(bits_for_ids(2), 1);
+        assert_eq!(bits_for_ids(3), 2);
+        assert_eq!(bits_for_ids(4), 2);
+        assert_eq!(bits_for_ids(5), 3);
+        assert_eq!(bits_for_ids(256), 8);
+        assert_eq!(bits_for_ids(257), 9);
+        assert_eq!(bits_for_ids(1 << 20), 20);
+        assert_eq!(bits_for_ids((1 << 20) + 1), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit range out of bounds")]
+    fn read_past_end_panics() {
+        let bytes = [0u8; 2];
+        read_bits(&bytes, 10, 8);
+    }
+
+    #[test]
+    fn interleaved_widths_roundtrip() {
+        // Emulates packed entries: (id_bits, 64) pairs at many widths.
+        for id_bits in [1u32, 5, 13, 17, 20, 31, 32, 40] {
+            let mut w = BitWriter::new();
+            let ids: Vec<u64> = (0..20)
+                .map(|i| (i * 2_654_435_761u64) & ((1u64 << id_bits) - 1).max(1))
+                .collect();
+            for (i, &id) in ids.iter().enumerate() {
+                w.write(id, id_bits);
+                w.write((0.5f64 / (i + 1) as f64).to_bits(), 64);
+            }
+            let bytes = w.into_bytes();
+            let entry_bits = u64::from(id_bits) + 64;
+            for (i, &id) in ids.iter().enumerate() {
+                let at = i as u64 * entry_bits;
+                assert_eq!(read_bits(&bytes, at, id_bits), id, "id_bits={id_bits}");
+                let prob = f64::from_bits(read_bits(&bytes, at + u64::from(id_bits), 64));
+                assert_eq!(prob, 0.5 / (i + 1) as f64);
+            }
+        }
+    }
+}

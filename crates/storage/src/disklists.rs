@@ -1,0 +1,286 @@
+//! Disk-resident word lists: cursors that charge simulated IO.
+//!
+//! [`DiskLists`] bundles a [`WordListFile`], a [`PhraseListFile`] and one
+//! shared [`BufferPool`] (queries interleave reads from several lists and
+//! from the phrase file, and they compete for the same 16 pages — exactly
+//! the effect the paper's simulation measures). Cursors implement
+//! [`ScoredListCursor`], so `ipm_core`'s NRA runs unchanged over them.
+
+use ipm_corpus::{Corpus, Feature, PhraseId};
+use ipm_index::cursor::{prefix_len, ScoredListCursor};
+use ipm_index::phrase::PhraseDictionary;
+use ipm_index::wordlists::{ListEntry, WordPhraseLists};
+use parking_lot::Mutex;
+
+use crate::cost::{CostModel, IoStats};
+use crate::files::{PhraseListFile, WordListFile};
+use crate::pool::{BufferPool, PoolConfig};
+
+/// Disk-resident index: serialized lists + phrase file + shared buffer pool.
+pub struct DiskLists {
+    words: WordListFile,
+    phrases: PhraseListFile,
+    pool: Mutex<BufferPool>,
+    cost: CostModel,
+}
+
+impl DiskLists {
+    /// Serializes `lists` and `dict` and wraps them with a buffer pool in
+    /// the paper's default configuration.
+    pub fn build(corpus: &Corpus, dict: &PhraseDictionary, lists: &WordPhraseLists) -> Self {
+        Self::with_config(corpus, dict, lists, PoolConfig::default(), CostModel::default())
+    }
+
+    /// Full-control constructor.
+    pub fn with_config(
+        corpus: &Corpus,
+        dict: &PhraseDictionary,
+        lists: &WordPhraseLists,
+        pool: PoolConfig,
+        cost: CostModel,
+    ) -> Self {
+        Self {
+            words: WordListFile::build(lists),
+            phrases: PhraseListFile::build(corpus, dict),
+            pool: Mutex::new(BufferPool::new(pool)),
+            cost,
+        }
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Snapshot of accumulated IO statistics.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.lock().stats()
+    }
+
+    /// Simulated IO milliseconds accumulated so far.
+    pub fn io_ms(&self) -> f64 {
+        self.io_stats().io_ms(&self.cost)
+    }
+
+    /// Cold-cache reset (between queries in the experiment harness).
+    pub fn reset_io(&self) {
+        self.pool.lock().reset();
+    }
+
+    /// Length of a feature's serialized list.
+    pub fn list_len(&self, feature: Feature) -> usize {
+        self.words.list_len(feature)
+    }
+
+    /// Total serialized size (word lists + phrase file), in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len_bytes() + self.phrases.len_bytes()
+    }
+
+    /// Opens a cursor over the top-`fraction` prefix of `feature`'s list
+    /// (run-time partial lists, paper §4.3).
+    pub fn cursor(&self, feature: Feature, fraction: f64) -> DiskCursor<'_> {
+        let limit = prefix_len(self.words.list_len(feature), fraction);
+        DiskCursor {
+            owner: self,
+            feature,
+            pos: 0,
+            limit,
+        }
+    }
+
+    /// Reads a result phrase's text through the pool (the paper's final
+    /// step: "the phrases corresponding to top-k candidates ... are looked
+    /// up from the Phrase List").
+    pub fn phrase_text(&self, id: PhraseId) -> Option<String> {
+        self.phrases.read(id, &mut self.pool.lock())
+    }
+}
+
+impl std::fmt::Debug for DiskLists {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskLists")
+            .field("word_bytes", &self.words.len_bytes())
+            .field("phrase_bytes", &self.phrases.len_bytes())
+            .field("io", &self.io_stats())
+            .finish()
+    }
+}
+
+/// A forward cursor over one disk-resident list.
+pub struct DiskCursor<'a> {
+    owner: &'a DiskLists,
+    feature: Feature,
+    pos: usize,
+    limit: usize,
+}
+
+impl ScoredListCursor for DiskCursor<'_> {
+    fn next_entry(&mut self) -> Option<ListEntry> {
+        if self.pos >= self.limit {
+            return None;
+        }
+        let mut pool = self.owner.pool.lock();
+        let e = self.owner.words.read_entry(self.feature, self.pos, &mut pool);
+        if e.is_some() {
+            self.pos += 1;
+        }
+        e
+    }
+
+    fn len(&self) -> usize {
+        self.limit
+    }
+
+    fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Convenience: builds disk lists directly from a corpus index bundle.
+pub fn disk_lists_from(
+    corpus: &Corpus,
+    index: &ipm_index::corpus_index::CorpusIndex,
+    lists: &WordPhraseLists,
+) -> DiskLists {
+    DiskLists::build(corpus, &index.dict, lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipm_index::corpus_index::{CorpusIndex, IndexConfig};
+    use ipm_index::mining::MiningConfig;
+    use ipm_index::wordlists::WordListConfig;
+
+    fn setup() -> (ipm_corpus::Corpus, CorpusIndex, WordPhraseLists) {
+        let (c, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+        let index = CorpusIndex::build(
+            &c,
+            &IndexConfig {
+                mining: MiningConfig {
+                    min_df: 3,
+                    max_len: 4,
+                    min_len: 1,
+                },
+            },
+        );
+        let lists = WordPhraseLists::build(&c, &index, &WordListConfig::default());
+        (c, index, lists)
+    }
+
+    #[test]
+    fn cursor_yields_same_entries_as_memory_list() {
+        let (c, index, lists) = setup();
+        let disk = DiskLists::build(&c, &index.dict, &lists);
+        let feat = *lists
+            .features()
+            .iter()
+            .find(|f| !lists.list(**f).is_empty())
+            .unwrap();
+        let mut cur = disk.cursor(feat, 1.0);
+        let want = lists.list(feat);
+        assert_eq!(cur.len(), want.len());
+        for e in want {
+            let got = cur.next_entry().unwrap();
+            assert_eq!(got.phrase, e.phrase);
+            assert_eq!(got.prob.to_bits(), e.prob.to_bits());
+        }
+        assert!(cur.next_entry().is_none());
+        assert!(disk.io_stats().total_accesses() > 0);
+    }
+
+    #[test]
+    fn partial_cursor_stops_at_fraction() {
+        let (c, index, lists) = setup();
+        let disk = DiskLists::build(&c, &index.dict, &lists);
+        let feat = *lists
+            .features()
+            .iter()
+            .max_by_key(|f| lists.list(**f).len())
+            .unwrap();
+        let full_len = lists.list(feat).len();
+        let mut cur = disk.cursor(feat, 0.25);
+        let expect = ipm_index::cursor::prefix_len(full_len, 0.25);
+        assert_eq!(cur.len(), expect);
+        let mut n = 0;
+        while cur.next_entry().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, expect);
+    }
+
+    #[test]
+    fn io_accounting_and_reset() {
+        let (c, index, lists) = setup();
+        let disk = DiskLists::build(&c, &index.dict, &lists);
+        let feat = *lists
+            .features()
+            .iter()
+            .max_by_key(|f| lists.list(**f).len())
+            .unwrap();
+        let mut cur = disk.cursor(feat, 1.0);
+        while cur.next_entry().is_some() {}
+        assert!(disk.io_ms() > 0.0);
+        disk.reset_io();
+        assert_eq!(disk.io_stats(), IoStats::default());
+    }
+
+    #[test]
+    fn phrase_text_lookup_via_pool() {
+        let (c, index, lists) = setup();
+        let disk = DiskLists::build(&c, &index.dict, &lists);
+        let (id, words, _) = index.dict.iter().next().unwrap();
+        let want = c.render_words(words);
+        assert_eq!(disk.phrase_text(id), Some(want));
+        assert_eq!(disk.phrase_text(PhraseId(u32::MAX)), None);
+    }
+
+    #[test]
+    fn size_bytes_counts_both_files() {
+        let (c, index, lists) = setup();
+        let disk = DiskLists::build(&c, &index.dict, &lists);
+        assert_eq!(
+            disk.size_bytes(),
+            lists.total_entries() * ipm_index::wordlists::ENTRY_BYTES
+                + index.dict.len() * crate::files::PHRASE_ENTRY_BYTES
+        );
+    }
+
+    #[test]
+    fn round_robin_cursors_produce_random_io() {
+        // Two cursors over far-apart lists read alternately: the head seeks
+        // between the runs, which the simulator must classify as random.
+        let (c, index, lists) = setup();
+        let disk = DiskLists::with_config(
+            &c,
+            &index.dict,
+            &lists,
+            PoolConfig {
+                page_size: 256, // small pages to force many fetches
+                capacity_pages: 4,
+                lookahead_pages: 1,
+            },
+            CostModel::default(),
+        );
+        let mut big: Vec<Feature> = lists
+            .features()
+            .iter()
+            .copied()
+            .filter(|f| lists.list(*f).len() > 64)
+            .collect();
+        big.sort_by_key(|f| lists.list(*f).len());
+        let (fa, fb) = (big[0], big[big.len() - 1]);
+        let mut ca = disk.cursor(fa, 1.0);
+        let mut cb = disk.cursor(fb, 1.0);
+        for _ in 0..50 {
+            ca.next_entry();
+            cb.next_entry();
+        }
+        let s = disk.io_stats();
+        assert!(
+            s.random_fetches > 2,
+            "interleaved reads should seek: {s:?}"
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! Serialized index file layouts.
+//!
+//! Two files back the paper's disk-resident operation:
+//!
+//! * **Phrase list** (§4.2.1, Figure 1): one fixed-width `s = 50`-byte
+//!   entry per phrase, zero-padded, holding the phrase's lexical form. The
+//!   phrase with id `i` occupies bytes `[i·s, (i+1)·s)`, so result phrases
+//!   are looked up by direct offset computation.
+//! * **Word-specific list file** (§4.2.2, Figure 2): per feature, a
+//!   contiguous run of 12-byte `[phrase_id (u32 LE), prob (f64 LE)]` entries
+//!   in non-increasing score order (ties by ascending id). A small in-memory
+//!   directory maps features to their run.
+//!
+//! The byte images live in [`bytes::Bytes`]; the simulated [`crate::pool`]
+//! decides what each access would have cost.
+
+use bytes::Bytes;
+use ipm_corpus::hash::FxHashMap;
+use ipm_corpus::{Corpus, Feature, PhraseId};
+use ipm_index::phrase::PhraseDictionary;
+use ipm_index::wordlists::{ListEntry, WordPhraseLists, ENTRY_BYTES};
+
+use crate::pool::BufferPool;
+
+/// Fixed entry width of the phrase list file (paper §4.2.1: "We use an s
+/// value of 50, and this was seen to cover all the phrases that we
+/// encountered").
+pub const PHRASE_ENTRY_BYTES: usize = 50;
+
+/// The fixed-width phrase list file.
+#[derive(Debug, Clone)]
+pub struct PhraseListFile {
+    pub(crate) data: Bytes,
+    pub(crate) num_phrases: usize,
+}
+
+impl PhraseListFile {
+    /// Serializes the dictionary. Phrases longer than
+    /// [`PHRASE_ENTRY_BYTES`] bytes are truncated at a character boundary
+    /// (the paper instead assumes `s` is "sufficiently high"; truncation
+    /// keeps the fixed-width invariant for adversarial inputs).
+    pub fn build(corpus: &Corpus, dict: &PhraseDictionary) -> Self {
+        let mut data = Vec::with_capacity(dict.len() * PHRASE_ENTRY_BYTES);
+        for (id, _, _) in dict.iter() {
+            let text = dict.render(id, corpus);
+            let mut bytes = text.as_bytes();
+            if bytes.len() > PHRASE_ENTRY_BYTES {
+                let mut cut = PHRASE_ENTRY_BYTES;
+                while !text.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                bytes = &bytes[..cut];
+            }
+            data.extend_from_slice(bytes);
+            data.resize(data.len() + (PHRASE_ENTRY_BYTES - bytes.len()), 0);
+        }
+        Self {
+            data: Bytes::from(data),
+            num_phrases: dict.len(),
+        }
+    }
+
+    /// File size in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of phrase entries.
+    pub fn num_phrases(&self) -> usize {
+        self.num_phrases
+    }
+
+    /// Reads the phrase text for `id` through the buffer pool (charging the
+    /// simulated IO), using the paper's offset calculation.
+    pub fn read(&self, id: PhraseId, pool: &mut BufferPool) -> Option<String> {
+        let i = id.index();
+        if i >= self.num_phrases {
+            return None;
+        }
+        let offset = i * PHRASE_ENTRY_BYTES;
+        pool.access_range(
+            offset as u64,
+            PHRASE_ENTRY_BYTES as u64,
+            self.data.len() as u64,
+        );
+        let raw = &self.data[offset..offset + PHRASE_ENTRY_BYTES];
+        let end = raw.iter().position(|&b| b == 0).unwrap_or(raw.len());
+        Some(String::from_utf8_lossy(&raw[..end]).into_owned())
+    }
+}
+
+/// Directory entry of one feature's list run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ListRun {
+    /// First entry index in the file (entry units, not bytes).
+    pub(crate) start: u64,
+    /// Number of entries.
+    pub(crate) len: u64,
+}
+
+/// The serialized word-specific list file.
+#[derive(Debug, Clone)]
+pub struct WordListFile {
+    pub(crate) data: Bytes,
+    pub(crate) directory: FxHashMap<u64, ListRun>,
+    pub(crate) total_entries: usize,
+}
+
+impl WordListFile {
+    /// Serializes score-ordered lists (apply
+    /// [`WordPhraseLists::partial`] first for build-time partial lists).
+    pub fn build(lists: &WordPhraseLists) -> Self {
+        let mut data = Vec::with_capacity(lists.total_entries() * ENTRY_BYTES);
+        let mut directory = FxHashMap::default();
+        let mut written = 0u64;
+        for (slot, feat) in lists.features().iter().enumerate() {
+            let list = lists.list_by_slot(slot as u32);
+            directory.insert(
+                feat.encode(),
+                ListRun {
+                    start: written,
+                    len: list.len() as u64,
+                },
+            );
+            for e in list {
+                data.extend_from_slice(&e.phrase.raw().to_le_bytes());
+                data.extend_from_slice(&e.prob.to_le_bytes());
+            }
+            written += list.len() as u64;
+        }
+        Self {
+            data: Bytes::from(data),
+            directory,
+            total_entries: written as usize,
+        }
+    }
+
+    /// File size in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Total entries across all lists.
+    pub fn total_entries(&self) -> usize {
+        self.total_entries
+    }
+
+    /// Length (in entries) of a feature's list; 0 if absent.
+    pub fn list_len(&self, feature: Feature) -> usize {
+        self.directory
+            .get(&feature.encode())
+            .map(|r| r.len as usize)
+            .unwrap_or(0)
+    }
+
+    /// Whether the feature has a directory entry.
+    pub fn has_feature(&self, feature: Feature) -> bool {
+        self.directory.contains_key(&feature.encode())
+    }
+
+    /// Rehydrates the serialized image into in-memory
+    /// [`WordPhraseLists`], so a process cold-starting from a persisted
+    /// file (`crate::persist::load_word_lists`) can serve the in-memory
+    /// NRA/SMJ paths rather than only the simulated-disk path. Decodes the
+    /// raw image directly — no buffer-pool charge (this is the offline
+    /// load step, not a simulated query).
+    ///
+    /// Slot order is by ascending feature code, which is deterministic but
+    /// may differ from the original build order; per-feature lists are
+    /// byte-identical.
+    pub fn to_lists(&self) -> WordPhraseLists {
+        let mut dir: Vec<(u64, ListRun)> = self.directory.iter().map(|(&k, &v)| (k, v)).collect();
+        dir.sort_unstable_by_key(|&(code, _)| code);
+        let lists = dir
+            .into_iter()
+            .map(|(code, run)| {
+                let mut list = Vec::with_capacity(run.len as usize);
+                for i in 0..run.len {
+                    let o = ((run.start + i) * ENTRY_BYTES as u64) as usize;
+                    let phrase = u32::from_le_bytes(self.data[o..o + 4].try_into().unwrap());
+                    let prob =
+                        f64::from_le_bytes(self.data[o + 4..o + 12].try_into().unwrap());
+                    list.push(ListEntry {
+                        phrase: PhraseId(phrase),
+                        prob,
+                    });
+                }
+                (Feature::decode(code), list)
+            })
+            .collect();
+        WordPhraseLists::from_feature_lists(lists)
+    }
+
+    /// Reads entry `i` of `feature`'s list through the buffer pool.
+    /// Returns `None` past the end of the list.
+    pub fn read_entry(
+        &self,
+        feature: Feature,
+        i: usize,
+        pool: &mut BufferPool,
+    ) -> Option<ListEntry> {
+        let run = self.directory.get(&feature.encode())?;
+        if i as u64 >= run.len {
+            return None;
+        }
+        let offset = (run.start + i as u64) * ENTRY_BYTES as u64;
+        pool.access_range(offset, ENTRY_BYTES as u64, self.data.len() as u64);
+        let o = offset as usize;
+        let phrase = u32::from_le_bytes(self.data[o..o + 4].try_into().unwrap());
+        let prob = f64::from_le_bytes(self.data[o + 4..o + 12].try_into().unwrap());
+        Some(ListEntry {
+            phrase: PhraseId(phrase),
+            prob,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{BufferPool, PoolConfig};
+    use ipm_corpus::{CorpusBuilder, TokenizerConfig, WordId};
+    use ipm_index::corpus_index::{CorpusIndex, IndexConfig};
+    use ipm_index::mining::MiningConfig;
+    use ipm_index::wordlists::WordListConfig;
+
+    fn setup() -> (Corpus, CorpusIndex, WordPhraseLists) {
+        let mut b = CorpusBuilder::new(TokenizerConfig::default());
+        for t in [
+            "trade reserves fell",
+            "trade reserves rose",
+            "economic minister trade",
+            "trade reserves fell again",
+            "minister spoke of trade reserves",
+        ] {
+            b.add_text(t);
+        }
+        let c = b.build();
+        let index = CorpusIndex::build(
+            &c,
+            &IndexConfig {
+                mining: MiningConfig {
+                    min_df: 2,
+                    max_len: 3,
+                    min_len: 1,
+                },
+            },
+        );
+        let lists = WordPhraseLists::build(&c, &index, &WordListConfig::default());
+        (c, index, lists)
+    }
+
+    fn small_pool() -> BufferPool {
+        BufferPool::new(PoolConfig {
+            page_size: 64,
+            capacity_pages: 4,
+            lookahead_pages: 1,
+        })
+    }
+
+    #[test]
+    fn phrase_file_roundtrip() {
+        let (c, index, _) = setup();
+        let file = PhraseListFile::build(&c, &index.dict);
+        assert_eq!(file.len_bytes(), index.dict.len() * PHRASE_ENTRY_BYTES);
+        let mut pool = small_pool();
+        for (id, _, _) in index.dict.iter() {
+            let want = index.dict.render(id, &c);
+            assert_eq!(file.read(id, &mut pool), Some(want));
+        }
+        assert!(pool.stats().total_accesses() > 0);
+    }
+
+    #[test]
+    fn phrase_file_out_of_range() {
+        let (c, index, _) = setup();
+        let file = PhraseListFile::build(&c, &index.dict);
+        let mut pool = small_pool();
+        assert_eq!(file.read(PhraseId(u32::MAX), &mut pool), None);
+        assert_eq!(pool.stats().total_accesses(), 0);
+    }
+
+    #[test]
+    fn phrase_file_truncates_long_phrases_at_char_boundary() {
+        let mut b = CorpusBuilder::new(TokenizerConfig::default());
+        // Build a dictionary with an artificially long multibyte phrase.
+        b.add_text("ααααααααααααααααααααααααα ββββββββββββββββββββββββ{ }");
+        let c = b.build();
+        let mut dict = PhraseDictionary::new();
+        let w0 = c.word_id("ααααααααααααααααααααααααα").unwrap();
+        let w1 = c.word_id("ββββββββββββββββββββββββ").unwrap();
+        let id = dict.insert(&[w0, w1], 1);
+        let file = PhraseListFile::build(&c, &dict);
+        assert_eq!(file.len_bytes(), PHRASE_ENTRY_BYTES);
+        let mut pool = small_pool();
+        let text = file.read(id, &mut pool).unwrap();
+        assert!(text.len() <= PHRASE_ENTRY_BYTES);
+        assert!(text.chars().all(|ch| ch == 'α' || ch == 'β' || ch == ' '));
+    }
+
+    #[test]
+    fn wordlist_file_roundtrip_all_entries() {
+        let (_, _, lists) = setup();
+        let file = WordListFile::build(&lists);
+        assert_eq!(file.total_entries(), lists.total_entries());
+        assert_eq!(file.len_bytes(), lists.total_entries() * ENTRY_BYTES);
+        let mut pool = small_pool();
+        for feat in lists.features() {
+            let want = lists.list(*feat);
+            assert_eq!(file.list_len(*feat), want.len());
+            for (i, e) in want.iter().enumerate() {
+                let got = file.read_entry(*feat, i, &mut pool).unwrap();
+                assert_eq!(got.phrase, e.phrase);
+                assert_eq!(got.prob.to_bits(), e.prob.to_bits());
+            }
+            assert!(file.read_entry(*feat, want.len(), &mut pool).is_none());
+        }
+    }
+
+    #[test]
+    fn to_lists_rehydrates_identical_lists() {
+        let (_, _, lists) = setup();
+        let file = WordListFile::build(&lists);
+        let back = file.to_lists();
+        assert_eq!(back.total_entries(), lists.total_entries());
+        assert_eq!(back.num_features(), lists.num_features());
+        for feat in lists.features() {
+            let a = lists.list(*feat);
+            let b = back.list(*feat);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.phrase, y.phrase);
+                assert_eq!(x.prob.to_bits(), y.prob.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn wordlist_file_missing_feature() {
+        let (_, _, lists) = setup();
+        let file = WordListFile::build(&lists);
+        let missing = Feature::Word(WordId(999_999));
+        assert!(!file.has_feature(missing));
+        assert_eq!(file.list_len(missing), 0);
+        let mut pool = small_pool();
+        assert!(file.read_entry(missing, 0, &mut pool).is_none());
+    }
+
+    #[test]
+    fn sequential_list_scan_is_mostly_sequential_io() {
+        let (_, _, lists) = setup();
+        let file = WordListFile::build(&lists);
+        // Find the longest list and scan it end to end.
+        let feat = *lists
+            .features()
+            .iter()
+            .max_by_key(|f| file.list_len(**f))
+            .unwrap();
+        let mut pool = small_pool();
+        let n = file.list_len(feat);
+        for i in 0..n {
+            file.read_entry(feat, i, &mut pool).unwrap();
+        }
+        let s = pool.stats();
+        // All fetches beyond the first must be sequential for a pure scan.
+        assert!(s.random_fetches <= 1, "scan produced {s:?}");
+    }
+
+    #[test]
+    fn partial_lists_serialize_smaller() {
+        let (_, _, lists) = setup();
+        let full = WordListFile::build(&lists);
+        let half = WordListFile::build(&lists.partial(0.5));
+        assert!(half.len_bytes() < full.len_bytes());
+        assert!(half.total_entries() >= 1);
+    }
+}

@@ -1,0 +1,473 @@
+//! Bit-packed word-specific list layout — the paper's exact entry size.
+//!
+//! §4.2.2 of the paper: "Each pair in the phrase list occupies exactly
+//! `⌈log(|P|)⌉ + 64` bits" — the phrase ID at the minimum width that can
+//! address the dictionary, the probability as a full double. The plain
+//! [`crate::files::WordListFile`] (and the paper's own Table 5 accounting)
+//! rounds the ID up to a whole `u32`, i.e. 12 bytes per entry; this module
+//! implements the bit-exact layout, so the index-size experiment can report
+//! both and quantify what the packing buys.
+//!
+//! Entries remain score-ordered within each feature's run and are read
+//! through the same simulated [`BufferPool`], so NRA runs unchanged over
+//! packed lists via [`PackedCursor`] — only the bytes-per-entry (and hence
+//! pages touched) change.
+
+use bytes::Bytes;
+use ipm_corpus::hash::FxHashMap;
+use ipm_corpus::{Feature, PhraseId};
+use ipm_index::cursor::{prefix_len, ScoredListCursor};
+use ipm_index::wordlists::{ListEntry, WordPhraseLists, ENTRY_BYTES};
+use parking_lot::Mutex;
+
+use crate::bits::{bits_for_ids, read_bits, BitWriter};
+use crate::cost::{CostModel, IoStats};
+use crate::files::ListRun;
+use crate::pool::{BufferPool, PoolConfig};
+
+/// Bit-packed serialization of score-ordered word-specific lists.
+#[derive(Debug, Clone)]
+pub struct PackedWordListFile {
+    pub(crate) data: Bytes,
+    pub(crate) directory: FxHashMap<u64, ListRun>,
+    pub(crate) total_entries: usize,
+    pub(crate) id_bits: u32,
+}
+
+impl PackedWordListFile {
+    /// Packs `lists` with IDs wide enough for a dictionary of `num_phrases`
+    /// phrases (pass `dict.len()`; every ID stored must be `< num_phrases`).
+    ///
+    /// # Panics
+    /// Panics if a list entry's phrase ID does not fit in
+    /// `⌈log₂(num_phrases)⌉` bits.
+    pub fn build(lists: &WordPhraseLists, num_phrases: usize) -> Self {
+        let id_bits = bits_for_ids(num_phrases);
+        let entry_bits = u64::from(id_bits) + 64;
+        let mut w = BitWriter::with_capacity_bits(lists.total_entries() as u64 * entry_bits);
+        let mut directory = FxHashMap::default();
+        let mut written = 0u64;
+        for (slot, feat) in lists.features().iter().enumerate() {
+            let list = lists.list_by_slot(slot as u32);
+            directory.insert(
+                feat.encode(),
+                ListRun {
+                    start: written,
+                    len: list.len() as u64,
+                },
+            );
+            for e in list {
+                assert!(
+                    u64::from(e.phrase.raw()) < (1u64 << id_bits).max(2),
+                    "phrase id {} exceeds id width {id_bits}",
+                    e.phrase.raw()
+                );
+                w.write(u64::from(e.phrase.raw()), id_bits);
+                w.write(e.prob.to_bits(), 64);
+            }
+            written += list.len() as u64;
+        }
+        Self {
+            data: Bytes::from(w.into_bytes()),
+            directory,
+            total_entries: written as usize,
+            id_bits,
+        }
+    }
+
+    /// Bits per `[phrase_id, prob]` entry: `⌈log₂|P|⌉ + 64`.
+    pub fn entry_bits(&self) -> u32 {
+        self.id_bits + 64
+    }
+
+    /// ID width in bits.
+    pub fn id_bits(&self) -> u32 {
+        self.id_bits
+    }
+
+    /// Packed file size in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Size the same entries occupy in the unpacked 12-byte layout.
+    pub fn unpacked_bytes(&self) -> usize {
+        self.total_entries * ENTRY_BYTES
+    }
+
+    /// Total entries across all lists.
+    pub fn total_entries(&self) -> usize {
+        self.total_entries
+    }
+
+    /// Length (in entries) of a feature's list; 0 if absent.
+    pub fn list_len(&self, feature: Feature) -> usize {
+        self.directory
+            .get(&feature.encode())
+            .map(|r| r.len as usize)
+            .unwrap_or(0)
+    }
+
+    /// Whether the feature has a directory entry.
+    pub fn has_feature(&self, feature: Feature) -> bool {
+        self.directory.contains_key(&feature.encode())
+    }
+
+    /// Reads entry `i` of `feature`'s list through the buffer pool,
+    /// charging the byte range the entry's bits span.
+    pub fn read_entry(
+        &self,
+        feature: Feature,
+        i: usize,
+        pool: &mut BufferPool,
+    ) -> Option<ListEntry> {
+        let run = self.directory.get(&feature.encode())?;
+        if i as u64 >= run.len {
+            return None;
+        }
+        let entry_bits = u64::from(self.entry_bits());
+        let start_bit = (run.start + i as u64) * entry_bits;
+        let start_byte = start_bit / 8;
+        let end_byte = (start_bit + entry_bits).div_ceil(8);
+        pool.access_range(start_byte, end_byte - start_byte, self.data.len() as u64);
+        let phrase = read_bits(&self.data, start_bit, self.id_bits) as u32;
+        let prob = f64::from_bits(read_bits(&self.data, start_bit + u64::from(self.id_bits), 64));
+        Some(ListEntry {
+            phrase: PhraseId(phrase),
+            prob,
+        })
+    }
+}
+
+/// Disk-resident packed lists: serialized image + shared buffer pool,
+/// mirroring [`crate::disklists::DiskLists`] for the packed layout.
+pub struct PackedLists {
+    file: PackedWordListFile,
+    pool: Mutex<BufferPool>,
+    cost: CostModel,
+}
+
+impl PackedLists {
+    /// Packs `lists` and wraps them with the paper's default pool/cost
+    /// configuration.
+    pub fn build(lists: &WordPhraseLists, num_phrases: usize) -> Self {
+        Self::with_config(
+            lists,
+            num_phrases,
+            PoolConfig::default(),
+            CostModel::default(),
+        )
+    }
+
+    /// Full-control constructor.
+    pub fn with_config(
+        lists: &WordPhraseLists,
+        num_phrases: usize,
+        pool: PoolConfig,
+        cost: CostModel,
+    ) -> Self {
+        Self::from_file_with_config(PackedWordListFile::build(lists, num_phrases), pool, cost)
+    }
+
+    /// Wraps an already-built (e.g. reloaded via
+    /// [`crate::persist::load_packed_lists`]) packed image with the paper's
+    /// default pool/cost configuration.
+    pub fn from_file(file: PackedWordListFile) -> Self {
+        Self::from_file_with_config(file, PoolConfig::default(), CostModel::default())
+    }
+
+    /// Wraps a packed image with an explicit pool/cost configuration.
+    pub fn from_file_with_config(
+        file: PackedWordListFile,
+        pool: PoolConfig,
+        cost: CostModel,
+    ) -> Self {
+        Self {
+            file,
+            pool: Mutex::new(BufferPool::new(pool)),
+            cost,
+        }
+    }
+
+    /// The underlying packed file.
+    pub fn file(&self) -> &PackedWordListFile {
+        &self.file
+    }
+
+    /// Snapshot of accumulated IO statistics.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.lock().stats()
+    }
+
+    /// Simulated IO milliseconds accumulated so far.
+    pub fn io_ms(&self) -> f64 {
+        self.io_stats().io_ms(&self.cost)
+    }
+
+    /// Cold-cache reset (between queries in the experiment harness).
+    pub fn reset_io(&self) {
+        self.pool.lock().reset();
+    }
+
+    /// Opens a cursor over the top-`fraction` prefix of `feature`'s list.
+    pub fn cursor(&self, feature: Feature, fraction: f64) -> PackedCursor<'_> {
+        let limit = prefix_len(self.file.list_len(feature), fraction);
+        PackedCursor {
+            owner: self,
+            feature,
+            pos: 0,
+            limit,
+        }
+    }
+}
+
+impl std::fmt::Debug for PackedLists {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedLists")
+            .field("bytes", &self.file.len_bytes())
+            .field("entry_bits", &self.file.entry_bits())
+            .field("io", &self.io_stats())
+            .finish()
+    }
+}
+
+/// A forward cursor over one packed disk-resident list.
+pub struct PackedCursor<'a> {
+    owner: &'a PackedLists,
+    feature: Feature,
+    pos: usize,
+    limit: usize,
+}
+
+impl ScoredListCursor for PackedCursor<'_> {
+    fn next_entry(&mut self) -> Option<ListEntry> {
+        if self.pos >= self.limit {
+            return None;
+        }
+        let mut pool = self.owner.pool.lock();
+        let e = self.owner.file.read_entry(self.feature, self.pos, &mut pool);
+        if e.is_some() {
+            self.pos += 1;
+        }
+        e
+    }
+
+    fn len(&self) -> usize {
+        self.limit
+    }
+
+    fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipm_index::corpus_index::{CorpusIndex, IndexConfig};
+    use ipm_index::mining::MiningConfig;
+    use ipm_index::wordlists::WordListConfig;
+
+    fn setup() -> (ipm_corpus::Corpus, CorpusIndex, WordPhraseLists) {
+        let (c, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+        let index = CorpusIndex::build(
+            &c,
+            &IndexConfig {
+                mining: MiningConfig {
+                    min_df: 3,
+                    max_len: 4,
+                    min_len: 1,
+                },
+            },
+        );
+        let lists = WordPhraseLists::build(&c, &index, &WordListConfig::default());
+        (c, index, lists)
+    }
+
+    fn small_pool() -> BufferPool {
+        BufferPool::new(PoolConfig {
+            page_size: 64,
+            capacity_pages: 4,
+            lookahead_pages: 1,
+        })
+    }
+
+    #[test]
+    fn packed_roundtrip_matches_source_lists() {
+        let (_, index, lists) = setup();
+        let file = PackedWordListFile::build(&lists, index.dict.len());
+        assert_eq!(file.total_entries(), lists.total_entries());
+        let mut pool = small_pool();
+        for feat in lists.features() {
+            let want = lists.list(*feat);
+            assert_eq!(file.list_len(*feat), want.len());
+            for (i, e) in want.iter().enumerate() {
+                let got = file.read_entry(*feat, i, &mut pool).unwrap();
+                assert_eq!(got.phrase, e.phrase);
+                assert_eq!(got.prob.to_bits(), e.prob.to_bits());
+            }
+            assert!(file.read_entry(*feat, want.len(), &mut pool).is_none());
+        }
+    }
+
+    #[test]
+    fn packed_entry_width_matches_paper_formula() {
+        let (_, index, lists) = setup();
+        let file = PackedWordListFile::build(&lists, index.dict.len());
+        let want_id_bits = bits_for_ids(index.dict.len());
+        assert_eq!(file.id_bits(), want_id_bits);
+        assert_eq!(file.entry_bits(), want_id_bits + 64);
+        // Total size = ceil(entries * entry_bits / 8).
+        let want_bytes =
+            (file.total_entries() as u64 * u64::from(file.entry_bits())).div_ceil(8) as usize;
+        assert_eq!(file.len_bytes(), want_bytes);
+    }
+
+    #[test]
+    fn packed_is_smaller_than_unpacked() {
+        let (_, index, lists) = setup();
+        let file = PackedWordListFile::build(&lists, index.dict.len());
+        // Dictionary ids fit well below 32 bits here, so packing must win.
+        assert!(file.id_bits() < 32);
+        assert!(file.len_bytes() < file.unpacked_bytes());
+        // Savings ratio = (id_bits + 64) / 96.
+        let want = f64::from(file.entry_bits()) / 96.0;
+        let got = file.len_bytes() as f64 / file.unpacked_bytes() as f64;
+        assert!((got - want).abs() < 0.01, "got {got}, want ≈{want}");
+    }
+
+    #[test]
+    fn missing_feature_is_absent() {
+        let (_, index, lists) = setup();
+        let file = PackedWordListFile::build(&lists, index.dict.len());
+        let missing = Feature::Word(ipm_corpus::WordId(999_999));
+        assert!(!file.has_feature(missing));
+        assert_eq!(file.list_len(missing), 0);
+        let mut pool = small_pool();
+        assert!(file.read_entry(missing, 0, &mut pool).is_none());
+    }
+
+    #[test]
+    fn packed_cursor_agrees_with_memory_list() {
+        let (_, index, lists) = setup();
+        let packed = PackedLists::build(&lists, index.dict.len());
+        for feat in lists.features() {
+            let want = lists.list(*feat);
+            let mut cur = packed.cursor(*feat, 1.0);
+            assert_eq!(cur.len(), want.len());
+            for e in want {
+                let got = cur.next_entry().unwrap();
+                assert_eq!(got.phrase, e.phrase);
+                assert_eq!(got.prob.to_bits(), e.prob.to_bits());
+            }
+            assert!(cur.next_entry().is_none());
+        }
+        assert!(packed.io_stats().total_accesses() > 0);
+    }
+
+    #[test]
+    fn packed_cursor_partial_fraction() {
+        let (_, index, lists) = setup();
+        let packed = PackedLists::build(&lists, index.dict.len());
+        let feat = *lists
+            .features()
+            .iter()
+            .max_by_key(|f| lists.list(**f).len())
+            .unwrap();
+        let full = lists.list(feat).len();
+        let mut cur = packed.cursor(feat, 0.25);
+        let expect = prefix_len(full, 0.25);
+        assert_eq!(cur.len(), expect);
+        let mut n = 0;
+        while cur.next_entry().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, expect);
+    }
+
+    #[test]
+    fn packed_scan_touches_fewer_pages_than_unpacked() {
+        // The point of packing: fewer bytes ⇒ fewer page fetches for the
+        // same logical scan.
+        let (c, index, lists) = setup();
+        let packed = PackedLists::with_config(
+            &lists,
+            index.dict.len(),
+            PoolConfig {
+                page_size: 256,
+                capacity_pages: 4,
+                lookahead_pages: 1,
+            },
+            CostModel::default(),
+        );
+        let plain = crate::disklists::DiskLists::with_config(
+            &c,
+            &index.dict,
+            &lists,
+            PoolConfig {
+                page_size: 256,
+                capacity_pages: 4,
+                lookahead_pages: 1,
+            },
+            CostModel::default(),
+        );
+        let feat = *lists
+            .features()
+            .iter()
+            .max_by_key(|f| lists.list(**f).len())
+            .unwrap();
+        let mut pc = packed.cursor(feat, 1.0);
+        while pc.next_entry().is_some() {}
+        let mut uc = plain.cursor(feat, 1.0);
+        while uc.next_entry().is_some() {}
+        let (ps, us) = (packed.io_stats(), plain.io_stats());
+        assert!(
+            ps.total_fetches() <= us.total_fetches(),
+            "packed {ps:?} vs plain {us:?}"
+        );
+    }
+
+    #[test]
+    fn io_reset_clears_stats() {
+        let (_, index, lists) = setup();
+        let packed = PackedLists::build(&lists, index.dict.len());
+        let feat = lists.features()[0];
+        let mut cur = packed.cursor(feat, 1.0);
+        while cur.next_entry().is_some() {}
+        packed.reset_io();
+        assert_eq!(packed.io_stats(), IoStats::default());
+    }
+
+    #[test]
+    fn tiny_dictionary_gets_one_bit_ids() {
+        // A degenerate single-phrase dictionary still roundtrips.
+        use ipm_corpus::{CorpusBuilder, TokenizerConfig};
+        let mut b = CorpusBuilder::new(TokenizerConfig::default());
+        b.add_text("alpha beta");
+        b.add_text("alpha beta");
+        let c = b.build();
+        let index = CorpusIndex::build(
+            &c,
+            &IndexConfig {
+                mining: MiningConfig {
+                    min_df: 2,
+                    max_len: 2,
+                    min_len: 2,
+                },
+            },
+        );
+        assert_eq!(index.dict.len(), 1);
+        let lists = WordPhraseLists::build(&c, &index, &WordListConfig::default());
+        let file = PackedWordListFile::build(&lists, index.dict.len());
+        assert_eq!(file.id_bits(), 1);
+        assert_eq!(file.entry_bits(), 65);
+        let mut pool = small_pool();
+        for feat in lists.features() {
+            for (i, e) in lists.list(*feat).iter().enumerate() {
+                let got = file.read_entry(*feat, i, &mut pool).unwrap();
+                assert_eq!(got.phrase, e.phrase);
+                assert_eq!(got.prob.to_bits(), e.prob.to_bits());
+            }
+        }
+    }
+}

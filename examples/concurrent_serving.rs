@@ -1,0 +1,73 @@
+//! Concurrent serving: one immutable index, many query threads.
+//!
+//! The paper's conclusion — millisecond responses make phrase mining
+//! feasible "for search-like interactive systems" — implies a server
+//! answering many queries at once. [`QueryEngine`] is the thread-safe
+//! handle for that: build the index once, clone the engine per worker.
+//!
+//! ```text
+//! cargo run --release --example concurrent_serving
+//! ```
+
+use interesting_phrases::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // Build once (the expensive offline step).
+    let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+    let engine = QueryEngine::new(PhraseMiner::build(&corpus, MinerConfig::default()));
+    println!(
+        "index ready: {} phrases over {} documents",
+        engine.miner().index().dict.len(),
+        corpus.num_docs()
+    );
+
+    // A small workload of string queries over frequent corpus words.
+    let top = ipm_corpus::stats::top_words_by_df(engine.miner().corpus(), 8);
+    let terms: Vec<String> = top
+        .iter()
+        .map(|&(w, _)| corpus.words().term(w).unwrap().to_owned())
+        .collect();
+    let queries: Vec<String> = (0..terms.len() - 1)
+        .flat_map(|i| {
+            [
+                format!("{} AND {}", terms[i], terms[i + 1]),
+                format!("{} OR {}", terms[i], terms[i + 1]),
+            ]
+        })
+        .collect();
+
+    // Serve from 4 worker threads; each gets a cheap clone of the engine.
+    let workers = 4;
+    let rounds = 50;
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let engine = engine.clone();
+            let queries = queries.clone();
+            s.spawn(move || {
+                for r in 0..rounds {
+                    let q = &queries[(w + r) % queries.len()];
+                    let resp = engine.search(q, 5).expect("harvested terms parse");
+                    if w == 0 && r == 0 {
+                        println!("\nsample response for `{q}`:");
+                        for hit in &resp.hits {
+                            println!(
+                                "  {:<30} I ≈ {:.3}",
+                                hit.text, hit.interestingness
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let served = engine.queries_served();
+    println!(
+        "\nserved {served} queries from {workers} threads in {:.1} ms ({:.2} ms/query wall)",
+        elapsed.as_secs_f64() * 1e3,
+        elapsed.as_secs_f64() * 1e3 / served as f64,
+    );
+}

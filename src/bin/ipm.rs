@@ -1,0 +1,331 @@
+//! `ipm` — command-line interesting-phrase mining.
+//!
+//! ```text
+//! ipm index --input docs.jsonl --out index_dir [--min-df 5] [--max-len 6]
+//! ipm query --input docs.jsonl "trade AND reserves" [--k 5] [--method nra|smj|ta|exact]
+//! ipm stats --input docs.jsonl
+//! ipm demo  "w1 OR w2"            # synthetic corpus, no input file needed
+//! ```
+//!
+//! Input formats: `.jsonl` (objects with `text` and optional `facets`) or
+//! plain text (one document per line). `index` persists the serialized word
+//! lists + phrase file (with checksums) into a directory; `query` builds
+//! in-memory and answers one query.
+
+use interesting_phrases::prelude::*;
+use ipm_storage::persist;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  ipm index --input <file> --out <dir> [--min-df N] [--max-len N] [--fraction F]
+  ipm query --input <file> <query string> [--k N] [--method nra|smj|ta|exact] [--fraction F]
+  ipm repl  [--input <file>] [--k N] [--filter-redundant true]
+  ipm stats --input <file>
+  ipm demo  <query string> [--k N]
+
+query strings: terms joined by AND or OR (one operator per query);
+key:value terms are metadata facets. Bare terms default to AND.
+repl reads one query per stdin line (synthetic demo corpus without --input).";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "index" => cmd_index(rest),
+        "query" => cmd_query(rest),
+        "repl" => cmd_repl(rest),
+        "stats" => cmd_stats(rest),
+        "demo" => cmd_demo(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand: {other}")),
+    }
+}
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+struct Flags {
+    named: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut named = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let val = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                named.push((key.to_owned(), val.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Self { named, positional })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.named
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+}
+
+fn load_corpus(path: &str) -> Result<Corpus, String> {
+    let tokenizer = TokenizerConfig::default();
+    let corpus = if path.ends_with(".jsonl") || path.ends_with(".ndjson") {
+        ipm_corpus::loader::load_jsonl(path, tokenizer)
+    } else {
+        ipm_corpus::loader::load_lines(path, tokenizer)
+    }
+    .map_err(|e| format!("cannot load {path}: {e}"))?;
+    if corpus.is_empty() {
+        return Err(format!("{path} contains no documents"));
+    }
+    Ok(corpus)
+}
+
+fn build_miner(corpus: &Corpus, flags: &Flags) -> Result<PhraseMiner, String> {
+    let min_df: u32 = flags.get_parsed("min-df", 5)?;
+    let max_len: usize = flags.get_parsed("max-len", 6)?;
+    let config = MinerConfig {
+        index: ipm_index::corpus_index::IndexConfig {
+            mining: ipm_index::mining::MiningConfig {
+                min_df,
+                max_len,
+                min_len: 1,
+            },
+        },
+        ..Default::default()
+    };
+    eprintln!(
+        "indexing {} documents (min-df {min_df}, n-grams ≤ {max_len})...",
+        corpus.num_docs()
+    );
+    Ok(PhraseMiner::build(corpus, config))
+}
+
+fn cmd_index(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let input = flags.get("input").ok_or("index needs --input")?;
+    let out = flags.get("out").ok_or("index needs --out")?;
+    let fraction: f64 = flags.get_parsed("fraction", 1.0)?;
+
+    let corpus = load_corpus(input)?;
+    let miner = build_miner(&corpus, &flags)?;
+
+    std::fs::create_dir_all(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let lists = if fraction < 1.0 {
+        miner.lists().partial(fraction)
+    } else {
+        miner.lists().clone()
+    };
+    let word_file = ipm_storage::WordListFile::build(&lists);
+    let phrase_file = ipm_storage::PhraseListFile::build(miner.corpus(), &miner.index().dict);
+    let wl_path = format!("{out}/wordlists.ipw");
+    let pl_path = format!("{out}/phrases.ipp");
+    persist::save_word_lists(&word_file, &wl_path).map_err(|e| e.to_string())?;
+    persist::save_phrase_list(&phrase_file, &pl_path).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {wl_path} ({} entries, {} bytes) and {pl_path} ({} phrases, {} bytes)",
+        word_file.total_entries(),
+        word_file.len_bytes(),
+        phrase_file.num_phrases(),
+        phrase_file.len_bytes()
+    );
+    // Verify the files read back cleanly (checksums) before declaring success.
+    persist::load_word_lists(&wl_path).map_err(|e| format!("verification failed: {e}"))?;
+    persist::load_phrase_list(&pl_path).map_err(|e| format!("verification failed: {e}"))?;
+    println!("verified: both files load with valid checksums");
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let input = flags.get("input").ok_or("query needs --input")?;
+    let query_str = flags
+        .positional
+        .first()
+        .ok_or("query needs a query string")?;
+    let k: usize = flags.get_parsed("k", 5)?;
+    let method = flags.get("method").unwrap_or("nra");
+    let fraction: f64 = flags.get_parsed("fraction", 1.0)?;
+
+    let corpus = load_corpus(input)?;
+    let miner = build_miner(&corpus, &flags)?;
+    let query = miner.parse_query_str(query_str).map_err(|e| e.to_string())?;
+    run_and_print(&miner, &query, k, method, fraction)
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let query_str = flags
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("w1 OR w2");
+    let k: usize = flags.get_parsed("k", 5)?;
+
+    let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+    let miner = PhraseMiner::build(&corpus, MinerConfig::default());
+    let query = miner.parse_query_str(query_str).map_err(|e| e.to_string())?;
+    println!("demo corpus: {} docs; query: {}", corpus.num_docs(), query.render(miner.corpus()));
+    for method in ["exact", "smj", "nra", "ta"] {
+        println!("\n[{method}]");
+        run_and_print(&miner, &query, k, method, 1.0)?;
+    }
+    Ok(())
+}
+
+fn cmd_repl(args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, Write};
+
+    let flags = Flags::parse(args)?;
+    let k: usize = flags.get_parsed("k", 5)?;
+    let filter: bool = flags.get_parsed("filter-redundant", false)?;
+
+    let corpus = match flags.get("input") {
+        Some(path) => load_corpus(path)?,
+        None => {
+            eprintln!("no --input: serving the synthetic demo corpus");
+            ipm_corpus::synth::generate(&ipm_corpus::synth::tiny()).0
+        }
+    };
+    let miner = match flags.get("input") {
+        Some(_) => build_miner(&corpus, &flags)?,
+        None => PhraseMiner::build(&corpus, MinerConfig::default()),
+    };
+    let engine = QueryEngine::new(miner);
+    let options = SearchOptions {
+        redundancy: filter.then(RedundancyConfig::default),
+        ..Default::default()
+    };
+    eprintln!(
+        "ready: {} docs, {} phrases. One query per line (ctrl-d to exit).",
+        corpus.num_docs(),
+        engine.miner().index().dict.len()
+    );
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout().lock();
+    let prompt = || {
+        eprint!("ipm> ");
+        let _ = std::io::stderr().flush();
+    };
+    prompt();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin read failed: {e}"))?;
+        let input = line.trim();
+        if input.is_empty() {
+            prompt();
+            continue;
+        }
+        if input == "quit" || input == "exit" {
+            break;
+        }
+        match engine.search_with(input, k, &options) {
+            Ok(resp) => {
+                for (i, h) in resp.hits.iter().enumerate() {
+                    writeln!(
+                        out,
+                        "{:>2}. {:<40} I≈{:.3}",
+                        i + 1,
+                        h.text,
+                        h.interestingness
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+                writeln!(
+                    out,
+                    "({} hits, {:.2} ms)",
+                    resp.hits.len(),
+                    resp.elapsed.as_secs_f64() * 1e3
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+        prompt();
+    }
+    eprintln!("served {} queries", engine.queries_served());
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let input = flags.get("input").ok_or("stats needs --input")?;
+    let corpus = load_corpus(input)?;
+    let stats = ipm_corpus::stats::CorpusStats::compute(&corpus);
+    println!("documents:            {}", stats.num_docs);
+    println!("vocabulary:           {}", stats.vocab_size);
+    println!("facet values:         {}", stats.num_facets);
+    println!("total tokens:         {}", stats.total_tokens);
+    println!("mean doc length:      {:.1}", stats.mean_doc_len);
+    println!("max doc length:       {}", stats.max_doc_len);
+    println!("mean distinct words:  {:.1}", stats.mean_distinct_words);
+    println!("zipf slope:           {:.2}", ipm_corpus::stats::zipf_slope(&corpus));
+    Ok(())
+}
+
+fn run_and_print(
+    miner: &PhraseMiner,
+    query: &Query,
+    k: usize,
+    method: &str,
+    fraction: f64,
+) -> Result<(), String> {
+    let start = std::time::Instant::now();
+    let hits: Vec<PhraseHit> = match method {
+        "exact" => miner.top_k_exact(query, k),
+        "smj" => miner.top_k_smj(query, k),
+        "ta" => miner.top_k_ta(query, k).hits,
+        "nra" => miner.top_k_nra_partial(query, k, fraction).hits,
+        other => return Err(format!("unknown method: {other} (nra|smj|ta|exact)")),
+    };
+    let elapsed = start.elapsed().as_secs_f64() * 1000.0;
+    if hits.is_empty() {
+        println!("(no phrases match)");
+    }
+    for (i, h) in hits.iter().enumerate() {
+        let est = ipm_core::scoring::estimated_interestingness(query.op, h.score);
+        println!(
+            "{:>2}. {:<40} score {:>9.4}  I≈{:.3}",
+            i + 1,
+            miner.phrase_text(h.phrase),
+            h.score,
+            est
+        );
+    }
+    println!("({method}, {elapsed:.2} ms)");
+    Ok(())
+}

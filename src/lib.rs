@@ -1,0 +1,63 @@
+//! # interesting-phrases
+//!
+//! A Rust reproduction of *Fast Mining of Interesting Phrases from Subsets of
+//! Text Corpora* (Padmanabhan, Dey & Majumdar, EDBT 2014).
+//!
+//! This umbrella crate re-exports the public API of the workspace crates:
+//!
+//! * [`corpus`] — documents, vocabularies, tokenization, synthetic corpus
+//!   generators ([`ipm_corpus`]).
+//! * [`index`] — phrase mining, inverted/forward indexes, and the paper's
+//!   word-specific phrase lists ([`ipm_index`]).
+//! * [`storage`] — the disk-simulation substrate: pages, LRU buffer pool,
+//!   IO cost accounting ([`ipm_storage`]).
+//! * [`core`] — phrase scoring under the conditional-independence
+//!   assumption, the NRA, SMJ and TA top-k algorithms, the exact scorer,
+//!   the incremental delta index, the redundancy filter, alternative
+//!   measures (PMI/NPMI), a query-string parser, the high-level
+//!   [`core::miner::PhraseMiner`] API and the thread-safe
+//!   [`core::engine::QueryEngine`] ([`ipm_core`]).
+//! * [`baselines`] — the exact forward-index (Bedathur et al.), GM
+//!   (Gao & Michel) and Simitsis baselines ([`ipm_baselines`]).
+//! * [`eval`] — IR quality metrics, query harvesting, and the experiment
+//!   harness reproducing every table and figure of the paper ([`ipm_eval`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use interesting_phrases::prelude::*;
+//!
+//! // 1. Get a corpus (here: the tiny synthetic preset).
+//! let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+//!
+//! // 2. Build the miner (phrase dictionary, postings, word lists).
+//! let miner = PhraseMiner::build(&corpus, MinerConfig::default());
+//!
+//! // 3. Ask for the top-5 interesting phrases of a keyword sub-collection.
+//! let query = miner.parse_query(&["w1", "w2"], Operator::Or).unwrap();
+//! let top = miner.top_k_smj(&query, 5);
+//! for hit in &top {
+//!     println!("{}  (score {:.4})", miner.phrase_text(hit.phrase), hit.score);
+//! }
+//! ```
+
+pub use ipm_baselines as baselines;
+pub use ipm_core as core;
+pub use ipm_corpus as corpus;
+pub use ipm_eval as eval;
+pub use ipm_index as index;
+pub use ipm_storage as storage;
+
+/// Convenient glob-import surface for applications.
+pub mod prelude {
+    pub use ipm_core::engine::{
+        Algorithm, QueryEngine, SearchHit, SearchOptions, SearchResponse,
+    };
+    pub use ipm_core::measures::Measure;
+    pub use ipm_core::miner::{MinerConfig, PhraseMiner};
+    pub use ipm_core::query::{Operator, Query};
+    pub use ipm_core::redundancy::RedundancyConfig;
+    pub use ipm_core::result::PhraseHit;
+    pub use ipm_corpus::{Corpus, CorpusBuilder, DocId, Feature, PhraseId, TokenizerConfig, WordId};
+    pub use ipm_index::phrase::PhraseDictionary;
+}
