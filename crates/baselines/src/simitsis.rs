@@ -29,8 +29,7 @@ pub struct SimitsisBaseline {
 impl SimitsisBaseline {
     /// Orders the phrase lists by decreasing cardinality.
     pub fn build(index: &CorpusIndex) -> Self {
-        let mut by_df_desc: Vec<PhraseId> =
-            (0..index.dict.len() as u32).map(PhraseId).collect();
+        let mut by_df_desc: Vec<PhraseId> = (0..index.dict.len() as u32).map(PhraseId).collect();
         by_df_desc.sort_by(|&a, &b| {
             index
                 .phrases
@@ -79,9 +78,7 @@ impl TopKBaseline for SimitsisBaseline {
         // Phase 2: normalization-based scoring of the surviving phrases.
         let mut hits: Vec<PhraseHit> = candidates
             .into_iter()
-            .map(|(p, inter)| {
-                PhraseHit::exact(p, inter as f64 / index.phrases.df(p) as f64)
-            })
+            .map(|(p, inter)| PhraseHit::exact(p, inter as f64 / index.phrases.df(p) as f64))
             .collect();
         truncate_top_k(&mut hits, k);
         hits
@@ -92,7 +89,7 @@ impl TopKBaseline for SimitsisBaseline {
 mod tests {
     use super::*;
     use crate::testutil::{frequent_query, tiny_indexed};
-    use ipm_core::exact::{exact_top_k, exact_scores_for_subset};
+    use ipm_core::exact::{exact_scores_for_subset, exact_top_k};
     use ipm_core::query::Operator;
 
     #[test]

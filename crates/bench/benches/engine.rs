@@ -27,7 +27,12 @@ fn engine_and_queries() -> (QueryEngine, Vec<String>) {
 fn bench_engine_latency(c: &mut Criterion) {
     let (engine, queries) = engine_and_queries();
     let mut group = c.benchmark_group("engine/latency");
-    for alg in [Algorithm::Nra, Algorithm::Smj, Algorithm::Ta, Algorithm::Exact] {
+    for alg in [
+        Algorithm::Nra,
+        Algorithm::Smj,
+        Algorithm::Ta,
+        Algorithm::Exact,
+    ] {
         let options = SearchOptions {
             algorithm: alg,
             ..Default::default()
@@ -54,26 +59,22 @@ fn bench_engine_throughput(c: &mut Criterion) {
     let batch = 64u64;
     group.throughput(Throughput::Elements(batch));
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &n| {
-                b.iter(|| {
-                    std::thread::scope(|s| {
-                        for t in 0..n {
-                            let engine = engine.clone();
-                            let queries = &queries;
-                            s.spawn(move || {
-                                for i in 0..(batch as usize / n) {
-                                    let q = &queries[(t + i) % queries.len()];
-                                    engine.search(q, 5).unwrap();
-                                }
-                            });
-                        }
-                    })
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &n| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for t in 0..n {
+                        let engine = engine.clone();
+                        let queries = &queries;
+                        s.spawn(move || {
+                            for i in 0..(batch as usize / n) {
+                                let q = &queries[(t + i) % queries.len()];
+                                engine.search(q, 5).unwrap();
+                            }
+                        });
+                    }
                 })
-            },
-        );
+            })
+        });
     }
     group.finish();
 }

@@ -1,0 +1,113 @@
+//! Criterion benchmarks of the unified engine's query-result cache: cold
+//! (cache cleared before every query) vs cached (one warm-up, then pure
+//! hit path) latency, on both the in-memory and the simulated-disk
+//! backend. The hit path skips list traversal entirely — on the disk
+//! backend that also skips every simulated page access.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipm_core::{Algorithm, BackendChoice, MinerConfig, PhraseMiner, QueryEngine, SearchOptions};
+
+fn engine_and_queries() -> (QueryEngine, Vec<String>) {
+    let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+    let engine = QueryEngine::new(PhraseMiner::build(&corpus, MinerConfig::default()));
+    let top = ipm_corpus::stats::top_words_by_df(engine.miner().corpus(), 6);
+    let terms: Vec<String> = top
+        .iter()
+        .map(|&(w, _)| corpus.words().term(w).unwrap().to_owned())
+        .collect();
+    let queries = (0..terms.len() - 1)
+        .flat_map(|i| {
+            [
+                format!("{} AND {}", terms[i], terms[i + 1]),
+                format!("{} OR {}", terms[i], terms[i + 1]),
+            ]
+        })
+        .collect();
+    (engine, queries)
+}
+
+fn bench_cold_vs_cached(c: &mut Criterion) {
+    let (engine, queries) = engine_and_queries();
+    let mut group = c.benchmark_group("engine_cache/cold_vs_cached");
+    group.sample_size(30);
+    for backend in [BackendChoice::Memory, BackendChoice::Disk] {
+        let options = SearchOptions {
+            algorithm: Algorithm::Nra,
+            backend,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("cold", format!("{backend:?}")),
+            &options,
+            |b, opts| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    engine.clear_cache(); // every query recomputes
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    engine.search_with(q, 5, opts).unwrap().hits.len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cached", format!("{backend:?}")),
+            &options,
+            |b, opts| {
+                engine.clear_cache();
+                for q in &queries {
+                    engine.search_with(q, 5, opts).unwrap(); // warm the cache
+                }
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    let resp = engine.search_with(q, 5, opts).unwrap();
+                    assert!(resp.served_from_cache);
+                    resp.hits.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hit_path_by_algorithm(c: &mut Criterion) {
+    // The hit path is algorithm-independent by construction; measuring it
+    // per algorithm documents that repeated queries cost the same no
+    // matter how expensive the miss path is.
+    let (engine, queries) = engine_and_queries();
+    let mut group = c.benchmark_group("engine_cache/hit_path");
+    group.sample_size(30);
+    for algorithm in [
+        Algorithm::Nra,
+        Algorithm::Smj,
+        Algorithm::Ta,
+        Algorithm::Exact,
+    ] {
+        let options = SearchOptions {
+            algorithm,
+            backend: BackendChoice::Disk,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{algorithm:?}")),
+            &options,
+            |b, opts| {
+                engine.clear_cache();
+                for q in &queries {
+                    engine.search_with(q, 5, opts).unwrap();
+                }
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    engine.search_with(q, 5, opts).unwrap().hits.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_cached, bench_hit_path_by_algorithm);
+criterion_main!(benches);

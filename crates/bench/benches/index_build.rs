@@ -69,9 +69,15 @@ fn bench_intersection_ablation(c: &mut Criterion) {
     let medium = Postings::from_sorted((0..200_000).step_by(2).map(DocId).collect());
 
     let mut group = c.benchmark_group("postings/intersect");
-    group.bench_function("skewed_small_x_big", |b| b.iter(|| small.intersect(&big).len()));
-    group.bench_function("balanced_medium_x_big", |b| b.iter(|| medium.intersect(&big).len()));
-    group.bench_function("union_medium_x_big", |b| b.iter(|| medium.union(&big).len()));
+    group.bench_function("skewed_small_x_big", |b| {
+        b.iter(|| small.intersect(&big).len())
+    });
+    group.bench_function("balanced_medium_x_big", |b| {
+        b.iter(|| medium.intersect(&big).len())
+    });
+    group.bench_function("union_medium_x_big", |b| {
+        b.iter(|| medium.union(&big).len())
+    });
     group.finish();
 }
 

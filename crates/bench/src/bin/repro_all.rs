@@ -6,11 +6,13 @@
 //! IPM_RESULTS=results cargo run --release -p ipm-bench --bin repro_all
 //! ```
 
-use ipm_bench::{emit, BREAKDOWN_FRACTIONS, K, QUALITY_FRACTIONS, RUNTIME_FRACTIONS, SIZE_FRACTIONS};
+use ipm_bench::{
+    emit, BREAKDOWN_FRACTIONS, K, QUALITY_FRACTIONS, RUNTIME_FRACTIONS, SIZE_FRACTIONS,
+};
 use ipm_core::query::Operator;
 use ipm_eval::experiments::{
-    accuracy, breakdown, crossover, datasets, index_sizes, quality, query_length, runtime,
-    samples, summary, traversal, DatasetBundle,
+    accuracy, breakdown, crossover, datasets, index_sizes, quality, query_length, runtime, samples,
+    summary, traversal, DatasetBundle,
 };
 
 const SWEEP: &[f64] = &[0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 0.90, 1.00];

@@ -3,7 +3,9 @@
 //! recorded and the PubMed scale is being re-run, e.g. with a different
 //! `IPM_PUBMED_DOCS`).
 
-use ipm_bench::{emit, BREAKDOWN_FRACTIONS, K, QUALITY_FRACTIONS, RUNTIME_FRACTIONS, SIZE_FRACTIONS};
+use ipm_bench::{
+    emit, BREAKDOWN_FRACTIONS, K, QUALITY_FRACTIONS, RUNTIME_FRACTIONS, SIZE_FRACTIONS,
+};
 use ipm_core::query::Operator;
 use ipm_eval::experiments::{
     accuracy, breakdown, crossover, datasets, index_sizes, quality, runtime, samples, summary,

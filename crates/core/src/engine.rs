@@ -1,37 +1,70 @@
-//! A shared, thread-safe query front-end.
+//! A shared, thread-safe query front-end over pluggable list backends.
 //!
 //! The paper's closing claim is that list-based scoring makes interesting-
 //! phrase mining "a feasible task for search-like interactive systems".
 //! Such a system serves many concurrent queries over one immutable index.
-//! [`QueryEngine`] packages a built [`PhraseMiner`] behind an [`Arc`] with
-//! a string-query API, per-query algorithm choice, optional §5.6
-//! redundancy filtering, and served-query accounting. All index state is
-//! immutable after build, so clones of the engine can be handed to any
-//! number of threads.
+//! [`QueryEngine`] packages a built [`PhraseMiner`] behind an [`Arc`] with:
+//!
+//! * a string-query API and per-query algorithm choice (all four: NRA,
+//!   SMJ, TA, exact);
+//! * per-query **backend** choice ([`BackendChoice`]): the in-memory lists
+//!   or the simulated-disk image (`ipm_storage::DiskLists`), which is
+//!   built lazily on first use and reports per-query [`IoStats`];
+//! * a sharded LRU **result cache** keyed by `(query, k, options)`
+//!   ([`crate::cache`]), so repeated interactive queries skip list
+//!   traversal entirely — hit/miss counters sit next to
+//!   [`QueryEngine::queries_served`];
+//! * optional §5.6 redundancy filtering, composed with every algorithm,
+//!   backend and NRA fraction.
+//!
+//! All index state is immutable after build, so clones of the engine can
+//! be handed to any number of threads. Disk-backed requests serialize on
+//! an internal lock: the simulated buffer pool is shared, and per-query
+//! cold-cache IO accounting (the paper's §5.5 methodology) is only
+//! meaningful for one query at a time.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use crate::cache::{CacheConfig, CacheStats, ShardedLruCache};
+use crate::exact;
 use crate::miner::PhraseMiner;
+use crate::nra::{run_nra, NraConfig};
 use crate::parse::ParseError;
-use crate::query::Query;
+use crate::query::{Operator, Query};
 use crate::redundancy::RedundancyConfig;
 use crate::result::PhraseHit;
 use crate::scoring::estimated_interestingness;
+use crate::smj::run_smj_backend;
+use crate::ta::run_ta_backend;
+use ipm_index::backend::ListBackend;
+use ipm_storage::{DiskLists, IoStats};
 
 /// Which retrieval algorithm serves a request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Algorithm {
     /// NRA over score-ordered lists (paper Alg. 1) — the default.
     #[default]
     Nra,
     /// Sort-merge join over ID-ordered lists (paper Alg. 2).
     Smj,
-    /// The threshold algorithm with random probes (in-memory extension).
+    /// The threshold algorithm with random probes into the ID-ordered
+    /// lists.
     Ta,
     /// The exact scorer (ground truth; linear in `|D'|`).
     Exact,
+}
+
+/// Which list backend serves a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendChoice {
+    /// The in-memory word lists — the default.
+    #[default]
+    Memory,
+    /// The serialized disk image behind the simulated buffer pool; the
+    /// response carries the query's [`IoStats`].
+    Disk,
 }
 
 /// Per-request options.
@@ -39,12 +72,38 @@ pub enum Algorithm {
 pub struct SearchOptions {
     /// Retrieval algorithm.
     pub algorithm: Algorithm,
+    /// List backend.
+    pub backend: BackendChoice,
     /// Fraction of each score-ordered list NRA may read (`1.0` = full;
     /// ignored by the other algorithms — SMJ's fraction is fixed at build
-    /// time, paper §4.4.2).
+    /// time, paper §4.4.2). Composes with `redundancy`.
     pub nra_fraction: Option<f64>,
-    /// Optional §5.6 redundancy filter applied post-retrieval.
+    /// Optional §5.6 redundancy filter applied post-retrieval (the engine
+    /// over-fetches until `k` survivors are found or candidates run out).
     pub redundancy: Option<RedundancyConfig>,
+}
+
+/// Engine construction options.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Fraction of each score-ordered list serialized into the lazily
+    /// built disk image (`1.0` = full lists). Below `1.0`, disk-backed
+    /// NRA automatically runs with partial-list bound semantics (the
+    /// truncated tail may hold any phrase), and disk-backed SMJ/TA
+    /// become approximate exactly like their in-memory partial-list
+    /// counterparts (paper §4.3/§4.4.2).
+    pub disk_fraction: f64,
+    /// Result-cache sizing; `None` disables caching.
+    pub cache: Option<CacheConfig>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            disk_fraction: 1.0,
+            cache: Some(CacheConfig::default()),
+        }
+    }
 }
 
 /// One resolved result row.
@@ -67,6 +126,12 @@ pub struct SearchResponse {
     pub hits: Vec<SearchHit>,
     /// Wall-clock service time.
     pub elapsed: Duration,
+    /// Simulated IO performed by *this* request (disk backend only;
+    /// `None` on the memory backend and on cache hits, which perform no
+    /// list IO at all).
+    pub io: Option<IoStats>,
+    /// Whether the result came from the query cache.
+    pub served_from_cache: bool,
 }
 
 /// A cloneable, thread-safe handle to an immutable phrase-mining index.
@@ -75,13 +140,52 @@ pub struct QueryEngine {
     inner: Arc<Inner>,
 }
 
+/// The cache key: every request field that can change the result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    /// Encoded features, sorted — feature order never changes results, so
+    /// `a AND b` and `b AND a` share an entry.
+    features: Vec<u64>,
+    op: Operator,
+    k: usize,
+    algorithm: Algorithm,
+    backend: BackendChoice,
+    /// `nra_fraction` bit pattern (`1.0` when unset).
+    fraction_bits: u64,
+    /// `redundancy.max_overlap` bit pattern, when set.
+    redundancy_bits: Option<u64>,
+}
+
+impl CacheKey {
+    fn new(query: &Query, k: usize, options: &SearchOptions) -> Self {
+        let mut features: Vec<u64> = query.features.iter().map(|f| f.encode()).collect();
+        features.sort_unstable();
+        Self {
+            features,
+            op: query.op,
+            k,
+            algorithm: options.algorithm,
+            backend: options.backend,
+            fraction_bits: options.nra_fraction.unwrap_or(1.0).to_bits(),
+            redundancy_bits: options.redundancy.as_ref().map(|r| r.max_overlap.to_bits()),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     miner: PhraseMiner,
+    /// Lazily built disk image (first disk-backed request pays the build).
+    disk: OnceLock<DiskLists>,
+    disk_fraction: f64,
+    /// Serializes disk-backed execution for exact per-query IO accounting
+    /// over the shared simulated pool.
+    disk_gate: Mutex<()>,
+    cache: Option<ShardedLruCache<CacheKey, Arc<Vec<SearchHit>>>>,
     served: AtomicU64,
 }
 
-// The index is immutable after build; a compile-time check that the miner
+// The index is immutable after build; a compile-time check that the engine
 // really is shareable keeps that invariant honest.
 const _: fn() = || {
     fn assert_send_sync<T: Send + Sync>() {}
@@ -89,11 +193,21 @@ const _: fn() = || {
 };
 
 impl QueryEngine {
-    /// Wraps a built miner.
+    /// Wraps a built miner with the default configuration (full-fraction
+    /// lazy disk image, default-sized cache).
     pub fn new(miner: PhraseMiner) -> Self {
+        Self::with_config(miner, EngineConfig::default())
+    }
+
+    /// Wraps a built miner with explicit engine options.
+    pub fn with_config(miner: PhraseMiner, config: EngineConfig) -> Self {
         Self {
             inner: Arc::new(Inner {
                 miner,
+                disk: OnceLock::new(),
+                disk_fraction: config.disk_fraction,
+                disk_gate: Mutex::new(()),
+                cache: config.cache.map(ShardedLruCache::new),
                 served: AtomicU64::new(0),
             }),
         }
@@ -104,9 +218,34 @@ impl QueryEngine {
         &self.inner.miner
     }
 
-    /// Queries served across all clones of this engine.
+    /// The disk image, building it on first use.
+    pub fn disk(&self) -> &DiskLists {
+        self.inner
+            .disk
+            .get_or_init(|| self.inner.miner.to_disk(self.inner.disk_fraction))
+    }
+
+    /// Queries served across all clones of this engine (cache hits
+    /// included).
     pub fn queries_served(&self) -> u64 {
         self.inner.served.load(Ordering::Relaxed)
+    }
+
+    /// Result-cache hit/miss counters (all zero when the cache is
+    /// disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner
+            .cache
+            .as_ref()
+            .map(ShardedLruCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Drops every cached result (counters keep accumulating).
+    pub fn clear_cache(&self) {
+        if let Some(cache) = &self.inner.cache {
+            cache.clear();
+        }
     }
 
     /// Parses and serves a string query (`"trade AND reserves"`,
@@ -134,47 +273,128 @@ impl QueryEngine {
 
     /// Serves an already-parsed query.
     pub fn execute(&self, query: Query, k: usize, options: &SearchOptions) -> SearchResponse {
-        let m = &self.inner.miner;
         let start = Instant::now();
-        let mut hits = match (options.algorithm, options.redundancy.as_ref()) {
-            (Algorithm::Nra, None) => {
-                let fraction = options.nra_fraction.unwrap_or(1.0);
-                m.top_k_nra_partial(&query, k, fraction).hits
+        let key = CacheKey::new(&query, k, options);
+        if let Some(cache) = &self.inner.cache {
+            if let Some(hits) = cache.get(&key) {
+                self.inner.served.fetch_add(1, Ordering::Relaxed);
+                return SearchResponse {
+                    query,
+                    hits: hits.as_ref().clone(),
+                    elapsed: start.elapsed(),
+                    io: None,
+                    served_from_cache: true,
+                };
             }
-            (Algorithm::Nra, Some(r)) => m.top_k_nonredundant(&query, k, r),
-            (Algorithm::Smj, red) => {
-                fetch_filtered(k, red, |fetch| m.top_k_smj(&query, fetch), |h| {
-                    apply_filter(m, &query, h, red)
-                })
-            }
-            (Algorithm::Ta, red) => {
-                fetch_filtered(k, red, |fetch| m.top_k_ta(&query, fetch).hits, |h| {
-                    apply_filter(m, &query, h, red)
-                })
-            }
-            (Algorithm::Exact, red) => {
-                fetch_filtered(k, red, |fetch| m.top_k_exact(&query, fetch), |h| {
-                    apply_filter(m, &query, h, red)
-                })
-            }
-        };
-        hits.truncate(k);
-        let resolved = hits
-            .into_iter()
-            .map(|hit| SearchHit {
-                text: m.phrase_text(hit.phrase),
-                interestingness: estimated_interestingness(query.op, hit.score),
-                hit,
-            })
-            .collect();
-        let elapsed = start.elapsed();
+        }
+
+        let (hits, io) = self.execute_uncached(&query, k, options);
+        if let Some(cache) = &self.inner.cache {
+            cache.insert(key, Arc::new(hits.clone()));
+        }
         self.inner.served.fetch_add(1, Ordering::Relaxed);
         SearchResponse {
             query,
-            hits: resolved,
-            elapsed,
+            hits,
+            elapsed: start.elapsed(),
+            io,
+            served_from_cache: false,
         }
     }
+
+    /// Runs the query on the selected backend and resolves hit texts
+    /// (through the disk phrase file on the disk backend, so even the
+    /// exact scorer charges its final phrase lookups there — the paper's
+    /// last retrieval step).
+    fn execute_uncached(
+        &self,
+        query: &Query,
+        k: usize,
+        options: &SearchOptions,
+    ) -> (Vec<SearchHit>, Option<IoStats>) {
+        let m = &self.inner.miner;
+        match options.backend {
+            BackendChoice::Memory => {
+                let hits = run_on_backend(m, &m.memory_backend(), query, k, options, false);
+                let resolved = hits
+                    .into_iter()
+                    .map(|hit| SearchHit {
+                        text: m.phrase_text(hit.phrase),
+                        interestingness: estimated_interestingness(query.op, hit.score),
+                        hit,
+                    })
+                    .collect();
+                (resolved, None)
+            }
+            BackendChoice::Disk => {
+                let disk = self.disk();
+                let _serial = self.inner.disk_gate.lock().unwrap();
+                disk.reset_io(); // per-query cold cache (paper §5.5)
+                let image_truncated = self.inner.disk_fraction < 1.0;
+                let hits = run_on_backend(m, disk, query, k, options, image_truncated);
+                let resolved = hits
+                    .into_iter()
+                    .map(|hit| SearchHit {
+                        text: disk
+                            .phrase_text(hit.phrase)
+                            .unwrap_or_else(|| m.phrase_text(hit.phrase)),
+                        interestingness: estimated_interestingness(query.op, hit.score),
+                        hit,
+                    })
+                    .collect();
+                (resolved, Some(disk.io_stats()))
+            }
+        }
+    }
+}
+
+/// Dispatches one request over any backend, composing the redundancy
+/// filter (over-fetch loop) with every algorithm — including NRA with a
+/// partial `nra_fraction`, which the pre-backend engine silently dropped
+/// when a redundancy filter was also set.
+///
+/// `image_truncated` says the backend's lists were already cut to a
+/// build-time fraction (a disk image serialized with
+/// `EngineConfig::disk_fraction < 1.0`): NRA must then treat exhausted
+/// cursors with partial-list semantics — the tail below the truncation
+/// point may still hold any phrase — even when no run-time
+/// `nra_fraction` was requested.
+fn run_on_backend<B: ListBackend>(
+    miner: &PhraseMiner,
+    backend: &B,
+    query: &Query,
+    k: usize,
+    options: &SearchOptions,
+    image_truncated: bool,
+) -> Vec<PhraseHit> {
+    let fraction = options.nra_fraction.unwrap_or(1.0);
+    let fetch_k = |fetch: usize| -> Vec<PhraseHit> {
+        match options.algorithm {
+            Algorithm::Nra => {
+                let cursors: Vec<B::ScoreCursor<'_>> = query
+                    .features
+                    .iter()
+                    .map(|&f| backend.score_cursor(f, fraction))
+                    .collect();
+                let cfg = NraConfig {
+                    k: fetch,
+                    lists_are_partial: fraction < 1.0 || image_truncated,
+                    ..miner.config().nra.clone()
+                };
+                run_nra(cursors, query.op, &cfg).hits
+            }
+            Algorithm::Smj => run_smj_backend(backend, query, fetch),
+            Algorithm::Ta => run_ta_backend(backend, query, fetch).hits,
+            Algorithm::Exact => exact::exact_top_k(miner.index(), query, fetch),
+        }
+    };
+    let mut hits = fetch_filtered(k, options.redundancy.as_ref(), fetch_k, |hits| {
+        if let Some(r) = options.redundancy.as_ref() {
+            crate::redundancy::filter_hits(&miner.index().dict, query, hits, r);
+        }
+    });
+    hits.truncate(k);
+    hits
 }
 
 /// Runs `fetch_k` at increasing depths until `k` results survive
@@ -200,17 +420,6 @@ fn fetch_filtered(
             return hits;
         }
         fetch *= 2;
-    }
-}
-
-fn apply_filter(
-    m: &PhraseMiner,
-    query: &Query,
-    hits: &mut Vec<PhraseHit>,
-    red: Option<&RedundancyConfig>,
-) {
-    if let Some(r) = red {
-        crate::redundancy::filter_hits(&m.index().dict, query, hits, r);
     }
 }
 
@@ -248,6 +457,13 @@ mod tests {
         words.join(&format!(" {op} "))
     }
 
+    const ALL_ALGORITHMS: [Algorithm; 4] = [
+        Algorithm::Nra,
+        Algorithm::Smj,
+        Algorithm::Ta,
+        Algorithm::Exact,
+    ];
+
     #[test]
     fn search_returns_resolved_hits() {
         let e = engine();
@@ -258,6 +474,8 @@ mod tests {
             assert!(!h.text.is_empty());
             assert!((0.0..=1.0).contains(&h.interestingness));
         }
+        assert!(resp.io.is_none());
+        assert!(!resp.served_from_cache);
         assert_eq!(e.queries_served(), 1);
     }
 
@@ -292,32 +510,249 @@ mod tests {
     }
 
     #[test]
-    fn redundancy_option_filters_across_algorithms() {
+    fn disk_backend_matches_memory_for_every_algorithm() {
+        let e = engine();
+        for op in [Operator::And, Operator::Or] {
+            let q = query_string(&e, op);
+            for alg in ALL_ALGORITHMS {
+                let mem = e
+                    .search_with(
+                        &q,
+                        5,
+                        &SearchOptions {
+                            algorithm: alg,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                let disk = e
+                    .search_with(
+                        &q,
+                        5,
+                        &SearchOptions {
+                            algorithm: alg,
+                            backend: BackendChoice::Disk,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                assert_eq!(
+                    mem.hits.iter().map(|h| h.hit.phrase).collect::<Vec<_>>(),
+                    disk.hits.iter().map(|h| h.hit.phrase).collect::<Vec<_>>(),
+                    "{alg:?} {op}: memory and disk backends disagree"
+                );
+                for (a, b) in mem.hits.iter().zip(&disk.hits) {
+                    assert_eq!(a.text, b.text, "{alg:?}: text resolution differs");
+                }
+                let io = disk.io.expect("disk run reports IoStats");
+                assert!(io.total_accesses() > 0, "{alg:?} {op}: no IO charged");
+                assert!(mem.io.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeats_and_counts() {
         let e = engine();
         let q = query_string(&e, Operator::Or);
-        let red = RedundancyConfig::default();
-        for alg in [Algorithm::Nra, Algorithm::Smj, Algorithm::Ta, Algorithm::Exact] {
-            let resp = e
+        let cold = e.search(&q, 5).unwrap();
+        assert!(!cold.served_from_cache);
+        let warm = e.search(&q, 5).unwrap();
+        assert!(warm.served_from_cache);
+        assert_eq!(cold.hits, warm.hits);
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(e.queries_served(), 2);
+        // Different options are different cache entries.
+        let other = e
+            .search_with(
+                &q,
+                5,
+                &SearchOptions {
+                    algorithm: Algorithm::Smj,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(!other.served_from_cache);
+        // Clearing forgets results but keeps counters.
+        e.clear_cache();
+        assert!(!e.search(&q, 5).unwrap().served_from_cache);
+        assert_eq!(e.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn cache_key_ignores_feature_order() {
+        let e = engine();
+        let top = ipm_corpus::stats::top_words_by_df(e.miner().corpus(), 2);
+        let words: Vec<&str> = top
+            .iter()
+            .map(|&(w, _)| e.miner().corpus().words().term(w).unwrap())
+            .collect();
+        let fwd = format!("{} OR {}", words[0], words[1]);
+        let rev = format!("{} OR {}", words[1], words[0]);
+        assert!(!e.search(&fwd, 5).unwrap().served_from_cache);
+        assert!(
+            e.search(&rev, 5).unwrap().served_from_cache,
+            "feature order must not fragment the cache"
+        );
+    }
+
+    #[test]
+    fn disk_cache_hit_skips_io() {
+        let e = engine();
+        let q = query_string(&e, Operator::And);
+        let opts = SearchOptions {
+            backend: BackendChoice::Disk,
+            ..Default::default()
+        };
+        let cold = e.search_with(&q, 5, &opts).unwrap();
+        assert!(cold.io.unwrap().total_accesses() > 0);
+        let warm = e.search_with(&q, 5, &opts).unwrap();
+        assert!(warm.served_from_cache);
+        assert!(warm.io.is_none(), "cache hit performs no simulated IO");
+        assert_eq!(cold.hits, warm.hits);
+    }
+
+    #[test]
+    fn truncated_disk_image_keeps_partial_nra_semantics() {
+        // Regression: with `disk_fraction < 1.0` and no run-time
+        // `nra_fraction`, disk NRA must use partial-list bounds — its
+        // results must match memory NRA at the same fraction, not drop
+        // AND candidates whose tail entries were truncated away.
+        let (c, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+        let e = QueryEngine::with_config(
+            PhraseMiner::build(&c, MinerConfig::default()),
+            EngineConfig {
+                disk_fraction: 0.5,
+                cache: None,
+            },
+        );
+        for op in [Operator::And, Operator::Or] {
+            let q = query_string(&e, op);
+            let disk = e
                 .search_with(
                     &q,
                     5,
                     &SearchOptions {
-                        algorithm: alg,
-                        redundancy: Some(red),
+                        backend: BackendChoice::Disk,
                         ..Default::default()
                     },
                 )
                 .unwrap();
-            let query = &resp.query;
-            for h in &resp.hits {
-                let words = e.miner().index().dict.words(h.hit.phrase).unwrap();
-                assert!(
-                    crate::redundancy::overlap_fraction(words, query) < red.max_overlap,
-                    "{alg:?} leaked redundant phrase {}",
-                    h.text
-                );
+            let mem_partial = e
+                .search_with(
+                    &q,
+                    5,
+                    &SearchOptions {
+                        nra_fraction: Some(0.5),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(
+                disk.hits.iter().map(|h| h.hit.phrase).collect::<Vec<_>>(),
+                mem_partial
+                    .hits
+                    .iter()
+                    .map(|h| h.hit.phrase)
+                    .collect::<Vec<_>>(),
+                "{op}: truncated disk image must behave like run-time partial lists"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let (c, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+        let e = QueryEngine::with_config(
+            PhraseMiner::build(&c, MinerConfig::default()),
+            EngineConfig {
+                cache: None,
+                ..Default::default()
+            },
+        );
+        let q = query_string(&e, Operator::Or);
+        assert!(!e.search(&q, 5).unwrap().served_from_cache);
+        assert!(!e.search(&q, 5).unwrap().served_from_cache);
+        assert_eq!(e.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn redundancy_option_filters_across_algorithms_and_backends() {
+        let e = engine();
+        let q = query_string(&e, Operator::Or);
+        let red = RedundancyConfig::default();
+        for backend in [BackendChoice::Memory, BackendChoice::Disk] {
+            for alg in ALL_ALGORITHMS {
+                let resp = e
+                    .search_with(
+                        &q,
+                        5,
+                        &SearchOptions {
+                            algorithm: alg,
+                            backend,
+                            redundancy: Some(red),
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                let query = &resp.query;
+                for h in &resp.hits {
+                    let words = e.miner().index().dict.words(h.hit.phrase).unwrap();
+                    assert!(
+                        crate::redundancy::overlap_fraction(words, query) < red.max_overlap,
+                        "{alg:?}/{backend:?} leaked redundant phrase {}",
+                        h.text
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn nra_fraction_composes_with_redundancy() {
+        // Regression: the old engine dropped `nra_fraction` whenever a
+        // redundancy filter was set. A fraction small enough to change the
+        // candidate set must now change the filtered results too.
+        let e = engine();
+        let q = query_string(&e, Operator::Or);
+        let red = RedundancyConfig { max_overlap: 2.0 }; // filter disabled ⇒ pure pass-through
+        let filtered = e
+            .search_with(
+                &q,
+                5,
+                &SearchOptions {
+                    nra_fraction: Some(0.05),
+                    redundancy: Some(red),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let partial_only = e
+            .search_with(
+                &q,
+                5,
+                &SearchOptions {
+                    nra_fraction: Some(0.05),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            filtered
+                .hits
+                .iter()
+                .map(|h| h.hit.phrase)
+                .collect::<Vec<_>>(),
+            partial_only
+                .hits
+                .iter()
+                .map(|h| h.hit.phrase)
+                .collect::<Vec<_>>(),
+            "a no-op filter must not change partial-NRA results"
+        );
     }
 
     #[test]
@@ -334,14 +769,24 @@ mod tests {
         let threads = 8;
         let per_thread = 25;
         std::thread::scope(|s| {
-            for _ in 0..threads {
+            for t in 0..threads {
                 let eng = e.clone();
                 let q = q.clone();
                 let want = baseline.clone();
                 s.spawn(move || {
+                    // Half the threads hit the disk backend to exercise the
+                    // serialization gate concurrently with memory serving.
+                    let opts = if t % 2 == 0 {
+                        SearchOptions::default()
+                    } else {
+                        SearchOptions {
+                            backend: BackendChoice::Disk,
+                            ..Default::default()
+                        }
+                    };
                     for _ in 0..per_thread {
                         let got: Vec<_> = eng
-                            .search(&q, 5)
+                            .search_with(&q, 5, &opts)
                             .unwrap()
                             .hits
                             .iter()
@@ -352,7 +797,9 @@ mod tests {
                 });
             }
         });
-        assert_eq!(e.queries_served(), 1 + threads * per_thread);
+        assert_eq!(e.queries_served(), 1 + (threads * per_thread) as u64);
+        let stats = e.cache_stats();
+        assert!(stats.hits > 0, "repeat queries must hit the cache");
     }
 
     #[test]

@@ -94,12 +94,12 @@ mod tests {
     fn setup() -> (Corpus, CorpusIndex) {
         let mut b = CorpusBuilder::new(TokenizerConfig::default());
         for t in [
-            "q o d s",     // 0
-            "q o x",       // 1
-            "d s q",       // 2
-            "q o d s",     // 3
-            "x y",         // 4
-            "d s x",       // 5
+            "q o d s", // 0
+            "q o x",   // 1
+            "d s q",   // 2
+            "q o d s", // 3
+            "x y",     // 4
+            "d s x",   // 5
         ] {
             b.add_text(t);
         }
@@ -155,8 +155,7 @@ mod tests {
         assert!(hits.len() <= 3);
         for w in hits.windows(2) {
             assert!(
-                w[0].score > w[1].score
-                    || (w[0].score == w[1].score && w[0].phrase < w[1].phrase)
+                w[0].score > w[1].score || (w[0].score == w[1].score && w[0].phrase < w[1].phrase)
             );
         }
     }

@@ -1,5 +1,9 @@
 //! The paper's contribution: phrase scoring under conditional query-word
-//! independence, and the NRA/SMJ top-k algorithms over word-specific lists.
+//! independence, and the NRA/SMJ/TA/exact top-k algorithms over
+//! word-specific lists — each written once against the
+//! `ipm_index::backend::ListBackend` abstraction, so the same code serves
+//! from the in-memory lists and from the simulated disk
+//! (`ipm_storage::DiskLists`) with IO accounting.
 //!
 //! Layout:
 //!
@@ -9,10 +13,14 @@
 //!   full inclusion–exclusion form (Eq. 11) used by the ablation bench;
 //! * [`result`] — result types with score bounds;
 //! * [`nra`] — Algorithm 1: No-Random-Access-style scoring over
-//!   score-ordered lists with candidate bounds, batch pruning, the
+//!   score-ordered cursors with candidate bounds, batch pruning, the
 //!   `checknew` gate and early stopping;
 //! * [`smj`] — Algorithm 2: sort-merge-join scoring over phrase-ID-ordered
-//!   lists;
+//!   cursors;
+//! * [`ta`] — the threshold algorithm: sorted access plus random probes
+//!   through the backend's probe path (on disk, every binary-search step
+//!   is charged — the measurable cost of random access the paper's §5.5
+//!   analysis warns about);
 //! * [`exact`] — the exact top-k scorer (ground truth for the quality
 //!   experiments; paper Eq. 1/3);
 //! * [`delta`] — the incremental-operation side index of §4.5.1;
@@ -21,11 +29,16 @@
 //! * [`measures`] — the §7 future-work answer: PMI (rank-equivalent to
 //!   Eq. 1 per query) and NPMI (reranks; approximated by over-fetch +
 //!   rescore);
+//! * [`cache`] — a sharded LRU result cache keyed by the full request, so
+//!   repeated interactive queries skip list traversal entirely;
 //! * [`miner`] — the high-level [`miner::PhraseMiner`] facade tying corpus,
 //!   indexes and algorithms together;
-//! * [`engine`] — a cloneable, thread-safe [`engine::QueryEngine`] for
-//!   serving concurrent string queries over one immutable index.
+//! * [`engine`] — a cloneable, thread-safe [`engine::QueryEngine`] serving
+//!   concurrent string queries over one immutable index, with per-request
+//!   algorithm *and* backend choice, per-query `IoStats` on the disk
+//!   backend, and cache hit/miss counters next to `queries_served`.
 
+pub mod cache;
 pub mod delta;
 pub mod engine;
 pub mod exact;
@@ -40,11 +53,14 @@ pub mod scoring;
 pub mod smj;
 pub mod ta;
 
-pub use engine::{Algorithm, QueryEngine, SearchHit, SearchOptions, SearchResponse};
+pub use cache::{CacheConfig, CacheStats};
+pub use engine::{
+    Algorithm, BackendChoice, EngineConfig, QueryEngine, SearchHit, SearchOptions, SearchResponse,
+};
 pub use miner::{MinerConfig, PhraseMiner};
-pub use redundancy::RedundancyConfig;
 pub use nra::{NraConfig, NraOutcome, TraversalStats};
 pub use parse::parse_query;
 pub use query::{Operator, Query};
+pub use redundancy::RedundancyConfig;
 pub use result::PhraseHit;
-pub use ta::{run_ta, TaOutcome};
+pub use ta::{run_ta, run_ta_backend, TaOutcome};

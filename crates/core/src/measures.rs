@@ -47,7 +47,11 @@ pub enum Measure {
 ///
 /// Returns `f64::NEG_INFINITY` when `interestingness` is 0 (the phrase
 /// does not occur in `D'`).
-pub fn pmi_from_interestingness(interestingness: f64, subset_size: usize, corpus_size: usize) -> f64 {
+pub fn pmi_from_interestingness(
+    interestingness: f64,
+    subset_size: usize,
+    corpus_size: usize,
+) -> f64 {
     debug_assert!(subset_size > 0 && corpus_size >= subset_size);
     interestingness.ln() + (corpus_size as f64 / subset_size as f64).ln()
 }
@@ -146,14 +150,7 @@ mod tests {
     fn setup() -> (Corpus, CorpusIndex) {
         let mut b = CorpusBuilder::new(TokenizerConfig::default());
         for t in [
-            "q o d s",
-            "q o x",
-            "d s q",
-            "q o d s",
-            "x y",
-            "d s x",
-            "q o y",
-            "d s y x",
+            "q o d s", "q o x", "d s q", "q o d s", "x y", "d s x", "q o y", "d s y x",
         ] {
             b.add_text(t);
         }
@@ -236,7 +233,7 @@ mod tests {
                     )
                 })
                 .collect();
-            npmi.sort_by(|a, b| a.0.cmp(&b.0));
+            npmi.sort_by_key(|e| e.0);
             for w in npmi.windows(2) {
                 assert!(
                     w[0].1 <= w[1].1 + 1e-12,
@@ -280,7 +277,7 @@ mod tests {
         // free check: if no empty subset exists, skip.
         let q = Query::from_words(&c, &["x", "o"], Operator::And).unwrap();
         let subset = crate::exact::materialize_subset(&index, &q);
-        if subset.len() == 0 {
+        if subset.is_empty() {
             let mut hits = vec![PhraseHit::exact(PhraseId(0), 0.5)];
             rescore_npmi(&index, &q, &mut hits);
             assert!(hits.is_empty());

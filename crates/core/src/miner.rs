@@ -16,8 +16,10 @@ use crate::exact;
 use crate::nra::{run_nra, NraConfig, NraOutcome};
 use crate::query::{Operator, Query, QueryError};
 use crate::result::PhraseHit;
-use crate::smj::run_smj;
+use crate::smj::{run_smj, run_smj_backend};
+use crate::ta::run_ta_backend;
 use ipm_corpus::{Corpus, PhraseId};
+use ipm_index::backend::{ListBackend, MemoryBackend};
 use ipm_index::corpus_index::{CorpusIndex, IndexConfig};
 use ipm_index::cursor::MemoryCursor;
 use ipm_index::wordlists::{IdOrderedLists, WordListConfig, WordPhraseLists};
@@ -91,6 +93,13 @@ impl PhraseMiner {
         &self.config
     }
 
+    /// The in-memory [`ListBackend`] view over this miner's lists. Every
+    /// retrieval algorithm runs over it; `ipm_storage::DiskLists` is the
+    /// drop-in disk-resident alternative (see [`PhraseMiner::to_disk`]).
+    pub fn memory_backend(&self) -> MemoryBackend<'_> {
+        MemoryBackend::new(&self.lists, &self.id_lists)
+    }
+
     /// Parses keyword terms (and `key:value` facet terms) into a query.
     pub fn parse_query(&self, terms: &[&str], op: Operator) -> Result<Query, QueryError> {
         Query::from_terms(&self.corpus, terms, op)
@@ -112,7 +121,11 @@ impl PhraseMiner {
     /// # Panics
     /// Panics on AND queries — inclusion–exclusion is an OR construction.
     pub fn top_k_smj_exact_or(&self, query: &Query, k: usize) -> Vec<PhraseHit> {
-        assert_eq!(query.op, Operator::Or, "exact-OR scoring requires an OR query");
+        assert_eq!(
+            query.op,
+            Operator::Or,
+            "exact-OR scoring requires an OR query"
+        );
         crate::smj::run_smj_exact_or(&self.id_lists, query, k)
     }
 
@@ -124,26 +137,11 @@ impl PhraseMiner {
     /// NRA top-k reading only the top-`fraction` of each list (run-time
     /// partial lists, paper §4.3).
     pub fn top_k_nra_partial(&self, query: &Query, k: usize, fraction: f64) -> NraOutcome {
-        let cursors: Vec<MemoryCursor> = query
-            .features
-            .iter()
-            .map(|&f| MemoryCursor::partial(&self.lists, f, fraction))
-            .collect();
-        let cfg = NraConfig {
-            k,
-            lists_are_partial: fraction < 1.0,
-            ..self.config.nra.clone()
-        };
-        run_nra(cursors, query.op, &cfg)
+        self.top_k_nra_backend(&self.memory_backend(), query, k, fraction)
     }
 
     /// NRA top-k with delta corrections from a side index (paper §4.5.1).
-    pub fn top_k_nra_with_delta(
-        &self,
-        query: &Query,
-        k: usize,
-        delta: &DeltaIndex,
-    ) -> NraOutcome {
+    pub fn top_k_nra_with_delta(&self, query: &Query, k: usize, delta: &DeltaIndex) -> NraOutcome {
         let cursors: Vec<_> = query
             .features
             .iter()
@@ -166,15 +164,24 @@ impl PhraseMiner {
         run_nra(cursors, query.op, &cfg)
     }
 
-    /// Serializes the word lists (optionally truncated to `fraction`) and
-    /// the phrase file into a simulated-disk index.
+    /// Serializes the word lists (optionally truncated to `fraction`), the
+    /// miner's id-ordered lists (which carry the build-time
+    /// `smj_fraction`, paper §4.4.2 — so disk SMJ/TA mirror the in-memory
+    /// backend exactly) and the phrase file into a simulated-disk index.
     pub fn to_disk(&self, fraction: f64) -> DiskLists {
         let source = if fraction < 1.0 {
             self.lists.partial(fraction)
         } else {
             self.lists.clone()
         };
-        DiskLists::build(&self.corpus, &self.index.dict, &source)
+        DiskLists::with_lists(
+            &self.corpus,
+            &self.index.dict,
+            &source,
+            &self.id_lists,
+            ipm_storage::PoolConfig::default(),
+            ipm_storage::CostModel::default(),
+        )
     }
 
     /// NRA over a disk-resident index built with [`PhraseMiner::to_disk`].
@@ -189,17 +196,7 @@ impl PhraseMiner {
         fraction: f64,
     ) -> (NraOutcome, IoStats) {
         disk.reset_io();
-        let cursors: Vec<_> = query
-            .features
-            .iter()
-            .map(|&f| disk.cursor(f, fraction))
-            .collect();
-        let cfg = NraConfig {
-            k,
-            lists_are_partial: fraction < 1.0,
-            ..self.config.nra.clone()
-        };
-        let outcome = run_nra(cursors, query.op, &cfg);
+        let outcome = self.top_k_nra_backend(disk, query, k, fraction);
         (outcome, disk.io_stats())
     }
 
@@ -244,6 +241,59 @@ impl PhraseMiner {
     /// [`crate::ta`]).
     pub fn top_k_ta(&self, query: &Query, k: usize) -> crate::ta::TaOutcome {
         crate::ta::run_ta(&self.lists, &self.id_lists, query, k)
+    }
+
+    /// SMJ over a disk-resident index built with [`PhraseMiner::to_disk`]:
+    /// one synchronized scan of the id-ordered list file per query, every
+    /// page charged to the pool (cold cache per query, like
+    /// [`PhraseMiner::top_k_nra_disk`]).
+    pub fn top_k_smj_disk(
+        &self,
+        disk: &DiskLists,
+        query: &Query,
+        k: usize,
+    ) -> (Vec<PhraseHit>, IoStats) {
+        disk.reset_io();
+        let hits = run_smj_backend(disk, query, k);
+        (hits, disk.io_stats())
+    }
+
+    /// TA over a disk-resident index: sorted access on the score-ordered
+    /// file plus binary-search probes into the id-ordered file, all
+    /// charged to the pool (cold cache per query). The probe-heavy IO
+    /// pattern is exactly why the paper prefers NRA on disk (§5.5); this
+    /// makes that trade-off measurable.
+    pub fn top_k_ta_disk(
+        &self,
+        disk: &DiskLists,
+        query: &Query,
+        k: usize,
+    ) -> (crate::ta::TaOutcome, IoStats) {
+        disk.reset_io();
+        let outcome = run_ta_backend(disk, query, k);
+        (outcome, disk.io_stats())
+    }
+
+    /// NRA top-k over any [`ListBackend`] reading only the top-`fraction`
+    /// prefix of each score-ordered list.
+    pub fn top_k_nra_backend<B: ListBackend>(
+        &self,
+        backend: &B,
+        query: &Query,
+        k: usize,
+        fraction: f64,
+    ) -> NraOutcome {
+        let cursors: Vec<B::ScoreCursor<'_>> = query
+            .features
+            .iter()
+            .map(|&f| backend.score_cursor(f, fraction))
+            .collect();
+        let cfg = NraConfig {
+            k,
+            lists_are_partial: fraction < 1.0,
+            ..self.config.nra.clone()
+        };
+        run_nra(cursors, query.op, &cfg)
     }
 
     /// NRA top-k with the §5.6 post-retrieval redundancy filter: results
@@ -347,7 +397,9 @@ mod tests {
         // Pick two corpus words that co-occur: take the two most frequent.
         let top = ipm_corpus::stats::top_words_by_df(m.corpus(), 2);
         Query::new(
-            top.iter().map(|&(w, _)| ipm_corpus::Feature::Word(w)).collect(),
+            top.iter()
+                .map(|&(w, _)| ipm_corpus::Feature::Word(w))
+                .collect(),
             op,
         )
         .unwrap()
@@ -366,11 +418,7 @@ mod tests {
         let m = miner();
         let q = some_query(&m, Operator::Or);
         let k = 5;
-        let exact: Vec<f64> = m
-            .top_k_exact(&q, k)
-            .iter()
-            .map(|h| h.score)
-            .collect();
+        let exact: Vec<f64> = m.top_k_exact(&q, k).iter().map(|h| h.score).collect();
         let smj = m.top_k_smj(&q, k);
         let nra = m.top_k_nra(&q, k);
         // SMJ and NRA run the same scoring; their results must agree.
@@ -438,7 +486,61 @@ mod tests {
         );
         assert!(partial.id_lists().total_entries() < full.id_lists().total_entries());
         // Score-ordered lists stay full either way (NRA truncates at run time).
-        assert_eq!(partial.lists().total_entries(), full.lists().total_entries());
+        assert_eq!(
+            partial.lists().total_entries(),
+            full.lists().total_entries()
+        );
+    }
+
+    #[test]
+    fn disk_smj_and_ta_match_memory() {
+        let m = miner();
+        for op in [Operator::And, Operator::Or] {
+            let q = some_query(&m, op);
+            let disk = m.to_disk(1.0);
+            let (smj_disk, io) = m.top_k_smj_disk(&disk, &q, 5);
+            assert!(io.total_accesses() > 0);
+            let smj_mem = m.top_k_smj(&q, 5);
+            assert_eq!(
+                smj_disk.iter().map(|h| h.phrase).collect::<Vec<_>>(),
+                smj_mem.iter().map(|h| h.phrase).collect::<Vec<_>>(),
+                "{op}: disk SMJ diverges"
+            );
+            let (ta_disk, io) = m.top_k_ta_disk(&disk, &q, 5);
+            assert!(io.random_fetches > 0, "{op}: TA probes must cost random IO");
+            let ta_mem = m.top_k_ta(&q, 5);
+            assert_eq!(
+                ta_disk.hits.iter().map(|h| h.phrase).collect::<Vec<_>>(),
+                ta_mem.hits.iter().map(|h| h.phrase).collect::<Vec<_>>(),
+                "{op}: disk TA diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn disk_image_freezes_build_time_smj_fraction() {
+        // A miner with a build-time SMJ fraction serves *partial* id lists
+        // in memory; its disk image must mirror them, not the full lists.
+        let (c, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+        let m = PhraseMiner::build(
+            &c,
+            MinerConfig {
+                smj_fraction: Some(0.2),
+                ..Default::default()
+            },
+        );
+        let q = some_query(&m, Operator::Or);
+        let disk = m.to_disk(1.0);
+        let (smj_disk, _) = m.top_k_smj_disk(&disk, &q, 5);
+        let smj_mem = m.top_k_smj(&q, 5);
+        assert_eq!(
+            smj_disk.iter().map(|h| h.phrase).collect::<Vec<_>>(),
+            smj_mem.iter().map(|h| h.phrase).collect::<Vec<_>>(),
+            "partial id lists must freeze into the disk image"
+        );
+        for (a, b) in smj_disk.iter().zip(&smj_mem) {
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
     }
 
     #[test]
@@ -446,7 +548,9 @@ mod tests {
         let m = miner();
         let q = m.parse_query(&["w1", "w2"], Operator::And).unwrap();
         assert_eq!(q.len(), 2);
-        assert!(m.parse_query(&["definitely-not-a-word"], Operator::Or).is_err());
+        assert!(m
+            .parse_query(&["definitely-not-a-word"], Operator::Or)
+            .is_err());
     }
 
     #[test]
@@ -500,12 +604,7 @@ mod tests {
         let q = some_query(&m, Operator::Or);
         let cfg = crate::redundancy::RedundancyConfig::default();
         let filtered = m.top_k_nonredundant(&q, 5, &cfg);
-        let deep: Vec<_> = m
-            .top_k_nra(&q, 200)
-            .hits
-            .iter()
-            .map(|h| h.phrase)
-            .collect();
+        let deep: Vec<_> = m.top_k_nra(&q, 200).hits.iter().map(|h| h.phrase).collect();
         let mut pos = 0;
         for h in &filtered {
             let at = deep[pos..]

@@ -376,14 +376,23 @@ mod tests {
     /// {P1, P103}.
     #[test]
     fn paper_figure3_example() {
-        let l1 = entries(&[(103, 0.26), (5, 0.113), (1, 0.0333), (77, 0.01), (78, 0.005)]);
+        let l1 = entries(&[
+            (103, 0.26),
+            (5, 0.113),
+            (1, 0.0333),
+            (77, 0.01),
+            (78, 0.005),
+        ]);
         let l2 = entries(&[(1, 0.121), (2, 0.0539), (3, 0.0445), (4, 0.04), (6, 0.01)]);
         // Scores: P1 = 0.0333 + 0.121 = 0.1543 (paper rounds to 0.15467 with
         // slightly different values); P103 in [0.26, 0.26 + last2].
         let out = run(&[l1, l2], Operator::Or, 2, 1, false);
         let ids: Vec<u32> = out.hits.iter().map(|h| h.phrase.raw()).collect();
         assert!(ids.contains(&1) && ids.contains(&103), "got {ids:?}");
-        assert!(out.stats.stopped_early, "should stop before exhausting lists");
+        assert!(
+            out.stats.stopped_early,
+            "should stop before exhausting lists"
+        );
         assert!(out.stats.total_entries_read() < 10);
     }
 
@@ -475,7 +484,11 @@ mod tests {
                 .collect::<Vec<_>>(),
         );
         let out = run(&[l1, l2], Operator::Or, 2, 8, false);
-        assert!(out.stats.peak_candidates < 100, "peak {}", out.stats.peak_candidates);
+        assert!(
+            out.stats.peak_candidates < 100,
+            "peak {}",
+            out.stats.peak_candidates
+        );
         assert_eq!(out.hits[0].phrase, PhraseId(0));
         assert_eq!(out.hits[1].phrase, PhraseId(1));
     }

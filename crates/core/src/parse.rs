@@ -32,7 +32,10 @@ impl std::fmt::Display for ParseError {
         match self {
             ParseError::Query(e) => write!(f, "{e}"),
             ParseError::MixedOperators => {
-                write!(f, "cannot mix AND and OR in one query (single-operator model)")
+                write!(
+                    f,
+                    "cannot mix AND and OR in one query (single-operator model)"
+                )
             }
             ParseError::DanglingConnective => write!(f, "connective without a term beside it"),
         }
@@ -179,6 +182,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(ParseError::MixedOperators.to_string().contains("mix"));
-        assert!(ParseError::DanglingConnective.to_string().contains("connective"));
+        assert!(ParseError::DanglingConnective
+            .to_string()
+            .contains("connective"));
     }
 }

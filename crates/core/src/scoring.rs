@@ -132,9 +132,7 @@ mod tests {
     fn aggregate_matches_eq8_eq12() {
         let probs = [0.5, 0.25];
         assert!((aggregate(Operator::Or, &probs) - 0.75).abs() < 1e-12);
-        assert!(
-            (aggregate(Operator::And, &probs) - (0.5f64.ln() + 0.25f64.ln())).abs() < 1e-12
-        );
+        assert!((aggregate(Operator::And, &probs) - (0.5f64.ln() + 0.25f64.ln())).abs() < 1e-12);
     }
 
     #[test]

@@ -11,6 +11,8 @@ use crate::query::{Operator, Query};
 use crate::result::{truncate_top_k, PhraseHit};
 use crate::scoring::entry_score;
 use ipm_corpus::PhraseId;
+use ipm_index::backend::ListBackend;
+use ipm_index::cursor::{IdListCursor, MemoryIdCursor};
 use ipm_index::wordlists::{IdOrderedLists, ListEntry};
 
 /// Runs SMJ over the id-ordered lists of the query's features, returning
@@ -24,24 +26,48 @@ pub fn run_smj(lists: &IdOrderedLists, query: &Query, k: usize) -> Vec<PhraseHit
     run_smj_slices(&slices, query.op, k)
 }
 
+/// Runs SMJ for `query` over any [`ListBackend`] (in-memory lists or the
+/// simulated disk, whose cursors charge their buffer pool).
+pub fn run_smj_backend<B: ListBackend>(backend: &B, query: &Query, k: usize) -> Vec<PhraseHit> {
+    let cursors: Vec<B::IdCursor<'_>> = query
+        .features
+        .iter()
+        .map(|&f| backend.id_cursor(f))
+        .collect();
+    run_smj_cursors(cursors, query.op, k)
+}
+
 /// SMJ core over raw id-ordered slices (exposed for benches and tests).
 pub fn run_smj_slices(slices: &[&[ListEntry]], op: Operator, k: usize) -> Vec<PhraseHit> {
+    run_smj_cursors(
+        slices.iter().map(|s| MemoryIdCursor::new(s)).collect(),
+        op,
+        k,
+    )
+}
+
+/// SMJ core: one synchronized forward pass over id-ordered cursors.
+pub fn run_smj_cursors<C: IdListCursor>(
+    mut cursors: Vec<C>,
+    op: Operator,
+    k: usize,
+) -> Vec<PhraseHit> {
     assert!(k > 0, "k must be positive");
-    let r = slices.len();
-    let mut pos = vec![0usize; r];
+    let r = cursors.len();
+    // One-entry lookahead per cursor (cursors are forward-only; the merge
+    // needs to peek the head of every list).
+    let mut heads: Vec<Option<ListEntry>> = cursors.iter_mut().map(C::next_entry).collect();
     let mut hits: Vec<PhraseHit> = Vec::new();
 
     loop {
         // Find the lowest unread phrase id across lists (paper Alg. 2
         // line 4); r is 2-6 in practice, linear scan wins over a heap.
         let mut min_id: Option<PhraseId> = None;
-        for i in 0..r {
-            if let Some(e) = slices[i].get(pos[i]) {
-                min_id = Some(match min_id {
-                    Some(m) if m <= e.phrase => m,
-                    _ => e.phrase,
-                });
-            }
+        for head in heads.iter().flatten() {
+            min_id = Some(match min_id {
+                Some(m) if m <= head.phrase => m,
+                _ => head.phrase,
+            });
         }
         let Some(id) = min_id else { break };
 
@@ -49,11 +75,11 @@ pub fn run_smj_slices(slices: &[&[ListEntry]], op: Operator, k: usize) -> Vec<Ph
         let mut score = 0.0;
         let mut present = 0usize;
         for i in 0..r {
-            if let Some(e) = slices[i].get(pos[i]) {
+            if let Some(e) = heads[i] {
                 if e.phrase == id {
                     score += entry_score(op, e.prob);
                     present += 1;
-                    pos[i] += 1;
+                    heads[i] = cursors[i].next_entry();
                 }
             }
         }

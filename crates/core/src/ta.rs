@@ -18,8 +18,10 @@ use crate::query::{Operator, Query};
 use crate::result::{sort_hits, PhraseHit};
 use crate::scoring::entry_score;
 use ipm_corpus::hash::FxHashSet;
-use ipm_corpus::{Feature, PhraseId};
-use ipm_index::wordlists::{IdOrderedLists, ListEntry, WordPhraseLists};
+use ipm_corpus::PhraseId;
+use ipm_index::backend::{ListBackend, MemoryBackend};
+use ipm_index::cursor::ScoredListCursor;
+use ipm_index::wordlists::{IdOrderedLists, WordPhraseLists};
 
 /// Accounting for a TA run.
 #[derive(Debug, Clone, Default)]
@@ -63,16 +65,6 @@ pub struct TaOutcome {
     pub stats: TaStats,
 }
 
-/// Probes `P(q|p)` by binary search in the feature's ID-ordered list;
-/// `0.0` when absent.
-fn probe(id_lists: &IdOrderedLists, feature: Feature, phrase: PhraseId) -> f64 {
-    let list = id_lists.list(feature);
-    match list.binary_search_by_key(&phrase, |e: &ListEntry| e.phrase) {
-        Ok(i) => list[i].prob,
-        Err(_) => 0.0,
-    }
-}
-
 /// Runs TA for `query` over the score-ordered `lists` (sorted access) and
 /// the ID-ordered `id_lists` (random access). Both must be built from the
 /// same (full) word lists; with *partial* ID-ordered lists the probes — and
@@ -83,26 +75,37 @@ pub fn run_ta(
     query: &Query,
     k: usize,
 ) -> TaOutcome {
+    run_ta_backend(&MemoryBackend::new(lists, id_lists), query, k)
+}
+
+/// Runs TA for `query` over any [`ListBackend`]: sorted access through the
+/// backend's score cursors, random probes through its probe path. On the
+/// simulated disk every access (including each binary-search step of a
+/// probe) is charged to the buffer pool — making TA's `r − 1` probes per
+/// distinct phrase directly measurable against NRA's probe-free traversal.
+pub fn run_ta_backend<B: ListBackend>(backend: &B, query: &Query, k: usize) -> TaOutcome {
     assert!(k > 0, "k must be positive");
     let r = query.features.len();
-    let sorted: Vec<&[ListEntry]> = query.features.iter().map(|&f| lists.list(f)).collect();
-    let mut pos = vec![0usize; r];
+    let mut sorted: Vec<B::ScoreCursor<'_>> = query
+        .features
+        .iter()
+        .map(|&f| backend.score_cursor(f, 1.0))
+        .collect();
     let mut last_seen = vec![entry_score(query.op, 1.0); r];
     let mut resolved: FxHashSet<PhraseId> = FxHashSet::default();
     let mut top: Vec<PhraseHit> = Vec::new(); // kept sorted, at most k entries
     let mut stats = TaStats {
         sorted_accesses: vec![0; r],
-        list_lens: sorted.iter().map(|l| l.len()).collect(),
+        list_lens: sorted.iter().map(ScoredListCursor::len).collect(),
         ..Default::default()
     };
 
     loop {
         let mut progressed = false;
         for i in 0..r {
-            let Some(entry) = sorted[i].get(pos[i]) else {
+            let Some(entry) = sorted[i].next_entry() else {
                 continue;
             };
-            pos[i] += 1;
             stats.sorted_accesses[i] += 1;
             progressed = true;
             last_seen[i] = entry_score(query.op, entry.prob);
@@ -119,7 +122,7 @@ pub fn run_ta(
                     continue;
                 }
                 stats.random_accesses += 1;
-                let p = probe(id_lists, feat, entry.phrase);
+                let p = backend.probe(feat, entry.phrase);
                 if p == 0.0 {
                     complete = false;
                     if matches!(query.op, Operator::And) {
@@ -143,10 +146,10 @@ pub fn run_ta(
         if top.len() == k {
             let threshold: f64 = last_seen.iter().sum();
             if top[k - 1].score >= threshold {
-                stats.stopped_early = pos
+                stats.stopped_early = sorted
                     .iter()
                     .zip(&stats.list_lens)
-                    .any(|(&p, &l)| p < l);
+                    .any(|(c, &l)| c.position() < l);
                 break;
             }
         }
@@ -159,6 +162,7 @@ pub fn run_ta(
 mod tests {
     use super::*;
     use crate::miner::{MinerConfig, PhraseMiner};
+    use ipm_corpus::Feature;
     use ipm_index::corpus_index::IndexConfig;
     use ipm_index::mining::MiningConfig;
 
@@ -181,11 +185,7 @@ mod tests {
 
     fn frequent_query(m: &PhraseMiner, op: Operator) -> Query {
         let top = ipm_corpus::stats::top_words_by_df(m.corpus(), 2);
-        Query::new(
-            top.iter().map(|&(w, _)| Feature::Word(w)).collect(),
-            op,
-        )
-        .unwrap()
+        Query::new(top.iter().map(|&(w, _)| Feature::Word(w)).collect(), op).unwrap()
     }
 
     #[test]
@@ -252,8 +252,9 @@ mod tests {
         let list = m.id_lists().list(f);
         assert!(!list.is_empty());
         let e = list[list.len() / 2];
-        assert_eq!(probe(m.id_lists(), f, e.phrase), e.prob);
-        assert_eq!(probe(m.id_lists(), f, PhraseId(u32::MAX)), 0.0);
+        let backend = MemoryBackend::new(m.lists(), m.id_lists());
+        assert_eq!(backend.probe(f, e.phrase), e.prob);
+        assert_eq!(backend.probe(f, PhraseId(u32::MAX)), 0.0);
     }
 
     #[test]

@@ -168,7 +168,10 @@ mod tests {
         let mut b = CorpusBuilder::new(TokenizerConfig::default());
         b.add_text("query optimization in database systems");
         b.add_text("database systems and query planning");
-        b.add_text_with_facets("economic minister on trade reserves", &[("topic", "economy")]);
+        b.add_text_with_facets(
+            "economic minister on trade reserves",
+            &[("topic", "economy")],
+        );
         b.build()
     }
 

@@ -33,5 +33,5 @@ pub use corpus::{Corpus, CorpusBuilder};
 pub use doc::{Document, Facet};
 pub use ids::{DocId, FacetId, Feature, PhraseId, WordId};
 pub use stats::CorpusStats;
-pub use token::{TokenizerConfig, tokenize};
+pub use token::{tokenize, TokenizerConfig};
 pub use vocab::Vocabulary;

@@ -54,7 +54,10 @@ impl From<std::io::Error> for LoadError {
 }
 
 /// Loads a corpus treating each non-empty line of `reader` as one document.
-pub fn load_lines_from<R: Read>(reader: R, tokenizer: TokenizerConfig) -> Result<Corpus, LoadError> {
+pub fn load_lines_from<R: Read>(
+    reader: R,
+    tokenizer: TokenizerConfig,
+) -> Result<Corpus, LoadError> {
     let mut builder = CorpusBuilder::new(tokenizer);
     let mut br = BufReader::new(reader);
     let mut line = String::new();
@@ -69,7 +72,10 @@ pub fn load_lines_from<R: Read>(reader: R, tokenizer: TokenizerConfig) -> Result
 }
 
 /// Loads a line-per-document corpus from a file path.
-pub fn load_lines<P: AsRef<Path>>(path: P, tokenizer: TokenizerConfig) -> Result<Corpus, LoadError> {
+pub fn load_lines<P: AsRef<Path>>(
+    path: P,
+    tokenizer: TokenizerConfig,
+) -> Result<Corpus, LoadError> {
     load_lines_from(File::open(path)?, tokenizer)
 }
 
@@ -121,7 +127,10 @@ struct JsonDoc {
 }
 
 /// Loads a JSONL corpus: one `{"text": ..., "facets": {...}}` object per line.
-pub fn load_jsonl_from<R: Read>(reader: R, tokenizer: TokenizerConfig) -> Result<Corpus, LoadError> {
+pub fn load_jsonl_from<R: Read>(
+    reader: R,
+    tokenizer: TokenizerConfig,
+) -> Result<Corpus, LoadError> {
     let mut builder = CorpusBuilder::new(tokenizer);
     let mut br = BufReader::new(reader);
     let mut line = String::new();
@@ -147,7 +156,10 @@ pub fn load_jsonl_from<R: Read>(reader: R, tokenizer: TokenizerConfig) -> Result
 }
 
 /// Loads a JSONL corpus from a file path.
-pub fn load_jsonl<P: AsRef<Path>>(path: P, tokenizer: TokenizerConfig) -> Result<Corpus, LoadError> {
+pub fn load_jsonl<P: AsRef<Path>>(
+    path: P,
+    tokenizer: TokenizerConfig,
+) -> Result<Corpus, LoadError> {
     load_jsonl_from(File::open(path)?, tokenizer)
 }
 
@@ -158,7 +170,10 @@ pub fn load_jsonl<P: AsRef<Path>>(path: P, tokenizer: TokenizerConfig) -> Result
 /// accepts the small `{"text": "...", "facets": {"k": "v"}}` subset the
 /// loader documents, with standard JSON string escapes.
 fn parse_json_doc(s: &str) -> Result<JsonDoc, String> {
-    let mut p = MiniJson { s: s.as_bytes(), i: 0 };
+    let mut p = MiniJson {
+        s: s.as_bytes(),
+        i: 0,
+    };
     p.skip_ws();
     p.expect(b'{')?;
     let mut text: Option<String> = None;

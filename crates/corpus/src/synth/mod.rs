@@ -24,5 +24,5 @@ mod zipf;
 
 pub use presets::{pubmed_like, reuters_like, tiny};
 pub use randutil::{lognormal_usize, sample_distinct};
-pub use topics::{SynthConfig, TopicModel, generate};
+pub use topics::{generate, SynthConfig, TopicModel};
 pub use zipf::Zipf;

@@ -105,7 +105,11 @@ impl TopicModel {
         let phrase_pick = Zipf::new(cfg.phrases_per_topic.max(1), 1.0);
         let _ = &phrase_pick; // built lazily below per topic; kept for clarity
         for _ in 0..cfg.num_topics {
-            let words = sample_distinct(rng, cfg.vocab_size, cfg.topic_vocab_size.min(cfg.vocab_size));
+            let words = sample_distinct(
+                rng,
+                cfg.vocab_size,
+                cfg.topic_vocab_size.min(cfg.vocab_size),
+            );
             let mut phrases = Vec::with_capacity(cfg.phrases_per_topic);
             let word_pick = Zipf::new(words.len(), cfg.topic_exponent);
             for _ in 0..cfg.phrases_per_topic {
@@ -135,7 +139,10 @@ pub fn generate(cfg: &SynthConfig) -> (Corpus, TopicModel) {
         cfg.phrase_len.0 >= 2 && cfg.phrase_len.1 >= cfg.phrase_len.0,
         "phrase length range must be ordered and at least 2"
     );
-    assert!(cfg.topics_per_doc_max >= 1, "documents need at least one topic");
+    assert!(
+        cfg.topics_per_doc_max >= 1,
+        "documents need at least one topic"
+    );
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let model = TopicModel::sample(cfg, &mut rng);

@@ -121,7 +121,10 @@ mod tests {
 
     #[test]
     fn preserves_order_and_duplicates() {
-        assert_eq!(default_tokens("the cat the cat"), vec!["the", "cat", "the", "cat"]);
+        assert_eq!(
+            default_tokens("the cat the cat"),
+            vec!["the", "cat", "the", "cat"]
+        );
     }
 
     #[test]
@@ -153,6 +156,9 @@ mod tests {
 
     #[test]
     fn unicode_tokens_survive() {
-        assert_eq!(default_tokens("naïve Bayes café"), vec!["naïve", "bayes", "café"]);
+        assert_eq!(
+            default_tokens("naïve Bayes café"),
+            vec!["naïve", "bayes", "café"]
+        );
     }
 }

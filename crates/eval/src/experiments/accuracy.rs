@@ -65,7 +65,10 @@ pub fn run(ds: &DatasetBundle, k: usize) -> Report {
         &["operator", "mean |estimated − real|"],
     );
     for op in [Operator::And, Operator::Or] {
-        report.push_row(vec![op.to_string(), format!("{:.4}", mean_abs_error(ds, op, k))]);
+        report.push_row(vec![
+            op.to_string(),
+            format!("{:.4}", mean_abs_error(ds, op, k)),
+        ]);
     }
     report.push_row(vec![
         "OR (full Eq. 11)".to_owned(),

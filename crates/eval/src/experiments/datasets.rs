@@ -39,7 +39,9 @@ impl DatasetBundle {
 
 /// Whether quick (smoke-test) mode is on.
 pub fn quick_mode() -> bool {
-    std::env::var("IPM_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("IPM_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The pubmed-like scale: `IPM_PUBMED_DOCS`, default 60k (6k in quick mode).
@@ -59,7 +61,10 @@ pub fn build_reuters() -> DatasetBundle {
         synth.num_docs = 4_000;
         synth.vocab_size = 6_000;
     }
-    eprintln!("[datasets] generating reuters-like corpus ({} docs)...", synth.num_docs);
+    eprintln!(
+        "[datasets] generating reuters-like corpus ({} docs)...",
+        synth.num_docs
+    );
     let (corpus, _) = ipm_corpus::synth::generate(&synth);
     eprintln!("[datasets] indexing...");
     let miner = PhraseMiner::build(&corpus, miner_config());

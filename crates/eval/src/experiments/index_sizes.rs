@@ -70,8 +70,7 @@ mod tests {
     fn packed_column_is_smaller() {
         let ds = shared_test_bundle();
         let lists = ds.miner.lists();
-        let packed =
-            ipm_storage::PackedWordListFile::build(lists, ds.miner.index().dict.len());
+        let packed = ipm_storage::PackedWordListFile::build(lists, ds.miner.index().dict.len());
         assert!(packed.len_bytes() < lists.size_bytes());
     }
 }

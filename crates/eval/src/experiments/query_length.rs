@@ -78,7 +78,14 @@ pub fn sweep(ds: &DatasetBundle, op: Operator, max_r: usize, k: usize) -> Vec<Le
 pub fn run(ds: &DatasetBundle, max_r: usize, k: usize) -> Report {
     let mut report = Report::new(
         format!("§4.5 ablation — cost vs query length r ({})", ds.name),
-        &["operator", "r", "queries", "SMJ mean ms", "NRA mean ms", "NRA lists read"],
+        &[
+            "operator",
+            "r",
+            "queries",
+            "SMJ mean ms",
+            "NRA mean ms",
+            "NRA lists read",
+        ],
     );
     for op in [Operator::And, Operator::Or] {
         for p in sweep(ds, op, max_r, k) {

@@ -61,7 +61,9 @@ impl Report {
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -80,7 +82,16 @@ impl Report {
 
     /// Machine-readable form.
     pub fn to_json(&self) -> serde_json::Value {
-        serde_json::to_value(self).expect("report serializes")
+        use serde_json::Value;
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("title".to_owned(), Value::from(self.title.clone()));
+        obj.insert("headers".to_owned(), Value::from(self.headers.clone()));
+        obj.insert(
+            "rows".to_owned(),
+            Value::Array(self.rows.iter().map(|r| Value::from(r.clone())).collect()),
+        );
+        obj.insert("notes".to_owned(), Value::from(self.notes.clone()));
+        Value::Object(obj)
     }
 }
 

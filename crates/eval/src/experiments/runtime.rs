@@ -95,7 +95,10 @@ pub fn run_smj_vs_gm(ds: &DatasetBundle, fractions: &[f64], k: usize) -> Report 
     let and = gm_times(ds, &gm, Operator::And, k);
     let or = gm_times(ds, &gm, Operator::Or, k);
     report.push_row(vec!["GM".into(), ms(and.mean_ms), ms(or.mean_ms)]);
-    report.push_note(format!("k = {k}; {} queries; times are per-query means", ds.num_queries()));
+    report.push_note(format!(
+        "k = {k}; {} queries; times are per-query means",
+        ds.num_queries()
+    ));
     report
 }
 
@@ -103,7 +106,14 @@ pub fn run_smj_vs_gm(ds: &DatasetBundle, fractions: &[f64], k: usize) -> Report 
 pub fn run_nra_vs_gm(ds: &DatasetBundle, fraction: f64, k: usize) -> Report {
     let mut report = Report::new(
         format!("Figures 12/13 — disk NRA vs in-memory GM ({})", ds.name),
-        &["operator", "NRA compute ms", "NRA IO ms", "NRA total ms", "GM ms", "GM/NRA"],
+        &[
+            "operator",
+            "NRA compute ms",
+            "NRA IO ms",
+            "NRA total ms",
+            "GM ms",
+            "GM/NRA",
+        ],
     );
     let gm = GmBaseline::build(ds.miner.index());
     for op in [Operator::And, Operator::Or] {

@@ -25,7 +25,10 @@ pub fn run(ds: &DatasetBundle, op: Operator, min_query_words: usize, k: usize) -
     let rendered = query.render(ds.miner.corpus());
 
     let mut report = Report::new(
-        format!("Table 4 — sample results ({}, query: \"{rendered}\")", ds.name),
+        format!(
+            "Table 4 — sample results ({}, query: \"{rendered}\")",
+            ds.name
+        ),
         &["rank", "phrase", "estimated I"],
     );
     let out = ds.miner.top_k_nra(query, k);
@@ -36,7 +39,9 @@ pub fn run(ds: &DatasetBundle, op: Operator, min_query_words: usize, k: usize) -
             format!("{:.3}", estimated_interestingness(op, h.score)),
         ]);
     }
-    report.push_note("phrases may overlap the query words or merely correlate with them (paper §5.6)");
+    report.push_note(
+        "phrases may overlap the query words or merely correlate with them (paper §5.6)",
+    );
     report
 }
 

@@ -126,7 +126,10 @@ mod tests {
                 count_perfect += 1;
             }
         }
-        assert!(count_perfect > 1, "test corpus should have several perfect phrases");
+        assert!(
+            count_perfect > 1,
+            "test corpus should have several perfect phrases"
+        );
         assert!(j.num_relevant() >= count_perfect);
     }
 

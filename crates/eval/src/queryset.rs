@@ -164,10 +164,7 @@ fn draw_query(
         };
 
         // Apply the subset-size filter on the AND interpretation.
-        let lists: Vec<&Postings> = words
-            .iter()
-            .map(|&w| index.features.word(w))
-            .collect();
+        let lists: Vec<&Postings> = words.iter().map(|&w| index.features.word(w)).collect();
         let and = Postings::intersect_many(&lists);
         if and.len() >= config.min_and_matches {
             return Some(words);

@@ -80,7 +80,10 @@ mod tests {
 
     #[test]
     fn empty_samples() {
-        assert_eq!(TimingSummary::from_samples(vec![]), TimingSummary::default());
+        assert_eq!(
+            TimingSummary::from_samples(vec![]),
+            TimingSummary::default()
+        );
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! The pluggable list-backend abstraction.
+//!
+//! The paper's algorithms need three access paths into the word-specific
+//! phrase lists:
+//!
+//! * **score-ordered sorted access** — NRA and TA read entries in
+//!   non-increasing `P(q|p)` order ([`ScoredListCursor`]);
+//! * **phrase-ID-ordered sorted access** — SMJ merges lists in id order
+//!   ([`IdListCursor`]);
+//! * **random probes** — TA resolves a candidate's remaining scores by
+//!   point lookups.
+//!
+//! [`ListBackend`] bundles the three behind one trait so every algorithm
+//! in `ipm-core` is written once and runs unchanged over the in-memory
+//! lists ([`MemoryBackend`]) or the simulated disk
+//! (`ipm_storage::DiskLists`, which charges each access to its buffer
+//! pool). This is the seam that turns the disk simulation from a
+//! side-experiment reachable only via NRA into a first-class serving
+//! backend for all four algorithms.
+
+use crate::cursor::{IdListCursor, MemoryCursor, MemoryIdCursor, ScoredListCursor};
+use crate::wordlists::{IdOrderedLists, ListEntry, WordPhraseLists};
+use ipm_corpus::{Feature, PhraseId};
+
+/// A source of word-specific phrase lists in both orders plus random-probe
+/// access. Implementations must present a *consistent* snapshot: for any
+/// feature the score-ordered list, the id-ordered list and the probe path
+/// must expose the same `[phrase, prob]` multiset.
+pub trait ListBackend {
+    /// Score-ordered cursor type.
+    type ScoreCursor<'a>: ScoredListCursor
+    where
+        Self: 'a;
+
+    /// Phrase-id-ordered cursor type.
+    type IdCursor<'a>: IdListCursor
+    where
+        Self: 'a;
+
+    /// Opens a score-ordered cursor over the top-`fraction` prefix of
+    /// `feature`'s list (run-time partial lists, paper §4.3). `1.0` reads
+    /// the full list.
+    fn score_cursor(&self, feature: Feature, fraction: f64) -> Self::ScoreCursor<'_>;
+
+    /// Opens a phrase-id-ordered cursor over `feature`'s full list.
+    fn id_cursor(&self, feature: Feature) -> Self::IdCursor<'_>;
+
+    /// Random probe: `P(feature|phrase)`, `0.0` when the pair is absent.
+    fn probe(&self, feature: Feature, phrase: PhraseId) -> f64;
+
+    /// Entries in `feature`'s (untruncated) list; `0` if absent.
+    fn list_len(&self, feature: Feature) -> usize;
+}
+
+/// Binary-searches an id-ordered list slice for a phrase's probability
+/// (shared by the in-memory backend and tests; the disk backend performs
+/// the same search through its buffer pool).
+pub fn probe_id_ordered(list: &[ListEntry], phrase: PhraseId) -> f64 {
+    match list.binary_search_by_key(&phrase, |e| e.phrase) {
+        Ok(i) => list[i].prob,
+        Err(_) => 0.0,
+    }
+}
+
+/// The in-memory backend: borrows the miner's score-ordered and id-ordered
+/// lists. Cursors are plain slice walks; probes are binary searches.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryBackend<'m> {
+    lists: &'m WordPhraseLists,
+    id_lists: &'m IdOrderedLists,
+}
+
+impl<'m> MemoryBackend<'m> {
+    /// Bundles score-ordered and id-ordered lists (both built from the
+    /// same source lists) into a backend.
+    pub fn new(lists: &'m WordPhraseLists, id_lists: &'m IdOrderedLists) -> Self {
+        Self { lists, id_lists }
+    }
+
+    /// The underlying score-ordered lists.
+    pub fn lists(&self) -> &'m WordPhraseLists {
+        self.lists
+    }
+
+    /// The underlying id-ordered lists.
+    pub fn id_lists(&self) -> &'m IdOrderedLists {
+        self.id_lists
+    }
+}
+
+impl<'m> ListBackend for MemoryBackend<'m> {
+    type ScoreCursor<'a>
+        = MemoryCursor<'m>
+    where
+        Self: 'a;
+    type IdCursor<'a>
+        = MemoryIdCursor<'m>
+    where
+        Self: 'a;
+
+    fn score_cursor(&self, feature: Feature, fraction: f64) -> MemoryCursor<'m> {
+        MemoryCursor::partial(self.lists, feature, fraction)
+    }
+
+    fn id_cursor(&self, feature: Feature) -> MemoryIdCursor<'m> {
+        MemoryIdCursor::over(self.id_lists, feature)
+    }
+
+    fn probe(&self, feature: Feature, phrase: PhraseId) -> f64 {
+        probe_id_ordered(self.id_lists.list(feature), phrase)
+    }
+
+    fn list_len(&self, feature: Feature) -> usize {
+        self.lists.list(feature).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus_index::{CorpusIndex, IndexConfig};
+    use crate::mining::MiningConfig;
+    use crate::wordlists::WordListConfig;
+    use ipm_corpus::{CorpusBuilder, TokenizerConfig};
+
+    fn setup() -> (WordPhraseLists, IdOrderedLists) {
+        let mut b = CorpusBuilder::new(TokenizerConfig::default());
+        for t in [
+            "trade reserves fell",
+            "trade reserves rose",
+            "economic minister trade",
+            "trade reserves fell again",
+            "minister spoke of trade reserves",
+        ] {
+            b.add_text(t);
+        }
+        let c = b.build();
+        let index = CorpusIndex::build(
+            &c,
+            &IndexConfig {
+                mining: MiningConfig {
+                    min_df: 2,
+                    max_len: 3,
+                    min_len: 1,
+                },
+            },
+        );
+        let lists = WordPhraseLists::build(&c, &index, &WordListConfig::default());
+        let id_lists = IdOrderedLists::from_score_ordered(&lists);
+        (lists, id_lists)
+    }
+
+    #[test]
+    fn score_cursor_matches_lists() {
+        let (lists, idl) = setup();
+        let backend = MemoryBackend::new(&lists, &idl);
+        for &feat in lists.features() {
+            let mut cur = backend.score_cursor(feat, 1.0);
+            let want = lists.list(feat);
+            assert_eq!(cur.len(), want.len());
+            assert_eq!(backend.list_len(feat), want.len());
+            for e in want {
+                let got = cur.next_entry().unwrap();
+                assert_eq!(got.phrase, e.phrase);
+                assert_eq!(got.prob.to_bits(), e.prob.to_bits());
+            }
+            assert!(cur.next_entry().is_none());
+        }
+    }
+
+    #[test]
+    fn id_cursor_is_sorted_and_complete() {
+        let (lists, idl) = setup();
+        let backend = MemoryBackend::new(&lists, &idl);
+        for &feat in lists.features() {
+            let mut cur = backend.id_cursor(feat);
+            assert_eq!(cur.len(), lists.list(feat).len());
+            let mut prev: Option<PhraseId> = None;
+            let mut n = 0;
+            while let Some(e) = cur.next_entry() {
+                if let Some(p) = prev {
+                    assert!(e.phrase > p, "id order violated");
+                }
+                prev = Some(e.phrase);
+                n += 1;
+            }
+            assert_eq!(n, lists.list(feat).len());
+        }
+    }
+
+    #[test]
+    fn probe_agrees_with_lists() {
+        let (lists, idl) = setup();
+        let backend = MemoryBackend::new(&lists, &idl);
+        for &feat in lists.features() {
+            for e in lists.list(feat) {
+                assert_eq!(backend.probe(feat, e.phrase), e.prob);
+            }
+            assert_eq!(backend.probe(feat, PhraseId(u32::MAX)), 0.0);
+        }
+    }
+
+    #[test]
+    fn partial_score_cursor_truncates() {
+        let (lists, idl) = setup();
+        let backend = MemoryBackend::new(&lists, &idl);
+        let feat = *lists
+            .features()
+            .iter()
+            .max_by_key(|f| lists.list(**f).len())
+            .unwrap();
+        let cur = backend.score_cursor(feat, 0.3);
+        assert_eq!(
+            cur.len(),
+            crate::cursor::prefix_len(lists.list(feat).len(), 0.3)
+        );
+    }
+}

@@ -52,7 +52,11 @@ impl CorpusIndex {
     /// Exact interestingness `I(p, D') = freq(p, D') / freq(p, D)` for a
     /// materialized subset (paper Eq. 1, document-frequency semantics,
     /// see `DESIGN.md` §2).
-    pub fn interestingness(&self, p: ipm_corpus::PhraseId, subset: &crate::postings::Postings) -> f64 {
+    pub fn interestingness(
+        &self,
+        p: ipm_corpus::PhraseId,
+        subset: &crate::postings::Postings,
+    ) -> f64 {
         let dp = self.phrases.phrase(p);
         if dp.is_empty() {
             return 0.0;
@@ -134,7 +138,10 @@ mod tests {
         let c = corpus();
         let idx = CorpusIndex::build(&c, &IndexConfig::default());
         let subset = Postings::from_sorted(vec![DocId(0)]);
-        assert_eq!(idx.interestingness(ipm_corpus::PhraseId(9999), &subset), 0.0);
+        assert_eq!(
+            idx.interestingness(ipm_corpus::PhraseId(9999), &subset),
+            0.0
+        );
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Cursor abstraction over word-specific phrase lists.
 //!
-//! The NRA algorithm (crate `ipm-core`) consumes lists one entry at a time
-//! in score order, regardless of whether the list lives in memory
-//! ([`crate::wordlists::WordPhraseLists`]) or behind the simulated disk
-//! (crate `ipm-storage`). This trait is the seam between the two.
+//! The top-k algorithms (crate `ipm-core`) consume lists one entry at a
+//! time — NRA and TA in score order ([`ScoredListCursor`]), SMJ in
+//! phrase-id order ([`IdListCursor`]) — regardless of whether the list
+//! lives in memory ([`crate::wordlists::WordPhraseLists`]) or behind the
+//! simulated disk (crate `ipm-storage`). These traits are the seam between
+//! the two; [`crate::backend::ListBackend`] bundles them with random-probe
+//! access into one pluggable backend.
 
-use crate::wordlists::{ListEntry, WordPhraseLists};
+use crate::wordlists::{IdOrderedLists, ListEntry, WordPhraseLists};
 use ipm_corpus::Feature;
 
 /// A forward-only cursor over one feature's score-ordered list.
@@ -72,6 +75,56 @@ impl ScoredListCursor for MemoryCursor<'_> {
     }
 }
 
+/// A forward-only cursor over one feature's phrase-ID-ordered list (the
+/// SMJ access path, paper §4.4).
+pub trait IdListCursor {
+    /// Next entry in ascending phrase-id order, or `None` at the end.
+    fn next_entry(&mut self) -> Option<ListEntry>;
+
+    /// Total entries this cursor will yield.
+    fn len(&self) -> usize;
+
+    /// Whether the cursor yields no entries at all.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// In-memory cursor over a slice of an ID-ordered list.
+#[derive(Debug, Clone)]
+pub struct MemoryIdCursor<'a> {
+    entries: &'a [ListEntry],
+    pos: usize,
+}
+
+impl<'a> MemoryIdCursor<'a> {
+    /// Cursor over an in-memory id-ordered slice.
+    pub fn new(entries: &'a [ListEntry]) -> Self {
+        Self { entries, pos: 0 }
+    }
+
+    /// Cursor over `lists`' entry for `feature`.
+    pub fn over(lists: &'a IdOrderedLists, feature: Feature) -> Self {
+        Self::new(lists.list(feature))
+    }
+}
+
+impl IdListCursor for MemoryIdCursor<'_> {
+    #[inline]
+    fn next_entry(&mut self) -> Option<ListEntry> {
+        let e = self.entries.get(self.pos).copied();
+        if e.is_some() {
+            self.pos += 1;
+        }
+        e
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 /// Number of entries in the top-`fraction` prefix of a list of `len`
 /// entries: `ceil(len · fraction)`, at least 1 for non-empty lists, clamped
 /// to `len`. Shared by the in-memory and disk cursors so partial semantics
@@ -119,6 +172,20 @@ mod tests {
         assert!(c.is_empty());
         assert!(c.next_entry().is_none());
         assert_eq!(c.position(), 0);
+    }
+
+    #[test]
+    fn id_cursor_yields_all_in_order() {
+        let es = entries(3);
+        let mut c = MemoryIdCursor::new(&es);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        let mut got = Vec::new();
+        while let Some(e) = c.next_entry() {
+            got.push(e.phrase.raw());
+        }
+        assert_eq!(got, vec![0, 1, 2]);
+        assert!(c.next_entry().is_none());
     }
 
     #[test]

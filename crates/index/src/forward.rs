@@ -96,7 +96,10 @@ mod tests {
         let (_, _, fwd) = build_all(&["a b a b c", "a b c", "a b", "c a"], 2);
         for i in 0..fwd.num_docs() {
             let list = fwd.doc(DocId(i as u32));
-            assert!(list.windows(2).all(|w| w[0] < w[1]), "doc {i} list not sorted");
+            assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "doc {i} list not sorted"
+            );
         }
     }
 

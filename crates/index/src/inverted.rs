@@ -6,9 +6,9 @@
 
 use crate::phrase::PhraseDictionary;
 use crate::postings::Postings;
-use ipm_corpus::{Corpus, FacetId, Feature, PhraseId, WordId};
 #[cfg(test)]
 use ipm_corpus::DocId;
+use ipm_corpus::{Corpus, FacetId, Feature, PhraseId, WordId};
 
 /// Word and facet postings for a corpus.
 #[derive(Debug, Default, Clone)]
@@ -193,10 +193,7 @@ mod tests {
         let c = corpus_from(&["a b", "b c", "c a b"]);
         let idx = FeatureIndex::build(&c);
         let b = c.word_id("b").unwrap();
-        assert_eq!(
-            idx.word(b).as_slice(),
-            &[DocId(0), DocId(1), DocId(2)]
-        );
+        assert_eq!(idx.word(b).as_slice(), &[DocId(0), DocId(1), DocId(2)]);
         assert_eq!(idx.df(Feature::Word(b)), 3);
         let a = c.word_id("a").unwrap();
         assert_eq!(idx.word(a).as_slice(), &[DocId(0), DocId(2)]);

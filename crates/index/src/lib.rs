@@ -18,8 +18,14 @@
 //! * [`corpus_index`] — one-stop construction of all of the above;
 //! * [`wordlists`] — the paper's contribution-side index: per-feature lists
 //!   of `[phrase_id, P(q|p)]` pairs, score-ordered (for NRA, §4.2.2) or
-//!   phrase-ID-ordered (for SMJ, §4.4.1), with partial-list truncation.
+//!   phrase-ID-ordered (for SMJ, §4.4.1), with partial-list truncation;
+//! * [`cursor`] — forward cursors over both list orders;
+//! * [`backend`] — the [`backend::ListBackend`] trait unifying score
+//!   cursors, id cursors and random probes, so `ipm-core`'s algorithms run
+//!   unchanged over memory ([`backend::MemoryBackend`]) or the simulated
+//!   disk (`ipm_storage::DiskLists`).
 
+pub mod backend;
 pub mod corpus_index;
 pub mod cursor;
 pub mod forward;
@@ -30,8 +36,9 @@ pub mod phrase;
 pub mod postings;
 pub mod wordlists;
 
+pub use backend::{ListBackend, MemoryBackend};
 pub use corpus_index::{CorpusIndex, IndexConfig};
-pub use cursor::{MemoryCursor, ScoredListCursor};
+pub use cursor::{IdListCursor, MemoryCursor, MemoryIdCursor, ScoredListCursor};
 pub use mining::{mine_phrases, MiningConfig};
 pub use phrase::PhraseDictionary;
 pub use postings::Postings;

@@ -142,7 +142,10 @@ mod tests {
 
     /// Reference miner: enumerate every window of every length and count
     /// document frequency exactly with no pruning.
-    fn naive_mine(corpus: &Corpus, cfg: &MiningConfig) -> std::collections::BTreeMap<Vec<WordId>, u32> {
+    fn naive_mine(
+        corpus: &Corpus,
+        cfg: &MiningConfig,
+    ) -> std::collections::BTreeMap<Vec<WordId>, u32> {
         let mut counts = std::collections::BTreeMap::new();
         for doc in corpus.docs() {
             let mut seen = std::collections::BTreeSet::new();
@@ -164,7 +167,9 @@ mod tests {
 
     #[test]
     fn mines_repeated_bigram() {
-        let texts: Vec<String> = (0..5).map(|i| format!("economic minister spoke {i}")).collect();
+        let texts: Vec<String> = (0..5)
+            .map(|i| format!("economic minister spoke {i}"))
+            .collect();
         let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
         let c = corpus_from(&refs);
         let cfg = MiningConfig {
@@ -228,7 +233,9 @@ mod tests {
         let mut b = CorpusBuilder::new(TokenizerConfig::default());
         for _ in 0..60 {
             let len = rng.gen_range(3..40);
-            let text: Vec<String> = (0..len).map(|_| format!("t{}", rng.gen_range(0..12))).collect();
+            let text: Vec<String> = (0..len)
+                .map(|_| format!("t{}", rng.gen_range(0..12)))
+                .collect();
             b.add_text(&text.join(" "));
         }
         let c = b.build();

@@ -129,7 +129,7 @@ mod tests {
             .get(&[c.word_id("a").unwrap(), c.word_id("b").unwrap()])
             .unwrap();
         // doc 0: "a b" at positions 0 and 2 → 2 occurrences; doc 1: 1.
-        let d0: Vec<_> = occ.doc(DocId(0)).iter().copied().collect();
+        let d0 = occ.doc(DocId(0)).to_vec();
         assert!(d0.contains(&(ab, 2)), "{d0:?}");
         assert_eq!(occ.total(ab), 3);
     }
@@ -143,17 +143,17 @@ mod tests {
             .get(&[c.word_id("a").unwrap(), c.word_id("a").unwrap()])
             .unwrap();
         // "a a a" holds "a a" at offsets 0 and 1.
-        assert_eq!(occ.doc(DocId(0)).iter().find(|&&(p, _)| p == aa), Some(&(aa, 2)));
+        assert_eq!(
+            occ.doc(DocId(0)).iter().find(|&&(p, _)| p == aa),
+            Some(&(aa, 2))
+        );
         assert_eq!(occ.total(aa), 3);
     }
 
     #[test]
     fn occurrence_count_at_least_document_frequency() {
         // Per phrase: total occurrences ≥ number of documents containing it.
-        let (c, index) = setup(
-            &["x y z x y", "y z", "x y x y x y", "z z z", "x y z"],
-            2,
-        );
+        let (c, index) = setup(&["x y z x y", "y z", "x y x y x y", "z z z", "x y z"], 2);
         let occ = OccurrenceIndex::build(&c, &index.dict);
         for (p, _, df) in index.dict.iter() {
             assert!(

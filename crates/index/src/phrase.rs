@@ -97,7 +97,11 @@ impl PhraseDictionary {
     ///
     /// Relies on the prefix property: if an n-gram is frequent, so is every
     /// prefix — so the first missing length terminates the scan.
-    pub fn longest_prefix_match(&self, tokens: &[WordId], max_len: usize) -> Option<(PhraseId, usize)> {
+    pub fn longest_prefix_match(
+        &self,
+        tokens: &[WordId],
+        max_len: usize,
+    ) -> Option<(PhraseId, usize)> {
         let cap = tokens.len().min(max_len);
         let mut best = None;
         for len in 1..=cap {
@@ -152,7 +156,10 @@ mod tests {
         let mut d = PhraseDictionary::new();
         d.insert(&w(&[1]), 10);
         d.insert(&w(&[2, 3]), 20);
-        let collected: Vec<_> = d.iter().map(|(id, ws, df)| (id.raw(), ws.len(), df)).collect();
+        let collected: Vec<_> = d
+            .iter()
+            .map(|(id, ws, df)| (id.raw(), ws.len(), df))
+            .collect();
         assert_eq!(collected, vec![(0, 1, 10), (1, 2, 20)]);
     }
 

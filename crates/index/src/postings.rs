@@ -30,7 +30,10 @@ impl Postings {
     /// # Panics
     /// Panics in debug builds if the invariant does not hold.
     pub fn from_sorted(docs: Vec<DocId>) -> Self {
-        debug_assert!(docs.windows(2).all(|w| w[0] < w[1]), "postings not strictly sorted");
+        debug_assert!(
+            docs.windows(2).all(|w| w[0] < w[1]),
+            "postings not strictly sorted"
+        );
         Self { docs }
     }
 
@@ -361,8 +364,12 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..50 {
-            let a: Vec<u32> = (0..rng.gen_range(0..200)).map(|_| rng.gen_range(0..300)).collect();
-            let b: Vec<u32> = (0..rng.gen_range(0..2000)).map(|_| rng.gen_range(0..3000)).collect();
+            let a: Vec<u32> = (0..rng.gen_range(0..200))
+                .map(|_| rng.gen_range(0..300))
+                .collect();
+            let b: Vec<u32> = (0..rng.gen_range(0..2000))
+                .map(|_| rng.gen_range(0..3000))
+                .collect();
             let pa = p(&a);
             let pb = p(&b);
             use std::collections::BTreeSet;

@@ -106,17 +106,21 @@ impl WordPhraseLists {
         let block = config.block_size.max(1);
         let num_blocks = num_slots.div_ceil(block);
         let threads = if config.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             config.threads
         };
 
         // Each block yields its per-slot entry lists; assembled in slot
         // order afterwards.
-        let mut block_results: Vec<Vec<Vec<ListEntry>>> = (0..num_blocks).map(|_| Vec::new()).collect();
+        let mut block_results: Vec<Vec<Vec<ListEntry>>> =
+            (0..num_blocks).map(|_| Vec::new()).collect();
         let next_block = std::sync::atomic::AtomicUsize::new(0);
-        let results_cell: Vec<std::sync::Mutex<Vec<Vec<ListEntry>>>> =
-            (0..num_blocks).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+        let results_cell: Vec<std::sync::Mutex<Vec<Vec<ListEntry>>>> = (0..num_blocks)
+            .map(|_| std::sync::Mutex::new(Vec::new()))
+            .collect();
 
         crossbeam::scope(|scope| {
             for _ in 0..threads.min(num_blocks.max(1)) {
@@ -408,6 +412,11 @@ impl IdOrderedLists {
         self.features.len()
     }
 
+    /// The features in slot order.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
     /// Total entries across lists.
     pub fn total_entries(&self) -> usize {
         self.entries.len()
@@ -497,8 +506,7 @@ mod tests {
             let list = lists.list_by_slot(slot as u32);
             for w in list.windows(2) {
                 assert!(
-                    w[0].prob > w[1].prob
-                        || (w[0].prob == w[1].prob && w[0].phrase < w[1].phrase),
+                    w[0].prob > w[1].prob || (w[0].prob == w[1].prob && w[0].phrase < w[1].phrase),
                     "ordering violated: {:?} then {:?}",
                     w[0],
                     w[1]
@@ -512,7 +520,11 @@ mod tests {
         let (_, _, lists) = setup(&["p q r", "p q", "q r", "p r", "p q r s"], 2);
         for slot in 0..lists.num_features() {
             for e in lists.list_by_slot(slot as u32) {
-                assert!(e.prob > 0.0 && e.prob <= 1.0, "prob {} out of range", e.prob);
+                assert!(
+                    e.prob > 0.0 && e.prob <= 1.0,
+                    "prob {} out of range",
+                    e.prob
+                );
             }
         }
     }
@@ -611,10 +623,7 @@ mod tests {
 
     #[test]
     fn id_ordered_lists_sorted_by_id_same_multiset() {
-        let (_, _, lists) = setup(
-            &["x y z", "x y", "x z", "y z", "x y z w", "w x", "w y"],
-            2,
-        );
+        let (_, _, lists) = setup(&["x y z", "x y", "x z", "y z", "x y z w", "w x", "w y"], 2);
         let idl = IdOrderedLists::from_score_ordered(&lists);
         assert_eq!(idl.total_entries(), lists.total_entries());
         for feat in lists.features() {
@@ -622,8 +631,14 @@ mod tests {
             let id_list = idl.list(*feat);
             assert_eq!(score_list.len(), id_list.len());
             assert!(id_list.windows(2).all(|w| w[0].phrase < w[1].phrase));
-            let mut a: Vec<_> = score_list.iter().map(|e| (e.phrase, e.prob.to_bits())).collect();
-            let mut b: Vec<_> = id_list.iter().map(|e| (e.phrase, e.prob.to_bits())).collect();
+            let mut a: Vec<_> = score_list
+                .iter()
+                .map(|e| (e.phrase, e.prob.to_bits()))
+                .collect();
+            let mut b: Vec<_> = id_list
+                .iter()
+                .map(|e| (e.phrase, e.prob.to_bits()))
+                .collect();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b);
@@ -673,10 +688,7 @@ mod tests {
 
     #[test]
     fn min_prob_filters_weak_entries() {
-        let (c, index, _) = setup(
-            &["u v", "u v", "u w w w", "w w", "w v", "v v u", "w u"],
-            2,
-        );
+        let (c, index, _) = setup(&["u v", "u v", "u w w w", "w w", "w v", "v v u", "w u"], 2);
         let filtered = WordPhraseLists::build(
             &c,
             &index,

@@ -34,7 +34,10 @@ impl BitWriter {
     /// In debug builds, panics if `value` has bits set above `bits`.
     pub fn write(&mut self, value: u64, bits: u32) {
         debug_assert!((1..=64).contains(&bits));
-        debug_assert!(bits == 64 || value < (1u64 << bits), "value overflows width");
+        debug_assert!(
+            bits == 64 || value < (1u64 << bits),
+            "value overflows width"
+        );
         let mut v = value;
         let mut remaining = bits;
         while remaining > 0 {

@@ -1,37 +1,55 @@
-//! Disk-resident word lists: cursors that charge simulated IO.
+//! Disk-resident word lists: cursors and probes that charge simulated IO.
 //!
-//! [`DiskLists`] bundles a [`WordListFile`], a [`PhraseListFile`] and one
-//! shared [`BufferPool`] (queries interleave reads from several lists and
-//! from the phrase file, and they compete for the same 16 pages — exactly
-//! the effect the paper's simulation measures). Cursors implement
-//! [`ScoredListCursor`], so `ipm_core`'s NRA runs unchanged over them.
+//! [`DiskLists`] bundles *three* serialized images — the score-ordered
+//! [`WordListFile`] (NRA/TA sorted access), the phrase-ID-ordered
+//! [`WordListFile`] (SMJ sorted access and TA random probes), and the
+//! [`PhraseListFile`] (result-text lookup) — behind one shared
+//! [`BufferPool`] (queries interleave reads from several lists and files,
+//! and they compete for the same 16 pages — exactly the effect the paper's
+//! simulation measures).
+//!
+//! [`DiskLists`] implements [`ipm_index::backend::ListBackend`], so all
+//! four retrieval algorithms of `ipm-core` (NRA, SMJ, TA, exact) serve
+//! queries over it unchanged, with every access accounted by the
+//! [`CostModel`].
 
 use ipm_corpus::{Corpus, Feature, PhraseId};
-use ipm_index::cursor::{prefix_len, ScoredListCursor};
+use ipm_index::backend::ListBackend;
+use ipm_index::cursor::{prefix_len, IdListCursor, ScoredListCursor};
 use ipm_index::phrase::PhraseDictionary;
-use ipm_index::wordlists::{ListEntry, WordPhraseLists};
+use ipm_index::wordlists::{IdOrderedLists, ListEntry, WordPhraseLists};
 use parking_lot::Mutex;
 
 use crate::cost::{CostModel, IoStats};
 use crate::files::{PhraseListFile, WordListFile};
 use crate::pool::{BufferPool, PoolConfig};
 
-/// Disk-resident index: serialized lists + phrase file + shared buffer pool.
+/// Disk-resident index: serialized lists (both orders) + phrase file +
+/// shared buffer pool.
 pub struct DiskLists {
     words: WordListFile,
+    id_words: WordListFile,
     phrases: PhraseListFile,
     pool: Mutex<BufferPool>,
     cost: CostModel,
 }
 
 impl DiskLists {
-    /// Serializes `lists` and `dict` and wraps them with a buffer pool in
-    /// the paper's default configuration.
+    /// Serializes `lists` (and the id-ordered view derived from them) and
+    /// `dict`, wrapping them with a buffer pool in the paper's default
+    /// configuration. The id-ordered image freezes whatever fraction
+    /// `lists` carries (build-time partial lists, paper §4.4.2).
     pub fn build(corpus: &Corpus, dict: &PhraseDictionary, lists: &WordPhraseLists) -> Self {
-        Self::with_config(corpus, dict, lists, PoolConfig::default(), CostModel::default())
+        Self::with_config(
+            corpus,
+            dict,
+            lists,
+            PoolConfig::default(),
+            CostModel::default(),
+        )
     }
 
-    /// Full-control constructor.
+    /// Full-control constructor (id-ordered image derived from `lists`).
     pub fn with_config(
         corpus: &Corpus,
         dict: &PhraseDictionary,
@@ -39,8 +57,25 @@ impl DiskLists {
         pool: PoolConfig,
         cost: CostModel,
     ) -> Self {
+        let id_lists = IdOrderedLists::from_score_ordered(lists);
+        Self::with_lists(corpus, dict, lists, &id_lists, pool, cost)
+    }
+
+    /// Full-control constructor with an explicit id-ordered source — used
+    /// when the SMJ lists were frozen at a *different* (build-time)
+    /// fraction than the score-ordered lists, so the disk image mirrors
+    /// the in-memory backend exactly (paper §4.4.2).
+    pub fn with_lists(
+        corpus: &Corpus,
+        dict: &PhraseDictionary,
+        lists: &WordPhraseLists,
+        id_lists: &IdOrderedLists,
+        pool: PoolConfig,
+        cost: CostModel,
+    ) -> Self {
         Self {
             words: WordListFile::build(lists),
+            id_words: WordListFile::build_id_ordered(id_lists),
             phrases: PhraseListFile::build(corpus, dict),
             pool: Mutex::new(BufferPool::new(pool)),
             cost,
@@ -67,26 +102,49 @@ impl DiskLists {
         self.pool.lock().reset();
     }
 
-    /// Length of a feature's serialized list.
+    /// Length of a feature's serialized (score-ordered) list.
     pub fn list_len(&self, feature: Feature) -> usize {
         self.words.list_len(feature)
     }
 
-    /// Total serialized size (word lists + phrase file), in bytes.
+    /// Total serialized size (both word-list orders + phrase file), in
+    /// bytes.
     pub fn size_bytes(&self) -> usize {
-        self.words.len_bytes() + self.phrases.len_bytes()
+        self.words.len_bytes() + self.id_words.len_bytes() + self.phrases.len_bytes()
     }
 
-    /// Opens a cursor over the top-`fraction` prefix of `feature`'s list
-    /// (run-time partial lists, paper §4.3).
+    /// Opens a cursor over the top-`fraction` prefix of `feature`'s
+    /// score-ordered list (run-time partial lists, paper §4.3).
     pub fn cursor(&self, feature: Feature, fraction: f64) -> DiskCursor<'_> {
         let limit = prefix_len(self.words.list_len(feature), fraction);
         DiskCursor {
-            owner: self,
+            file: &self.words,
+            pool: &self.pool,
             feature,
             pos: 0,
             limit,
         }
+    }
+
+    /// Opens a cursor over `feature`'s phrase-ID-ordered list (the SMJ
+    /// access path; the full list — the id image's fraction was frozen at
+    /// build time).
+    pub fn id_cursor(&self, feature: Feature) -> DiskCursor<'_> {
+        let limit = self.id_words.list_len(feature);
+        DiskCursor {
+            file: &self.id_words,
+            pool: &self.pool,
+            feature,
+            pos: 0,
+            limit,
+        }
+    }
+
+    /// Random probe of `P(feature|phrase)` by binary search in the
+    /// id-ordered file, charged to the pool.
+    pub fn probe(&self, feature: Feature, phrase: PhraseId) -> f64 {
+        self.id_words
+            .probe_id_ordered(feature, phrase, &mut self.pool.lock())
     }
 
     /// Reads a result phrase's text through the pool (the paper's final
@@ -101,31 +159,61 @@ impl std::fmt::Debug for DiskLists {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DiskLists")
             .field("word_bytes", &self.words.len_bytes())
+            .field("id_word_bytes", &self.id_words.len_bytes())
             .field("phrase_bytes", &self.phrases.len_bytes())
             .field("io", &self.io_stats())
             .finish()
     }
 }
 
-/// A forward cursor over one disk-resident list.
+impl ListBackend for DiskLists {
+    type ScoreCursor<'a> = DiskCursor<'a>;
+    type IdCursor<'a> = DiskCursor<'a>;
+
+    fn score_cursor(&self, feature: Feature, fraction: f64) -> DiskCursor<'_> {
+        self.cursor(feature, fraction)
+    }
+
+    fn id_cursor(&self, feature: Feature) -> DiskCursor<'_> {
+        DiskLists::id_cursor(self, feature)
+    }
+
+    fn probe(&self, feature: Feature, phrase: PhraseId) -> f64 {
+        DiskLists::probe(self, feature, phrase)
+    }
+
+    fn list_len(&self, feature: Feature) -> usize {
+        DiskLists::list_len(self, feature)
+    }
+}
+
+/// A forward cursor over one disk-resident list run (score-ordered or
+/// id-ordered, depending on the file it was opened on).
 pub struct DiskCursor<'a> {
-    owner: &'a DiskLists,
+    file: &'a WordListFile,
+    pool: &'a Mutex<BufferPool>,
     feature: Feature,
     pos: usize,
     limit: usize,
 }
 
-impl ScoredListCursor for DiskCursor<'_> {
-    fn next_entry(&mut self) -> Option<ListEntry> {
+impl DiskCursor<'_> {
+    fn advance(&mut self) -> Option<ListEntry> {
         if self.pos >= self.limit {
             return None;
         }
-        let mut pool = self.owner.pool.lock();
-        let e = self.owner.words.read_entry(self.feature, self.pos, &mut pool);
+        let mut pool = self.pool.lock();
+        let e = self.file.read_entry(self.feature, self.pos, &mut pool);
         if e.is_some() {
             self.pos += 1;
         }
         e
+    }
+}
+
+impl ScoredListCursor for DiskCursor<'_> {
+    fn next_entry(&mut self) -> Option<ListEntry> {
+        self.advance()
     }
 
     fn len(&self) -> usize {
@@ -134,6 +222,16 @@ impl ScoredListCursor for DiskCursor<'_> {
 
     fn position(&self) -> usize {
         self.pos
+    }
+}
+
+impl IdListCursor for DiskCursor<'_> {
+    fn next_entry(&mut self) -> Option<ListEntry> {
+        self.advance()
+    }
+
+    fn len(&self) -> usize {
+        self.limit
     }
 }
 
@@ -180,14 +278,56 @@ mod tests {
             .unwrap();
         let mut cur = disk.cursor(feat, 1.0);
         let want = lists.list(feat);
-        assert_eq!(cur.len(), want.len());
+        assert_eq!(ScoredListCursor::len(&cur), want.len());
         for e in want {
-            let got = cur.next_entry().unwrap();
+            let got = ScoredListCursor::next_entry(&mut cur).unwrap();
             assert_eq!(got.phrase, e.phrase);
             assert_eq!(got.prob.to_bits(), e.prob.to_bits());
         }
-        assert!(cur.next_entry().is_none());
+        assert!(ScoredListCursor::next_entry(&mut cur).is_none());
         assert!(disk.io_stats().total_accesses() > 0);
+    }
+
+    #[test]
+    fn id_cursor_matches_memory_id_lists() {
+        let (c, index, lists) = setup();
+        let disk = DiskLists::build(&c, &index.dict, &lists);
+        let id_lists = IdOrderedLists::from_score_ordered(&lists);
+        for feat in lists.features() {
+            let want = id_lists.list(*feat);
+            let mut cur = DiskLists::id_cursor(&disk, *feat);
+            assert_eq!(IdListCursor::len(&cur), want.len());
+            for e in want {
+                let got = IdListCursor::next_entry(&mut cur).unwrap();
+                assert_eq!(got.phrase, e.phrase);
+                assert_eq!(got.prob.to_bits(), e.prob.to_bits());
+            }
+            assert!(IdListCursor::next_entry(&mut cur).is_none());
+        }
+    }
+
+    #[test]
+    fn probe_matches_memory_probe_and_charges_io() {
+        let (c, index, lists) = setup();
+        let disk = DiskLists::build(&c, &index.dict, &lists);
+        let id_lists = IdOrderedLists::from_score_ordered(&lists);
+        disk.reset_io();
+        let mut probes = 0;
+        for feat in lists.features().iter().take(20) {
+            for e in lists.list(*feat).iter().take(10) {
+                assert_eq!(DiskLists::probe(&disk, *feat, e.phrase), e.prob);
+                probes += 1;
+            }
+            assert_eq!(
+                DiskLists::probe(&disk, *feat, PhraseId(u32::MAX)),
+                ipm_index::backend::probe_id_ordered(id_lists.list(*feat), PhraseId(u32::MAX))
+            );
+        }
+        assert!(probes > 0);
+        assert!(
+            disk.io_stats().total_accesses() >= probes,
+            "each probe touches at least one entry"
+        );
     }
 
     #[test]
@@ -202,9 +342,9 @@ mod tests {
         let full_len = lists.list(feat).len();
         let mut cur = disk.cursor(feat, 0.25);
         let expect = ipm_index::cursor::prefix_len(full_len, 0.25);
-        assert_eq!(cur.len(), expect);
+        assert_eq!(ScoredListCursor::len(&cur), expect);
         let mut n = 0;
-        while cur.next_entry().is_some() {
+        while ScoredListCursor::next_entry(&mut cur).is_some() {
             n += 1;
         }
         assert_eq!(n, expect);
@@ -220,7 +360,7 @@ mod tests {
             .max_by_key(|f| lists.list(**f).len())
             .unwrap();
         let mut cur = disk.cursor(feat, 1.0);
-        while cur.next_entry().is_some() {}
+        while ScoredListCursor::next_entry(&mut cur).is_some() {}
         assert!(disk.io_ms() > 0.0);
         disk.reset_io();
         assert_eq!(disk.io_stats(), IoStats::default());
@@ -237,12 +377,12 @@ mod tests {
     }
 
     #[test]
-    fn size_bytes_counts_both_files() {
+    fn size_bytes_counts_all_files() {
         let (c, index, lists) = setup();
         let disk = DiskLists::build(&c, &index.dict, &lists);
         assert_eq!(
             disk.size_bytes(),
-            lists.total_entries() * ipm_index::wordlists::ENTRY_BYTES
+            2 * lists.total_entries() * ipm_index::wordlists::ENTRY_BYTES
                 + index.dict.len() * crate::files::PHRASE_ENTRY_BYTES
         );
     }
@@ -274,13 +414,10 @@ mod tests {
         let mut ca = disk.cursor(fa, 1.0);
         let mut cb = disk.cursor(fb, 1.0);
         for _ in 0..50 {
-            ca.next_entry();
-            cb.next_entry();
+            ScoredListCursor::next_entry(&mut ca);
+            ScoredListCursor::next_entry(&mut cb);
         }
         let s = disk.io_stats();
-        assert!(
-            s.random_fetches > 2,
-            "interleaved reads should seek: {s:?}"
-        );
+        assert!(s.random_fetches > 2, "interleaved reads should seek: {s:?}");
     }
 }

@@ -18,7 +18,7 @@ use bytes::Bytes;
 use ipm_corpus::hash::FxHashMap;
 use ipm_corpus::{Corpus, Feature, PhraseId};
 use ipm_index::phrase::PhraseDictionary;
-use ipm_index::wordlists::{ListEntry, WordPhraseLists, ENTRY_BYTES};
+use ipm_index::wordlists::{IdOrderedLists, ListEntry, WordPhraseLists, ENTRY_BYTES};
 
 use crate::pool::BufferPool;
 
@@ -110,11 +110,38 @@ impl WordListFile {
     /// Serializes score-ordered lists (apply
     /// [`WordPhraseLists::partial`] first for build-time partial lists).
     pub fn build(lists: &WordPhraseLists) -> Self {
-        let mut data = Vec::with_capacity(lists.total_entries() * ENTRY_BYTES);
+        Self::build_from_runs(
+            lists
+                .features()
+                .iter()
+                .enumerate()
+                .map(|(slot, &feat)| (feat, lists.list_by_slot(slot as u32))),
+            lists.total_entries(),
+        )
+    }
+
+    /// Serializes phrase-ID-ordered lists: the same 12-byte layout, run
+    /// order by feature, entries within a run ascending by phrase id. SMJ
+    /// scans these runs sequentially; TA probes them by in-run binary
+    /// search (both through the buffer pool).
+    pub fn build_id_ordered(lists: &IdOrderedLists) -> Self {
+        Self::build_from_runs(
+            lists
+                .features()
+                .iter()
+                .map(|&feat| (feat, lists.list(feat))),
+            lists.total_entries(),
+        )
+    }
+
+    fn build_from_runs<'a>(
+        runs: impl Iterator<Item = (Feature, &'a [ListEntry])>,
+        total_entries: usize,
+    ) -> Self {
+        let mut data = Vec::with_capacity(total_entries * ENTRY_BYTES);
         let mut directory = FxHashMap::default();
         let mut written = 0u64;
-        for (slot, feat) in lists.features().iter().enumerate() {
-            let list = lists.list_by_slot(slot as u32);
+        for (feat, list) in runs {
             directory.insert(
                 feat.encode(),
                 ListRun {
@@ -178,8 +205,7 @@ impl WordListFile {
                 for i in 0..run.len {
                     let o = ((run.start + i) * ENTRY_BYTES as u64) as usize;
                     let phrase = u32::from_le_bytes(self.data[o..o + 4].try_into().unwrap());
-                    let prob =
-                        f64::from_le_bytes(self.data[o + 4..o + 12].try_into().unwrap());
+                    let prob = f64::from_le_bytes(self.data[o + 4..o + 12].try_into().unwrap());
                     list.push(ListEntry {
                         phrase: PhraseId(phrase),
                         prob,
@@ -189,6 +215,39 @@ impl WordListFile {
             })
             .collect();
         WordPhraseLists::from_feature_lists(lists)
+    }
+
+    /// Random probe into an **id-ordered** run: binary search for `phrase`
+    /// in `feature`'s list, every touched entry charged to the pool. This
+    /// is the disk price of TA-style random access the paper's §5.5
+    /// analysis warns about — `O(log n)` page touches, most of them
+    /// classified random.
+    ///
+    /// Only meaningful on files built with
+    /// [`WordListFile::build_id_ordered`]; on score-ordered runs the search
+    /// invariant does not hold.
+    pub fn probe_id_ordered(
+        &self,
+        feature: Feature,
+        phrase: PhraseId,
+        pool: &mut BufferPool,
+    ) -> f64 {
+        let Some(run) = self.directory.get(&feature.encode()).copied() else {
+            return 0.0;
+        };
+        let (mut lo, mut hi) = (0u64, run.len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let e = self
+                .read_entry(feature, mid as usize, pool)
+                .expect("mid index within run");
+            match e.phrase.cmp(&phrase) {
+                std::cmp::Ordering::Equal => return e.prob,
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        0.0
     }
 
     /// Reads entry `i` of `feature`'s list through the buffer pool.

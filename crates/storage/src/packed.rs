@@ -131,7 +131,11 @@ impl PackedWordListFile {
         let end_byte = (start_bit + entry_bits).div_ceil(8);
         pool.access_range(start_byte, end_byte - start_byte, self.data.len() as u64);
         let phrase = read_bits(&self.data, start_bit, self.id_bits) as u32;
-        let prob = f64::from_bits(read_bits(&self.data, start_bit + u64::from(self.id_bits), 64));
+        let prob = f64::from_bits(read_bits(
+            &self.data,
+            start_bit + u64::from(self.id_bits),
+            64,
+        ));
         Some(ListEntry {
             phrase: PhraseId(phrase),
             prob,
@@ -245,7 +249,10 @@ impl ScoredListCursor for PackedCursor<'_> {
             return None;
         }
         let mut pool = self.owner.pool.lock();
-        let e = self.owner.file.read_entry(self.feature, self.pos, &mut pool);
+        let e = self
+            .owner
+            .file
+            .read_entry(self.feature, self.pos, &mut pool);
         if e.is_some() {
             self.pos += 1;
         }

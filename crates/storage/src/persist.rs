@@ -51,7 +51,10 @@ impl std::fmt::Display for PersistError {
             PersistError::BadMagic => write!(f, "not an interesting-phrases index file"),
             PersistError::Corrupt(what) => write!(f, "corrupt index file: {what}"),
             PersistError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: expected {expected:#010x}, got {actual:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+                )
             }
         }
     }
@@ -117,10 +120,14 @@ pub fn load_word_lists<P: AsRef<Path>>(path: P) -> Result<WordListFile, PersistE
         covered += len;
     }
     if covered as usize != total_entries {
-        return Err(PersistError::Corrupt("directory entry counts disagree with header"));
+        return Err(PersistError::Corrupt(
+            "directory entry counts disagree with header",
+        ));
     }
     if total_entries * ipm_index::wordlists::ENTRY_BYTES != data_len {
-        return Err(PersistError::Corrupt("data region size disagrees with entry count"));
+        return Err(PersistError::Corrupt(
+            "data region size disagrees with entry count",
+        ));
     }
     let data = r.read_bytes(data_len)?;
     r.expect_end()?;
@@ -220,10 +227,14 @@ pub fn load_packed_lists<P: AsRef<Path>>(path: P) -> Result<PackedWordListFile, 
         covered += len;
     }
     if covered as usize != total_entries {
-        return Err(PersistError::Corrupt("directory entry counts disagree with header"));
+        return Err(PersistError::Corrupt(
+            "directory entry counts disagree with header",
+        ));
     }
     if (total_entries as u64 * entry_bits).div_ceil(8) != data_len as u64 {
-        return Err(PersistError::Corrupt("data region size disagrees with entry count"));
+        return Err(PersistError::Corrupt(
+            "data region size disagrees with entry count",
+        ));
     }
     let data = r.read_bytes(data_len)?;
     r.expect_end()?;
@@ -504,7 +515,10 @@ mod tests {
         let dir = tmpdir("pkmagic");
         let wl = dir.join("w.ipw");
         save_word_lists(&WordListFile::build(&lists), &wl).unwrap();
-        assert!(matches!(load_packed_lists(&wl), Err(PersistError::BadMagic)));
+        assert!(matches!(
+            load_packed_lists(&wl),
+            Err(PersistError::BadMagic)
+        ));
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -52,10 +52,7 @@ fn main() {
                     if w == 0 && r == 0 {
                         println!("\nsample response for `{q}`:");
                         for hit in &resp.hits {
-                            println!(
-                                "  {:<30} I ≈ {:.3}",
-                                hit.text, hit.interestingness
-                            );
+                            println!("  {:<30} I ≈ {:.3}", hit.text, hit.interestingness);
                         }
                     }
                 }
@@ -65,9 +62,34 @@ fn main() {
     let elapsed = start.elapsed();
 
     let served = engine.queries_served();
+    let cache = engine.cache_stats();
     println!(
         "\nserved {served} queries from {workers} threads in {:.1} ms ({:.2} ms/query wall)",
         elapsed.as_secs_f64() * 1e3,
         elapsed.as_secs_f64() * 1e3 / served as f64,
+    );
+    println!(
+        "result cache: {} hits / {} misses ({:.0}% hit rate) — repeats skip list traversal",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0
+    );
+
+    // The same engine serves the simulated-disk backend; a repeated disk
+    // query costs zero simulated IO thanks to the result cache.
+    let opts = SearchOptions {
+        backend: BackendChoice::Disk,
+        ..Default::default()
+    };
+    let q = &queries[0];
+    let cold = engine.search_with(q, 5, &opts).expect("parses");
+    let warm = engine.search_with(q, 5, &opts).expect("parses");
+    let io = cold.io.expect("disk run reports IO");
+    println!(
+        "\ndisk backend, `{q}`: cold = {:.1} simulated IO ms ({} fetches); \
+         repeat served from cache = {} (no IO)",
+        io.io_ms(engine.disk().cost_model()),
+        io.total_fetches(),
+        warm.served_from_cache,
     );
 }

@@ -43,6 +43,32 @@ fn main() {
         );
     }
 
+    // Since the backend refactor the disk image serves *all four*
+    // algorithms, not just NRA: SMJ scans the id-ordered file, TA probes
+    // it randomly. The IO split makes the paper's §5.5 argument visible —
+    // TA's random probes dwarf NRA's sequential traversal.
+    println!("\nall four algorithms over the same disk image (full lists):");
+    println!(
+        "{:>6}  {:>9}  {:>6}  {:>6}  {:>8}",
+        "alg", "fetches", "seq", "rand", "IO ms"
+    );
+    let row = |name: &str, io: ipm_storage::IoStats| {
+        println!(
+            "{:>6}  {:>9}  {:>6}  {:>6}  {:>8.1}",
+            name,
+            io.total_fetches(),
+            io.sequential_fetches,
+            io.random_fetches,
+            io.io_ms(disk.cost_model()),
+        );
+    };
+    let (_, io) = miner.top_k_nra_disk(&disk, &query, 5, 1.0);
+    row("nra", io);
+    let (_, io) = miner.top_k_smj_disk(&disk, &query, 5);
+    row("smj", io);
+    let (_, io) = miner.top_k_ta_disk(&disk, &query, 5);
+    row("ta", io);
+
     // Results come back as phrase IDs; the final texts are looked up in the
     // fixed-width phrase file (also through the pool — paper Figure 1).
     let (outcome, _) = miner.top_k_nra_disk(&disk, &query, 5, 1.0);

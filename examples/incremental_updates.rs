@@ -19,7 +19,11 @@ fn main() {
     let stale = miner.top_k_nra(&query, 5);
     println!("results on the base corpus:");
     for hit in &stale.hits {
-        println!("  {:<30} S = {:.4}", miner.phrase_text(hit.phrase), hit.score);
+        println!(
+            "  {:<30} S = {:.4}",
+            miner.phrase_text(hit.phrase),
+            hit.score
+        );
     }
 
     // Simulate churn: insert 60 documents that all contain the top phrase
@@ -45,7 +49,11 @@ fn main() {
     let corrected = miner.top_k_nra_with_delta(&query, 5, &delta);
     println!("\nresults with delta corrections:");
     for hit in &corrected.hits {
-        println!("  {:<30} S = {:.4}", miner.phrase_text(hit.phrase), hit.score);
+        println!(
+            "  {:<30} S = {:.4}",
+            miner.phrase_text(hit.phrase),
+            hit.score
+        );
     }
 
     let stale_score = stale.hits[0].score;

@@ -52,8 +52,7 @@ fn main() {
 
     // An expanded query: the original terms OR the top candidate's words.
     if let Some(best) = expanded.hits.first() {
-        let mut expansion_terms: Vec<String> =
-            terms.iter().map(|t| (*t).to_owned()).collect();
+        let mut expansion_terms: Vec<String> = terms.iter().map(|t| (*t).to_owned()).collect();
         expansion_terms.extend(best.text.split_whitespace().map(str::to_owned));
         expansion_terms.dedup();
         let expanded_query = expansion_terms.join(" OR ");

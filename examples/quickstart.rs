@@ -34,13 +34,21 @@ fn main() {
     // 4a. Exact top-5 (linear in |D'| — the slow path).
     println!("\nexact top-5:");
     for hit in miner.top_k_exact(&query, 5) {
-        println!("  {:<30} I = {:.3}", miner.phrase_text(hit.phrase), hit.score);
+        println!(
+            "  {:<30} I = {:.3}",
+            miner.phrase_text(hit.phrase),
+            hit.score
+        );
     }
 
     // 4b. SMJ: sort-merge join over ID-ordered lists (fast path).
     println!("\nSMJ top-5 (independence-assumption scores):");
     for hit in miner.top_k_smj(&query, 5) {
-        println!("  {:<30} S = {:.3}", miner.phrase_text(hit.phrase), hit.score);
+        println!(
+            "  {:<30} S = {:.3}",
+            miner.phrase_text(hit.phrase),
+            hit.score
+        );
     }
 
     // 4c. NRA: threshold-style early termination over score-ordered lists.
@@ -55,6 +63,10 @@ fn main() {
         }
     );
     for hit in &outcome.hits {
-        println!("  {:<30} S = {:.3}", miner.phrase_text(hit.phrase), hit.score);
+        println!(
+            "  {:<30} S = {:.3}",
+            miner.phrase_text(hit.phrase),
+            hit.score
+        );
     }
 }

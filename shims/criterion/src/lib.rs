@@ -1,0 +1,262 @@
+//! Offline shim for `criterion`: the macro/group/bencher API surface with a
+//! plain wall-clock measurement loop. Reports mean ns/iter to stdout; no
+//! statistical analysis, baselines, or HTML output. See `shims/README.md`.
+//!
+//! Honouring `--quick`-ish usage: set `CRITERION_SHIM_MS` to change the
+//! per-benchmark measurement budget (milliseconds, default 200).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (recorded, reported alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The measurement driver passed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that fills the
+        // budget without timing each call individually.
+        let mut iters = 1u64;
+        let calibrate_start = Instant::now();
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget / 4 || calibrate_start.elapsed() >= self.budget {
+                self.result = Some((elapsed, iters));
+                return;
+            }
+            iters = iters.saturating_mul(if elapsed.is_zero() {
+                100
+            } else {
+                ((self.budget.as_nanos() / elapsed.as_nanos().max(1)) as u64).clamp(2, 100)
+            });
+        }
+    }
+}
+
+fn report(
+    group: &str,
+    label: &str,
+    result: Option<(Duration, u64)>,
+    throughput: Option<Throughput>,
+) {
+    let Some((elapsed, iters)) = result else {
+        println!("bench {group}/{label}: no measurement");
+        return;
+    };
+    let per_iter_ns = elapsed.as_nanos() as f64 / iters as f64;
+    let mut line = format!("bench {group}/{label}: {per_iter_ns:.0} ns/iter ({iters} iters)");
+    if let Some(Throughput::Elements(n)) = throughput {
+        let per_elem = per_iter_ns / n as f64;
+        line.push_str(&format!(", {per_elem:.1} ns/elem"));
+    }
+    if let Some(Throughput::Bytes(n)) = throughput {
+        let gib_s = n as f64 / per_iter_ns.max(1e-9);
+        line.push_str(&format!(", {gib_s:.3} GB/s"));
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's loop is time-budgeted,
+    /// not sample-counted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    /// Records the throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: R,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            budget: self.budget,
+            result: None,
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), b.result, self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: R,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            budget: self.budget,
+            result: None,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), b.result, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_SHIM_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(200);
+        Self {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: self.budget,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: R) -> &mut Self {
+        let mut b = Bencher {
+            budget: self.budget,
+            result: None,
+        };
+        f(&mut b);
+        report("bench", id, b.result, None);
+        self
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness CLI args (`--bench`, filters) for compatibility
+            // with `cargo bench`/`cargo test --benches` invocation styles.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim/self_test");
+        g.sample_size(10);
+        g.measurement_time(Duration::from_millis(5));
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(self_test_group, sample_bench);
+
+    #[test]
+    fn harness_runs_and_measures() {
+        self_test_group();
+        std::env::set_var("CRITERION_SHIM_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("direct", |b| b.iter(|| black_box(1 + 1)));
+        std::env::remove_var("CRITERION_SHIM_MS");
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,554 @@
+//! Offline shim for `proptest`: deterministic random test-case generation
+//! with the strategy-combinator surface this workspace uses. Failing cases
+//! are reported (with the case number) but **not shrunk**. See
+//! `shims/README.md`.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRngInner;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies by the [`proptest!`] runner.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: TestRngInner,
+}
+
+impl TestRng {
+    /// Deterministic RNG derived from the test name (stable across runs).
+    pub fn deterministic(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self {
+            inner: TestRngInner::seed_from_u64(seed),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        use rand::RngCore as _;
+        self.inner.next_u64()
+    }
+
+    fn gen_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+}
+
+/// A value generator. Unlike the real crate there is no shrinking: a
+/// strategy just produces values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy it selects.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Filters generated values (retries up to a bounded number of times).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            base: self,
+            f,
+            whence,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.base.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates: {}", self.whence);
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        start + rng.gen_f64() * (end - start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The `any::<T>()` strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy produced by [`any`] for primitives.
+pub struct AnyPrimitive<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty => $gen:expr),* $(,)?) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let f: fn(&mut TestRng) -> $t = $gen;
+                f(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+impl_arbitrary_prim!(
+    bool => |rng| rng.next_u64() & 1 == 1,
+    u8 => |rng| rng.next_u64() as u8,
+    u16 => |rng| rng.next_u64() as u16,
+    u32 => |rng| rng.next_u64() as u32,
+    u64 => |rng| rng.next_u64(),
+    usize => |rng| rng.next_u64() as usize,
+    i32 => |rng| rng.next_u64() as i32,
+    i64 => |rng| rng.next_u64() as i64,
+    f64 => |rng| rng.gen_f64(),
+);
+
+/// The canonical strategy for `T` (`any::<T>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod prop {
+    //! The `prop::` namespace of the real crate.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use super::super::{Strategy, TestRng};
+        use std::collections::BTreeMap;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A collection-size specification (half-open internally), so that
+        /// untyped literals in `0..200` infer `usize` as in the real crate.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            start: usize,
+            end_excl: usize,
+        }
+
+        impl SizeRange {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                assert!(self.start < self.end_excl, "empty size range");
+                let span = (self.end_excl - self.start) as u64;
+                self.start + (rng.next_u64() % span) as usize
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                Self {
+                    start: r.start,
+                    end_excl: r.end,
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                Self {
+                    start: *r.start(),
+                    end_excl: r.end() + 1,
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self {
+                    start: n,
+                    end_excl: n + 1,
+                }
+            }
+        }
+
+        /// Vec of `element` values with a length drawn from `size`.
+        pub fn vec<E: Strategy>(element: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy built by [`vec`].
+        pub struct VecStrategy<E> {
+            element: E,
+            size: SizeRange,
+        }
+
+        impl<E: Strategy> Strategy for VecStrategy<E> {
+            type Value = Vec<E::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<E::Value> {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// BTreeMap with up to `size` entries (duplicate keys collapse, as
+        /// in the real crate).
+        pub fn btree_map<K: Strategy, V: Strategy>(
+            key: K,
+            value: V,
+            size: impl Into<SizeRange>,
+        ) -> BTreeMapStrategy<K, V> {
+            BTreeMapStrategy {
+                key,
+                value,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy built by [`btree_map`].
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            size: SizeRange,
+        }
+
+        impl<K, V> Strategy for BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            K::Value: Ord,
+            V: Strategy,
+        {
+            type Value = BTreeMap<K::Value, V::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+                let n = self.size.pick(rng);
+                (0..n)
+                    .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                    .collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        //! Sampling helpers.
+
+        use super::super::{Arbitrary, Strategy, TestRng};
+
+        /// An index into a not-yet-known-length collection.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Resolves against a concrete length.
+            ///
+            /// # Panics
+            /// Panics if `len == 0`.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "cannot index an empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        /// `any::<Index>()` support.
+        pub struct AnyIndex;
+
+        impl Strategy for AnyIndex {
+            type Value = Index;
+
+            fn generate(&self, rng: &mut TestRng) -> Index {
+                Index(rng.next_u64())
+            }
+        }
+
+        impl Arbitrary for Index {
+            type Strategy = AnyIndex;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyIndex
+            }
+        }
+    }
+}
+
+/// Everything a property test needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Assertion inside a property (no shrink phase, so it simply asserts).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// The property-test runner macro. Supports the subset of the real syntax
+/// used in this workspace: an optional `#![proptest_config(..)]` header
+/// followed by `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@items ($cfg) $($rest)*);
+    };
+    (@items ($cfg:expr) $($(#[$meta:meta])* fn $name:ident ($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    // The body may early-exit with `return Ok(())` (real
+                    // proptest wraps bodies in a Result-returning fn).
+                    let run = || -> ::std::result::Result<(), ::std::string::String> {
+                        $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                        $body;
+                        Ok(())
+                    };
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+                        Ok(Ok(())) => {}
+                        Ok(Err(reason)) => panic!(
+                            "proptest shim: property {} rejected case {}/{}: {}",
+                            stringify!($name), case + 1, config.cases, reason
+                        ),
+                        Err(panic) => {
+                            eprintln!(
+                                "proptest shim: property {} failed on case {}/{} (no shrinking)",
+                                stringify!($name), case + 1, config.cases
+                            );
+                            std::panic::resume_unwind(panic);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@items ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_combinators_generate_in_bounds() {
+        let mut rng = super::TestRng::deterministic("unit");
+        for _ in 0..500 {
+            let v = (1u32..10).generate(&mut rng);
+            assert!((1..10).contains(&v));
+            let f = (0.5f64..=1.0).generate(&mut rng);
+            assert!((0.5..=1.0).contains(&f));
+            let mapped = (0usize..4).prop_map(|x| x * 2).generate(&mut rng);
+            assert!(mapped % 2 == 0 && mapped < 8);
+            let nested = (1usize..3)
+                .prop_flat_map(|n| prop::collection::vec(0u8..10, n..n + 1))
+                .generate(&mut rng);
+            assert!(!nested.is_empty() && nested.len() < 3);
+            let (a, b) = (Just(7u8), 0u8..3).generate(&mut rng);
+            assert_eq!(a, 7);
+            assert!(b < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = super::TestRng::deterministic("same");
+        let mut b = super::TestRng::deterministic("same");
+        for _ in 0..32 {
+            assert_eq!((0u64..1000).generate(&mut a), (0u64..1000).generate(&mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_runs_and_binds(xs in prop::collection::vec(0u32..50, 1..8), flag in any::<bool>()) {
+            prop_assert!(xs.len() < 8);
+            prop_assert!(xs.iter().all(|&x| x < 50));
+            let _ = flag;
+        }
+
+        #[test]
+        fn macro_supports_patterns((a, b) in (0u8..4, 4u8..8)) {
+            prop_assert!(a < 4 && (4..8).contains(&b));
+            prop_assert_ne!(a, b);
+        }
+    }
+}

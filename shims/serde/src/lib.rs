@@ -1,0 +1,42 @@
+//! Offline shim for `serde`: marker traits that every type satisfies, plus
+//! the no-op derives from the `serde_derive` shim. Nothing in this
+//! workspace serializes *through* serde (persistence uses `ipm-storage`'s
+//! binary format; JSON goes through hand-built `serde_json::Value`s), so
+//! marker semantics are sufficient. See `shims/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Satisfied by everything, like the shimmed `Deserialize`.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+#[cfg(test)]
+mod tests {
+    #[allow(unused_imports)]
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        #[serde(default)]
+        _x: u32,
+    }
+
+    fn assert_bounds<T: super::Serialize + for<'de> super::Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_parse_and_bounds_hold() {
+        assert_bounds::<Plain>();
+        assert_bounds::<Vec<String>>();
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the derives are accepted (including
+//! `#[serde(...)]` helper attributes) and expand to nothing. The shimmed
+//! `serde` traits are blanket-implemented, so deriving types still satisfy
+//! `T: Serialize` bounds. See `shims/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

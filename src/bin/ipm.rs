@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ipm index --input docs.jsonl --out index_dir [--min-df 5] [--max-len 6]
-//! ipm query --input docs.jsonl "trade AND reserves" [--k 5] [--method nra|smj|ta|exact]
+//! ipm query --input docs.jsonl "trade AND reserves" [--k 5] [--method nra|smj|ta|exact] [--backend memory|disk]
 //! ipm stats --input docs.jsonl
 //! ipm demo  "w1 OR w2"            # synthetic corpus, no input file needed
 //! ```
@@ -31,7 +31,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   ipm index --input <file> --out <dir> [--min-df N] [--max-len N] [--fraction F]
-  ipm query --input <file> <query string> [--k N] [--method nra|smj|ta|exact] [--fraction F]
+  ipm query --input <file> <query string> [--k N] [--method nra|smj|ta|exact]
+            [--backend memory|disk] [--fraction F]
   ipm repl  [--input <file>] [--k N] [--filter-redundant true]
   ipm stats --input <file>
   ipm demo  <query string> [--k N]
@@ -181,10 +182,21 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let method = flags.get("method").unwrap_or("nra");
     let fraction: f64 = flags.get_parsed("fraction", 1.0)?;
 
+    let backend = flags.get("backend").unwrap_or("memory");
+
     let corpus = load_corpus(input)?;
     let miner = build_miner(&corpus, &flags)?;
-    let query = miner.parse_query_str(query_str).map_err(|e| e.to_string())?;
-    run_and_print(&miner, &query, k, method, fraction)
+    let query = miner
+        .parse_query_str(query_str)
+        .map_err(|e| e.to_string())?;
+    run_engine_and_print(
+        &QueryEngine::new(miner),
+        query,
+        k,
+        method,
+        backend,
+        fraction,
+    )
 }
 
 fn cmd_demo(args: &[String]) -> Result<(), String> {
@@ -198,11 +210,89 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
 
     let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
     let miner = PhraseMiner::build(&corpus, MinerConfig::default());
-    let query = miner.parse_query_str(query_str).map_err(|e| e.to_string())?;
-    println!("demo corpus: {} docs; query: {}", corpus.num_docs(), query.render(miner.corpus()));
-    for method in ["exact", "smj", "nra", "ta"] {
-        println!("\n[{method}]");
-        run_and_print(&miner, &query, k, method, 1.0)?;
+    let query = miner
+        .parse_query_str(query_str)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "demo corpus: {} docs; query: {}",
+        corpus.num_docs(),
+        query.render(miner.corpus())
+    );
+    let engine = QueryEngine::new(miner);
+    for backend in ["memory", "disk"] {
+        for method in ["exact", "smj", "nra", "ta"] {
+            println!("\n[{method} @ {backend}]");
+            run_engine_and_print(&engine, query.clone(), k, method, backend, 1.0)?;
+        }
+    }
+    // A repeated request is answered from the result cache.
+    let start = std::time::Instant::now();
+    let resp = engine.execute(query, k, &SearchOptions::default());
+    let stats = engine.cache_stats();
+    println!(
+        "\nrepeat of [nra @ memory]: served_from_cache = {} in {:.3} ms \
+         (cache: {} hits / {} misses)",
+        resp.served_from_cache,
+        start.elapsed().as_secs_f64() * 1e3,
+        stats.hits,
+        stats.misses,
+    );
+    Ok(())
+}
+
+/// Parses a `--method` name into an [`Algorithm`].
+fn parse_method(method: &str) -> Result<Algorithm, String> {
+    match method {
+        "nra" => Ok(Algorithm::Nra),
+        "smj" => Ok(Algorithm::Smj),
+        "ta" => Ok(Algorithm::Ta),
+        "exact" => Ok(Algorithm::Exact),
+        other => Err(format!("unknown method: {other} (nra|smj|ta|exact)")),
+    }
+}
+
+/// Serves one query through the unified engine and prints the hits, the
+/// latency, and (for the disk backend) the simulated IO bill.
+fn run_engine_and_print(
+    engine: &QueryEngine,
+    query: Query,
+    k: usize,
+    method: &str,
+    backend: &str,
+    fraction: f64,
+) -> Result<(), String> {
+    let options = SearchOptions {
+        algorithm: parse_method(method)?,
+        backend: match backend {
+            "memory" => BackendChoice::Memory,
+            "disk" => BackendChoice::Disk,
+            other => return Err(format!("unknown backend: {other} (memory|disk)")),
+        },
+        nra_fraction: (fraction < 1.0).then_some(fraction),
+        redundancy: None,
+    };
+    let resp = engine.execute(query, k, &options);
+    if resp.hits.is_empty() {
+        println!("(no phrases match)");
+    }
+    for (i, h) in resp.hits.iter().enumerate() {
+        println!(
+            "{:>2}. {:<40} score {:>9.4}  I≈{:.3}",
+            i + 1,
+            h.text,
+            h.hit.score,
+            h.interestingness
+        );
+    }
+    let ms = resp.elapsed.as_secs_f64() * 1000.0;
+    match resp.io {
+        Some(io) => println!(
+            "({method} @ {backend}, {ms:.2} ms compute + {:.1} ms simulated IO: {} seq / {} rand fetches)",
+            io.io_ms(engine.disk().cost_model()),
+            io.sequential_fetches,
+            io.random_fetches,
+        ),
+        None => println!("({method} @ {backend}, {ms:.2} ms)"),
     }
     Ok(())
 }
@@ -293,39 +383,9 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("mean doc length:      {:.1}", stats.mean_doc_len);
     println!("max doc length:       {}", stats.max_doc_len);
     println!("mean distinct words:  {:.1}", stats.mean_distinct_words);
-    println!("zipf slope:           {:.2}", ipm_corpus::stats::zipf_slope(&corpus));
-    Ok(())
-}
-
-fn run_and_print(
-    miner: &PhraseMiner,
-    query: &Query,
-    k: usize,
-    method: &str,
-    fraction: f64,
-) -> Result<(), String> {
-    let start = std::time::Instant::now();
-    let hits: Vec<PhraseHit> = match method {
-        "exact" => miner.top_k_exact(query, k),
-        "smj" => miner.top_k_smj(query, k),
-        "ta" => miner.top_k_ta(query, k).hits,
-        "nra" => miner.top_k_nra_partial(query, k, fraction).hits,
-        other => return Err(format!("unknown method: {other} (nra|smj|ta|exact)")),
-    };
-    let elapsed = start.elapsed().as_secs_f64() * 1000.0;
-    if hits.is_empty() {
-        println!("(no phrases match)");
-    }
-    for (i, h) in hits.iter().enumerate() {
-        let est = ipm_core::scoring::estimated_interestingness(query.op, h.score);
-        println!(
-            "{:>2}. {:<40} score {:>9.4}  I≈{:.3}",
-            i + 1,
-            miner.phrase_text(h.phrase),
-            h.score,
-            est
-        );
-    }
-    println!("({method}, {elapsed:.2} ms)");
+    println!(
+        "zipf slope:           {:.2}",
+        ipm_corpus::stats::zipf_slope(&corpus)
+    );
     Ok(())
 }

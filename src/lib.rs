@@ -12,10 +12,12 @@
 //! * [`storage`] — the disk-simulation substrate: pages, LRU buffer pool,
 //!   IO cost accounting ([`ipm_storage`]).
 //! * [`core`] — phrase scoring under the conditional-independence
-//!   assumption, the NRA, SMJ and TA top-k algorithms, the exact scorer,
-//!   the incremental delta index, the redundancy filter, alternative
-//!   measures (PMI/NPMI), a query-string parser, the high-level
-//!   [`core::miner::PhraseMiner`] API and the thread-safe
+//!   assumption, the NRA, SMJ, TA and exact top-k algorithms (each generic
+//!   over the [`index`] crate's `ListBackend`, so they serve from memory
+//!   or the simulated disk interchangeably), the incremental delta index,
+//!   the redundancy filter, alternative measures (PMI/NPMI), a
+//!   query-string parser, a sharded LRU query-result cache, the
+//!   high-level [`core::miner::PhraseMiner`] API and the thread-safe
 //!   [`core::engine::QueryEngine`] ([`ipm_core`]).
 //! * [`baselines`] — the exact forward-index (Bedathur et al.), GM
 //!   (Gao & Michel) and Simitsis baselines ([`ipm_baselines`]).
@@ -40,6 +42,29 @@
 //!     println!("{}  (score {:.4})", miner.phrase_text(hit.phrase), hit.score);
 //! }
 //! ```
+//!
+//! ## Serving: one engine, two backends, four algorithms
+//!
+//! [`prelude::QueryEngine`] serves string queries with a per-request
+//! choice of algorithm ([`prelude::Algorithm`]: NRA, SMJ, TA, exact) and
+//! list backend ([`prelude::BackendChoice`]: the in-memory lists, or the
+//! simulated-disk image whose every page access is charged to an LRU
+//! buffer pool and reported as [`storage::IoStats`]). Repeated queries are
+//! answered from a sharded LRU result cache keyed by
+//! `(query, k, options)`; hit/miss counters sit next to
+//! `queries_served()`.
+//!
+//! ```
+//! use interesting_phrases::prelude::*;
+//!
+//! let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+//! let engine = QueryEngine::new(PhraseMiner::build(&corpus, MinerConfig::default()));
+//! let opts = SearchOptions { algorithm: Algorithm::Smj, backend: BackendChoice::Disk, ..Default::default() };
+//! let cold = engine.search_with("w1 OR w2", 5, &opts).unwrap();
+//! assert!(cold.io.unwrap().total_fetches() > 0); // disk run: simulated IO
+//! let warm = engine.search_with("w1 OR w2", 5, &opts).unwrap();
+//! assert!(warm.served_from_cache); // repeat: no list traversal at all
+//! ```
 
 pub use ipm_baselines as baselines;
 pub use ipm_core as core;
@@ -50,14 +75,18 @@ pub use ipm_storage as storage;
 
 /// Convenient glob-import surface for applications.
 pub mod prelude {
+    pub use ipm_core::cache::{CacheConfig, CacheStats};
     pub use ipm_core::engine::{
-        Algorithm, QueryEngine, SearchHit, SearchOptions, SearchResponse,
+        Algorithm, BackendChoice, EngineConfig, QueryEngine, SearchHit, SearchOptions,
+        SearchResponse,
     };
     pub use ipm_core::measures::Measure;
     pub use ipm_core::miner::{MinerConfig, PhraseMiner};
     pub use ipm_core::query::{Operator, Query};
     pub use ipm_core::redundancy::RedundancyConfig;
     pub use ipm_core::result::PhraseHit;
-    pub use ipm_corpus::{Corpus, CorpusBuilder, DocId, Feature, PhraseId, TokenizerConfig, WordId};
+    pub use ipm_corpus::{
+        Corpus, CorpusBuilder, DocId, Feature, PhraseId, TokenizerConfig, WordId,
+    };
     pub use ipm_index::phrase::PhraseDictionary;
 }

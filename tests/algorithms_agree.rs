@@ -1,8 +1,11 @@
 //! Cross-algorithm consistency on harvested queries: TA, NRA, SMJ and the
-//! exact scorer must relate exactly as the theory says.
+//! exact scorer must relate exactly as the theory says — and every
+//! algorithm must return the same answers whether it runs over the
+//! in-memory backend or the simulated-disk backend.
 
 use interesting_phrases::prelude::*;
 use ipm_core::query::Operator as Op;
+use proptest::prelude::*;
 
 fn miner() -> PhraseMiner {
     let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
@@ -183,7 +186,11 @@ fn approximate_npmi_recall_rises_with_fetch_depth() {
         let mut found = 0usize;
         let mut total = 0usize;
         for q in queries(&m, Op::Or) {
-            let approx: Vec<_> = m.top_k_npmi(&q, 5, fetch).iter().map(|h| h.phrase).collect();
+            let approx: Vec<_> = m
+                .top_k_npmi(&q, 5, fetch)
+                .iter()
+                .map(|h| h.phrase)
+                .collect();
             let exact: Vec<_> = m
                 .top_k_exact_measure(&q, 5, Measure::Npmi)
                 .iter()
@@ -217,6 +224,84 @@ fn npmi_scores_are_bounded() {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Backend parity (tentpole invariant): on arbitrary corpora and both
+    /// operators, each of the four algorithms must return *identical*
+    /// top-k phrases (and equal scores) through the unified engine over
+    /// the memory backend and the disk backend — and the disk runs must
+    /// actually charge simulated IO.
+    #[test]
+    fn all_four_algorithms_agree_across_backends(
+        docs in proptest::prop::collection::vec(
+            proptest::prop::collection::vec(0u8..10, 2..20), 4..24),
+    ) {
+        let mut b = ipm_corpus::CorpusBuilder::new(ipm_corpus::TokenizerConfig::default());
+        for d in &docs {
+            let text: Vec<String> = d.iter().map(|t| format!("t{t}")).collect();
+            b.add_text(&text.join(" "));
+        }
+        let corpus = b.build();
+        let top = ipm_corpus::stats::top_words_by_df(&corpus, 2);
+        if top.len() < 2 {
+            return Ok(()); // degenerate single-word corpus: nothing to query
+        }
+        let miner = PhraseMiner::build(
+            &corpus,
+            MinerConfig {
+                index: ipm_index::corpus_index::IndexConfig {
+                    mining: ipm_index::mining::MiningConfig {
+                        min_df: 2,
+                        max_len: 3,
+                        min_len: 1,
+                    },
+                },
+                ..Default::default()
+            },
+        );
+        let engine = QueryEngine::new(miner);
+        let words: Vec<&str> = top
+            .iter()
+            .map(|&(w, _)| corpus.words().term(w).unwrap())
+            .collect();
+        for op in ["AND", "OR"] {
+            let input = format!("{} {op} {}", words[0], words[1]);
+            for algorithm in [Algorithm::Nra, Algorithm::Smj, Algorithm::Ta, Algorithm::Exact] {
+                let mem = engine
+                    .search_with(&input, 5, &SearchOptions {
+                        algorithm,
+                        ..Default::default()
+                    })
+                    .unwrap();
+                let disk = engine
+                    .search_with(&input, 5, &SearchOptions {
+                        algorithm,
+                        backend: BackendChoice::Disk,
+                        ..Default::default()
+                    })
+                    .unwrap();
+                prop_assert_eq!(
+                    mem.hits.iter().map(|h| h.hit.phrase).collect::<Vec<_>>(),
+                    disk.hits.iter().map(|h| h.hit.phrase).collect::<Vec<_>>(),
+                    "{:?} {}: backends disagree on phrases", algorithm, op
+                );
+                for (a, b) in mem.hits.iter().zip(&disk.hits) {
+                    prop_assert!(
+                        (a.hit.score - b.hit.score).abs() < 1e-9,
+                        "{:?} {}: score drift {} vs {}", algorithm, op, a.hit.score, b.hit.score
+                    );
+                    prop_assert_eq!(&a.text, &b.text);
+                }
+                if !disk.served_from_cache {
+                    let io = disk.io.expect("disk run reports IO");
+                    prop_assert!(io.total_accesses() > 0, "{:?} {}: no IO charged", algorithm, op);
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn frequency_semantics_ablation_df_vs_occurrence() {
     // DESIGN.md §2 picks document frequency for Eq. 1's `freq`. Validate
@@ -229,11 +314,10 @@ fn frequency_semantics_ablation_df_vs_occurrence() {
     for op in [Op::And, Op::Or] {
         for q in queries(&m, op) {
             let by_df: Vec<_> = m.top_k_exact(&q, 5).iter().map(|h| h.phrase).collect();
-            let by_occ: Vec<_> =
-                ipm_core::exact::exact_top_k_occurrence(m.index(), &occ, &q, 5)
-                    .iter()
-                    .map(|h| h.phrase)
-                    .collect();
+            let by_occ: Vec<_> = ipm_core::exact::exact_top_k_occurrence(m.index(), &occ, &q, 5)
+                .iter()
+                .map(|h| h.phrase)
+                .collect();
             total += by_df.len();
             overlap += by_df.iter().filter(|p| by_occ.contains(p)).count();
         }

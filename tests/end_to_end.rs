@@ -150,7 +150,10 @@ fn partial_lists_trade_accuracy_for_reads() {
     let mut reads_20 = 0usize;
     let mut reads_full = 0usize;
     for q in &qs {
-        reads_20 += miner.top_k_nra_partial(q, 5, 0.2).stats.total_entries_read();
+        reads_20 += miner
+            .top_k_nra_partial(q, 5, 0.2)
+            .stats
+            .total_entries_read();
         reads_full += miner.top_k_nra(q, 5).stats.total_entries_read();
     }
     assert!(reads_20 <= reads_full);
@@ -160,7 +163,12 @@ fn partial_lists_trade_accuracy_for_reads() {
 fn facet_queries_work_end_to_end() {
     let miner = build_miner();
     let facet_str = {
-        let (_, s) = miner.corpus().facets().iter().next().expect("tiny corpus has facets");
+        let (_, s) = miner
+            .corpus()
+            .facets()
+            .iter()
+            .next()
+            .expect("tiny corpus has facets");
         s.to_owned()
     };
     let q = miner.parse_query(&[facet_str.as_str()], Op::And).unwrap();

@@ -155,11 +155,7 @@ fn reloaded_image_serves_in_memory_queries() {
 
     let top = ipm_corpus::stats::top_words_by_df(m.corpus(), 3);
     for op in [Operator::And, Operator::Or] {
-        let q = Query::new(
-            top.iter().map(|&(w, _)| Feature::Word(w)).collect(),
-            op,
-        )
-        .unwrap();
+        let q = Query::new(top.iter().map(|&(w, _)| Feature::Word(w)).collect(), op).unwrap();
         let want: Vec<_> = m.top_k_nra(&q, 5).hits.iter().map(|h| h.phrase).collect();
         let cursors: Vec<_> = q
             .features

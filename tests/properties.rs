@@ -9,10 +9,10 @@
 
 use proptest::prelude::*;
 
-use ipm_corpus::{CorpusBuilder, DocId, PhraseId, TokenizerConfig};
 use ipm_core::nra::{run_nra, NraConfig};
 use ipm_core::query::Operator;
 use ipm_core::smj::run_smj_slices;
+use ipm_corpus::{CorpusBuilder, DocId, PhraseId, TokenizerConfig};
 use ipm_index::cursor::MemoryCursor;
 use ipm_index::postings::Postings;
 use ipm_index::wordlists::ListEntry;
@@ -535,7 +535,7 @@ proptest! {
 
         for (pid, _, base_df) in index.dict.iter() {
             let mut df = 0usize;
-            let mut joint = vec![0usize; 8];
+            let mut joint = [0usize; 8];
             for tokens in &merged {
                 if doc_phrases(tokens, &index.dict).contains(&pid) {
                     df += 1;
