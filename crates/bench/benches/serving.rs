@@ -1,0 +1,93 @@
+//! Criterion benchmark of the `ipm_server` serving subsystem: closed-loop
+//! throughput over loopback TCP at 1, 4 and 16 concurrent clients, on the
+//! memory and the simulated-disk backend.
+//!
+//! Closed loop: every client thread keeps exactly one request in flight,
+//! so an iteration's wall-clock time measures the full serve path —
+//! socket, protocol parse, single-flight, queue, worker execution (or
+//! result-cache hit), response encode — under real concurrency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipm_core::{BackendChoice, MinerConfig, PhraseMiner, QueryEngine};
+use ipm_server::{Client, SearchRequest, Server, ServerConfig};
+
+const REQUESTS_PER_CLIENT_PER_ITER: usize = 10;
+
+fn server_and_queries() -> (ipm_server::ServerHandle, Vec<String>) {
+    let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+    let engine = QueryEngine::new(PhraseMiner::build(&corpus, MinerConfig::default()));
+    let top = ipm_corpus::stats::top_words_by_df(engine.miner().corpus(), 6);
+    let terms: Vec<String> = top
+        .iter()
+        .map(|&(w, _)| corpus.words().term(w).unwrap().to_owned())
+        .collect();
+    let queries = (0..terms.len() - 1)
+        .flat_map(|i| {
+            [
+                format!("{} AND {}", terms[i], terms[i + 1]),
+                format!("{} OR {}", terms[i], terms[i + 1]),
+            ]
+        })
+        .collect();
+    let handle = Server::spawn(
+        engine,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 8,
+            queue_depth: 256,
+        },
+    )
+    .expect("bind loopback");
+    (handle, queries)
+}
+
+fn bench_closed_loop_throughput(c: &mut Criterion) {
+    let (handle, queries) = server_and_queries();
+    let addr = handle.addr().to_string();
+    let mut group = c.benchmark_group("serving/closed_loop");
+    group.sample_size(20);
+    for backend in [BackendChoice::Memory, BackendChoice::Disk] {
+        for clients in [1usize, 4, 16] {
+            // Persistent connections, reused across iterations.
+            let mut connections: Vec<Client> = (0..clients)
+                .map(|_| Client::connect(&addr).expect("connect"))
+                .collect();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{backend:?}"), clients),
+                &clients,
+                |b, _| {
+                    b.iter(|| {
+                        std::thread::scope(|s| {
+                            for (cid, client) in connections.iter_mut().enumerate() {
+                                let queries = &queries;
+                                s.spawn(move || {
+                                    for r in 0..REQUESTS_PER_CLIENT_PER_ITER {
+                                        let q = &queries[(cid + r) % queries.len()];
+                                        let mut req = SearchRequest::new(q.clone());
+                                        req.k = 5;
+                                        req.backend = backend;
+                                        let resp = client.search(&req).expect("roundtrip");
+                                        assert_eq!(resp["ok"].as_bool(), Some(true));
+                                    }
+                                });
+                            }
+                        });
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+    let stats = handle.stats();
+    println!(
+        "serving totals: served={} coalesced={} shed={} cache_hit_rate={:.0}% disk_fetches={}",
+        stats.served,
+        stats.coalesced,
+        stats.shed,
+        stats.cache.hit_rate() * 100.0,
+        stats.disk_io.total_fetches(),
+    );
+}
+
+criterion_group!(benches, bench_closed_loop_throughput);
+criterion_main!(benches);

@@ -351,6 +351,67 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_inserts_never_exceed_capacity() {
+        // Eviction under contention: 8 writers push far more distinct keys
+        // than the cache holds; occupancy must stay bounded and every
+        // shard must stay internally consistent (no panics, no lost
+        // lookups of still-resident keys).
+        let c = std::sync::Arc::new(cache(4, 16)); // 64 entries total
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let key = t * 10_000 + i;
+                        c.insert(key, key.to_string());
+                        if let Some(v) = c.get(&key) {
+                            assert_eq!(v, key.to_string());
+                        }
+                    }
+                });
+            }
+        });
+        assert!(
+            c.len() <= 64,
+            "occupancy {} exceeded capacity under concurrent eviction",
+            c.len()
+        );
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn clear_races_with_readers_and_writers() {
+        // `clear` must be able to run at any point between other threads'
+        // gets and inserts without corrupting entries: a successful get
+        // always returns the exact value inserted for that key.
+        let c = std::sync::Arc::new(cache(4, 32));
+        std::thread::scope(|s| {
+            for t in 0..6u64 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        let key = t * 100 + i % 50;
+                        c.insert(key, key.to_string());
+                        if let Some(v) = c.get(&key) {
+                            assert_eq!(v, key.to_string(), "torn value after racing clear");
+                        }
+                    }
+                });
+            }
+            let c2 = c.clone();
+            s.spawn(move || {
+                for _ in 0..300 {
+                    c2.clear();
+                    std::thread::yield_now();
+                }
+            });
+        });
+        // The cache still works after the dust settles.
+        c.insert(1, "1".into());
+        assert_eq!(c.get(&1).as_deref(), Some("1"));
+    }
+
+    #[test]
     fn zero_config_is_clamped() {
         let c: ShardedLruCache<u64, u64> = ShardedLruCache::new(CacheConfig {
             shards: 0,

@@ -20,7 +20,7 @@ use ipm_index::inverted::doc_phrases;
 use ipm_index::wordlists::ListEntry;
 
 /// The side index over inserted and deleted documents.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct DeltaIndex {
     /// Number of documents added so far (local ids are dense).
     num_added: u32,

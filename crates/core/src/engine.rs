@@ -24,10 +24,11 @@
 //! meaningful for one query at a time.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 use crate::cache::{CacheConfig, CacheStats, ShardedLruCache};
+use crate::delta::{AdjustedCursor, DeltaIndex};
 use crate::exact;
 use crate::miner::PhraseMiner;
 use crate::nra::{run_nra, NraConfig};
@@ -81,6 +82,13 @@ pub struct SearchOptions {
     /// Optional §5.6 redundancy filter applied post-retrieval (the engine
     /// over-fetches until `k` survivors are found or candidates run out).
     pub redundancy: Option<RedundancyConfig>,
+    /// Apply the engine's attached §4.5.1 [`DeltaIndex`] corrections.
+    /// Honoured on the NRA path (both backends) — every streamed entry's
+    /// conditional probability is corrected against the side index, and
+    /// NRA runs with partial-list bound semantics because the stale list
+    /// order no longer guarantees its pruning bounds (paper §4.5.1). The
+    /// other algorithms ignore the flag. A no-op when no delta is attached.
+    pub use_delta: bool,
 }
 
 /// Engine construction options.
@@ -140,9 +148,12 @@ pub struct QueryEngine {
     inner: Arc<Inner>,
 }
 
-/// The cache key: every request field that can change the result.
+/// The cache key: every request field that can change the result. Public
+/// so request coalescers (e.g. `ipm_server`'s single-flight layer) can key
+/// their in-flight maps identically to the result cache — two requests
+/// with equal keys are guaranteed to produce equal responses.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct CacheKey {
+pub struct CacheKey {
     /// Encoded features, sorted — feature order never changes results, so
     /// `a AND b` and `b AND a` share an entry.
     features: Vec<u64>,
@@ -154,10 +165,16 @@ struct CacheKey {
     fraction_bits: u64,
     /// `redundancy.max_overlap` bit pattern, when set.
     redundancy_bits: Option<u64>,
+    /// Whether delta corrections were requested. The cache is cleared
+    /// whenever the engine's delta is attached, mutated or detached, so
+    /// within one cache generation this flag fully determines the
+    /// delta-corrected result.
+    use_delta: bool,
 }
 
 impl CacheKey {
-    fn new(query: &Query, k: usize, options: &SearchOptions) -> Self {
+    /// Builds the key for one request.
+    pub fn new(query: &Query, k: usize, options: &SearchOptions) -> Self {
         let mut features: Vec<u64> = query.features.iter().map(|f| f.encode()).collect();
         features.sort_unstable();
         Self {
@@ -168,6 +185,7 @@ impl CacheKey {
             backend: options.backend,
             fraction_bits: options.nra_fraction.unwrap_or(1.0).to_bits(),
             redundancy_bits: options.redundancy.as_ref().map(|r| r.max_overlap.to_bits()),
+            use_delta: options.use_delta,
         }
     }
 }
@@ -183,6 +201,13 @@ struct Inner {
     disk_gate: Mutex<()>,
     cache: Option<ShardedLruCache<CacheKey, Arc<Vec<SearchHit>>>>,
     served: AtomicU64,
+    /// The attached §4.5.1 side index over inserted/deleted documents;
+    /// `None` until [`QueryEngine::attach_delta`]. Attaching, updating or
+    /// detaching clears the result cache so served results never go stale.
+    delta: RwLock<Option<Arc<DeltaIndex>>>,
+    /// Simulated IO accumulated across every disk-backed query served
+    /// (cache hits add nothing — they perform no list IO).
+    io_totals: Mutex<IoStats>,
 }
 
 // The index is immutable after build; a compile-time check that the engine
@@ -209,6 +234,8 @@ impl QueryEngine {
                 disk_gate: Mutex::new(()),
                 cache: config.cache.map(ShardedLruCache::new),
                 served: AtomicU64::new(0),
+                delta: RwLock::new(None),
+                io_totals: Mutex::new(IoStats::default()),
             }),
         }
     }
@@ -246,6 +273,44 @@ impl QueryEngine {
         if let Some(cache) = &self.inner.cache {
             cache.clear();
         }
+    }
+
+    /// Simulated IO accumulated across all disk-backed queries served by
+    /// every clone of this engine (cache hits contribute nothing).
+    pub fn io_totals(&self) -> IoStats {
+        *self.inner.io_totals.lock().unwrap()
+    }
+
+    /// Attaches (or replaces) the §4.5.1 side index and clears the result
+    /// cache — cached entries were computed against the previous corpus
+    /// state and must not be served once a delta changes it.
+    pub fn attach_delta(&self, delta: DeltaIndex) {
+        *self.inner.delta.write().unwrap() = Some(Arc::new(delta));
+        self.clear_cache();
+    }
+
+    /// Mutates the attached delta in place (attaching an empty one first
+    /// if none is present) and clears the result cache. Use for ongoing
+    /// ingestion: `engine.update_delta(|d| d.add_document(...))`.
+    pub fn update_delta(&self, f: impl FnOnce(&mut DeltaIndex)) {
+        {
+            let mut guard = self.inner.delta.write().unwrap();
+            let delta = guard.get_or_insert_with(Default::default);
+            f(Arc::make_mut(delta));
+        }
+        self.clear_cache();
+    }
+
+    /// Detaches the side index (e.g. after an offline rebuild absorbed
+    /// it) and clears the result cache.
+    pub fn detach_delta(&self) {
+        *self.inner.delta.write().unwrap() = None;
+        self.clear_cache();
+    }
+
+    /// A snapshot handle to the attached delta, if any.
+    pub fn delta(&self) -> Option<Arc<DeltaIndex>> {
+        self.inner.delta.read().unwrap().clone()
     }
 
     /// Parses and serves a string query (`"trade AND reserves"`,
@@ -313,9 +378,17 @@ impl QueryEngine {
         options: &SearchOptions,
     ) -> (Vec<SearchHit>, Option<IoStats>) {
         let m = &self.inner.miner;
+        // Snapshot the delta only when the request opted in; the Arc keeps
+        // it alive across the (lock-free) execution.
+        let delta_snapshot = if options.use_delta {
+            self.delta().filter(|d| !d.is_empty())
+        } else {
+            None
+        };
+        let delta = delta_snapshot.as_deref();
         match options.backend {
             BackendChoice::Memory => {
-                let hits = run_on_backend(m, &m.memory_backend(), query, k, options, false);
+                let hits = run_on_backend(m, &m.memory_backend(), query, k, options, false, delta);
                 let resolved = hits
                     .into_iter()
                     .map(|hit| SearchHit {
@@ -331,7 +404,7 @@ impl QueryEngine {
                 let _serial = self.inner.disk_gate.lock().unwrap();
                 disk.reset_io(); // per-query cold cache (paper §5.5)
                 let image_truncated = self.inner.disk_fraction < 1.0;
-                let hits = run_on_backend(m, disk, query, k, options, image_truncated);
+                let hits = run_on_backend(m, disk, query, k, options, image_truncated, delta);
                 let resolved = hits
                     .into_iter()
                     .map(|hit| SearchHit {
@@ -342,7 +415,9 @@ impl QueryEngine {
                         hit,
                     })
                     .collect();
-                (resolved, Some(disk.io_stats()))
+                let io = disk.io_stats();
+                self.inner.io_totals.lock().unwrap().accumulate(&io);
+                (resolved, Some(io))
             }
         }
     }
@@ -359,6 +434,13 @@ impl QueryEngine {
 /// cursors with partial-list semantics — the tail below the truncation
 /// point may still hold any phrase — even when no run-time
 /// `nra_fraction` was requested.
+///
+/// A non-empty `delta` wraps every NRA score cursor in an
+/// [`AdjustedCursor`] streaming §4.5.1-corrected probabilities; the stale
+/// list order then no longer guarantees NRA's bounds, so the run always
+/// uses partial-list semantics (corrected-NRA remains approximate, as the
+/// paper notes).
+#[allow(clippy::too_many_arguments)]
 fn run_on_backend<B: ListBackend>(
     miner: &PhraseMiner,
     backend: &B,
@@ -366,21 +448,37 @@ fn run_on_backend<B: ListBackend>(
     k: usize,
     options: &SearchOptions,
     image_truncated: bool,
+    delta: Option<&DeltaIndex>,
 ) -> Vec<PhraseHit> {
     let fraction = options.nra_fraction.unwrap_or(1.0);
     let fetch_k = |fetch: usize| -> Vec<PhraseHit> {
         match options.algorithm {
             Algorithm::Nra => {
+                let cfg = NraConfig {
+                    k: fetch,
+                    lists_are_partial: fraction < 1.0 || image_truncated || delta.is_some(),
+                    ..miner.config().nra.clone()
+                };
+                if let Some(d) = delta {
+                    let cursors: Vec<AdjustedCursor<'_, B::ScoreCursor<'_>>> = query
+                        .features
+                        .iter()
+                        .map(|&f| {
+                            AdjustedCursor::new(
+                                backend.score_cursor(f, fraction),
+                                d,
+                                miner.index(),
+                                f,
+                            )
+                        })
+                        .collect();
+                    return run_nra(cursors, query.op, &cfg).hits;
+                }
                 let cursors: Vec<B::ScoreCursor<'_>> = query
                     .features
                     .iter()
                     .map(|&f| backend.score_cursor(f, fraction))
                     .collect();
-                let cfg = NraConfig {
-                    k: fetch,
-                    lists_are_partial: fraction < 1.0 || image_truncated,
-                    ..miner.config().nra.clone()
-                };
                 run_nra(cursors, query.op, &cfg).hits
             }
             Algorithm::Smj => run_smj_backend(backend, query, fetch),
@@ -800,6 +898,143 @@ mod tests {
         assert_eq!(e.queries_served(), 1 + (threads * per_thread) as u64);
         let stats = e.cache_stats();
         assert!(stats.hits > 0, "repeat queries must hit the cache");
+    }
+
+    #[test]
+    fn attached_delta_corrects_nra_and_clears_cache() {
+        let e = engine();
+        let q = query_string(&e, Operator::Or);
+        let delta_opts = SearchOptions {
+            use_delta: true,
+            ..Default::default()
+        };
+        // Without a delta attached the flag is a no-op (and a distinct
+        // cache entry).
+        let plain: Vec<_> = e
+            .search(&q, 5)
+            .unwrap()
+            .hits
+            .iter()
+            .map(|h| h.hit.phrase)
+            .collect();
+        let noop: Vec<_> = e
+            .search_with(&q, 5, &delta_opts)
+            .unwrap()
+            .hits
+            .iter()
+            .map(|h| h.hit.phrase)
+            .collect();
+        assert_eq!(plain, noop);
+
+        // Warm the cache, then attach a delta: cached entries must drop.
+        assert!(e.search(&q, 5).unwrap().served_from_cache);
+        let top = ipm_corpus::stats::top_words_by_df(e.miner().corpus(), 2);
+        let mut delta = crate::delta::DeltaIndex::new();
+        for _ in 0..20 {
+            delta.add_document(e.miner().index(), &[top[0].0], &[]);
+        }
+        e.attach_delta(delta);
+        assert!(
+            !e.search(&q, 5).unwrap().served_from_cache,
+            "attach_delta must clear the result cache"
+        );
+
+        // The engine's delta path matches the miner's reference
+        // implementation exactly.
+        let query = e.miner().parse_query_str(&q).unwrap();
+        let want: Vec<_> = e
+            .miner()
+            .top_k_nra_with_delta(&query, 5, &e.delta().unwrap())
+            .hits
+            .iter()
+            .map(|h| h.phrase)
+            .collect();
+        let got: Vec<_> = e
+            .search_with(&q, 5, &delta_opts)
+            .unwrap()
+            .hits
+            .iter()
+            .map(|h| h.hit.phrase)
+            .collect();
+        assert_eq!(got, want, "engine delta path must match the miner's");
+
+        // In-place updates and detaching clear the cache too.
+        assert!(e.search_with(&q, 5, &delta_opts).unwrap().served_from_cache);
+        e.update_delta(|d| d.delete_document(ipm_corpus::DocId(0)));
+        assert!(
+            !e.search_with(&q, 5, &delta_opts).unwrap().served_from_cache,
+            "update_delta must clear the result cache"
+        );
+        e.detach_delta();
+        assert!(e.delta().is_none());
+        assert!(!e.search(&q, 5).unwrap().served_from_cache);
+    }
+
+    #[test]
+    fn io_totals_accumulate_across_disk_queries() {
+        let e = engine();
+        assert_eq!(e.io_totals(), ipm_storage::IoStats::default());
+        let opts = SearchOptions {
+            backend: BackendChoice::Disk,
+            ..Default::default()
+        };
+        let q = query_string(&e, Operator::Or);
+        let first = e.search_with(&q, 5, &opts).unwrap().io.unwrap();
+        assert_eq!(e.io_totals(), first);
+        // A cache hit performs no IO and adds nothing.
+        assert!(e.search_with(&q, 5, &opts).unwrap().served_from_cache);
+        assert_eq!(e.io_totals(), first);
+        // A distinct disk query accumulates on top.
+        let q2 = query_string(&e, Operator::And);
+        let second = e.search_with(&q2, 5, &opts).unwrap().io.unwrap();
+        let totals = e.io_totals();
+        assert_eq!(
+            totals.total_accesses(),
+            first.total_accesses() + second.total_accesses()
+        );
+        // Memory-backed queries never contribute.
+        let q3 = format!("{q} "); // same query, same key — cached
+        let _ = e.search(&q3, 5).unwrap();
+        assert_eq!(e.io_totals(), totals);
+    }
+
+    #[test]
+    fn clear_cache_races_with_concurrent_searches() {
+        let e = engine();
+        let q = query_string(&e, Operator::Or);
+        let want: Vec<_> = e
+            .search(&q, 5)
+            .unwrap()
+            .hits
+            .iter()
+            .map(|h| h.hit.phrase)
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let eng = e.clone();
+                let q = q.clone();
+                let want = want.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let got: Vec<_> = eng
+                            .search(&q, 5)
+                            .unwrap()
+                            .hits
+                            .iter()
+                            .map(|h| h.hit.phrase)
+                            .collect();
+                        assert_eq!(got, want, "a racing clear must never corrupt results");
+                    }
+                });
+            }
+            let eng = e.clone();
+            s.spawn(move || {
+                for _ in 0..100 {
+                    eng.clear_cache();
+                    std::thread::yield_now();
+                }
+            });
+        });
     }
 
     #[test]

@@ -54,8 +54,10 @@ pub mod smj;
 pub mod ta;
 
 pub use cache::{CacheConfig, CacheStats};
+pub use delta::DeltaIndex;
 pub use engine::{
-    Algorithm, BackendChoice, EngineConfig, QueryEngine, SearchHit, SearchOptions, SearchResponse,
+    Algorithm, BackendChoice, CacheKey, EngineConfig, QueryEngine, SearchHit, SearchOptions,
+    SearchResponse,
 };
 pub use miner::{MinerConfig, PhraseMiner};
 pub use nra::{NraConfig, NraOutcome, TraversalStats};

@@ -1,0 +1,232 @@
+//! A blocking protocol client plus a closed-loop load generator.
+//!
+//! The client speaks exactly the wire format of [`crate::wire`]; the load
+//! generator drives N threads of synchronous request/response traffic
+//! (closed loop: each thread has one request in flight at a time), which
+//! is also what the serving benchmark and the CI smoke job run.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use serde_json::Value;
+
+use crate::wire::{ErrorKind, SearchRequest};
+
+/// A blocking line-protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects once.
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Connects with retries (for freshly spawned servers).
+    ///
+    /// # Errors
+    /// The last connect failure after `attempts` tries.
+    pub fn connect_with_retries(
+        addr: &str,
+        attempts: usize,
+        delay: Duration,
+    ) -> std::io::Result<Self> {
+        let mut last = None;
+        for _ in 0..attempts.max(1) {
+            match Self::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = Some(e),
+            }
+            std::thread::sleep(delay);
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Sends one raw line and reads one response line, parsed as JSON.
+    ///
+    /// # Errors
+    /// Transport failures, EOF, or an unparseable response line.
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<Value> {
+        self.writer.write_all(line.as_bytes())?;
+        if !line.ends_with('\n') {
+            self.writer.write_all(b"\n")?;
+        }
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        serde_json::from_str(&response)
+            .map_err(|e| std::io::Error::other(format!("bad response line: {e}")))
+    }
+
+    /// Executes a search request.
+    ///
+    /// # Errors
+    /// See [`Client::roundtrip`].
+    pub fn search(&mut self, req: &SearchRequest) -> std::io::Result<Value> {
+        self.roundtrip(&req.to_line())
+    }
+
+    /// Fetches the server counters.
+    ///
+    /// # Errors
+    /// See [`Client::roundtrip`].
+    pub fn stats(&mut self) -> std::io::Result<Value> {
+        self.roundtrip("{\"cmd\":\"stats\"}\n")
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    /// See [`Client::roundtrip`].
+    pub fn ping(&mut self) -> std::io::Result<Value> {
+        self.roundtrip("{\"cmd\":\"ping\"}\n")
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    /// See [`Client::roundtrip`].
+    pub fn shutdown_server(&mut self) -> std::io::Result<Value> {
+        self.roundtrip("{\"cmd\":\"shutdown\"}\n")
+    }
+}
+
+/// Aggregated outcome of a load run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Successful responses that rode another request's execution.
+    pub coalesced: u64,
+    /// Requests shed by admission control.
+    pub overloaded: u64,
+    /// Everything else: transport failures, parse/query/internal errors.
+    pub errors: u64,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// Completed requests (ok + shed) per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            (self.ok + self.overloaded) as f64 / secs
+        }
+    }
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sent={} ok={} coalesced={} overloaded={} errors={} elapsed_ms={:.1} qps={:.0}",
+            self.sent,
+            self.ok,
+            self.coalesced,
+            self.overloaded,
+            self.errors,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.throughput(),
+        )
+    }
+}
+
+/// Runs `threads` closed-loop clients, each sending `requests_per_thread`
+/// copies of `request` over its own connection. All threads start on a
+/// barrier, so the first wave of identical requests arrives as one
+/// concurrent burst — the single-flight path, not just the result cache,
+/// is exercised.
+///
+/// # Errors
+/// Only connection setup errors; per-request failures are counted in the
+/// report instead.
+pub fn run_load(
+    addr: &str,
+    threads: usize,
+    requests_per_thread: usize,
+    request: &SearchRequest,
+) -> std::io::Result<LoadReport> {
+    let threads = threads.max(1);
+    let mut clients = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        clients.push(Client::connect_with_retries(
+            addr,
+            25,
+            Duration::from_millis(200),
+        )?);
+    }
+    let ok = Arc::new(AtomicU64::new(0));
+    let coalesced = Arc::new(AtomicU64::new(0));
+    let overloaded = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(threads));
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for mut client in clients {
+            let req = request.clone();
+            let (ok, coalesced, overloaded, errors) = (
+                ok.clone(),
+                coalesced.clone(),
+                overloaded.clone(),
+                errors.clone(),
+            );
+            let barrier = barrier.clone();
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..requests_per_thread {
+                    match client.search(&req) {
+                        Ok(v) if v["ok"].as_bool() == Some(true) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            if v["server"]["coalesced"].as_bool() == Some(true) {
+                                coalesced.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(v) => {
+                            let kind = v["error"]["kind"].as_str().and_then(ErrorKind::from_name);
+                            if kind == Some(ErrorKind::Overloaded) {
+                                overloaded.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    Ok(LoadReport {
+        sent: (threads * requests_per_thread) as u64,
+        ok: ok.load(Ordering::Relaxed),
+        coalesced: coalesced.load(Ordering::Relaxed),
+        overloaded: overloaded.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+    })
+}

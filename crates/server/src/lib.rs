@@ -1,0 +1,45 @@
+//! `ipm_server` — the concurrent query-serving subsystem.
+//!
+//! The paper's closing claim is that millisecond phrase mining is feasible
+//! "for search-like interactive systems". This crate is that system's
+//! serving layer: it puts the thread-safe [`ipm_core::QueryEngine`] (all
+//! four algorithms, both list backends, result cache) behind a TCP
+//! protocol with real concurrency control — `std::net` and the vendored
+//! shims only, no external dependencies.
+//!
+//! * [`wire`] — the line-delimited JSON protocol: one schema shared by
+//!   the server, the [`client`], and `ipm query --json`.
+//! * [`queue`] — a bounded MPSC job queue; admission control rejects
+//!   (rather than queues) work beyond the configured depth, which the
+//!   server surfaces as structured `overloaded` errors.
+//! * [`singleflight`] — request coalescing keyed by the engine's
+//!   [`ipm_core::CacheKey`]: N concurrent identical queries trigger one
+//!   execution and N cache-consistent responses.
+//! * [`server`] — accept loop, per-connection readers, the fixed worker
+//!   pool, serving counters (`served`/`coalesced`/`shed` next to the
+//!   engine's cache stats and per-backend IO aggregates), and graceful
+//!   shutdown (protocol verb or [`server::ServerHandle::shutdown`]).
+//! * [`client`] — a blocking client plus the closed-loop load generator
+//!   used by the CLI, the serving benchmark and the CI smoke job.
+//!
+//! ```no_run
+//! use ipm_core::{MinerConfig, PhraseMiner, QueryEngine};
+//! use ipm_server::{Client, SearchRequest, Server, ServerConfig};
+//!
+//! let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+//! let engine = QueryEngine::new(PhraseMiner::build(&corpus, MinerConfig::default()));
+//! let handle = Server::spawn(engine, ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+//! let response = client.search(&SearchRequest::new("w1 OR w2")).unwrap();
+//! assert_eq!(response["ok"].as_bool(), Some(true));
+//! ```
+
+pub mod client;
+pub mod queue;
+pub mod server;
+pub mod singleflight;
+pub mod wire;
+
+pub use client::{run_load, Client, LoadReport};
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
+pub use wire::{ErrorKind, SearchRequest, WireRequest};

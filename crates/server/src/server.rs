@@ -1,0 +1,540 @@
+//! The serving loop: TCP accept → per-connection reader → bounded job
+//! queue → fixed worker pool over one shared [`QueryEngine`].
+//!
+//! Concurrency control, in order of engagement:
+//!
+//! 1. **Single-flight coalescing** ([`crate::singleflight`]) keyed by the
+//!    engine's [`CacheKey`]: concurrent identical requests ride one
+//!    execution and each receive a cache-consistent response.
+//! 2. **Bounded admission** ([`crate::queue`]): each flight's leader
+//!    enqueues exactly one job; when the queue is full the request (and
+//!    every follower coalesced behind it) is shed with a structured
+//!    `overloaded` error instead of queueing unboundedly.
+//! 3. **Fixed workers**: `workers` threads execute jobs against the
+//!    engine, so engine concurrency is capped regardless of connection
+//!    count.
+//!
+//! Graceful shutdown (protocol `{"cmd":"shutdown"}` or
+//! [`ServerHandle::shutdown`]) stops admission, drains the queue, answers
+//! every in-flight request, then joins all threads.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ipm_core::{CacheKey, CacheStats, Query, QueryEngine, SearchOptions, SearchResponse};
+use ipm_storage::IoStats;
+use serde_json::Value;
+
+use crate::queue::{BoundedQueue, PushError};
+use crate::singleflight::{Join, SingleFlight};
+use crate::wire::{self, ErrorKind, SearchRequest, WireRequest};
+
+/// Server construction options.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads executing queries (clamped to ≥ 1).
+    pub workers: usize,
+    /// Bounded queue depth — the admission-control limit (clamped to ≥ 1).
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    /// Loopback ephemeral port, 4 workers, depth 64.
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// A snapshot of the serving counters (the `stats` verb's payload).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Successful search responses delivered (coalesced ones included).
+    pub served: u64,
+    /// Responses delivered by riding another request's execution.
+    pub coalesced: u64,
+    /// Requests shed by admission control (`overloaded` errors).
+    pub shed: u64,
+    /// Malformed or unparseable requests answered with an error.
+    pub protocol_errors: u64,
+    /// Well-formed requests that failed anyway: raced a graceful
+    /// shutdown (`shutting_down`) or hit a contained execution failure
+    /// (`internal`).
+    pub failed: u64,
+    /// Engine-level queries executed or answered from cache.
+    pub queries_served: u64,
+    /// Engine result-cache counters.
+    pub cache: CacheStats,
+    /// Aggregate simulated IO of all disk-backed queries.
+    pub disk_io: IoStats,
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: usize,
+    /// Worker-pool size.
+    pub workers: usize,
+}
+
+/// Upper bound on the wire `delay_ms` knob. Workers sleep the delay while
+/// holding a pool slot, so an unclamped value from an untrusted client
+/// could stall the whole pool and block graceful shutdown forever.
+const MAX_DELAY_MS: u64 = 5_000;
+
+type FlightResult = Result<Arc<SearchResponse>, ErrorKind>;
+
+/// One admitted unit of work.
+struct Job {
+    key: CacheKey,
+    query: Query,
+    k: usize,
+    options: SearchOptions,
+    /// Artificial service time (load-testing knob; see
+    /// [`SearchRequest::delay_ms`]).
+    delay: Duration,
+    slot: Arc<crate::singleflight::Slot<FlightResult>>,
+}
+
+struct Counters {
+    served: AtomicU64,
+    coalesced: AtomicU64,
+    shed: AtomicU64,
+    protocol_errors: AtomicU64,
+    failed: AtomicU64,
+}
+
+struct Shared {
+    engine: QueryEngine,
+    queue: BoundedQueue<Job>,
+    flights: SingleFlight<CacheKey, FlightResult>,
+    counters: Counters,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    workers: usize,
+    started: Instant,
+    connections: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Namespace for spawning [`ServerHandle`]s.
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the accept loop and the worker pool, and returns
+    /// immediately.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn spawn(engine: QueryEngine, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            engine,
+            queue: BoundedQueue::new(config.queue_depth),
+            flights: SingleFlight::new(),
+            counters: Counters {
+                served: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                protocol_errors: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+            },
+            shutdown: AtomicBool::new(false),
+            addr,
+            workers,
+            started: Instant::now(),
+            connections: Mutex::new(Vec::new()),
+        });
+
+        let worker_threads = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("ipm-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("ipm-accept".to_owned())
+                .spawn(move || accept_loop(&shared, listener))
+                .expect("spawn acceptor")
+        };
+
+        Ok(ServerHandle {
+            shared,
+            accept: Some(accept),
+            workers: worker_threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The served engine (shared with every worker).
+    pub fn engine(&self) -> &QueryEngine {
+        &self.shared.engine
+    }
+
+    /// Counter snapshot (same numbers the `stats` verb reports).
+    pub fn stats(&self) -> ServerStats {
+        snapshot(&self.shared)
+    }
+
+    /// Whether shutdown has begun (requested by the protocol verb or a
+    /// previous [`ServerHandle::shutdown`] call).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Begins (idempotently) and completes a graceful shutdown: stops
+    /// admission, drains queued work, answers in-flight requests, joins
+    /// every thread.
+    pub fn shutdown(&mut self) {
+        begin_shutdown(&self.shared);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let conns: Vec<_> = std::mem::take(&mut *self.shared.connections.lock().unwrap());
+        for c in conns {
+            let _ = c.join();
+        }
+    }
+
+    /// Blocks until a shutdown is requested (e.g. by the protocol verb),
+    /// then completes it.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Flips the shutdown flag once: closes admission and wakes the acceptor.
+fn begin_shutdown(shared: &Arc<Shared>) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue.close();
+    // Wake the blocking accept() with a throwaway connection.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn snapshot(shared: &Shared) -> ServerStats {
+    ServerStats {
+        served: shared.counters.served.load(Ordering::Relaxed),
+        coalesced: shared.counters.coalesced.load(Ordering::Relaxed),
+        shed: shared.counters.shed.load(Ordering::Relaxed),
+        protocol_errors: shared.counters.protocol_errors.load(Ordering::Relaxed),
+        failed: shared.counters.failed.load(Ordering::Relaxed),
+        queries_served: shared.engine.queries_served(),
+        cache: shared.engine.cache_stats(),
+        disk_io: shared.engine.io_totals(),
+        queue_depth: shared.queue.depth(),
+        workers: shared.workers,
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("ipm-conn".to_owned())
+            .spawn(move || connection_loop(&conn_shared, stream))
+            .expect("spawn connection thread");
+        let mut conns = shared.connections.lock().unwrap();
+        // Reap finished connection threads as we go: a long-lived server
+        // handling many short-lived connections must not accumulate
+        // handles (and their thread resources) until shutdown.
+        let mut i = 0;
+        while i < conns.len() {
+            if conns[i].is_finished() {
+                let _ = conns.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        conns.push(handle);
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let Job {
+            key,
+            query,
+            k,
+            options,
+            delay,
+            slot,
+        } = job;
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        let engine = &shared.engine;
+        let outcome = catch_unwind(AssertUnwindSafe(|| engine.execute(query, k, &options)));
+        let value: FlightResult = match outcome {
+            Ok(resp) => Ok(Arc::new(resp)),
+            Err(_) => Err(ErrorKind::Internal),
+        };
+        shared.flights.complete(&key, &slot, value);
+    }
+}
+
+/// Per-request outcome for the connection loop.
+enum ConnAction {
+    Continue,
+    Close,
+}
+
+/// Longest request line the server buffers before giving up on the
+/// connection — without a cap, a peer that never sends `\n` would grow
+/// the per-connection buffer until the process OOMs.
+const MAX_LINE_BYTES: usize = 256 * 1024;
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // A short read timeout lets the loop observe shutdown without a
+    // dedicated wakeup channel per connection.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = stream;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 4096];
+    'conn: loop {
+        // Serve every complete line already buffered.
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let raw: Vec<u8> = pending.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&raw);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (response, action) = serve_line(shared, line);
+            if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+                break 'conn;
+            }
+            if matches!(action, ConnAction::Close) {
+                break 'conn;
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read(&mut buf) {
+            Ok(0) => break, // EOF
+            Ok(n) => {
+                pending.extend_from_slice(&buf[..n]);
+                if pending.len() > MAX_LINE_BYTES && !pending.contains(&b'\n') {
+                    shared
+                        .counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    let err = wire::error_line(
+                        ErrorKind::Parse,
+                        &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                    );
+                    let _ = writer.write_all(err.as_bytes());
+                    let _ = writer.flush();
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_line(shared: &Arc<Shared>, line: &str) -> (String, ConnAction) {
+    match wire::parse_request(line) {
+        Err(msg) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            (
+                wire::error_line(ErrorKind::Parse, &msg),
+                ConnAction::Continue,
+            )
+        }
+        Ok(WireRequest::Ping) => (
+            wire::ok_line(vec![("pong", Value::from(true))]),
+            ConnAction::Continue,
+        ),
+        Ok(WireRequest::Stats) => (stats_line(shared), ConnAction::Continue),
+        Ok(WireRequest::Shutdown) => {
+            begin_shutdown(shared);
+            (
+                wire::ok_line(vec![("bye", Value::from(true))]),
+                ConnAction::Close,
+            )
+        }
+        Ok(WireRequest::Search(req)) => (serve_search(shared, req), ConnAction::Continue),
+    }
+}
+
+fn serve_search(shared: &Arc<Shared>, req: SearchRequest) -> String {
+    let query = match shared.engine.miner().parse_query_str(&req.query) {
+        Ok(q) => q,
+        Err(e) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return wire::error_line(ErrorKind::Query, &e.to_string());
+        }
+    };
+    let options = req.options();
+    let key = CacheKey::new(&query, req.k, &options);
+    let started = Instant::now();
+
+    let (result, coalesced) = match shared.flights.join(&key) {
+        Join::Follower(slot) => (slot.wait(), true),
+        Join::Leader(slot) => {
+            let job = Job {
+                key: key.clone(),
+                query,
+                k: req.k,
+                options,
+                // Clamped: the knob simulates service time, it must not
+                // let one request park a worker (and stall shutdown)
+                // indefinitely.
+                delay: Duration::from_millis(req.delay_ms.min(MAX_DELAY_MS)),
+                slot: slot.clone(),
+            };
+            match shared.queue.try_push(job) {
+                // The leader waits like any follower; the worker
+                // publishes through the shared slot.
+                Ok(()) => (slot.wait(), false),
+                Err(PushError::Full) => {
+                    // Shed the whole flight: the leader and every
+                    // follower that already attached get `overloaded`.
+                    shared
+                        .flights
+                        .complete(&key, &slot, Err(ErrorKind::Overloaded));
+                    (Err(ErrorKind::Overloaded), false)
+                }
+                Err(PushError::Closed) => {
+                    shared
+                        .flights
+                        .complete(&key, &slot, Err(ErrorKind::ShuttingDown));
+                    (Err(ErrorKind::ShuttingDown), false)
+                }
+            }
+        }
+    };
+    let waited = started.elapsed();
+
+    match result {
+        Ok(resp) => {
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            if coalesced {
+                shared.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut server = std::collections::BTreeMap::new();
+            server.insert("wait_us".to_owned(), Value::from(waited.as_micros() as u64));
+            server.insert("coalesced".to_owned(), Value::from(coalesced));
+            wire::ok_line(vec![
+                (
+                    "result",
+                    wire::response_value(&resp, shared.engine.miner().corpus()),
+                ),
+                ("server", Value::Object(server)),
+            ])
+        }
+        Err(kind) => {
+            match kind {
+                ErrorKind::Overloaded => {
+                    shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                }
+                // Well-formed requests that raced shutdown or hit a
+                // contained execution failure are not protocol errors.
+                _ => {
+                    shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let message = match kind {
+                ErrorKind::Overloaded => {
+                    format!(
+                        "queue full ({} pending); request shed",
+                        shared.queue.capacity()
+                    )
+                }
+                ErrorKind::ShuttingDown => "server is draining".to_owned(),
+                _ => "execution failed".to_owned(),
+            };
+            wire::error_line(kind, &message)
+        }
+    }
+}
+
+fn stats_line(shared: &Arc<Shared>) -> String {
+    let s = snapshot(shared);
+    let mut cache = std::collections::BTreeMap::new();
+    cache.insert("hits".to_owned(), Value::from(s.cache.hits));
+    cache.insert("misses".to_owned(), Value::from(s.cache.misses));
+    cache.insert("hit_rate".to_owned(), Value::from(s.cache.hit_rate()));
+    // Per-backend aggregate IO. The memory backend performs no simulated
+    // IO by construction; its all-zero entry keeps the schema uniform.
+    let mut io = std::collections::BTreeMap::new();
+    io.insert("memory".to_owned(), wire::io_value(&IoStats::default()));
+    io.insert("disk".to_owned(), wire::io_value(&s.disk_io));
+    let mut stats = std::collections::BTreeMap::new();
+    stats.insert("served".to_owned(), Value::from(s.served));
+    stats.insert("coalesced".to_owned(), Value::from(s.coalesced));
+    stats.insert("shed".to_owned(), Value::from(s.shed));
+    stats.insert("protocol_errors".to_owned(), Value::from(s.protocol_errors));
+    stats.insert("failed".to_owned(), Value::from(s.failed));
+    stats.insert("queries_served".to_owned(), Value::from(s.queries_served));
+    stats.insert("cache".to_owned(), Value::Object(cache));
+    stats.insert("io".to_owned(), Value::Object(io));
+    stats.insert("queue_depth".to_owned(), Value::from(s.queue_depth));
+    stats.insert("workers".to_owned(), Value::from(s.workers));
+    stats.insert(
+        "uptime_us".to_owned(),
+        Value::from(shared.started.elapsed().as_micros() as u64),
+    );
+    wire::ok_line(vec![("stats", Value::Object(stats))])
+}

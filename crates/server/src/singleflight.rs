@@ -1,0 +1,175 @@
+//! Single-flight request coalescing.
+//!
+//! N concurrent identical requests (same [`ipm_core::CacheKey`]) must not
+//! trigger N identical executions: the first becomes the *leader* and owns
+//! one execution; the rest become *followers* and block on the leader's
+//! slot until the shared value is published. With the result cache this
+//! closes the classic stampede window — the cache only helps *after* a
+//! result lands, single-flight dedupes the in-flight interval *before* it
+//! lands.
+//!
+//! The map holds one slot per in-flight key. Completion removes the key
+//! *before* publishing the value, so a request arriving after completion
+//! starts a fresh flight (and typically hits the result cache instead).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The rendezvous cell one flight's participants share.
+pub struct Slot<V> {
+    value: Mutex<Option<V>>,
+    ready: Condvar,
+}
+
+impl<V: Clone> Slot<V> {
+    fn new() -> Self {
+        Self {
+            value: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the leader publishes, then returns the shared value.
+    pub fn wait(&self) -> V {
+        let mut guard = self.value.lock().unwrap();
+        loop {
+            if let Some(v) = guard.as_ref() {
+                return v.clone();
+            }
+            guard = self.ready.wait(guard).unwrap();
+        }
+    }
+
+    fn publish(&self, value: V) {
+        *self.value.lock().unwrap() = Some(value);
+        self.ready.notify_all();
+    }
+}
+
+/// The caller's role in a flight.
+pub enum Join<V> {
+    /// First in: execute the work, then [`SingleFlight::complete`] the
+    /// slot (also on failure — followers are blocked on it).
+    Leader(Arc<Slot<V>>),
+    /// Coalesced behind an in-flight leader: [`Slot::wait`] for the value.
+    Follower(Arc<Slot<V>>),
+}
+
+/// A keyed single-flight group.
+pub struct SingleFlight<K, V> {
+    inflight: Mutex<HashMap<K, Arc<Slot<V>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
+    /// An empty group.
+    pub fn new() -> Self {
+        Self {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Joins the flight for `key`: exactly one concurrent caller per key
+    /// becomes the leader.
+    pub fn join(&self, key: &K) -> Join<V> {
+        let mut map = self.inflight.lock().unwrap();
+        if let Some(slot) = map.get(key) {
+            return Join::Follower(slot.clone());
+        }
+        let slot = Arc::new(Slot::new());
+        map.insert(key.clone(), slot.clone());
+        Join::Leader(slot)
+    }
+
+    /// Publishes the leader's value and retires the key. Every current
+    /// follower observes `value`; later joiners start a new flight.
+    pub fn complete(&self, key: &K, slot: &Arc<Slot<V>>, value: V) {
+        {
+            let mut map = self.inflight.lock().unwrap();
+            if map.get(key).is_some_and(|s| Arc::ptr_eq(s, slot)) {
+                map.remove(key);
+            }
+        }
+        slot.publish(value);
+    }
+
+    /// Keys currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.lock().unwrap().len()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn one_leader_many_followers_one_value() {
+        let sf = Arc::new(SingleFlight::<u32, u64>::new());
+        let executions = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let sf = sf.clone();
+            let executions = executions.clone();
+            let barrier = barrier.clone();
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                match sf.join(&7) {
+                    Join::Leader(slot) => {
+                        // Hold the flight open long enough for every
+                        // other thread to join as a follower.
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                        executions.fetch_add(1, Ordering::SeqCst);
+                        sf.complete(&7, &slot, 42);
+                        42
+                    }
+                    Join::Follower(slot) => slot.wait(),
+                }
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 42);
+        }
+        assert_eq!(
+            executions.load(Ordering::SeqCst),
+            1,
+            "exactly one execution for 8 concurrent identical requests"
+        );
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let sf = SingleFlight::<u32, u32>::new();
+        let (a, b) = (sf.join(&1), sf.join(&2));
+        assert!(matches!(a, Join::Leader(_)));
+        assert!(matches!(b, Join::Leader(_)));
+        assert_eq!(sf.in_flight(), 2);
+        if let (Join::Leader(sa), Join::Leader(sb)) = (a, b) {
+            sf.complete(&1, &sa, 10);
+            sf.complete(&2, &sb, 20);
+        }
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn completion_retires_the_key() {
+        let sf = SingleFlight::<u32, u32>::new();
+        let Join::Leader(slot) = sf.join(&5) else {
+            panic!("first join must lead");
+        };
+        sf.complete(&5, &slot, 1);
+        assert_eq!(slot.wait(), 1);
+        // A new join after completion starts a fresh flight.
+        assert!(matches!(sf.join(&5), Join::Leader(_)));
+    }
+}

@@ -1,0 +1,457 @@
+//! The line-delimited JSON wire format — one schema for the server, the
+//! client, and `ipm query --json`.
+//!
+//! Every request and every response is a single JSON object on a single
+//! line (`\n`-terminated). Requests are either a search (the default; the
+//! only required field is `"query"`) or a control verb (`"cmd"`:
+//! `"stats"`, `"ping"`, `"shutdown"`). Responses always carry an `"ok"`
+//! boolean; failures carry a structured `"error"` object whose `"kind"`
+//! is machine-readable — `overloaded` is the admission-control shed
+//! signal, not a transport error. See `docs/protocol.md`.
+
+use std::collections::BTreeMap;
+
+use ipm_core::{Algorithm, BackendChoice, RedundancyConfig, SearchOptions, SearchResponse};
+use ipm_corpus::Corpus;
+use ipm_storage::IoStats;
+use serde_json::Value;
+
+/// Machine-readable error kinds carried in `error.kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line was not valid JSON or not a valid request shape.
+    Parse,
+    /// The query string failed to parse against the corpus (unknown word,
+    /// mixed operators, ...).
+    Query,
+    /// Admission control shed the request: the worker queue was full.
+    Overloaded,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown,
+    /// Execution failed server-side (a worker panic was contained).
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Query => "query",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire name back (for clients).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "parse" => ErrorKind::Parse,
+            "query" => ErrorKind::Query,
+            "overloaded" => ErrorKind::Overloaded,
+            "shutting_down" => ErrorKind::ShuttingDown,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// Execute a search.
+    Search(SearchRequest),
+    /// Report server counters.
+    Stats,
+    /// Liveness check.
+    Ping,
+    /// Begin graceful shutdown (in-flight and queued work completes).
+    Shutdown,
+}
+
+/// A search request: the query string plus per-request engine options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRequest {
+    /// The query string (`"trade AND reserves"`, `"topic:t04 OR rates"`).
+    pub query: String,
+    /// Result count.
+    pub k: usize,
+    /// Retrieval algorithm.
+    pub algorithm: Algorithm,
+    /// List backend.
+    pub backend: BackendChoice,
+    /// NRA list fraction (omitted = full lists).
+    pub nra_fraction: Option<f64>,
+    /// §5.6 redundancy threshold (omitted = no filter).
+    pub max_overlap: Option<f64>,
+    /// Apply the engine's attached delta index on the NRA path.
+    pub use_delta: bool,
+    /// Artificial per-execution service time in milliseconds, applied by
+    /// the worker before running the query. A load-testing knob: it makes
+    /// coalescing and queue-shed behaviour deterministic to observe. The
+    /// server clamps it (5 s) so a client cannot park the worker pool.
+    pub delay_ms: u64,
+}
+
+impl SearchRequest {
+    /// A request with default options (`k = 10`, NRA over memory).
+    pub fn new(query: impl Into<String>) -> Self {
+        Self {
+            query: query.into(),
+            k: 10,
+            algorithm: Algorithm::default(),
+            backend: BackendChoice::default(),
+            nra_fraction: None,
+            max_overlap: None,
+            use_delta: false,
+            delay_ms: 0,
+        }
+    }
+
+    /// The engine options this request maps to.
+    pub fn options(&self) -> SearchOptions {
+        SearchOptions {
+            algorithm: self.algorithm,
+            backend: self.backend,
+            nra_fraction: self.nra_fraction,
+            redundancy: self
+                .max_overlap
+                .map(|max_overlap| RedundancyConfig { max_overlap }),
+            use_delta: self.use_delta,
+        }
+    }
+
+    /// Serializes to the wire object (inverse of [`parse_request`]).
+    pub fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("query".to_owned(), Value::from(self.query.clone()));
+        map.insert("k".to_owned(), Value::from(self.k));
+        map.insert(
+            "method".to_owned(),
+            Value::from(algorithm_name(self.algorithm)),
+        );
+        map.insert(
+            "backend".to_owned(),
+            Value::from(backend_name(self.backend)),
+        );
+        if let Some(f) = self.nra_fraction {
+            map.insert("nra_fraction".to_owned(), Value::from(f));
+        }
+        if let Some(o) = self.max_overlap {
+            map.insert("max_overlap".to_owned(), Value::from(o));
+        }
+        if self.use_delta {
+            map.insert("use_delta".to_owned(), Value::from(true));
+        }
+        if self.delay_ms > 0 {
+            map.insert("delay_ms".to_owned(), Value::from(self.delay_ms));
+        }
+        Value::Object(map)
+    }
+
+    /// One request line (newline-terminated).
+    pub fn to_line(&self) -> String {
+        let mut line = serde_json::to_string(&self.to_value()).expect("infallible");
+        line.push('\n');
+        line
+    }
+}
+
+/// Algorithm wire names (shared with the CLI's `--method`).
+pub fn algorithm_from_str(s: &str) -> Result<Algorithm, String> {
+    match s {
+        "nra" => Ok(Algorithm::Nra),
+        "smj" => Ok(Algorithm::Smj),
+        "ta" => Ok(Algorithm::Ta),
+        "exact" => Ok(Algorithm::Exact),
+        other => Err(format!("unknown method: {other} (nra|smj|ta|exact)")),
+    }
+}
+
+/// The wire name of an algorithm.
+pub fn algorithm_name(a: Algorithm) -> &'static str {
+    match a {
+        Algorithm::Nra => "nra",
+        Algorithm::Smj => "smj",
+        Algorithm::Ta => "ta",
+        Algorithm::Exact => "exact",
+    }
+}
+
+/// Backend wire names (shared with the CLI's `--backend`).
+pub fn backend_from_str(s: &str) -> Result<BackendChoice, String> {
+    match s {
+        "memory" => Ok(BackendChoice::Memory),
+        "disk" => Ok(BackendChoice::Disk),
+        other => Err(format!("unknown backend: {other} (memory|disk)")),
+    }
+}
+
+/// The wire name of a backend.
+pub fn backend_name(b: BackendChoice) -> &'static str {
+    match b {
+        BackendChoice::Memory => "memory",
+        BackendChoice::Disk => "disk",
+    }
+}
+
+fn field_f64(v: &Value, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' must be a number")),
+    }
+}
+
+fn field_u64(v: &Value, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(Value::Null) => Ok(default),
+        Some(x) => x
+            .as_u64()
+            .ok_or_else(|| format!("field '{key}' must be a non-negative integer")),
+    }
+}
+
+fn field_bool(v: &Value, key: &str, default: bool) -> Result<bool, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(Value::Null) => Ok(default),
+        Some(x) => x
+            .as_bool()
+            .ok_or_else(|| format!("field '{key}' must be a boolean")),
+    }
+}
+
+fn field_str<'v>(v: &'v Value, key: &str) -> Result<Option<&'v str>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' must be a string")),
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+/// A human-readable message for malformed JSON or invalid field values
+/// (the server maps it to `error.kind = "parse"`).
+pub fn parse_request(line: &str) -> Result<WireRequest, String> {
+    let v: Value = serde_json::from_str(line.trim()).map_err(|e| e.to_string())?;
+    if v.as_object().is_none() {
+        return Err("request must be a JSON object".into());
+    }
+    if let Some(cmd) = field_str(&v, "cmd")? {
+        return match cmd {
+            "query" => build_search(&v),
+            "stats" => Ok(WireRequest::Stats),
+            "ping" => Ok(WireRequest::Ping),
+            "shutdown" => Ok(WireRequest::Shutdown),
+            other => Err(format!("unknown cmd: {other} (query|stats|ping|shutdown)")),
+        };
+    }
+    build_search(&v)
+}
+
+fn build_search(v: &Value) -> Result<WireRequest, String> {
+    let query = field_str(v, "query")?
+        .ok_or("search request needs a 'query' string")?
+        .to_owned();
+    let mut req = SearchRequest::new(query);
+    req.k = field_u64(v, "k", req.k as u64)? as usize;
+    if let Some(m) = field_str(v, "method")? {
+        req.algorithm = algorithm_from_str(m)?;
+    }
+    if let Some(b) = field_str(v, "backend")? {
+        req.backend = backend_from_str(b)?;
+    }
+    req.nra_fraction = field_f64(v, "nra_fraction")?;
+    req.max_overlap = field_f64(v, "max_overlap")?;
+    req.use_delta = field_bool(v, "use_delta", false)?;
+    req.delay_ms = field_u64(v, "delay_ms", 0)?;
+    Ok(WireRequest::Search(req))
+}
+
+/// Encodes the hits of a response — the part that must be byte-identical
+/// between a served response and a direct [`ipm_core::QueryEngine`] call.
+pub fn hits_value(resp: &SearchResponse) -> Value {
+    Value::Array(
+        resp.hits
+            .iter()
+            .map(|h| {
+                let mut m = BTreeMap::new();
+                m.insert("phrase".to_owned(), Value::from(h.hit.phrase.raw() as u64));
+                m.insert("text".to_owned(), Value::from(h.text.clone()));
+                m.insert("score".to_owned(), Value::from(h.hit.score));
+                m.insert("lower".to_owned(), Value::from(h.hit.lower));
+                m.insert("upper".to_owned(), Value::from(h.hit.upper));
+                m.insert("interestingness".to_owned(), Value::from(h.interestingness));
+                Value::Object(m)
+            })
+            .collect(),
+    )
+}
+
+/// Encodes [`IoStats`] counters.
+pub fn io_value(io: &IoStats) -> Value {
+    let mut m = BTreeMap::new();
+    m.insert("cache_hits".to_owned(), Value::from(io.cache_hits));
+    m.insert(
+        "sequential_fetches".to_owned(),
+        Value::from(io.sequential_fetches),
+    );
+    m.insert("random_fetches".to_owned(), Value::from(io.random_fetches));
+    Value::Object(m)
+}
+
+/// Encodes a full [`SearchResponse`] in the shared wire shape (used by
+/// the server's `result` field and by `ipm query --json`).
+pub fn response_value(resp: &SearchResponse, corpus: &Corpus) -> Value {
+    let mut m = BTreeMap::new();
+    m.insert("query".to_owned(), Value::from(resp.query.render(corpus)));
+    m.insert("op".to_owned(), Value::from(resp.query.op.to_string()));
+    m.insert("hits".to_owned(), hits_value(resp));
+    m.insert(
+        "elapsed_us".to_owned(),
+        Value::from(resp.elapsed.as_micros() as u64),
+    );
+    m.insert(
+        "served_from_cache".to_owned(),
+        Value::from(resp.served_from_cache),
+    );
+    m.insert(
+        "io".to_owned(),
+        resp.io.as_ref().map(io_value).unwrap_or(Value::Null),
+    );
+    Value::Object(m)
+}
+
+/// Builds an error response line.
+pub fn error_line(kind: ErrorKind, message: &str) -> String {
+    let mut err = BTreeMap::new();
+    err.insert("kind".to_owned(), Value::from(kind.name()));
+    err.insert("message".to_owned(), Value::from(message));
+    let mut m = BTreeMap::new();
+    m.insert("ok".to_owned(), Value::from(false));
+    m.insert("error".to_owned(), Value::Object(err));
+    let mut line = serde_json::to_string(&Value::Object(m)).expect("infallible");
+    line.push('\n');
+    line
+}
+
+/// Builds a success response line from named top-level fields (always
+/// includes `"ok": true`).
+pub fn ok_line(fields: Vec<(&str, Value)>) -> String {
+    let mut m = BTreeMap::new();
+    m.insert("ok".to_owned(), Value::from(true));
+    for (k, v) in fields {
+        m.insert(k.to_owned(), v);
+    }
+    let mut line = serde_json::to_string(&Value::Object(m)).expect("infallible");
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut req = SearchRequest::new("trade AND reserves");
+        req.k = 7;
+        req.algorithm = Algorithm::Ta;
+        req.backend = BackendChoice::Disk;
+        req.nra_fraction = Some(0.5);
+        req.max_overlap = Some(0.25);
+        req.use_delta = true;
+        req.delay_ms = 3;
+        let line = req.to_line();
+        assert!(line.ends_with('\n'));
+        match parse_request(&line).unwrap() {
+            WireRequest::Search(got) => assert_eq!(got, req),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_apply_to_minimal_request() {
+        let req = parse_request(r#"{"query": "a b"}"#).unwrap();
+        match req {
+            WireRequest::Search(s) => {
+                assert_eq!(s.query, "a b");
+                assert_eq!(s.k, 10);
+                assert_eq!(s.algorithm, Algorithm::Nra);
+                assert_eq!(s.backend, BackendChoice::Memory);
+                assert_eq!(s.nra_fraction, None);
+                assert_eq!(s.max_overlap, None);
+                assert!(!s.use_delta);
+                assert_eq!(s.delay_ms, 0);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_verbs_parse() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"stats"}"#).unwrap(),
+            WireRequest::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"ping"}"#).unwrap(),
+            WireRequest::Ping
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
+            WireRequest::Shutdown
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "",
+            "not json",
+            "[1,2]",
+            r#"{"cmd":"reboot"}"#,
+            r#"{"k": 5}"#,
+            r#"{"query":"a","k":"five"}"#,
+            r#"{"query":"a","method":"bogus"}"#,
+            r#"{"query":"a","backend":"tape"}"#,
+            r#"{"query":"a","delay_ms":-1}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted bad request: {bad}");
+        }
+    }
+
+    #[test]
+    fn error_line_shape() {
+        let line = error_line(ErrorKind::Overloaded, "queue full");
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(false));
+        assert_eq!(v["error"]["kind"], "overloaded");
+        assert_eq!(v["error"]["message"], "queue full");
+        assert_eq!(
+            ErrorKind::from_name(v["error"]["kind"].as_str().unwrap()),
+            Some(ErrorKind::Overloaded)
+        );
+    }
+
+    #[test]
+    fn options_map_to_engine_options() {
+        let mut req = SearchRequest::new("x");
+        req.max_overlap = Some(0.4);
+        req.nra_fraction = Some(0.2);
+        let opts = req.options();
+        assert_eq!(opts.nra_fraction, Some(0.2));
+        assert_eq!(opts.redundancy.unwrap().max_overlap, 0.4);
+    }
+}

@@ -49,6 +49,14 @@ impl IoStats {
         self.cache_hits + self.total_fetches()
     }
 
+    /// Adds another query's counters into this one (for aggregate
+    /// accounting across many served queries).
+    pub fn accumulate(&mut self, other: &IoStats) {
+        self.cache_hits += other.cache_hits;
+        self.sequential_fetches += other.sequential_fetches;
+        self.random_fetches += other.random_fetches;
+    }
+
     /// Simulated IO time under `model`.
     pub fn io_ms(&self, model: &CostModel) -> f64 {
         self.sequential_fetches as f64 * model.sequential_ms

@@ -1,9 +1,12 @@
-//! Concurrent serving: one immutable index, many query threads.
+//! Concurrent serving: a real `ipm_server` on loopback, driven by real
+//! TCP clients.
 //!
 //! The paper's conclusion — millisecond responses make phrase mining
 //! feasible "for search-like interactive systems" — implies a server
-//! answering many queries at once. [`QueryEngine`] is the thread-safe
-//! handle for that: build the index once, clone the engine per worker.
+//! answering many queries at once. This example builds the index once,
+//! puts the [`QueryEngine`] behind the serving subsystem (bounded-queue
+//! admission control, single-flight coalescing, worker pool), then drives
+//! it over the line-delimited JSON protocol from several client threads.
 //!
 //! ```text
 //! cargo run --release --example concurrent_serving
@@ -22,8 +25,21 @@ fn main() {
         corpus.num_docs()
     );
 
+    // Put the engine behind the TCP protocol on an ephemeral port.
+    let handle = Server::spawn(
+        engine,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 64,
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr().to_string();
+    println!("serving on {addr} (4 workers, queue depth 64)");
+
     // A small workload of string queries over frequent corpus words.
-    let top = ipm_corpus::stats::top_words_by_df(engine.miner().corpus(), 8);
+    let top = ipm_corpus::stats::top_words_by_df(handle.engine().miner().corpus(), 8);
     let terms: Vec<String> = top
         .iter()
         .map(|&(w, _)| corpus.words().term(w).unwrap().to_owned())
@@ -37,22 +53,30 @@ fn main() {
         })
         .collect();
 
-    // Serve from 4 worker threads; each gets a cheap clone of the engine.
+    // Drive it from 4 closed-loop client threads over real sockets.
     let workers = 4;
     let rounds = 50;
     let start = Instant::now();
     std::thread::scope(|s| {
         for w in 0..workers {
-            let engine = engine.clone();
+            let addr = addr.clone();
             let queries = queries.clone();
             s.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
                 for r in 0..rounds {
                     let q = &queries[(w + r) % queries.len()];
-                    let resp = engine.search(q, 5).expect("harvested terms parse");
+                    let mut req = SearchRequest::new(q.clone());
+                    req.k = 5;
+                    let resp = client.search(&req).expect("roundtrip");
+                    assert_eq!(resp["ok"].as_bool(), Some(true));
                     if w == 0 && r == 0 {
                         println!("\nsample response for `{q}`:");
-                        for hit in &resp.hits {
-                            println!("  {:<30} I ≈ {:.3}", hit.text, hit.interestingness);
+                        for hit in resp["result"]["hits"].as_array().unwrap() {
+                            println!(
+                                "  {:<30} I ≈ {:.3}",
+                                hit["text"].as_str().unwrap(),
+                                hit["interestingness"].as_f64().unwrap()
+                            );
                         }
                     }
                 }
@@ -61,35 +85,59 @@ fn main() {
     });
     let elapsed = start.elapsed();
 
-    let served = engine.queries_served();
-    let cache = engine.cache_stats();
+    let stats = handle.stats();
     println!(
-        "\nserved {served} queries from {workers} threads in {:.1} ms ({:.2} ms/query wall)",
+        "\nserved {} responses to {workers} TCP clients in {:.1} ms ({:.2} ms/query wall)",
+        stats.served,
         elapsed.as_secs_f64() * 1e3,
-        elapsed.as_secs_f64() * 1e3 / served as f64,
+        elapsed.as_secs_f64() * 1e3 / stats.served.max(1) as f64,
     );
     println!(
-        "result cache: {} hits / {} misses ({:.0}% hit rate) — repeats skip list traversal",
-        cache.hits,
-        cache.misses,
-        cache.hit_rate() * 100.0
+        "result cache: {} hits / {} misses ({:.0}% hit rate); coalesced {} / shed {}",
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.hit_rate() * 100.0,
+        stats.coalesced,
+        stats.shed,
     );
 
-    // The same engine serves the simulated-disk backend; a repeated disk
-    // query costs zero simulated IO thanks to the result cache.
-    let opts = SearchOptions {
-        backend: BackendChoice::Disk,
-        ..Default::default()
-    };
-    let q = &queries[0];
-    let cold = engine.search_with(q, 5, &opts).expect("parses");
-    let warm = engine.search_with(q, 5, &opts).expect("parses");
-    let io = cold.io.expect("disk run reports IO");
+    // A coalescing burst: 8 clients fire the *same* query at once while
+    // the engine cache is bypassed by an artificial 50 ms service time —
+    // single-flight folds them onto (at most a couple of) executions.
+    let mut burst = SearchRequest::new(queries[0].clone());
+    burst.k = 5;
+    burst.delay_ms = 50;
+    let before = handle.engine().queries_served();
+    let report = run_load(&addr, 8, 1, &burst).expect("burst");
     println!(
-        "\ndisk backend, `{q}`: cold = {:.1} simulated IO ms ({} fetches); \
-         repeat served from cache = {} (no IO)",
-        io.io_ms(engine.disk().cost_model()),
-        io.total_fetches(),
-        warm.served_from_cache,
+        "\ncoalescing burst: {report}; engine executed {} of 8 requests",
+        handle.engine().queries_served() - before,
     );
+
+    // The same server serves the simulated-disk backend; the per-backend
+    // IO bill shows up in the aggregate stats.
+    let mut disk_req = SearchRequest::new(queries[1].clone());
+    disk_req.k = 5;
+    disk_req.backend = BackendChoice::Disk;
+    let mut client = Client::connect(&addr).expect("connect");
+    let cold = client.search(&disk_req).expect("roundtrip");
+    let warm = client.search(&disk_req).expect("roundtrip");
+    println!(
+        "\ndisk backend, `{}`: cold fetched {} pages; repeat served from cache = {}",
+        disk_req.query,
+        cold["result"]["io"]["sequential_fetches"]
+            .as_u64()
+            .unwrap_or(0)
+            + cold["result"]["io"]["random_fetches"].as_u64().unwrap_or(0),
+        warm["result"]["served_from_cache"] == true,
+    );
+    println!(
+        "aggregate disk IO across all served queries: {} fetches",
+        handle.stats().disk_io.total_fetches(),
+    );
+
+    // Graceful shutdown over the wire: acknowledged, drained, joined.
+    client.shutdown_server().expect("shutdown verb");
+    handle.join();
+    println!("\nserver drained and stopped");
 }

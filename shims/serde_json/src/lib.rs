@@ -1,6 +1,7 @@
-//! Offline shim for `serde_json`: a JSON `Value` tree built by hand plus a
-//! standards-correct pretty printer. There is no generic
-//! `Serialize`-driven path — callers construct `Value`s directly. See
+//! Offline shim for `serde_json`: a JSON `Value` tree built by hand, a
+//! standards-correct printer (compact and pretty), and a recursive-descent
+//! parser ([`from_str`]). There is no generic `Serialize`/`Deserialize`
+//! path — callers construct and inspect `Value`s directly. See
 //! `shims/README.md`.
 
 use std::collections::BTreeMap;
@@ -46,6 +47,44 @@ impl Value {
     pub fn as_array(&self) -> Option<&Vec<Value>> {
         match self {
             Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 9e15 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup (`None` for non-objects and missing keys,
+    /// unlike the `Index` impl which yields `Null`).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
             _ => None,
         }
     }
@@ -130,6 +169,12 @@ impl PartialEq<str> for Value {
 impl PartialEq<f64> for Value {
     fn eq(&self, other: &f64) -> bool {
         self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
     }
 }
 
@@ -277,6 +322,239 @@ pub fn to_string(value: &Value) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Parses a JSON document into a [`Value`].
+///
+/// The real crate's `from_str` is generic over `Deserialize`; every call
+/// site in this workspace requests a `Value`, so the shim fixes the output
+/// type (the annotation `let v: Value = serde_json::from_str(s)?` compiles
+/// against both).
+///
+/// # Errors
+/// Returns a descriptive [`Error`] (with byte offset) for malformed input.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(v)
+}
+
+/// Maximum container nesting. The parser is recursive descent, so depth
+/// must be bounded or crafted input (e.g. 50k `[`s on one line of a
+/// network protocol) overflows the thread stack — which aborts the whole
+/// process. The real serde_json limits recursion to 128 as well.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), Error> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.nested(Self::array),
+            Some(b'{') => self.nested(Self::object),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn nested(&mut self, parse: fn(&mut Self) -> Result<Value, Error>) -> Result<Value, Error> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        self.depth += 1;
+        let v = parse(self);
+        self.depth -= 1;
+        v
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error(format!("invalid number '{text}' at byte {start}")))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: the low half must follow.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a valid &str).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,5 +594,78 @@ mod tests {
         assert_eq!(to_string(&Value::Number(2.0)).unwrap(), "2");
         assert_eq!(to_string(&Value::Number(2.5)).unwrap(), "2.5");
         assert_eq!(to_string(&Value::Number(f64::NAN)).unwrap(), "null");
+    }
+
+    #[test]
+    fn parse_roundtrips_compact_and_pretty() {
+        let v = sample();
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parse_scalars_and_nesting() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("-2.5e2").unwrap(), Value::Number(-250.0));
+        assert_eq!(from_str("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(from_str("{}").unwrap(), Value::Object(BTreeMap::new()));
+        let v = from_str(r#"{"a": [1, {"b": "c"}], "d": false}"#).unwrap();
+        assert_eq!(v["a"][1]["b"], "c");
+        assert_eq!(v["a"][0], 1.0);
+        assert_eq!(v["d"].as_bool(), Some(false));
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let v = from_str(r#""q\"\\\n\t\u0041\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "q\"\\\n\tAé😀");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"abc",
+            "1 2",
+            "{'a':1}",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "[1]]",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed input: {bad}");
+        }
+    }
+
+    #[test]
+    fn parse_bounds_recursion_depth() {
+        // Within the limit parses fine...
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(from_str(&ok).is_ok());
+        // ...a pathological line errors instead of overflowing the stack
+        // (which would abort the process serving it).
+        let deep = format!("{}1{}", "[".repeat(50_000), "]".repeat(50_000));
+        assert!(from_str(&deep).is_err());
+        let deep_obj = "{\"a\":".repeat(50_000);
+        assert!(from_str(&deep_obj).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = from_str(r#"{"n": 3, "f": 3.5, "s": "x", "b": true, "z": null}"#).unwrap();
+        assert_eq!(v["n"].as_u64(), Some(3));
+        assert_eq!(v["f"].as_u64(), None);
+        assert_eq!(v["f"].as_f64(), Some(3.5));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("missing"), None);
+        assert!(v["z"].is_null());
+        assert!(!v["b"].is_null());
+        assert_eq!(v.as_object().unwrap().len(), 5);
+        assert!(v["n"].as_object().is_none());
     }
 }

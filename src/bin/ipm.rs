@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! ipm index --input docs.jsonl --out index_dir [--min-df 5] [--max-len 6]
-//! ipm query --input docs.jsonl "trade AND reserves" [--k 5] [--method nra|smj|ta|exact] [--backend memory|disk]
+//! ipm query --input docs.jsonl "trade AND reserves" [--k 5] [--method nra|smj|ta|exact] [--backend memory|disk] [--json true]
+//! ipm serve --input docs.jsonl --port 7341 [--workers 4] [--queue-depth 64] [--cache true]
+//! ipm client --addr 127.0.0.1:7341 "trade AND reserves" [--k 5] [--json true]
 //! ipm stats --input docs.jsonl
 //! ipm demo  "w1 OR w2"            # synthetic corpus, no input file needed
 //! ```
@@ -10,9 +12,13 @@
 //! Input formats: `.jsonl` (objects with `text` and optional `facets`) or
 //! plain text (one document per line). `index` persists the serialized word
 //! lists + phrase file (with checksums) into a directory; `query` builds
-//! in-memory and answers one query.
+//! in-memory and answers one query. `serve` puts the engine behind the
+//! `ipm_server` TCP protocol (`docs/protocol.md`); `client` speaks it —
+//! one-shot, `--stats true`, `--shutdown true`, or as an N-thread
+//! closed-loop load generator (`--load-threads`).
 
 use interesting_phrases::prelude::*;
+use ipm_server::wire;
 use ipm_storage::persist;
 use std::process::ExitCode;
 
@@ -30,16 +36,25 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  ipm index --input <file> --out <dir> [--min-df N] [--max-len N] [--fraction F]
-  ipm query --input <file> <query string> [--k N] [--method nra|smj|ta|exact]
-            [--backend memory|disk] [--fraction F]
-  ipm repl  [--input <file>] [--k N] [--filter-redundant true]
-  ipm stats --input <file>
-  ipm demo  <query string> [--k N]
+  ipm index  --input <file> --out <dir> [--min-df N] [--max-len N] [--fraction F]
+  ipm query  --input <file> <query string> [--k N] [--method nra|smj|ta|exact]
+             [--backend memory|disk] [--fraction F] [--json true]
+  ipm serve  [--input <file>] [--host H] [--port N] [--workers N]
+             [--queue-depth N] [--cache true|false] [--min-df N] [--max-len N]
+  ipm client --addr <host:port> <query string> [--k N] [--method M] [--backend B]
+             [--delay-ms N] [--json true]
+  ipm client --addr <host:port> --stats true | --shutdown true
+  ipm client --addr <host:port> --load-threads N [--load-requests N]
+             [--delay-ms N] <query string>
+  ipm repl   [--input <file>] [--k N] [--filter-redundant true]
+  ipm stats  --input <file>
+  ipm demo   <query string> [--k N]
 
 query strings: terms joined by AND or OR (one operator per query);
 key:value terms are metadata facets. Bare terms default to AND.
-repl reads one query per stdin line (synthetic demo corpus without --input).";
+repl reads one query per stdin line; repl and serve fall back to the
+synthetic demo corpus without --input. serve speaks the line-delimited
+JSON protocol documented in docs/protocol.md.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -49,6 +64,8 @@ fn run(args: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "index" => cmd_index(rest),
         "query" => cmd_query(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "repl" => cmd_repl(rest),
         "stats" => cmd_stats(rest),
         "demo" => cmd_demo(rest),
@@ -181,6 +198,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let k: usize = flags.get_parsed("k", 5)?;
     let method = flags.get("method").unwrap_or("nra");
     let fraction: f64 = flags.get_parsed("fraction", 1.0)?;
+    let json: bool = flags.get_parsed("json", false)?;
 
     let backend = flags.get("backend").unwrap_or("memory");
 
@@ -189,14 +207,20 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let query = miner
         .parse_query_str(query_str)
         .map_err(|e| e.to_string())?;
-    run_engine_and_print(
-        &QueryEngine::new(miner),
-        query,
-        k,
-        method,
-        backend,
-        fraction,
-    )
+    let engine = QueryEngine::new(miner);
+    if json {
+        let options = search_options(method, backend, fraction)?;
+        let resp = engine.execute(query, k, &options);
+        // The exact wire shape the server's `result` field carries: CLI
+        // and protocol stay one schema.
+        let value = wire::response_value(&resp, engine.miner().corpus());
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&value).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    run_engine_and_print(&engine, query, k, method, backend, fraction)
 }
 
 fn cmd_demo(args: &[String]) -> Result<(), String> {
@@ -240,15 +264,15 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses a `--method` name into an [`Algorithm`].
-fn parse_method(method: &str) -> Result<Algorithm, String> {
-    match method {
-        "nra" => Ok(Algorithm::Nra),
-        "smj" => Ok(Algorithm::Smj),
-        "ta" => Ok(Algorithm::Ta),
-        "exact" => Ok(Algorithm::Exact),
-        other => Err(format!("unknown method: {other} (nra|smj|ta|exact)")),
-    }
+/// Builds [`SearchOptions`] from CLI method/backend/fraction strings (the
+/// wire crate owns the name tables, so CLI and protocol agree).
+fn search_options(method: &str, backend: &str, fraction: f64) -> Result<SearchOptions, String> {
+    Ok(SearchOptions {
+        algorithm: wire::algorithm_from_str(method)?,
+        backend: wire::backend_from_str(backend)?,
+        nra_fraction: (fraction < 1.0).then_some(fraction),
+        ..Default::default()
+    })
 }
 
 /// Serves one query through the unified engine and prints the hits, the
@@ -261,16 +285,7 @@ fn run_engine_and_print(
     backend: &str,
     fraction: f64,
 ) -> Result<(), String> {
-    let options = SearchOptions {
-        algorithm: parse_method(method)?,
-        backend: match backend {
-            "memory" => BackendChoice::Memory,
-            "disk" => BackendChoice::Disk,
-            other => return Err(format!("unknown backend: {other} (memory|disk)")),
-        },
-        nra_fraction: (fraction < 1.0).then_some(fraction),
-        redundancy: None,
-    };
+    let options = search_options(method, backend, fraction)?;
     let resp = engine.execute(query, k, &options);
     if resp.hits.is_empty() {
         println!("(no phrases match)");
@@ -297,13 +312,9 @@ fn run_engine_and_print(
     Ok(())
 }
 
-fn cmd_repl(args: &[String]) -> Result<(), String> {
-    use std::io::{BufRead, Write};
-
-    let flags = Flags::parse(args)?;
-    let k: usize = flags.get_parsed("k", 5)?;
-    let filter: bool = flags.get_parsed("filter-redundant", false)?;
-
+/// Loads `--input` or falls back to the synthetic demo corpus, and builds
+/// the miner (shared by `repl` and `serve`).
+fn miner_from_flags(flags: &Flags) -> Result<PhraseMiner, String> {
     let corpus = match flags.get("input") {
         Some(path) => load_corpus(path)?,
         None => {
@@ -311,10 +322,155 @@ fn cmd_repl(args: &[String]) -> Result<(), String> {
             ipm_corpus::synth::generate(&ipm_corpus::synth::tiny()).0
         }
     };
-    let miner = match flags.get("input") {
-        Some(_) => build_miner(&corpus, &flags)?,
-        None => PhraseMiner::build(&corpus, MinerConfig::default()),
+    match flags.get("input") {
+        Some(_) => build_miner(&corpus, flags),
+        None => Ok(PhraseMiner::build(&corpus, MinerConfig::default())),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let host = flags.get("host").unwrap_or("127.0.0.1");
+    let port: u16 = flags.get_parsed("port", 7341)?;
+    let workers: usize = flags.get_parsed("workers", 4)?;
+    let queue_depth: usize = flags.get_parsed("queue-depth", 64)?;
+    let cache: bool = flags.get_parsed("cache", true)?;
+
+    let miner = miner_from_flags(&flags)?;
+    let engine = QueryEngine::with_config(
+        miner,
+        ipm_core::EngineConfig {
+            cache: cache.then(Default::default),
+            ..Default::default()
+        },
+    );
+    let handle = Server::spawn(
+        engine.clone(),
+        ServerConfig {
+            addr: format!("{host}:{port}"),
+            workers,
+            queue_depth,
+        },
+    )
+    .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
+    println!(
+        "listening on {} ({workers} workers, queue depth {queue_depth}, cache {})",
+        handle.addr(),
+        if cache { "on" } else { "off" },
+    );
+    eprintln!(
+        "protocol: one JSON object per line (docs/protocol.md); \
+         send {{\"cmd\":\"shutdown\"}} to stop"
+    );
+    // Blocks until a client sends the shutdown verb, then drains.
+    handle.join();
+    let cache_stats = engine.cache_stats();
+    println!(
+        "server drained and stopped: {} queries served ({} cache hits / {} misses)",
+        engine.queries_served(),
+        cache_stats.hits,
+        cache_stats.misses,
+    );
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let addr = flags.get("addr").ok_or("client needs --addr <host:port>")?;
+    let connect = || {
+        Client::connect_with_retries(addr, 25, std::time::Duration::from_millis(200))
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))
     };
+
+    if flags.get_parsed("stats", false)? {
+        let stats = connect()?.stats().map_err(|e| e.to_string())?;
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    if flags.get_parsed("shutdown", false)? {
+        connect()?.shutdown_server().map_err(|e| e.to_string())?;
+        println!("server acknowledged shutdown");
+        return Ok(());
+    }
+
+    let query = flags
+        .positional
+        .first()
+        .ok_or("client needs a query string (or --stats/--shutdown true)")?;
+    let mut request = SearchRequest::new(query.clone());
+    request.k = flags.get_parsed("k", 5)?;
+    request.algorithm = wire::algorithm_from_str(flags.get("method").unwrap_or("nra"))?;
+    request.backend = wire::backend_from_str(flags.get("backend").unwrap_or("memory"))?;
+    let fraction: f64 = flags.get_parsed("fraction", 1.0)?;
+    request.nra_fraction = (fraction < 1.0).then_some(fraction);
+    request.delay_ms = flags.get_parsed("delay-ms", 0)?;
+
+    if let Some(threads) = flags.get("load-threads") {
+        let threads: usize = threads
+            .parse()
+            .map_err(|_| format!("invalid value for --load-threads: {threads}"))?;
+        let requests: usize = flags.get_parsed("load-requests", 20)?;
+        let report = run_load(addr, threads, requests, &request).map_err(|e| e.to_string())?;
+        println!("{report}");
+        if report.errors > 0 {
+            return Err(format!("{} protocol errors during load run", report.errors));
+        }
+        return Ok(());
+    }
+
+    let response = connect()?.search(&request).map_err(|e| e.to_string())?;
+    if flags.get_parsed("json", false)? {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    if response["ok"] == true {
+        let hits = response["result"]["hits"]
+            .as_array()
+            .cloned()
+            .unwrap_or_default();
+        if hits.is_empty() {
+            println!("(no phrases match)");
+        }
+        for (i, h) in hits.iter().enumerate() {
+            println!(
+                "{:>2}. {:<40} score {:>9.4}  I≈{:.3}",
+                i + 1,
+                h["text"].as_str().unwrap_or("?"),
+                h["score"].as_f64().unwrap_or(f64::NAN),
+                h["interestingness"].as_f64().unwrap_or(f64::NAN),
+            );
+        }
+        println!(
+            "({:.2} ms engine, {:.2} ms at server, cached = {}, coalesced = {})",
+            response["result"]["elapsed_us"].as_f64().unwrap_or(0.0) / 1e3,
+            response["server"]["wait_us"].as_f64().unwrap_or(0.0) / 1e3,
+            response["result"]["served_from_cache"] == true,
+            response["server"]["coalesced"] == true,
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "server error [{}]: {}",
+            response["error"]["kind"].as_str().unwrap_or("?"),
+            response["error"]["message"].as_str().unwrap_or("?"),
+        ))
+    }
+}
+
+fn cmd_repl(args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, Write};
+
+    let flags = Flags::parse(args)?;
+    let k: usize = flags.get_parsed("k", 5)?;
+    let filter: bool = flags.get_parsed("filter-redundant", false)?;
+
+    let miner = miner_from_flags(&flags)?;
     let engine = QueryEngine::new(miner);
     let options = SearchOptions {
         redundancy: filter.then(RedundancyConfig::default),
@@ -322,7 +478,7 @@ fn cmd_repl(args: &[String]) -> Result<(), String> {
     };
     eprintln!(
         "ready: {} docs, {} phrases. One query per line (ctrl-d to exit).",
-        corpus.num_docs(),
+        engine.miner().corpus().num_docs(),
         engine.miner().index().dict.len()
     );
 

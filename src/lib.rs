@@ -23,6 +23,10 @@
 //!   (Gao & Michel) and Simitsis baselines ([`ipm_baselines`]).
 //! * [`eval`] — IR quality metrics, query harvesting, and the experiment
 //!   harness reproducing every table and figure of the paper ([`ipm_eval`]).
+//! * [`server`] — the concurrent TCP serving subsystem over the engine:
+//!   line-delimited JSON protocol, bounded-queue admission control,
+//!   single-flight request coalescing, serving counters and graceful
+//!   shutdown, plus a client and load generator ([`ipm_server`]).
 //!
 //! ## Quickstart
 //!
@@ -71,6 +75,7 @@ pub use ipm_core as core;
 pub use ipm_corpus as corpus;
 pub use ipm_eval as eval;
 pub use ipm_index as index;
+pub use ipm_server as server;
 pub use ipm_storage as storage;
 
 /// Convenient glob-import surface for applications.
@@ -89,4 +94,7 @@ pub mod prelude {
         Corpus, CorpusBuilder, DocId, Feature, PhraseId, TokenizerConfig, WordId,
     };
     pub use ipm_index::phrase::PhraseDictionary;
+    pub use ipm_server::{
+        run_load, Client, SearchRequest, Server, ServerConfig, ServerHandle, ServerStats,
+    };
 }

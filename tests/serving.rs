@@ -1,0 +1,310 @@
+//! Integration tests of the `ipm_server` subsystem: many concurrent TCP
+//! clients against a real loopback server, compared byte-for-byte with
+//! direct `QueryEngine::execute` calls, plus coalescing and
+//! admission-control (overload shedding) behaviour.
+
+use interesting_phrases::prelude::*;
+use ipm_core::EngineConfig;
+use ipm_server::wire;
+use ipm_server::ErrorKind;
+use std::sync::{Arc, Barrier};
+
+fn build_engine(cache: bool) -> QueryEngine {
+    let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+    let miner = PhraseMiner::build(&corpus, MinerConfig::default());
+    let config = EngineConfig {
+        cache: cache.then(Default::default),
+        ..Default::default()
+    };
+    QueryEngine::with_config(miner, config)
+}
+
+fn top_terms(engine: &QueryEngine, n: usize) -> Vec<String> {
+    ipm_corpus::stats::top_words_by_df(engine.miner().corpus(), n)
+        .iter()
+        .map(|&(w, _)| engine.miner().corpus().words().term(w).unwrap().to_owned())
+        .collect()
+}
+
+fn spawn(engine: QueryEngine, workers: usize, queue_depth: usize) -> ipm_server::ServerHandle {
+    ipm_server::Server::spawn(
+        engine,
+        ipm_server::ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers,
+            queue_depth,
+        },
+    )
+    .expect("bind loopback")
+}
+
+/// ≥ 8 concurrent TCP clients, mixed algorithms and backends: every
+/// served response's hits must be byte-identical to a direct
+/// `QueryEngine::execute` call with the same request.
+#[test]
+fn eight_clients_serve_byte_identical_hits() {
+    let handle = spawn(build_engine(true), 4, 64);
+    let addr = handle.addr().to_string();
+    let terms = top_terms(handle.engine(), 5);
+    let queries: Vec<String> = (0..terms.len() - 1)
+        .flat_map(|i| {
+            [
+                format!("{} AND {}", terms[i], terms[i + 1]),
+                format!("{} OR {}", terms[i], terms[i + 1]),
+            ]
+        })
+        .collect();
+
+    let methods = ["nra", "smj", "ta", "exact"];
+    let backends = ["memory", "disk"];
+    let engine = handle.engine().clone();
+    std::thread::scope(|s| {
+        for t in 0..8usize {
+            let addr = addr.clone();
+            let queries = queries.clone();
+            let engine = engine.clone();
+            s.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                for (i, q) in queries.iter().enumerate() {
+                    let mut req = SearchRequest::new(q.clone());
+                    req.k = 5;
+                    req.algorithm =
+                        wire::algorithm_from_str(methods[(t + i) % methods.len()]).unwrap();
+                    req.backend =
+                        wire::backend_from_str(backends[(t + i) % backends.len()]).unwrap();
+                    let response = client.search(&req).expect("roundtrip");
+                    assert_eq!(
+                        response["ok"].as_bool(),
+                        Some(true),
+                        "server error for `{q}`: {response:?}"
+                    );
+                    // Re-encode the served hits and a direct engine
+                    // execution with the same request; the bytes must
+                    // match exactly.
+                    let served = serde_json::to_string(&response["result"]["hits"]).unwrap();
+                    let query = engine.miner().parse_query_str(q).unwrap();
+                    let direct = engine.execute(query, req.k, &req.options());
+                    let want = serde_json::to_string(&wire::hits_value(&direct)).unwrap();
+                    assert_eq!(
+                        served, want,
+                        "hits diverge from direct execution for `{q}` ({req:?})"
+                    );
+                    assert!(!direct.hits.is_empty(), "degenerate comparison for `{q}`");
+                }
+            });
+        }
+    });
+    let stats = handle.stats();
+    assert_eq!(stats.protocol_errors, 0);
+    assert!(stats.served >= 8 * queries.len() as u64);
+}
+
+/// Duplicate in-flight queries coalesce onto one execution: a barrier
+/// burst of 8 identical requests (cache disabled, so the result cache
+/// cannot absorb the repeats) must report a positive coalesced counter
+/// and strictly fewer engine executions than requests.
+#[test]
+fn duplicate_queries_coalesce_onto_one_execution() {
+    let handle = spawn(build_engine(false), 2, 64);
+    let terms = top_terms(handle.engine(), 2);
+    let mut req = SearchRequest::new(format!("{} OR {}", terms[0], terms[1]));
+    req.k = 5;
+    req.delay_ms = 500; // hold the flight open across the whole burst
+    let report = run_load(&handle.addr().to_string(), 8, 1, &req).expect("load run");
+
+    assert_eq!(report.sent, 8);
+    assert_eq!(
+        report.ok, 8,
+        "every coalesced request still gets a response"
+    );
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.overloaded, 0);
+    assert!(
+        report.coalesced >= 1,
+        "duplicate concurrent queries must coalesce: {report}"
+    );
+    let stats = handle.stats();
+    assert_eq!(stats.coalesced, report.coalesced);
+    let executed = handle.engine().queries_served();
+    assert!(
+        executed < 8,
+        "coalescing must execute fewer queries than requests (got {executed})"
+    );
+    assert_eq!(executed + report.coalesced, 8, "every request is accounted");
+}
+
+/// When the queue depth is exceeded, requests are shed with a structured
+/// `overloaded` error: no hangs, no panics, and the server keeps serving
+/// afterwards.
+#[test]
+fn queue_overflow_sheds_with_structured_errors() {
+    let handle = spawn(build_engine(false), 1, 1);
+    let addr = handle.addr().to_string();
+    let terms = top_terms(handle.engine(), 2);
+    let query = format!("{} OR {}", terms[0], terms[1]);
+
+    let clients = 12usize;
+    let barrier = Arc::new(Barrier::new(clients));
+    let mut outcomes = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for i in 0..clients {
+            let addr = addr.clone();
+            let query = query.clone();
+            let barrier = barrier.clone();
+            handles.push(s.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut req = SearchRequest::new(query);
+                req.k = 3 + i; // distinct keys: coalescing must not mask the overflow
+                req.delay_ms = 150;
+                barrier.wait();
+                client.search(&req).expect("a response, never a hang")
+            }));
+        }
+        for h in handles {
+            outcomes.push(h.join().expect("no client panics"));
+        }
+    });
+
+    let ok = outcomes
+        .iter()
+        .filter(|v| v["ok"].as_bool() == Some(true))
+        .count();
+    let overloaded = outcomes
+        .iter()
+        .filter(|v| {
+            v["ok"].as_bool() == Some(false)
+                && v["error"]["kind"].as_str().and_then(ErrorKind::from_name)
+                    == Some(ErrorKind::Overloaded)
+        })
+        .count();
+    assert_eq!(
+        ok + overloaded,
+        clients,
+        "every response is ok or a structured overloaded error: {outcomes:?}"
+    );
+    assert!(ok >= 1, "admitted work still completes");
+    assert!(
+        overloaded >= 1,
+        "exceeding the queue depth must shed with `overloaded`"
+    );
+    for v in &outcomes {
+        if v["ok"].as_bool() == Some(false) {
+            assert!(
+                v["error"]["message"].as_str().is_some(),
+                "shed errors carry a message"
+            );
+        }
+    }
+    assert_eq!(handle.stats().shed, overloaded as u64);
+
+    // The server is healthy after shedding: a fresh request succeeds.
+    let mut client = Client::connect(&addr).expect("reconnect");
+    let after = client
+        .search(&SearchRequest::new(query))
+        .expect("roundtrip");
+    assert_eq!(after["ok"].as_bool(), Some(true));
+}
+
+/// The control verbs: ping, stats (counters consistent with the handle
+/// snapshot), and protocol-initiated graceful shutdown.
+#[test]
+fn control_verbs_and_graceful_shutdown() {
+    let handle = spawn(build_engine(true), 2, 16);
+    let addr = handle.addr().to_string();
+    let terms = top_terms(handle.engine(), 2);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    assert_eq!(client.ping().unwrap()["pong"].as_bool(), Some(true));
+
+    // Malformed lines are answered with parse errors, not disconnects.
+    let bad = client.roundtrip("this is not json\n").unwrap();
+    assert_eq!(bad["error"]["kind"], "parse");
+    let unknown = client
+        .roundtrip(&format!("{{\"query\":\"zzz_unknown_word_{}\"}}\n", 42))
+        .unwrap();
+    assert_eq!(unknown["error"]["kind"], "query");
+
+    let mut req = SearchRequest::new(format!("{} AND {}", terms[0], terms[1]));
+    req.backend = ipm_core::BackendChoice::Disk;
+    assert_eq!(client.search(&req).unwrap()["ok"].as_bool(), Some(true));
+    assert_eq!(
+        client.search(&req).unwrap()["result"]["served_from_cache"],
+        true
+    );
+
+    let stats = client.stats().unwrap();
+    let s = &stats["stats"];
+    assert_eq!(s["served"].as_u64(), Some(2));
+    assert_eq!(s["protocol_errors"].as_u64(), Some(2));
+    assert_eq!(s["workers"].as_u64(), Some(2));
+    assert!(s["cache"]["hits"].as_u64().unwrap() >= 1);
+    assert!(
+        s["io"]["disk"]["sequential_fetches"].as_u64().unwrap() > 0,
+        "disk-backed query must show up in the per-backend IO aggregate"
+    );
+    assert_eq!(s["io"]["memory"]["random_fetches"].as_u64(), Some(0));
+    let snap = handle.stats();
+    assert_eq!(snap.served, 2);
+    assert_eq!(snap.protocol_errors, 2);
+
+    // Graceful shutdown over the wire: the verb is acknowledged, then the
+    // server drains and joins.
+    let bye = client.shutdown_server().unwrap();
+    assert_eq!(bye["bye"].as_bool(), Some(true));
+    handle.join();
+
+    // The port no longer accepts work.
+    let gone = Client::connect(&addr).and_then(|mut c| c.ping()).is_err();
+    assert!(gone, "server must stop accepting after graceful shutdown");
+
+    // Handle-initiated shutdown is idempotent.
+    let mut h2 = spawn(build_engine(true), 1, 4);
+    h2.shutdown();
+    h2.shutdown();
+}
+
+/// A request line exceeding the server's cap must not buffer unboundedly:
+/// the connection is answered with a parse error (when the response
+/// survives the close) or dropped, and the server stays healthy.
+#[test]
+fn oversized_request_lines_are_rejected_not_buffered() {
+    let handle = spawn(build_engine(true), 1, 4);
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    // 300 KiB without a newline exceeds the server's line cap. An Err is
+    // acceptable too: the server may close the connection mid-write.
+    let huge = "x".repeat(300 * 1024);
+    if let Ok(resp) = client.roundtrip(&huge) {
+        assert_eq!(resp["error"]["kind"], "parse");
+    }
+    // The server survives and keeps serving fresh connections.
+    let terms = top_terms(handle.engine(), 2);
+    let mut fresh = Client::connect(&addr).expect("reconnect");
+    let ok = fresh
+        .search(&SearchRequest::new(format!("{} OR {}", terms[0], terms[1])))
+        .expect("roundtrip");
+    assert_eq!(ok["ok"].as_bool(), Some(true));
+}
+
+/// Load-generator sanity on a healthy server: zero protocol errors and a
+/// throughput figure (this is the same closed-loop driver CI's smoke job
+/// runs against `ipm serve`).
+#[test]
+fn load_generator_reports_clean_run() {
+    let handle = spawn(build_engine(true), 4, 64);
+    let terms = top_terms(handle.engine(), 2);
+    let mut req = SearchRequest::new(format!("{} OR {}", terms[0], terms[1]));
+    req.k = 5;
+    req.delay_ms = 2;
+    let report = run_load(&handle.addr().to_string(), 8, 5, &req).expect("load");
+    assert_eq!(report.sent, 40);
+    assert_eq!(report.ok + report.overloaded, 40);
+    assert_eq!(report.errors, 0, "clean run: {report}");
+    assert!(report.throughput() > 0.0);
+    // Identical requests: after the first execution the result cache
+    // serves repeats, and the burst itself coalesces — the engine must
+    // have executed far fewer than 40 queries.
+    let cache = handle.engine().cache_stats();
+    assert!(cache.hits > 0, "repeats must hit the result cache");
+}
