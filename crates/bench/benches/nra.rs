@@ -70,7 +70,7 @@ fn bench_batch_size_ablation(c: &mut Criterion) {
                     &NraConfig {
                         k: 5,
                         batch_size: bs,
-                        lists_are_partial: false,
+                        ..Default::default()
                     },
                 )
             })

@@ -15,32 +15,39 @@
 //!   traversal entirely — hit/miss counters sit next to
 //!   [`QueryEngine::queries_served`];
 //! * optional §5.6 redundancy filtering, composed with every algorithm,
-//!   backend and NRA fraction.
+//!   backend and NRA fraction;
+//! * **partitioned intra-query execution**: requests are resolved by a
+//!   planner ([`crate::plan::QueryPlan`]) into an algorithm, a backend and
+//!   a shard fanout; the executor runs the algorithm per phrase-id shard
+//!   on scoped threads and merges the local top-k under the deterministic
+//!   result order (see [`crate::plan`] for why the merge is exact).
+//!   Sharded index layouts (memory and disk) are built lazily per fanout
+//!   and cached.
 //!
 //! All index state is immutable after build, so clones of the engine can
 //! be handed to any number of threads. Disk-backed requests serialize on
-//! an internal lock: the simulated buffer pool is shared, and per-query
-//! cold-cache IO accounting (the paper's §5.5 methodology) is only
-//! meaningful for one query at a time.
+//! an internal lock: the simulated buffer pools model one device set, and
+//! per-query cold-cache IO accounting (the paper's §5.5 methodology) is
+//! only meaningful for one query at a time — shards of a single query
+//! still run in parallel, each against its own per-shard pool.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 use crate::cache::{CacheConfig, CacheStats, ShardedLruCache};
-use crate::delta::{AdjustedCursor, DeltaIndex};
-use crate::exact;
+use crate::delta::DeltaIndex;
 use crate::miner::PhraseMiner;
-use crate::nra::{run_nra, NraConfig};
 use crate::parse::ParseError;
+use crate::plan::{ExecContext, QueryPlan};
 use crate::query::{Operator, Query};
 use crate::redundancy::RedundancyConfig;
 use crate::result::PhraseHit;
 use crate::scoring::estimated_interestingness;
-use crate::smj::run_smj_backend;
-use crate::ta::run_ta_backend;
-use ipm_index::backend::ListBackend;
-use ipm_storage::{DiskLists, IoStats};
+use ipm_corpus::hash::FxHashMap;
+use ipm_index::backend::MemoryBackend;
+use ipm_index::sharding::{ListShard, ShardedWordLists};
+use ipm_storage::{CostModel, DiskLists, IoStats, PoolConfig, ShardedDiskImage};
 
 /// Which retrieval algorithm serves a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -88,7 +95,15 @@ pub struct SearchOptions {
     /// NRA runs with partial-list bound semantics because the stale list
     /// order no longer guarantees its pruning bounds (paper §4.5.1). The
     /// other algorithms ignore the flag. A no-op when no delta is attached.
+    /// Composes with `shards`: corrections apply per shard (every shard
+    /// cursor streams corrected probabilities).
     pub use_delta: bool,
+    /// Intra-query shard fanout: run this request over that many disjoint
+    /// phrase-id partitions in parallel and merge the per-shard top-k
+    /// (exact on the default full-list path; see [`crate::plan`]). `None`
+    /// uses the engine's configured default ([`EngineConfig::shards`]);
+    /// the planner clamps to [`crate::plan::MAX_SHARDS`].
+    pub shards: Option<usize>,
 }
 
 /// Engine construction options.
@@ -103,6 +118,12 @@ pub struct EngineConfig {
     pub disk_fraction: f64,
     /// Result-cache sizing; `None` disables caching.
     pub cache: Option<CacheConfig>,
+    /// Default intra-query shard fanout for requests that leave
+    /// [`SearchOptions::shards`] unset. `1` (the default) executes
+    /// unsharded on the calling thread; `N > 1` splits every list by
+    /// phrase-id range into `N` partitions served on `N` scoped threads,
+    /// turning per-query latency into a function of core count.
+    pub shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -110,6 +131,7 @@ impl Default for EngineConfig {
         Self {
             disk_fraction: 1.0,
             cache: Some(CacheConfig::default()),
+            shards: 1,
         }
     }
 }
@@ -136,10 +158,14 @@ pub struct SearchResponse {
     pub elapsed: Duration,
     /// Simulated IO performed by *this* request (disk backend only;
     /// `None` on the memory backend and on cache hits, which perform no
-    /// list IO at all).
+    /// list IO at all). For a sharded disk run this is the aggregate over
+    /// all shard pools.
     pub io: Option<IoStats>,
     /// Whether the result came from the query cache.
     pub served_from_cache: bool,
+    /// The shard fanout the planner resolved for this request (`1` =
+    /// unsharded execution).
+    pub shards: usize,
 }
 
 /// A cloneable, thread-safe handle to an immutable phrase-mining index.
@@ -170,11 +196,22 @@ pub struct CacheKey {
     /// within one cache generation this flag fully determines the
     /// delta-corrected result.
     use_delta: bool,
+    /// The planner-resolved shard fanout (request override or engine
+    /// default, clamped). Approximate paths (partial fractions, truncated
+    /// images, delta corrections) can legitimately return different
+    /// results under different shard layouts, so cached entries must
+    /// never be shared across fanouts — but requests that *resolve* to
+    /// the same fanout (e.g. `None` vs an explicit default) share one
+    /// entry.
+    shards: usize,
 }
 
 impl CacheKey {
-    /// Builds the key for one request.
-    pub fn new(query: &Query, k: usize, options: &SearchOptions) -> Self {
+    /// Builds the key for one request. `resolved_shards` is the fanout
+    /// the planner resolved for it ([`QueryPlan::resolve`] — resolve
+    /// once, key once), so requests that resolve identically share one
+    /// entry.
+    pub fn new(query: &Query, k: usize, options: &SearchOptions, resolved_shards: usize) -> Self {
         let mut features: Vec<u64> = query.features.iter().map(|f| f.encode()).collect();
         features.sort_unstable();
         Self {
@@ -186,8 +223,28 @@ impl CacheKey {
             fraction_bits: options.nra_fraction.unwrap_or(1.0).to_bits(),
             redundancy_bits: options.redundancy.as_ref().map(|r| r.max_overlap.to_bits()),
             use_delta: options.use_delta,
+            shards: resolved_shards,
         }
     }
+}
+
+/// Most distinct shard layouts the engine keeps cached at once. The
+/// fanout is client-controllable per request (CLI flag, wire field) and
+/// every layout pins a full copy of the word lists (plus, after a
+/// disk-backed request, a serialized disk image) — without a bound, a
+/// client sweeping fanouts 2..=64 would pin ~63 index-sized copies and
+/// OOM the server. Least-recently-used non-default layouts are evicted;
+/// in-flight queries keep theirs alive through their `Arc`.
+const MAX_CACHED_LAYOUTS: usize = 4;
+
+/// One lazily built shard layout: the in-memory partitions, plus (once a
+/// disk-backed sharded request arrives) their serialized disk images.
+#[derive(Debug)]
+struct ShardedIndex {
+    mem: ShardedWordLists,
+    disk: OnceLock<ShardedDiskImage>,
+    /// Eviction stamp (engine-wide logical clock; larger = more recent).
+    last_used: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -197,9 +254,21 @@ struct Inner {
     disk: OnceLock<DiskLists>,
     disk_fraction: f64,
     /// Serializes disk-backed execution for exact per-query IO accounting
-    /// over the shared simulated pool.
+    /// over the shared simulated pool. Held across a whole sharded fan-out
+    /// too: shards of *one* query run in parallel against their own pools,
+    /// but two concurrent queries must not interleave.
     disk_gate: Mutex<()>,
     cache: Option<ShardedLruCache<CacheKey, Arc<Vec<SearchHit>>>>,
+    /// Default shard fanout for requests that don't specify one.
+    default_shards: usize,
+    /// Lazily built shard layouts, keyed by fanout (a request may ask for
+    /// any fanout; layouts are built once and reused, bounded by
+    /// [`MAX_CACHED_LAYOUTS`] with LRU eviction).
+    sharded: RwLock<FxHashMap<usize, Arc<ShardedIndex>>>,
+    /// Logical clock stamping layout use for eviction.
+    layout_clock: AtomicU64,
+    /// Uncached executions that fanned out to more than one shard.
+    sharded_queries: AtomicU64,
     served: AtomicU64,
     /// The attached §4.5.1 side index over inserted/deleted documents;
     /// `None` until [`QueryEngine::attach_delta`]. Attaching, updating or
@@ -233,6 +302,10 @@ impl QueryEngine {
                 disk_fraction: config.disk_fraction,
                 disk_gate: Mutex::new(()),
                 cache: config.cache.map(ShardedLruCache::new),
+                default_shards: config.shards.max(1),
+                sharded: RwLock::new(FxHashMap::default()),
+                layout_clock: AtomicU64::new(0),
+                sharded_queries: AtomicU64::new(0),
                 served: AtomicU64::new(0),
                 delta: RwLock::new(None),
                 io_totals: Mutex::new(IoStats::default()),
@@ -256,6 +329,59 @@ impl QueryEngine {
     /// included).
     pub fn queries_served(&self) -> u64 {
         self.inner.served.load(Ordering::Relaxed)
+    }
+
+    /// The configured default shard fanout ([`EngineConfig::shards`]).
+    pub fn default_shards(&self) -> usize {
+        self.inner.default_shards
+    }
+
+    /// Uncached executions that fanned out across more than one shard
+    /// (cache hits are not counted — they run nothing).
+    pub fn sharded_queries(&self) -> u64 {
+        self.inner.sharded_queries.load(Ordering::Relaxed)
+    }
+
+    /// Number of shard layouts currently cached (bounded by
+    /// [`MAX_CACHED_LAYOUTS`]).
+    pub fn cached_layouts(&self) -> usize {
+        self.inner.sharded.read().unwrap().len()
+    }
+
+    /// The shard layout for fanout `n`, building it on first use and
+    /// evicting the least-recently-used non-default layout past the cap.
+    fn sharded_index(&self, n: usize) -> Arc<ShardedIndex> {
+        let stamp = self.inner.layout_clock.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(idx) = self.inner.sharded.read().unwrap().get(&n) {
+            idx.last_used.store(stamp, Ordering::Relaxed);
+            return idx.clone();
+        }
+        let mut map = self.inner.sharded.write().unwrap();
+        if let Some(idx) = map.get(&n) {
+            idx.last_used.store(stamp, Ordering::Relaxed);
+            return idx.clone();
+        }
+        while map.len() >= MAX_CACHED_LAYOUTS {
+            let victim = map
+                .iter()
+                .filter(|&(&key, _)| key != self.inner.default_shards)
+                .min_by_key(|(_, v)| v.last_used.load(Ordering::Relaxed))
+                .map(|(&key, _)| key);
+            match victim {
+                Some(key) => {
+                    map.remove(&key);
+                }
+                None => break,
+            }
+        }
+        let m = &self.inner.miner;
+        let idx = Arc::new(ShardedIndex {
+            mem: ShardedWordLists::build(m.lists(), m.id_lists(), m.index().dict.len(), n),
+            disk: OnceLock::new(),
+            last_used: AtomicU64::new(stamp),
+        });
+        map.insert(n, idx.clone());
+        idx
     }
 
     /// Result-cache hit/miss counters (all zero when the cache is
@@ -336,10 +462,12 @@ impl QueryEngine {
         Ok(self.execute(query, k, options))
     }
 
-    /// Serves an already-parsed query.
+    /// Serves an already-parsed query: planner, cache lookup, then the
+    /// (possibly sharded) executor.
     pub fn execute(&self, query: Query, k: usize, options: &SearchOptions) -> SearchResponse {
         let start = Instant::now();
-        let key = CacheKey::new(&query, k, options);
+        let plan = QueryPlan::resolve(options, self.inner.default_shards);
+        let key = CacheKey::new(&query, k, options, plan.shards);
         if let Some(cache) = &self.inner.cache {
             if let Some(hits) = cache.get(&key) {
                 self.inner.served.fetch_add(1, Ordering::Relaxed);
@@ -349,11 +477,15 @@ impl QueryEngine {
                     elapsed: start.elapsed(),
                     io: None,
                     served_from_cache: true,
+                    shards: plan.shards,
                 };
             }
         }
 
-        let (hits, io) = self.execute_uncached(&query, k, options);
+        let (hits, io) = self.execute_uncached(&query, k, options, &plan);
+        if plan.shards > 1 {
+            self.inner.sharded_queries.fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(cache) = &self.inner.cache {
             cache.insert(key, Arc::new(hits.clone()));
         }
@@ -364,18 +496,21 @@ impl QueryEngine {
             elapsed: start.elapsed(),
             io,
             served_from_cache: false,
+            shards: plan.shards,
         }
     }
 
-    /// Runs the query on the selected backend and resolves hit texts
-    /// (through the disk phrase file on the disk backend, so even the
-    /// exact scorer charges its final phrase lookups there — the paper's
-    /// last retrieval step).
+    /// Runs the planned query — one backend per shard — and resolves hit
+    /// texts (through the disk phrase file on the disk backend, so even
+    /// the exact scorer charges its final phrase lookups there — the
+    /// paper's last retrieval step; on a sharded image the lookup charges
+    /// the shard owning the hit).
     fn execute_uncached(
         &self,
         query: &Query,
         k: usize,
         options: &SearchOptions,
+        plan: &QueryPlan,
     ) -> (Vec<SearchHit>, Option<IoStats>) {
         let m = &self.inner.miner;
         // Snapshot the delta only when the request opted in; the Arc keeps
@@ -385,139 +520,85 @@ impl QueryEngine {
         } else {
             None
         };
-        let delta = delta_snapshot.as_deref();
-        match options.backend {
+        let ctx = ExecContext {
+            miner: m,
+            options,
+            image_truncated: matches!(plan.backend, BackendChoice::Disk)
+                && self.inner.disk_fraction < 1.0,
+            delta: delta_snapshot.as_deref(),
+            exact_probes: m.config().smj_fraction.is_none_or(|f| f >= 1.0),
+        };
+        let resolve = |hit: PhraseHit, text: String| SearchHit {
+            text,
+            interestingness: estimated_interestingness(query.op, hit.score),
+            hit,
+        };
+        match plan.backend {
             BackendChoice::Memory => {
-                let hits = run_on_backend(m, &m.memory_backend(), query, k, options, false, delta);
+                let hits = if plan.shards == 1 {
+                    let backend = m.memory_backend();
+                    crate::plan::run_query(&ctx, &[&backend], query, k)
+                } else {
+                    let idx = self.sharded_index(plan.shards);
+                    let backends: Vec<MemoryBackend<'_>> =
+                        idx.mem.shards().iter().map(ListShard::backend).collect();
+                    let refs: Vec<&MemoryBackend<'_>> = backends.iter().collect();
+                    crate::plan::run_query(&ctx, &refs, query, k)
+                };
                 let resolved = hits
                     .into_iter()
-                    .map(|hit| SearchHit {
-                        text: m.phrase_text(hit.phrase),
-                        interestingness: estimated_interestingness(query.op, hit.score),
-                        hit,
-                    })
+                    .map(|hit| resolve(hit, m.phrase_text(hit.phrase)))
                     .collect();
                 (resolved, None)
             }
-            BackendChoice::Disk => {
+            BackendChoice::Disk if plan.shards == 1 => {
                 let disk = self.disk();
                 let _serial = self.inner.disk_gate.lock().unwrap();
                 disk.reset_io(); // per-query cold cache (paper §5.5)
-                let image_truncated = self.inner.disk_fraction < 1.0;
-                let hits = run_on_backend(m, disk, query, k, options, image_truncated, delta);
+                let hits = crate::plan::run_query(&ctx, &[disk], query, k);
                 let resolved = hits
                     .into_iter()
-                    .map(|hit| SearchHit {
-                        text: disk
+                    .map(|hit| {
+                        let text = disk
                             .phrase_text(hit.phrase)
-                            .unwrap_or_else(|| m.phrase_text(hit.phrase)),
-                        interestingness: estimated_interestingness(query.op, hit.score),
-                        hit,
+                            .unwrap_or_else(|| m.phrase_text(hit.phrase));
+                        resolve(hit, text)
                     })
                     .collect();
                 let io = disk.io_stats();
                 self.inner.io_totals.lock().unwrap().accumulate(&io);
                 (resolved, Some(io))
             }
-        }
-    }
-}
-
-/// Dispatches one request over any backend, composing the redundancy
-/// filter (over-fetch loop) with every algorithm — including NRA with a
-/// partial `nra_fraction`, which the pre-backend engine silently dropped
-/// when a redundancy filter was also set.
-///
-/// `image_truncated` says the backend's lists were already cut to a
-/// build-time fraction (a disk image serialized with
-/// `EngineConfig::disk_fraction < 1.0`): NRA must then treat exhausted
-/// cursors with partial-list semantics — the tail below the truncation
-/// point may still hold any phrase — even when no run-time
-/// `nra_fraction` was requested.
-///
-/// A non-empty `delta` wraps every NRA score cursor in an
-/// [`AdjustedCursor`] streaming §4.5.1-corrected probabilities; the stale
-/// list order then no longer guarantees NRA's bounds, so the run always
-/// uses partial-list semantics (corrected-NRA remains approximate, as the
-/// paper notes).
-#[allow(clippy::too_many_arguments)]
-fn run_on_backend<B: ListBackend>(
-    miner: &PhraseMiner,
-    backend: &B,
-    query: &Query,
-    k: usize,
-    options: &SearchOptions,
-    image_truncated: bool,
-    delta: Option<&DeltaIndex>,
-) -> Vec<PhraseHit> {
-    let fraction = options.nra_fraction.unwrap_or(1.0);
-    let fetch_k = |fetch: usize| -> Vec<PhraseHit> {
-        match options.algorithm {
-            Algorithm::Nra => {
-                let cfg = NraConfig {
-                    k: fetch,
-                    lists_are_partial: fraction < 1.0 || image_truncated || delta.is_some(),
-                    ..miner.config().nra.clone()
-                };
-                if let Some(d) = delta {
-                    let cursors: Vec<AdjustedCursor<'_, B::ScoreCursor<'_>>> = query
-                        .features
-                        .iter()
-                        .map(|&f| {
-                            AdjustedCursor::new(
-                                backend.score_cursor(f, fraction),
-                                d,
-                                miner.index(),
-                                f,
-                            )
-                        })
-                        .collect();
-                    return run_nra(cursors, query.op, &cfg).hits;
-                }
-                let cursors: Vec<B::ScoreCursor<'_>> = query
-                    .features
-                    .iter()
-                    .map(|&f| backend.score_cursor(f, fraction))
+            BackendChoice::Disk => {
+                let idx = self.sharded_index(plan.shards);
+                let image = idx.disk.get_or_init(|| {
+                    ShardedDiskImage::build(
+                        m.corpus(),
+                        &m.index().dict,
+                        &idx.mem,
+                        self.inner.disk_fraction,
+                        PoolConfig::default(),
+                        CostModel::default(),
+                    )
+                });
+                let _serial = self.inner.disk_gate.lock().unwrap();
+                image.reset_io(); // per-query cold cache across all shards
+                let refs: Vec<&DiskLists> = image.shards().iter().collect();
+                let hits = crate::plan::run_query(&ctx, &refs, query, k);
+                let resolved = hits
+                    .into_iter()
+                    .map(|hit| {
+                        let text = image
+                            .phrase_text(hit.phrase)
+                            .unwrap_or_else(|| m.phrase_text(hit.phrase));
+                        resolve(hit, text)
+                    })
                     .collect();
-                run_nra(cursors, query.op, &cfg).hits
+                let io = image.io_stats();
+                self.inner.io_totals.lock().unwrap().accumulate(&io);
+                (resolved, Some(io))
             }
-            Algorithm::Smj => run_smj_backend(backend, query, fetch),
-            Algorithm::Ta => run_ta_backend(backend, query, fetch).hits,
-            Algorithm::Exact => exact::exact_top_k(miner.index(), query, fetch),
         }
-    };
-    let mut hits = fetch_filtered(k, options.redundancy.as_ref(), fetch_k, |hits| {
-        if let Some(r) = options.redundancy.as_ref() {
-            crate::redundancy::filter_hits(&miner.index().dict, query, hits, r);
-        }
-    });
-    hits.truncate(k);
-    hits
-}
-
-/// Runs `fetch_k` at increasing depths until `k` results survive
-/// `filter`, mirroring [`PhraseMiner::top_k_nonredundant`]'s loop (first
-/// round `2k + 8`, doubling; stops once the unfiltered fetch comes back
-/// short, i.e. the candidate space is exhausted). Without a filter it is
-/// a single plain fetch.
-fn fetch_filtered(
-    k: usize,
-    red: Option<&RedundancyConfig>,
-    mut fetch_k: impl FnMut(usize) -> Vec<PhraseHit>,
-    mut filter: impl FnMut(&mut Vec<PhraseHit>),
-) -> Vec<PhraseHit> {
-    if red.is_none() {
-        return fetch_k(k);
-    }
-    let mut fetch = k * 2 + 8;
-    loop {
-        let mut hits = fetch_k(fetch);
-        let exhausted = hits.len() < fetch;
-        filter(&mut hits);
-        if hits.len() >= k || exhausted {
-            return hits;
-        }
-        fetch *= 2;
     }
 }
 
@@ -725,6 +806,7 @@ mod tests {
             EngineConfig {
                 disk_fraction: 0.5,
                 cache: None,
+                ..Default::default()
             },
         );
         for op in [Operator::And, Operator::Or] {
@@ -1035,6 +1117,361 @@ mod tests {
                 }
             });
         });
+    }
+
+    #[test]
+    fn sharded_execution_matches_unsharded_for_all_algorithms() {
+        let e = engine();
+        for op in [Operator::And, Operator::Or] {
+            let q = query_string(&e, op);
+            for backend in [BackendChoice::Memory, BackendChoice::Disk] {
+                for alg in ALL_ALGORITHMS {
+                    let base = e
+                        .search_with(
+                            &q,
+                            5,
+                            &SearchOptions {
+                                algorithm: alg,
+                                backend,
+                                ..Default::default()
+                            },
+                        )
+                        .unwrap();
+                    assert_eq!(base.shards, 1);
+                    for n in [2usize, 3, 8] {
+                        let sharded = e
+                            .search_with(
+                                &q,
+                                5,
+                                &SearchOptions {
+                                    algorithm: alg,
+                                    backend,
+                                    shards: Some(n),
+                                    ..Default::default()
+                                },
+                            )
+                            .unwrap();
+                        assert!(
+                            !sharded.served_from_cache,
+                            "distinct cache entry per fanout"
+                        );
+                        assert_eq!(sharded.shards, n);
+                        assert_eq!(
+                            base.hits.iter().map(|h| h.hit.phrase).collect::<Vec<_>>(),
+                            sharded
+                                .hits
+                                .iter()
+                                .map(|h| h.hit.phrase)
+                                .collect::<Vec<_>>(),
+                            "{alg:?}/{backend:?}/{op} @ {n} shards: phrase drift"
+                        );
+                        for (a, b) in base.hits.iter().zip(&sharded.hits) {
+                            assert!(
+                                (a.hit.score - b.hit.score).abs() < 1e-12,
+                                "{alg:?}/{backend:?}/{op} @ {n}: score drift"
+                            );
+                            assert_eq!(a.text, b.text);
+                        }
+                        if backend == BackendChoice::Disk {
+                            let io = sharded.io.expect("sharded disk run reports IO");
+                            assert!(io.total_accesses() > 0, "{alg:?}/{op}: no IO charged");
+                        }
+                    }
+                }
+            }
+        }
+        assert!(e.sharded_queries() > 0);
+    }
+
+    #[test]
+    fn sharded_merge_breaks_ties_deterministically() {
+        // Three phrases with byte-identical scores: the merge's total
+        // order (score desc, phrase id asc) must produce one canonical
+        // sequence regardless of shard count, thread interleaving, or
+        // repetition.
+        let mut b = ipm_corpus::CorpusBuilder::new(ipm_corpus::TokenizerConfig::default());
+        for t in [
+            "x aa", "x aa", "x bb", "x bb", "x cc", "x cc", "x dd", "x dd",
+        ] {
+            b.add_text(t);
+        }
+        let e = QueryEngine::new(PhraseMiner::build(
+            &b.build(),
+            MinerConfig {
+                index: IndexConfig {
+                    mining: MiningConfig {
+                        min_df: 2,
+                        max_len: 2,
+                        min_len: 1,
+                    },
+                },
+                ..Default::default()
+            },
+        ));
+        // Scores live on different scales per algorithm (the exact scorer
+        // returns interestingness, the list algorithms return aggregate
+        // scores), so each algorithm keeps its own canonical sequence —
+        // but phrase *order* must also agree across all of them.
+        let mut canonical_order: Option<Vec<ipm_corpus::PhraseId>> = None;
+        let mut canonical: [Option<Vec<(ipm_corpus::PhraseId, u64)>>; 4] = Default::default();
+        for _ in 0..10 {
+            for n in [1usize, 2, 3, 8] {
+                for (ai, alg) in ALL_ALGORITHMS.into_iter().enumerate() {
+                    let got: Vec<_> = e
+                        .search_with(
+                            "x",
+                            3,
+                            &SearchOptions {
+                                algorithm: alg,
+                                shards: Some(n),
+                                ..Default::default()
+                            },
+                        )
+                        .unwrap()
+                        .hits
+                        .iter()
+                        .map(|h| (h.hit.phrase, h.hit.score.to_bits()))
+                        .collect();
+                    let order: Vec<_> = got.iter().map(|&(p, _)| p).collect();
+                    match &canonical_order {
+                        None => canonical_order = Some(order),
+                        Some(want) => assert_eq!(
+                            &order, want,
+                            "{alg:?} @ {n} shards: tie order must be canonical"
+                        ),
+                    }
+                    match &canonical[ai] {
+                        None => canonical[ai] = Some(got),
+                        Some(want) => assert_eq!(
+                            &got, want,
+                            "{alg:?} @ {n} shards: results must be byte-identical"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_default_fanout_applies_when_request_leaves_it_unset() {
+        let (c, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+        let sharded_engine = QueryEngine::with_config(
+            PhraseMiner::build(&c, MinerConfig::default()),
+            EngineConfig {
+                shards: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(sharded_engine.default_shards(), 4);
+        let q = query_string(&sharded_engine, Operator::Or);
+        let resp = sharded_engine.search(&q, 5).unwrap();
+        assert_eq!(resp.shards, 4, "default fanout must apply");
+        assert_eq!(sharded_engine.sharded_queries(), 1);
+        // An explicit single-shard request on the same engine matches it.
+        let single = sharded_engine
+            .search_with(
+                &q,
+                5,
+                &SearchOptions {
+                    shards: Some(1),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(single.shards, 1);
+        assert_eq!(
+            resp.hits.iter().map(|h| h.hit.phrase).collect::<Vec<_>>(),
+            single.hits.iter().map(|h| h.hit.phrase).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn layout_cache_is_bounded_and_keeps_serving() {
+        // A client sweeping fanouts must not pin one full index copy per
+        // distinct value: the layout cache evicts LRU entries past its
+        // cap, and every fanout keeps serving correct results (a rebuilt
+        // layout is identical to the evicted one).
+        let e = engine();
+        let q = query_string(&e, Operator::Or);
+        let want: Vec<_> = e
+            .search(&q, 5)
+            .unwrap()
+            .hits
+            .iter()
+            .map(|h| h.hit.phrase)
+            .collect();
+        for n in 2..=12usize {
+            let got: Vec<_> = e
+                .search_with(
+                    &q,
+                    5,
+                    &SearchOptions {
+                        shards: Some(n),
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+                .hits
+                .iter()
+                .map(|h| h.hit.phrase)
+                .collect();
+            assert_eq!(got, want, "{n} shards after evictions");
+            assert!(
+                e.cached_layouts() <= 4,
+                "layout cache exceeded its bound: {}",
+                e.cached_layouts()
+            );
+        }
+        // A re-requested evicted fanout rebuilds and still matches.
+        let again: Vec<_> = e
+            .search_with(
+                &q,
+                6, // different k: bypass the result cache
+                &SearchOptions {
+                    shards: Some(2),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .hits
+            .iter()
+            .map(|h| h.hit.phrase)
+            .collect();
+        assert_eq!(again[..5], want[..]);
+    }
+
+    #[test]
+    fn cache_key_resolves_fanout_before_keying() {
+        // Requests that resolve to the same fanout must share one cache
+        // entry: `None` on a default-4 engine equals an explicit 4, and
+        // over-clamp values collapse onto MAX_SHARDS.
+        let (c, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+        let e = QueryEngine::with_config(
+            PhraseMiner::build(&c, MinerConfig::default()),
+            EngineConfig {
+                shards: 4,
+                ..Default::default()
+            },
+        );
+        let q = query_string(&e, Operator::Or);
+        assert!(!e.search(&q, 5).unwrap().served_from_cache);
+        let explicit = e
+            .search_with(
+                &q,
+                5,
+                &SearchOptions {
+                    shards: Some(4),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(
+            explicit.served_from_cache,
+            "explicit default fanout must hit the None-keyed entry"
+        );
+        let over = |n: usize| SearchOptions {
+            shards: Some(n),
+            ..Default::default()
+        };
+        assert!(
+            !e.search_with(&q, 5, &over(1_000))
+                .unwrap()
+                .served_from_cache
+        );
+        assert!(
+            e.search_with(&q, 5, &over(crate::plan::MAX_SHARDS))
+                .unwrap()
+                .served_from_cache,
+            "over-clamp fanouts must share the clamped entry"
+        );
+    }
+
+    #[test]
+    fn redundancy_filter_composes_with_sharding() {
+        let e = engine();
+        let q = query_string(&e, Operator::Or);
+        let red = RedundancyConfig::default();
+        for n in [1usize, 3] {
+            let resp = e
+                .search_with(
+                    &q,
+                    5,
+                    &SearchOptions {
+                        redundancy: Some(red),
+                        shards: Some(n),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            let query = &resp.query;
+            for h in &resp.hits {
+                let words = e.miner().index().dict.words(h.hit.phrase).unwrap();
+                assert!(
+                    crate::redundancy::overlap_fraction(words, query) < red.max_overlap,
+                    "{n} shards leaked redundant phrase {}",
+                    h.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_delta_composes_and_cache_invalidates() {
+        // §4.5.1 delta corrections apply per shard on the NRA path. With a
+        // k covering every candidate, each shard exhausts its corrected
+        // lists, so the merged result is the full corrected candidate set
+        // — identical across sharded fanouts, set-equal to the unsharded
+        // reference (whose upper-bound ranking may order ties differently),
+        // and re-ranked by the deterministic merge order.
+        let e = engine();
+        let q = query_string(&e, Operator::Or);
+        let top = ipm_corpus::stats::top_words_by_df(e.miner().corpus(), 2);
+        let mut delta = crate::delta::DeltaIndex::new();
+        for _ in 0..25 {
+            delta.add_document(e.miner().index(), &[top[0].0], &[]);
+        }
+        e.attach_delta(delta);
+        let k = 200;
+        let opts = |n: usize| SearchOptions {
+            use_delta: true,
+            shards: Some(n),
+            ..Default::default()
+        };
+        let reference = e.search_with(&q, k, &opts(1)).unwrap();
+        let mut want: Vec<_> = reference.hits.iter().map(|h| h.hit.phrase).collect();
+        want.sort_unstable();
+        let mut first: Option<Vec<(ipm_corpus::PhraseId, u64)>> = None;
+        for n in [2usize, 3, 8] {
+            let resp = e.search_with(&q, k, &opts(n)).unwrap();
+            // Deterministic merge order: score desc, ties by id asc.
+            for w in resp.hits.windows(2) {
+                assert!(
+                    w[0].hit.score > w[1].hit.score
+                        || (w[0].hit.score == w[1].hit.score && w[0].hit.phrase < w[1].hit.phrase),
+                    "sharded delta results must follow the merge total order"
+                );
+            }
+            let mut got: Vec<_> = resp.hits.iter().map(|h| h.hit.phrase).collect();
+            let pairs: Vec<_> = resp
+                .hits
+                .iter()
+                .map(|h| (h.hit.phrase, h.hit.score.to_bits()))
+                .collect();
+            match &first {
+                None => first = Some(pairs),
+                Some(want) => assert_eq!(&pairs, want, "{n} shards: fanout-dependent results"),
+            }
+            got.sort_unstable();
+            assert_eq!(got, want, "{n} shards: candidate set drift vs unsharded");
+        }
+        // Mutating the delta must clear sharded cache entries too.
+        assert!(e.search_with(&q, k, &opts(3)).unwrap().served_from_cache);
+        e.update_delta(|d| d.delete_document(ipm_corpus::DocId(0)));
+        assert!(
+            !e.search_with(&q, k, &opts(3)).unwrap().served_from_cache,
+            "update_delta must clear sharded entries"
+        );
+        e.detach_delta();
     }
 
     #[test]

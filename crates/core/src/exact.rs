@@ -16,8 +16,38 @@ use ipm_index::postings::Postings;
 
 /// Exact top-k interesting phrases for `query` (paper Eq. 3).
 pub fn exact_top_k(index: &CorpusIndex, query: &Query, k: usize) -> Vec<PhraseHit> {
+    exact_top_k_range(index, query, k, None)
+}
+
+/// Exact top-k restricted to phrases in the half-open id range — the
+/// sharded executor's per-partition arm (`None` = unrestricted). Each
+/// shard scans the same `D'` but counts only its own phrases, so the
+/// hash-aggregation (the hot part, linear in `Σ |forward(d)|`) partitions
+/// across shards and the merged per-shard top-k equals the global top-k
+/// exactly.
+pub fn exact_top_k_range(
+    index: &CorpusIndex,
+    query: &Query,
+    k: usize,
+    range: Option<(PhraseId, PhraseId)>,
+) -> Vec<PhraseHit> {
     let subset = materialize_subset(index, query);
-    exact_top_k_for_subset(index, &subset, k)
+    exact_top_k_for_subset_range(index, &subset, k, range)
+}
+
+/// [`exact_top_k_range`] over an already-materialized subset — the
+/// sharded executor materializes `D'` once per query and hands every
+/// shard the same postings, since subset algebra does not partition by
+/// phrase id.
+pub fn exact_top_k_for_subset_range(
+    index: &CorpusIndex,
+    subset: &Postings,
+    k: usize,
+    range: Option<(PhraseId, PhraseId)>,
+) -> Vec<PhraseHit> {
+    let mut hits = exact_scores_for_subset_range(index, subset, range);
+    truncate_top_k(&mut hits, k);
+    hits
 }
 
 /// Materializes `D'` for a query (Eq. 2).
@@ -37,10 +67,23 @@ pub fn exact_top_k_for_subset(index: &CorpusIndex, subset: &Postings, k: usize) 
 
 /// All phrases of `D'` with exact interestingness (unsorted).
 pub fn exact_scores_for_subset(index: &CorpusIndex, subset: &Postings) -> Vec<PhraseHit> {
+    exact_scores_for_subset_range(index, subset, None)
+}
+
+/// [`exact_scores_for_subset`] restricted to phrases in the half-open id
+/// range (`None` = unrestricted; one Eq. 1 implementation serves both the
+/// global scorer and the sharded executor's per-partition arm).
+pub fn exact_scores_for_subset_range(
+    index: &CorpusIndex,
+    subset: &Postings,
+    range: Option<(PhraseId, PhraseId)>,
+) -> Vec<PhraseHit> {
     let mut counts: FxHashMap<PhraseId, u32> = FxHashMap::default();
     for doc in subset.iter() {
         for &p in index.forward.doc(doc) {
-            *counts.entry(p).or_insert(0) += 1;
+            if range.is_none_or(|(lo, hi)| lo <= p && p < hi) {
+                *counts.entry(p).or_insert(0) += 1;
+            }
         }
     }
     counts
@@ -242,6 +285,23 @@ mod tests {
             .unwrap();
         assert!((df_hit.score - 1.0 / 3.0).abs() < 1e-12);
         assert!((occ_hit.score - 1.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_shards_partition_the_exact_ranking() {
+        let (c, index) = setup();
+        let q = Query::from_words(&c, &["q", "o"], Operator::Or).unwrap();
+        let full = exact_top_k(&index, &q, 1000);
+        let mid = PhraseId(index.dict.len() as u32 / 2);
+        let lo = exact_top_k_range(&index, &q, 1000, Some((PhraseId(0), mid)));
+        let hi = exact_top_k_range(&index, &q, 1000, Some((mid, PhraseId(u32::MAX))));
+        assert_eq!(lo.len() + hi.len(), full.len());
+        let mut merged: Vec<PhraseHit> = lo.into_iter().chain(hi).collect();
+        truncate_top_k(&mut merged, 1000);
+        for (a, b) in merged.iter().zip(&full) {
+            assert_eq!(a.phrase, b.phrase);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
     }
 
     #[test]

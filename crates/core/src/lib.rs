@@ -33,10 +33,16 @@
 //!   repeated interactive queries skip list traversal entirely;
 //! * [`miner`] — the high-level [`miner::PhraseMiner`] facade tying corpus,
 //!   indexes and algorithms together;
+//! * [`plan`] — the planner/executor split behind the engine:
+//!   [`plan::QueryPlan`] resolves algorithm/backend/shard-fanout, and the
+//!   executor fans a query across disjoint phrase-id shards on scoped
+//!   threads, merging per-shard top-k under a deterministic total order
+//!   (exact on the full-list path — scores factorize per phrase);
 //! * [`engine`] — a cloneable, thread-safe [`engine::QueryEngine`] serving
 //!   concurrent string queries over one immutable index, with per-request
-//!   algorithm *and* backend choice, per-query `IoStats` on the disk
-//!   backend, and cache hit/miss counters next to `queries_served`.
+//!   algorithm, backend *and* shard-fanout choice, per-query `IoStats` on
+//!   the disk backend, and cache hit/miss counters next to
+//!   `queries_served`.
 
 pub mod cache;
 pub mod delta;
@@ -46,6 +52,7 @@ pub mod measures;
 pub mod miner;
 pub mod nra;
 pub mod parse;
+pub mod plan;
 pub mod query;
 pub mod redundancy;
 pub mod result;
@@ -62,6 +69,7 @@ pub use engine::{
 pub use miner::{MinerConfig, PhraseMiner};
 pub use nra::{NraConfig, NraOutcome, TraversalStats};
 pub use parse::parse_query;
+pub use plan::{QueryPlan, MAX_SHARDS};
 pub use query::{Operator, Query};
 pub use redundancy::RedundancyConfig;
 pub use result::PhraseHit;

@@ -44,6 +44,22 @@ pub struct NraConfig {
     /// truncation point may still hold the phrase, so the last seen score
     /// remains the only safe bound.
     pub lists_are_partial: bool,
+    /// An externally known lower bound on the k-th best score of the
+    /// *final* result this run contributes to (`-∞` = none, the classic
+    /// standalone behaviour). The admission gate, pruning and the stop
+    /// test all use `max(local kth lower bound, lower_floor)`: candidates
+    /// whose ceiling cannot reach the floor are dead even when this run
+    /// has not yet found `k` of its own.
+    ///
+    /// This is the shard-coordination hook of partitioned execution
+    /// (TPUT-style): a shard's local k-th score is weaker than the global
+    /// one, so without a floor every shard must read far deeper than the
+    /// unsharded run to defend its own top-k; seeding the global floor
+    /// restores (and divides) the unsharded stopping depth. Safe for
+    /// correctness whenever the floor truly lower-bounds the final k-th
+    /// score: no phrase the merged result can contain is ever gated,
+    /// pruned, or stopped over.
+    pub lower_floor: f64,
 }
 
 impl Default for NraConfig {
@@ -52,6 +68,7 @@ impl Default for NraConfig {
             k: 5,
             batch_size: 1024,
             lists_are_partial: false,
+            lower_floor: f64::NEG_INFINITY,
         }
     }
 }
@@ -306,26 +323,34 @@ fn prune_and_check(
         pairs.select_nth_unstable_by(idx, |a, b| b.0.partial_cmp(&a.0).unwrap());
         pairs[idx].0
     };
+    // The effective defence line: the local k-th lower bound or the
+    // externally seeded floor, whichever is stronger.
+    let kth_eff = kth_lower.max(config.lower_floor);
 
     // Line 11: no new candidates once they cannot reach the top-k. `>=`
     // keeps admitting score ties (conservative).
-    *checknew = unseen_upper >= kth_lower;
+    *checknew = unseen_upper >= kth_eff;
 
     // Line 12: drop candidates whose ceiling is below the k-th floor.
-    if kth_lower > f64::NEG_INFINITY {
-        candidates.retain(|_, c| candidate_bounds(c, op, full_mask, &bounds).1 >= kth_lower);
+    if kth_eff > f64::NEG_INFINITY {
+        candidates.retain(|_, c| candidate_bounds(c, op, full_mask, &bounds).1 >= kth_eff);
     } else if matches!(op, Operator::And) {
         // Even without k candidates yet, AND candidates that can never be
         // completed (missing from a fully-read list) are dead.
         candidates.retain(|_, c| candidate_bounds(c, op, full_mask, &bounds).1 > f64::NEG_INFINITY);
     }
 
-    // Line 13: the top-k (by lower bound) is final when (a) no unseen
-    // phrase can reach it and (b) no candidate *outside* it can overtake,
-    // i.e. the maximum upper bound among the remaining candidates is at
-    // most the k-th best lower bound.
-    if kth_lower == f64::NEG_INFINITY || unseen_upper > kth_lower {
+    // Line 13: the current candidates are final when (a) no unseen phrase
+    // can reach the defended line and (b) no candidate *outside* the
+    // local top-k can overtake it. With a seeded floor and fewer than k
+    // local candidates, (b) is vacuous — everything retained is already
+    // in the returned set, and the floor alone defends against the
+    // unseen.
+    if kth_eff == f64::NEG_INFINITY || unseen_upper > kth_eff {
         return false;
+    }
+    if pairs.len() <= config.k {
+        return true;
     }
     // `pairs` is partitioned by lower bound around index k-1: elements
     // after it are exactly the non-top-k candidates.
@@ -333,7 +358,7 @@ fn prune_and_check(
         .iter()
         .map(|&(_, u)| u)
         .fold(f64::NEG_INFINITY, f64::max);
-    max_other_upper <= kth_lower
+    max_other_upper <= kth_eff
 }
 
 #[cfg(test)]
@@ -367,6 +392,7 @@ mod tests {
                 k,
                 batch_size: batch,
                 lists_are_partial: partial,
+                ..Default::default()
             },
         )
     }
@@ -565,5 +591,91 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
         let _ = run(&[vec![]], Operator::Or, 0, 1, false);
+    }
+
+    fn run_floor(
+        lists: &[Vec<ListEntry>],
+        op: Operator,
+        k: usize,
+        batch: usize,
+        floor: f64,
+    ) -> NraOutcome {
+        let cursors: Vec<MemoryCursor> = lists.iter().map(|l| MemoryCursor::new(l)).collect();
+        run_nra(
+            cursors,
+            op,
+            &NraConfig {
+                k,
+                batch_size: batch,
+                lists_are_partial: false,
+                lower_floor: floor,
+            },
+        )
+    }
+
+    #[test]
+    fn valid_floor_preserves_results_without_extra_reads() {
+        // A floor at the true k-th score must never change the result and
+        // never force deeper reads than the standalone run.
+        let l1: Vec<ListEntry> = entries(
+            &std::iter::once((1000, 0.9))
+                .chain((0..400).map(|i| (i, 0.4 - 0.0005 * i as f64)))
+                .collect::<Vec<_>>(),
+        );
+        let l2: Vec<ListEntry> = entries(
+            &std::iter::once((1000, 0.8))
+                .chain((400..800).map(|i| (i, 0.4 - 0.0005 * (i - 400) as f64)))
+                .collect::<Vec<_>>(),
+        );
+        let plain = run(&[l1.clone(), l2.clone()], Operator::Or, 2, 4, false);
+        // Floor at the true 2nd-best OR score (phrase 0: 0.4 + nothing in
+        // l2? phrase 1000 = 1.7 is 1st; 2nd best is 0.4).
+        let floored = run_floor(&[l1, l2], Operator::Or, 2, 4, 0.4);
+        assert_eq!(
+            plain.hits.iter().map(|h| h.phrase).collect::<Vec<_>>(),
+            floored.hits.iter().map(|h| h.phrase).collect::<Vec<_>>(),
+            "a valid floor must not change the result set"
+        );
+        assert!(
+            floored.stats.total_entries_read() <= plain.stats.total_entries_read(),
+            "floor {} vs plain {}",
+            floored.stats.total_entries_read(),
+            plain.stats.total_entries_read()
+        );
+    }
+
+    #[test]
+    fn floor_allows_stopping_with_fewer_than_k_candidates() {
+        // A "shard" holding only one phrase above the global floor: the
+        // run must stop (and return just that phrase) instead of scanning
+        // its whole tail defending a k it can never fill.
+        let l1: Vec<ListEntry> = entries(
+            &std::iter::once((7, 0.9))
+                .chain((0..500).map(|i| (i, 1e-4)))
+                .collect::<Vec<_>>(),
+        );
+        let l2: Vec<ListEntry> = entries(&[(7, 0.8)]);
+        let out = run_floor(&[l1, l2], Operator::Or, 5, 4, 0.5);
+        assert_eq!(out.hits[0].phrase, PhraseId(7));
+        assert!(
+            out.stats.stopped_early,
+            "floor must allow early stop below k candidates: {:?}",
+            out.stats
+        );
+        assert!(out.stats.total_entries_read() < 100);
+    }
+
+    #[test]
+    fn neg_infinity_floor_is_the_default_behaviour() {
+        let l1 = entries(&[(1, 0.5), (2, 0.45), (3, 0.3), (4, 0.2), (5, 0.1)]);
+        let l2 = entries(&[(3, 0.5), (1, 0.45), (5, 0.3), (2, 0.2), (4, 0.1)]);
+        let plain = run(&[l1.clone(), l2.clone()], Operator::Or, 2, 1, false);
+        let floored = run_floor(&[l1, l2], Operator::Or, 2, 1, f64::NEG_INFINITY);
+        let ids = |o: &NraOutcome| o.hits.iter().map(|h| h.phrase).collect::<Vec<_>>();
+        assert_eq!(ids(&plain), ids(&floored));
+        assert_eq!(
+            plain.stats.total_entries_read(),
+            floored.stats.total_entries_read()
+        );
     }
 }

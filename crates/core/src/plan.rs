@@ -1,0 +1,456 @@
+//! Planner and sharded executor for the query engine.
+//!
+//! [`crate::engine::QueryEngine::execute`] is split in two:
+//!
+//! * the **planner** ([`QueryPlan::resolve`]) turns a request's options
+//!   and the engine's defaults into an explicit plan — algorithm, backend,
+//!   and shard fanout;
+//! * the **executor** ([`run_query`]) runs that plan over one backend per
+//!   shard: each shard executes the chosen algorithm over its disjoint
+//!   phrase-id partition on its own thread (std scoped threads), and the
+//!   per-shard top-k are merged under the result total order — score
+//!   descending, ties by ascending phrase id ([`sort_hits`]) — so output
+//!   is byte-identical regardless of shard count or thread interleaving.
+//!
+//! **Why the merge is exact.** Scores factorize per phrase (paper
+//! Eq. 8/12): a phrase's aggregate depends only on its own list entries,
+//! and a phrase-id-range shard holds *all* of them. Each shard's run is
+//! therefore the unsharded algorithm on a complete sub-universe, and for
+//! the exactly-scoring algorithms (SMJ, TA on full probe lists, exact) the
+//! union of local top-k trivially contains the global top-k. NRA needs one
+//! extra step: its ranking is by *upper bound*, and an early-stopped run
+//! may return hits whose scores are still unresolved lower bounds that
+//! depend on how deep that particular run read. On the exact path (full
+//! lists, no delta, untruncated image, full probe lists) the executor
+//! resolves any such hit to its true aggregate with `r` random probes into
+//! the owning shard before merging, making the merged scores — and hence
+//! the merge order — independent of per-shard stopping points. Approximate
+//! paths (run-time `nra_fraction`, a build-time truncated image, delta
+//! corrections) stay approximate, exactly as unsharded NRA does, and their
+//! results may legitimately vary with the shard layout (each shard
+//! truncates or bounds its own lists); the cache keys on the shard config
+//! for precisely this reason.
+//!
+//! **Why NRA shards need a seeded floor.** A shard's local k-th score is
+//! far below the global k-th, so a standalone per-shard NRA run must read
+//! dramatically deeper (often to exhaustion, with a ballooning candidate
+//! set) before its own defence line beats the unseen-phrase bound —
+//! partitioning would then *cost* time instead of saving it. The executor
+//! therefore first scans a small top prefix of every shard list and
+//! aggregates partial sums ([`seed_floor`], the first rounds of the
+//! unsharded run, in the spirit of TPUT's phase 1): the k-th best partial
+//! sum is a certified lower bound on the merged k-th score, and every
+//! shard runs NRA with that bound pre-seeded
+//! (`NraConfig::lower_floor`). Each shard then stops at roughly the
+//! unsharded depth divided by the fanout — which is where the wall-clock
+//! speedup comes from.
+//!
+//! **Tie envelope (inherited, not introduced).** When NRA stops early,
+//! phrases whose score *exactly ties* the k-th score may be dropped in
+//! favour of tie-mates seen earlier — for the unsharded run just as for
+//! each shard. Within that envelope, sharded and unsharded results carry
+//! identical score sequences but may swap ids inside an exact-tie group
+//! at the boundary; whenever runs resolve fully (lists shorter than the
+//! prune batch — every test corpus) results are byte-identical.
+
+use crate::delta::{AdjustedCursor, DeltaIndex};
+use crate::engine::{Algorithm, BackendChoice, SearchOptions};
+use crate::exact;
+use crate::miner::PhraseMiner;
+use crate::nra::{run_nra, NraConfig};
+use crate::query::{Operator, Query};
+use crate::result::{sort_hits, PhraseHit};
+use crate::scoring::entry_score;
+use crate::smj::run_smj_backend;
+use crate::ta::run_ta_backend;
+use ipm_index::backend::ListBackend;
+use ipm_index::cursor::ScoredListCursor;
+
+/// Hard ceiling on a request's shard fanout (a safety clamp: each shard
+/// costs one thread per query; past the core count extra shards only add
+/// overhead).
+pub const MAX_SHARDS: usize = 64;
+
+/// A resolved execution plan: every choice the executor needs, made
+/// explicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// Retrieval algorithm.
+    pub algorithm: Algorithm,
+    /// List backend.
+    pub backend: BackendChoice,
+    /// Shard fanout (`1` = unsharded execution on the caller's thread).
+    pub shards: usize,
+}
+
+impl QueryPlan {
+    /// Resolves a request against the engine's defaults: the per-request
+    /// `shards` option wins, otherwise the engine's configured default
+    /// fanout applies; the result is clamped to `[1, MAX_SHARDS]`.
+    pub fn resolve(options: &SearchOptions, default_shards: usize) -> Self {
+        Self {
+            algorithm: options.algorithm,
+            backend: options.backend,
+            shards: options
+                .shards
+                .unwrap_or(default_shards)
+                .clamp(1, MAX_SHARDS),
+        }
+    }
+}
+
+/// Everything a shard worker needs besides its backend (shared read-only
+/// across the fan-out threads).
+pub(crate) struct ExecContext<'a> {
+    /// The miner (NRA tuning, corpus index for the exact arm and delta).
+    pub miner: &'a PhraseMiner,
+    /// The request options (algorithm, fraction, redundancy, ...).
+    pub options: &'a SearchOptions,
+    /// The backend's lists were truncated at build time
+    /// (`EngineConfig::disk_fraction < 1.0`): NRA must use partial-list
+    /// bounds even without a run-time fraction.
+    pub image_truncated: bool,
+    /// Delta corrections to apply on the NRA path (already snapshot and
+    /// non-empty).
+    pub delta: Option<&'a DeltaIndex>,
+    /// The backends' id-ordered (probe) lists are complete, so a random
+    /// probe returns the true `P(q|p)` — required for NRA score
+    /// resolution. False when the miner froze a build-time SMJ fraction.
+    pub exact_probes: bool,
+}
+
+impl ExecContext<'_> {
+    /// Whether this request runs NRA in its exact regime — the regime
+    /// where per-shard results can (and must) be resolved to true scores
+    /// so the merge is independent of per-shard stopping points.
+    fn exact_nra_path(&self) -> bool {
+        matches!(self.options.algorithm, Algorithm::Nra)
+            && self.options.nra_fraction.unwrap_or(1.0) >= 1.0
+            && !self.image_truncated
+            && self.delta.is_none()
+            && self.exact_probes
+    }
+}
+
+/// Entries of each shard list the threshold seed scans per feature (per
+/// fetch depth `f` the prefix is `SEED_PREFIX_PER_K · f + SEED_PREFIX_BASE`
+/// — the same growth shape as the redundancy over-fetch).
+const SEED_PREFIX_PER_K: usize = 2;
+const SEED_PREFIX_BASE: usize = 8;
+
+/// Smallest per-shard NRA prune batch: dividing the configured batch by
+/// the fanout must not degenerate into per-entry prune churn.
+const MIN_SHARD_BATCH: usize = 64;
+
+/// Per-shard NRA adjustments the fan-out hands each worker.
+#[derive(Debug, Clone, Copy)]
+struct NraTuning {
+    /// Seeded global defence line (`NraConfig::lower_floor`).
+    lower_floor: f64,
+    /// Fanout-scaled prune batch; `None` keeps the miner's configured
+    /// batch size.
+    batch_size: Option<usize>,
+}
+
+impl Default for NraTuning {
+    fn default() -> Self {
+        Self {
+            lower_floor: f64::NEG_INFINITY,
+            batch_size: None,
+        }
+    }
+}
+
+/// Computes a global lower bound ("floor") on the merged `fetch`-th best
+/// score by scanning the top prefix of every shard list and aggregating
+/// partial sums — effectively the first rounds of the *unsharded* NRA run
+/// (TPUT-style phase 1). Per-shard NRA runs then defend this floor
+/// instead of their own (weaker) local k-th bound, which restores — and
+/// divides across shards — the unsharded stopping depth; without it every
+/// shard must read dramatically deeper to defend a local top-k whose k-th
+/// score is far below the global one.
+///
+/// Returned partial sums are true lower bounds only on the exact path:
+/// OR sums are monotone in seen terms, and AND sums count only candidates
+/// seen in *every* feature's prefix (a missing log term would otherwise
+/// overestimate). Returns `-∞` when fewer than `fetch` bounded candidates
+/// were found — the floor is then simply inactive.
+fn seed_floor<B: ListBackend>(backends: &[&B], query: &Query, fetch: usize) -> f64 {
+    let prefix = fetch * SEED_PREFIX_PER_K + SEED_PREFIX_BASE;
+    let full_mask: u32 = if query.features.len() >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << query.features.len()) - 1
+    };
+    // phrase -> (partial sum, features seen). Each phrase's entries live
+    // in exactly one shard, so accumulating across shards never double
+    // counts.
+    let mut acc: ipm_corpus::hash::FxHashMap<ipm_corpus::PhraseId, (f64, u32)> =
+        ipm_corpus::hash::FxHashMap::default();
+    for b in backends {
+        for (i, &f) in query.features.iter().enumerate() {
+            let mut cur = b.score_cursor(f, 1.0);
+            for _ in 0..prefix {
+                let Some(e) = cur.next_entry() else { break };
+                let slot = acc.entry(e.phrase).or_insert((0.0, 0));
+                let bit = 1u32 << i;
+                if slot.1 & bit == 0 {
+                    slot.0 += entry_score(query.op, e.prob);
+                    slot.1 |= bit;
+                }
+            }
+        }
+    }
+    let mut lowers: Vec<f64> = acc
+        .into_values()
+        .filter_map(|(sum, mask)| match query.op {
+            Operator::Or => Some(sum),
+            Operator::And => (mask == full_mask).then_some(sum),
+        })
+        .collect();
+    if lowers.len() < fetch {
+        return f64::NEG_INFINITY;
+    }
+    let idx = fetch - 1;
+    lowers.select_nth_unstable_by(idx, |a, b| b.partial_cmp(a).unwrap());
+    lowers[idx]
+}
+
+/// Executes one planned query over `backends` (one per shard; a single
+/// entry runs inline on the caller's thread), composing the §5.6
+/// redundancy filter's over-fetch loop with the fan-out: every round
+/// fans the deeper fetch across all shards and filters the merged result.
+pub(crate) fn run_query<B: ListBackend + Sync>(
+    ctx: &ExecContext<'_>,
+    backends: &[&B],
+    query: &Query,
+    k: usize,
+) -> Vec<PhraseHit> {
+    let Some(red) = ctx.options.redundancy.as_ref() else {
+        let (mut hits, _) = fan_out(ctx, backends, query, k);
+        hits.truncate(k);
+        return hits;
+    };
+    // First round 2k + 8, doubling; stops once the shards produce fewer
+    // raw candidates than the fetch depth (candidate space exhausted).
+    // Exhaustion is judged on the *pre-resolution* count: AND phantoms
+    // that resolution drops were never real candidates, and mistaking
+    // their removal for exhaustion would end the loop before deeper, real
+    // candidates are read.
+    let mut fetch = k * 2 + 8;
+    loop {
+        let (mut hits, produced) = fan_out(ctx, backends, query, fetch);
+        let exhausted = produced < fetch;
+        crate::redundancy::filter_hits(&ctx.miner.index().dict, query, &mut hits, red);
+        if hits.len() >= k || exhausted {
+            hits.truncate(k);
+            return hits;
+        }
+        fetch *= 2;
+    }
+}
+
+/// Runs one fetch depth across every shard and merges: per-shard top-k on
+/// scoped threads, NRA resolution on the exact path, then the
+/// deterministic total order and truncation. Also returns the number of
+/// raw candidates the shards produced before resolution dropped phantoms
+/// and before truncation — capped at `fetch`, this is what the redundancy
+/// loop's exhaustion test must see.
+fn fan_out<B: ListBackend + Sync>(
+    ctx: &ExecContext<'_>,
+    backends: &[&B],
+    query: &Query,
+    fetch: usize,
+) -> (Vec<PhraseHit>, usize) {
+    let single = backends.len() == 1;
+    let mut merged: Vec<PhraseHit> = if single {
+        run_shard(ctx, backends[0], query, fetch, NraTuning::default())
+    } else {
+        // Seed the global defence line so each shard stops at (roughly)
+        // the unsharded depth divided by the fanout, instead of reading
+        // to the depth its much weaker local k-th bound would demand.
+        // Only the exact path can prove the floor is a true lower bound.
+        // The per-shard prune batch shrinks with the fanout for the same
+        // reason: a shard that could stop after depth/N entries must not
+        // be forced to read a full unsharded batch first (batch size
+        // never changes exact-path results — stops only move, and the
+        // merge resolves scores).
+        let tuning = if ctx.exact_nra_path() {
+            NraTuning {
+                lower_floor: seed_floor(backends, query, fetch),
+                batch_size: Some(
+                    (ctx.miner.config().nra.batch_size / backends.len()).max(MIN_SHARD_BATCH),
+                ),
+            }
+        } else {
+            NraTuning::default()
+        };
+        // The exact arm's subset algebra does not partition by phrase id;
+        // materialize D' once and let every shard count against it.
+        let subset = matches!(ctx.options.algorithm, Algorithm::Exact)
+            .then(|| exact::materialize_subset(ctx.miner.index(), query));
+        let subset = subset.as_ref();
+        let per: Vec<Vec<PhraseHit>> = std::thread::scope(|s| {
+            let handles: Vec<_> = backends
+                .iter()
+                .map(|&b| s.spawn(move || run_shard_with(ctx, b, query, fetch, tuning, subset)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        per.into_iter().flatten().collect()
+    };
+    let produced = merged.len().min(fetch);
+    if ctx.exact_nra_path() {
+        resolve_hits(backends, query, &mut merged);
+        sort_hits(&mut merged);
+    } else if !single {
+        // The deterministic merge order. A single-shard approximate NRA
+        // run keeps the algorithm's native upper-bound ranking (legacy
+        // semantics); every multi-shard merge uses the total order.
+        sort_hits(&mut merged);
+    }
+    merged.truncate(fetch);
+    (merged, produced)
+}
+
+/// One shard's work: the planned algorithm over one backend.
+fn run_shard<B: ListBackend>(
+    ctx: &ExecContext<'_>,
+    backend: &B,
+    query: &Query,
+    fetch: usize,
+    tuning: NraTuning,
+) -> Vec<PhraseHit> {
+    run_shard_with(ctx, backend, query, fetch, tuning, None)
+}
+
+/// [`run_shard`] with an optionally pre-materialized `D'` for the exact
+/// arm (shared across all shards of one fan-out).
+fn run_shard_with<B: ListBackend>(
+    ctx: &ExecContext<'_>,
+    backend: &B,
+    query: &Query,
+    fetch: usize,
+    tuning: NraTuning,
+    subset: Option<&ipm_index::postings::Postings>,
+) -> Vec<PhraseHit> {
+    let fraction = ctx.options.nra_fraction.unwrap_or(1.0);
+    match ctx.options.algorithm {
+        Algorithm::Nra => {
+            let base = &ctx.miner.config().nra;
+            let cfg = NraConfig {
+                k: fetch,
+                lists_are_partial: fraction < 1.0 || ctx.image_truncated || ctx.delta.is_some(),
+                lower_floor: tuning.lower_floor,
+                batch_size: tuning.batch_size.unwrap_or(base.batch_size),
+            };
+            if let Some(d) = ctx.delta {
+                let cursors: Vec<AdjustedCursor<'_, B::ScoreCursor<'_>>> = query
+                    .features
+                    .iter()
+                    .map(|&f| {
+                        AdjustedCursor::new(
+                            backend.score_cursor(f, fraction),
+                            d,
+                            ctx.miner.index(),
+                            f,
+                        )
+                    })
+                    .collect();
+                return run_nra(cursors, query.op, &cfg).hits;
+            }
+            let cursors: Vec<B::ScoreCursor<'_>> = query
+                .features
+                .iter()
+                .map(|&f| backend.score_cursor(f, fraction))
+                .collect();
+            run_nra(cursors, query.op, &cfg).hits
+        }
+        Algorithm::Smj => run_smj_backend(backend, query, fetch),
+        Algorithm::Ta => run_ta_backend(backend, query, fetch).hits,
+        Algorithm::Exact => match subset {
+            Some(s) => exact::exact_top_k_for_subset_range(
+                ctx.miner.index(),
+                s,
+                fetch,
+                backend.phrase_range(),
+            ),
+            None => {
+                exact::exact_top_k_range(ctx.miner.index(), query, fetch, backend.phrase_range())
+            }
+        },
+    }
+}
+
+/// Resolves every hit whose NRA bounds did not collapse to its true
+/// aggregate score via random probes into the owning shard (full probe
+/// lists: each probe returns the true `P(q|p)`). AND hits that turn out
+/// absent from some list resolve to `-∞` and are dropped — they were
+/// upper-bound phantoms, not real conjunctive matches.
+fn resolve_hits<B: ListBackend>(backends: &[&B], query: &Query, hits: &mut Vec<PhraseHit>) {
+    hits.retain_mut(|h| {
+        if h.is_resolved() {
+            return true;
+        }
+        let owner = backends
+            .iter()
+            .find(|b| b.owns_phrase(h.phrase))
+            .unwrap_or(&backends[0]);
+        let mut score = 0.0;
+        for &f in &query.features {
+            let p = owner.probe(f, h.phrase);
+            if p == 0.0 {
+                if matches!(query.op, Operator::And) {
+                    return false;
+                }
+            } else {
+                score += entry_score(query.op, p);
+            }
+        }
+        h.score = score;
+        h.lower = score;
+        h.upper = score;
+        true
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planner_applies_defaults_and_clamps() {
+        let opts = SearchOptions::default();
+        assert_eq!(QueryPlan::resolve(&opts, 1).shards, 1);
+        assert_eq!(QueryPlan::resolve(&opts, 4).shards, 4);
+        assert_eq!(QueryPlan::resolve(&opts, 0).shards, 1);
+        assert_eq!(QueryPlan::resolve(&opts, 10_000).shards, MAX_SHARDS);
+        let explicit = SearchOptions {
+            shards: Some(3),
+            ..Default::default()
+        };
+        assert_eq!(
+            QueryPlan::resolve(&explicit, 8).shards,
+            3,
+            "per-request fanout overrides the engine default"
+        );
+        assert_eq!(QueryPlan::resolve(&explicit, 8).algorithm, Algorithm::Nra);
+    }
+
+    #[test]
+    fn plan_carries_algorithm_and_backend() {
+        let opts = SearchOptions {
+            algorithm: Algorithm::Ta,
+            backend: BackendChoice::Disk,
+            shards: Some(200),
+            ..Default::default()
+        };
+        let plan = QueryPlan::resolve(&opts, 1);
+        assert_eq!(plan.algorithm, Algorithm::Ta);
+        assert_eq!(plan.backend, BackendChoice::Disk);
+        assert_eq!(plan.shards, MAX_SHARDS, "explicit fanout is clamped too");
+    }
+}

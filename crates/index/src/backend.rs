@@ -50,6 +50,22 @@ pub trait ListBackend {
 
     /// Entries in `feature`'s (untruncated) list; `0` if absent.
     fn list_len(&self, feature: Feature) -> usize;
+
+    /// The half-open phrase-id range `[lo, hi)` this backend's lists are
+    /// restricted to, or `None` when the backend serves the full phrase
+    /// space. Partitioned ("sharded") backends report their slice so an
+    /// executor can route per-phrase work — exact scoring, probe
+    /// resolution, result-text lookup — to the owning shard.
+    fn phrase_range(&self) -> Option<(PhraseId, PhraseId)> {
+        None
+    }
+
+    /// Whether this backend's partition owns `phrase` (always true for an
+    /// unsharded backend).
+    fn owns_phrase(&self, phrase: PhraseId) -> bool {
+        self.phrase_range()
+            .is_none_or(|(lo, hi)| lo <= phrase && phrase < hi)
+    }
 }
 
 /// Binary-searches an id-ordered list slice for a phrase's probability
@@ -68,13 +84,34 @@ pub fn probe_id_ordered(list: &[ListEntry], phrase: PhraseId) -> f64 {
 pub struct MemoryBackend<'m> {
     lists: &'m WordPhraseLists,
     id_lists: &'m IdOrderedLists,
+    /// Phrase-id partition this backend serves (`None` = full space).
+    range: Option<(PhraseId, PhraseId)>,
 }
 
 impl<'m> MemoryBackend<'m> {
     /// Bundles score-ordered and id-ordered lists (both built from the
     /// same source lists) into a backend.
     pub fn new(lists: &'m WordPhraseLists, id_lists: &'m IdOrderedLists) -> Self {
-        Self { lists, id_lists }
+        Self {
+            lists,
+            id_lists,
+            range: None,
+        }
+    }
+
+    /// A backend over one phrase-id shard: `lists` and `id_lists` must
+    /// already be restricted to `range` (see `crate::sharding`); the range
+    /// is carried so executors can route per-phrase work to the owner.
+    pub fn with_range(
+        lists: &'m WordPhraseLists,
+        id_lists: &'m IdOrderedLists,
+        range: (PhraseId, PhraseId),
+    ) -> Self {
+        Self {
+            lists,
+            id_lists,
+            range: Some(range),
+        }
     }
 
     /// The underlying score-ordered lists.
@@ -112,6 +149,10 @@ impl<'m> ListBackend for MemoryBackend<'m> {
 
     fn list_len(&self, feature: Feature) -> usize {
         self.lists.list(feature).len()
+    }
+
+    fn phrase_range(&self) -> Option<(PhraseId, PhraseId)> {
+        self.range
     }
 }
 

@@ -23,7 +23,11 @@
 //! * [`backend`] — the [`backend::ListBackend`] trait unifying score
 //!   cursors, id cursors and random probes, so `ipm-core`'s algorithms run
 //!   unchanged over memory ([`backend::MemoryBackend`]) or the simulated
-//!   disk (`ipm_storage::DiskLists`).
+//!   disk (`ipm_storage::DiskLists`);
+//! * [`sharding`] — [`sharding::ShardedWordLists`]: disjoint
+//!   phrase-id-range partitions of both list orders, each shard a complete
+//!   backend of its own, whose local top-k merge into the exact global
+//!   top-k (scores factorize per phrase).
 
 pub mod backend;
 pub mod corpus_index;
@@ -34,6 +38,7 @@ pub mod mining;
 pub mod occurrence;
 pub mod phrase;
 pub mod postings;
+pub mod sharding;
 pub mod wordlists;
 
 pub use backend::{ListBackend, MemoryBackend};
@@ -42,4 +47,5 @@ pub use cursor::{IdListCursor, MemoryCursor, MemoryIdCursor, ScoredListCursor};
 pub use mining::{mine_phrases, MiningConfig};
 pub use phrase::PhraseDictionary;
 pub use postings::Postings;
+pub use sharding::{ListShard, ShardedWordLists};
 pub use wordlists::{IdOrderedLists, ListEntry, WordPhraseLists};

@@ -376,6 +376,41 @@ pub struct IdOrderedLists {
 }
 
 impl IdOrderedLists {
+    /// Assembles id-ordered lists directly from per-feature entry vectors
+    /// (used when slicing an existing id-ordered list set into phrase-id
+    /// shards). Entries must already be in ascending phrase-id order, as
+    /// [`Self::from_score_ordered`] produces them.
+    ///
+    /// # Panics
+    /// Panics if a feature appears twice or a list is out of id order.
+    pub fn from_feature_lists(lists: Vec<(Feature, Vec<ListEntry>)>) -> Self {
+        let mut features = Vec::with_capacity(lists.len());
+        let mut slots = fx_map_with_capacity(lists.len());
+        let total: usize = lists.iter().map(|(_, l)| l.len()).sum();
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let mut entries = Vec::with_capacity(total);
+        offsets.push(0u64);
+        for (slot, (feat, list)) in lists.into_iter().enumerate() {
+            assert!(
+                slots.insert(feat.encode(), slot as u32).is_none(),
+                "duplicate feature in from_feature_lists"
+            );
+            assert!(
+                list.windows(2).all(|w| w[0].phrase < w[1].phrase),
+                "id-ordered list for {feat:?} is out of order"
+            );
+            features.push(feat);
+            entries.extend_from_slice(&list);
+            offsets.push(entries.len() as u64);
+        }
+        Self {
+            offsets,
+            entries,
+            slots,
+            features,
+        }
+    }
+
     /// Re-orders (a copy of) the given score-ordered lists by phrase id.
     /// Apply [`WordPhraseLists::partial`] first to get partial lists.
     pub fn from_score_ordered(lists: &WordPhraseLists) -> Self {

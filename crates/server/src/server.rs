@@ -26,7 +26,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ipm_core::{CacheKey, CacheStats, Query, QueryEngine, SearchOptions, SearchResponse};
+use ipm_core::{
+    CacheKey, CacheStats, Query, QueryEngine, QueryPlan, SearchOptions, SearchResponse,
+};
 use ipm_storage::IoStats;
 use serde_json::Value;
 
@@ -73,6 +75,11 @@ pub struct ServerStats {
     pub failed: u64,
     /// Engine-level queries executed or answered from cache.
     pub queries_served: u64,
+    /// The engine's default intra-query shard fanout.
+    pub default_shards: usize,
+    /// Engine-level uncached executions that fanned out across more than
+    /// one shard.
+    pub sharded_queries: u64,
     /// Engine result-cache counters.
     pub cache: CacheStats,
     /// Aggregate simulated IO of all disk-backed queries.
@@ -259,6 +266,8 @@ fn snapshot(shared: &Shared) -> ServerStats {
         protocol_errors: shared.counters.protocol_errors.load(Ordering::Relaxed),
         failed: shared.counters.failed.load(Ordering::Relaxed),
         queries_served: shared.engine.queries_served(),
+        default_shards: shared.engine.default_shards(),
+        sharded_queries: shared.engine.sharded_queries(),
         cache: shared.engine.cache_stats(),
         disk_io: shared.engine.io_totals(),
         queue_depth: shared.queue.depth(),
@@ -427,7 +436,8 @@ fn serve_search(shared: &Arc<Shared>, req: SearchRequest) -> String {
         }
     };
     let options = req.options();
-    let key = CacheKey::new(&query, req.k, &options);
+    let plan = QueryPlan::resolve(&options, shared.engine.default_shards());
+    let key = CacheKey::new(&query, req.k, &options, plan.shards);
     let started = Instant::now();
 
     let (result, coalesced) = match shared.flights.join(&key) {
@@ -528,6 +538,12 @@ fn stats_line(shared: &Arc<Shared>) -> String {
     stats.insert("protocol_errors".to_owned(), Value::from(s.protocol_errors));
     stats.insert("failed".to_owned(), Value::from(s.failed));
     stats.insert("queries_served".to_owned(), Value::from(s.queries_served));
+    // Shard-fanout surface: the engine default plus how many executions
+    // actually ran partitioned.
+    let mut shards = std::collections::BTreeMap::new();
+    shards.insert("default".to_owned(), Value::from(s.default_shards as u64));
+    shards.insert("sharded_queries".to_owned(), Value::from(s.sharded_queries));
+    stats.insert("shards".to_owned(), Value::Object(shards));
     stats.insert("cache".to_owned(), Value::Object(cache));
     stats.insert("io".to_owned(), Value::Object(io));
     stats.insert("queue_depth".to_owned(), Value::from(s.queue_depth));

@@ -87,6 +87,8 @@ pub struct SearchRequest {
     pub max_overlap: Option<f64>,
     /// Apply the engine's attached delta index on the NRA path.
     pub use_delta: bool,
+    /// Intra-query shard fanout (omitted = the server engine's default).
+    pub shards: Option<usize>,
     /// Artificial per-execution service time in milliseconds, applied by
     /// the worker before running the query. A load-testing knob: it makes
     /// coalescing and queue-shed behaviour deterministic to observe. The
@@ -105,6 +107,7 @@ impl SearchRequest {
             nra_fraction: None,
             max_overlap: None,
             use_delta: false,
+            shards: None,
             delay_ms: 0,
         }
     }
@@ -119,6 +122,7 @@ impl SearchRequest {
                 .max_overlap
                 .map(|max_overlap| RedundancyConfig { max_overlap }),
             use_delta: self.use_delta,
+            shards: self.shards,
         }
     }
 
@@ -143,6 +147,9 @@ impl SearchRequest {
         }
         if self.use_delta {
             map.insert("use_delta".to_owned(), Value::from(true));
+        }
+        if let Some(n) = self.shards {
+            map.insert("shards".to_owned(), Value::from(n as u64));
         }
         if self.delay_ms > 0 {
             map.insert("delay_ms".to_owned(), Value::from(self.delay_ms));
@@ -275,6 +282,18 @@ fn build_search(v: &Value) -> Result<WireRequest, String> {
     req.nra_fraction = field_f64(v, "nra_fraction")?;
     req.max_overlap = field_f64(v, "max_overlap")?;
     req.use_delta = field_bool(v, "use_delta", false)?;
+    // `0` means "use the server engine's default fanout", matching the
+    // CLI's `--shards 0` convention.
+    req.shards = match v.get("shards") {
+        None | Some(Value::Null) => None,
+        Some(x) => {
+            let n = x
+                .as_u64()
+                .ok_or("field 'shards' must be a non-negative integer")?
+                as usize;
+            (n > 0).then_some(n)
+        }
+    };
     req.delay_ms = field_u64(v, "delay_ms", 0)?;
     Ok(WireRequest::Search(req))
 }
@@ -326,6 +345,7 @@ pub fn response_value(resp: &SearchResponse, corpus: &Corpus) -> Value {
         "served_from_cache".to_owned(),
         Value::from(resp.served_from_cache),
     );
+    m.insert("shards".to_owned(), Value::from(resp.shards as u64));
     m.insert(
         "io".to_owned(),
         resp.io.as_ref().map(io_value).unwrap_or(Value::Null),
@@ -372,6 +392,7 @@ mod tests {
         req.nra_fraction = Some(0.5);
         req.max_overlap = Some(0.25);
         req.use_delta = true;
+        req.shards = Some(4);
         req.delay_ms = 3;
         let line = req.to_line();
         assert!(line.ends_with('\n'));
@@ -393,8 +414,21 @@ mod tests {
                 assert_eq!(s.nra_fraction, None);
                 assert_eq!(s.max_overlap, None);
                 assert!(!s.use_delta);
+                assert_eq!(s.shards, None);
                 assert_eq!(s.delay_ms, 0);
             }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_shards_means_server_default() {
+        match parse_request(r#"{"query":"a","shards":0}"#).unwrap() {
+            WireRequest::Search(s) => assert_eq!(s.shards, None),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match parse_request(r#"{"query":"a","shards":4}"#).unwrap() {
+            WireRequest::Search(s) => assert_eq!(s.shards, Some(4)),
             other => panic!("wrong variant: {other:?}"),
         }
     }
@@ -427,6 +461,7 @@ mod tests {
             r#"{"query":"a","method":"bogus"}"#,
             r#"{"query":"a","backend":"tape"}"#,
             r#"{"query":"a","delay_ms":-1}"#,
+            r#"{"query":"a","shards":"many"}"#,
         ] {
             assert!(parse_request(bad).is_err(), "accepted bad request: {bad}");
         }

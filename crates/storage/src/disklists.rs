@@ -32,6 +32,9 @@ pub struct DiskLists {
     phrases: PhraseListFile,
     pool: Mutex<BufferPool>,
     cost: CostModel,
+    /// Phrase-id partition this image serves (`None` = full space; see
+    /// [`DiskLists::shard_image`]).
+    range: Option<(PhraseId, PhraseId)>,
 }
 
 impl DiskLists {
@@ -79,6 +82,33 @@ impl DiskLists {
             phrases: PhraseListFile::build(corpus, dict),
             pool: Mutex::new(BufferPool::new(pool)),
             cost,
+            range: None,
+        }
+    }
+
+    /// Builds the disk image of **one phrase-id shard**: `lists` and
+    /// `id_lists` must already be restricted to `range` (see
+    /// `ipm_index::sharding`). Each shard serializes its own list regions
+    /// and owns its own [`BufferPool`] (one simulated device per
+    /// partition, so per-shard IO accounting stays deterministic under
+    /// parallel execution); the phrase file is shared across shards — its
+    /// `Bytes` image is reference-counted, so cloning costs a pointer, and
+    /// any shard can resolve any result phrase's text.
+    pub fn shard_image(
+        lists: &WordPhraseLists,
+        id_lists: &IdOrderedLists,
+        phrases: &PhraseListFile,
+        pool: PoolConfig,
+        cost: CostModel,
+        range: (PhraseId, PhraseId),
+    ) -> Self {
+        Self {
+            words: WordListFile::build(lists),
+            id_words: WordListFile::build_id_ordered(id_lists),
+            phrases: phrases.clone(),
+            pool: Mutex::new(BufferPool::new(pool)),
+            cost,
+            range: Some(range),
         }
     }
 
@@ -111,6 +141,12 @@ impl DiskLists {
     /// bytes.
     pub fn size_bytes(&self) -> usize {
         self.words.len_bytes() + self.id_words.len_bytes() + self.phrases.len_bytes()
+    }
+
+    /// Bytes of the phrase file alone (shard images share one phrase file;
+    /// aggregate size accounting must count it once).
+    pub fn phrase_bytes(&self) -> usize {
+        self.phrases.len_bytes()
     }
 
     /// Opens a cursor over the top-`fraction` prefix of `feature`'s
@@ -184,6 +220,10 @@ impl ListBackend for DiskLists {
 
     fn list_len(&self, feature: Feature) -> usize {
         DiskLists::list_len(self, feature)
+    }
+
+    fn phrase_range(&self) -> Option<(PhraseId, PhraseId)> {
+        self.range
     }
 }
 

@@ -20,7 +20,11 @@
 //!   build runs once and query processes cold-start from disk;
 //! * [`checksum`] — the CRC-32 used by [`persist`];
 //! * [`packed`] — the paper's bit-exact `⌈log₂|P|⌉ + 64`-bit list entries
-//!   (§4.2.2), built on the [`bits`] reader/writer.
+//!   (§4.2.2), built on the [`bits`] reader/writer;
+//! * [`sharded`] — [`sharded::ShardedDiskImage`]: one serialized list
+//!   region per phrase-id shard, one pool per shard (deterministic
+//!   per-shard accounting under parallel execution), one shared phrase
+//!   file.
 
 pub mod bits;
 pub mod checksum;
@@ -30,6 +34,7 @@ pub mod files;
 pub mod packed;
 pub mod persist;
 pub mod pool;
+pub mod sharded;
 
 pub use cost::{CostModel, IoStats};
 pub use disklists::DiskLists;
@@ -37,3 +42,4 @@ pub use files::{PhraseListFile, WordListFile};
 pub use packed::{PackedLists, PackedWordListFile};
 pub use persist::PersistError;
 pub use pool::{BufferPool, PoolConfig};
+pub use sharded::ShardedDiskImage;

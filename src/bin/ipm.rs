@@ -37,12 +37,14 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   ipm index  --input <file> --out <dir> [--min-df N] [--max-len N] [--fraction F]
+             [--shards N]
   ipm query  --input <file> <query string> [--k N] [--method nra|smj|ta|exact]
-             [--backend memory|disk] [--fraction F] [--json true]
+             [--backend memory|disk] [--fraction F] [--shards N] [--json true]
   ipm serve  [--input <file>] [--host H] [--port N] [--workers N]
-             [--queue-depth N] [--cache true|false] [--min-df N] [--max-len N]
+             [--queue-depth N] [--cache true|false] [--shards N]
+             [--min-df N] [--max-len N]
   ipm client --addr <host:port> <query string> [--k N] [--method M] [--backend B]
-             [--delay-ms N] [--json true]
+             [--shards N] [--delay-ms N] [--json true]
   ipm client --addr <host:port> --stats true | --shutdown true
   ipm client --addr <host:port> --load-threads N [--load-requests N]
              [--delay-ms N] <query string>
@@ -52,9 +54,11 @@ const USAGE: &str = "usage:
 
 query strings: terms joined by AND or OR (one operator per query);
 key:value terms are metadata facets. Bare terms default to AND.
-repl reads one query per stdin line; repl and serve fall back to the
-synthetic demo corpus without --input. serve speaks the line-delimited
-JSON protocol documented in docs/protocol.md.";
+--shards N partitions every word list by phrase-id range and runs each
+query over the N partitions in parallel (exact merge; see
+docs/architecture.md). repl reads one query per stdin line; repl and
+serve fall back to the synthetic demo corpus without --input. serve
+speaks the line-delimited JSON protocol documented in docs/protocol.md.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -158,6 +162,10 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
     let input = flags.get("input").ok_or("index needs --input")?;
     let out = flags.get("out").ok_or("index needs --out")?;
     let fraction: f64 = flags.get_parsed("fraction", 1.0)?;
+    let shards: usize = flags.get_parsed("shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
 
     let corpus = load_corpus(input)?;
     let miner = build_miner(&corpus, &flags)?;
@@ -168,23 +176,52 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
     } else {
         miner.lists().clone()
     };
-    let word_file = ipm_storage::WordListFile::build(&lists);
+    // One word-list file per phrase-id shard (`--shards 1` keeps the
+    // classic single-file layout), plus one shared phrase file.
+    let mut wl_paths: Vec<String> = Vec::new();
+    if shards == 1 {
+        let word_file = ipm_storage::WordListFile::build(&lists);
+        let wl_path = format!("{out}/wordlists.ipw");
+        persist::save_word_lists(&word_file, &wl_path).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {wl_path} ({} entries, {} bytes)",
+            word_file.total_entries(),
+            word_file.len_bytes()
+        );
+        wl_paths.push(wl_path);
+    } else {
+        let id_lists = ipm_index::IdOrderedLists::from_score_ordered(&lists);
+        let sharded =
+            ipm_index::ShardedWordLists::build(&lists, &id_lists, miner.index().dict.len(), shards);
+        for (i, shard) in sharded.shards().iter().enumerate() {
+            let word_file = ipm_storage::WordListFile::build(shard.lists());
+            let wl_path = format!("{out}/wordlists.shard{i}.ipw");
+            persist::save_word_lists(&word_file, &wl_path).map_err(|e| e.to_string())?;
+            let (lo, hi) = shard.range();
+            println!(
+                "wrote {wl_path} (phrases [{}, {}), {} entries, {} bytes)",
+                lo.raw(),
+                hi.raw(),
+                word_file.total_entries(),
+                word_file.len_bytes()
+            );
+            wl_paths.push(wl_path);
+        }
+    }
     let phrase_file = ipm_storage::PhraseListFile::build(miner.corpus(), &miner.index().dict);
-    let wl_path = format!("{out}/wordlists.ipw");
     let pl_path = format!("{out}/phrases.ipp");
-    persist::save_word_lists(&word_file, &wl_path).map_err(|e| e.to_string())?;
     persist::save_phrase_list(&phrase_file, &pl_path).map_err(|e| e.to_string())?;
     println!(
-        "wrote {wl_path} ({} entries, {} bytes) and {pl_path} ({} phrases, {} bytes)",
-        word_file.total_entries(),
-        word_file.len_bytes(),
+        "wrote {pl_path} ({} phrases, {} bytes)",
         phrase_file.num_phrases(),
         phrase_file.len_bytes()
     );
     // Verify the files read back cleanly (checksums) before declaring success.
-    persist::load_word_lists(&wl_path).map_err(|e| format!("verification failed: {e}"))?;
+    for wl_path in &wl_paths {
+        persist::load_word_lists(wl_path).map_err(|e| format!("verification failed: {e}"))?;
+    }
     persist::load_phrase_list(&pl_path).map_err(|e| format!("verification failed: {e}"))?;
-    println!("verified: both files load with valid checksums");
+    println!("verified: all files load with valid checksums");
     Ok(())
 }
 
@@ -198,6 +235,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let k: usize = flags.get_parsed("k", 5)?;
     let method = flags.get("method").unwrap_or("nra");
     let fraction: f64 = flags.get_parsed("fraction", 1.0)?;
+    let shards: usize = flags.get_parsed("shards", 0)?;
     let json: bool = flags.get_parsed("json", false)?;
 
     let backend = flags.get("backend").unwrap_or("memory");
@@ -209,7 +247,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let engine = QueryEngine::new(miner);
     if json {
-        let options = search_options(method, backend, fraction)?;
+        let options = search_options(method, backend, fraction, shards)?;
         let resp = engine.execute(query, k, &options);
         // The exact wire shape the server's `result` field carries: CLI
         // and protocol stay one schema.
@@ -220,7 +258,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         );
         return Ok(());
     }
-    run_engine_and_print(&engine, query, k, method, backend, fraction)
+    run_engine_and_print(&engine, query, k, method, backend, fraction, shards)
 }
 
 fn cmd_demo(args: &[String]) -> Result<(), String> {
@@ -246,9 +284,13 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
     for backend in ["memory", "disk"] {
         for method in ["exact", "smj", "nra", "ta"] {
             println!("\n[{method} @ {backend}]");
-            run_engine_and_print(&engine, query.clone(), k, method, backend, 1.0)?;
+            run_engine_and_print(&engine, query.clone(), k, method, backend, 1.0, 0)?;
         }
     }
+    // The same query fanned across 4 phrase-id shards returns the same
+    // answer (exact merge; on a multi-core box also faster).
+    println!("\n[nra @ memory, 4 shards]");
+    run_engine_and_print(&engine, query.clone(), k, "nra", "memory", 1.0, 4)?;
     // A repeated request is answered from the result cache.
     let start = std::time::Instant::now();
     let resp = engine.execute(query, k, &SearchOptions::default());
@@ -264,19 +306,27 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Builds [`SearchOptions`] from CLI method/backend/fraction strings (the
-/// wire crate owns the name tables, so CLI and protocol agree).
-fn search_options(method: &str, backend: &str, fraction: f64) -> Result<SearchOptions, String> {
+/// Builds [`SearchOptions`] from CLI method/backend/fraction/shards values
+/// (the wire crate owns the name tables, so CLI and protocol agree;
+/// `shards == 0` means "engine default").
+fn search_options(
+    method: &str,
+    backend: &str,
+    fraction: f64,
+    shards: usize,
+) -> Result<SearchOptions, String> {
     Ok(SearchOptions {
         algorithm: wire::algorithm_from_str(method)?,
         backend: wire::backend_from_str(backend)?,
         nra_fraction: (fraction < 1.0).then_some(fraction),
+        shards: (shards > 0).then_some(shards),
         ..Default::default()
     })
 }
 
 /// Serves one query through the unified engine and prints the hits, the
 /// latency, and (for the disk backend) the simulated IO bill.
+#[allow(clippy::too_many_arguments)]
 fn run_engine_and_print(
     engine: &QueryEngine,
     query: Query,
@@ -284,8 +334,9 @@ fn run_engine_and_print(
     method: &str,
     backend: &str,
     fraction: f64,
+    shards: usize,
 ) -> Result<(), String> {
-    let options = search_options(method, backend, fraction)?;
+    let options = search_options(method, backend, fraction, shards)?;
     let resp = engine.execute(query, k, &options);
     if resp.hits.is_empty() {
         println!("(no phrases match)");
@@ -300,14 +351,19 @@ fn run_engine_and_print(
         );
     }
     let ms = resp.elapsed.as_secs_f64() * 1000.0;
+    let fanout = if resp.shards > 1 {
+        format!(", {} shards", resp.shards)
+    } else {
+        String::new()
+    };
     match resp.io {
         Some(io) => println!(
-            "({method} @ {backend}, {ms:.2} ms compute + {:.1} ms simulated IO: {} seq / {} rand fetches)",
+            "({method} @ {backend}{fanout}, {ms:.2} ms compute + {:.1} ms simulated IO: {} seq / {} rand fetches)",
             io.io_ms(engine.disk().cost_model()),
             io.sequential_fetches,
             io.random_fetches,
         ),
-        None => println!("({method} @ {backend}, {ms:.2} ms)"),
+        None => println!("({method} @ {backend}{fanout}, {ms:.2} ms)"),
     }
     Ok(())
 }
@@ -335,12 +391,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let workers: usize = flags.get_parsed("workers", 4)?;
     let queue_depth: usize = flags.get_parsed("queue-depth", 64)?;
     let cache: bool = flags.get_parsed("cache", true)?;
+    let shards: usize = flags.get_parsed("shards", 1)?;
 
     let miner = miner_from_flags(&flags)?;
     let engine = QueryEngine::with_config(
         miner,
         ipm_core::EngineConfig {
             cache: cache.then(Default::default),
+            shards: shards.max(1),
             ..Default::default()
         },
     );
@@ -354,9 +412,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     )
     .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
     println!(
-        "listening on {} ({workers} workers, queue depth {queue_depth}, cache {})",
+        "listening on {} ({workers} workers, queue depth {queue_depth}, cache {}, \
+         default shard fanout {})",
         handle.addr(),
         if cache { "on" } else { "off" },
+        engine.default_shards(),
     );
     eprintln!(
         "protocol: one JSON object per line (docs/protocol.md); \
@@ -406,6 +466,8 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     request.backend = wire::backend_from_str(flags.get("backend").unwrap_or("memory"))?;
     let fraction: f64 = flags.get_parsed("fraction", 1.0)?;
     request.nra_fraction = (fraction < 1.0).then_some(fraction);
+    let shards: usize = flags.get_parsed("shards", 0)?;
+    request.shards = (shards > 0).then_some(shards);
     request.delay_ms = flags.get_parsed("delay-ms", 0)?;
 
     if let Some(threads) = flags.get("load-threads") {

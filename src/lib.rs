@@ -17,8 +17,10 @@
 //!   or the simulated disk interchangeably), the incremental delta index,
 //!   the redundancy filter, alternative measures (PMI/NPMI), a
 //!   query-string parser, a sharded LRU query-result cache, the
-//!   high-level [`core::miner::PhraseMiner`] API and the thread-safe
-//!   [`core::engine::QueryEngine`] ([`ipm_core`]).
+//!   planner/executor split with partitioned (phrase-id-sharded)
+//!   intra-query execution, the high-level [`core::miner::PhraseMiner`]
+//!   API and the thread-safe [`core::engine::QueryEngine`]
+//!   ([`ipm_core`]).
 //! * [`baselines`] — the exact forward-index (Bedathur et al.), GM
 //!   (Gao & Michel) and Simitsis baselines ([`ipm_baselines`]).
 //! * [`eval`] — IR quality metrics, query harvesting, and the experiment
@@ -56,7 +58,10 @@
 //! buffer pool and reported as [`storage::IoStats`]). Repeated queries are
 //! answered from a sharded LRU result cache keyed by
 //! `(query, k, options)`; hit/miss counters sit next to
-//! `queries_served()`.
+//! `queries_served()`. Setting [`prelude::SearchOptions::shards`] (or
+//! [`prelude::EngineConfig::shards`] engine-wide) fans one query across
+//! that many disjoint phrase-id partitions on parallel threads with an
+//! exact deterministic merge — see `docs/architecture.md`.
 //!
 //! ```
 //! use interesting_phrases::prelude::*;
@@ -87,6 +92,7 @@ pub mod prelude {
     };
     pub use ipm_core::measures::Measure;
     pub use ipm_core::miner::{MinerConfig, PhraseMiner};
+    pub use ipm_core::plan::{QueryPlan, MAX_SHARDS};
     pub use ipm_core::query::{Operator, Query};
     pub use ipm_core::redundancy::RedundancyConfig;
     pub use ipm_core::result::PhraseHit;

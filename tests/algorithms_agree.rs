@@ -1,7 +1,8 @@
 //! Cross-algorithm consistency on harvested queries: TA, NRA, SMJ and the
 //! exact scorer must relate exactly as the theory says — and every
 //! algorithm must return the same answers whether it runs over the
-//! in-memory backend or the simulated-disk backend.
+//! in-memory backend or the simulated-disk backend, and whether it runs
+//! unsharded or fanned out across phrase-id shards.
 
 use interesting_phrases::prelude::*;
 use ipm_core::query::Operator as Op;
@@ -296,6 +297,100 @@ proptest! {
                 if !disk.served_from_cache {
                     let io = disk.io.expect("disk run reports IO");
                     prop_assert!(io.total_accesses() > 0, "{:?} {}: no IO charged", algorithm, op);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Sharded-execution parity (the partitioned-execution tentpole
+    /// invariant): on arbitrary corpora, every algorithm × backend must
+    /// return *identical* phrases and scores whether it runs unsharded or
+    /// fanned out across N ∈ {2, 3, 8} phrase-id shards — the per-shard
+    /// top-k merge is exact because scores factorize per phrase.
+    #[test]
+    fn sharded_matches_unsharded_for_all_algorithms_and_backends(
+        docs in proptest::prop::collection::vec(
+            proptest::prop::collection::vec(0u8..10, 2..20), 4..24),
+    ) {
+        let mut b = ipm_corpus::CorpusBuilder::new(ipm_corpus::TokenizerConfig::default());
+        for d in &docs {
+            let text: Vec<String> = d.iter().map(|t| format!("t{t}")).collect();
+            b.add_text(&text.join(" "));
+        }
+        let corpus = b.build();
+        let top = ipm_corpus::stats::top_words_by_df(&corpus, 2);
+        if top.len() < 2 {
+            return Ok(()); // degenerate single-word corpus: nothing to query
+        }
+        let miner = PhraseMiner::build(
+            &corpus,
+            MinerConfig {
+                index: ipm_index::corpus_index::IndexConfig {
+                    mining: ipm_index::mining::MiningConfig {
+                        min_df: 2,
+                        max_len: 3,
+                        min_len: 1,
+                    },
+                },
+                ..Default::default()
+            },
+        );
+        let engine = QueryEngine::new(miner);
+        let words: Vec<&str> = top
+            .iter()
+            .map(|&(w, _)| corpus.words().term(w).unwrap())
+            .collect();
+        for op in ["AND", "OR"] {
+            let input = format!("{} {op} {}", words[0], words[1]);
+            for backend in [BackendChoice::Memory, BackendChoice::Disk] {
+                for algorithm in [Algorithm::Nra, Algorithm::Smj, Algorithm::Ta, Algorithm::Exact] {
+                    let base = engine
+                        .search_with(&input, 5, &SearchOptions {
+                            algorithm,
+                            backend,
+                            ..Default::default()
+                        })
+                        .unwrap();
+                    prop_assert_eq!(base.shards, 1);
+                    for n in [2usize, 3, 8] {
+                        let sharded = engine
+                            .search_with(&input, 5, &SearchOptions {
+                                algorithm,
+                                backend,
+                                shards: Some(n),
+                                ..Default::default()
+                            })
+                            .unwrap();
+                        prop_assert_eq!(sharded.shards, n);
+                        prop_assert_eq!(
+                            base.hits.iter().map(|h| h.hit.phrase).collect::<Vec<_>>(),
+                            sharded.hits.iter().map(|h| h.hit.phrase).collect::<Vec<_>>(),
+                            "{:?}/{:?} {} @ {} shards: phrases diverge",
+                            algorithm, backend, op, n
+                        );
+                        for (a, b) in base.hits.iter().zip(&sharded.hits) {
+                            prop_assert!(
+                                (a.hit.score - b.hit.score).abs() < 1e-12,
+                                "{:?}/{:?} {} @ {}: score drift {} vs {}",
+                                algorithm, backend, op, n, a.hit.score, b.hit.score
+                            );
+                            prop_assert_eq!(&a.text, &b.text);
+                        }
+                        if backend == BackendChoice::Disk
+                            && !sharded.served_from_cache
+                            && !sharded.hits.is_empty()
+                        {
+                            let io = sharded.io.expect("sharded disk run reports IO");
+                            prop_assert!(
+                                io.total_accesses() > 0,
+                                "{:?} {} @ {}: no IO charged", algorithm, op, n
+                            );
+                        }
+                    }
                 }
             }
         }

@@ -204,7 +204,11 @@ proptest! {
     fn nra_matches_oracle(lists in scored_lists_strategy(), k in 1usize..8, batch in 1usize..64, op_or in any::<bool>()) {
         let op = if op_or { Operator::Or } else { Operator::And };
         let cursors: Vec<MemoryCursor> = lists.iter().map(|l| MemoryCursor::new(l)).collect();
-        let out = run_nra(cursors, op, &NraConfig { k, batch_size: batch, lists_are_partial: false });
+        let out = run_nra(cursors, op, &NraConfig {
+                k,
+                batch_size: batch,
+                ..Default::default()
+            });
         let want = oracle_top_k(&lists, op, k);
         // The returned top-k *set* must equal the oracle's (ties are
         // measure-zero under the float strategy). Reported scores may be
@@ -250,7 +254,11 @@ proptest! {
         // set must equal the oracle's.
         let k = 3;
         let cursors: Vec<MemoryCursor> = lists.iter().map(|l| MemoryCursor::new(l)).collect();
-        let out = run_nra(cursors, Operator::Or, &NraConfig { k, batch_size: batch, lists_are_partial: false });
+        let out = run_nra(cursors, Operator::Or, &NraConfig {
+                k,
+                batch_size: batch,
+                ..Default::default()
+            });
         let want = oracle_top_k(&lists, Operator::Or, k);
         let got_ids: BTreeSet<PhraseId> = out.hits.iter().map(|h| h.phrase).collect();
         let want_ids: BTreeSet<PhraseId> = want.iter().map(|(p, _)| *p).collect();

@@ -99,6 +99,41 @@ fn eight_clients_serve_byte_identical_hits() {
     assert!(stats.served >= 8 * queries.len() as u64);
 }
 
+/// Sharded requests over the wire: the `shards` field fans the query out
+/// server-side, hits stay byte-identical to the unsharded answer, the
+/// response reports the resolved fanout, and the stats verb surfaces the
+/// shard counters.
+#[test]
+fn sharded_requests_over_the_wire() {
+    let handle = spawn(build_engine(false), 2, 16);
+    let addr = handle.addr().to_string();
+    let terms = top_terms(handle.engine(), 2);
+    let mut client = Client::connect(&addr).expect("connect");
+    let mut base = SearchRequest::new(format!("{} OR {}", terms[0], terms[1]));
+    base.k = 5;
+    let unsharded = client.search(&base).expect("roundtrip");
+    assert_eq!(unsharded["ok"].as_bool(), Some(true));
+    assert_eq!(unsharded["result"]["shards"].as_u64(), Some(1));
+    for n in [2u64, 3, 8] {
+        let mut req = base.clone();
+        req.shards = Some(n as usize);
+        let resp = client.search(&req).expect("roundtrip");
+        assert_eq!(resp["ok"].as_bool(), Some(true), "{n} shards: {resp:?}");
+        assert_eq!(resp["result"]["shards"].as_u64(), Some(n));
+        assert_eq!(
+            serde_json::to_string(&resp["result"]["hits"]).unwrap(),
+            serde_json::to_string(&unsharded["result"]["hits"]).unwrap(),
+            "{n}-shard wire results must be byte-identical to unsharded"
+        );
+    }
+    let stats = client.stats().expect("stats");
+    let s = &stats["stats"];
+    assert_eq!(s["shards"]["default"].as_u64(), Some(1));
+    assert_eq!(s["shards"]["sharded_queries"].as_u64(), Some(3));
+    assert_eq!(handle.stats().sharded_queries, 3);
+    assert_eq!(handle.stats().default_shards, 1);
+}
+
 /// Duplicate in-flight queries coalesce onto one execution: a barrier
 /// burst of 8 identical requests (cache disabled, so the result cache
 /// cannot absorb the repeats) must report a positive coalesced counter
