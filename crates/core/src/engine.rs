@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
+use crate::budget::{Budget, Completeness, SearchError, Trip};
 use crate::cache::{CacheConfig, CacheStats, ShardedLruCache};
 use crate::delta::DeltaIndex;
 use crate::miner::PhraseMiner;
@@ -42,6 +43,7 @@ use crate::parse::ParseError;
 use crate::plan::{ExecContext, QueryPlan};
 use crate::query::{Operator, Query};
 use crate::redundancy::RedundancyConfig;
+use crate::request::SearchRequest;
 use crate::result::PhraseHit;
 use crate::scoring::estimated_interestingness;
 use ipm_corpus::hash::FxHashMap;
@@ -124,6 +126,14 @@ pub struct EngineConfig {
     /// phrase-id range into `N` partitions served on `N` scoped threads,
     /// turning per-query latency into a function of core count.
     pub shards: usize,
+    /// Buffer-pool geometry of the lazily built disk image(s) — page
+    /// size, capacity, lookahead (the paper's §5.5 defaults). Smaller
+    /// pages make per-query fetch counts finer-grained, which tightens
+    /// what an [`crate::budget::Budget`] IO cap can enforce.
+    pub pool: PoolConfig,
+    /// Simulated per-fetch costs of the disk image(s) (§5.5 defaults:
+    /// 1 ms sequential, 10 ms random).
+    pub cost: CostModel,
 }
 
 impl Default for EngineConfig {
@@ -132,6 +142,8 @@ impl Default for EngineConfig {
             disk_fraction: 1.0,
             cache: Some(CacheConfig::default()),
             shards: 1,
+            pool: PoolConfig::default(),
+            cost: CostModel::default(),
         }
     }
 }
@@ -166,6 +178,12 @@ pub struct SearchResponse {
     /// The shard fanout the planner resolved for this request (`1` =
     /// unsharded execution).
     pub shards: usize,
+    /// How complete the result is: the exact top-k, an inherently
+    /// approximate configuration (partial lists, truncated image, delta
+    /// corrections — paper §4.3/§4.4), or a budget-truncated anytime
+    /// result. Budget-truncated responses are never cached; cache hits
+    /// report the completeness of the exact/approximate entry they serve.
+    pub completeness: Completeness,
 }
 
 /// A cloneable, thread-safe handle to an immutable phrase-mining index.
@@ -253,6 +271,9 @@ struct Inner {
     /// Lazily built disk image (first disk-backed request pays the build).
     disk: OnceLock<DiskLists>,
     disk_fraction: f64,
+    /// Buffer-pool geometry / cost model every disk image is built with.
+    pool: PoolConfig,
+    cost: CostModel,
     /// Serializes disk-backed execution for exact per-query IO accounting
     /// over the shared simulated pool. Held across a whole sharded fan-out
     /// too: shards of *one* query run in parallel against their own pools,
@@ -300,6 +321,8 @@ impl QueryEngine {
                 miner,
                 disk: OnceLock::new(),
                 disk_fraction: config.disk_fraction,
+                pool: config.pool,
+                cost: config.cost,
                 disk_gate: Mutex::new(()),
                 cache: config.cache.map(ShardedLruCache::new),
                 default_shards: config.shards.max(1),
@@ -320,9 +343,13 @@ impl QueryEngine {
 
     /// The disk image, building it on first use.
     pub fn disk(&self) -> &DiskLists {
-        self.inner
-            .disk
-            .get_or_init(|| self.inner.miner.to_disk(self.inner.disk_fraction))
+        self.inner.disk.get_or_init(|| {
+            self.inner.miner.to_disk_with(
+                self.inner.disk_fraction,
+                self.inner.pool,
+                self.inner.cost,
+            )
+        })
     }
 
     /// Queries served across all clones of this engine (cache hits
@@ -343,7 +370,7 @@ impl QueryEngine {
     }
 
     /// Number of shard layouts currently cached (bounded by
-    /// [`MAX_CACHED_LAYOUTS`]).
+    /// `MAX_CACHED_LAYOUTS`).
     pub fn cached_layouts(&self) -> usize {
         self.inner.sharded.read().unwrap().len()
     }
@@ -439,8 +466,33 @@ impl QueryEngine {
         self.inner.delta.read().unwrap().clone()
     }
 
+    /// Starts a budgeted, cancellable request for a query string — the
+    /// canonical API; `search`/`search_with`/`execute` are thin shims
+    /// over the same path.
+    ///
+    /// ```text
+    /// engine.request("trade AND reserves")
+    ///     .k(10)
+    ///     .algorithm(Algorithm::Nra)
+    ///     .backend(BackendChoice::Disk)
+    ///     .shards(4)
+    ///     .deadline(Duration::from_millis(50))
+    ///     .io_budget(10_000)
+    ///     .cancel_token(token)
+    ///     .run()?;
+    /// ```
+    pub fn request(&self, input: impl Into<String>) -> SearchRequest<'_> {
+        SearchRequest::new(self, input.into())
+    }
+
+    /// [`QueryEngine::request`] for an already-parsed [`Query`].
+    pub fn request_query(&self, query: Query) -> SearchRequest<'_> {
+        SearchRequest::for_query(self, query)
+    }
+
     /// Parses and serves a string query (`"trade AND reserves"`,
-    /// `"topic:t04 OR minister"`) with default options.
+    /// `"topic:t04 OR minister"`) with default options. A shim over
+    /// [`QueryEngine::request`] with an unlimited budget.
     ///
     /// # Errors
     /// Returns the parse error for malformed input or unknown terms.
@@ -448,7 +500,8 @@ impl QueryEngine {
         self.search_with(input, k, &SearchOptions::default())
     }
 
-    /// Parses and serves a string query with explicit options.
+    /// Parses and serves a string query with explicit options. A shim
+    /// over [`QueryEngine::request`] with an unlimited budget.
     ///
     /// # Errors
     /// Returns the parse error for malformed input or unknown terms.
@@ -462,42 +515,110 @@ impl QueryEngine {
         Ok(self.execute(query, k, options))
     }
 
-    /// Serves an already-parsed query: planner, cache lookup, then the
-    /// (possibly sharded) executor.
+    /// Serves an already-parsed query with an unlimited budget — the
+    /// legacy shim over [`QueryEngine::execute_with_budget`] (which is
+    /// infallible without a deadline or cancel token).
     pub fn execute(&self, query: Query, k: usize, options: &SearchOptions) -> SearchResponse {
+        self.execute_with_budget(query, k, options, Budget::none())
+            .expect("an unlimited budget cannot fail")
+    }
+
+    /// Serves an already-parsed query under an execution [`Budget`]:
+    /// planner, dead-on-arrival check, cache lookup, then the (possibly
+    /// sharded) executor with cooperative budget checks in every
+    /// algorithm loop. The single code path behind every public entry
+    /// point.
+    ///
+    /// A budget that trips *during* execution yields `Ok` with
+    /// [`Completeness::Truncated`] — the anytime result at the stopping
+    /// point (such responses are never cached). Cache hits perform no
+    /// list work and satisfy any budget.
+    ///
+    /// # Errors
+    /// [`SearchError::DeadlineExceeded`] when the deadline expired before
+    /// execution started; [`SearchError::Cancelled`] when the cancel
+    /// token fired before or during execution.
+    pub fn execute_with_budget(
+        &self,
+        query: Query,
+        k: usize,
+        options: &SearchOptions,
+        budget: &Budget,
+    ) -> Result<SearchResponse, SearchError> {
         let start = Instant::now();
+        if let Some(err) = budget.dead_on_arrival() {
+            return Err(err);
+        }
         let plan = QueryPlan::resolve(options, self.inner.default_shards);
         let key = CacheKey::new(&query, k, options, plan.shards);
+        // Snapshot the delta once (when requested): the executor streams
+        // through it and the completeness label reports it.
+        let delta_snapshot = if options.use_delta {
+            self.delta().filter(|d| !d.is_empty())
+        } else {
+            None
+        };
+        let base = crate::plan::base_completeness(
+            options,
+            matches!(plan.backend, BackendChoice::Disk) && self.inner.disk_fraction < 1.0,
+            delta_snapshot.is_some(),
+            self.exact_probes(),
+            plan.shards,
+        );
         if let Some(cache) = &self.inner.cache {
             if let Some(hits) = cache.get(&key) {
                 self.inner.served.fetch_add(1, Ordering::Relaxed);
-                return SearchResponse {
+                return Ok(SearchResponse {
                     query,
                     hits: hits.as_ref().clone(),
                     elapsed: start.elapsed(),
                     io: None,
                     served_from_cache: true,
                     shards: plan.shards,
-                };
+                    completeness: base,
+                });
             }
         }
 
-        let (hits, io) = self.execute_uncached(&query, k, options, &plan);
+        let (hits, io) = self.execute_uncached(&query, k, options, &plan, &delta_snapshot, budget);
+        let completeness = match budget.trip_cause() {
+            Some(Trip::Cancelled) => return Err(SearchError::Cancelled),
+            Some(trip) => Completeness::Truncated {
+                budget_hit: trip.budget_kind().expect("non-cancel trip maps to a kind"),
+            },
+            None => base,
+        };
         if plan.shards > 1 {
             self.inner.sharded_queries.fetch_add(1, Ordering::Relaxed);
         }
-        if let Some(cache) = &self.inner.cache {
-            cache.insert(key, Arc::new(hits.clone()));
+        if !completeness.is_truncated() {
+            // Truncated results reflect this request's budget, not the
+            // query — caching them would serve partial answers to
+            // unbudgeted callers.
+            if let Some(cache) = &self.inner.cache {
+                cache.insert(key, Arc::new(hits.clone()));
+            }
         }
         self.inner.served.fetch_add(1, Ordering::Relaxed);
-        SearchResponse {
+        Ok(SearchResponse {
             query,
             hits,
             elapsed: start.elapsed(),
             io,
             served_from_cache: false,
             shards: plan.shards,
-        }
+            completeness,
+        })
+    }
+
+    /// Whether the backends' id-ordered (probe) lists are complete (no
+    /// build-time SMJ fraction froze a prefix).
+    fn exact_probes(&self) -> bool {
+        self.inner
+            .miner
+            .config()
+            .smj_fraction
+            .is_none_or(|f| f >= 1.0)
     }
 
     /// Runs the planned query — one backend per shard — and resolves hit
@@ -511,28 +632,29 @@ impl QueryEngine {
         k: usize,
         options: &SearchOptions,
         plan: &QueryPlan,
+        delta_snapshot: &Option<Arc<DeltaIndex>>,
+        budget: &Budget,
     ) -> (Vec<SearchHit>, Option<IoStats>) {
         let m = &self.inner.miner;
-        // Snapshot the delta only when the request opted in; the Arc keeps
-        // it alive across the (lock-free) execution.
-        let delta_snapshot = if options.use_delta {
-            self.delta().filter(|d| !d.is_empty())
-        } else {
-            None
-        };
         let ctx = ExecContext {
             miner: m,
             options,
             image_truncated: matches!(plan.backend, BackendChoice::Disk)
                 && self.inner.disk_fraction < 1.0,
             delta: delta_snapshot.as_deref(),
-            exact_probes: m.config().smj_fraction.is_none_or(|f| f >= 1.0),
+            exact_probes: self.exact_probes(),
+            budget,
         };
         let resolve = |hit: PhraseHit, text: String| SearchHit {
             text,
             interestingness: estimated_interestingness(query.op, hit.score),
             hit,
         };
+        // IO-budgeted (and budget-stopped) requests resolve result texts
+        // from the in-memory phrase table: the cap governs *list* IO, and
+        // the final phrase lookups must neither push a query past a cap
+        // it respected nor charge IO after a budget said stop.
+        let charge_texts = |budget: &Budget| !budget.has_io_budget() && !budget.is_tripped();
         match plan.backend {
             BackendChoice::Memory => {
                 let hits = if plan.shards == 1 {
@@ -556,11 +678,13 @@ impl QueryEngine {
                 let _serial = self.inner.disk_gate.lock().unwrap();
                 disk.reset_io(); // per-query cold cache (paper §5.5)
                 let hits = crate::plan::run_query(&ctx, &[disk], query, k);
+                let via_disk = charge_texts(budget);
                 let resolved = hits
                     .into_iter()
                     .map(|hit| {
-                        let text = disk
-                            .phrase_text(hit.phrase)
+                        let text = via_disk
+                            .then(|| disk.phrase_text(hit.phrase))
+                            .flatten()
                             .unwrap_or_else(|| m.phrase_text(hit.phrase));
                         resolve(hit, text)
                     })
@@ -577,19 +701,21 @@ impl QueryEngine {
                         &m.index().dict,
                         &idx.mem,
                         self.inner.disk_fraction,
-                        PoolConfig::default(),
-                        CostModel::default(),
+                        self.inner.pool,
+                        self.inner.cost,
                     )
                 });
                 let _serial = self.inner.disk_gate.lock().unwrap();
                 image.reset_io(); // per-query cold cache across all shards
                 let refs: Vec<&DiskLists> = image.shards().iter().collect();
                 let hits = crate::plan::run_query(&ctx, &refs, query, k);
+                let via_disk = charge_texts(budget);
                 let resolved = hits
                     .into_iter()
                     .map(|hit| {
-                        let text = image
-                            .phrase_text(hit.phrase)
+                        let text = via_disk
+                            .then(|| image.phrase_text(hit.phrase))
+                            .flatten()
                             .unwrap_or_else(|| m.phrase_text(hit.phrase));
                         resolve(hit, text)
                     })

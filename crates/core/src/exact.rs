@@ -7,6 +7,7 @@
 //! answers are judged against, and it is algorithmically the forward-index
 //! baseline family (its runtime is linear in `|D'|`).
 
+use crate::budget::ShardBudget;
 use crate::query::Query;
 use crate::result::{truncate_top_k, PhraseHit};
 use ipm_corpus::hash::FxHashMap;
@@ -31,8 +32,20 @@ pub fn exact_top_k_range(
     k: usize,
     range: Option<(PhraseId, PhraseId)>,
 ) -> Vec<PhraseHit> {
+    exact_top_k_range_with(index, query, k, range, &ShardBudget::unlimited())
+}
+
+/// [`exact_top_k_range`] under a cooperative execution budget (see
+/// [`exact_top_k_for_subset_range_with`]).
+pub fn exact_top_k_range_with(
+    index: &CorpusIndex,
+    query: &Query,
+    k: usize,
+    range: Option<(PhraseId, PhraseId)>,
+    budget: &ShardBudget<'_>,
+) -> Vec<PhraseHit> {
     let subset = materialize_subset(index, query);
-    exact_top_k_for_subset_range(index, &subset, k, range)
+    exact_top_k_for_subset_range_with(index, &subset, k, range, budget)
 }
 
 /// [`exact_top_k_range`] over an already-materialized subset — the
@@ -45,7 +58,25 @@ pub fn exact_top_k_for_subset_range(
     k: usize,
     range: Option<(PhraseId, PhraseId)>,
 ) -> Vec<PhraseHit> {
-    let mut hits = exact_scores_for_subset_range(index, subset, range);
+    exact_top_k_for_subset_range_with(index, subset, k, range, &ShardBudget::unlimited())
+}
+
+/// [`exact_top_k_for_subset_range`] under a cooperative execution budget.
+/// The budget is checked once per `D'` document; a failed check stops the
+/// scan and every counted phrase becomes an *interval*, not a point: its
+/// lower bound is the frequency seen so far over `df` (documents not yet
+/// scanned can only add occurrences) and its upper bound additionally
+/// grants every unscanned document — so truncated exact hits still
+/// bracket the true interestingness instead of presenting a silently
+/// undercounted score as exact.
+pub fn exact_top_k_for_subset_range_with(
+    index: &CorpusIndex,
+    subset: &Postings,
+    k: usize,
+    range: Option<(PhraseId, PhraseId)>,
+    budget: &ShardBudget<'_>,
+) -> Vec<PhraseHit> {
+    let mut hits = exact_scores_for_subset_range_with(index, subset, range, budget);
     truncate_top_k(&mut hits, k);
     hits
 }
@@ -78,19 +109,50 @@ pub fn exact_scores_for_subset_range(
     subset: &Postings,
     range: Option<(PhraseId, PhraseId)>,
 ) -> Vec<PhraseHit> {
+    exact_scores_for_subset_range_with(index, subset, range, &ShardBudget::unlimited())
+}
+
+/// [`exact_scores_for_subset_range`] under a cooperative execution budget
+/// (see [`exact_top_k_for_subset_range_with`] for the truncated-interval
+/// semantics).
+pub fn exact_scores_for_subset_range_with(
+    index: &CorpusIndex,
+    subset: &Postings,
+    range: Option<(PhraseId, PhraseId)>,
+    budget: &ShardBudget<'_>,
+) -> Vec<PhraseHit> {
     let mut counts: FxHashMap<PhraseId, u32> = FxHashMap::default();
+    let mut scanned = 0usize;
     for doc in subset.iter() {
+        if !budget.check() {
+            break;
+        }
         for &p in index.forward.doc(doc) {
             if range.is_none_or(|(lo, hi)| lo <= p && p < hi) {
                 *counts.entry(p).or_insert(0) += 1;
             }
         }
+        scanned += 1;
     }
+    let unscanned = subset.len().saturating_sub(scanned) as f64;
     counts
         .into_iter()
         .map(|(p, c)| {
             let df = index.phrases.df(p) as f64;
-            PhraseHit::exact(p, c as f64 / df)
+            let lower = c as f64 / df;
+            if unscanned == 0.0 {
+                PhraseHit::exact(p, lower)
+            } else {
+                // Interestingness never exceeds 1 (freq ≤ df), and the
+                // unscanned tail can contribute at most one document each.
+                let upper = ((c as f64 + unscanned) / df).min(1.0);
+                PhraseHit {
+                    phrase: p,
+                    score: lower,
+                    lower,
+                    upper,
+                }
+            }
         })
         .collect()
 }

@@ -29,6 +29,12 @@
 //! * [`measures`] — the §7 future-work answer: PMI (rank-equivalent to
 //!   Eq. 1 per query) and NPMI (reranks; approximated by over-fetch +
 //!   rescore);
+//! * [`budget`] — per-request execution budgets (deadline, simulated-IO
+//!   cap, deterministic step cap, cancellation) with cooperative checks
+//!   in every algorithm loop, and the [`budget::Completeness`] label that
+//!   surfaces the paper's exact-vs-partial distinction to callers;
+//! * [`request`] — the [`request::SearchRequest`] builder:
+//!   `engine.request("...").k(10).deadline(d).io_budget(n).run()`;
 //! * [`cache`] — a sharded LRU result cache keyed by the full request, so
 //!   repeated interactive queries skip list traversal entirely;
 //! * [`miner`] — the high-level [`miner::PhraseMiner`] facade tying corpus,
@@ -44,6 +50,7 @@
 //!   the disk backend, and cache hit/miss counters next to
 //!   `queries_served`.
 
+pub mod budget;
 pub mod cache;
 pub mod delta;
 pub mod engine;
@@ -55,11 +62,15 @@ pub mod parse;
 pub mod plan;
 pub mod query;
 pub mod redundancy;
+pub mod request;
 pub mod result;
 pub mod scoring;
 pub mod smj;
 pub mod ta;
 
+pub use budget::{
+    ApproxReason, Budget, BudgetKind, CancelToken, Completeness, SearchError, ShardBudget,
+};
 pub use cache::{CacheConfig, CacheStats};
 pub use delta::DeltaIndex;
 pub use engine::{
@@ -72,5 +83,6 @@ pub use parse::parse_query;
 pub use plan::{QueryPlan, MAX_SHARDS};
 pub use query::{Operator, Query};
 pub use redundancy::RedundancyConfig;
+pub use request::SearchRequest;
 pub use result::PhraseHit;
 pub use ta::{run_ta, run_ta_backend, TaOutcome};

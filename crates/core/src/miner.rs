@@ -169,6 +169,22 @@ impl PhraseMiner {
     /// `smj_fraction`, paper §4.4.2 — so disk SMJ/TA mirror the in-memory
     /// backend exactly) and the phrase file into a simulated-disk index.
     pub fn to_disk(&self, fraction: f64) -> DiskLists {
+        self.to_disk_with(
+            fraction,
+            ipm_storage::PoolConfig::default(),
+            ipm_storage::CostModel::default(),
+        )
+    }
+
+    /// [`PhraseMiner::to_disk`] with an explicit buffer-pool geometry and
+    /// cost model (the engine's `EngineConfig::pool`/`cost` plumb through
+    /// here).
+    pub fn to_disk_with(
+        &self,
+        fraction: f64,
+        pool: ipm_storage::PoolConfig,
+        cost: ipm_storage::CostModel,
+    ) -> DiskLists {
         let source = if fraction < 1.0 {
             self.lists.partial(fraction)
         } else {
@@ -179,8 +195,8 @@ impl PhraseMiner {
             &self.index.dict,
             &source,
             &self.id_lists,
-            ipm_storage::PoolConfig::default(),
-            ipm_storage::CostModel::default(),
+            pool,
+            cost,
         )
     }
 
@@ -349,7 +365,7 @@ impl PhraseMiner {
         hits
     }
 
-    /// Exact top-k under an alternative interestingness [`Measure`]
+    /// Exact top-k under an alternative interestingness [`crate::measures::Measure`]
     /// (ground truth for the NPMI approximation).
     pub fn top_k_exact_measure(
         &self,

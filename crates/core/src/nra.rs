@@ -21,6 +21,7 @@
 //! Works over any [`ScoredListCursor`] — in-memory slices or the simulated
 //! disk of `ipm-storage`.
 
+use crate::budget::ShardBudget;
 use crate::query::Operator;
 use crate::result::PhraseHit;
 use crate::scoring::{absent_score, entry_score};
@@ -128,15 +129,34 @@ struct Candidate {
     seen_mask: u32,
 }
 
-/// Runs NRA over `cursors` (one per query feature, score-ordered).
+/// Runs NRA over `cursors` (one per query feature, score-ordered) with no
+/// execution budget.
 ///
 /// # Panics
 /// Panics if more than 32 cursors are supplied (queries are 2–6 words in
 /// practice; the seen-set is a `u32` bitmask) or if `k == 0`.
 pub fn run_nra<C: ScoredListCursor>(
+    cursors: Vec<C>,
+    op: Operator,
+    config: &NraConfig,
+) -> NraOutcome {
+    run_nra_with(cursors, op, config, &ShardBudget::unlimited())
+}
+
+/// [`run_nra`] under a cooperative execution budget: the budget is
+/// checked once per round-robin round (the tightest boundary that still
+/// amortizes the check), and a failed check stops the traversal — the
+/// final ranking then returns the *current* top-k by upper bound, which
+/// is exactly the paper's anytime envelope (every candidate's `[lower,
+/// upper]` interval still brackets its true aggregate).
+///
+/// # Panics
+/// See [`run_nra`].
+pub fn run_nra_with<C: ScoredListCursor>(
     mut cursors: Vec<C>,
     op: Operator,
     config: &NraConfig,
+    budget: &ShardBudget<'_>,
 ) -> NraOutcome {
     let r = cursors.len();
     assert!(r <= 32, "at most 32 query features supported");
@@ -193,6 +213,13 @@ pub fn run_nra<C: ScoredListCursor>(
             }
         }
         stats.peak_candidates = stats.peak_candidates.max(candidates.len());
+
+        if !budget.check() {
+            // Budget exhausted (or tripped by a sibling shard): stop here
+            // and fall through to the final anytime ranking.
+            stats.stopped_early = true;
+            break;
+        }
 
         let all_exhausted = exhausted.iter().all(|&e| e);
         iter_in_batch += 1;

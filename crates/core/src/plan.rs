@@ -5,7 +5,7 @@
 //! * the **planner** ([`QueryPlan::resolve`]) turns a request's options
 //!   and the engine's defaults into an explicit plan — algorithm, backend,
 //!   and shard fanout;
-//! * the **executor** ([`run_query`]) runs that plan over one backend per
+//! * the **executor** (`run_query`) runs that plan over one backend per
 //!   shard: each shard executes the chosen algorithm over its disjoint
 //!   phrase-id partition on its own thread (std scoped threads), and the
 //!   per-shard top-k are merged under the result total order — score
@@ -37,7 +37,7 @@
 //! set) before its own defence line beats the unseen-phrase bound —
 //! partitioning would then *cost* time instead of saving it. The executor
 //! therefore first scans a small top prefix of every shard list and
-//! aggregates partial sums ([`seed_floor`], the first rounds of the
+//! aggregates partial sums (`seed_floor`, the first rounds of the
 //! unsharded run, in the spirit of TPUT's phase 1): the k-th best partial
 //! sum is a certified lower bound on the merged k-th score, and every
 //! shard runs NRA with that bound pre-seeded
@@ -53,16 +53,17 @@
 //! at the boundary; whenever runs resolve fully (lists shorter than the
 //! prune batch — every test corpus) results are byte-identical.
 
+use crate::budget::{ApproxReason, Budget, Completeness, ShardBudget};
 use crate::delta::{AdjustedCursor, DeltaIndex};
 use crate::engine::{Algorithm, BackendChoice, SearchOptions};
 use crate::exact;
 use crate::miner::PhraseMiner;
-use crate::nra::{run_nra, NraConfig};
+use crate::nra::{run_nra_with, NraConfig};
 use crate::query::{Operator, Query};
 use crate::result::{sort_hits, PhraseHit};
 use crate::scoring::entry_score;
-use crate::smj::run_smj_backend;
-use crate::ta::run_ta_backend;
+use crate::smj::run_smj_backend_with;
+use crate::ta::run_ta_backend_with;
 use ipm_index::backend::ListBackend;
 use ipm_index::cursor::ScoredListCursor;
 
@@ -117,6 +118,9 @@ pub(crate) struct ExecContext<'a> {
     /// probe returns the true `P(q|p)` — required for NRA score
     /// resolution. False when the miner froze a build-time SMJ fraction.
     pub exact_probes: bool,
+    /// The request's execution budget, shared across every shard thread
+    /// (unlimited for the legacy shims — checks then cost one branch).
+    pub budget: &'a Budget,
 }
 
 impl ExecContext<'_> {
@@ -129,6 +133,53 @@ impl ExecContext<'_> {
             && !self.image_truncated
             && self.delta.is_none()
             && self.exact_probes
+    }
+}
+
+/// The completeness a run produces *before* any budget intervenes — the
+/// paper's exact-vs-partial-list distinction made explicit per algorithm.
+/// `delta_active` means corrections were requested *and* a non-empty
+/// delta is attached; the engine upgrades the result to
+/// [`Completeness::Truncated`] when the budget trips.
+pub(crate) fn base_completeness(
+    options: &SearchOptions,
+    image_truncated: bool,
+    delta_active: bool,
+    exact_probes: bool,
+    shards: usize,
+) -> Completeness {
+    let approx = |reason| Completeness::Approximate { reason };
+    match options.algorithm {
+        // The exact scorer is ground truth regardless of list state.
+        Algorithm::Exact => Completeness::Exact,
+        Algorithm::Nra => {
+            if options.nra_fraction.unwrap_or(1.0) < 1.0 {
+                approx(ApproxReason::PartialLists)
+            } else if image_truncated {
+                approx(ApproxReason::TruncatedImage)
+            } else if delta_active {
+                approx(ApproxReason::DeltaCorrections)
+            } else if !exact_probes && shards > 1 {
+                // The sharded merge cannot resolve bounds through partial
+                // probe lists, so fanned-out NRA inherits their
+                // approximation.
+                approx(ApproxReason::PartialLists)
+            } else {
+                Completeness::Exact
+            }
+        }
+        Algorithm::Smj | Algorithm::Ta => {
+            if !exact_probes {
+                // A build-time SMJ fraction froze partial id-ordered
+                // lists (paper §4.4.2) — both SMJ's merge input and TA's
+                // probe target.
+                approx(ApproxReason::PartialLists)
+            } else if image_truncated {
+                approx(ApproxReason::TruncatedImage)
+            } else {
+                Completeness::Exact
+            }
+        }
     }
 }
 
@@ -174,8 +225,17 @@ impl Default for NraTuning {
 /// OR sums are monotone in seen terms, and AND sums count only candidates
 /// seen in *every* feature's prefix (a missing log term would otherwise
 /// overestimate). Returns `-∞` when fewer than `fetch` bounded candidates
-/// were found — the floor is then simply inactive.
-fn seed_floor<B: ListBackend>(backends: &[&B], query: &Query, fetch: usize) -> f64 {
+/// were found — the floor is then simply inactive. The seed phase runs
+/// under the request budget too (one checkpoint per prefix entry): a
+/// tightly IO-capped request must not blow its whole cap on seeding, and
+/// an inactive (`-∞`) floor merely makes the shards stop on the tripped
+/// budget instead.
+fn seed_floor<B: ListBackend>(
+    ctx: &ExecContext<'_>,
+    backends: &[&B],
+    query: &Query,
+    fetch: usize,
+) -> f64 {
     let prefix = fetch * SEED_PREFIX_PER_K + SEED_PREFIX_BASE;
     let full_mask: u32 = if query.features.len() >= 32 {
         u32::MAX
@@ -188,9 +248,14 @@ fn seed_floor<B: ListBackend>(backends: &[&B], query: &Query, fetch: usize) -> f
     let mut acc: ipm_corpus::hash::FxHashMap<ipm_corpus::PhraseId, (f64, u32)> =
         ipm_corpus::hash::FxHashMap::default();
     for b in backends {
+        let io_now = || b.io_fetches();
+        let gauge = ShardBudget::new(ctx.budget, &io_now);
         for (i, &f) in query.features.iter().enumerate() {
             let mut cur = b.score_cursor(f, 1.0);
             for _ in 0..prefix {
+                if !gauge.check() {
+                    return f64::NEG_INFINITY;
+                }
                 let Some(e) = cur.next_entry() else { break };
                 let slot = acc.entry(e.phrase).or_insert((0.0, 0));
                 let bit = 1u32 << i;
@@ -242,7 +307,10 @@ pub(crate) fn run_query<B: ListBackend + Sync>(
         let (mut hits, produced) = fan_out(ctx, backends, query, fetch);
         let exhausted = produced < fetch;
         crate::redundancy::filter_hits(&ctx.miner.index().dict, query, &mut hits, red);
-        if hits.len() >= k || exhausted {
+        if hits.len() >= k || exhausted || ctx.budget.is_tripped() {
+            // A tripped budget ends the over-fetch loop immediately:
+            // deeper rounds would re-run against a sticky-failed budget
+            // and return nothing new.
             hits.truncate(k);
             return hits;
         }
@@ -277,7 +345,7 @@ fn fan_out<B: ListBackend + Sync>(
         // merge resolves scores).
         let tuning = if ctx.exact_nra_path() {
             NraTuning {
-                lower_floor: seed_floor(backends, query, fetch),
+                lower_floor: seed_floor(ctx, backends, query, fetch),
                 batch_size: Some(
                     (ctx.miner.config().nra.batch_size / backends.len()).max(MIN_SHARD_BATCH),
                 ),
@@ -303,7 +371,11 @@ fn fan_out<B: ListBackend + Sync>(
         per.into_iter().flatten().collect()
     };
     let produced = merged.len().min(fetch);
-    if ctx.exact_nra_path() {
+    if ctx.exact_nra_path() && !ctx.budget.is_tripped() {
+        // Budget-stopped runs skip probe resolution: the probes would
+        // charge further (random, 10×-priced) IO after the budget said
+        // stop, and a truncated response keeps anytime bound semantics
+        // anyway.
         resolve_hits(backends, query, &mut merged);
         sort_hits(&mut merged);
     } else if !single {
@@ -337,6 +409,10 @@ fn run_shard_with<B: ListBackend>(
     tuning: NraTuning,
     subset: Option<&ipm_index::postings::Postings>,
 ) -> Vec<PhraseHit> {
+    // This shard's budget gauge: every cooperative check also reports the
+    // backend's simulated-IO fetch delta into the shared cap.
+    let io_now = || backend.io_fetches();
+    let budget = ShardBudget::new(ctx.budget, &io_now);
     let fraction = ctx.options.nra_fraction.unwrap_or(1.0);
     match ctx.options.algorithm {
         Algorithm::Nra => {
@@ -360,27 +436,32 @@ fn run_shard_with<B: ListBackend>(
                         )
                     })
                     .collect();
-                return run_nra(cursors, query.op, &cfg).hits;
+                return run_nra_with(cursors, query.op, &cfg, &budget).hits;
             }
             let cursors: Vec<B::ScoreCursor<'_>> = query
                 .features
                 .iter()
                 .map(|&f| backend.score_cursor(f, fraction))
                 .collect();
-            run_nra(cursors, query.op, &cfg).hits
+            run_nra_with(cursors, query.op, &cfg, &budget).hits
         }
-        Algorithm::Smj => run_smj_backend(backend, query, fetch),
-        Algorithm::Ta => run_ta_backend(backend, query, fetch).hits,
+        Algorithm::Smj => run_smj_backend_with(backend, query, fetch, &budget),
+        Algorithm::Ta => run_ta_backend_with(backend, query, fetch, &budget).hits,
         Algorithm::Exact => match subset {
-            Some(s) => exact::exact_top_k_for_subset_range(
+            Some(s) => exact::exact_top_k_for_subset_range_with(
                 ctx.miner.index(),
                 s,
                 fetch,
                 backend.phrase_range(),
+                &budget,
             ),
-            None => {
-                exact::exact_top_k_range(ctx.miner.index(), query, fetch, backend.phrase_range())
-            }
+            None => exact::exact_top_k_range_with(
+                ctx.miner.index(),
+                query,
+                fetch,
+                backend.phrase_range(),
+                &budget,
+            ),
         },
     }
 }

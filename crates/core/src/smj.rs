@@ -7,6 +7,7 @@
 //! why the paper finds it superior for short (partial) lists and inferior
 //! to NRA for long ones (§4.5, §5.5).
 
+use crate::budget::ShardBudget;
 use crate::query::{Operator, Query};
 use crate::result::{truncate_top_k, PhraseHit};
 use crate::scoring::entry_score;
@@ -29,12 +30,26 @@ pub fn run_smj(lists: &IdOrderedLists, query: &Query, k: usize) -> Vec<PhraseHit
 /// Runs SMJ for `query` over any [`ListBackend`] (in-memory lists or the
 /// simulated disk, whose cursors charge their buffer pool).
 pub fn run_smj_backend<B: ListBackend>(backend: &B, query: &Query, k: usize) -> Vec<PhraseHit> {
+    run_smj_backend_with(backend, query, k, &ShardBudget::unlimited())
+}
+
+/// [`run_smj_backend`] under a cooperative execution budget: the budget
+/// is checked once per merge step (one phrase id), and a failed check
+/// stops the pass — every hit emitted so far carries its *exact* score
+/// (SMJ aggregates a phrase's terms in one synchronized step), so a
+/// truncated run is an exactly-scored prefix of the full scan.
+pub fn run_smj_backend_with<B: ListBackend>(
+    backend: &B,
+    query: &Query,
+    k: usize,
+    budget: &ShardBudget<'_>,
+) -> Vec<PhraseHit> {
     let cursors: Vec<B::IdCursor<'_>> = query
         .features
         .iter()
         .map(|&f| backend.id_cursor(f))
         .collect();
-    run_smj_cursors(cursors, query.op, k)
+    run_smj_cursors_with(cursors, query.op, k, budget)
 }
 
 /// SMJ core over raw id-ordered slices (exposed for benches and tests).
@@ -47,10 +62,17 @@ pub fn run_smj_slices(slices: &[&[ListEntry]], op: Operator, k: usize) -> Vec<Ph
 }
 
 /// SMJ core: one synchronized forward pass over id-ordered cursors.
-pub fn run_smj_cursors<C: IdListCursor>(
+pub fn run_smj_cursors<C: IdListCursor>(cursors: Vec<C>, op: Operator, k: usize) -> Vec<PhraseHit> {
+    run_smj_cursors_with(cursors, op, k, &ShardBudget::unlimited())
+}
+
+/// [`run_smj_cursors`] under a cooperative execution budget (see
+/// [`run_smj_backend_with`]).
+pub fn run_smj_cursors_with<C: IdListCursor>(
     mut cursors: Vec<C>,
     op: Operator,
     k: usize,
+    budget: &ShardBudget<'_>,
 ) -> Vec<PhraseHit> {
     assert!(k > 0, "k must be positive");
     let r = cursors.len();
@@ -60,6 +82,9 @@ pub fn run_smj_cursors<C: IdListCursor>(
     let mut hits: Vec<PhraseHit> = Vec::new();
 
     loop {
+        if !budget.check() {
+            break; // budget exhausted: return the exactly-scored prefix
+        }
         // Find the lowest unread phrase id across lists (paper Alg. 2
         // line 4); r is 2-6 in practice, linear scan wins over a heap.
         let mut min_id: Option<PhraseId> = None;

@@ -14,6 +14,7 @@
 //! This module is an *extension* beyond the paper's evaluated algorithms;
 //! the ablation bench compares its traversal depth and cost against NRA.
 
+use crate::budget::ShardBudget;
 use crate::query::{Operator, Query};
 use crate::result::{sort_hits, PhraseHit};
 use crate::scoring::entry_score;
@@ -84,6 +85,21 @@ pub fn run_ta(
 /// probe) is charged to the buffer pool — making TA's `r − 1` probes per
 /// distinct phrase directly measurable against NRA's probe-free traversal.
 pub fn run_ta_backend<B: ListBackend>(backend: &B, query: &Query, k: usize) -> TaOutcome {
+    run_ta_backend_with(backend, query, k, &ShardBudget::unlimited())
+}
+
+/// [`run_ta_backend`] under a cooperative execution budget: the budget is
+/// checked before every sorted access (the boundary that also bounds the
+/// `r − 1` random probes a new phrase triggers), and a failed check stops
+/// the scan — every hit already in the top list is *fully resolved* (TA
+/// probes a phrase's complete score on first sight), so a truncated run
+/// is an exactly-scored subset of the full run.
+pub fn run_ta_backend_with<B: ListBackend>(
+    backend: &B,
+    query: &Query,
+    k: usize,
+    budget: &ShardBudget<'_>,
+) -> TaOutcome {
     assert!(k > 0, "k must be positive");
     let r = query.features.len();
     let mut sorted: Vec<B::ScoreCursor<'_>> = query
@@ -100,9 +116,12 @@ pub fn run_ta_backend<B: ListBackend>(backend: &B, query: &Query, k: usize) -> T
         ..Default::default()
     };
 
-    loop {
+    'scan: loop {
         let mut progressed = false;
         for i in 0..r {
+            if !budget.check() {
+                break 'scan; // budget exhausted: keep the resolved top-k
+            }
             let Some(entry) = sorted[i].next_entry() else {
                 continue;
             };

@@ -66,6 +66,15 @@ pub trait ListBackend {
         self.phrase_range()
             .is_none_or(|(lo, hi)| lo <= phrase && phrase < hi)
     }
+
+    /// Total simulated disk page *fetches* this backend has performed so
+    /// far (sequential + random; buffer-pool hits excluded). The IO-budget
+    /// accounting hook: per-shard budget gauges poll it at cooperative
+    /// checkpoints and charge the delta against the request's cap.
+    /// Backends that perform no simulated IO report `0` (the default).
+    fn io_fetches(&self) -> u64 {
+        0
+    }
 }
 
 /// Binary-searches an id-ordered list slice for a phrase's probability

@@ -41,5 +41,5 @@ pub mod singleflight;
 pub mod wire;
 
 pub use client::{run_load, Client, LoadReport};
-pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
-pub use wire::{ErrorKind, SearchRequest, WireRequest};
+pub use server::{clamped_delay, Server, ServerConfig, ServerHandle, ServerStats, MAX_DELAY_MS};
+pub use wire::{ErrorKind, SearchRequest, WireRequest, MAX_BATCH};

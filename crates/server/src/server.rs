@@ -27,13 +27,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ipm_core::{
-    CacheKey, CacheStats, Query, QueryEngine, QueryPlan, SearchOptions, SearchResponse,
+    Budget, CacheKey, CacheStats, Query, QueryEngine, QueryPlan, SearchError, SearchOptions,
+    SearchResponse,
 };
 use ipm_storage::IoStats;
 use serde_json::Value;
 
 use crate::queue::{BoundedQueue, PushError};
-use crate::singleflight::{Join, SingleFlight};
+use crate::singleflight::{Join, SingleFlight, Slot};
 use crate::wire::{self, ErrorKind, SearchRequest, WireRequest};
 
 /// Server construction options.
@@ -73,6 +74,18 @@ pub struct ServerStats {
     /// shutdown (`shutting_down`) or hit a contained execution failure
     /// (`internal`).
     pub failed: u64,
+    /// Requests whose deadline expired before execution could start —
+    /// dead-on-arrival work shed at the worker (queue wait counts
+    /// against the budget).
+    pub deadline_exceeded: u64,
+    /// Responses served with `completeness: truncated` — a budget
+    /// (deadline or IO cap) stopped the run and the anytime result was
+    /// returned.
+    pub budget_truncated: u64,
+    /// Requests that ended with a structured `cancelled` error. Always
+    /// `0` today: the wire has no cancel verb yet, so this counter (like
+    /// the error kind) is reserved for wire-level cancellation.
+    pub cancelled: u64,
     /// Engine-level queries executed or answered from cache.
     pub queries_served: u64,
     /// The engine's default intra-query shard fanout.
@@ -93,20 +106,62 @@ pub struct ServerStats {
 /// Upper bound on the wire `delay_ms` knob. Workers sleep the delay while
 /// holding a pool slot, so an unclamped value from an untrusted client
 /// could stall the whole pool and block graceful shutdown forever.
-const MAX_DELAY_MS: u64 = 5_000;
+pub const MAX_DELAY_MS: u64 = 5_000;
+
+/// The delay a worker actually sleeps for a requested `delay_ms`:
+/// clamped to [`MAX_DELAY_MS`]. Exposed so the clamp is testable without
+/// sleeping through it.
+pub fn clamped_delay(delay_ms: u64) -> Duration {
+    Duration::from_millis(delay_ms.min(MAX_DELAY_MS))
+}
 
 type FlightResult = Result<Arc<SearchResponse>, ErrorKind>;
 
+/// One search's per-item outcome inside a batch (error kind plus a
+/// human-readable message).
+type ItemResult = Result<Arc<SearchResponse>, (ErrorKind, String)>;
+/// What a batch job publishes: per-item outcomes in request order.
+type BatchResult = Arc<Vec<ItemResult>>;
+
 /// One admitted unit of work.
-struct Job {
+enum Job {
+    /// A single search (possibly the leader of a coalesced flight).
+    Search(SearchJob),
+    /// A `{"batch": [...]}` request: several searches behind one
+    /// admission slot.
+    Batch(BatchJob),
+}
+
+struct SearchJob {
     key: CacheKey,
     query: Query,
     k: usize,
     options: SearchOptions,
     /// Artificial service time (load-testing knob; see
-    /// [`SearchRequest::delay_ms`]).
+    /// [`SearchRequest::delay_ms`]), already clamped.
     delay: Duration,
-    slot: Arc<crate::singleflight::Slot<FlightResult>>,
+    /// Absolute deadline, anchored at request *arrival* so queue wait
+    /// counts against it.
+    deadline: Option<Instant>,
+    /// Simulated-IO fetch cap.
+    io_budget: Option<u64>,
+    slot: Arc<Slot<FlightResult>>,
+}
+
+/// One batch item a worker still has to execute (items that failed query
+/// parsing arrive as ready-made errors instead).
+struct BatchItem {
+    query: Query,
+    k: usize,
+    options: SearchOptions,
+    delay: Duration,
+    deadline: Option<Instant>,
+    io_budget: Option<u64>,
+}
+
+struct BatchJob {
+    items: Vec<Result<BatchItem, (ErrorKind, String)>>,
+    slot: Arc<Slot<BatchResult>>,
 }
 
 struct Counters {
@@ -115,6 +170,9 @@ struct Counters {
     shed: AtomicU64,
     protocol_errors: AtomicU64,
     failed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    budget_truncated: AtomicU64,
+    cancelled: AtomicU64,
 }
 
 struct Shared {
@@ -159,6 +217,9 @@ impl Server {
                 shed: AtomicU64::new(0),
                 protocol_errors: AtomicU64::new(0),
                 failed: AtomicU64::new(0),
+                deadline_exceeded: AtomicU64::new(0),
+                budget_truncated: AtomicU64::new(0),
+                cancelled: AtomicU64::new(0),
             },
             shutdown: AtomicBool::new(false),
             addr,
@@ -265,6 +326,9 @@ fn snapshot(shared: &Shared) -> ServerStats {
         shed: shared.counters.shed.load(Ordering::Relaxed),
         protocol_errors: shared.counters.protocol_errors.load(Ordering::Relaxed),
         failed: shared.counters.failed.load(Ordering::Relaxed),
+        deadline_exceeded: shared.counters.deadline_exceeded.load(Ordering::Relaxed),
+        budget_truncated: shared.counters.budget_truncated.load(Ordering::Relaxed),
+        cancelled: shared.counters.cancelled.load(Ordering::Relaxed),
         queries_served: shared.engine.queries_served(),
         default_shards: shared.engine.default_shards(),
         sharded_queries: shared.engine.sharded_queries(),
@@ -304,25 +368,119 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
-        let Job {
-            key,
-            query,
-            k,
-            options,
-            delay,
-            slot,
-        } = job;
-        if !delay.is_zero() {
-            std::thread::sleep(delay);
+        match job {
+            Job::Search(job) => run_search_job(shared, job),
+            Job::Batch(job) => run_batch_job(shared, job),
         }
-        let engine = &shared.engine;
-        let outcome = catch_unwind(AssertUnwindSafe(|| engine.execute(query, k, &options)));
-        let value: FlightResult = match outcome {
-            Ok(resp) => Ok(Arc::new(resp)),
-            Err(_) => Err(ErrorKind::Internal),
-        };
-        shared.flights.complete(&key, &slot, value);
     }
+}
+
+/// Sleeps the simulated service delay, but never past the deadline: a
+/// `deadline_ms: 1` request under `delay_ms: 100` load must come back as
+/// a prompt `deadline_exceeded`, not hold a worker for the full delay.
+fn sleep_within_deadline(delay: Duration, deadline: Option<Instant>) {
+    let capped = match deadline {
+        Some(dl) => delay.min(dl.saturating_duration_since(Instant::now())),
+        None => delay,
+    };
+    if !capped.is_zero() {
+        std::thread::sleep(capped);
+    }
+}
+
+/// Executes one search under its budget. Returns the flight value and
+/// bumps the budget counters (truncated / deadline / cancelled).
+fn execute_budgeted(
+    shared: &Arc<Shared>,
+    query: Query,
+    k: usize,
+    options: &SearchOptions,
+    deadline: Option<Instant>,
+    io_budget: Option<u64>,
+) -> Result<Arc<SearchResponse>, ErrorKind> {
+    let mut budget = Budget::unlimited();
+    if let Some(dl) = deadline {
+        budget = budget.with_deadline(dl);
+    }
+    if let Some(cap) = io_budget {
+        budget = budget.with_io_budget(cap);
+    }
+    let engine = &shared.engine;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        engine.execute_with_budget(query, k, options, &budget)
+    }));
+    match outcome {
+        Ok(Ok(resp)) => {
+            if resp.completeness.is_truncated() {
+                shared
+                    .counters
+                    .budget_truncated
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Arc::new(resp))
+        }
+        Ok(Err(SearchError::DeadlineExceeded)) => {
+            shared
+                .counters
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            Err(ErrorKind::DeadlineExceeded)
+        }
+        Ok(Err(SearchError::Cancelled)) => {
+            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            Err(ErrorKind::Cancelled)
+        }
+        // The query was parsed at admission; a parse error here cannot
+        // happen, but map it somewhere sane rather than panicking.
+        Ok(Err(SearchError::Parse(_))) => Err(ErrorKind::Query),
+        Err(_) => Err(ErrorKind::Internal),
+    }
+}
+
+fn run_search_job(shared: &Arc<Shared>, job: SearchJob) {
+    let SearchJob {
+        key,
+        query,
+        k,
+        options,
+        delay,
+        deadline,
+        io_budget,
+        slot,
+    } = job;
+    sleep_within_deadline(delay, deadline);
+    let value = execute_budgeted(shared, query, k, &options, deadline, io_budget);
+    shared.flights.complete(&key, &slot, value);
+}
+
+fn run_batch_job(shared: &Arc<Shared>, job: BatchJob) {
+    let BatchJob { items, slot } = job;
+    // The whole batch shares ONE delay allowance equal to the single-
+    // request clamp: 64 items sleeping their per-item clamp back to back
+    // would otherwise park this worker for minutes — exactly the pool
+    // stall MAX_DELAY_MS exists to rule out.
+    let mut delay_allowance = Duration::from_millis(MAX_DELAY_MS);
+    let results: Vec<ItemResult> = items
+        .into_iter()
+        .map(|item| match item {
+            Err(e) => Err(e),
+            Ok(item) => {
+                let delay = item.delay.min(delay_allowance);
+                delay_allowance = delay_allowance.saturating_sub(delay);
+                sleep_within_deadline(delay, item.deadline);
+                execute_budgeted(
+                    shared,
+                    item.query,
+                    item.k,
+                    &item.options,
+                    item.deadline,
+                    item.io_budget,
+                )
+                .map_err(|kind| (kind, error_message(shared, kind)))
+            }
+        })
+        .collect();
+    slot.publish(Arc::new(results));
 }
 
 /// Per-request outcome for the connection loop.
@@ -421,61 +579,128 @@ fn serve_line(shared: &Arc<Shared>, line: &str) -> (String, ConnAction) {
             )
         }
         Ok(WireRequest::Search(req)) => (serve_search(shared, req), ConnAction::Continue),
+        Ok(WireRequest::Batch(reqs)) => (serve_batch(shared, reqs), ConnAction::Continue),
     }
 }
 
+/// The human-readable message accompanying a structured error kind.
+fn error_message(shared: &Arc<Shared>, kind: ErrorKind) -> String {
+    match kind {
+        ErrorKind::Overloaded => format!(
+            "queue full ({} pending); request shed",
+            shared.queue.capacity()
+        ),
+        ErrorKind::ShuttingDown => "server is draining".to_owned(),
+        ErrorKind::DeadlineExceeded => {
+            "deadline exceeded (queue wait counts against the budget)".to_owned()
+        }
+        ErrorKind::Cancelled => "request cancelled".to_owned(),
+        _ => "execution failed".to_owned(),
+    }
+}
+
+/// Bumps the right counter for an error response delivered to a client.
+/// Budget errors (`deadline_exceeded`, `cancelled`) are counted at the
+/// worker that produced them, not here — a batch surfaces many of them
+/// in one response line.
+fn count_error(shared: &Arc<Shared>, kind: ErrorKind) {
+    match kind {
+        ErrorKind::Overloaded => {
+            shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        ErrorKind::DeadlineExceeded | ErrorKind::Cancelled => {}
+        // Parse/query failures were counted as protocol errors when the
+        // request (or batch item) was prepared.
+        ErrorKind::Parse | ErrorKind::Query => {}
+        // Well-formed requests that raced shutdown or hit a contained
+        // execution failure are not protocol errors.
+        ErrorKind::ShuttingDown | ErrorKind::Internal => {
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Prepares one parsed search for execution: query, engine options,
+/// clamped delay and the absolute deadline anchored at arrival. (The
+/// cache key is built only where a flight needs one — `serve_search`.)
+fn prepare(
+    shared: &Arc<Shared>,
+    req: &SearchRequest,
+    arrived: Instant,
+) -> Result<(Query, SearchOptions, Duration, Option<Instant>), String> {
+    let query = shared
+        .engine
+        .miner()
+        .parse_query_str(&req.query)
+        .map_err(|e| e.to_string())?;
+    let options = req.options();
+    let delay = clamped_delay(req.delay_ms);
+    let deadline = req
+        .deadline_ms
+        .map(|ms| arrived + Duration::from_millis(ms));
+    Ok((query, options, delay, deadline))
+}
+
 fn serve_search(shared: &Arc<Shared>, req: SearchRequest) -> String {
-    let query = match shared.engine.miner().parse_query_str(&req.query) {
-        Ok(q) => q,
-        Err(e) => {
+    let arrived = Instant::now();
+    let (query, options, delay, deadline) = match prepare(shared, &req, arrived) {
+        Ok(prepared) => prepared,
+        Err(msg) => {
             shared
                 .counters
                 .protocol_errors
                 .fetch_add(1, Ordering::Relaxed);
-            return wire::error_line(ErrorKind::Query, &e.to_string());
+            return wire::error_line(ErrorKind::Query, &msg);
         }
     };
-    let options = req.options();
     let plan = QueryPlan::resolve(&options, shared.engine.default_shards());
     let key = CacheKey::new(&query, req.k, &options, plan.shards);
-    let started = Instant::now();
-
-    let (result, coalesced) = match shared.flights.join(&key) {
-        Join::Follower(slot) => (slot.wait(), true),
-        Join::Leader(slot) => {
-            let job = Job {
-                key: key.clone(),
-                query,
-                k: req.k,
-                options,
-                // Clamped: the knob simulates service time, it must not
-                // let one request park a worker (and stall shutdown)
-                // indefinitely.
-                delay: Duration::from_millis(req.delay_ms.min(MAX_DELAY_MS)),
-                slot: slot.clone(),
-            };
-            match shared.queue.try_push(job) {
-                // The leader waits like any follower; the worker
-                // publishes through the shared slot.
-                Ok(()) => (slot.wait(), false),
-                Err(PushError::Full) => {
-                    // Shed the whole flight: the leader and every
-                    // follower that already attached get `overloaded`.
-                    shared
-                        .flights
-                        .complete(&key, &slot, Err(ErrorKind::Overloaded));
-                    (Err(ErrorKind::Overloaded), false)
-                }
-                Err(PushError::Closed) => {
-                    shared
-                        .flights
-                        .complete(&key, &slot, Err(ErrorKind::ShuttingDown));
-                    (Err(ErrorKind::ShuttingDown), false)
-                }
-            }
+    let make_job = |slot: &Arc<Slot<FlightResult>>| {
+        Job::Search(SearchJob {
+            key: key.clone(),
+            query: query.clone(),
+            k: req.k,
+            options: options.clone(),
+            delay,
+            deadline,
+            io_budget: req.io_budget,
+            slot: slot.clone(),
+        })
+    };
+    let submit = |slot: &Arc<Slot<FlightResult>>| match shared.queue.try_push(make_job(slot)) {
+        // The submitter waits like any follower; the worker publishes
+        // through the shared slot.
+        Ok(()) => slot.wait(),
+        Err(PushError::Full) => {
+            // Shed the whole flight: the submitter and every follower
+            // that already attached get `overloaded`.
+            shared
+                .flights
+                .complete(&key, slot, Err(ErrorKind::Overloaded));
+            Err(ErrorKind::Overloaded)
+        }
+        Err(PushError::Closed) => {
+            shared
+                .flights
+                .complete(&key, slot, Err(ErrorKind::ShuttingDown));
+            Err(ErrorKind::ShuttingDown)
         }
     };
-    let waited = started.elapsed();
+
+    let (result, coalesced) = if req.is_budgeted() {
+        // Budgeted requests never coalesce: a deadline- or IO-truncated
+        // result reflects *this* request's budget, and serving it to (or
+        // taking it from) another flight would hand callers the wrong
+        // completeness. The solo slot is still completed through the
+        // flight map API — it is simply never registered there.
+        (submit(&Slot::solo()), false)
+    } else {
+        match shared.flights.join(&key) {
+            Join::Follower(slot) => (slot.wait(), true),
+            Join::Leader(slot) => (submit(&slot), false),
+        }
+    };
+    let waited = arrived.elapsed();
 
     match result {
         Ok(resp) => {
@@ -495,29 +720,78 @@ fn serve_search(shared: &Arc<Shared>, req: SearchRequest) -> String {
             ])
         }
         Err(kind) => {
-            match kind {
-                ErrorKind::Overloaded => {
-                    shared.counters.shed.fetch_add(1, Ordering::Relaxed);
-                }
-                // Well-formed requests that raced shutdown or hit a
-                // contained execution failure are not protocol errors.
-                _ => {
-                    shared.counters.failed.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            let message = match kind {
-                ErrorKind::Overloaded => {
-                    format!(
-                        "queue full ({} pending); request shed",
-                        shared.queue.capacity()
-                    )
-                }
-                ErrorKind::ShuttingDown => "server is draining".to_owned(),
-                _ => "execution failed".to_owned(),
-            };
-            wire::error_line(kind, &message)
+            count_error(shared, kind);
+            wire::error_line(kind, &error_message(shared, kind))
         }
     }
+}
+
+/// Serves a `{"batch": [...]}` request: one admission slot for the whole
+/// batch, per-item results/errors in the response. Query-parse failures
+/// become per-item errors (the rest of the batch still runs); a full
+/// queue sheds the entire batch with one `overloaded` line.
+fn serve_batch(shared: &Arc<Shared>, reqs: Vec<SearchRequest>) -> String {
+    let arrived = Instant::now();
+    let items: Vec<Result<BatchItem, (ErrorKind, String)>> = reqs
+        .iter()
+        .map(|req| match prepare(shared, req, arrived) {
+            Ok((query, options, delay, deadline)) => Ok(BatchItem {
+                query,
+                k: req.k,
+                options,
+                delay,
+                deadline,
+                io_budget: req.io_budget,
+            }),
+            Err(msg) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                Err((ErrorKind::Query, msg))
+            }
+        })
+        .collect();
+    let slot = Slot::solo();
+    let job = Job::Batch(BatchJob {
+        items,
+        slot: slot.clone(),
+    });
+    let results: BatchResult = match shared.queue.try_push(job) {
+        Ok(()) => slot.wait(),
+        Err(push_err) => {
+            let kind = match push_err {
+                PushError::Full => ErrorKind::Overloaded,
+                PushError::Closed => ErrorKind::ShuttingDown,
+            };
+            count_error(shared, kind);
+            return wire::error_line(kind, &error_message(shared, kind));
+        }
+    };
+    let corpus = shared.engine.miner().corpus();
+    let encoded: Vec<Value> = results
+        .iter()
+        .map(|item| match item {
+            Ok(resp) => {
+                shared.counters.served.fetch_add(1, Ordering::Relaxed);
+                let mut m = std::collections::BTreeMap::new();
+                m.insert("ok".to_owned(), Value::from(true));
+                m.insert("result".to_owned(), wire::response_value(resp, corpus));
+                Value::Object(m)
+            }
+            Err((kind, msg)) => {
+                count_error(shared, *kind);
+                let mut err = std::collections::BTreeMap::new();
+                err.insert("kind".to_owned(), Value::from(kind.name()));
+                err.insert("message".to_owned(), Value::from(msg.as_str()));
+                let mut m = std::collections::BTreeMap::new();
+                m.insert("ok".to_owned(), Value::from(false));
+                m.insert("error".to_owned(), Value::Object(err));
+                Value::Object(m)
+            }
+        })
+        .collect();
+    wire::ok_line(vec![("batch", Value::Array(encoded))])
 }
 
 fn stats_line(shared: &Arc<Shared>) -> String {
@@ -537,6 +811,15 @@ fn stats_line(shared: &Arc<Shared>) -> String {
     stats.insert("shed".to_owned(), Value::from(s.shed));
     stats.insert("protocol_errors".to_owned(), Value::from(s.protocol_errors));
     stats.insert("failed".to_owned(), Value::from(s.failed));
+    stats.insert(
+        "deadline_exceeded".to_owned(),
+        Value::from(s.deadline_exceeded),
+    );
+    stats.insert(
+        "budget_truncated".to_owned(),
+        Value::from(s.budget_truncated),
+    );
+    stats.insert("cancelled".to_owned(), Value::from(s.cancelled));
     stats.insert("queries_served".to_owned(), Value::from(s.queries_served));
     // Shard-fanout surface: the engine default plus how many executions
     // actually ran partitioned.
@@ -553,4 +836,41 @@ fn stats_line(shared: &Arc<Shared>) -> String {
         Value::from(shared.started.elapsed().as_micros() as u64),
     );
     wire::ok_line(vec![("stats", Value::Object(stats))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_clamp_is_bounded() {
+        assert_eq!(MAX_DELAY_MS, 5_000);
+        assert_eq!(clamped_delay(0), Duration::ZERO);
+        assert_eq!(clamped_delay(10), Duration::from_millis(10));
+        assert_eq!(
+            clamped_delay(u64::MAX),
+            Duration::from_millis(MAX_DELAY_MS),
+            "the wire delay knob must never park a worker past the clamp"
+        );
+    }
+
+    #[test]
+    fn delay_sleep_is_capped_by_the_deadline() {
+        // A huge requested delay with a near deadline must return almost
+        // immediately — the deadline, not the (clamped) delay, bounds it.
+        let start = Instant::now();
+        sleep_within_deadline(
+            clamped_delay(u64::MAX),
+            Some(Instant::now() + Duration::from_millis(20)),
+        );
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "slept {:?} despite a 20 ms deadline",
+            start.elapsed()
+        );
+        // An already-expired deadline skips the sleep entirely.
+        let start = Instant::now();
+        sleep_within_deadline(Duration::from_secs(5), Some(Instant::now()));
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
 }

@@ -30,6 +30,13 @@ impl<V: Clone> Slot<V> {
         }
     }
 
+    /// A standalone slot outside any flight map — the rendezvous for work
+    /// that must *not* coalesce (budgeted requests, whose truncated
+    /// results reflect one request's budget, and batches).
+    pub(crate) fn solo() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
     /// Blocks until the leader publishes, then returns the shared value.
     pub fn wait(&self) -> V {
         let mut guard = self.value.lock().unwrap();
@@ -41,7 +48,7 @@ impl<V: Clone> Slot<V> {
         }
     }
 
-    fn publish(&self, value: V) {
+    pub(crate) fn publish(&self, value: V) {
         *self.value.lock().unwrap() = Some(value);
         self.ready.notify_all();
     }

@@ -11,10 +11,18 @@
 
 use std::collections::BTreeMap;
 
-use ipm_core::{Algorithm, BackendChoice, RedundancyConfig, SearchOptions, SearchResponse};
+use ipm_core::{
+    Algorithm, ApproxReason, BackendChoice, BudgetKind, Completeness, RedundancyConfig,
+    SearchOptions, SearchResponse,
+};
 use ipm_corpus::Corpus;
 use ipm_storage::IoStats;
 use serde_json::Value;
+
+/// Most search items a single `{"batch": [...]}` request may carry (the
+/// whole batch shares one admission slot, so an unbounded batch would let
+/// one client park a worker arbitrarily long).
+pub const MAX_BATCH: usize = 64;
 
 /// Machine-readable error kinds carried in `error.kind`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +36,15 @@ pub enum ErrorKind {
     Overloaded,
     /// The server is draining and no longer accepts work.
     ShuttingDown,
+    /// The request's deadline expired before execution could start —
+    /// queue wait counts against the budget, so dead-on-arrival work is
+    /// shed instead of executed for nobody.
+    DeadlineExceeded,
+    /// The request was cancelled before it produced a result. Reserved:
+    /// cancellation is a first-class engine outcome
+    /// (`ipm_core::SearchError::Cancelled`), but the wire has no cancel
+    /// verb yet, so the server does not emit this kind today.
+    Cancelled,
     /// Execution failed server-side (a worker panic was contained).
     Internal,
 }
@@ -40,6 +57,8 @@ impl ErrorKind {
             ErrorKind::Query => "query",
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::Cancelled => "cancelled",
             ErrorKind::Internal => "internal",
         }
     }
@@ -51,6 +70,8 @@ impl ErrorKind {
             "query" => ErrorKind::Query,
             "overloaded" => ErrorKind::Overloaded,
             "shutting_down" => ErrorKind::ShuttingDown,
+            "deadline_exceeded" => ErrorKind::DeadlineExceeded,
+            "cancelled" => ErrorKind::Cancelled,
             "internal" => ErrorKind::Internal,
             _ => return None,
         })
@@ -62,6 +83,9 @@ impl ErrorKind {
 pub enum WireRequest {
     /// Execute a search.
     Search(SearchRequest),
+    /// Execute several searches as one unit: the batch shares a single
+    /// admission slot and the response carries per-item results/errors.
+    Batch(Vec<SearchRequest>),
     /// Report server counters.
     Stats,
     /// Liveness check.
@@ -94,6 +118,15 @@ pub struct SearchRequest {
     /// coalescing and queue-shed behaviour deterministic to observe. The
     /// server clamps it (5 s) so a client cannot park the worker pool.
     pub delay_ms: u64,
+    /// Wall-clock deadline in milliseconds, measured from the moment the
+    /// server *receives* the request — queue wait counts against it.
+    /// Expired-in-queue requests are shed with `deadline_exceeded`; a
+    /// deadline tripping mid-execution returns the anytime result marked
+    /// `completeness: truncated`.
+    pub deadline_ms: Option<u64>,
+    /// Cap on simulated disk page fetches for this request (the §5.5
+    /// unit of IO cost; meaningful on the disk backend).
+    pub io_budget: Option<u64>,
 }
 
 impl SearchRequest {
@@ -109,7 +142,16 @@ impl SearchRequest {
             use_delta: false,
             shards: None,
             delay_ms: 0,
+            deadline_ms: None,
+            io_budget: None,
         }
+    }
+
+    /// Whether this request carries any budget field (budgeted requests
+    /// bypass single-flight coalescing: a truncated result reflects one
+    /// request's budget and must not be shared with other flights).
+    pub fn is_budgeted(&self) -> bool {
+        self.deadline_ms.is_some() || self.io_budget.is_some()
     }
 
     /// The engine options this request maps to.
@@ -154,6 +196,12 @@ impl SearchRequest {
         if self.delay_ms > 0 {
             map.insert("delay_ms".to_owned(), Value::from(self.delay_ms));
         }
+        if let Some(ms) = self.deadline_ms {
+            map.insert("deadline_ms".to_owned(), Value::from(ms));
+        }
+        if let Some(cap) = self.io_budget {
+            map.insert("io_budget".to_owned(), Value::from(cap));
+        }
         Value::Object(map)
     }
 
@@ -163,6 +211,20 @@ impl SearchRequest {
         line.push('\n');
         line
     }
+}
+
+/// One `{"batch": [...]}` request line for `requests` (newline-
+/// terminated). The server runs the items as one unit behind a single
+/// admission slot and answers with per-item results/errors.
+pub fn batch_line(requests: &[SearchRequest]) -> String {
+    let mut map = BTreeMap::new();
+    map.insert(
+        "batch".to_owned(),
+        Value::Array(requests.iter().map(SearchRequest::to_value).collect()),
+    );
+    let mut line = serde_json::to_string(&Value::Object(map)).expect("infallible");
+    line.push('\n');
+    line
 }
 
 /// Algorithm wire names (shared with the CLI's `--method`).
@@ -245,6 +307,17 @@ fn field_str<'v>(v: &'v Value, key: &str) -> Result<Option<&'v str>, String> {
     }
 }
 
+fn field_opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' must be a non-negative integer")),
+    }
+}
+
 /// Parses one request line.
 ///
 /// # Errors
@@ -257,17 +330,45 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
     }
     if let Some(cmd) = field_str(&v, "cmd")? {
         return match cmd {
-            "query" => build_search(&v),
+            "query" => Ok(WireRequest::Search(build_search(&v)?)),
             "stats" => Ok(WireRequest::Stats),
             "ping" => Ok(WireRequest::Ping),
             "shutdown" => Ok(WireRequest::Shutdown),
             other => Err(format!("unknown cmd: {other} (query|stats|ping|shutdown)")),
         };
     }
-    build_search(&v)
+    if let Some(batch) = v.get("batch") {
+        let items = batch
+            .as_array()
+            .ok_or("field 'batch' must be an array of search objects")?;
+        if items.is_empty() {
+            return Err("batch must contain at least one search".into());
+        }
+        if items.len() > MAX_BATCH {
+            return Err(format!(
+                "batch holds {} items, limit is {MAX_BATCH}",
+                items.len()
+            ));
+        }
+        // Top-level deadline_ms / io_budget act as per-item defaults.
+        let deadline_default = field_opt_u64(&v, "deadline_ms")?;
+        let io_default = field_opt_u64(&v, "io_budget")?;
+        let mut parsed = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            if item.as_object().is_none() {
+                return Err(format!("batch item {i} must be a JSON object"));
+            }
+            let mut req = build_search(item).map_err(|e| format!("batch item {i}: {e}"))?;
+            req.deadline_ms = req.deadline_ms.or(deadline_default);
+            req.io_budget = req.io_budget.or(io_default);
+            parsed.push(req);
+        }
+        return Ok(WireRequest::Batch(parsed));
+    }
+    Ok(WireRequest::Search(build_search(&v)?))
 }
 
-fn build_search(v: &Value) -> Result<WireRequest, String> {
+fn build_search(v: &Value) -> Result<SearchRequest, String> {
     let query = field_str(v, "query")?
         .ok_or("search request needs a 'query' string")?
         .to_owned();
@@ -295,7 +396,9 @@ fn build_search(v: &Value) -> Result<WireRequest, String> {
         }
     };
     req.delay_ms = field_u64(v, "delay_ms", 0)?;
-    Ok(WireRequest::Search(req))
+    req.deadline_ms = field_opt_u64(v, "deadline_ms")?;
+    req.io_budget = field_opt_u64(v, "io_budget")?;
+    Ok(req)
 }
 
 /// Encodes the hits of a response — the part that must be byte-identical
@@ -316,6 +419,53 @@ pub fn hits_value(resp: &SearchResponse) -> Value {
             })
             .collect(),
     )
+}
+
+/// Encodes a [`Completeness`] label: `{"kind": "exact"}`,
+/// `{"kind": "approximate", "reason": ...}` or
+/// `{"kind": "truncated", "budget": ...}`.
+pub fn completeness_value(c: &Completeness) -> Value {
+    let mut m = BTreeMap::new();
+    match c {
+        Completeness::Exact => {
+            m.insert("kind".to_owned(), Value::from("exact"));
+        }
+        Completeness::Approximate { reason } => {
+            m.insert("kind".to_owned(), Value::from("approximate"));
+            m.insert("reason".to_owned(), Value::from(reason.name()));
+        }
+        Completeness::Truncated { budget_hit } => {
+            m.insert("kind".to_owned(), Value::from("truncated"));
+            m.insert("budget".to_owned(), Value::from(budget_hit.name()));
+        }
+    }
+    Value::Object(m)
+}
+
+/// Parses a wire completeness object back (for clients).
+pub fn completeness_from_value(v: &Value) -> Option<Completeness> {
+    match v.get("kind")?.as_str()? {
+        "exact" => Some(Completeness::Exact),
+        "approximate" => {
+            let reason = match v.get("reason")?.as_str()? {
+                "partial_lists" => ApproxReason::PartialLists,
+                "truncated_image" => ApproxReason::TruncatedImage,
+                "delta_corrections" => ApproxReason::DeltaCorrections,
+                _ => return None,
+            };
+            Some(Completeness::Approximate { reason })
+        }
+        "truncated" => {
+            let budget_hit = match v.get("budget")?.as_str()? {
+                "deadline" => BudgetKind::Deadline,
+                "io" => BudgetKind::Io,
+                "steps" => BudgetKind::Steps,
+                _ => return None,
+            };
+            Some(Completeness::Truncated { budget_hit })
+        }
+        _ => None,
+    }
 }
 
 /// Encodes [`IoStats`] counters.
@@ -346,6 +496,10 @@ pub fn response_value(resp: &SearchResponse, corpus: &Corpus) -> Value {
         Value::from(resp.served_from_cache),
     );
     m.insert("shards".to_owned(), Value::from(resp.shards as u64));
+    m.insert(
+        "completeness".to_owned(),
+        completeness_value(&resp.completeness),
+    );
     m.insert(
         "io".to_owned(),
         resp.io.as_ref().map(io_value).unwrap_or(Value::Null),
@@ -394,12 +548,81 @@ mod tests {
         req.use_delta = true;
         req.shards = Some(4);
         req.delay_ms = 3;
+        req.deadline_ms = Some(250);
+        req.io_budget = Some(1_000);
+        assert!(req.is_budgeted());
         let line = req.to_line();
         assert!(line.ends_with('\n'));
         match parse_request(&line).unwrap() {
             WireRequest::Search(got) => assert_eq!(got, req),
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn batch_roundtrip_and_defaults() {
+        let mut a = SearchRequest::new("a");
+        a.deadline_ms = Some(9); // explicit: must win over the default
+        let b = SearchRequest::new("b");
+        let line = batch_line(&[a.clone(), b.clone()]);
+        match parse_request(&line).unwrap() {
+            WireRequest::Batch(items) => assert_eq!(items, vec![a.clone(), b.clone()]),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Top-level budget fields act as per-item defaults.
+        let with_defaults = r#"{"batch":[{"query":"a","deadline_ms":9},{"query":"b"}],"deadline_ms":50,"io_budget":7}"#;
+        match parse_request(with_defaults).unwrap() {
+            WireRequest::Batch(items) => {
+                assert_eq!(items[0].deadline_ms, Some(9));
+                assert_eq!(items[0].io_budget, Some(7));
+                assert_eq!(items[1].deadline_ms, Some(50));
+                assert_eq!(items[1].io_budget, Some(7));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_and_malformed_batches_are_rejected() {
+        assert!(parse_request(r#"{"batch":[]}"#).is_err());
+        assert!(parse_request(r#"{"batch":"x"}"#).is_err());
+        assert!(
+            parse_request(r#"{"batch":[{"k":5}]}"#).is_err(),
+            "item without query"
+        );
+        let big = batch_line(&vec![SearchRequest::new("q"); MAX_BATCH + 1]);
+        assert!(parse_request(&big).is_err());
+        let ok = batch_line(&vec![SearchRequest::new("q"); MAX_BATCH]);
+        assert!(parse_request(&ok).is_ok());
+    }
+
+    #[test]
+    fn completeness_roundtrips_through_the_wire_shape() {
+        for c in [
+            Completeness::Exact,
+            Completeness::Approximate {
+                reason: ApproxReason::PartialLists,
+            },
+            Completeness::Approximate {
+                reason: ApproxReason::TruncatedImage,
+            },
+            Completeness::Approximate {
+                reason: ApproxReason::DeltaCorrections,
+            },
+            Completeness::Truncated {
+                budget_hit: BudgetKind::Deadline,
+            },
+            Completeness::Truncated {
+                budget_hit: BudgetKind::Io,
+            },
+            Completeness::Truncated {
+                budget_hit: BudgetKind::Steps,
+            },
+        ] {
+            let v = completeness_value(&c);
+            assert_eq!(completeness_from_value(&v), Some(c), "{c}");
+        }
+        assert_eq!(completeness_from_value(&Value::from(3u64)), None);
     }
 
     #[test]
@@ -416,6 +639,9 @@ mod tests {
                 assert!(!s.use_delta);
                 assert_eq!(s.shards, None);
                 assert_eq!(s.delay_ms, 0);
+                assert_eq!(s.deadline_ms, None);
+                assert_eq!(s.io_budget, None);
+                assert!(!s.is_budgeted());
             }
             other => panic!("wrong variant: {other:?}"),
         }
@@ -462,6 +688,8 @@ mod tests {
             r#"{"query":"a","backend":"tape"}"#,
             r#"{"query":"a","delay_ms":-1}"#,
             r#"{"query":"a","shards":"many"}"#,
+            r#"{"query":"a","deadline_ms":"soon"}"#,
+            r#"{"query":"a","io_budget":-5}"#,
         ] {
             assert!(parse_request(bad).is_err(), "accepted bad request: {bad}");
         }

@@ -225,6 +225,10 @@ impl ListBackend for DiskLists {
     fn phrase_range(&self) -> Option<(PhraseId, PhraseId)> {
         self.range
     }
+
+    fn io_fetches(&self) -> u64 {
+        self.pool.lock().stats().total_fetches()
+    }
 }
 
 /// A forward cursor over one disk-resident list run (score-ordered or

@@ -65,7 +65,7 @@ fn main() {
                 let mut client = Client::connect(&addr).expect("connect");
                 for r in 0..rounds {
                     let q = &queries[(w + r) % queries.len()];
-                    let mut req = SearchRequest::new(q.clone());
+                    let mut req = WireSearchRequest::new(q.clone());
                     req.k = 5;
                     let resp = client.search(&req).expect("roundtrip");
                     assert_eq!(resp["ok"].as_bool(), Some(true));
@@ -104,7 +104,7 @@ fn main() {
     // A coalescing burst: 8 clients fire the *same* query at once while
     // the engine cache is bypassed by an artificial 50 ms service time —
     // single-flight folds them onto (at most a couple of) executions.
-    let mut burst = SearchRequest::new(queries[0].clone());
+    let mut burst = WireSearchRequest::new(queries[0].clone());
     burst.k = 5;
     burst.delay_ms = 50;
     let before = handle.engine().queries_served();
@@ -116,7 +116,7 @@ fn main() {
 
     // The same server serves the simulated-disk backend; the per-backend
     // IO bill shows up in the aggregate stats.
-    let mut disk_req = SearchRequest::new(queries[1].clone());
+    let mut disk_req = WireSearchRequest::new(queries[1].clone());
     disk_req.k = 5;
     disk_req.backend = BackendChoice::Disk;
     let mut client = Client::connect(&addr).expect("connect");
@@ -135,6 +135,38 @@ fn main() {
         "aggregate disk IO across all served queries: {} fetches",
         handle.stats().disk_io.total_fetches(),
     );
+
+    // Budgets over the wire: a 1 ms deadline under a 100 ms simulated
+    // service time is shed with a structured `deadline_exceeded` error —
+    // queue wait counts against the budget, so dead-on-arrival requests
+    // never hold a worker.
+    let mut doomed = WireSearchRequest::new(queries[0].clone());
+    doomed.delay_ms = 100;
+    doomed.deadline_ms = Some(1);
+    let shed = client.search(&doomed).expect("roundtrip");
+    println!(
+        "\ndeadline_ms=1 under delay_ms=100: ok={} error.kind={}",
+        shed["ok"] == true,
+        shed["error"]["kind"].as_str().unwrap_or("?"),
+    );
+
+    // A batch shares one admission slot and returns per-item results;
+    // every result carries its completeness label.
+    let batch = client
+        .search_batch(&[
+            WireSearchRequest::new(queries[0].clone()),
+            WireSearchRequest::new(queries[1].clone()),
+        ])
+        .expect("batch roundtrip");
+    for (i, item) in batch["batch"].as_array().unwrap().iter().enumerate() {
+        println!(
+            "batch[{i}]: ok={} completeness={}",
+            item["ok"] == true,
+            item["result"]["completeness"]["kind"]
+                .as_str()
+                .unwrap_or("?"),
+        );
+    }
 
     // Graceful shutdown over the wire: acknowledged, drained, joined.
     client.shutdown_server().expect("shutdown verb");

@@ -69,4 +69,26 @@ fn main() {
             hit.score
         );
     }
+
+    // 5. The serving API: a budgeted, cancellable request through the
+    //    engine's builder. The deadline and IO cap bound what this query
+    //    may cost; `completeness` says whether the answer is the exact
+    //    top-k, inherently approximate, or budget-truncated.
+    let engine = QueryEngine::new(miner);
+    let resp = engine
+        .request("w1 OR w2")
+        .k(5)
+        .algorithm(Algorithm::Nra)
+        .backend(BackendChoice::Disk)
+        .deadline(std::time::Duration::from_millis(250))
+        .io_budget(100_000)
+        .run()
+        .expect("in-vocabulary query, generous budget");
+    println!(
+        "\nengine: {} hits in {:.2} ms ({}, {} simulated fetches)",
+        resp.hits.len(),
+        resp.elapsed.as_secs_f64() * 1e3,
+        resp.completeness,
+        resp.io.map(|io| io.total_fetches()).unwrap_or(0),
+    );
 }

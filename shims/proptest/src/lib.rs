@@ -332,7 +332,7 @@ pub mod prop {
             }
         }
 
-        /// Strategy built by [`vec`].
+        /// Strategy built by [`vec()`].
         pub struct VecStrategy<E> {
             element: E,
             size: SizeRange,

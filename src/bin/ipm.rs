@@ -39,12 +39,14 @@ const USAGE: &str = "usage:
   ipm index  --input <file> --out <dir> [--min-df N] [--max-len N] [--fraction F]
              [--shards N]
   ipm query  --input <file> <query string> [--k N] [--method nra|smj|ta|exact]
-             [--backend memory|disk] [--fraction F] [--shards N] [--json true]
+             [--backend memory|disk] [--fraction F] [--shards N]
+             [--deadline-ms N] [--io-budget N] [--json true]
   ipm serve  [--input <file>] [--host H] [--port N] [--workers N]
              [--queue-depth N] [--cache true|false] [--shards N]
              [--min-df N] [--max-len N]
   ipm client --addr <host:port> <query string> [--k N] [--method M] [--backend B]
-             [--shards N] [--delay-ms N] [--json true]
+             [--shards N] [--delay-ms N] [--deadline-ms N] [--io-budget N]
+             [--json true]
   ipm client --addr <host:port> --stats true | --shutdown true
   ipm client --addr <host:port> --load-threads N [--load-requests N]
              [--delay-ms N] <query string>
@@ -56,9 +58,13 @@ query strings: terms joined by AND or OR (one operator per query);
 key:value terms are metadata facets. Bare terms default to AND.
 --shards N partitions every word list by phrase-id range and runs each
 query over the N partitions in parallel (exact merge; see
-docs/architecture.md). repl reads one query per stdin line; repl and
-serve fall back to the synthetic demo corpus without --input. serve
-speaks the line-delimited JSON protocol documented in docs/protocol.md.";
+docs/architecture.md). --deadline-ms / --io-budget bound a query's cost:
+a tripped budget returns the anytime result marked `truncated` (server
+side, queue wait counts against the deadline and dead-on-arrival
+requests get a structured deadline_exceeded error). repl reads one query
+per stdin line; repl and serve fall back to the synthetic demo corpus
+without --input. serve speaks the line-delimited JSON protocol
+documented in docs/protocol.md.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -237,6 +243,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let fraction: f64 = flags.get_parsed("fraction", 1.0)?;
     let shards: usize = flags.get_parsed("shards", 0)?;
     let json: bool = flags.get_parsed("json", false)?;
+    let budget = budget_flags(&flags)?;
 
     let backend = flags.get("backend").unwrap_or("memory");
 
@@ -248,7 +255,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let engine = QueryEngine::new(miner);
     if json {
         let options = search_options(method, backend, fraction, shards)?;
-        let resp = engine.execute(query, k, &options);
+        let resp = run_request(&engine, query, k, options, budget)?;
         // The exact wire shape the server's `result` field carries: CLI
         // and protocol stay one schema.
         let value = wire::response_value(&resp, engine.miner().corpus());
@@ -258,7 +265,57 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         );
         return Ok(());
     }
-    run_engine_and_print(&engine, query, k, method, backend, fraction, shards)
+    run_engine_and_print(&engine, query, k, method, backend, fraction, shards, budget)
+}
+
+/// Budget knobs shared by `query` and `client`.
+#[derive(Debug, Clone, Copy, Default)]
+struct BudgetFlags {
+    deadline_ms: Option<u64>,
+    io_budget: Option<u64>,
+}
+
+fn budget_flags(flags: &Flags) -> Result<BudgetFlags, String> {
+    Ok(BudgetFlags {
+        deadline_ms: match flags.get("deadline-ms") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("invalid value for --deadline-ms: {v}"))?,
+            ),
+        },
+        io_budget: match flags.get("io-budget") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("invalid value for --io-budget: {v}"))?,
+            ),
+        },
+    })
+}
+
+/// Runs one query through the builder API with the CLI's budget flags.
+fn run_request(
+    engine: &QueryEngine,
+    query: Query,
+    k: usize,
+    options: SearchOptions,
+    budget: BudgetFlags,
+) -> Result<SearchResponse, String> {
+    let mut request = engine.request_query(query).k(k).options(options);
+    if let Some(ms) = budget.deadline_ms {
+        request = request.deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(cap) = budget.io_budget {
+        request = request.io_budget(cap);
+    }
+    request.run().map_err(|e| match e {
+        SearchError::Parse(p) => p.to_string(),
+        SearchError::DeadlineExceeded => {
+            "deadline_exceeded: the deadline passed before execution started".to_owned()
+        }
+        SearchError::Cancelled => "cancelled".to_owned(),
+    })
 }
 
 fn cmd_demo(args: &[String]) -> Result<(), String> {
@@ -284,13 +341,31 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
     for backend in ["memory", "disk"] {
         for method in ["exact", "smj", "nra", "ta"] {
             println!("\n[{method} @ {backend}]");
-            run_engine_and_print(&engine, query.clone(), k, method, backend, 1.0, 0)?;
+            run_engine_and_print(
+                &engine,
+                query.clone(),
+                k,
+                method,
+                backend,
+                1.0,
+                0,
+                BudgetFlags::default(),
+            )?;
         }
     }
     // The same query fanned across 4 phrase-id shards returns the same
     // answer (exact merge; on a multi-core box also faster).
     println!("\n[nra @ memory, 4 shards]");
-    run_engine_and_print(&engine, query.clone(), k, "nra", "memory", 1.0, 4)?;
+    run_engine_and_print(
+        &engine,
+        query.clone(),
+        k,
+        "nra",
+        "memory",
+        1.0,
+        4,
+        BudgetFlags::default(),
+    )?;
     // A repeated request is answered from the result cache.
     let start = std::time::Instant::now();
     let resp = engine.execute(query, k, &SearchOptions::default());
@@ -325,7 +400,8 @@ fn search_options(
 }
 
 /// Serves one query through the unified engine and prints the hits, the
-/// latency, and (for the disk backend) the simulated IO bill.
+/// latency, the resolved shard fanout, the cache status, the completeness
+/// marker, and (for the disk backend) the simulated IO bill.
 #[allow(clippy::too_many_arguments)]
 fn run_engine_and_print(
     engine: &QueryEngine,
@@ -335,9 +411,10 @@ fn run_engine_and_print(
     backend: &str,
     fraction: f64,
     shards: usize,
+    budget: BudgetFlags,
 ) -> Result<(), String> {
     let options = search_options(method, backend, fraction, shards)?;
-    let resp = engine.execute(query, k, &options);
+    let resp = run_request(engine, query, k, options, budget)?;
     if resp.hits.is_empty() {
         println!("(no phrases match)");
     }
@@ -351,19 +428,25 @@ fn run_engine_and_print(
         );
     }
     let ms = resp.elapsed.as_secs_f64() * 1000.0;
-    let fanout = if resp.shards > 1 {
-        format!(", {} shards", resp.shards)
+    let cache = if resp.served_from_cache {
+        "cache hit"
     } else {
-        String::new()
+        "cache miss"
     };
+    let summary = format!(
+        "{method} @ {backend}, {} shard{}, {}, {cache}",
+        resp.shards,
+        if resp.shards == 1 { "" } else { "s" },
+        resp.completeness,
+    );
     match resp.io {
         Some(io) => println!(
-            "({method} @ {backend}{fanout}, {ms:.2} ms compute + {:.1} ms simulated IO: {} seq / {} rand fetches)",
+            "({summary}, {ms:.2} ms compute + {:.1} ms simulated IO: {} seq / {} rand fetches)",
             io.io_ms(engine.disk().cost_model()),
             io.sequential_fetches,
             io.random_fetches,
         ),
-        None => println!("({method} @ {backend}{fanout}, {ms:.2} ms)"),
+        None => println!("({summary}, {ms:.2} ms)"),
     }
     Ok(())
 }
@@ -460,7 +543,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         .positional
         .first()
         .ok_or("client needs a query string (or --stats/--shutdown true)")?;
-    let mut request = SearchRequest::new(query.clone());
+    let mut request = WireSearchRequest::new(query.clone());
     request.k = flags.get_parsed("k", 5)?;
     request.algorithm = wire::algorithm_from_str(flags.get("method").unwrap_or("nra"))?;
     request.backend = wire::backend_from_str(flags.get("backend").unwrap_or("memory"))?;
@@ -469,6 +552,9 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     let shards: usize = flags.get_parsed("shards", 0)?;
     request.shards = (shards > 0).then_some(shards);
     request.delay_ms = flags.get_parsed("delay-ms", 0)?;
+    let budget = budget_flags(&flags)?;
+    request.deadline_ms = budget.deadline_ms;
+    request.io_budget = budget.io_budget;
 
     if let Some(threads) = flags.get("load-threads") {
         let threads: usize = threads
@@ -509,9 +595,13 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             );
         }
         println!(
-            "({:.2} ms engine, {:.2} ms at server, cached = {}, coalesced = {})",
+            "({:.2} ms engine, {:.2} ms at server, {} shards, {}, cached = {}, coalesced = {})",
             response["result"]["elapsed_us"].as_f64().unwrap_or(0.0) / 1e3,
             response["server"]["wait_us"].as_f64().unwrap_or(0.0) / 1e3,
+            response["result"]["shards"].as_u64().unwrap_or(1),
+            response["result"]["completeness"]["kind"]
+                .as_str()
+                .unwrap_or("?"),
             response["result"]["served_from_cache"] == true,
             response["server"]["coalesced"] == true,
         );

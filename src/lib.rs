@@ -49,6 +49,33 @@
 //! }
 //! ```
 //!
+//! ## Budgeted, cancellable search
+//!
+//! Every request can carry a budget — deadline, simulated-IO cap,
+//! deterministic step cap, cancellation token — via the
+//! [`prelude::SearchRequest`] builder ([`prelude::QueryEngine::request`]);
+//! `search`/`search_with`/`execute` remain as thin shims over the same
+//! path. A budget that trips mid-run returns the anytime result marked
+//! [`prelude::Completeness::Truncated`] (never cached); cancellation
+//! returns [`prelude::SearchError::Cancelled`].
+//!
+//! ```
+//! use interesting_phrases::prelude::*;
+//! use std::time::Duration;
+//!
+//! let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+//! let engine = QueryEngine::new(PhraseMiner::build(&corpus, MinerConfig::default()));
+//! let resp = engine
+//!     .request("w1 OR w2")
+//!     .k(5)
+//!     .backend(BackendChoice::Disk)
+//!     .deadline(Duration::from_secs(5))
+//!     .io_budget(1_000_000)
+//!     .run()
+//!     .unwrap();
+//! assert!(resp.completeness.is_exact()); // generous budget: untouched
+//! ```
+//!
 //! ## Serving: one engine, two backends, four algorithms
 //!
 //! [`prelude::QueryEngine`] serves string queries with a per-request
@@ -84,7 +111,14 @@ pub use ipm_server as server;
 pub use ipm_storage as storage;
 
 /// Convenient glob-import surface for applications.
+///
+/// `SearchRequest` is the engine's *builder* API
+/// (`engine.request("...").k(10).deadline(d).run()`); the wire-protocol
+/// request object of `ipm_server` is re-exported as `WireSearchRequest`.
 pub mod prelude {
+    pub use ipm_core::budget::{
+        ApproxReason, Budget, BudgetKind, CancelToken, Completeness, SearchError,
+    };
     pub use ipm_core::cache::{CacheConfig, CacheStats};
     pub use ipm_core::engine::{
         Algorithm, BackendChoice, EngineConfig, QueryEngine, SearchHit, SearchOptions,
@@ -95,12 +129,14 @@ pub mod prelude {
     pub use ipm_core::plan::{QueryPlan, MAX_SHARDS};
     pub use ipm_core::query::{Operator, Query};
     pub use ipm_core::redundancy::RedundancyConfig;
+    pub use ipm_core::request::SearchRequest;
     pub use ipm_core::result::PhraseHit;
     pub use ipm_corpus::{
         Corpus, CorpusBuilder, DocId, Feature, PhraseId, TokenizerConfig, WordId,
     };
     pub use ipm_index::phrase::PhraseDictionary;
     pub use ipm_server::{
-        run_load, Client, SearchRequest, Server, ServerConfig, ServerHandle, ServerStats,
+        run_load, Client, SearchRequest as WireSearchRequest, Server, ServerConfig, ServerHandle,
+        ServerStats,
     };
 }

@@ -424,3 +424,139 @@ fn frequency_semantics_ablation_df_vs_occurrence() {
         "df vs occurrence top-5 agreement only {agreement:.2}"
     );
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Budget-truncation consistency (the anytime envelope): on arbitrary
+    /// corpora, a budget-truncated NRA/TA run may return *fewer* hits or
+    /// *looser* bounds than the unbudgeted run — but never a wrong score.
+    /// Every truncated hit's `[lower, upper]` interval must bracket the
+    /// phrase's true aggregate (taken from a full SMJ scan, which shares
+    /// the score scale), resolved hits must match it exactly, and hits
+    /// for phrases with no true score (NRA's AND upper-bound phantoms)
+    /// must still carry unresolved bounds — across both backends and
+    /// shard fanouts.
+    #[test]
+    fn budget_truncated_runs_are_prefix_consistent(
+        docs in proptest::prop::collection::vec(
+            proptest::prop::collection::vec(0u8..10, 2..20), 4..24),
+        steps in 1u64..24,
+    ) {
+        let mut b = ipm_corpus::CorpusBuilder::new(ipm_corpus::TokenizerConfig::default());
+        for d in &docs {
+            let text: Vec<String> = d.iter().map(|t| format!("t{t}")).collect();
+            b.add_text(&text.join(" "));
+        }
+        let corpus = b.build();
+        let top = ipm_corpus::stats::top_words_by_df(&corpus, 2);
+        if top.len() < 2 {
+            return Ok(()); // degenerate single-word corpus: nothing to query
+        }
+        let miner = PhraseMiner::build(
+            &corpus,
+            MinerConfig {
+                index: ipm_index::corpus_index::IndexConfig {
+                    mining: ipm_index::mining::MiningConfig {
+                        min_df: 2,
+                        max_len: 3,
+                        min_len: 1,
+                    },
+                },
+                ..Default::default()
+            },
+        );
+        // No result cache: a cache hit would satisfy the budgeted request
+        // without ever exercising truncation.
+        let engine = QueryEngine::with_config(
+            miner,
+            ipm_core::EngineConfig {
+                cache: None,
+                ..Default::default()
+            },
+        );
+        let words: Vec<&str> = top
+            .iter()
+            .map(|&(w, _)| corpus.words().term(w).unwrap())
+            .collect();
+        for op in ["AND", "OR"] {
+            let input = format!("{} {op} {}", words[0], words[1]);
+            let query = engine.miner().parse_query_str(&input).unwrap();
+            // Ground truth on the same score scale: the full SMJ scan.
+            let truth: Vec<_> = engine.miner().top_k_smj(&query, 100_000);
+            let true_score = |p: ipm_corpus::PhraseId| {
+                truth.iter().find(|h| h.phrase == p).map(|h| h.score)
+            };
+            for algorithm in [Algorithm::Nra, Algorithm::Ta] {
+                for backend in [BackendChoice::Memory, BackendChoice::Disk] {
+                    for shards in [1usize, 3] {
+                        let full = engine
+                            .request(input.clone())
+                            .k(5)
+                            .algorithm(algorithm)
+                            .backend(backend)
+                            .shards(shards)
+                            .run()
+                            .unwrap();
+                        let truncated = engine
+                            .request(input.clone())
+                            .k(5)
+                            .algorithm(algorithm)
+                            .backend(backend)
+                            .shards(shards)
+                            .step_budget(steps)
+                            .run()
+                            .unwrap();
+                        if !truncated.completeness.is_truncated() {
+                            // The budget never tripped (cache hit or the
+                            // run finished first): results must be the
+                            // unbudgeted answer, bit for bit.
+                            prop_assert_eq!(
+                                full.hits.iter().map(|h| h.hit.phrase).collect::<Vec<_>>(),
+                                truncated.hits.iter().map(|h| h.hit.phrase).collect::<Vec<_>>(),
+                                "{:?}/{:?} {} @ {}: untripped budget changed results",
+                                algorithm, backend, op, shards
+                            );
+                            continue;
+                        }
+                        prop_assert!(
+                            !truncated.served_from_cache,
+                            "truncated responses must never come from (or enter) the cache"
+                        );
+                        for h in &truncated.hits {
+                            match true_score(h.hit.phrase) {
+                                Some(t) => {
+                                    prop_assert!(
+                                        h.hit.lower <= t + 1e-9 && t <= h.hit.upper + 1e-9,
+                                        "{:?}/{:?} {} @ {} steps {}: bounds [{}, {}] miss true {}",
+                                        algorithm, backend, op, shards, steps,
+                                        h.hit.lower, h.hit.upper, t
+                                    );
+                                    if h.hit.is_resolved() {
+                                        prop_assert!(
+                                            (h.hit.score - t).abs() < 1e-9,
+                                            "{:?}/{:?}: resolved score {} != true {}",
+                                            algorithm, backend, h.hit.score, t
+                                        );
+                                    }
+                                }
+                                None => prop_assert!(
+                                    !h.hit.is_resolved(),
+                                    "{:?}/{:?} {}: phantom phrase {:?} presented as resolved",
+                                    algorithm, backend, op, h.hit.phrase
+                                ),
+                            }
+                        }
+                        // TA resolves every admitted hit: a truncated TA
+                        // run is an exactly-scored subset of the truth.
+                        if algorithm == Algorithm::Ta {
+                            for h in &truncated.hits {
+                                prop_assert!(h.hit.is_resolved());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Budgeted, cancellable search through the public `SearchRequest` API:
+//! IO caps hold (within one page-batch per shard), deadlines shed
+//! dead-on-arrival work, cancellation is clean and leaves no poisoned
+//! engine state, and truncated results are anytime-consistent.
+
+use interesting_phrases::prelude::*;
+use ipm_storage::PoolConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// An engine whose disk image uses tiny (256-byte) pages, so per-query
+/// fetch counts are large enough for an IO cap to bite mid-traversal.
+fn fine_grained_engine(shards: usize) -> QueryEngine {
+    let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+    QueryEngine::with_config(
+        PhraseMiner::build(&corpus, MinerConfig::default()),
+        EngineConfig {
+            cache: None,
+            shards,
+            pool: PoolConfig {
+                page_size: 256,
+                capacity_pages: 8,
+                lookahead_pages: 1,
+            },
+            ..Default::default()
+        },
+    )
+}
+
+fn top_query(engine: &QueryEngine, op: &str) -> String {
+    let top = ipm_corpus::stats::top_words_by_df(engine.miner().corpus(), 2);
+    let words: Vec<&str> = top
+        .iter()
+        .map(|&(w, _)| engine.miner().corpus().words().term(w).unwrap())
+        .collect();
+    words.join(&format!(" {op} "))
+}
+
+/// Acceptance: a disk-backed query with `io_budget` set never exceeds the
+/// cap by more than one page-batch per shard. "One page-batch" here is
+/// the fetches one shard can perform between two cooperative checkpoints:
+/// a round of `r` sorted accesses, each pulling at most one page plus one
+/// lookahead prefetch — bounded by 8 pages for the 2-feature queries
+/// below.
+#[test]
+fn io_budget_caps_disk_fetches_within_one_page_batch_per_shard() {
+    const PAGE_BATCH: u64 = 8;
+    for shards in [1usize, 4] {
+        let engine = fine_grained_engine(1);
+        let q = top_query(&engine, "OR");
+
+        // The unbudgeted run must be much more expensive than the cap,
+        // otherwise the assertion below would be vacuous.
+        let free = engine
+            .request(q.clone())
+            .k(100)
+            .backend(BackendChoice::Disk)
+            .shards(shards)
+            .run()
+            .unwrap();
+        let free_fetches = free.io.unwrap().total_fetches();
+        let cap = 10u64;
+        assert!(
+            free_fetches > cap * 3,
+            "{shards} shards: unbudgeted run only fetched {free_fetches} pages; \
+             the cap test would be vacuous"
+        );
+
+        let capped = engine
+            .request(q.clone())
+            .k(100)
+            .backend(BackendChoice::Disk)
+            .shards(shards)
+            .io_budget(cap)
+            .run()
+            .unwrap();
+        let io = capped.io.expect("disk run reports IoStats");
+        assert!(
+            io.total_fetches() <= cap + PAGE_BATCH * shards as u64,
+            "{shards} shards: {} fetches exceed cap {cap} + {PAGE_BATCH}/shard",
+            io.total_fetches()
+        );
+        assert_eq!(
+            capped.completeness,
+            Completeness::Truncated {
+                budget_hit: BudgetKind::Io
+            },
+            "{shards} shards: a binding IO cap must label the response truncated"
+        );
+        // The engine is not poisoned: the next unbudgeted query is exact
+        // and identical to the pre-cap baseline.
+        let again = engine
+            .request(q)
+            .k(100)
+            .backend(BackendChoice::Disk)
+            .shards(shards)
+            .run()
+            .unwrap();
+        assert!(again.completeness.is_exact());
+        assert_eq!(
+            free.hits.iter().map(|h| h.hit.phrase).collect::<Vec<_>>(),
+            again.hits.iter().map(|h| h.hit.phrase).collect::<Vec<_>>(),
+        );
+    }
+}
+
+/// A generous IO cap never triggers: results and completeness are
+/// identical to the unbudgeted run.
+#[test]
+fn generous_io_budget_changes_nothing() {
+    let engine = fine_grained_engine(1);
+    let q = top_query(&engine, "AND");
+    let free = engine
+        .request(q.clone())
+        .k(10)
+        .backend(BackendChoice::Disk)
+        .run()
+        .unwrap();
+    let budgeted = engine
+        .request(q)
+        .k(10)
+        .backend(BackendChoice::Disk)
+        .io_budget(1_000_000)
+        .run()
+        .unwrap();
+    assert!(budgeted.completeness.is_exact());
+    assert_eq!(free.hits, budgeted.hits);
+}
+
+/// Satellite: cancellation racing a sharded disk query from another
+/// thread. Whatever the interleaving, the outcome is either a complete
+/// response or a clean `SearchError::Cancelled` — never a panic, a
+/// poisoned engine, or a wrong answer afterwards.
+#[test]
+fn cancellation_race_leaves_engine_clean() {
+    let engine = fine_grained_engine(4);
+    let q = top_query(&engine, "OR");
+    let baseline: Vec<_> = engine
+        .request(q.clone())
+        .k(50)
+        .backend(BackendChoice::Disk)
+        .run()
+        .unwrap()
+        .hits
+        .iter()
+        .map(|h| h.hit.phrase)
+        .collect();
+
+    let cancelled_seen = AtomicUsize::new(0);
+    let completed_seen = AtomicUsize::new(0);
+    for round in 0..30 {
+        let token = CancelToken::new();
+        // Vary the cancel point across rounds to sweep the race window:
+        // some rounds cancel before the worker even spawns (guaranteed
+        // dead-on-arrival), the rest race the shard threads mid-flight.
+        if round % 5 == 0 {
+            token.cancel();
+        }
+        std::thread::scope(|s| {
+            let eng = engine.clone();
+            let query = q.clone();
+            let tok = token.clone();
+            let worker = s.spawn(move || {
+                eng.request(query)
+                    .k(50)
+                    .backend(BackendChoice::Disk)
+                    .cancel_token(tok)
+                    .run()
+            });
+            if round % 3 != 0 {
+                std::thread::yield_now();
+            }
+            token.cancel();
+            match worker.join().expect("no panic under cancellation") {
+                Ok(resp) => {
+                    completed_seen.fetch_add(1, Ordering::Relaxed);
+                    // A response that beat the cancel is a full, correct
+                    // one — cancellation never degrades a delivered
+                    // result.
+                    assert!(resp.completeness.is_exact());
+                    let got: Vec<_> = resp.hits.iter().map(|h| h.hit.phrase).collect();
+                    assert_eq!(got, baseline);
+                }
+                Err(SearchError::Cancelled) => {
+                    cancelled_seen.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(other) => panic!("unexpected error under cancellation: {other:?}"),
+            }
+        });
+        // The same engine serves the next query exactly: no poisoned
+        // locks, no stale budget state.
+        let after = engine
+            .request(q.clone())
+            .k(50)
+            .backend(BackendChoice::Disk)
+            .run()
+            .unwrap();
+        assert!(after.completeness.is_exact(), "round {round}");
+        let got: Vec<_> = after.hits.iter().map(|h| h.hit.phrase).collect();
+        assert_eq!(got, baseline, "round {round}: post-cancel query drifted");
+    }
+    assert!(
+        cancelled_seen.load(Ordering::Relaxed) > 0,
+        "30 rounds never observed a cancellation; the race window is gone"
+    );
+    let _ = completed_seen.load(Ordering::Relaxed); // either outcome is legal
+}
+
+/// Deadlines: an expired deadline is dead on arrival; a generous one
+/// changes nothing.
+#[test]
+fn deadline_semantics_at_the_engine() {
+    let engine = fine_grained_engine(1);
+    let q = top_query(&engine, "OR");
+    assert!(matches!(
+        engine.request(q.clone()).deadline(Duration::ZERO).run(),
+        Err(SearchError::DeadlineExceeded)
+    ));
+    let resp = engine
+        .request(q)
+        .deadline(Duration::from_secs(3600))
+        .run()
+        .unwrap();
+    assert!(resp.completeness.is_exact());
+    assert!(!resp.hits.is_empty());
+}
+
+/// A budget-truncated disk response still reports its (partial) IoStats
+/// and accumulates into the engine-wide totals — observability survives
+/// truncation.
+#[test]
+fn truncated_responses_keep_io_accounting() {
+    let engine = fine_grained_engine(1);
+    let q = top_query(&engine, "OR");
+    let before = engine.io_totals();
+    let resp = engine
+        .request(q)
+        .k(100)
+        .backend(BackendChoice::Disk)
+        .io_budget(5)
+        .run()
+        .unwrap();
+    assert!(resp.completeness.is_truncated());
+    let io = resp.io.expect("truncated disk run still reports IO");
+    assert!(io.total_fetches() > 0);
+    let after = engine.io_totals();
+    assert_eq!(
+        after.total_accesses(),
+        before.total_accesses() + io.total_accesses()
+    );
+}
+
+/// Truncated results are never cached, on an engine *with* a cache: the
+/// budgeted run misses, the unbudgeted rerun misses again (nothing was
+/// stored) and only then does the exact result populate the cache.
+#[test]
+fn truncation_never_pollutes_the_cache() {
+    let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+    let engine = QueryEngine::with_config(
+        PhraseMiner::build(&corpus, MinerConfig::default()),
+        EngineConfig {
+            pool: PoolConfig {
+                page_size: 256,
+                capacity_pages: 8,
+                lookahead_pages: 1,
+            },
+            ..Default::default()
+        },
+    );
+    let q = top_query(&engine, "OR");
+    let truncated = engine
+        .request(q.clone())
+        .k(100)
+        .backend(BackendChoice::Disk)
+        .io_budget(5)
+        .run()
+        .unwrap();
+    assert!(truncated.completeness.is_truncated());
+    let full = engine
+        .request(q.clone())
+        .k(100)
+        .backend(BackendChoice::Disk)
+        .run()
+        .unwrap();
+    assert!(
+        !full.served_from_cache,
+        "a truncated result must not satisfy later requests"
+    );
+    assert!(full.completeness.is_exact());
+    let warm = engine
+        .request(q)
+        .k(100)
+        .backend(BackendChoice::Disk)
+        .run()
+        .unwrap();
+    assert!(warm.served_from_cache);
+    assert!(warm.completeness.is_exact());
+}

@@ -66,7 +66,7 @@ fn eight_clients_serve_byte_identical_hits() {
             s.spawn(move || {
                 let mut client = Client::connect(&addr).expect("connect");
                 for (i, q) in queries.iter().enumerate() {
-                    let mut req = SearchRequest::new(q.clone());
+                    let mut req = WireSearchRequest::new(q.clone());
                     req.k = 5;
                     req.algorithm =
                         wire::algorithm_from_str(methods[(t + i) % methods.len()]).unwrap();
@@ -109,7 +109,7 @@ fn sharded_requests_over_the_wire() {
     let addr = handle.addr().to_string();
     let terms = top_terms(handle.engine(), 2);
     let mut client = Client::connect(&addr).expect("connect");
-    let mut base = SearchRequest::new(format!("{} OR {}", terms[0], terms[1]));
+    let mut base = WireSearchRequest::new(format!("{} OR {}", terms[0], terms[1]));
     base.k = 5;
     let unsharded = client.search(&base).expect("roundtrip");
     assert_eq!(unsharded["ok"].as_bool(), Some(true));
@@ -142,7 +142,7 @@ fn sharded_requests_over_the_wire() {
 fn duplicate_queries_coalesce_onto_one_execution() {
     let handle = spawn(build_engine(false), 2, 64);
     let terms = top_terms(handle.engine(), 2);
-    let mut req = SearchRequest::new(format!("{} OR {}", terms[0], terms[1]));
+    let mut req = WireSearchRequest::new(format!("{} OR {}", terms[0], terms[1]));
     req.k = 5;
     req.delay_ms = 500; // hold the flight open across the whole burst
     let report = run_load(&handle.addr().to_string(), 8, 1, &req).expect("load run");
@@ -189,7 +189,7 @@ fn queue_overflow_sheds_with_structured_errors() {
             let barrier = barrier.clone();
             handles.push(s.spawn(move || {
                 let mut client = Client::connect(&addr).expect("connect");
-                let mut req = SearchRequest::new(query);
+                let mut req = WireSearchRequest::new(query);
                 req.k = 3 + i; // distinct keys: coalescing must not mask the overflow
                 req.delay_ms = 150;
                 barrier.wait();
@@ -236,7 +236,7 @@ fn queue_overflow_sheds_with_structured_errors() {
     // The server is healthy after shedding: a fresh request succeeds.
     let mut client = Client::connect(&addr).expect("reconnect");
     let after = client
-        .search(&SearchRequest::new(query))
+        .search(&WireSearchRequest::new(query))
         .expect("roundtrip");
     assert_eq!(after["ok"].as_bool(), Some(true));
 }
@@ -260,7 +260,7 @@ fn control_verbs_and_graceful_shutdown() {
         .unwrap();
     assert_eq!(unknown["error"]["kind"], "query");
 
-    let mut req = SearchRequest::new(format!("{} AND {}", terms[0], terms[1]));
+    let mut req = WireSearchRequest::new(format!("{} AND {}", terms[0], terms[1]));
     req.backend = ipm_core::BackendChoice::Disk;
     assert_eq!(client.search(&req).unwrap()["ok"].as_bool(), Some(true));
     assert_eq!(
@@ -317,7 +317,10 @@ fn oversized_request_lines_are_rejected_not_buffered() {
     let terms = top_terms(handle.engine(), 2);
     let mut fresh = Client::connect(&addr).expect("reconnect");
     let ok = fresh
-        .search(&SearchRequest::new(format!("{} OR {}", terms[0], terms[1])))
+        .search(&WireSearchRequest::new(format!(
+            "{} OR {}",
+            terms[0], terms[1]
+        )))
         .expect("roundtrip");
     assert_eq!(ok["ok"].as_bool(), Some(true));
 }
@@ -329,7 +332,7 @@ fn oversized_request_lines_are_rejected_not_buffered() {
 fn load_generator_reports_clean_run() {
     let handle = spawn(build_engine(true), 4, 64);
     let terms = top_terms(handle.engine(), 2);
-    let mut req = SearchRequest::new(format!("{} OR {}", terms[0], terms[1]));
+    let mut req = WireSearchRequest::new(format!("{} OR {}", terms[0], terms[1]));
     req.k = 5;
     req.delay_ms = 2;
     let report = run_load(&handle.addr().to_string(), 8, 5, &req).expect("load");
@@ -342,4 +345,209 @@ fn load_generator_reports_clean_run() {
     // have executed far fewer than 40 queries.
     let cache = handle.engine().cache_stats();
     assert!(cache.hits > 0, "repeats must hit the result cache");
+}
+
+/// Satellite: the server-side clamps are wire-visible and the *clamped*
+/// values are what `CacheKey` sees. `shards` clamps to `MAX_SHARDS` (64)
+/// — the response reports the clamped fanout and an explicit `shards: 64`
+/// request hits the same cache entry. `delay_ms` clamps to 5000 and is
+/// *outside* the cache key: requests differing only in delay share one
+/// entry (and the clamp itself is asserted without sleeping through it).
+#[test]
+fn wire_clamps_are_enforced_and_cache_keyed() {
+    assert_eq!(ipm_server::MAX_DELAY_MS, 5_000);
+    assert_eq!(
+        ipm_server::clamped_delay(u64::MAX),
+        std::time::Duration::from_millis(5_000),
+        "the worker-side delay clamp"
+    );
+    assert_eq!(ipm_core::MAX_SHARDS, 64);
+
+    let handle = spawn(build_engine(true), 2, 16);
+    let addr = handle.addr().to_string();
+    let terms = top_terms(handle.engine(), 2);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // An absurd fanout is clamped, not honoured and not rejected.
+    let mut req = WireSearchRequest::new(format!("{} OR {}", terms[0], terms[1]));
+    req.k = 5;
+    req.shards = Some(1_000);
+    let over = client.search(&req).expect("roundtrip");
+    assert_eq!(over["ok"].as_bool(), Some(true));
+    assert_eq!(
+        over["result"]["shards"].as_u64(),
+        Some(64),
+        "response must report the clamped fanout"
+    );
+    assert_eq!(over["result"]["served_from_cache"], false);
+
+    // An explicit clamped value resolves to the same CacheKey: cache hit.
+    req.shards = Some(64);
+    let exact = client.search(&req).expect("roundtrip");
+    assert_eq!(
+        exact["result"]["served_from_cache"], true,
+        "shards 1000 and 64 must share one cache entry (CacheKey sees the clamp)"
+    );
+
+    // delay_ms is applied outside the cache key: a different delay on an
+    // otherwise identical request still hits the same entry.
+    req.delay_ms = 30;
+    let delayed = client.search(&req).expect("roundtrip");
+    assert_eq!(
+        delayed["result"]["served_from_cache"], true,
+        "delay_ms must not fragment the cache"
+    );
+}
+
+/// CI's deadline smoke, as a test: `deadline_ms: 1` under `delay_ms: 100`
+/// load returns a structured `deadline_exceeded` error in bounded time
+/// (the worker caps the simulated delay at the remaining deadline), the
+/// stats counter moves, and the server keeps serving. A second scenario
+/// parks the single worker and shows queue *wait* counting against the
+/// budget: the queued request is dead on arrival at the worker.
+#[test]
+fn deadline_exceeded_is_structured_and_bounded() {
+    let handle = spawn(build_engine(false), 1, 16);
+    let addr = handle.addr().to_string();
+    let terms = top_terms(handle.engine(), 2);
+    let query = format!("{} OR {}", terms[0], terms[1]);
+
+    // Direct: tiny deadline + large simulated delay.
+    let mut client = Client::connect(&addr).expect("connect");
+    let mut req = WireSearchRequest::new(query.clone());
+    req.delay_ms = 100;
+    req.deadline_ms = Some(1);
+    let started = std::time::Instant::now();
+    let resp = client.search(&req).expect("a response, never a hang");
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(2),
+        "deadline_exceeded must come back promptly, took {:?}",
+        started.elapsed()
+    );
+    assert_eq!(resp["ok"].as_bool(), Some(false));
+    assert_eq!(resp["error"]["kind"], "deadline_exceeded");
+
+    // Queue wait counts: park the single worker with a long delay, then
+    // queue a short-deadline request behind it.
+    let parked = std::thread::spawn({
+        let addr = addr.clone();
+        let query = query.clone();
+        move || {
+            let mut c = Client::connect(&addr).expect("connect");
+            let mut slow = WireSearchRequest::new(query);
+            slow.delay_ms = 400;
+            c.search(&slow).expect("slow request completes")
+        }
+    });
+    // Give the slow request time to occupy the worker.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let mut queued = WireSearchRequest::new(query.clone());
+    queued.deadline_ms = Some(50); // expires while waiting in the queue
+    let resp = client.search(&queued).expect("roundtrip");
+    assert_eq!(
+        resp["error"]["kind"], "deadline_exceeded",
+        "queue wait must count against the deadline: {resp:?}"
+    );
+    assert_eq!(parked.join().unwrap()["ok"].as_bool(), Some(true));
+
+    // Counters moved and the server still serves.
+    assert!(handle.stats().deadline_exceeded >= 2);
+    assert_eq!(client.ping().unwrap()["pong"].as_bool(), Some(true));
+    let fresh = client
+        .search(&WireSearchRequest::new(query))
+        .expect("roundtrip");
+    assert_eq!(fresh["ok"].as_bool(), Some(true));
+}
+
+/// An `io_budget` over the wire truncates a disk-backed query: the
+/// response is marked `completeness: truncated (io)`, carries its partial
+/// IoStats, and the `budget_truncated` counter moves.
+#[test]
+fn io_budget_truncates_over_the_wire() {
+    let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+    let engine = QueryEngine::with_config(
+        PhraseMiner::build(&corpus, MinerConfig::default()),
+        EngineConfig {
+            cache: Some(Default::default()),
+            pool: ipm_storage::PoolConfig {
+                page_size: 256,
+                capacity_pages: 8,
+                lookahead_pages: 1,
+            },
+            ..Default::default()
+        },
+    );
+    let handle = spawn(engine, 2, 16);
+    let terms = top_terms(handle.engine(), 2);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    let mut req = WireSearchRequest::new(format!("{} OR {}", terms[0], terms[1]));
+    req.k = 100;
+    req.backend = ipm_core::BackendChoice::Disk;
+    req.io_budget = Some(10);
+    let resp = client.search(&req).expect("roundtrip");
+    assert_eq!(resp["ok"].as_bool(), Some(true), "{resp:?}");
+    assert_eq!(resp["result"]["completeness"]["kind"], "truncated");
+    assert_eq!(resp["result"]["completeness"]["budget"], "io");
+    let fetches = resp["result"]["io"]["sequential_fetches"].as_u64().unwrap()
+        + resp["result"]["io"]["random_fetches"].as_u64().unwrap();
+    assert!(fetches > 0 && fetches <= 10 + 8, "fetches {fetches}");
+    assert!(handle.stats().budget_truncated >= 1);
+
+    // The unbudgeted rerun is exact and was not served from the
+    // truncated (uncached) result.
+    req.io_budget = None;
+    let full = client.search(&req).expect("roundtrip");
+    assert_eq!(full["result"]["served_from_cache"], false);
+    assert_eq!(full["result"]["completeness"]["kind"], "exact");
+}
+
+/// `{"batch": [...]}` shares one admission slot and returns per-item
+/// results/errors: good items match direct engine execution byte for
+/// byte, a bad item reports a structured per-item `query` error without
+/// sinking its siblings.
+#[test]
+fn batch_requests_return_per_item_results() {
+    let handle = spawn(build_engine(true), 2, 16);
+    let terms = top_terms(handle.engine(), 3);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+    let mut good_a = WireSearchRequest::new(format!("{} OR {}", terms[0], terms[1]));
+    good_a.k = 5;
+    let bad = WireSearchRequest::new("zzz_unknown_word_zzz".to_owned());
+    let mut good_b = WireSearchRequest::new(format!("{} AND {}", terms[1], terms[2]));
+    good_b.k = 5;
+
+    let resp = client
+        .search_batch(&[good_a.clone(), bad, good_b.clone()])
+        .expect("roundtrip");
+    assert_eq!(resp["ok"].as_bool(), Some(true), "{resp:?}");
+    let items = resp["batch"].as_array().expect("batch array");
+    assert_eq!(items.len(), 3);
+
+    let engine = handle.engine().clone();
+    for (req, item) in [(good_a, &items[0]), (good_b, &items[2])] {
+        assert_eq!(item["ok"].as_bool(), Some(true), "{item:?}");
+        let query = engine.miner().parse_query_str(&req.query).unwrap();
+        let direct = engine.execute(query, req.k, &req.options());
+        assert_eq!(
+            serde_json::to_string(&item["result"]["hits"]).unwrap(),
+            serde_json::to_string(&wire::hits_value(&direct)).unwrap(),
+            "batch item must match direct execution"
+        );
+    }
+    assert_eq!(items[1]["ok"].as_bool(), Some(false));
+    assert_eq!(items[1]["error"]["kind"], "query");
+
+    // A top-level deadline of zero milliseconds makes every executable
+    // item dead on arrival — per-item structured errors, not a hang.
+    let q = format!("{} OR {}", terms[0], terms[1]);
+    let doa = client
+        .roundtrip(&format!(
+            "{{\"batch\":[{{\"query\":\"{q}\"}},{{\"query\":\"{q}\"}}],\"deadline_ms\":0}}\n"
+        ))
+        .expect("roundtrip");
+    let doa_items = doa["batch"].as_array().expect("batch array");
+    for item in doa_items {
+        assert_eq!(item["error"]["kind"], "deadline_exceeded", "{item:?}");
+    }
 }
