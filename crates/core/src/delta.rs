@@ -11,16 +11,36 @@
 //! Correctness note from the paper: the corrections make SMJ results exact
 //! again, but NRA's pruning bounds were computed from the *stale* list
 //! order, so corrected-NRA remains approximate.
+//!
+//! [`DeltaOverlay`] lifts the correction from a cursor-level bolt-on to a
+//! full [`ListBackend`]: it wraps *any* backend (memory, disk, or one
+//! shard of either) so score cursors, id cursors and random probes all
+//! serve corrected `P(q|p)` values. Every algorithm — NRA, SMJ, TA and
+//! (through [`crate::exact`]'s delta-aware scorer) the exact ground truth
+//! — therefore honours the same side index uniformly.
 
 use ipm_corpus::hash::{FxHashMap, FxHashSet};
 use ipm_corpus::{DocId, FacetId, Feature, PhraseId, WordId};
+use ipm_index::backend::ListBackend;
 use ipm_index::corpus_index::CorpusIndex;
-use ipm_index::cursor::ScoredListCursor;
+use ipm_index::cursor::{IdListCursor, ScoredListCursor};
 use ipm_index::inverted::doc_phrases;
 use ipm_index::wordlists::ListEntry;
 
+use crate::query::{Operator, Query};
+
+/// Process-wide stamp source for [`DeltaIndex::fingerprint`]: every
+/// construction and every state-changing mutation draws a fresh value,
+/// so two delta states never share a fingerprint — not even a wholesale
+/// in-place replacement with equal counts.
+static DELTA_STAMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn next_stamp() -> u64 {
+    DELTA_STAMP.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// The side index over inserted and deleted documents.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct DeltaIndex {
     /// Number of documents added so far (local ids are dense).
     num_added: u32,
@@ -30,6 +50,26 @@ pub struct DeltaIndex {
     added_phrases: FxHashMap<PhraseId, Vec<u32>>,
     /// Base-corpus documents marked deleted.
     deleted: FxHashSet<DocId>,
+    /// Raw token/facet streams of every added document, in insertion
+    /// order (local id = position). Compaction rebuilds the corpus from
+    /// these, and new phrases/words they carry enter the dictionary at
+    /// that offline rebuild — exactly the paper's flush model.
+    added_docs: Vec<(Vec<WordId>, Vec<FacetId>)>,
+    /// Change fingerprint; refreshed by every state-changing mutation.
+    stamp: u64,
+}
+
+impl Default for DeltaIndex {
+    fn default() -> Self {
+        Self {
+            num_added: 0,
+            added_features: FxHashMap::default(),
+            added_phrases: FxHashMap::default(),
+            deleted: FxHashSet::default(),
+            added_docs: Vec::new(),
+            stamp: next_stamp(),
+        }
+    }
 }
 
 impl DeltaIndex {
@@ -59,6 +99,8 @@ impl DeltaIndex {
     pub fn add_document(&mut self, index: &CorpusIndex, tokens: &[WordId], facets: &[FacetId]) {
         let local = self.num_added;
         self.num_added += 1;
+        self.stamp = next_stamp();
+        self.added_docs.push((tokens.to_vec(), facets.to_vec()));
         let mut distinct: Vec<WordId> = tokens.to_vec();
         distinct.sort_unstable();
         distinct.dedup();
@@ -82,9 +124,84 @@ impl DeltaIndex {
         }
     }
 
-    /// Marks a base-corpus document deleted. Idempotent.
+    /// Marks a base-corpus document deleted. Idempotent (re-deleting a
+    /// deleted document changes no state and keeps the fingerprint).
     pub fn delete_document(&mut self, doc: DocId) {
-        self.deleted.insert(doc);
+        if self.deleted.insert(doc) {
+            self.stamp = next_stamp();
+        }
+    }
+
+    /// Whether a base-corpus document is marked deleted.
+    pub fn is_deleted(&self, doc: DocId) -> bool {
+        self.deleted.contains(&doc)
+    }
+
+    /// The raw token/facet streams of every added document, in insertion
+    /// order (local id = position) — the material compaction flushes into
+    /// the offline rebuild.
+    pub fn added_docs(&self) -> &[(Vec<WordId>, Vec<FacetId>)] {
+        &self.added_docs
+    }
+
+    /// The phrases occurring in at least one added document.
+    pub fn added_phrase_ids(&self) -> impl Iterator<Item = PhraseId> + '_ {
+        self.added_phrases.keys().copied()
+    }
+
+    /// Local ids of added documents that contain `phrase` (sorted).
+    pub fn added_containing(&self, phrase: PhraseId) -> &[u32] {
+        self.added_phrases
+            .get(&phrase)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Local ids (sorted) of added documents matching `query`: the union
+    /// (OR) or intersection (AND) of the per-feature added-doc lists —
+    /// the delta-side half of materializing `D'` over the updated corpus.
+    pub fn added_matching(&self, query: &Query) -> Vec<u32> {
+        let lists: Vec<&[u32]> = query
+            .features
+            .iter()
+            .map(|f| {
+                self.added_features
+                    .get(&f.encode())
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[])
+            })
+            .collect();
+        match query.op {
+            Operator::Or => {
+                let mut all: Vec<u32> = lists.concat();
+                all.sort_unstable();
+                all.dedup();
+                all
+            }
+            Operator::And => {
+                let Some((first, rest)) = lists.split_first() else {
+                    return Vec::new();
+                };
+                let mut acc: Vec<u32> = first.to_vec();
+                for l in rest {
+                    acc.retain(|x| l.binary_search(x).is_ok());
+                    if acc.is_empty() {
+                        break;
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// A cheap change fingerprint. Every state-changing mutation — and
+    /// every freshly constructed `DeltaIndex`, so even a wholesale
+    /// in-place replacement with identical counts — yields a new value;
+    /// no-ops (re-deleting an already-deleted document) keep it stable.
+    /// Callers use it to make cache/epoch invalidation conditional on an
+    /// actual state change.
+    pub fn fingerprint(&self) -> u64 {
+        self.stamp
     }
 
     /// The corrected `P(q|p)` given the stale probability from the list
@@ -181,6 +298,12 @@ fn sorted_intersection_len(a: &[u32], b: &[u32]) -> usize {
 /// A cursor that corrects each entry's probability against a [`DeltaIndex`]
 /// as it streams by — the paper's "additional query ... performed on the
 /// separate index" when a phrase is taken into the candidate set.
+///
+/// Entries whose *corrected* probability collapses to zero (every joint
+/// document deleted) are skipped: the base lists omit zero-probability
+/// pairs, and the corrected stream mirrors that invariant so SMJ's
+/// presence test and AND's `-∞` semantics stay faithful to a rebuilt
+/// index. `len()` is therefore an upper bound on the entries yielded.
 pub struct AdjustedCursor<'a, C> {
     inner: C,
     delta: &'a DeltaIndex,
@@ -188,7 +311,7 @@ pub struct AdjustedCursor<'a, C> {
     feature: Feature,
 }
 
-impl<'a, C: ScoredListCursor> AdjustedCursor<'a, C> {
+impl<'a, C> AdjustedCursor<'a, C> {
     /// Wraps `inner` (the stale list cursor for `feature`).
     pub fn new(inner: C, delta: &'a DeltaIndex, index: &'a CorpusIndex, feature: Feature) -> Self {
         Self {
@@ -198,16 +321,26 @@ impl<'a, C: ScoredListCursor> AdjustedCursor<'a, C> {
             feature,
         }
     }
+
+    fn adjust(&self, e: ListEntry) -> Option<ListEntry> {
+        let prob = self
+            .delta
+            .adjust_prob(self.index, self.feature, e.phrase, e.prob);
+        (prob > 0.0).then_some(ListEntry {
+            phrase: e.phrase,
+            prob,
+        })
+    }
 }
 
 impl<C: ScoredListCursor> ScoredListCursor for AdjustedCursor<'_, C> {
     fn next_entry(&mut self) -> Option<ListEntry> {
-        self.inner.next_entry().map(|e| ListEntry {
-            phrase: e.phrase,
-            prob: self
-                .delta
-                .adjust_prob(self.index, self.feature, e.phrase, e.prob),
-        })
+        while let Some(e) = self.inner.next_entry() {
+            if let Some(adjusted) = self.adjust(e) {
+                return Some(adjusted);
+            }
+        }
+        None
     }
 
     fn len(&self) -> usize {
@@ -216,6 +349,114 @@ impl<C: ScoredListCursor> ScoredListCursor for AdjustedCursor<'_, C> {
 
     fn position(&self) -> usize {
         self.inner.position()
+    }
+}
+
+/// [`AdjustedCursor`]'s phrase-id-ordered sibling: corrects an
+/// [`IdListCursor`] stream (skipping corrected zeros), which is what makes
+/// delta-corrected SMJ possible — the paper's "corrections make SMJ exact
+/// again" — without SMJ knowing the delta exists.
+pub struct AdjustedIdCursor<'a, C> {
+    inner: AdjustedCursor<'a, C>,
+}
+
+impl<C: IdListCursor> IdListCursor for AdjustedIdCursor<'_, C> {
+    fn next_entry(&mut self) -> Option<ListEntry> {
+        while let Some(e) = self.inner.inner.next_entry() {
+            if let Some(adjusted) = self.inner.adjust(e) {
+                return Some(adjusted);
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.inner.inner.len()
+    }
+}
+
+/// A [`ListBackend`] wrapper that serves §4.5.1-corrected `P(q|p)` values
+/// through *every* access path — score cursors, id cursors and random
+/// probes — so NRA, SMJ, TA and the exact scorer all honour one side
+/// index over any underlying backend (memory, disk, or a phrase-id shard
+/// of either).
+///
+/// The three access paths stay mutually consistent: all serve exactly the
+/// base backend's pairs with corrected probabilities, with corrected-zero
+/// pairs omitted everywhere (probes included). Pairs that exist only in
+/// added documents — a phrase/feature combination with no base joint
+/// document — surface at the next offline rebuild ([compaction]), like
+/// the paper's deferred new phrases.
+///
+/// [compaction]: crate::engine::QueryEngine::compact
+pub struct DeltaOverlay<'a, B> {
+    inner: &'a B,
+    delta: &'a DeltaIndex,
+    index: &'a CorpusIndex,
+}
+
+impl<'a, B: ListBackend> DeltaOverlay<'a, B> {
+    /// Wraps `inner`, correcting against `delta` (probabilities recovered
+    /// through `index`'s postings and dictionary).
+    pub fn new(inner: &'a B, delta: &'a DeltaIndex, index: &'a CorpusIndex) -> Self {
+        Self {
+            inner,
+            delta,
+            index,
+        }
+    }
+}
+
+impl<B: ListBackend> ListBackend for DeltaOverlay<'_, B> {
+    type ScoreCursor<'c>
+        = AdjustedCursor<'c, B::ScoreCursor<'c>>
+    where
+        Self: 'c;
+    type IdCursor<'c>
+        = AdjustedIdCursor<'c, B::IdCursor<'c>>
+    where
+        Self: 'c;
+
+    fn score_cursor(&self, feature: Feature, fraction: f64) -> Self::ScoreCursor<'_> {
+        AdjustedCursor::new(
+            self.inner.score_cursor(feature, fraction),
+            self.delta,
+            self.index,
+            feature,
+        )
+    }
+
+    fn id_cursor(&self, feature: Feature) -> Self::IdCursor<'_> {
+        AdjustedIdCursor {
+            inner: AdjustedCursor::new(
+                self.inner.id_cursor(feature),
+                self.delta,
+                self.index,
+                feature,
+            ),
+        }
+    }
+
+    fn probe(&self, feature: Feature, phrase: PhraseId) -> f64 {
+        let stale = self.inner.probe(feature, phrase);
+        if stale == 0.0 {
+            // Absent base pairs stay absent (see the type docs): probes
+            // must agree with what the corrected cursors stream.
+            return 0.0;
+        }
+        self.delta.adjust_prob(self.index, feature, phrase, stale)
+    }
+
+    fn list_len(&self, feature: Feature) -> usize {
+        self.inner.list_len(feature)
+    }
+
+    fn phrase_range(&self) -> Option<(PhraseId, PhraseId)> {
+        self.inner.phrase_range()
+    }
+
+    fn io_fetches(&self) -> u64 {
+        self.inner.io_fetches()
     }
 }
 
@@ -389,6 +630,109 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, base_list.len());
+    }
+
+    #[test]
+    fn overlay_serves_corrected_values_through_every_access_path() {
+        use ipm_index::backend::{ListBackend, MemoryBackend};
+        use ipm_index::wordlists::IdOrderedLists;
+
+        let (c, index, lists) = build(BASE);
+        let idl = IdOrderedLists::from_score_ordered(&lists);
+        let base = MemoryBackend::new(&lists, &idl);
+        let a = c.word_id("a").unwrap();
+        let b = c.word_id("b").unwrap();
+        let mut delta = DeltaIndex::new();
+        delta.add_document(&index, &[a, b], &[]);
+        delta.delete_document(DocId(0));
+        let overlay = DeltaOverlay::new(&base, &delta, &index);
+
+        for &w in &[a, b] {
+            let f = Feature::Word(w);
+            // Score cursor: same phrases (minus corrected zeros), each
+            // probability equal to a direct adjust_prob call.
+            let mut cur = overlay.score_cursor(f, 1.0);
+            let mut seen = 0;
+            while let Some(e) = cur.next_entry() {
+                assert!(e.prob > 0.0, "corrected zeros must be skipped");
+                seen += 1;
+                // The probe path agrees with the cursor entry exactly.
+                assert_eq!(overlay.probe(f, e.phrase).to_bits(), e.prob.to_bits());
+            }
+            assert!(seen > 0);
+            // Id cursor: ascending ids, same corrected multiset as the
+            // score cursor.
+            let mut idc = overlay.id_cursor(f);
+            let mut id_pairs: Vec<(ipm_corpus::PhraseId, u64)> = Vec::new();
+            let mut prev = None;
+            while let Some(e) = IdListCursor::next_entry(&mut idc) {
+                if let Some(p) = prev {
+                    assert!(e.phrase > p, "id order violated");
+                }
+                prev = Some(e.phrase);
+                id_pairs.push((e.phrase, e.prob.to_bits()));
+            }
+            let mut score_pairs: Vec<(ipm_corpus::PhraseId, u64)> = Vec::new();
+            let mut cur = overlay.score_cursor(f, 1.0);
+            while let Some(e) = cur.next_entry() {
+                score_pairs.push((e.phrase, e.prob.to_bits()));
+            }
+            score_pairs.sort_unstable();
+            id_pairs.sort_unstable();
+            assert_eq!(score_pairs, id_pairs, "access paths must agree");
+        }
+        // A pair absent from the base backend stays absent through the
+        // overlay (consistency with the cursors).
+        assert_eq!(
+            overlay.probe(Feature::Word(a), ipm_corpus::PhraseId(u32::MAX)),
+            0.0
+        );
+        // Range/ownership delegate.
+        assert_eq!(overlay.phrase_range(), base.phrase_range());
+        assert_eq!(overlay.io_fetches(), 0);
+    }
+
+    #[test]
+    fn added_matching_unions_and_intersects() {
+        let (c, index, _) = build(BASE);
+        let a = c.word_id("a").unwrap();
+        let b = c.word_id("b").unwrap();
+        let mut delta = DeltaIndex::new();
+        delta.add_document(&index, &[a], &[]); // local 0: a only
+        delta.add_document(&index, &[a, b], &[]); // local 1: both
+        delta.add_document(&index, &[b], &[]); // local 2: b only
+        let q_or = crate::query::Query::from_words(&c, &["a", "b"], Operator::Or).unwrap();
+        let q_and = crate::query::Query::from_words(&c, &["a", "b"], Operator::And).unwrap();
+        assert_eq!(delta.added_matching(&q_or), vec![0, 1, 2]);
+        assert_eq!(delta.added_matching(&q_and), vec![1]);
+        assert_eq!(delta.added_docs().len(), 3);
+    }
+
+    #[test]
+    fn fingerprint_moves_on_every_state_change_and_only_then() {
+        let (_, index, _) = build(BASE);
+        let mut delta = DeltaIndex::new();
+        let f0 = delta.fingerprint();
+        // No-op: re-deleting keeps the fingerprint stable.
+        delta.delete_document(DocId(1));
+        let f1 = delta.fingerprint();
+        assert_ne!(f0, f1);
+        delta.delete_document(DocId(1));
+        assert_eq!(delta.fingerprint(), f1);
+        // Adds always move it.
+        delta.add_document(&index, &[WordId(0)], &[]);
+        let f2 = delta.fingerprint();
+        assert_ne!(f1, f2);
+        // A wholesale replacement with identical counts still moves it:
+        // two independently built deltas never share a fingerprint.
+        let mut other = DeltaIndex::new();
+        other.delete_document(DocId(9));
+        other.add_document(&index, &[WordId(1)], &[]);
+        assert_eq!(
+            (other.num_added(), other.num_deleted()),
+            (delta.num_added(), delta.num_deleted())
+        );
+        assert_ne!(other.fingerprint(), delta.fingerprint());
     }
 
     #[test]

@@ -24,8 +24,14 @@
 //!   Sharded index layouts (memory and disk) are built lazily per fanout
 //!   and cached.
 //!
-//! All index state is immutable after build, so clones of the engine can
-//! be handed to any number of threads. Disk-backed requests serialize on
+//! Each index *generation* is immutable after build, so clones of the
+//! engine can be handed to any number of threads; mutation happens through
+//! the §4.5.1 **lifecycle** instead (`ingest_document` / `delete_document`
+//! → per-query [`crate::delta::DeltaOverlay`] corrections →
+//! [`QueryEngine::compact`], which rebuilds offline and atomically swaps
+//! the serving generation). Every mutation bumps a monotonic **epoch**
+//! that tags [`CacheKey`]s, so cached results age out by key mismatch
+//! instead of wholesale cache clears. Disk-backed requests serialize on
 //! an internal lock: the simulated buffer pools model one device set, and
 //! per-query cold-cache IO accounting (the paper's §5.5 methodology) is
 //! only meaningful for one query at a time — shards of a single query
@@ -47,6 +53,7 @@ use crate::request::SearchRequest;
 use crate::result::PhraseHit;
 use crate::scoring::estimated_interestingness;
 use ipm_corpus::hash::FxHashMap;
+use ipm_corpus::{DocId, FacetId, WordId};
 use ipm_index::backend::MemoryBackend;
 use ipm_index::sharding::{ListShard, ShardedWordLists};
 use ipm_storage::{CostModel, DiskLists, IoStats, PoolConfig, ShardedDiskImage};
@@ -91,14 +98,16 @@ pub struct SearchOptions {
     /// Optional §5.6 redundancy filter applied post-retrieval (the engine
     /// over-fetches until `k` survivors are found or candidates run out).
     pub redundancy: Option<RedundancyConfig>,
-    /// Apply the engine's attached §4.5.1 [`DeltaIndex`] corrections.
-    /// Honoured on the NRA path (both backends) — every streamed entry's
-    /// conditional probability is corrected against the side index, and
-    /// NRA runs with partial-list bound semantics because the stale list
-    /// order no longer guarantees its pruning bounds (paper §4.5.1). The
-    /// other algorithms ignore the flag. A no-op when no delta is attached.
-    /// Composes with `shards`: corrections apply per shard (every shard
-    /// cursor streams corrected probabilities).
+    /// Apply the engine's attached §4.5.1 [`DeltaIndex`] corrections —
+    /// honoured uniformly by **all four algorithms over both backends and
+    /// every shard fanout**, via a [`crate::delta::DeltaOverlay`] wrapped
+    /// around each shard backend (the exact scorer uses its delta-aware
+    /// arm instead). Per the paper, corrections keep SMJ exact, and this
+    /// engine extends that to TA (which surrenders its threshold stop —
+    /// the stale order cannot justify it) and the exact scorer, while NRA
+    /// stays `Approximate { delta_corrections }`: its pruning bounds were
+    /// computed from the stale list order. A no-op when no delta is
+    /// attached.
     pub use_delta: bool,
     /// Intra-query shard fanout: run this request over that many disjoint
     /// phrase-id partitions in parallel and merge the per-shard top-k
@@ -209,11 +218,19 @@ pub struct CacheKey {
     fraction_bits: u64,
     /// `redundancy.max_overlap` bit pattern, when set.
     redundancy_bits: Option<u64>,
-    /// Whether delta corrections were requested. The cache is cleared
-    /// whenever the engine's delta is attached, mutated or detached, so
-    /// within one cache generation this flag fully determines the
-    /// delta-corrected result.
+    /// Whether delta corrections were requested. Together with `epoch`
+    /// this fully determines the delta-corrected result: every delta
+    /// mutation bumps the engine's epoch, so entries computed against an
+    /// older corpus state simply stop matching.
     use_delta: bool,
+    /// The engine's index **epoch** at key-build time — a monotonic
+    /// counter bumped by every observable index mutation (ingest, delete,
+    /// delta attach/update/detach that changes state, compaction).
+    /// Epoch-tagging replaces wholesale `cache.clear()` on mutation:
+    /// stale-epoch entries miss naturally and age out of the LRU, while
+    /// read-heavy workloads keep their warm entries untouched across
+    /// unrelated mutations of *other* engines and across no-op updates.
+    epoch: u64,
     /// The planner-resolved shard fanout (request override or engine
     /// default, clamped). Approximate paths (partial fractions, truncated
     /// images, delta corrections) can legitimately return different
@@ -228,8 +245,15 @@ impl CacheKey {
     /// Builds the key for one request. `resolved_shards` is the fanout
     /// the planner resolved for it ([`QueryPlan::resolve`] — resolve
     /// once, key once), so requests that resolve identically share one
-    /// entry.
-    pub fn new(query: &Query, k: usize, options: &SearchOptions, resolved_shards: usize) -> Self {
+    /// entry; `epoch` is the engine's index epoch
+    /// ([`QueryEngine::epoch`]) the request executes against.
+    pub fn new(
+        query: &Query,
+        k: usize,
+        options: &SearchOptions,
+        resolved_shards: usize,
+        epoch: u64,
+    ) -> Self {
         let mut features: Vec<u64> = query.features.iter().map(|f| f.encode()).collect();
         features.sort_unstable();
         Self {
@@ -242,6 +266,7 @@ impl CacheKey {
             redundancy_bits: options.redundancy.as_ref().map(|r| r.max_overlap.to_bits()),
             use_delta: options.use_delta,
             shards: resolved_shards,
+            epoch,
         }
     }
 }
@@ -265,11 +290,100 @@ struct ShardedIndex {
     last_used: AtomicU64,
 }
 
+/// One immutable generation of the index: the miner plus every layout
+/// lazily derived from it (disk image, shard layouts). Compaction builds
+/// a fresh `IndexState` offline and swaps it in atomically; in-flight
+/// queries keep serving from the generation their snapshot pinned.
+#[derive(Debug)]
+struct IndexState {
+    miner: Arc<PhraseMiner>,
+    /// Lazily built disk image (first disk-backed request pays the build).
+    disk: OnceLock<Arc<DiskLists>>,
+    /// Lazily built shard layouts, keyed by fanout (a request may ask for
+    /// any fanout; layouts are built once and reused, bounded by
+    /// [`MAX_CACHED_LAYOUTS`] with LRU eviction).
+    sharded: RwLock<FxHashMap<usize, Arc<ShardedIndex>>>,
+    /// Logical clock stamping layout use for eviction.
+    layout_clock: AtomicU64,
+}
+
+impl IndexState {
+    fn new(miner: Arc<PhraseMiner>) -> Self {
+        Self {
+            miner,
+            disk: OnceLock::new(),
+            sharded: RwLock::new(FxHashMap::default()),
+            layout_clock: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The mutable head of the engine: which index generation serves, which
+/// delta corrects it, and the epoch that names this exact combination.
+/// Readers snapshot the whole struct under one read lock (three cheap
+/// `Arc` clones), so a query always sees a *consistent* (epoch, index,
+/// delta) triple — never a new epoch with an old delta or vice versa.
+#[derive(Debug, Clone)]
+struct LiveState {
+    /// Monotonic index epoch: bumped by every observable mutation
+    /// (ingest, delete, state-changing delta attach/update/detach,
+    /// compaction). Tags every [`CacheKey`].
+    epoch: u64,
+    index: Arc<IndexState>,
+    /// The attached §4.5.1 side index over inserted/deleted documents;
+    /// `None` until an ingest/delete/[`QueryEngine::attach_delta`].
+    delta: Option<Arc<DeltaIndex>>,
+}
+
+/// What [`QueryEngine::compact`] reports.
+#[derive(Debug, Clone)]
+pub struct CompactionReport {
+    /// Whether a rebuild actually happened (`false` when the delta was
+    /// empty or absent — compaction is then a no-op and the epoch does
+    /// not move).
+    pub compacted: bool,
+    /// The epoch serving *after* the call.
+    pub epoch: u64,
+    /// Documents in the (possibly rebuilt) corpus.
+    pub docs: usize,
+    /// Phrases in the (possibly rebuilt) dictionary.
+    pub phrases: usize,
+    /// Added documents the rebuild absorbed.
+    pub absorbed_adds: usize,
+    /// Deletions the rebuild absorbed.
+    pub absorbed_deletes: usize,
+    /// Wall-clock cost of the rebuild (zero for a no-op).
+    pub elapsed: Duration,
+}
+
+/// A snapshot of the engine's lifecycle counters (served by the wire
+/// protocol's `stats` verb).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleStats {
+    /// Current index epoch.
+    pub epoch: u64,
+    /// Documents ingested since engine construction.
+    pub ingested: u64,
+    /// Documents deleted since engine construction.
+    pub deleted: u64,
+    /// Compactions performed (no-ops excluded).
+    pub compactions: u64,
+    /// Documents currently tracked by the attached delta
+    /// (added + deleted; `0` when no delta is attached).
+    pub delta_docs: usize,
+}
+
 #[derive(Debug)]
 struct Inner {
-    miner: PhraseMiner,
-    /// Lazily built disk image (first disk-backed request pays the build).
-    disk: OnceLock<DiskLists>,
+    /// The serving head. Queries take a brief read lock to snapshot it;
+    /// mutators write-lock only for the O(1) swap/bump itself.
+    live: RwLock<LiveState>,
+    /// Serializes the *mutators* (ingest, delete, delta attach/detach,
+    /// compaction) without ever blocking queries: compaction holds this
+    /// across its whole offline rebuild so the delta it flushes cannot
+    /// grow underneath it, while the read path keeps serving the old
+    /// generation until the swap.
+    maintenance: Mutex<()>,
     disk_fraction: f64,
     /// Buffer-pool geometry / cost model every disk image is built with.
     pool: PoolConfig,
@@ -282,26 +396,21 @@ struct Inner {
     cache: Option<ShardedLruCache<CacheKey, Arc<Vec<SearchHit>>>>,
     /// Default shard fanout for requests that don't specify one.
     default_shards: usize,
-    /// Lazily built shard layouts, keyed by fanout (a request may ask for
-    /// any fanout; layouts are built once and reused, bounded by
-    /// [`MAX_CACHED_LAYOUTS`] with LRU eviction).
-    sharded: RwLock<FxHashMap<usize, Arc<ShardedIndex>>>,
-    /// Logical clock stamping layout use for eviction.
-    layout_clock: AtomicU64,
     /// Uncached executions that fanned out to more than one shard.
     sharded_queries: AtomicU64,
     served: AtomicU64,
-    /// The attached §4.5.1 side index over inserted/deleted documents;
-    /// `None` until [`QueryEngine::attach_delta`]. Attaching, updating or
-    /// detaching clears the result cache so served results never go stale.
-    delta: RwLock<Option<Arc<DeltaIndex>>>,
+    /// Lifecycle counters (see [`LifecycleStats`]).
+    ingested: AtomicU64,
+    deleted: AtomicU64,
+    compactions: AtomicU64,
     /// Simulated IO accumulated across every disk-backed query served
     /// (cache hits add nothing — they perform no list IO).
     io_totals: Mutex<IoStats>,
 }
 
-// The index is immutable after build; a compile-time check that the engine
-// really is shareable keeps that invariant honest.
+// Every index generation is immutable after build and the mutable head is
+// swapped atomically; a compile-time check that the engine really is
+// shareable keeps that invariant honest.
 const _: fn() = || {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<QueryEngine>();
@@ -318,38 +427,67 @@ impl QueryEngine {
     pub fn with_config(miner: PhraseMiner, config: EngineConfig) -> Self {
         Self {
             inner: Arc::new(Inner {
-                miner,
-                disk: OnceLock::new(),
+                live: RwLock::new(LiveState {
+                    epoch: 0,
+                    index: Arc::new(IndexState::new(Arc::new(miner))),
+                    delta: None,
+                }),
+                maintenance: Mutex::new(()),
                 disk_fraction: config.disk_fraction,
                 pool: config.pool,
                 cost: config.cost,
                 disk_gate: Mutex::new(()),
                 cache: config.cache.map(ShardedLruCache::new),
                 default_shards: config.shards.max(1),
-                sharded: RwLock::new(FxHashMap::default()),
-                layout_clock: AtomicU64::new(0),
                 sharded_queries: AtomicU64::new(0),
                 served: AtomicU64::new(0),
-                delta: RwLock::new(None),
+                ingested: AtomicU64::new(0),
+                deleted: AtomicU64::new(0),
+                compactions: AtomicU64::new(0),
                 io_totals: Mutex::new(IoStats::default()),
             }),
         }
     }
 
-    /// The underlying miner (for direct algorithm access).
-    pub fn miner(&self) -> &PhraseMiner {
-        &self.inner.miner
+    /// A consistent snapshot of the serving head.
+    fn live(&self) -> LiveState {
+        self.inner.live.read().unwrap().clone()
     }
 
-    /// The disk image, building it on first use.
-    pub fn disk(&self) -> &DiskLists {
-        self.inner.disk.get_or_init(|| {
-            self.inner.miner.to_disk_with(
-                self.inner.disk_fraction,
-                self.inner.pool,
-                self.inner.cost,
-            )
-        })
+    /// The miner of the currently serving index generation (for direct
+    /// algorithm access). The handle pins its generation: it stays valid
+    /// — and keeps answering from the pre-swap state — across a
+    /// concurrent [`QueryEngine::compact`].
+    pub fn miner(&self) -> Arc<PhraseMiner> {
+        self.inner.live.read().unwrap().index.miner.clone()
+    }
+
+    /// The current index epoch: a monotonic counter bumped by every
+    /// observable index mutation (ingest, delete, state-changing delta
+    /// attach/update/detach, compaction). Tags every [`CacheKey`], so
+    /// mutations invalidate cached results by *missing* instead of by
+    /// clearing.
+    pub fn epoch(&self) -> u64 {
+        self.inner.live.read().unwrap().epoch
+    }
+
+    /// The current generation's disk image, building it on first use.
+    pub fn disk(&self) -> Arc<DiskLists> {
+        let state = self.live().index;
+        self.disk_for(&state)
+    }
+
+    fn disk_for(&self, state: &IndexState) -> Arc<DiskLists> {
+        state
+            .disk
+            .get_or_init(|| {
+                Arc::new(state.miner.to_disk_with(
+                    self.inner.disk_fraction,
+                    self.inner.pool,
+                    self.inner.cost,
+                ))
+            })
+            .clone()
     }
 
     /// Queries served across all clones of this engine (cache hits
@@ -369,21 +507,22 @@ impl QueryEngine {
         self.inner.sharded_queries.load(Ordering::Relaxed)
     }
 
-    /// Number of shard layouts currently cached (bounded by
-    /// `MAX_CACHED_LAYOUTS`).
+    /// Number of shard layouts currently cached by the serving generation
+    /// (bounded by `MAX_CACHED_LAYOUTS`).
     pub fn cached_layouts(&self) -> usize {
-        self.inner.sharded.read().unwrap().len()
+        self.live().index.sharded.read().unwrap().len()
     }
 
-    /// The shard layout for fanout `n`, building it on first use and
-    /// evicting the least-recently-used non-default layout past the cap.
-    fn sharded_index(&self, n: usize) -> Arc<ShardedIndex> {
-        let stamp = self.inner.layout_clock.fetch_add(1, Ordering::Relaxed) + 1;
-        if let Some(idx) = self.inner.sharded.read().unwrap().get(&n) {
+    /// The shard layout for fanout `n` within one index generation,
+    /// building it on first use and evicting the least-recently-used
+    /// non-default layout past the cap.
+    fn sharded_index(&self, state: &IndexState, n: usize) -> Arc<ShardedIndex> {
+        let stamp = state.layout_clock.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(idx) = state.sharded.read().unwrap().get(&n) {
             idx.last_used.store(stamp, Ordering::Relaxed);
             return idx.clone();
         }
-        let mut map = self.inner.sharded.write().unwrap();
+        let mut map = state.sharded.write().unwrap();
         if let Some(idx) = map.get(&n) {
             idx.last_used.store(stamp, Ordering::Relaxed);
             return idx.clone();
@@ -401,7 +540,7 @@ impl QueryEngine {
                 None => break,
             }
         }
-        let m = &self.inner.miner;
+        let m = &state.miner;
         let idx = Arc::new(ShardedIndex {
             mem: ShardedWordLists::build(m.lists(), m.id_lists(), m.index().dict.len(), n),
             disk: OnceLock::new(),
@@ -434,36 +573,206 @@ impl QueryEngine {
         *self.inner.io_totals.lock().unwrap()
     }
 
-    /// Attaches (or replaces) the §4.5.1 side index and clears the result
-    /// cache — cached entries were computed against the previous corpus
-    /// state and must not be served once a delta changes it.
+    /// Attaches (or replaces) the §4.5.1 side index. Bumps the index
+    /// epoch — invalidating cached results by key mismatch — but only if
+    /// the swap actually changes observable state: replacing nothing (or
+    /// an empty delta) with another empty delta leaves every cached
+    /// result valid and the epoch untouched.
     pub fn attach_delta(&self, delta: DeltaIndex) {
-        *self.inner.delta.write().unwrap() = Some(Arc::new(delta));
-        self.clear_cache();
+        let _m = self.inner.maintenance.lock().unwrap();
+        let mut live = self.inner.live.write().unwrap();
+        let was_active = live.delta.as_ref().is_some_and(|d| !d.is_empty());
+        let now_active = !delta.is_empty();
+        live.delta = Some(Arc::new(delta));
+        if was_active || now_active {
+            live.epoch += 1;
+        }
     }
 
     /// Mutates the attached delta in place (attaching an empty one first
-    /// if none is present) and clears the result cache. Use for ongoing
-    /// ingestion: `engine.update_delta(|d| d.add_document(...))`.
+    /// if none is present). The epoch is bumped only when the closure
+    /// actually changed the delta ([`DeltaIndex::fingerprint`] moved) —
+    /// a no-op update costs no cached result. Use for ongoing ingestion:
+    /// `engine.update_delta(|d| d.add_document(...))`.
     pub fn update_delta(&self, f: impl FnOnce(&mut DeltaIndex)) {
-        {
-            let mut guard = self.inner.delta.write().unwrap();
-            let delta = guard.get_or_insert_with(Default::default);
-            f(Arc::make_mut(delta));
+        let _m = self.inner.maintenance.lock().unwrap();
+        let mut live = self.inner.live.write().unwrap();
+        let delta = live.delta.get_or_insert_with(Default::default);
+        let before = delta.fingerprint();
+        f(Arc::make_mut(delta));
+        if delta.fingerprint() != before {
+            live.epoch += 1;
         }
-        self.clear_cache();
     }
 
     /// Detaches the side index (e.g. after an offline rebuild absorbed
-    /// it) and clears the result cache.
+    /// it). Bumps the epoch only when a non-empty delta was actually
+    /// detached — detaching nothing changes nothing.
     pub fn detach_delta(&self) {
-        *self.inner.delta.write().unwrap() = None;
-        self.clear_cache();
+        let _m = self.inner.maintenance.lock().unwrap();
+        let mut live = self.inner.live.write().unwrap();
+        let was_active = live.delta.as_ref().is_some_and(|d| !d.is_empty());
+        live.delta = None;
+        if was_active {
+            live.epoch += 1;
+        }
     }
 
     /// A snapshot handle to the attached delta, if any.
     pub fn delta(&self) -> Option<Arc<DeltaIndex>> {
-        self.inner.delta.read().unwrap().clone()
+        self.inner.live.read().unwrap().delta.clone()
+    }
+
+    /// Ingests one document into the serving index's §4.5.1 side index:
+    /// the live lists stay untouched, `use_delta` queries see the
+    /// document immediately through corrected probabilities, and the next
+    /// [`QueryEngine::compact`] folds it into a full rebuild. Tokens are
+    /// word ids of the *current* vocabulary (the wire layer resolves
+    /// strings; out-of-vocabulary words can only enter at a rebuild).
+    /// Bumps the epoch.
+    pub fn ingest_document(&self, tokens: &[WordId], facets: &[FacetId]) {
+        let _m = self.inner.maintenance.lock().unwrap();
+        let mut live = self.inner.live.write().unwrap();
+        let index = live.index.clone();
+        let delta = Arc::make_mut(live.delta.get_or_insert_with(Default::default));
+        delta.add_document(index.miner.index(), tokens, facets);
+        live.epoch += 1;
+        self.inner.ingested.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Batched [`QueryEngine::ingest_document`]: one maintenance-lock
+    /// acquisition and one epoch bump for the whole batch.
+    pub fn ingest_documents(&self, docs: &[(Vec<WordId>, Vec<FacetId>)]) {
+        if docs.is_empty() {
+            return;
+        }
+        let _m = self.inner.maintenance.lock().unwrap();
+        let mut live = self.inner.live.write().unwrap();
+        let index = live.index.clone();
+        let delta = Arc::make_mut(live.delta.get_or_insert_with(Default::default));
+        for (tokens, facets) in docs {
+            delta.add_document(index.miner.index(), tokens, facets);
+        }
+        live.epoch += 1;
+        self.inner
+            .ingested
+            .fetch_add(docs.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Marks a document of the serving corpus deleted (through the side
+    /// index; the postings stay untouched until compaction). Returns
+    /// `false` — with no epoch bump and no cache impact — when `doc` is
+    /// out of range or already deleted.
+    pub fn delete_document(&self, doc: DocId) -> bool {
+        let _m = self.inner.maintenance.lock().unwrap();
+        let mut live = self.inner.live.write().unwrap();
+        if doc.index() >= live.index.miner.corpus().num_docs() {
+            return false;
+        }
+        if live.delta.as_ref().is_some_and(|d| d.is_deleted(doc)) {
+            return false;
+        }
+        let delta = Arc::make_mut(live.delta.get_or_insert_with(Default::default));
+        delta.delete_document(doc);
+        live.epoch += 1;
+        self.inner.deleted.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Flushes the delta into a **full offline rebuild** — the third leg
+    /// of the paper's §4.5.1 contract ("periodically, the [side index] is
+    /// flushed and the list indexes are re-constructed"):
+    ///
+    /// 1. snapshot the serving generation and its delta (the maintenance
+    ///    lock keeps the delta frozen; queries keep serving throughout);
+    /// 2. reconstruct the corpus — surviving base documents plus every
+    ///    ingested document, over the *same shared vocabulary* — and
+    ///    rebuild the miner (dictionary, postings, forward lists, both
+    ///    word-list orders) from scratch; new phrases and pairs the delta
+    ///    had to defer now enter the lists;
+    /// 3. atomically swap the new generation in, drop the delta, and bump
+    ///    the epoch. Lazily derived layouts (disk image, shard layouts)
+    ///    rebuild on first use against the new lists.
+    ///
+    /// After the swap the delta is empty, so all four algorithms answer
+    /// `Exact` again (`use_delta` becomes a no-op until the next ingest).
+    /// Ingest/delete calls block for the duration of the rebuild (they
+    /// share the maintenance lock); queries never do — they serve the
+    /// pre-swap generation until the O(1) swap, which is the behaviour
+    /// the server relies on to keep compaction off the query path.
+    ///
+    /// A call with no attached (or an empty) delta is a no-op that
+    /// reports `compacted: false` and leaves the epoch untouched.
+    pub fn compact(&self) -> CompactionReport {
+        let start = Instant::now();
+        let _m = self.inner.maintenance.lock().unwrap();
+        let snap = self.live();
+        let delta = snap.delta.as_ref().filter(|d| !d.is_empty());
+        let miner = &snap.index.miner;
+        let Some(delta) = delta else {
+            return CompactionReport {
+                compacted: false,
+                epoch: snap.epoch,
+                docs: miner.corpus().num_docs(),
+                phrases: miner.index().dict.len(),
+                absorbed_adds: 0,
+                absorbed_deletes: 0,
+                elapsed: Duration::ZERO,
+            };
+        };
+        // Offline rebuild (queries keep serving `snap.index`): surviving
+        // base docs + ingested docs over the shared vocabulary.
+        let mut docs: Vec<(Vec<WordId>, Vec<FacetId>)> =
+            Vec::with_capacity(miner.corpus().num_docs() + delta.num_added());
+        for d in miner.corpus().docs() {
+            if !delta.is_deleted(d.id) {
+                docs.push((d.tokens.clone(), d.facets.clone()));
+            }
+        }
+        for (tokens, facets) in delta.added_docs() {
+            docs.push((tokens.clone(), facets.clone()));
+        }
+        let new_corpus = miner.corpus().with_docs(docs);
+        let new_miner = Arc::new(PhraseMiner::build(&new_corpus, miner.config().clone()));
+        let report = CompactionReport {
+            compacted: true,
+            epoch: 0, // patched below, after the swap fixes the epoch
+            docs: new_corpus.num_docs(),
+            phrases: new_miner.index().dict.len(),
+            absorbed_adds: delta.num_added(),
+            absorbed_deletes: delta.num_deleted(),
+            elapsed: Duration::ZERO,
+        };
+        let epoch = {
+            let mut live = self.inner.live.write().unwrap();
+            live.index = Arc::new(IndexState::new(new_miner));
+            live.delta = None;
+            live.epoch += 1;
+            live.epoch
+        };
+        self.inner.compactions.fetch_add(1, Ordering::Relaxed);
+        CompactionReport {
+            epoch,
+            elapsed: start.elapsed(),
+            ..report
+        }
+    }
+
+    /// Lifecycle counters: epoch, ingest/delete/compaction totals, and
+    /// the live delta's size.
+    pub fn lifecycle_stats(&self) -> LifecycleStats {
+        let live = self.inner.live.read().unwrap();
+        LifecycleStats {
+            epoch: live.epoch,
+            ingested: self.inner.ingested.load(Ordering::Relaxed),
+            deleted: self.inner.deleted.load(Ordering::Relaxed),
+            compactions: self.inner.compactions.load(Ordering::Relaxed),
+            delta_docs: live
+                .delta
+                .as_ref()
+                .map(|d| d.num_added() + d.num_deleted())
+                .unwrap_or(0),
+        }
     }
 
     /// Starts a budgeted, cancellable request for a query string — the
@@ -511,7 +820,7 @@ impl QueryEngine {
         k: usize,
         options: &SearchOptions,
     ) -> Result<SearchResponse, ParseError> {
-        let query = self.inner.miner.parse_query_str(input)?;
+        let query = self.miner().parse_query_str(input)?;
         Ok(self.execute(query, k, options))
     }
 
@@ -550,19 +859,23 @@ impl QueryEngine {
             return Err(err);
         }
         let plan = QueryPlan::resolve(options, self.inner.default_shards);
-        let key = CacheKey::new(&query, k, options, plan.shards);
-        // Snapshot the delta once (when requested): the executor streams
-        // through it and the completeness label reports it.
+        // Snapshot the serving head once: a consistent (epoch, index,
+        // delta) triple. Everything below — cache key, completeness,
+        // execution — works off this snapshot, so a concurrent ingest or
+        // compaction never mixes generations within one request.
+        let live = self.live();
+        let key = CacheKey::new(&query, k, options, plan.shards, live.epoch);
         let delta_snapshot = if options.use_delta {
-            self.delta().filter(|d| !d.is_empty())
+            live.delta.clone().filter(|d| !d.is_empty())
         } else {
             None
         };
+        let exact_probes = Self::exact_probes(&live.index.miner);
         let base = crate::plan::base_completeness(
             options,
             matches!(plan.backend, BackendChoice::Disk) && self.inner.disk_fraction < 1.0,
             delta_snapshot.is_some(),
-            self.exact_probes(),
+            exact_probes,
             plan.shards,
         );
         if let Some(cache) = &self.inner.cache {
@@ -580,7 +893,15 @@ impl QueryEngine {
             }
         }
 
-        let (hits, io) = self.execute_uncached(&query, k, options, &plan, &delta_snapshot, budget);
+        let (hits, io) = self.execute_uncached(
+            &live.index,
+            &query,
+            k,
+            options,
+            &plan,
+            &delta_snapshot,
+            budget,
+        );
         let completeness = match budget.trip_cause() {
             Some(Trip::Cancelled) => return Err(SearchError::Cancelled),
             Some(trip) => Completeness::Truncated {
@@ -613,12 +934,8 @@ impl QueryEngine {
 
     /// Whether the backends' id-ordered (probe) lists are complete (no
     /// build-time SMJ fraction froze a prefix).
-    fn exact_probes(&self) -> bool {
-        self.inner
-            .miner
-            .config()
-            .smj_fraction
-            .is_none_or(|f| f >= 1.0)
+    fn exact_probes(miner: &PhraseMiner) -> bool {
+        miner.config().smj_fraction.is_none_or(|f| f >= 1.0)
     }
 
     /// Runs the planned query — one backend per shard — and resolves hit
@@ -626,8 +943,10 @@ impl QueryEngine {
     /// the exact scorer charges its final phrase lookups there — the
     /// paper's last retrieval step; on a sharded image the lookup charges
     /// the shard owning the hit).
+    #[allow(clippy::too_many_arguments)]
     fn execute_uncached(
         &self,
+        state: &IndexState,
         query: &Query,
         k: usize,
         options: &SearchOptions,
@@ -635,14 +954,14 @@ impl QueryEngine {
         delta_snapshot: &Option<Arc<DeltaIndex>>,
         budget: &Budget,
     ) -> (Vec<SearchHit>, Option<IoStats>) {
-        let m = &self.inner.miner;
+        let m = &*state.miner;
         let ctx = ExecContext {
             miner: m,
             options,
             image_truncated: matches!(plan.backend, BackendChoice::Disk)
                 && self.inner.disk_fraction < 1.0,
             delta: delta_snapshot.as_deref(),
-            exact_probes: self.exact_probes(),
+            exact_probes: Self::exact_probes(m),
             budget,
         };
         let resolve = |hit: PhraseHit, text: String| SearchHit {
@@ -661,7 +980,7 @@ impl QueryEngine {
                     let backend = m.memory_backend();
                     crate::plan::run_query(&ctx, &[&backend], query, k)
                 } else {
-                    let idx = self.sharded_index(plan.shards);
+                    let idx = self.sharded_index(state, plan.shards);
                     let backends: Vec<MemoryBackend<'_>> =
                         idx.mem.shards().iter().map(ListShard::backend).collect();
                     let refs: Vec<&MemoryBackend<'_>> = backends.iter().collect();
@@ -674,7 +993,8 @@ impl QueryEngine {
                 (resolved, None)
             }
             BackendChoice::Disk if plan.shards == 1 => {
-                let disk = self.disk();
+                let disk = self.disk_for(state);
+                let disk = &*disk;
                 let _serial = self.inner.disk_gate.lock().unwrap();
                 disk.reset_io(); // per-query cold cache (paper §5.5)
                 let hits = crate::plan::run_query(&ctx, &[disk], query, k);
@@ -694,7 +1014,7 @@ impl QueryEngine {
                 (resolved, Some(io))
             }
             BackendChoice::Disk => {
-                let idx = self.sharded_index(plan.shards);
+                let idx = self.sharded_index(state, plan.shards);
                 let image = idx.disk.get_or_init(|| {
                     ShardedDiskImage::build(
                         m.corpus(),
@@ -754,10 +1074,12 @@ mod tests {
     }
 
     fn query_string(e: &QueryEngine, op: Operator) -> String {
-        let top = ipm_corpus::stats::top_words_by_df(e.miner().corpus(), 2);
+        let miner = e.miner();
+        let corpus = miner.corpus();
+        let top = ipm_corpus::stats::top_words_by_df(corpus, 2);
         let words: Vec<&str> = top
             .iter()
-            .map(|&(w, _)| e.miner().corpus().words().term(w).unwrap())
+            .map(|&(w, _)| corpus.words().term(w).unwrap())
             .collect();
         words.join(&format!(" {op} "))
     }
@@ -890,10 +1212,12 @@ mod tests {
     #[test]
     fn cache_key_ignores_feature_order() {
         let e = engine();
-        let top = ipm_corpus::stats::top_words_by_df(e.miner().corpus(), 2);
+        let miner = e.miner();
+        let corpus = miner.corpus();
+        let top = ipm_corpus::stats::top_words_by_df(corpus, 2);
         let words: Vec<&str> = top
             .iter()
-            .map(|&(w, _)| e.miner().corpus().words().term(w).unwrap())
+            .map(|&(w, _)| corpus.words().term(w).unwrap())
             .collect();
         let fwd = format!("{} OR {}", words[0], words[1]);
         let rev = format!("{} OR {}", words[1], words[0]);
@@ -1005,8 +1329,9 @@ mod tests {
                     )
                     .unwrap();
                 let query = &resp.query;
+                let miner = e.miner();
                 for h in &resp.hits {
-                    let words = e.miner().index().dict.words(h.hit.phrase).unwrap();
+                    let words = miner.index().dict.words(h.hit.phrase).unwrap();
                     assert!(
                         crate::redundancy::overlap_fraction(words, query) < red.max_overlap,
                         "{alg:?}/{backend:?} leaked redundant phrase {}",
@@ -1530,8 +1855,9 @@ mod tests {
                 )
                 .unwrap();
             let query = &resp.query;
+            let miner = e.miner();
             for h in &resp.hits {
-                let words = e.miner().index().dict.words(h.hit.phrase).unwrap();
+                let words = miner.index().dict.words(h.hit.phrase).unwrap();
                 assert!(
                     crate::redundancy::overlap_fraction(words, query) < red.max_overlap,
                     "{n} shards leaked redundant phrase {}",

@@ -157,6 +157,117 @@ pub fn exact_scores_for_subset_range_with(
         .collect()
 }
 
+/// [`exact_scores_for_subset_range_with`] corrected against a §4.5.1
+/// [`crate::delta::DeltaIndex`] — the exact scorer's member of the
+/// lifecycle contract: `I(p, D')` computed over the *updated* corpus
+/// without rebuilding anything.
+///
+/// * `subset` is the **base-corpus** `D'` (Eq. 2 over the stale postings);
+///   documents marked deleted in the delta are skipped during the scan.
+/// * Added documents matching the query contribute their phrase counts
+///   from the delta's own inverted lists.
+/// * Every phrase is normalized by its churn-corrected document frequency
+///   ([`crate::delta::DeltaIndex::adjusted_df`]); phrases whose corrected
+///   df reaches zero vanish, like their list entries do.
+///
+/// Phrases absent from the stale dictionary (they only exist in added
+/// documents) are deferred to the offline rebuild, mirroring the delta's
+/// own model. The budget is checked once per base document; a tripped
+/// budget brackets every counted phrase exactly as the base scorer does.
+pub fn exact_scores_for_subset_range_with_delta(
+    index: &CorpusIndex,
+    delta: &crate::delta::DeltaIndex,
+    query: &Query,
+    subset: &Postings,
+    range: Option<(PhraseId, PhraseId)>,
+    budget: &ShardBudget<'_>,
+) -> Vec<PhraseHit> {
+    let in_range = |p: PhraseId| range.is_none_or(|(lo, hi)| lo <= p && p < hi);
+    let mut counts: FxHashMap<PhraseId, u32> = FxHashMap::default();
+    // Added documents first: the delta is small and bounded by ingestion,
+    // so the budget governs the base scan (the part linear in |D'|).
+    let matched_added = delta.added_matching(query);
+    if !matched_added.is_empty() {
+        for (p, joint) in delta_phrase_lists(delta, &matched_added) {
+            if in_range(p) {
+                *counts.entry(p).or_insert(0) += joint;
+            }
+        }
+    }
+    let mut scanned = 0usize;
+    for doc in subset.iter() {
+        if !budget.check() {
+            break;
+        }
+        scanned += 1;
+        if delta.is_deleted(doc) {
+            continue; // left D' with its document
+        }
+        for &p in index.forward.doc(doc) {
+            if in_range(p) {
+                *counts.entry(p).or_insert(0) += 1;
+            }
+        }
+    }
+    let unscanned = subset.len().saturating_sub(scanned) as f64;
+    counts
+        .into_iter()
+        .filter_map(|(p, c)| {
+            let df = delta.adjusted_df(index, p);
+            if df <= 0.0 {
+                return None;
+            }
+            let lower = f64::from(c) / df;
+            Some(if unscanned == 0.0 {
+                PhraseHit::exact(p, lower)
+            } else {
+                let upper = ((f64::from(c) + unscanned) / df).min(1.0);
+                PhraseHit {
+                    phrase: p,
+                    score: lower,
+                    lower,
+                    upper,
+                }
+            })
+        })
+        .collect()
+}
+
+/// `phrase -> |added docs containing it ∩ matched|` for the delta-aware
+/// exact scan. `matched` must be sorted (as
+/// [`crate::delta::DeltaIndex::added_matching`] returns it).
+fn delta_phrase_lists<'d>(
+    delta: &'d crate::delta::DeltaIndex,
+    matched: &'d [u32],
+) -> impl Iterator<Item = (PhraseId, u32)> + 'd {
+    delta.added_phrase_ids().filter_map(move |p| {
+        let locals = delta.added_containing(p);
+        let joint = locals
+            .iter()
+            .filter(|l| matched.binary_search(l).is_ok())
+            .count() as u32;
+        (joint > 0).then_some((p, joint))
+    })
+}
+
+/// Delta-corrected exact top-k over an already-materialized base subset,
+/// restricted to a phrase-id range — the sharded executor's per-partition
+/// arm of the lifecycle contract.
+pub fn exact_top_k_delta_for_subset_range_with(
+    index: &CorpusIndex,
+    delta: &crate::delta::DeltaIndex,
+    query: &Query,
+    subset: &Postings,
+    k: usize,
+    range: Option<(PhraseId, PhraseId)>,
+    budget: &ShardBudget<'_>,
+) -> Vec<PhraseHit> {
+    let mut hits =
+        exact_scores_for_subset_range_with_delta(index, delta, query, subset, range, budget);
+    truncate_top_k(&mut hits, k);
+    hits
+}
+
 /// Exact interestingness of a single phrase for a subset (used to judge
 /// result correctness and estimation error).
 pub fn exact_interestingness(index: &CorpusIndex, subset: &Postings, p: PhraseId) -> f64 {

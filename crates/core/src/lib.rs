@@ -72,10 +72,10 @@ pub use budget::{
     ApproxReason, Budget, BudgetKind, CancelToken, Completeness, SearchError, ShardBudget,
 };
 pub use cache::{CacheConfig, CacheStats};
-pub use delta::DeltaIndex;
+pub use delta::{DeltaIndex, DeltaOverlay};
 pub use engine::{
-    Algorithm, BackendChoice, CacheKey, EngineConfig, QueryEngine, SearchHit, SearchOptions,
-    SearchResponse,
+    Algorithm, BackendChoice, CacheKey, CompactionReport, EngineConfig, LifecycleStats,
+    QueryEngine, SearchHit, SearchOptions, SearchResponse,
 };
 pub use miner::{MinerConfig, PhraseMiner};
 pub use nra::{NraConfig, NraOutcome, TraversalStats};

@@ -54,7 +54,7 @@
 //! prune batch — every test corpus) results are byte-identical.
 
 use crate::budget::{ApproxReason, Budget, Completeness, ShardBudget};
-use crate::delta::{AdjustedCursor, DeltaIndex};
+use crate::delta::{DeltaIndex, DeltaOverlay};
 use crate::engine::{Algorithm, BackendChoice, SearchOptions};
 use crate::exact;
 use crate::miner::PhraseMiner;
@@ -63,7 +63,7 @@ use crate::query::{Operator, Query};
 use crate::result::{sort_hits, PhraseHit};
 use crate::scoring::entry_score;
 use crate::smj::run_smj_backend_with;
-use crate::ta::run_ta_backend_with;
+use crate::ta::run_ta_backend_scan;
 use ipm_index::backend::ListBackend;
 use ipm_index::cursor::ScoredListCursor;
 
@@ -111,8 +111,9 @@ pub(crate) struct ExecContext<'a> {
     /// (`EngineConfig::disk_fraction < 1.0`): NRA must use partial-list
     /// bounds even without a run-time fraction.
     pub image_truncated: bool,
-    /// Delta corrections to apply on the NRA path (already snapshot and
-    /// non-empty).
+    /// Delta corrections to apply — on *every* algorithm's path, via a
+    /// [`DeltaOverlay`] wrapped around each shard backend (already
+    /// snapshot and non-empty).
     pub delta: Option<&'a DeltaIndex>,
     /// The backends' id-ordered (probe) lists are complete, so a random
     /// probe returns the true `P(q|p)` — required for NRA score
@@ -139,8 +140,19 @@ impl ExecContext<'_> {
 /// The completeness a run produces *before* any budget intervenes — the
 /// paper's exact-vs-partial-list distinction made explicit per algorithm.
 /// `delta_active` means corrections were requested *and* a non-empty
-/// delta is attached; the engine upgrades the result to
+/// delta is attached; per §4.5.1 the corrections keep SMJ (full scan), TA
+/// (threshold stop surrendered) and the exact scorer **exact**, while NRA
+/// — whose pruning bounds were computed from the stale list order — stays
+/// `Approximate { DeltaCorrections }`. The engine upgrades the result to
 /// [`Completeness::Truncated`] when the budget trips.
+///
+/// "Exact" under a delta is relative to the paper's flush model: each
+/// list algorithm enumerates candidates from the **stale** lists with
+/// corrected values, so feature/phrase pairs (and phrases) that exist
+/// *only* in ingested documents are deferred to the next compaction's
+/// rebuild — for SMJ/TA via the overlay's absent-pairs-stay-absent rule,
+/// for the exact scorer via the stale dictionary. Within that shared
+/// envelope every label is exact; `compact()` closes the envelope.
 pub(crate) fn base_completeness(
     options: &SearchOptions,
     image_truncated: bool,
@@ -401,6 +413,13 @@ fn run_shard<B: ListBackend>(
 
 /// [`run_shard`] with an optionally pre-materialized `D'` for the exact
 /// arm (shared across all shards of one fan-out).
+///
+/// When the request carries delta corrections, the backend is wrapped in
+/// a [`DeltaOverlay`] here — *below* the algorithm dispatch — so NRA,
+/// SMJ and TA consume corrected cursors/probes without knowing the delta
+/// exists, and the exact arm switches to the delta-aware scorer. This is
+/// the seam that makes `use_delta` uniform across all four algorithms,
+/// both backends and every shard fanout.
 fn run_shard_with<B: ListBackend>(
     ctx: &ExecContext<'_>,
     backend: &B,
@@ -409,8 +428,28 @@ fn run_shard_with<B: ListBackend>(
     tuning: NraTuning,
     subset: Option<&ipm_index::postings::Postings>,
 ) -> Vec<PhraseHit> {
+    match ctx.delta {
+        Some(d) => {
+            let overlay = DeltaOverlay::new(backend, d, ctx.miner.index());
+            run_shard_backend(ctx, &overlay, query, fetch, tuning, subset)
+        }
+        None => run_shard_backend(ctx, backend, query, fetch, tuning, subset),
+    }
+}
+
+/// The algorithm dispatch for one shard, over a possibly delta-corrected
+/// backend.
+fn run_shard_backend<B: ListBackend>(
+    ctx: &ExecContext<'_>,
+    backend: &B,
+    query: &Query,
+    fetch: usize,
+    tuning: NraTuning,
+    subset: Option<&ipm_index::postings::Postings>,
+) -> Vec<PhraseHit> {
     // This shard's budget gauge: every cooperative check also reports the
-    // backend's simulated-IO fetch delta into the shared cap.
+    // backend's simulated-IO fetch delta into the shared cap (the overlay
+    // delegates `io_fetches` to the wrapped backend).
     let io_now = || backend.io_fetches();
     let budget = ShardBudget::new(ctx.budget, &io_now);
     let fraction = ctx.options.nra_fraction.unwrap_or(1.0);
@@ -419,25 +458,13 @@ fn run_shard_with<B: ListBackend>(
             let base = &ctx.miner.config().nra;
             let cfg = NraConfig {
                 k: fetch,
+                // Corrected probabilities ride the stale list order, so a
+                // delta makes every bound heuristic — partial-list
+                // semantics keep exhausted lists safely bounded.
                 lists_are_partial: fraction < 1.0 || ctx.image_truncated || ctx.delta.is_some(),
                 lower_floor: tuning.lower_floor,
                 batch_size: tuning.batch_size.unwrap_or(base.batch_size),
             };
-            if let Some(d) = ctx.delta {
-                let cursors: Vec<AdjustedCursor<'_, B::ScoreCursor<'_>>> = query
-                    .features
-                    .iter()
-                    .map(|&f| {
-                        AdjustedCursor::new(
-                            backend.score_cursor(f, fraction),
-                            d,
-                            ctx.miner.index(),
-                            f,
-                        )
-                    })
-                    .collect();
-                return run_nra_with(cursors, query.op, &cfg, &budget).hits;
-            }
             let cursors: Vec<B::ScoreCursor<'_>> = query
                 .features
                 .iter()
@@ -446,23 +473,49 @@ fn run_shard_with<B: ListBackend>(
             run_nra_with(cursors, query.op, &cfg, &budget).hits
         }
         Algorithm::Smj => run_smj_backend_with(backend, query, fetch, &budget),
-        Algorithm::Ta => run_ta_backend_with(backend, query, fetch, &budget).hits,
-        Algorithm::Exact => match subset {
-            Some(s) => exact::exact_top_k_for_subset_range_with(
-                ctx.miner.index(),
-                s,
-                fetch,
-                backend.phrase_range(),
-                &budget,
-            ),
-            None => exact::exact_top_k_range_with(
-                ctx.miner.index(),
-                query,
-                fetch,
-                backend.phrase_range(),
-                &budget,
-            ),
-        },
+        // TA's threshold stop assumes sorted streams; corrected values are
+        // not monotone, so under a delta the scan runs to exhaustion and
+        // stays exact (see `run_ta_backend_scan`).
+        Algorithm::Ta => {
+            run_ta_backend_scan(backend, query, fetch, &budget, ctx.delta.is_none()).hits
+        }
+        Algorithm::Exact => {
+            if let Some(d) = ctx.delta {
+                let materialized;
+                let s = match subset {
+                    Some(s) => s,
+                    None => {
+                        materialized = exact::materialize_subset(ctx.miner.index(), query);
+                        &materialized
+                    }
+                };
+                return exact::exact_top_k_delta_for_subset_range_with(
+                    ctx.miner.index(),
+                    d,
+                    query,
+                    s,
+                    fetch,
+                    backend.phrase_range(),
+                    &budget,
+                );
+            }
+            match subset {
+                Some(s) => exact::exact_top_k_for_subset_range_with(
+                    ctx.miner.index(),
+                    s,
+                    fetch,
+                    backend.phrase_range(),
+                    &budget,
+                ),
+                None => exact::exact_top_k_range_with(
+                    ctx.miner.index(),
+                    query,
+                    fetch,
+                    backend.phrase_range(),
+                    &budget,
+                ),
+            }
+        }
     }
 }
 

@@ -218,10 +218,12 @@ mod tests {
     }
 
     fn query_string(e: &QueryEngine) -> String {
-        let top = ipm_corpus::stats::top_words_by_df(e.miner().corpus(), 2);
+        let miner = e.miner();
+        let corpus = miner.corpus();
+        let top = ipm_corpus::stats::top_words_by_df(corpus, 2);
         let words: Vec<&str> = top
             .iter()
-            .map(|&(w, _)| e.miner().corpus().words().term(w).unwrap())
+            .map(|&(w, _)| corpus.words().term(w).unwrap())
             .collect();
         words.join(" OR ")
     }

@@ -100,6 +100,27 @@ pub fn run_ta_backend_with<B: ListBackend>(
     k: usize,
     budget: &ShardBudget<'_>,
 ) -> TaOutcome {
+    run_ta_backend_scan(backend, query, k, budget, true)
+}
+
+/// [`run_ta_backend_with`] with an explicit claim about the backend's
+/// sorted order. `sorted_order = true` is classic TA: the cursors stream
+/// in non-increasing score order, so the threshold `τ = Σ_i last_seen_i`
+/// upper-bounds every unseen phrase and the scan stops early. Pass
+/// `false` when the streamed values are *not* monotone — e.g. a
+/// [`crate::delta::DeltaOverlay`], whose corrected probabilities ride the
+/// stale list order — and the scan runs to exhaustion instead: every
+/// phrase in the lists is still resolved by probes, so the result stays
+/// exact, trading the early stop for correctness (paper §4.5.1's "SMJ
+/// becomes exact again" applies to TA the same way once the threshold
+/// shortcut is surrendered).
+pub fn run_ta_backend_scan<B: ListBackend>(
+    backend: &B,
+    query: &Query,
+    k: usize,
+    budget: &ShardBudget<'_>,
+    sorted_order: bool,
+) -> TaOutcome {
     assert!(k > 0, "k must be positive");
     let r = query.features.len();
     let mut sorted: Vec<B::ScoreCursor<'_>> = query
@@ -162,7 +183,8 @@ pub fn run_ta_backend_with<B: ListBackend>(
             break;
         }
         // Threshold test: no unseen phrase can beat the k-th resolved score.
-        if top.len() == k {
+        // Only valid when the cursors really stream in score order.
+        if sorted_order && top.len() == k {
             let threshold: f64 = last_seen.iter().sum();
             if top[k - 1].score >= threshold {
                 stats.stopped_early = sorted

@@ -65,6 +65,28 @@ impl Corpus {
         self.facets.get(facet)
     }
 
+    /// A new corpus over `docs` (token streams + facets, renumbered
+    /// densely from 0) that *shares this corpus's vocabularies*: word and
+    /// facet ids keep their meaning, so indexes built over the result are
+    /// directly comparable with ones built over `self`. This is the
+    /// offline-rebuild primitive of the §4.5.1 lifecycle — compaction
+    /// reconstructs the document set (base minus deletions plus ingested
+    /// docs) without re-interning a single term.
+    ///
+    /// Vocabulary entries no longer referenced by any document are kept
+    /// (ids must stay stable); they simply end up with empty postings.
+    pub fn with_docs(&self, docs: Vec<(Vec<WordId>, Vec<FacetId>)>) -> Corpus {
+        Corpus {
+            docs: docs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (tokens, facets))| Document::new(DocId(i as u32), tokens, facets))
+                .collect(),
+            words: self.words.clone(),
+            facets: self.facets.clone(),
+        }
+    }
+
     /// Renders a sequence of word ids back to a space-joined string.
     pub fn render_words(&self, ids: &[WordId]) -> String {
         let mut s = String::new();
@@ -239,6 +261,27 @@ mod tests {
         let c = CorpusBuilder::default().build();
         assert!(c.is_empty());
         assert_eq!(c.total_tokens(), 0);
+    }
+
+    #[test]
+    fn with_docs_shares_vocabulary_and_renumbers() {
+        let c = small_corpus();
+        let d0 = c.doc(DocId(0)).unwrap().clone();
+        let d2 = c.doc(DocId(2)).unwrap().clone();
+        let rebuilt = c.with_docs(vec![
+            (d2.tokens.clone(), d2.facets.clone()),
+            (d0.tokens.clone(), d0.facets.clone()),
+        ]);
+        assert_eq!(rebuilt.num_docs(), 2);
+        assert_eq!(rebuilt.doc(DocId(0)).unwrap().tokens, d2.tokens);
+        assert_eq!(rebuilt.doc(DocId(0)).unwrap().id, DocId(0));
+        assert_eq!(rebuilt.doc(DocId(1)).unwrap().tokens, d0.tokens);
+        // Vocabulary ids keep their meaning across the rebuild.
+        assert_eq!(rebuilt.word_id("database"), c.word_id("database"));
+        assert_eq!(
+            rebuilt.facet_id("topic:economy"),
+            c.facet_id("topic:economy")
+        );
     }
 
     #[test]

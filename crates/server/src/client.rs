@@ -114,6 +114,36 @@ impl Client {
         self.roundtrip(&crate::wire::batch_line(reqs))
     }
 
+    /// Ingests one document over the wire (protocol v3): tokens are plain
+    /// term strings, facets are `key:value` strings. The response carries
+    /// the new `epoch`, the live `delta_docs` count, and how many terms
+    /// were outside the serving vocabulary (`unknown_tokens`).
+    ///
+    /// # Errors
+    /// See [`Client::roundtrip`].
+    pub fn ingest(&mut self, tokens: &[String], facets: &[String]) -> std::io::Result<Value> {
+        self.roundtrip(&crate::wire::ingest_line(tokens, facets))
+    }
+
+    /// Marks a document of the serving corpus deleted (protocol v3).
+    ///
+    /// # Errors
+    /// See [`Client::roundtrip`].
+    pub fn delete_doc(&mut self, doc: u64) -> std::io::Result<Value> {
+        self.roundtrip(&crate::wire::delete_line(doc))
+    }
+
+    /// Asks the server to compact: flush the delta into a full offline
+    /// rebuild and atomically swap it in (protocol v3). Blocks until the
+    /// rebuild completes; queries issued on other connections keep being
+    /// served from the pre-swap index throughout.
+    ///
+    /// # Errors
+    /// See [`Client::roundtrip`].
+    pub fn compact(&mut self) -> std::io::Result<Value> {
+        self.roundtrip("{\"cmd\":\"compact\"}\n")
+    }
+
     /// Fetches the server counters.
     ///
     /// # Errors

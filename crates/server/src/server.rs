@@ -27,9 +27,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ipm_core::{
-    Budget, CacheKey, CacheStats, Query, QueryEngine, QueryPlan, SearchError, SearchOptions,
-    SearchResponse,
+    Budget, CacheKey, CacheStats, CompactionReport, LifecycleStats, Query, QueryEngine, QueryPlan,
+    SearchError, SearchOptions, SearchResponse,
 };
+use ipm_corpus::DocId;
 use ipm_storage::IoStats;
 use serde_json::Value;
 
@@ -88,6 +89,10 @@ pub struct ServerStats {
     pub cancelled: u64,
     /// Engine-level queries executed or answered from cache.
     pub queries_served: u64,
+    /// Engine lifecycle counters: epoch, ingested/deleted documents,
+    /// compactions, and the live delta's size (protocol v3 verbs
+    /// `ingest`/`delete`/`compact` drive these).
+    pub lifecycle: LifecycleStats,
     /// The engine's default intra-query shard fanout.
     pub default_shards: usize,
     /// Engine-level uncached executions that fanned out across more than
@@ -130,6 +135,12 @@ enum Job {
     /// A `{"batch": [...]}` request: several searches behind one
     /// admission slot.
     Batch(BatchJob),
+    /// A `{"cmd":"compact"}` request: the offline rebuild runs on a
+    /// worker under the same admission control as queries, so compaction
+    /// cannot stampede — and since the engine serves the old generation
+    /// until the atomic swap, the *other* workers keep answering queries
+    /// for the whole rebuild.
+    Compact(Arc<Slot<CompactionReport>>),
 }
 
 struct SearchJob {
@@ -330,6 +341,7 @@ fn snapshot(shared: &Shared) -> ServerStats {
         budget_truncated: shared.counters.budget_truncated.load(Ordering::Relaxed),
         cancelled: shared.counters.cancelled.load(Ordering::Relaxed),
         queries_served: shared.engine.queries_served(),
+        lifecycle: shared.engine.lifecycle_stats(),
         default_shards: shared.engine.default_shards(),
         sharded_queries: shared.engine.sharded_queries(),
         cache: shared.engine.cache_stats(),
@@ -371,6 +383,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         match job {
             Job::Search(job) => run_search_job(shared, job),
             Job::Batch(job) => run_batch_job(shared, job),
+            Job::Compact(slot) => slot.publish(shared.engine.compact()),
         }
     }
 }
@@ -580,6 +593,117 @@ fn serve_line(shared: &Arc<Shared>, line: &str) -> (String, ConnAction) {
         }
         Ok(WireRequest::Search(req)) => (serve_search(shared, req), ConnAction::Continue),
         Ok(WireRequest::Batch(reqs)) => (serve_batch(shared, reqs), ConnAction::Continue),
+        Ok(WireRequest::Ingest { tokens, facets }) => {
+            (serve_ingest(shared, &tokens, &facets), ConnAction::Continue)
+        }
+        Ok(WireRequest::Delete { doc }) => (serve_delete(shared, doc), ConnAction::Continue),
+        Ok(WireRequest::Compact) => (serve_compact(shared), ConnAction::Continue),
+    }
+}
+
+/// Serves an `ingest` verb: resolves tokens and facets against the
+/// serving vocabulary and records the document in the engine's side
+/// index. Runs inline on the connection thread — ingestion is a brief
+/// delta append, not an execution — so it never competes with queries for
+/// a worker slot. Out-of-vocabulary terms are skipped and reported (they
+/// can only enter the index at the next compaction's rebuild).
+fn serve_ingest(shared: &Arc<Shared>, tokens: &[String], facets: &[String]) -> String {
+    let miner = shared.engine.miner();
+    let corpus = miner.corpus();
+    let mut ids = Vec::with_capacity(tokens.len());
+    let mut unknown_tokens = 0u64;
+    for t in tokens {
+        match corpus.word_id(t) {
+            Some(w) => ids.push(w),
+            None => unknown_tokens += 1,
+        }
+    }
+    let mut facet_ids = Vec::with_capacity(facets.len());
+    let mut unknown_facets = 0u64;
+    for f in facets {
+        match corpus.facet_id(f) {
+            Some(id) => facet_ids.push(id),
+            None => unknown_facets += 1,
+        }
+    }
+    if ids.is_empty() {
+        shared
+            .counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        return wire::error_line(
+            ErrorKind::Query,
+            "no ingestible tokens: every term is outside the serving vocabulary \
+             (new terms enter at the next compaction)",
+        );
+    }
+    shared.engine.ingest_document(&ids, &facet_ids);
+    let stats = shared.engine.lifecycle_stats();
+    wire::ok_line(vec![
+        ("ingested", Value::from(1u64)),
+        ("unknown_tokens", Value::from(unknown_tokens)),
+        ("unknown_facets", Value::from(unknown_facets)),
+        ("delta_docs", Value::from(stats.delta_docs as u64)),
+        ("epoch", Value::from(stats.epoch)),
+    ])
+}
+
+/// Serves a `delete` verb (inline, like ingest).
+fn serve_delete(shared: &Arc<Shared>, doc: u64) -> String {
+    let num_docs = {
+        let miner = shared.engine.miner();
+        miner.corpus().num_docs() as u64
+    };
+    if doc >= num_docs {
+        shared
+            .counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        return wire::error_line(
+            ErrorKind::Query,
+            &format!("doc {doc} is out of range (corpus holds {num_docs} documents)"),
+        );
+    }
+    let deleted = shared.engine.delete_document(DocId(doc as u32));
+    let stats = shared.engine.lifecycle_stats();
+    wire::ok_line(vec![
+        ("deleted", Value::from(deleted)),
+        ("delta_docs", Value::from(stats.delta_docs as u64)),
+        ("epoch", Value::from(stats.epoch)),
+    ])
+}
+
+/// Serves a `compact` verb: the offline rebuild is a real unit of work,
+/// so it goes through the bounded admission queue like any search — a
+/// full queue sheds it with `overloaded` instead of stacking rebuilds.
+/// Queries racing the compaction keep being served from the pre-swap
+/// generation by the other workers.
+fn serve_compact(shared: &Arc<Shared>) -> String {
+    let slot = Slot::solo();
+    match shared.queue.try_push(Job::Compact(slot.clone())) {
+        Ok(()) => {
+            let report = slot.wait();
+            wire::ok_line(vec![
+                ("compacted", Value::from(report.compacted)),
+                ("epoch", Value::from(report.epoch)),
+                ("docs", Value::from(report.docs as u64)),
+                ("phrases", Value::from(report.phrases as u64)),
+                ("absorbed_adds", Value::from(report.absorbed_adds as u64)),
+                (
+                    "absorbed_deletes",
+                    Value::from(report.absorbed_deletes as u64),
+                ),
+                ("elapsed_us", Value::from(report.elapsed.as_micros() as u64)),
+            ])
+        }
+        Err(push_err) => {
+            let kind = match push_err {
+                PushError::Full => ErrorKind::Overloaded,
+                PushError::Closed => ErrorKind::ShuttingDown,
+            };
+            count_error(shared, kind);
+            wire::error_line(kind, &error_message(shared, kind))
+        }
     }
 }
 
@@ -654,7 +778,7 @@ fn serve_search(shared: &Arc<Shared>, req: SearchRequest) -> String {
         }
     };
     let plan = QueryPlan::resolve(&options, shared.engine.default_shards());
-    let key = CacheKey::new(&query, req.k, &options, plan.shards);
+    let key = CacheKey::new(&query, req.k, &options, plan.shards, shared.engine.epoch());
     let make_job = |slot: &Arc<Slot<FlightResult>>| {
         Job::Search(SearchJob {
             key: key.clone(),
@@ -768,7 +892,8 @@ fn serve_batch(shared: &Arc<Shared>, reqs: Vec<SearchRequest>) -> String {
             return wire::error_line(kind, &error_message(shared, kind));
         }
     };
-    let corpus = shared.engine.miner().corpus();
+    let miner = shared.engine.miner();
+    let corpus = miner.corpus();
     let encoded: Vec<Value> = results
         .iter()
         .map(|item| match item {
@@ -821,6 +946,19 @@ fn stats_line(shared: &Arc<Shared>) -> String {
     );
     stats.insert("cancelled".to_owned(), Value::from(s.cancelled));
     stats.insert("queries_served".to_owned(), Value::from(s.queries_served));
+    // Index-lifecycle counters (protocol v3): the current epoch, ingest /
+    // delete / compaction totals, and the live delta's size.
+    stats.insert("epoch".to_owned(), Value::from(s.lifecycle.epoch));
+    stats.insert("ingested".to_owned(), Value::from(s.lifecycle.ingested));
+    stats.insert("deleted".to_owned(), Value::from(s.lifecycle.deleted));
+    stats.insert(
+        "compactions".to_owned(),
+        Value::from(s.lifecycle.compactions),
+    );
+    stats.insert(
+        "delta_docs".to_owned(),
+        Value::from(s.lifecycle.delta_docs as u64),
+    );
     // Shard-fanout surface: the engine default plus how many executions
     // actually ran partitioned.
     let mut shards = std::collections::BTreeMap::new();

@@ -86,6 +86,26 @@ pub enum WireRequest {
     /// Execute several searches as one unit: the batch shares a single
     /// admission slot and the response carries per-item results/errors.
     Batch(Vec<SearchRequest>),
+    /// Ingest one document into the engine's §4.5.1 side index (protocol
+    /// v3). Tokens are plain term strings resolved against the serving
+    /// vocabulary; facets are `key:value` strings. Out-of-vocabulary
+    /// terms are counted back in the response (`unknown_tokens`) — they
+    /// can only enter the index at the next compaction's rebuild.
+    Ingest {
+        /// The document's tokens, in text order.
+        tokens: Vec<String>,
+        /// `key:value` facet strings.
+        facets: Vec<String>,
+    },
+    /// Mark one document of the serving corpus deleted (protocol v3).
+    Delete {
+        /// The document id.
+        doc: u64,
+    },
+    /// Flush the delta into a full offline rebuild and swap it in
+    /// (protocol v3). Runs under the admission queue: queries keep being
+    /// served from the old generation until the swap.
+    Compact,
     /// Report server counters.
     Stats,
     /// Liveness check.
@@ -331,10 +351,18 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
     if let Some(cmd) = field_str(&v, "cmd")? {
         return match cmd {
             "query" => Ok(WireRequest::Search(build_search(&v)?)),
+            "ingest" => build_ingest(&v),
+            "delete" => match v.get("doc").and_then(Value::as_u64) {
+                Some(doc) => Ok(WireRequest::Delete { doc }),
+                None => Err("delete needs a non-negative integer 'doc' field".into()),
+            },
+            "compact" => Ok(WireRequest::Compact),
             "stats" => Ok(WireRequest::Stats),
             "ping" => Ok(WireRequest::Ping),
             "shutdown" => Ok(WireRequest::Shutdown),
-            other => Err(format!("unknown cmd: {other} (query|stats|ping|shutdown)")),
+            other => Err(format!(
+                "unknown cmd: {other} (query|ingest|delete|compact|stats|ping|shutdown)"
+            )),
         };
     }
     if let Some(batch) = v.get("batch") {
@@ -366,6 +394,75 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
         return Ok(WireRequest::Batch(parsed));
     }
     Ok(WireRequest::Search(build_search(&v)?))
+}
+
+/// Parses an ingest verb: tokens come either as a `"tokens"` string array
+/// or as a whitespace-split `"text"` string; `"facets"` is an optional
+/// array of `key:value` strings.
+fn build_ingest(v: &Value) -> Result<WireRequest, String> {
+    let mut tokens: Vec<String> = Vec::new();
+    if let Some(arr) = v.get("tokens") {
+        let arr = arr
+            .as_array()
+            .ok_or("field 'tokens' must be an array of strings")?;
+        for t in arr {
+            tokens.push(
+                t.as_str()
+                    .ok_or("field 'tokens' must be an array of strings")?
+                    .to_owned(),
+            );
+        }
+    }
+    if let Some(text) = field_str(v, "text")? {
+        tokens.extend(text.split_whitespace().map(str::to_owned));
+    }
+    if tokens.is_empty() {
+        return Err("ingest needs a non-empty 'tokens' array or a 'text' string".into());
+    }
+    let mut facets: Vec<String> = Vec::new();
+    if let Some(arr) = v.get("facets") {
+        let arr = arr
+            .as_array()
+            .ok_or("field 'facets' must be an array of key:value strings")?;
+        for f in arr {
+            facets.push(
+                f.as_str()
+                    .ok_or("field 'facets' must be an array of key:value strings")?
+                    .to_owned(),
+            );
+        }
+    }
+    Ok(WireRequest::Ingest { tokens, facets })
+}
+
+/// One ingest request line (newline-terminated) — the client-side inverse
+/// of the `ingest` arm of [`parse_request`].
+pub fn ingest_line(tokens: &[String], facets: &[String]) -> String {
+    let mut m = BTreeMap::new();
+    m.insert("cmd".to_owned(), Value::from("ingest"));
+    m.insert(
+        "tokens".to_owned(),
+        Value::Array(tokens.iter().map(|t| Value::from(t.clone())).collect()),
+    );
+    if !facets.is_empty() {
+        m.insert(
+            "facets".to_owned(),
+            Value::Array(facets.iter().map(|f| Value::from(f.clone())).collect()),
+        );
+    }
+    let mut line = serde_json::to_string(&Value::Object(m)).expect("infallible");
+    line.push('\n');
+    line
+}
+
+/// One delete request line (newline-terminated).
+pub fn delete_line(doc: u64) -> String {
+    let mut m = BTreeMap::new();
+    m.insert("cmd".to_owned(), Value::from("delete"));
+    m.insert("doc".to_owned(), Value::from(doc));
+    let mut line = serde_json::to_string(&Value::Object(m)).expect("infallible");
+    line.push('\n');
+    line
 }
 
 fn build_search(v: &Value) -> Result<SearchRequest, String> {

@@ -46,10 +46,13 @@ const USAGE: &str = "usage:
              [--min-df N] [--max-len N]
   ipm client --addr <host:port> <query string> [--k N] [--method M] [--backend B]
              [--shards N] [--delay-ms N] [--deadline-ms N] [--io-budget N]
-             [--json true]
+             [--use-delta true] [--json true]
   ipm client --addr <host:port> --stats true | --shutdown true
   ipm client --addr <host:port> --load-threads N [--load-requests N]
              [--delay-ms N] <query string>
+  ipm ingest  --addr <host:port> --text <tokens> [--facets k:v,k:v]
+  ipm delete  --addr <host:port> --doc N
+  ipm compact --addr <host:port>
   ipm repl   [--input <file>] [--k N] [--filter-redundant true]
   ipm stats  --input <file>
   ipm demo   <query string> [--k N]
@@ -64,7 +67,10 @@ side, queue wait counts against the deadline and dead-on-arrival
 requests get a structured deadline_exceeded error). repl reads one query
 per stdin line; repl and serve fall back to the synthetic demo corpus
 without --input. serve speaks the line-delimited JSON protocol
-documented in docs/protocol.md.";
+documented in docs/protocol.md. ingest/delete/compact drive the index
+lifecycle over the wire (protocol v3): ingested documents correct
+queries sent with --use-delta true immediately, and compact flushes them
+into a full offline rebuild behind an atomic swap.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -76,6 +82,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "query" => cmd_query(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
+        "ingest" => cmd_ingest(rest),
+        "delete" => cmd_delete(rest),
+        "compact" => cmd_compact(rest),
         "repl" => cmd_repl(rest),
         "stats" => cmd_stats(rest),
         "demo" => cmd_demo(rest),
@@ -552,6 +561,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     let shards: usize = flags.get_parsed("shards", 0)?;
     request.shards = (shards > 0).then_some(shards);
     request.delay_ms = flags.get_parsed("delay-ms", 0)?;
+    request.use_delta = flags.get_parsed("use-delta", false)?;
     let budget = budget_flags(&flags)?;
     request.deadline_ms = budget.deadline_ms;
     request.io_budget = budget.io_budget;
@@ -613,6 +623,83 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             response["error"]["message"].as_str().unwrap_or("?"),
         ))
     }
+}
+
+/// Connects to `--addr` with the standard retry policy (shared by the
+/// lifecycle subcommands).
+fn lifecycle_client(flags: &Flags, what: &str) -> Result<Client, String> {
+    let addr = flags
+        .get("addr")
+        .ok_or_else(|| format!("{what} needs --addr <host:port>"))?;
+    Client::connect_with_retries(addr, 25, std::time::Duration::from_millis(200))
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))
+}
+
+/// Prints a server reply as pretty JSON, mapping `ok: false` to a CLI
+/// error.
+fn print_reply(reply: serde_json::Value) -> Result<(), String> {
+    if reply["ok"] == true {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&reply).map_err(|e| e.to_string())?
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "server error [{}]: {}",
+            reply["error"]["kind"].as_str().unwrap_or("?"),
+            reply["error"]["message"].as_str().unwrap_or("?"),
+        ))
+    }
+}
+
+fn cmd_ingest(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let text = flags
+        .get("text")
+        .map(str::to_owned)
+        .or_else(|| flags.positional.first().cloned())
+        .ok_or("ingest needs --text \"tokens ...\" (or a positional text argument)")?;
+    let tokens: Vec<String> = text.split_whitespace().map(str::to_owned).collect();
+    if tokens.is_empty() {
+        return Err("ingest needs at least one token".into());
+    }
+    let facets: Vec<String> = flags
+        .get("facets")
+        .map(|f| {
+            f.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect()
+        })
+        .unwrap_or_default();
+    let reply = lifecycle_client(&flags, "ingest")?
+        .ingest(&tokens, &facets)
+        .map_err(|e| e.to_string())?;
+    print_reply(reply)
+}
+
+fn cmd_delete(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let doc: u64 = match flags.get("doc") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for --doc: {v}"))?,
+        None => return Err("delete needs --doc N".into()),
+    };
+    let reply = lifecycle_client(&flags, "delete")?
+        .delete_doc(doc)
+        .map_err(|e| e.to_string())?;
+    print_reply(reply)
+}
+
+fn cmd_compact(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let reply = lifecycle_client(&flags, "compact")?
+        .compact()
+        .map_err(|e| e.to_string())?;
+    print_reply(reply)
 }
 
 fn cmd_repl(args: &[String]) -> Result<(), String> {

@@ -102,6 +102,21 @@
 //! assert!(warm.served_from_cache); // repeat: no list traversal at all
 //! ```
 
+//! ## Live index lifecycle (§4.5.1, end to end)
+//!
+//! The index accepts documents while serving:
+//! [`prelude::QueryEngine::ingest_document`] /
+//! [`prelude::QueryEngine::delete_document`] record churn in a side
+//! delta index; queries sent with [`prelude::SearchOptions::use_delta`]
+//! are corrected against it by **all four algorithms** (SMJ/TA/exact
+//! stay exact, NRA is labelled approximate — paper §4.5.1);
+//! [`prelude::QueryEngine::compact`] flushes the delta into a full
+//! offline rebuild behind an atomic swap. Every mutation bumps a
+//! monotonic epoch that scopes the result cache, so invalidation happens
+//! by key mismatch, never by a wholesale clear. Over the wire the same
+//! loop is the protocol-v3 `ingest`/`delete`/`compact` verbs
+//! (`ipm ingest` / `ipm delete` / `ipm compact`).
+
 pub use ipm_baselines as baselines;
 pub use ipm_core as core;
 pub use ipm_corpus as corpus;
@@ -120,9 +135,10 @@ pub mod prelude {
         ApproxReason, Budget, BudgetKind, CancelToken, Completeness, SearchError,
     };
     pub use ipm_core::cache::{CacheConfig, CacheStats};
+    pub use ipm_core::delta::{DeltaIndex, DeltaOverlay};
     pub use ipm_core::engine::{
-        Algorithm, BackendChoice, EngineConfig, QueryEngine, SearchHit, SearchOptions,
-        SearchResponse,
+        Algorithm, BackendChoice, CompactionReport, EngineConfig, LifecycleStats, QueryEngine,
+        SearchHit, SearchOptions, SearchResponse,
     };
     pub use ipm_core::measures::Measure;
     pub use ipm_core::miner::{MinerConfig, PhraseMiner};

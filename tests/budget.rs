@@ -28,10 +28,12 @@ fn fine_grained_engine(shards: usize) -> QueryEngine {
 }
 
 fn top_query(engine: &QueryEngine, op: &str) -> String {
-    let top = ipm_corpus::stats::top_words_by_df(engine.miner().corpus(), 2);
+    let miner = engine.miner();
+    let corpus = miner.corpus();
+    let top = ipm_corpus::stats::top_words_by_df(corpus, 2);
     let words: Vec<&str> = top
         .iter()
-        .map(|&(w, _)| engine.miner().corpus().words().term(w).unwrap())
+        .map(|&(w, _)| corpus.words().term(w).unwrap())
         .collect();
     words.join(&format!(" {op} "))
 }
@@ -295,4 +297,86 @@ fn truncation_never_pollutes_the_cache() {
         .unwrap();
     assert!(warm.served_from_cache);
     assert!(warm.completeness.is_exact());
+}
+
+/// Lifecycle satellite: a budget-truncated, delta-corrected NRA run must
+/// report `Truncated { .. }` — truncation outranks the
+/// `Approximate { delta_corrections }` label the same run would carry
+/// unbudgeted — and must never land in the result cache.
+#[test]
+fn delta_budget_truncation_outranks_approximation_and_is_never_cached() {
+    let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+    // Cache ENABLED: the point is precisely that truncated delta runs
+    // stay out of it.
+    let engine = QueryEngine::new(PhraseMiner::build(&corpus, MinerConfig::default()));
+    let q = top_query(&engine, "OR");
+    // Make the delta non-empty so the unbudgeted run is genuinely
+    // approximate, not a silent no-op.
+    let w0 = {
+        let miner = engine.miner();
+        ipm_corpus::stats::top_words_by_df(miner.corpus(), 1)[0].0
+    };
+    for _ in 0..5 {
+        engine.ingest_document(&[w0], &[]);
+    }
+
+    let truncated = engine
+        .request(q.clone())
+        .k(5)
+        .use_delta(true)
+        .step_budget(1)
+        .run()
+        .unwrap();
+    assert!(
+        matches!(truncated.completeness, Completeness::Truncated { .. }),
+        "truncation must outrank delta approximation, got {:?}",
+        truncated.completeness
+    );
+
+    // The truncated result was not cached: the unbudgeted rerun executes
+    // fresh and carries the delta-approximation label.
+    let full = engine
+        .request(q.clone())
+        .k(5)
+        .use_delta(true)
+        .run()
+        .unwrap();
+    assert!(
+        !full.served_from_cache,
+        "a truncated delta run must never be served back from the cache"
+    );
+    assert!(
+        matches!(
+            full.completeness,
+            Completeness::Approximate {
+                reason: ApproxReason::DeltaCorrections
+            }
+        ),
+        "unbudgeted delta NRA stays approximate, got {:?}",
+        full.completeness
+    );
+    // ...and that full (approximate, but budget-untouched) result *is*
+    // cacheable and epoch-stable.
+    assert!(
+        engine
+            .request(q.clone())
+            .k(5)
+            .use_delta(true)
+            .run()
+            .unwrap()
+            .served_from_cache
+    );
+
+    // A further ingest bumps the epoch: the cached delta entry stops
+    // matching without any cache clear.
+    engine.ingest_document(&[w0], &[]);
+    assert!(
+        !engine
+            .request(q)
+            .k(5)
+            .use_delta(true)
+            .run()
+            .unwrap()
+            .served_from_cache
+    );
 }

@@ -551,3 +551,187 @@ fn batch_requests_return_per_item_results() {
         assert_eq!(item["error"]["kind"], "deadline_exceeded", "{item:?}");
     }
 }
+
+/// Satellite of the lifecycle PR: wire requests with `use_delta: true`
+/// must be *honoured* by every algorithm — before this PR SMJ/TA/exact
+/// silently accepted and silently ignored the flag — and the response
+/// completeness label must be `exact` for SMJ/TA/exact (the §4.5.1
+/// corrections restore their exactness) while NRA stays
+/// `approximate/delta_corrections` (its bounds rode the stale order).
+#[test]
+fn wire_use_delta_completeness_labels_per_algorithm() {
+    let handle = spawn(build_engine(true), 2, 16);
+    let terms = top_terms(handle.engine(), 2);
+    let q = format!("{} OR {}", terms[0], terms[1]);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+    // With no delta attached the flag is a no-op: everything is exact.
+    for method in ["nra", "smj", "ta", "exact"] {
+        let mut req = WireSearchRequest::new(q.clone());
+        req.algorithm = wire::algorithm_from_str(method).unwrap();
+        req.use_delta = true;
+        let resp = client.search(&req).expect("roundtrip");
+        assert_eq!(
+            resp["result"]["completeness"]["kind"], "exact",
+            "{method}: empty delta must leave results exact"
+        );
+    }
+
+    // Ingest over the wire: the delta becomes non-empty.
+    let ingest = client
+        .ingest(&[terms[0].clone(), terms[1].clone()], &[])
+        .expect("roundtrip");
+    assert_eq!(ingest["ok"].as_bool(), Some(true), "{ingest:?}");
+    assert_eq!(ingest["delta_docs"].as_u64(), Some(1));
+
+    for (method, backend) in [
+        ("nra", "memory"),
+        ("nra", "disk"),
+        ("smj", "memory"),
+        ("smj", "disk"),
+        ("ta", "memory"),
+        ("ta", "disk"),
+        ("exact", "memory"),
+        ("exact", "disk"),
+    ] {
+        let mut req = WireSearchRequest::new(q.clone());
+        req.algorithm = wire::algorithm_from_str(method).unwrap();
+        req.backend = wire::backend_from_str(backend).unwrap();
+        req.use_delta = true;
+        let resp = client.search(&req).expect("roundtrip");
+        assert_eq!(
+            resp["ok"].as_bool(),
+            Some(true),
+            "{method}/{backend}: {resp:?}"
+        );
+        let completeness = &resp["result"]["completeness"];
+        match method {
+            "nra" => {
+                assert_eq!(
+                    completeness["kind"], "approximate",
+                    "{method}/{backend}: corrected NRA stays approximate"
+                );
+                assert_eq!(completeness["reason"], "delta_corrections");
+            }
+            _ => assert_eq!(
+                completeness["kind"], "exact",
+                "{method}/{backend}: corrections make {method} exact (paper §4.5.1)"
+            ),
+        }
+    }
+}
+
+/// The full lifecycle over the wire: ingest → a delta-corrected query
+/// reflects the new document → compact → the same query is exact again
+/// and matches a from-scratch rebuild → stats counters moved. Queries
+/// keep flowing during the compaction job.
+#[test]
+fn wire_lifecycle_ingest_compact_stats() {
+    let handle = spawn(build_engine(true), 2, 16);
+    let engine = handle.engine().clone();
+    let terms = top_terms(&engine, 2);
+    let q = format!("{} OR {}", terms[0], terms[1]);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+    let epoch0 = engine.epoch();
+    let before = client.search(&WireSearchRequest::new(q.clone())).unwrap();
+    assert_eq!(before["result"]["completeness"]["kind"], "exact");
+
+    // Ingest a batch of copies of the top term so scores actually move.
+    for _ in 0..10 {
+        let reply = client.ingest(&[terms[0].clone()], &[]).expect("roundtrip");
+        assert_eq!(reply["ok"].as_bool(), Some(true), "{reply:?}");
+    }
+    assert!(engine.epoch() > epoch0, "ingest must bump the epoch");
+
+    // Unknown terms are reported, not silently dropped.
+    let partial = client
+        .ingest(
+            &[terms[0].clone(), "zzz_unknown_word_zzz".to_owned()],
+            &["zzz:nope".to_owned()],
+        )
+        .expect("roundtrip");
+    assert_eq!(partial["unknown_tokens"].as_u64(), Some(1));
+    assert_eq!(partial["unknown_facets"].as_u64(), Some(1));
+
+    // A fully-unknown document is a structured query error.
+    let rejected = client
+        .ingest(&["zzz_unknown_word_zzz".to_owned()], &[])
+        .expect("roundtrip");
+    assert_eq!(rejected["ok"].as_bool(), Some(false));
+    assert_eq!(rejected["error"]["kind"], "query");
+
+    // Delete one base document too.
+    let deleted = client.delete_doc(0).expect("roundtrip");
+    assert_eq!(deleted["deleted"].as_bool(), Some(true), "{deleted:?}");
+    // Re-deleting is a no-op (and must not bump the epoch).
+    let epoch_before_redelete = engine.epoch();
+    let re = client.delete_doc(0).expect("roundtrip");
+    assert_eq!(re["deleted"].as_bool(), Some(false));
+    assert_eq!(engine.epoch(), epoch_before_redelete);
+    // Out-of-range deletes are structured errors.
+    let oob = client.delete_doc(u64::MAX).expect("roundtrip");
+    assert_eq!(oob["ok"].as_bool(), Some(false));
+
+    // The delta-corrected query reflects the ingested documents.
+    let mut delta_req = WireSearchRequest::new(q.clone());
+    delta_req.use_delta = true;
+    let corrected = client.search(&delta_req).expect("roundtrip");
+    assert_eq!(corrected["result"]["completeness"]["kind"], "approximate");
+    assert_eq!(
+        corrected["result"]["completeness"]["reason"],
+        "delta_corrections"
+    );
+
+    // The reference: a from-scratch rebuild over the updated documents.
+    let reference = {
+        let miner = engine.miner();
+        let corpus = miner.corpus();
+        let mut docs: Vec<(Vec<WordId>, Vec<ipm_corpus::FacetId>)> = Vec::new();
+        for d in corpus.docs() {
+            if d.id != DocId(0) {
+                docs.push((d.tokens.clone(), d.facets.clone()));
+            }
+        }
+        let w0 = corpus.word_id(&terms[0]).unwrap();
+        for _ in 0..11 {
+            docs.push((vec![w0], Vec::new()));
+        }
+        let rebuilt = corpus.with_docs(docs);
+        QueryEngine::new(PhraseMiner::build(&rebuilt, MinerConfig::default()))
+    };
+
+    // Compact over the wire: the delta is flushed into a full rebuild.
+    let compacted = client.compact().expect("roundtrip");
+    assert_eq!(compacted["ok"].as_bool(), Some(true), "{compacted:?}");
+    assert_eq!(compacted["compacted"].as_bool(), Some(true));
+    assert_eq!(
+        compacted["absorbed_adds"].as_u64(),
+        Some(11),
+        "{compacted:?}"
+    );
+    assert_eq!(compacted["absorbed_deletes"].as_u64(), Some(1));
+
+    // The same query is exact again and matches the reference rebuild.
+    let after = client.search(&delta_req).expect("roundtrip");
+    assert_eq!(after["result"]["completeness"]["kind"], "exact");
+    let want = reference.search(&q, 10).unwrap();
+    let got_hits = after["result"]["hits"].as_array().unwrap();
+    assert_eq!(got_hits.len(), want.hits.len());
+    for (g, w) in got_hits.iter().zip(&want.hits) {
+        assert_eq!(g["text"].as_str().unwrap(), w.text, "post-compaction drift");
+        assert!((g["score"].as_f64().unwrap() - w.hit.score).abs() < 1e-12);
+    }
+    // An immediate second compact is a no-op.
+    let noop = client.compact().expect("roundtrip");
+    assert_eq!(noop["compacted"].as_bool(), Some(false));
+
+    // Counters surfaced by the stats verb.
+    let stats = client.stats().expect("roundtrip");
+    let s = &stats["stats"];
+    assert_eq!(s["ingested"].as_u64(), Some(11));
+    assert_eq!(s["deleted"].as_u64(), Some(1));
+    assert_eq!(s["compactions"].as_u64(), Some(1));
+    assert_eq!(s["delta_docs"].as_u64(), Some(0));
+    assert!(s["epoch"].as_u64().unwrap() > 0);
+}
