@@ -1,8 +1,8 @@
 //! Ingestion-lifecycle benchmarks: what does serving under churn cost?
 //!
 //! * `query_under_delta/*` — delta-corrected query latency as the side
-//!   index grows ({0, 10, 100, 1000} ingested documents), across both
-//!   backends. The paper's §4.5.1 prediction: corrections are a per-entry
+//!   index grows ({0, 10, 100, 1000} ingested documents), across all
+//!   three backends. The paper's §4.5.1 prediction: corrections are a per-entry
 //!   surcharge on the candidate set, so latency grows with delta size —
 //!   this measures the curve the compaction policy must react to.
 //! * `compaction/*` — the cost of `compact()` itself (ingest one
@@ -47,10 +47,15 @@ fn top_query(e: &QueryEngine) -> String {
 fn bench_query_under_delta(c: &mut Criterion) {
     let corpus = corpus();
     let src = corpus.doc(DocId(0)).unwrap().clone();
-    for backend in [BackendChoice::Memory, BackendChoice::Disk] {
+    for backend in [
+        BackendChoice::Memory,
+        BackendChoice::Disk,
+        BackendChoice::Block,
+    ] {
         let name = match backend {
             BackendChoice::Memory => "memory",
             BackendChoice::Disk => "disk",
+            BackendChoice::Block => "block",
         };
         let mut group = c.benchmark_group(format!("query_under_delta/{name}"));
         for delta_docs in [0usize, 10, 100, 1000] {

@@ -7,6 +7,8 @@
 use ipm_eval::experiments::Report;
 use std::path::PathBuf;
 
+pub mod blockbench;
+
 /// Prints a report and, when `IPM_RESULTS` is set, writes
 /// `<dir>/<slug>.json`.
 pub fn emit(report: &Report) {

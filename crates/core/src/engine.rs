@@ -56,7 +56,9 @@ use ipm_corpus::hash::FxHashMap;
 use ipm_corpus::{DocId, FacetId, WordId};
 use ipm_index::backend::MemoryBackend;
 use ipm_index::sharding::{ListShard, ShardedWordLists};
-use ipm_storage::{CostModel, DiskLists, IoStats, PoolConfig, ShardedDiskImage};
+use ipm_storage::{
+    BlockImage, CostModel, DiskLists, IoStats, PoolConfig, ShardedBlockImage, ShardedDiskImage,
+};
 
 /// Which retrieval algorithm serves a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -82,6 +84,12 @@ pub enum BackendChoice {
     /// The serialized disk image behind the simulated buffer pool; the
     /// response carries the query's [`IoStats`].
     Disk,
+    /// The block-compressed image (`ipm_storage::BlockImage`): bit-packed
+    /// 128-entry blocks with skip metadata behind a buffer pool of its
+    /// own, charging per-*block* fetches — skipped blocks cost no IO. The
+    /// response carries the query's [`IoStats`]; scores are bit-identical
+    /// to the memory backend (integer-rational dequantization).
+    Block,
 }
 
 /// Per-request options.
@@ -286,6 +294,9 @@ const MAX_CACHED_LAYOUTS: usize = 4;
 struct ShardedIndex {
     mem: ShardedWordLists,
     disk: OnceLock<ShardedDiskImage>,
+    /// Lazily built block-compressed images, one per shard (first
+    /// block-backed sharded request pays the encode).
+    block: OnceLock<ShardedBlockImage>,
     /// Eviction stamp (engine-wide logical clock; larger = more recent).
     last_used: AtomicU64,
 }
@@ -299,6 +310,9 @@ struct IndexState {
     miner: Arc<PhraseMiner>,
     /// Lazily built disk image (first disk-backed request pays the build).
     disk: OnceLock<Arc<DiskLists>>,
+    /// Lazily built block-compressed image (first block-backed request
+    /// pays the encode).
+    block: OnceLock<Arc<BlockImage>>,
     /// Lazily built shard layouts, keyed by fanout (a request may ask for
     /// any fanout; layouts are built once and reused, bounded by
     /// [`MAX_CACHED_LAYOUTS`] with LRU eviction).
@@ -312,6 +326,7 @@ impl IndexState {
         Self {
             miner,
             disk: OnceLock::new(),
+            block: OnceLock::new(),
             sharded: RwLock::new(FxHashMap::default()),
             layout_clock: AtomicU64::new(0),
         }
@@ -490,6 +505,27 @@ impl QueryEngine {
             .clone()
     }
 
+    /// The current generation's block-compressed image, encoding it on
+    /// first use ([`EngineConfig::disk_fraction`] applies here too: both
+    /// simulated images truncate at the same build-time cut).
+    pub fn block(&self) -> Arc<BlockImage> {
+        let state = self.live().index;
+        self.block_for(&state)
+    }
+
+    fn block_for(&self, state: &IndexState) -> Arc<BlockImage> {
+        state
+            .block
+            .get_or_init(|| {
+                Arc::new(state.miner.to_block_with(
+                    self.inner.disk_fraction,
+                    self.inner.pool,
+                    self.inner.cost,
+                ))
+            })
+            .clone()
+    }
+
     /// Queries served across all clones of this engine (cache hits
     /// included).
     pub fn queries_served(&self) -> u64 {
@@ -544,6 +580,7 @@ impl QueryEngine {
         let idx = Arc::new(ShardedIndex {
             mem: ShardedWordLists::build(m.lists(), m.id_lists(), m.index().dict.len(), n),
             disk: OnceLock::new(),
+            block: OnceLock::new(),
             last_used: AtomicU64::new(stamp),
         });
         map.insert(n, idx.clone());
@@ -873,7 +910,8 @@ impl QueryEngine {
         let exact_probes = Self::exact_probes(&live.index.miner);
         let base = crate::plan::base_completeness(
             options,
-            matches!(plan.backend, BackendChoice::Disk) && self.inner.disk_fraction < 1.0,
+            matches!(plan.backend, BackendChoice::Disk | BackendChoice::Block)
+                && self.inner.disk_fraction < 1.0,
             delta_snapshot.is_some(),
             exact_probes,
             plan.shards,
@@ -958,7 +996,7 @@ impl QueryEngine {
         let ctx = ExecContext {
             miner: m,
             options,
-            image_truncated: matches!(plan.backend, BackendChoice::Disk)
+            image_truncated: matches!(plan.backend, BackendChoice::Disk | BackendChoice::Block)
                 && self.inner.disk_fraction < 1.0,
             delta: delta_snapshot.as_deref(),
             exact_probes: Self::exact_probes(m),
@@ -1039,6 +1077,46 @@ impl QueryEngine {
                             .unwrap_or_else(|| m.phrase_text(hit.phrase));
                         resolve(hit, text)
                     })
+                    .collect();
+                let io = image.io_stats();
+                self.inner.io_totals.lock().unwrap().accumulate(&io);
+                (resolved, Some(io))
+            }
+            BackendChoice::Block if plan.shards == 1 => {
+                let block = self.block_for(state);
+                let block = &*block;
+                let _serial = self.inner.disk_gate.lock().unwrap();
+                block.reset_io(); // per-query cold cache (paper §5.5)
+                let hits = crate::plan::run_query(&ctx, &[block], query, k);
+                // The block image carries no phrase file; texts resolve
+                // from the miner's in-memory dictionary (like the memory
+                // backend), so the IoStats are pure list traffic.
+                let resolved = hits
+                    .into_iter()
+                    .map(|hit| resolve(hit, m.phrase_text(hit.phrase)))
+                    .collect();
+                let io = block.io_stats();
+                self.inner.io_totals.lock().unwrap().accumulate(&io);
+                (resolved, Some(io))
+            }
+            BackendChoice::Block => {
+                let idx = self.sharded_index(state, plan.shards);
+                let image = idx.block.get_or_init(|| {
+                    ShardedBlockImage::build(
+                        m.index(),
+                        &idx.mem,
+                        self.inner.disk_fraction,
+                        self.inner.pool,
+                        self.inner.cost,
+                    )
+                });
+                let _serial = self.inner.disk_gate.lock().unwrap();
+                image.reset_io(); // per-query cold cache across all shards
+                let refs: Vec<&BlockImage> = image.shards().iter().collect();
+                let hits = crate::plan::run_query(&ctx, &refs, query, k);
+                let resolved = hits
+                    .into_iter()
+                    .map(|hit| resolve(hit, m.phrase_text(hit.phrase)))
                     .collect();
                 let io = image.io_stats();
                 self.inner.io_totals.lock().unwrap().accumulate(&io);
@@ -1174,6 +1252,57 @@ mod tests {
                 let io = disk.io.expect("disk run reports IoStats");
                 assert!(io.total_accesses() > 0, "{alg:?} {op}: no IO charged");
                 assert!(mem.io.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn block_backend_matches_memory_bit_for_bit() {
+        let e = engine();
+        for op in [Operator::And, Operator::Or] {
+            let q = query_string(&e, op);
+            for alg in ALL_ALGORITHMS {
+                let mem = e
+                    .search_with(
+                        &q,
+                        5,
+                        &SearchOptions {
+                            algorithm: alg,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                let block = e
+                    .search_with(
+                        &q,
+                        5,
+                        &SearchOptions {
+                            algorithm: alg,
+                            backend: BackendChoice::Block,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                assert_eq!(
+                    mem.hits.iter().map(|h| h.hit.phrase).collect::<Vec<_>>(),
+                    block.hits.iter().map(|h| h.hit.phrase).collect::<Vec<_>>(),
+                    "{alg:?} {op}: memory and block backends disagree"
+                );
+                for (a, b) in mem.hits.iter().zip(&block.hits) {
+                    assert_eq!(
+                        a.hit.score.to_bits(),
+                        b.hit.score.to_bits(),
+                        "{alg:?} {op}: dequantized scores must be bit-identical"
+                    );
+                    assert_eq!(a.text, b.text);
+                }
+                let io = block.io.expect("block run reports IoStats");
+                if alg != Algorithm::Exact {
+                    // The exact scorer never touches the lists, and the
+                    // block image resolves texts in memory — only the
+                    // list algorithms charge block fetches.
+                    assert!(io.total_accesses() > 0, "{alg:?} {op}: no IO charged");
+                }
             }
         }
     }

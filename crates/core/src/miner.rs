@@ -216,6 +216,39 @@ impl PhraseMiner {
         (outcome, disk.io_stats())
     }
 
+    /// Encodes the word lists into the block-compressed image
+    /// ([`ipm_storage::BlockImage`]): bit-packed 128-entry blocks with
+    /// skip metadata, integer-rational scores dequantized bit-identically
+    /// to the in-memory lists, per-*block* IO charging. Like
+    /// [`PhraseMiner::to_disk`], `fraction < 1.0` freezes a build-time cut
+    /// of the score-ordered lists; the id-ordered side carries the
+    /// miner's `smj_fraction`.
+    pub fn to_block(&self, fraction: f64) -> ipm_storage::BlockImage {
+        self.to_block_with(
+            fraction,
+            ipm_storage::PoolConfig::default(),
+            ipm_storage::CostModel::default(),
+        )
+    }
+
+    /// [`PhraseMiner::to_block`] with an explicit buffer-pool geometry and
+    /// cost model.
+    pub fn to_block_with(
+        &self,
+        fraction: f64,
+        pool: ipm_storage::PoolConfig,
+        cost: ipm_storage::CostModel,
+    ) -> ipm_storage::BlockImage {
+        ipm_storage::BlockImage::build(
+            &self.index,
+            &self.lists,
+            &self.id_lists,
+            fraction,
+            pool,
+            cost,
+        )
+    }
+
     /// Serializes the word lists (optionally truncated to `fraction`) into
     /// the bit-packed `⌈log₂|P|⌉ + 64`-bit layout of paper §4.2.2.
     pub fn to_packed(&self, fraction: f64) -> PackedLists {

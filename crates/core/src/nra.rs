@@ -61,6 +61,24 @@ pub struct NraConfig {
     /// score: no phrase the merged result can contain is ever gated,
     /// pruned, or stopped over.
     pub lower_floor: f64,
+    /// Opt-in block-max pruning over cursors that expose skip metadata
+    /// ([`ScoredListCursor::block_max_hint`] / [`skip_block`]): per-list
+    /// bounds tighten to `min(last_seen, block max)`, and once `checknew`
+    /// is off a list every surviving candidate has already been seen on is
+    /// fast-forwarded block-wise instead of read entry by entry.
+    ///
+    /// Every phrase the *final result can contain* is unaffected — skipped
+    /// entries belong to phrases that are neither candidates nor
+    /// admissible (the block-max soundness property) — but the skipped
+    /// reads no longer drive `last_seen` down, so *unresolved* candidates
+    /// keep looser upper bounds and the anytime ranking can order ties
+    /// differently from the entry-by-entry run. Default `false`: the
+    /// engine's parity-guaranteed path; benches and IO-bound callers
+    /// enable it explicitly.
+    ///
+    /// [`ScoredListCursor::block_max_hint`]: ipm_index::cursor::ScoredListCursor::block_max_hint
+    /// [`skip_block`]: ipm_index::cursor::ScoredListCursor::skip_block
+    pub use_block_max: bool,
 }
 
 impl Default for NraConfig {
@@ -70,6 +88,7 @@ impl Default for NraConfig {
             batch_size: 1024,
             lists_are_partial: false,
             lower_floor: f64::NEG_INFINITY,
+            use_block_max: false,
         }
     }
 }
@@ -79,6 +98,10 @@ impl Default for NraConfig {
 pub struct TraversalStats {
     /// Entries read per list.
     pub entries_read: Vec<usize>,
+    /// Entries dropped by block-max fast-forwarding without being read
+    /// (always 0 unless [`NraConfig::use_block_max`] is on and the
+    /// cursors expose block structure).
+    pub entries_skipped: usize,
     /// Full (possibly truncated) list lengths.
     pub list_lens: Vec<usize>,
     /// Whether the stop condition fired before the lists were exhausted.
@@ -226,18 +249,44 @@ pub fn run_nra_with<C: ScoredListCursor>(
         if iter_in_batch >= batch || all_exhausted {
             iter_in_batch = 0;
             stats.prune_rounds += 1;
+            let bounds = list_bounds(op, config, &last_seen, &exhausted, &cursors);
             let done = prune_and_check(
                 &mut candidates,
                 &mut checknew,
                 op,
                 config,
                 full_mask,
-                &last_seen,
-                &exhausted,
+                &bounds,
             );
             if done && !all_exhausted {
                 stats.stopped_early = true;
                 break;
+            }
+            // Opt-in block skipping. Once `checknew` is off, a list on
+            // which every surviving candidate has already been seen can
+            // only yield (a) entries of phrases that are not candidates
+            // and can never be admitted, or (b) duplicates — and because
+            // candidates are only ever pruned from here on, that stays
+            // true for the rest of the run. The whole remainder is dead
+            // weight: drain it block by block without decoding (and,
+            // behind the block image, without fetching).
+            if config.use_block_max && !checknew && !all_exhausted {
+                for i in 0..r {
+                    if exhausted[i] {
+                        continue;
+                    }
+                    let bit = 1u32 << i;
+                    if candidates.values().all(|c| c.seen_mask & bit != 0) {
+                        loop {
+                            let n = cursors[i].skip_block();
+                            if n == 0 {
+                                break;
+                            }
+                            stats.entries_skipped += n;
+                        }
+                        exhausted[i] = true;
+                    }
+                }
             }
         }
         if all_exhausted || !progressed {
@@ -247,7 +296,7 @@ pub fn run_nra_with<C: ScoredListCursor>(
 
     // Final ranking by upper bound (paper §4.3), tie by lower bound, tie by
     // phrase id.
-    let bounds = list_bounds(op, config, &last_seen, &exhausted);
+    let bounds = list_bounds(op, config, &last_seen, &exhausted, &cursors);
     let mut ranked: Vec<PhraseHit> = candidates
         .iter()
         .map(|(&phrase, c)| {
@@ -281,19 +330,29 @@ pub fn run_nra_with<C: ScoredListCursor>(
 }
 
 /// Per-list bound on the score of an entry not yet seen on that list.
-fn list_bounds(
+fn list_bounds<C: ScoredListCursor>(
     op: Operator,
     config: &NraConfig,
     last_seen: &[f64],
     exhausted: &[bool],
+    cursors: &[C],
 ) -> Vec<f64> {
     last_seen
         .iter()
         .zip(exhausted)
-        .map(|(&s, &ex)| {
+        .enumerate()
+        .map(|(i, (&s, &ex))| {
             if ex && !config.lists_are_partial {
                 // Fully read: any phrase not seen there is truly absent.
                 absent_score(op)
+            } else if config.use_block_max {
+                // Skip metadata bounds the unread remainder at least as
+                // tightly as the last seen score (Eq. 8's per-round
+                // envelope, tightened block-wise).
+                match cursors[i].block_max_hint() {
+                    Some(p) => entry_score(op, p).min(s),
+                    None => s,
+                }
             } else {
                 s
             }
@@ -323,25 +382,23 @@ fn candidate_bounds(c: &Candidate, op: Operator, full_mask: u32, bounds: &[f64])
 }
 
 /// Prunes hopeless candidates, refreshes `checknew`, and reports whether the
-/// current top-k is final.
-#[allow(clippy::too_many_arguments)]
+/// current top-k is final. `bounds` are the per-list unseen-entry bounds
+/// from [`list_bounds`].
 fn prune_and_check(
     candidates: &mut FxHashMap<PhraseId, Candidate>,
     checknew: &mut bool,
     op: Operator,
     config: &NraConfig,
     full_mask: u32,
-    last_seen: &[f64],
-    exhausted: &[bool],
+    bounds: &[f64],
 ) -> bool {
-    let bounds = list_bounds(op, config, last_seen, exhausted);
     // Upper bound of a completely unseen phrase.
     let unseen_upper: f64 = bounds.iter().sum();
 
     // Candidate bounds, then the k-th best lower bound.
     let mut pairs: Vec<(f64, f64)> = candidates
         .values()
-        .map(|c| candidate_bounds(c, op, full_mask, &bounds))
+        .map(|c| candidate_bounds(c, op, full_mask, bounds))
         .collect();
     let kth_lower = if pairs.len() < config.k {
         f64::NEG_INFINITY
@@ -360,11 +417,11 @@ fn prune_and_check(
 
     // Line 12: drop candidates whose ceiling is below the k-th floor.
     if kth_eff > f64::NEG_INFINITY {
-        candidates.retain(|_, c| candidate_bounds(c, op, full_mask, &bounds).1 >= kth_eff);
+        candidates.retain(|_, c| candidate_bounds(c, op, full_mask, bounds).1 >= kth_eff);
     } else if matches!(op, Operator::And) {
         // Even without k candidates yet, AND candidates that can never be
         // completed (missing from a fully-read list) are dead.
-        candidates.retain(|_, c| candidate_bounds(c, op, full_mask, &bounds).1 > f64::NEG_INFINITY);
+        candidates.retain(|_, c| candidate_bounds(c, op, full_mask, bounds).1 > f64::NEG_INFINITY);
     }
 
     // Line 13: the current candidates are final when (a) no unseen phrase
@@ -636,6 +693,7 @@ mod tests {
                 batch_size: batch,
                 lists_are_partial: false,
                 lower_floor: floor,
+                use_block_max: false,
             },
         )
     }

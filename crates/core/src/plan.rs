@@ -464,6 +464,11 @@ fn run_shard_backend<B: ListBackend>(
                 lists_are_partial: fraction < 1.0 || ctx.image_truncated || ctx.delta.is_some(),
                 lower_floor: tuning.lower_floor,
                 batch_size: tuning.batch_size.unwrap_or(base.batch_size),
+                // The engine keeps NRA on its parity-guaranteed path: block
+                // skipping can reorder exact-tie groups at the k boundary
+                // (see `NraConfig::use_block_max`), and TA's strict hint
+                // stop already harvests the skip metadata backend-side.
+                use_block_max: base.use_block_max,
             };
             let cursors: Vec<B::ScoreCursor<'_>> = query
                 .features

@@ -85,6 +85,32 @@ pub fn run_smj_cursors_with<C: IdListCursor>(
         if !budget.check() {
             break; // budget exhausted: return the exactly-scored prefix
         }
+        // AND gallop: a conjunctive match needs the phrase in *every*
+        // list, so no id below the highest head can still qualify — the
+        // list holding that head has nothing smaller left. Seek every
+        // lagging cursor forward to it (`IdListCursor::seek`: a binary
+        // search on in-memory slices, metadata-only block skipping on
+        // block lists) instead of draining the gap entry by entry. Once
+        // any list runs out, no further AND match exists at all.
+        if matches!(op, Operator::And) && r > 1 {
+            if heads.iter().any(Option::is_none) {
+                break;
+            }
+            let max = heads
+                .iter()
+                .flatten()
+                .map(|e| e.phrase)
+                .max()
+                .expect("all heads present");
+            for i in 0..r {
+                if heads[i].is_some_and(|e| e.phrase < max) {
+                    heads[i] = cursors[i].seek(max);
+                }
+            }
+            if heads.iter().any(Option::is_none) {
+                break;
+            }
+        }
         // Find the lowest unread phrase id across lists (paper Alg. 2
         // line 4); r is 2-6 in practice, linear scan wins over a heap.
         let mut min_id: Option<PhraseId> = None;
@@ -238,6 +264,45 @@ mod tests {
         let hits = run_smj_slices(&[&l1, &l2, &l3], Operator::And, 10);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].phrase, PhraseId(2));
+    }
+
+    #[test]
+    fn and_gallop_matches_naive_join_on_skewed_lists() {
+        // One sparse list against a dense one: the gallop leaps the dense
+        // cursor across the gaps, and must land on exactly the phrases a
+        // naive pairwise intersection finds.
+        let sparse = entries(&[(7, 0.4), (250, 0.6), (901, 0.2), (2000, 0.9)]);
+        let dense: Vec<ListEntry> = (0..=1000u32)
+            .map(|i| ListEntry {
+                phrase: PhraseId(i * 2),
+                prob: 0.5,
+            })
+            .collect();
+        let hits = run_smj_slices(&[&sparse, &dense], Operator::And, 10);
+        let want: Vec<PhraseId> = sparse
+            .iter()
+            .filter(|e| dense.iter().any(|d| d.phrase == e.phrase))
+            .map(|e| e.phrase)
+            .collect();
+        assert_eq!(want, vec![PhraseId(250), PhraseId(2000)]);
+        let mut got: Vec<PhraseId> = hits.iter().map(|h| h.phrase).collect();
+        got.sort();
+        assert_eq!(got, want);
+        for h in &hits {
+            let a = sparse.iter().find(|e| e.phrase == h.phrase).unwrap().prob;
+            assert!((h.score - (a.ln() + 0.5f64.ln())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn and_gallop_stops_when_a_list_exhausts() {
+        // The second list ends long before the first; the gallop's
+        // exhaustion break must not lose the match found before the end.
+        let l1 = entries(&[(1, 0.5), (500, 0.5), (900, 0.5)]);
+        let l2 = entries(&[(1, 0.5), (2, 0.5)]);
+        let hits = run_smj_slices(&[&l1, &l2], Operator::And, 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].phrase, PhraseId(1));
     }
 
     #[test]

@@ -193,6 +193,29 @@ pub fn run_ta_backend_scan<B: ListBackend>(
                     .any(|(c, &l)| c.position() < l);
                 break;
             }
+            // Block-max refinement: where a cursor can bound its *unread*
+            // remainder (skip metadata — no read, no fetch), that bound is
+            // at most the last seen score and often strictly below it, so
+            // τ_b ≤ τ. Stopping on a *strict* win over τ_b is parity-safe
+            // for any backend: every unseen phrase scores ≤ τ_b < the k-th
+            // resolved score, so a deeper scan could only append entries
+            // that die in the truncation to k. Hook-less cursors fall back
+            // to last_seen and reproduce the classic τ exactly.
+            let hinted: f64 = sorted
+                .iter()
+                .zip(&last_seen)
+                .map(|(c, &ls)| {
+                    c.block_max_hint()
+                        .map_or(ls, |p| entry_score(query.op, p).min(ls))
+                })
+                .sum();
+            if top[k - 1].score > hinted {
+                stats.stopped_early = sorted
+                    .iter()
+                    .zip(&stats.list_lens)
+                    .any(|(c, &l)| c.position() < l);
+                break;
+            }
         }
     }
 

@@ -75,6 +75,15 @@ pub trait ListBackend {
     fn io_fetches(&self) -> u64 {
         0
     }
+
+    /// Resident bytes of this backend's list structures under its own
+    /// storage model — flat 12-byte entries for the in-memory lists,
+    /// serialized regions for the simulated disk, encoded blocks plus the
+    /// df table for block-compressed lists. Backends that do not account
+    /// for their footprint report `0` (the default).
+    fn size_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// Binary-searches an id-ordered list slice for a phrase's probability
@@ -162,6 +171,10 @@ impl<'m> ListBackend for MemoryBackend<'m> {
 
     fn phrase_range(&self) -> Option<(PhraseId, PhraseId)> {
         self.range
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.lists.size_bytes() + self.id_lists.size_bytes()
     }
 }
 

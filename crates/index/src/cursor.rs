@@ -9,7 +9,7 @@
 //! access into one pluggable backend.
 
 use crate::wordlists::{IdOrderedLists, ListEntry, WordPhraseLists};
-use ipm_corpus::Feature;
+use ipm_corpus::{Feature, PhraseId};
 
 /// A forward-only cursor over one feature's score-ordered list.
 pub trait ScoredListCursor {
@@ -27,6 +27,26 @@ pub trait ScoredListCursor {
 
     /// Entries yielded so far.
     fn position(&self) -> usize;
+
+    /// An upper bound on the probability of every entry this cursor has
+    /// *not yet* yielded, when the backend can provide one more cheaply
+    /// than reading ahead — block-compressed lists answer from the next
+    /// block's skip metadata without fetching it. `None` (the default)
+    /// means "no hint"; callers must fall back to the last seen score,
+    /// which bounds the remainder of any score-ordered list.
+    fn block_max_hint(&self) -> Option<f64> {
+        None
+    }
+
+    /// Skips the rest of the current block — every not-yet-yielded entry
+    /// up to the next block boundary — and returns how many entries were
+    /// skipped. Backends without block structure skip nothing (the
+    /// default), which is always sound: callers may only invoke this when
+    /// the skipped entries provably cannot affect the result, and must
+    /// treat a `0` return as "no skipping available".
+    fn skip_block(&mut self) -> usize {
+        0
+    }
 }
 
 /// In-memory cursor over a slice of a score-ordered list.
@@ -88,6 +108,23 @@ pub trait IdListCursor {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Advances past every entry with id below `target` and consumes the
+    /// first entry with `phrase >= target`, returning it (`None` when the
+    /// list holds no such entry). Equivalent to calling [`next_entry`]
+    /// until it yields an id `>= target` — the default does exactly that —
+    /// but backends with skip metadata jump without decoding: the SMJ
+    /// gallop path on skewed AND merges.
+    ///
+    /// [`next_entry`]: IdListCursor::next_entry
+    fn seek(&mut self, target: PhraseId) -> Option<ListEntry> {
+        loop {
+            let e = self.next_entry()?;
+            if e.phrase >= target {
+                return Some(e);
+            }
+        }
+    }
 }
 
 /// In-memory cursor over a slice of an ID-ordered list.
@@ -122,6 +159,13 @@ impl IdListCursor for MemoryIdCursor<'_> {
     #[inline]
     fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    fn seek(&mut self, target: PhraseId) -> Option<ListEntry> {
+        // Id-ordered slice: binary-search the remaining suffix instead of
+        // walking it entry by entry.
+        self.pos += self.entries[self.pos..].partition_point(|e| e.phrase < target);
+        self.next_entry()
     }
 }
 
@@ -186,6 +230,28 @@ mod tests {
         }
         assert_eq!(got, vec![0, 1, 2]);
         assert!(c.next_entry().is_none());
+    }
+
+    #[test]
+    fn seek_consumes_through_target() {
+        let es = entries(10); // ids 0..10
+        let mut c = MemoryIdCursor::new(&es);
+        let hit = c.seek(PhraseId(4)).unwrap();
+        assert_eq!(hit.phrase, PhraseId(4));
+        assert_eq!(c.next_entry().unwrap().phrase, PhraseId(5));
+        // Seeking backwards never rewinds: the cursor stays forward-only.
+        let hit = c.seek(PhraseId(2)).unwrap();
+        assert_eq!(hit.phrase, PhraseId(6));
+        assert!(c.seek(PhraseId(99)).is_none());
+    }
+
+    #[test]
+    fn default_hooks_are_inert() {
+        let es = entries(3);
+        let mut c = MemoryCursor::new(&es);
+        assert_eq!(c.block_max_hint(), None);
+        assert_eq!(c.skip_block(), 0);
+        assert_eq!(c.position(), 0); // skip_block must not move a hook-less cursor
     }
 
     #[test]

@@ -27,9 +27,14 @@
 //! * [`sharding`] — [`sharding::ShardedWordLists`]: disjoint
 //!   phrase-id-range partitions of both list orders, each shard a complete
 //!   backend of its own, whose local top-k merge into the exact global
-//!   top-k (scores factorize per phrase).
+//!   top-k (scores factorize per phrase);
+//! * [`block`] — [`block::BlockLists`], the block-compressed third backend:
+//!   bit-packed ids, integer-rational scores dequantized bit-identically,
+//!   per-block skip metadata feeding the cursor capability hooks, and SIMD
+//!   kernels behind the `simd` cargo feature.
 
 pub mod backend;
+pub mod block;
 pub mod corpus_index;
 pub mod cursor;
 pub mod forward;
@@ -42,6 +47,7 @@ pub mod sharding;
 pub mod wordlists;
 
 pub use backend::{ListBackend, MemoryBackend};
+pub use block::{BlockLists, BLOCK_SIZE};
 pub use corpus_index::{CorpusIndex, IndexConfig};
 pub use cursor::{IdListCursor, MemoryCursor, MemoryIdCursor, ScoredListCursor};
 pub use mining::{mine_phrases, MiningConfig};

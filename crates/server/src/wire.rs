@@ -273,7 +273,8 @@ pub fn backend_from_str(s: &str) -> Result<BackendChoice, String> {
     match s {
         "memory" => Ok(BackendChoice::Memory),
         "disk" => Ok(BackendChoice::Disk),
-        other => Err(format!("unknown backend: {other} (memory|disk)")),
+        "block" => Ok(BackendChoice::Block),
+        other => Err(format!("unknown backend: {other} (memory|disk|block)")),
     }
 }
 
@@ -282,6 +283,7 @@ pub fn backend_name(b: BackendChoice) -> &'static str {
     match b {
         BackendChoice::Memory => "memory",
         BackendChoice::Disk => "disk",
+        BackendChoice::Block => "block",
     }
 }
 

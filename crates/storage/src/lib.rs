@@ -24,9 +24,14 @@
 //! * [`sharded`] — [`sharded::ShardedDiskImage`]: one serialized list
 //!   region per phrase-id shard, one pool per shard (deterministic
 //!   per-shard accounting under parallel execution), one shared phrase
-//!   file.
+//!   file;
+//! * [`blockimage`] — [`blockimage::BlockImage`]: the block-compressed
+//!   lists behind a pool of their own, charging per-*block* fetches so
+//!   skipped blocks cost no simulated IO (plus its sharded counterpart
+//!   [`blockimage::ShardedBlockImage`]).
 
 pub mod bits;
+pub mod blockimage;
 pub mod checksum;
 pub mod cost;
 pub mod disklists;
@@ -36,6 +41,7 @@ pub mod persist;
 pub mod pool;
 pub mod sharded;
 
+pub use blockimage::{BlockImage, ShardedBlockImage};
 pub use cost::{CostModel, IoStats};
 pub use disklists::DiskLists;
 pub use files::{PhraseListFile, WordListFile};

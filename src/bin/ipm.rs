@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ipm index --input docs.jsonl --out index_dir [--min-df 5] [--max-len 6]
-//! ipm query --input docs.jsonl "trade AND reserves" [--k 5] [--method nra|smj|ta|exact] [--backend memory|disk] [--json true]
+//! ipm query --input docs.jsonl "trade AND reserves" [--k 5] [--method nra|smj|ta|exact] [--backend memory|disk|block] [--json true]
 //! ipm serve --input docs.jsonl --port 7341 [--workers 4] [--queue-depth 64] [--cache true]
 //! ipm client --addr 127.0.0.1:7341 "trade AND reserves" [--k 5] [--json true]
 //! ipm stats --input docs.jsonl
@@ -39,7 +39,7 @@ const USAGE: &str = "usage:
   ipm index  --input <file> --out <dir> [--min-df N] [--max-len N] [--fraction F]
              [--shards N]
   ipm query  --input <file> <query string> [--k N] [--method nra|smj|ta|exact]
-             [--backend memory|disk] [--fraction F] [--shards N]
+             [--backend memory|disk|block] [--fraction F] [--shards N]
              [--deadline-ms N] [--io-budget N] [--json true]
   ipm serve  [--input <file>] [--host H] [--port N] [--workers N]
              [--queue-depth N] [--cache true|false] [--shards N]
@@ -347,7 +347,7 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
         query.render(miner.corpus())
     );
     let engine = QueryEngine::new(miner);
-    for backend in ["memory", "disk"] {
+    for backend in ["memory", "disk", "block"] {
         for method in ["exact", "smj", "nra", "ta"] {
             println!("\n[{method} @ {backend}]");
             run_engine_and_print(
@@ -410,7 +410,7 @@ fn search_options(
 
 /// Serves one query through the unified engine and prints the hits, the
 /// latency, the resolved shard fanout, the cache status, the completeness
-/// marker, and (for the disk backend) the simulated IO bill.
+/// marker, and (for the disk and block backends) the simulated IO bill.
 #[allow(clippy::too_many_arguments)]
 fn run_engine_and_print(
     engine: &QueryEngine,

@@ -138,7 +138,11 @@ proptest! {
                         .unwrap()
                         .hits,
                 );
-                for backend in [BackendChoice::Memory, BackendChoice::Disk] {
+                for backend in [
+                    BackendChoice::Memory,
+                    BackendChoice::Disk,
+                    BackendChoice::Block,
+                ] {
                     for shards in [1usize, 4] {
                         let resp = engine
                             .request(input.clone())
@@ -183,7 +187,11 @@ proptest! {
                         .unwrap()
                         .hits,
                 );
-                for backend in [BackendChoice::Memory, BackendChoice::Disk] {
+                for backend in [
+                    BackendChoice::Memory,
+                    BackendChoice::Disk,
+                    BackendChoice::Block,
+                ] {
                     for shards in [1usize, 4] {
                         let resp = engine
                             .request(input.clone())
