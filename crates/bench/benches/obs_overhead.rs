@@ -1,0 +1,99 @@
+//! Instrumentation-overhead guard: tracing OFF must cost within 5% of a
+//! build that never had the observability layer — and tracing ON (the
+//! per-query span/stage machinery) must stay within 5% of tracing OFF,
+//! plus a small absolute slack for scheduler noise.
+//!
+//! Methodology: traced and untraced batches of identical queries are
+//! interleaved round-robin (so frequency scaling, page cache and
+//! allocator state drift hit both arms equally), and the medians over
+//! all rounds are compared. The cache is off, so every query pays the
+//! full execution path the tracer instruments.
+//!
+//! `IPM_OBS_OVERHEAD_ROUNDS` overrides the round count (CI uses the
+//! default; raise it locally for a tighter comparison).
+
+use ipm_core::{EngineConfig, MinerConfig, PhraseMiner, QueryEngine};
+use std::time::{Duration, Instant};
+
+const QUERIES_PER_BATCH: usize = 30;
+/// Absolute slack added to the 5% bound: one batch's worth of scheduler
+/// jitter, so a sub-millisecond baseline cannot fail on noise alone.
+const SLACK: Duration = Duration::from_micros(200);
+
+fn rounds() -> usize {
+    std::env::var("IPM_OBS_OVERHEAD_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(15)
+}
+
+fn batch(engine: &QueryEngine, queries: &[String], trace: bool) -> Duration {
+    let started = Instant::now();
+    for i in 0..QUERIES_PER_BATCH {
+        let q = &queries[i % queries.len()];
+        let resp = engine
+            .request(q.clone())
+            .k(5)
+            .trace(trace)
+            .run()
+            .expect("bench query");
+        assert!(!resp.served_from_cache);
+        assert_eq!(resp.trace.is_some(), trace);
+    }
+    started.elapsed()
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+    // Cache off: a cache hit would skip the instrumented execution path
+    // and make the comparison vacuous.
+    let engine = QueryEngine::with_config(
+        PhraseMiner::build(&corpus, MinerConfig::default()),
+        EngineConfig {
+            cache: None,
+            ..Default::default()
+        },
+    );
+    let top = ipm_corpus::stats::top_words_by_df(engine.miner().corpus(), 3);
+    let terms: Vec<String> = top
+        .iter()
+        .map(|&(w, _)| engine.miner().corpus().words().term(w).unwrap().to_owned())
+        .collect();
+    let queries = vec![
+        format!("{} OR {}", terms[0], terms[1]),
+        format!("{} AND {}", terms[1], terms[2]),
+        format!("{} OR {}", terms[0], terms[2]),
+    ];
+
+    // Warm-up: fault in code paths and allocator arenas for both arms.
+    batch(&engine, &queries, false);
+    batch(&engine, &queries, true);
+
+    let rounds = rounds();
+    let mut untraced = Vec::with_capacity(rounds);
+    let mut traced = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        untraced.push(batch(&engine, &queries, false));
+        traced.push(batch(&engine, &queries, true));
+    }
+    let u = median(untraced);
+    let t = median(traced);
+    let bound = u.mul_f64(1.05) + SLACK;
+    let delta_pct = (t.as_secs_f64() / u.as_secs_f64() - 1.0) * 100.0;
+    println!(
+        "obs overhead: untraced median {:?}/batch, traced {:?}/batch ({delta_pct:+.2}%), bound {bound:?}",
+        u, t
+    );
+    assert!(
+        t <= bound,
+        "tracing overhead out of budget: traced {t:?} > {bound:?} \
+         (untraced {u:?} + 5% + {SLACK:?} slack)"
+    );
+    println!("obs overhead guard passed");
+}

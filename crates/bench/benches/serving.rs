@@ -6,12 +6,24 @@
 //! so an iteration's wall-clock time measures the full serve path —
 //! socket, protocol parse, single-flight, queue, worker execution (or
 //! result-cache hit), response encode — under real concurrency.
+//!
+//! After the criterion groups, a sampling phase feeds every request's
+//! wall time into an `ipm_obs::Histogram` and writes the p50/p95/p99
+//! table to `BENCH_serving.json` at the repo root (schema in
+//! `ipm_bench::servingbench`, validated before the write).
+//! `IPM_SERVINGBENCH_REQUESTS` overrides the per-client request count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use ipm_bench::servingbench::{self, ServingRow};
 use ipm_core::{BackendChoice, MinerConfig, PhraseMiner, QueryEngine};
-use ipm_server::{Client, SearchRequest, Server, ServerConfig};
+use ipm_obs::Histogram;
+use ipm_server::{wire, Client, SearchRequest, Server, ServerConfig};
+use std::time::Instant;
 
 const REQUESTS_PER_CLIENT_PER_ITER: usize = 10;
+const ARTIFACT_WORKERS: usize = 8;
+const ARTIFACT_QUEUE_DEPTH: usize = 256;
+const ARTIFACT_K: usize = 5;
 
 fn server_and_queries() -> (ipm_server::ServerHandle, Vec<String>) {
     let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
@@ -33,8 +45,8 @@ fn server_and_queries() -> (ipm_server::ServerHandle, Vec<String>) {
         engine,
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
-            workers: 8,
-            queue_depth: 256,
+            workers: ARTIFACT_WORKERS,
+            queue_depth: ARTIFACT_QUEUE_DEPTH,
         },
     )
     .expect("bind loopback");
@@ -89,5 +101,83 @@ fn bench_closed_loop_throughput(c: &mut Criterion) {
     );
 }
 
+fn artifact_requests_per_client() -> usize {
+    std::env::var("IPM_SERVINGBENCH_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(100)
+}
+
+/// One artifact cell: `clients` closed-loop threads, each request's wall
+/// time observed into one shared latency histogram — the same log-scale
+/// buckets the engine's `ipm_query_latency_seconds` uses, so the
+/// artifact's percentiles and a live scrape's are directly comparable.
+fn measure_cell(
+    addr: &str,
+    backend: BackendChoice,
+    clients: usize,
+    queries: &[String],
+) -> ServingRow {
+    let requests = artifact_requests_per_client();
+    let histogram = Histogram::new();
+    std::thread::scope(|s| {
+        for cid in 0..clients {
+            let histogram = histogram.clone();
+            let mut client = Client::connect(addr).expect("connect");
+            s.spawn(move || {
+                for r in 0..requests {
+                    let q = &queries[(cid + r) % queries.len()];
+                    let mut req = SearchRequest::new(q.clone());
+                    req.k = ARTIFACT_K;
+                    req.backend = backend;
+                    let started = Instant::now();
+                    let resp = client.search(&req).expect("roundtrip");
+                    histogram.observe(started.elapsed());
+                    assert_eq!(resp["ok"].as_bool(), Some(true));
+                }
+            });
+        }
+    });
+    ServingRow::from_snapshot(wire::backend_name(backend), clients, &histogram.snapshot())
+}
+
+/// Samples the latency table and writes `BENCH_serving.json`.
+fn write_artifact() {
+    let (handle, queries) = server_and_queries();
+    let addr = handle.addr().to_string();
+    let mut rows = Vec::new();
+    for backend in [
+        BackendChoice::Memory,
+        BackendChoice::Disk,
+        BackendChoice::Block,
+    ] {
+        for clients in [1usize, 4] {
+            let row = measure_cell(&addr, backend, clients, &queries);
+            println!(
+                "{:<6} x{:<2} clients  p50 {:>9.1} us  p95 {:>9.1} us  p99 {:>9.1} us  ({} samples)",
+                row.backend, row.clients, row.p50_us, row.p95_us, row.p99_us, row.samples
+            );
+            rows.push(row);
+        }
+    }
+    let doc = servingbench::report(
+        "synth-tiny",
+        ARTIFACT_K,
+        ARTIFACT_WORKERS,
+        ARTIFACT_QUEUE_DEPTH,
+        &rows,
+    );
+    servingbench::validate(&doc).expect("generated artifact must match its own schema");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serving.json");
+    let json = serde_json::to_string_pretty(&doc).expect("serialize artifact");
+    std::fs::write(&path, json + "\n").expect("write BENCH_serving.json");
+    println!("wrote {}", path.display());
+}
+
 criterion_group!(benches, bench_closed_loop_throughput);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    write_artifact();
+}

@@ -40,7 +40,7 @@ fn next_stamp() -> u64 {
 }
 
 /// The side index over inserted and deleted documents.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DeltaIndex {
     /// Number of documents added so far (local ids are dense).
     num_added: u32,
@@ -57,6 +57,27 @@ pub struct DeltaIndex {
     added_docs: Vec<(Vec<WordId>, Vec<FacetId>)>,
     /// Change fingerprint; refreshed by every state-changing mutation.
     stamp: u64,
+    /// `P(q|p)` corrections served while this delta was live (relaxed;
+    /// bumped from concurrent query threads). Dropped with the delta at
+    /// compaction, so it gauges the *current generation's* correction
+    /// traffic.
+    corrections: std::sync::atomic::AtomicU64,
+}
+
+impl Clone for DeltaIndex {
+    fn clone(&self) -> Self {
+        Self {
+            num_added: self.num_added,
+            added_features: self.added_features.clone(),
+            added_phrases: self.added_phrases.clone(),
+            deleted: self.deleted.clone(),
+            added_docs: self.added_docs.clone(),
+            stamp: self.stamp,
+            corrections: std::sync::atomic::AtomicU64::new(
+                self.corrections.load(std::sync::atomic::Ordering::Relaxed),
+            ),
+        }
+    }
 }
 
 impl Default for DeltaIndex {
@@ -68,6 +89,7 @@ impl Default for DeltaIndex {
             deleted: FxHashSet::default(),
             added_docs: Vec::new(),
             stamp: next_stamp(),
+            corrections: std::sync::atomic::AtomicU64::new(0),
         }
     }
 }
@@ -91,6 +113,12 @@ impl DeltaIndex {
     /// Whether the side index is empty (nothing to correct).
     pub fn is_empty(&self) -> bool {
         self.num_added == 0 && self.deleted.is_empty()
+    }
+
+    /// How many `P(q|p)` corrections this delta has served (monotone
+    /// while the delta is live; the count dies with it at compaction).
+    pub fn corrections_applied(&self) -> u64 {
+        self.corrections.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Records an inserted document. Phrases are recognized against the
@@ -221,6 +249,8 @@ impl DeltaIndex {
         if self.is_empty() {
             return stale_prob;
         }
+        self.corrections
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let base_df = index.phrases.df(phrase) as f64;
         let base_joint = (stale_prob * base_df).round();
 

@@ -46,7 +46,7 @@ use crate::cache::{CacheConfig, CacheStats, ShardedLruCache};
 use crate::delta::DeltaIndex;
 use crate::miner::PhraseMiner;
 use crate::parse::ParseError;
-use crate::plan::{ExecContext, QueryPlan};
+use crate::plan::{ExecContext, ExecStats, QueryPlan};
 use crate::query::{Operator, Query};
 use crate::redundancy::RedundancyConfig;
 use crate::request::SearchRequest;
@@ -56,6 +56,10 @@ use ipm_corpus::hash::FxHashMap;
 use ipm_corpus::{DocId, FacetId, WordId};
 use ipm_index::backend::MemoryBackend;
 use ipm_index::sharding::{ListShard, ShardedWordLists};
+use ipm_obs::{
+    Counter, Gauge, Histogram, QueryTrace, Registry, SlowQueryConfig, SlowQueryLog, StageKind,
+    TraceMeta, Tracer,
+};
 use ipm_storage::{
     BlockImage, CostModel, DiskLists, IoStats, PoolConfig, ShardedBlockImage, ShardedDiskImage,
 };
@@ -75,6 +79,18 @@ pub enum Algorithm {
     Exact,
 }
 
+impl Algorithm {
+    /// The wire / metrics-label name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Nra => "nra",
+            Algorithm::Smj => "smj",
+            Algorithm::Ta => "ta",
+            Algorithm::Exact => "exact",
+        }
+    }
+}
+
 /// Which list backend serves a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BackendChoice {
@@ -90,6 +106,17 @@ pub enum BackendChoice {
     /// response carries the query's [`IoStats`]; scores are bit-identical
     /// to the memory backend (integer-rational dequantization).
     Block,
+}
+
+impl BackendChoice {
+    /// The wire / metrics-label name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendChoice::Memory => "memory",
+            BackendChoice::Disk => "disk",
+            BackendChoice::Block => "block",
+        }
+    }
 }
 
 /// Per-request options.
@@ -123,6 +150,12 @@ pub struct SearchOptions {
     /// uses the engine's configured default ([`EngineConfig::shards`]);
     /// the planner clamps to [`crate::plan::MAX_SHARDS`].
     pub shards: Option<usize>,
+    /// Collect a structured [`QueryTrace`] for this request and return it
+    /// in [`SearchResponse::trace`]. Tracing never changes results — the
+    /// cache key deliberately excludes this flag, so a traced request
+    /// shares cached entries with untraced ones (and a traced cache hit
+    /// reports just the probe stages).
+    pub trace: bool,
 }
 
 /// Engine construction options.
@@ -151,6 +184,11 @@ pub struct EngineConfig {
     /// Simulated per-fetch costs of the disk image(s) (§5.5 defaults:
     /// 1 ms sequential, 10 ms random).
     pub cost: CostModel,
+    /// Keep a ring buffer of traces for queries at or above a wall-time
+    /// threshold ([`QueryEngine::slow_queries`]). `None` (the default)
+    /// disables the log — and with it the internal tracing it forces on
+    /// otherwise-untraced queries.
+    pub slow_query: Option<SlowQueryConfig>,
 }
 
 impl Default for EngineConfig {
@@ -161,6 +199,7 @@ impl Default for EngineConfig {
             shards: 1,
             pool: PoolConfig::default(),
             cost: CostModel::default(),
+            slow_query: None,
         }
     }
 }
@@ -201,6 +240,9 @@ pub struct SearchResponse {
     /// result. Budget-truncated responses are never cached; cache hits
     /// report the completeness of the exact/approximate entry they serve.
     pub completeness: Completeness,
+    /// The structured trace, when [`SearchOptions::trace`] asked for one
+    /// (boxed: untraced responses pay one machine word).
+    pub trace: Option<Box<QueryTrace>>,
 }
 
 /// A cloneable, thread-safe handle to an immutable phrase-mining index.
@@ -388,6 +430,199 @@ pub struct LifecycleStats {
     pub delta_docs: usize,
 }
 
+/// Aggregated list-access counters of one backend across every query the
+/// engine served (uncached executions only — cache hits touch no lists).
+/// Served by [`QueryEngine::access_totals`] and mirrored as the
+/// per-backend `ipm_list_*` metric series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessTotals {
+    /// Sorted (sequential list) entry accesses.
+    pub sorted_accesses: u64,
+    /// Random accesses (TA probes, NRA resolution probes).
+    pub random_probes: u64,
+    /// Entries skipped via block-max metadata.
+    pub entries_skipped: u64,
+    /// Algorithm loop progress (NRA prune rounds, SMJ merge steps).
+    pub rounds: u64,
+}
+
+/// Per-backend registry handles (one set per [`BackendChoice`]).
+#[derive(Debug)]
+struct BackendCounters {
+    sorted_accesses: Counter,
+    random_probes: Counter,
+    entries_skipped: Counter,
+    rounds: Counter,
+}
+
+/// The engine's observability surface: one [`Registry`] shared with
+/// whoever embeds the engine (the server registers its own families on
+/// it), pre-registered handles for everything the query path bumps, and
+/// the optional slow-query ring.
+#[derive(Debug)]
+struct EngineObs {
+    registry: Arc<Registry>,
+    /// `ipm_queries_served_total` — kept in lockstep with `Inner::served`
+    /// so the latency histogram's `_count` equals the served total.
+    queries_served: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    sharded_queries: Counter,
+    latency: Histogram,
+    trip_deadline: Counter,
+    trip_io: Counter,
+    trip_steps: Counter,
+    io_sequential: Counter,
+    io_random: Counter,
+    io_pool_hits: Counter,
+    docs_ingested: Counter,
+    docs_deleted: Counter,
+    compactions: Counter,
+    slow_queries: Counter,
+    epoch: Gauge,
+    delta_docs: Gauge,
+    delta_corrections: Gauge,
+    cached_layouts: Gauge,
+    /// Indexed like [`BackendChoice`]: memory, disk, block.
+    backends: [BackendCounters; 3],
+    slow: Option<Arc<SlowQueryLog>>,
+}
+
+impl EngineObs {
+    fn new(slow_query: Option<SlowQueryConfig>) -> Self {
+        let registry = Arc::new(Registry::default());
+        let r = &registry;
+        let backend = |name: &'static str| BackendCounters {
+            sorted_accesses: r.counter_with(
+                "ipm_list_sorted_accesses_total",
+                "Sorted list entry accesses across all served queries",
+                &[("backend", name)],
+            ),
+            random_probes: r.counter_with(
+                "ipm_list_random_probes_total",
+                "Random list probes across all served queries",
+                &[("backend", name)],
+            ),
+            entries_skipped: r.counter_with(
+                "ipm_block_entries_skipped_total",
+                "List entries skipped via block-max metadata",
+                &[("backend", name)],
+            ),
+            rounds: r.counter_with(
+                "ipm_algorithm_rounds_total",
+                "Algorithm loop rounds (NRA prune rounds, SMJ merge steps)",
+                &[("backend", name)],
+            ),
+        };
+        Self {
+            queries_served: r.counter(
+                "ipm_queries_served_total",
+                "Queries served, cache hits included",
+            ),
+            cache_hits: r.counter("ipm_cache_hits_total", "Result-cache hits"),
+            cache_misses: r.counter("ipm_cache_misses_total", "Result-cache misses"),
+            sharded_queries: r.counter(
+                "ipm_queries_sharded_total",
+                "Uncached executions that fanned out to more than one shard",
+            ),
+            latency: r.histogram(
+                "ipm_query_latency_seconds",
+                "End-to-end engine service time per query (cache hits included)",
+            ),
+            trip_deadline: r.counter_with(
+                "ipm_budget_truncated_total",
+                "Responses truncated by a tripped execution budget",
+                &[("kind", "deadline")],
+            ),
+            trip_io: r.counter_with(
+                "ipm_budget_truncated_total",
+                "Responses truncated by a tripped execution budget",
+                &[("kind", "io")],
+            ),
+            trip_steps: r.counter_with(
+                "ipm_budget_truncated_total",
+                "Responses truncated by a tripped execution budget",
+                &[("kind", "steps")],
+            ),
+            io_sequential: r.counter_with(
+                "ipm_io_fetches_total",
+                "Simulated page fetches across all disk/block-backed queries",
+                &[("kind", "sequential")],
+            ),
+            io_random: r.counter_with(
+                "ipm_io_fetches_total",
+                "Simulated page fetches across all disk/block-backed queries",
+                &[("kind", "random")],
+            ),
+            io_pool_hits: r.counter(
+                "ipm_io_pool_hits_total",
+                "Buffer-pool page hits across all disk/block-backed queries",
+            ),
+            docs_ingested: r.counter(
+                "ipm_docs_ingested_total",
+                "Documents ingested since engine construction",
+            ),
+            docs_deleted: r.counter(
+                "ipm_docs_deleted_total",
+                "Documents deleted since engine construction",
+            ),
+            compactions: r.counter("ipm_compactions_total", "Compactions performed"),
+            slow_queries: r.counter(
+                "ipm_slow_queries_total",
+                "Queries at or above the slow-query threshold",
+            ),
+            epoch: r.gauge("ipm_index_epoch", "Current index epoch"),
+            delta_docs: r.gauge(
+                "ipm_delta_docs",
+                "Documents tracked by the attached delta (added + deleted)",
+            ),
+            delta_corrections: r.gauge(
+                "ipm_delta_corrections",
+                "P(q|p) corrections served by the live delta (dies with it at compaction)",
+            ),
+            cached_layouts: r.gauge(
+                "ipm_cached_layouts",
+                "Shard layouts cached by the serving generation",
+            ),
+            backends: [backend("memory"), backend("disk"), backend("block")],
+            slow: slow_query.map(|c| Arc::new(SlowQueryLog::new(c))),
+            registry,
+        }
+    }
+
+    fn backend(&self, choice: BackendChoice) -> &BackendCounters {
+        match choice {
+            BackendChoice::Memory => &self.backends[0],
+            BackendChoice::Disk => &self.backends[1],
+            BackendChoice::Block => &self.backends[2],
+        }
+    }
+
+    /// Feeds one uncached execution's counters into the registry.
+    fn record_execution(&self, backend: BackendChoice, stats: &ExecStats, io: Option<&IoStats>) {
+        let b = self.backend(backend);
+        b.sorted_accesses.add(stats.sorted_accesses);
+        b.random_probes.add(stats.random_probes);
+        b.entries_skipped.add(stats.entries_skipped);
+        b.rounds.add(stats.rounds);
+        if let Some(io) = io {
+            self.io_sequential.add(io.sequential_fetches);
+            self.io_random.add(io.random_fetches);
+            self.io_pool_hits.add(io.cache_hits);
+        }
+    }
+}
+
+/// The trace/display label of a completeness outcome (`exact`,
+/// `approximate:<reason>`, `truncated:<kind>`).
+fn completeness_label(c: &Completeness) -> String {
+    match c {
+        Completeness::Exact => "exact".to_owned(),
+        Completeness::Approximate { reason } => format!("approximate:{}", reason.name()),
+        Completeness::Truncated { budget_hit } => format!("truncated:{}", budget_hit.name()),
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     /// The serving head. Queries take a brief read lock to snapshot it;
@@ -421,6 +656,8 @@ struct Inner {
     /// Simulated IO accumulated across every disk-backed query served
     /// (cache hits add nothing — they perform no list IO).
     io_totals: Mutex<IoStats>,
+    /// Metrics registry, pre-registered handles and the slow-query ring.
+    obs: EngineObs,
 }
 
 // Every index generation is immutable after build and the mutable head is
@@ -460,6 +697,7 @@ impl QueryEngine {
                 deleted: AtomicU64::new(0),
                 compactions: AtomicU64::new(0),
                 io_totals: Mutex::new(IoStats::default()),
+                obs: EngineObs::new(config.slow_query),
             }),
         }
     }
@@ -610,6 +848,63 @@ impl QueryEngine {
         *self.inner.io_totals.lock().unwrap()
     }
 
+    /// The engine's metrics registry. Shared across clones; embedders
+    /// (e.g. the server) register their own families on it so one
+    /// [`QueryEngine::render_metrics`] call exposes everything.
+    pub fn metrics_registry(&self) -> Arc<Registry> {
+        self.inner.obs.registry.clone()
+    }
+
+    /// Renders the full metrics surface in Prometheus text exposition
+    /// format, refreshing the point-in-time gauges (epoch, delta size,
+    /// cached layouts) first.
+    pub fn render_metrics(&self) -> String {
+        let obs = &self.inner.obs;
+        {
+            let live = self.inner.live.read().unwrap();
+            obs.epoch.set(live.epoch);
+            obs.delta_docs.set(
+                live.delta
+                    .as_ref()
+                    .map(|d| (d.num_added() + d.num_deleted()) as u64)
+                    .unwrap_or(0),
+            );
+            obs.delta_corrections.set(
+                live.delta
+                    .as_ref()
+                    .map(|d| d.corrections_applied())
+                    .unwrap_or(0),
+            );
+            obs.cached_layouts
+                .set(live.index.sharded.read().unwrap().len() as u64);
+        }
+        obs.registry.render()
+    }
+
+    /// Aggregated list-access counters for one backend across every query
+    /// served (the per-backend `ipm_list_*` series, as numbers).
+    pub fn access_totals(&self, backend: BackendChoice) -> AccessTotals {
+        let b = self.inner.obs.backend(backend);
+        AccessTotals {
+            sorted_accesses: b.sorted_accesses.get(),
+            random_probes: b.random_probes.get(),
+            entries_skipped: b.entries_skipped.get(),
+            rounds: b.rounds.get(),
+        }
+    }
+
+    /// The slow-query log, when [`EngineConfig::slow_query`] enabled one.
+    pub fn slow_queries(&self) -> Option<Arc<SlowQueryLog>> {
+        self.inner.obs.slow.clone()
+    }
+
+    /// The per-query latency histogram's snapshot (the
+    /// `ipm_query_latency_seconds` family, as numbers — its count equals
+    /// [`QueryEngine::queries_served`]).
+    pub fn latency_snapshot(&self) -> ipm_obs::HistogramSnapshot {
+        self.inner.obs.latency.snapshot()
+    }
+
     /// Attaches (or replaces) the §4.5.1 side index. Bumps the index
     /// epoch — invalidating cached results by key mismatch — but only if
     /// the swap actually changes observable state: replacing nothing (or
@@ -675,6 +970,7 @@ impl QueryEngine {
         delta.add_document(index.miner.index(), tokens, facets);
         live.epoch += 1;
         self.inner.ingested.fetch_add(1, Ordering::Relaxed);
+        self.inner.obs.docs_ingested.inc();
     }
 
     /// Batched [`QueryEngine::ingest_document`]: one maintenance-lock
@@ -694,6 +990,7 @@ impl QueryEngine {
         self.inner
             .ingested
             .fetch_add(docs.len() as u64, Ordering::Relaxed);
+        self.inner.obs.docs_ingested.add(docs.len() as u64);
     }
 
     /// Marks a document of the serving corpus deleted (through the side
@@ -713,6 +1010,7 @@ impl QueryEngine {
         delta.delete_document(doc);
         live.epoch += 1;
         self.inner.deleted.fetch_add(1, Ordering::Relaxed);
+        self.inner.obs.docs_deleted.inc();
         true
     }
 
@@ -788,6 +1086,7 @@ impl QueryEngine {
             live.epoch
         };
         self.inner.compactions.fetch_add(1, Ordering::Relaxed);
+        self.inner.obs.compactions.inc();
         CompactionReport {
             epoch,
             elapsed: start.elapsed(),
@@ -892,9 +1191,19 @@ impl QueryEngine {
         budget: &Budget,
     ) -> Result<SearchResponse, SearchError> {
         let start = Instant::now();
+        let obs = &self.inner.obs;
         if let Some(err) = budget.dead_on_arrival() {
             return Err(err);
         }
+        // An explicitly traced request always collects; a configured
+        // slow-query log additionally forces collection for every query
+        // (its ring needs the trace of whichever query turns out slow).
+        let tracer = if options.trace || obs.slow.is_some() {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        let plan_span = tracer.span(StageKind::Plan);
         let plan = QueryPlan::resolve(options, self.inner.default_shards);
         // Snapshot the serving head once: a consistent (epoch, index,
         // delta) triple. Everything below — cache key, completeness,
@@ -916,22 +1225,48 @@ impl QueryEngine {
             exact_probes,
             plan.shards,
         );
+        plan_span.end();
+        let trace_meta = |served_from_cache: bool, completeness: &Completeness| TraceMeta {
+            query: query.render(live.index.miner.corpus()),
+            algorithm: plan.algorithm.name(),
+            backend: plan.backend.name(),
+            k,
+            shards: plan.shards,
+            epoch: live.epoch,
+            served_from_cache,
+            completeness: completeness_label(completeness),
+            budget_trip: budget.trip_cause().and_then(|t| match t {
+                Trip::Cancelled => Some("cancelled"),
+                t => t.budget_kind().map(crate::budget::BudgetKind::name),
+            }),
+        };
         if let Some(cache) = &self.inner.cache {
-            if let Some(hits) = cache.get(&key) {
+            let probe_span = tracer.span(StageKind::CacheProbe);
+            let cached = cache.get(&key);
+            probe_span.end();
+            if let Some(hits) = cached {
                 self.inner.served.fetch_add(1, Ordering::Relaxed);
+                obs.queries_served.inc();
+                obs.cache_hits.inc();
+                let elapsed = start.elapsed();
+                obs.latency.observe(elapsed);
+                let trace = self.finish_trace(tracer, trace_meta(true, &base), options);
                 return Ok(SearchResponse {
                     query,
                     hits: hits.as_ref().clone(),
-                    elapsed: start.elapsed(),
+                    elapsed,
                     io: None,
                     served_from_cache: true,
                     shards: plan.shards,
                     completeness: base,
+                    trace,
                 });
             }
+            obs.cache_misses.inc();
         }
 
-        let (hits, io) = self.execute_uncached(
+        let exec_span = tracer.span(StageKind::Execute);
+        let (hits, io, stats) = self.execute_uncached(
             &live.index,
             &query,
             k,
@@ -939,16 +1274,26 @@ impl QueryEngine {
             &plan,
             &delta_snapshot,
             budget,
+            &tracer,
         );
+        exec_span.end();
+        obs.record_execution(plan.backend, &stats, io.as_ref());
         let completeness = match budget.trip_cause() {
             Some(Trip::Cancelled) => return Err(SearchError::Cancelled),
-            Some(trip) => Completeness::Truncated {
-                budget_hit: trip.budget_kind().expect("non-cancel trip maps to a kind"),
-            },
+            Some(trip) => {
+                let kind = trip.budget_kind().expect("non-cancel trip maps to a kind");
+                match kind {
+                    crate::budget::BudgetKind::Deadline => obs.trip_deadline.inc(),
+                    crate::budget::BudgetKind::Io => obs.trip_io.inc(),
+                    crate::budget::BudgetKind::Steps => obs.trip_steps.inc(),
+                }
+                Completeness::Truncated { budget_hit: kind }
+            }
             None => base,
         };
         if plan.shards > 1 {
             self.inner.sharded_queries.fetch_add(1, Ordering::Relaxed);
+            obs.sharded_queries.inc();
         }
         if !completeness.is_truncated() {
             // Truncated results reflect this request's budget, not the
@@ -959,15 +1304,38 @@ impl QueryEngine {
             }
         }
         self.inner.served.fetch_add(1, Ordering::Relaxed);
+        obs.queries_served.inc();
+        let elapsed = start.elapsed();
+        obs.latency.observe(elapsed);
+        let trace = self.finish_trace(tracer, trace_meta(false, &completeness), options);
         Ok(SearchResponse {
             query,
             hits,
-            elapsed: start.elapsed(),
+            elapsed,
             io,
             served_from_cache: false,
             shards: plan.shards,
             completeness,
+            trace,
         })
+    }
+
+    /// Closes a request's tracer: offers the trace to the slow-query ring
+    /// (when configured) and returns it boxed iff the request asked for
+    /// it.
+    fn finish_trace(
+        &self,
+        tracer: Tracer,
+        meta: TraceMeta,
+        options: &SearchOptions,
+    ) -> Option<Box<QueryTrace>> {
+        let trace = tracer.finish(meta)?;
+        if let Some(slow) = &self.inner.obs.slow {
+            if slow.offer(&trace) {
+                self.inner.obs.slow_queries.inc();
+            }
+        }
+        options.trace.then(|| Box::new(trace))
     }
 
     /// Whether the backends' id-ordered (probe) lists are complete (no
@@ -991,7 +1359,8 @@ impl QueryEngine {
         plan: &QueryPlan,
         delta_snapshot: &Option<Arc<DeltaIndex>>,
         budget: &Budget,
-    ) -> (Vec<SearchHit>, Option<IoStats>) {
+        tracer: &Tracer,
+    ) -> (Vec<SearchHit>, Option<IoStats>, ExecStats) {
         let m = &*state.miner;
         let ctx = ExecContext {
             miner: m,
@@ -1001,6 +1370,7 @@ impl QueryEngine {
             delta: delta_snapshot.as_deref(),
             exact_probes: Self::exact_probes(m),
             budget,
+            tracer,
         };
         let resolve = |hit: PhraseHit, text: String| SearchHit {
             text,
@@ -1014,7 +1384,7 @@ impl QueryEngine {
         let charge_texts = |budget: &Budget| !budget.has_io_budget() && !budget.is_tripped();
         match plan.backend {
             BackendChoice::Memory => {
-                let hits = if plan.shards == 1 {
+                let (hits, stats) = if plan.shards == 1 {
                     let backend = m.memory_backend();
                     crate::plan::run_query(&ctx, &[&backend], query, k)
                 } else {
@@ -1024,19 +1394,22 @@ impl QueryEngine {
                     let refs: Vec<&MemoryBackend<'_>> = backends.iter().collect();
                     crate::plan::run_query(&ctx, &refs, query, k)
                 };
+                let text_span = tracer.span(StageKind::TextResolve);
                 let resolved = hits
                     .into_iter()
                     .map(|hit| resolve(hit, m.phrase_text(hit.phrase)))
                     .collect();
-                (resolved, None)
+                text_span.end();
+                (resolved, None, stats)
             }
             BackendChoice::Disk if plan.shards == 1 => {
                 let disk = self.disk_for(state);
                 let disk = &*disk;
                 let _serial = self.inner.disk_gate.lock().unwrap();
                 disk.reset_io(); // per-query cold cache (paper §5.5)
-                let hits = crate::plan::run_query(&ctx, &[disk], query, k);
+                let (hits, stats) = crate::plan::run_query(&ctx, &[disk], query, k);
                 let via_disk = charge_texts(budget);
+                let text_span = tracer.span(StageKind::TextResolve);
                 let resolved = hits
                     .into_iter()
                     .map(|hit| {
@@ -1047,9 +1420,10 @@ impl QueryEngine {
                         resolve(hit, text)
                     })
                     .collect();
+                text_span.end();
                 let io = disk.io_stats();
                 self.inner.io_totals.lock().unwrap().accumulate(&io);
-                (resolved, Some(io))
+                (resolved, Some(io), stats)
             }
             BackendChoice::Disk => {
                 let idx = self.sharded_index(state, plan.shards);
@@ -1066,8 +1440,9 @@ impl QueryEngine {
                 let _serial = self.inner.disk_gate.lock().unwrap();
                 image.reset_io(); // per-query cold cache across all shards
                 let refs: Vec<&DiskLists> = image.shards().iter().collect();
-                let hits = crate::plan::run_query(&ctx, &refs, query, k);
+                let (hits, stats) = crate::plan::run_query(&ctx, &refs, query, k);
                 let via_disk = charge_texts(budget);
+                let text_span = tracer.span(StageKind::TextResolve);
                 let resolved = hits
                     .into_iter()
                     .map(|hit| {
@@ -1078,26 +1453,29 @@ impl QueryEngine {
                         resolve(hit, text)
                     })
                     .collect();
+                text_span.end();
                 let io = image.io_stats();
                 self.inner.io_totals.lock().unwrap().accumulate(&io);
-                (resolved, Some(io))
+                (resolved, Some(io), stats)
             }
             BackendChoice::Block if plan.shards == 1 => {
                 let block = self.block_for(state);
                 let block = &*block;
                 let _serial = self.inner.disk_gate.lock().unwrap();
                 block.reset_io(); // per-query cold cache (paper §5.5)
-                let hits = crate::plan::run_query(&ctx, &[block], query, k);
+                let (hits, stats) = crate::plan::run_query(&ctx, &[block], query, k);
                 // The block image carries no phrase file; texts resolve
                 // from the miner's in-memory dictionary (like the memory
                 // backend), so the IoStats are pure list traffic.
+                let text_span = tracer.span(StageKind::TextResolve);
                 let resolved = hits
                     .into_iter()
                     .map(|hit| resolve(hit, m.phrase_text(hit.phrase)))
                     .collect();
+                text_span.end();
                 let io = block.io_stats();
                 self.inner.io_totals.lock().unwrap().accumulate(&io);
-                (resolved, Some(io))
+                (resolved, Some(io), stats)
             }
             BackendChoice::Block => {
                 let idx = self.sharded_index(state, plan.shards);
@@ -1113,14 +1491,16 @@ impl QueryEngine {
                 let _serial = self.inner.disk_gate.lock().unwrap();
                 image.reset_io(); // per-query cold cache across all shards
                 let refs: Vec<&BlockImage> = image.shards().iter().collect();
-                let hits = crate::plan::run_query(&ctx, &refs, query, k);
+                let (hits, stats) = crate::plan::run_query(&ctx, &refs, query, k);
+                let text_span = tracer.span(StageKind::TextResolve);
                 let resolved = hits
                     .into_iter()
                     .map(|hit| resolve(hit, m.phrase_text(hit.phrase)))
                     .collect();
+                text_span.end();
                 let io = image.io_stats();
                 self.inner.io_totals.lock().unwrap().accumulate(&io);
-                (resolved, Some(io))
+                (resolved, Some(io), stats)
             }
         }
     }

@@ -48,7 +48,12 @@
 //!   concurrent string queries over one immutable index, with per-request
 //!   algorithm, backend *and* shard-fanout choice, per-query `IoStats` on
 //!   the disk backend, and cache hit/miss counters next to
-//!   `queries_served`.
+//!   `queries_served`. The engine also carries the query path's
+//!   observability surface (`ipm_obs`): a metrics registry rendered as
+//!   Prometheus text ([`engine::QueryEngine::render_metrics`]), per-query
+//!   structured traces (`SearchOptions::trace` →
+//!   [`engine::SearchResponse::trace`]), and an optional slow-query ring
+//!   ([`engine::EngineConfig::slow_query`]).
 
 pub mod budget;
 pub mod cache;
@@ -74,13 +79,17 @@ pub use budget::{
 pub use cache::{CacheConfig, CacheStats};
 pub use delta::{DeltaIndex, DeltaOverlay};
 pub use engine::{
-    Algorithm, BackendChoice, CacheKey, CompactionReport, EngineConfig, LifecycleStats,
-    QueryEngine, SearchHit, SearchOptions, SearchResponse,
+    AccessTotals, Algorithm, BackendChoice, CacheKey, CompactionReport, EngineConfig,
+    LifecycleStats, QueryEngine, SearchHit, SearchOptions, SearchResponse,
+};
+pub use ipm_obs::{
+    HistogramSnapshot, QueryTrace, Registry, ShardStats, SlowQueryConfig, SlowQueryLog, StageKind,
+    StageRecord,
 };
 pub use miner::{MinerConfig, PhraseMiner};
 pub use nra::{NraConfig, NraOutcome, TraversalStats};
 pub use parse::parse_query;
-pub use plan::{QueryPlan, MAX_SHARDS};
+pub use plan::{ExecStats, QueryPlan, MAX_SHARDS};
 pub use query::{Operator, Query};
 pub use redundancy::RedundancyConfig;
 pub use request::SearchRequest;

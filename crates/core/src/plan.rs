@@ -62,10 +62,11 @@ use crate::nra::{run_nra_with, NraConfig};
 use crate::query::{Operator, Query};
 use crate::result::{sort_hits, PhraseHit};
 use crate::scoring::entry_score;
-use crate::smj::run_smj_backend_with;
+use crate::smj::run_smj_backend_counted;
 use crate::ta::run_ta_backend_scan;
 use ipm_index::backend::ListBackend;
 use ipm_index::cursor::ScoredListCursor;
+use ipm_obs::{ShardStats, StageKind, Tracer};
 
 /// Hard ceiling on a request's shard fanout (a safety clamp: each shard
 /// costs one thread per query; past the core count extra shards only add
@@ -122,6 +123,38 @@ pub(crate) struct ExecContext<'a> {
     /// The request's execution budget, shared across every shard thread
     /// (unlimited for the legacy shims — checks then cost one branch).
     pub budget: &'a Budget,
+    /// The request's trace collector (disabled for untraced queries —
+    /// every span call is then a single branch).
+    pub tracer: &'a Tracer,
+}
+
+/// Aggregated work counters of one uncached execution, summed across
+/// shards and over-fetch rounds. Fed into the engine's metrics registry
+/// for **every** query; the per-shard breakdown additionally lands in the
+/// [`ipm_obs::QueryTrace`] when the request is traced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Sorted (sequential list) entry accesses: NRA/TA score-list reads,
+    /// SMJ id-list reads.
+    pub sorted_accesses: u64,
+    /// Random accesses: TA probes plus the merge's NRA score resolution
+    /// probes.
+    pub random_probes: u64,
+    /// Entries skipped via block-max metadata (NRA on block lists).
+    pub entries_skipped: u64,
+    /// Algorithm loop progress: NRA prune rounds, SMJ merge steps (`0`
+    /// for TA and the exact scorer).
+    pub rounds: u64,
+}
+
+impl ExecStats {
+    /// Bucket-wise addition.
+    pub fn accumulate(&mut self, other: &ExecStats) {
+        self.sorted_accesses += other.sorted_accesses;
+        self.random_probes += other.random_probes;
+        self.entries_skipped += other.entries_skipped;
+        self.rounds += other.rounds;
+    }
 }
 
 impl ExecContext<'_> {
@@ -302,11 +335,11 @@ pub(crate) fn run_query<B: ListBackend + Sync>(
     backends: &[&B],
     query: &Query,
     k: usize,
-) -> Vec<PhraseHit> {
+) -> (Vec<PhraseHit>, ExecStats) {
     let Some(red) = ctx.options.redundancy.as_ref() else {
-        let (mut hits, _) = fan_out(ctx, backends, query, k);
+        let (mut hits, _, stats) = fan_out(ctx, backends, query, k);
         hits.truncate(k);
-        return hits;
+        return (hits, stats);
     };
     // First round 2k + 8, doubling; stops once the shards produce fewer
     // raw candidates than the fetch depth (candidate space exhausted).
@@ -315,8 +348,10 @@ pub(crate) fn run_query<B: ListBackend + Sync>(
     // their removal for exhaustion would end the loop before deeper, real
     // candidates are read.
     let mut fetch = k * 2 + 8;
+    let mut total = ExecStats::default();
     loop {
-        let (mut hits, produced) = fan_out(ctx, backends, query, fetch);
+        let (mut hits, produced, stats) = fan_out(ctx, backends, query, fetch);
+        total.accumulate(&stats);
         let exhausted = produced < fetch;
         crate::redundancy::filter_hits(&ctx.miner.index().dict, query, &mut hits, red);
         if hits.len() >= k || exhausted || ctx.budget.is_tripped() {
@@ -324,7 +359,7 @@ pub(crate) fn run_query<B: ListBackend + Sync>(
             // deeper rounds would re-run against a sticky-failed budget
             // and return nothing new.
             hits.truncate(k);
-            return hits;
+            return (hits, total);
         }
         fetch *= 2;
     }
@@ -335,16 +370,30 @@ pub(crate) fn run_query<B: ListBackend + Sync>(
 /// deterministic total order and truncation. Also returns the number of
 /// raw candidates the shards produced before resolution dropped phantoms
 /// and before truncation — capped at `fetch`, this is what the redundancy
-/// loop's exhaustion test must see.
+/// loop's exhaustion test must see — and the round's summed [`ExecStats`].
+///
+/// When the request is traced, each shard's counters (plus the simulated
+/// fetches its backend charged over the whole round, seeding and probe
+/// resolution included) land in the trace as one [`ShardStats`] record
+/// per shard.
 fn fan_out<B: ListBackend + Sync>(
     ctx: &ExecContext<'_>,
     backends: &[&B],
     query: &Query,
     fetch: usize,
-) -> (Vec<PhraseHit>, usize) {
+) -> (Vec<PhraseHit>, usize, ExecStats) {
+    let traced = ctx.tracer.is_enabled();
+    let io_before: Vec<u64> = if traced {
+        backends.iter().map(|b| b.io_fetches()).collect()
+    } else {
+        Vec::new()
+    };
     let single = backends.len() == 1;
-    let mut merged: Vec<PhraseHit> = if single {
-        run_shard(ctx, backends[0], query, fetch, NraTuning::default())
+    let (mut merged, mut per_stats): (Vec<PhraseHit>, Vec<ExecStats>) = if single {
+        let span = ctx.tracer.shard_span(StageKind::ShardExec, 0);
+        let (hits, stats) = run_shard(ctx, backends[0], query, fetch, NraTuning::default());
+        span.end();
+        (hits, vec![stats])
     } else {
         // Seed the global defence line so each shard stops at (roughly)
         // the unsharded depth divided by the fanout, instead of reading
@@ -356,8 +405,11 @@ fn fan_out<B: ListBackend + Sync>(
         // never changes exact-path results — stops only move, and the
         // merge resolves scores).
         let tuning = if ctx.exact_nra_path() {
+            let seed_span = ctx.tracer.span(StageKind::SeedFloor);
+            let lower_floor = seed_floor(ctx, backends, query, fetch);
+            seed_span.end();
             NraTuning {
-                lower_floor: seed_floor(ctx, backends, query, fetch),
+                lower_floor,
                 batch_size: Some(
                     (ctx.miner.config().nra.batch_size / backends.len()).max(MIN_SHARD_BATCH),
                 ),
@@ -370,25 +422,41 @@ fn fan_out<B: ListBackend + Sync>(
         let subset = matches!(ctx.options.algorithm, Algorithm::Exact)
             .then(|| exact::materialize_subset(ctx.miner.index(), query));
         let subset = subset.as_ref();
-        let per: Vec<Vec<PhraseHit>> = std::thread::scope(|s| {
+        let per: Vec<(Vec<PhraseHit>, ExecStats)> = std::thread::scope(|s| {
             let handles: Vec<_> = backends
                 .iter()
-                .map(|&b| s.spawn(move || run_shard_with(ctx, b, query, fetch, tuning, subset)))
+                .enumerate()
+                .map(|(i, &b)| {
+                    s.spawn(move || {
+                        let span = ctx.tracer.shard_span(StageKind::ShardExec, i);
+                        let out = run_shard_with(ctx, b, query, fetch, tuning, subset);
+                        span.end();
+                        out
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("shard worker panicked"))
                 .collect()
         });
-        per.into_iter().flatten().collect()
+        let mut hits = Vec::new();
+        let mut stats = Vec::with_capacity(per.len());
+        for (h, st) in per {
+            hits.extend(h);
+            stats.push(st);
+        }
+        (hits, stats)
     };
     let produced = merged.len().min(fetch);
+    let merge_span = ctx.tracer.span(StageKind::Merge);
+    let mut probe_counts = vec![0u64; backends.len()];
     if ctx.exact_nra_path() && !ctx.budget.is_tripped() {
         // Budget-stopped runs skip probe resolution: the probes would
         // charge further (random, 10×-priced) IO after the budget said
         // stop, and a truncated response keeps anytime bound semantics
         // anyway.
-        resolve_hits(backends, query, &mut merged);
+        resolve_hits(backends, query, &mut merged, &mut probe_counts);
         sort_hits(&mut merged);
     } else if !single {
         // The deterministic merge order. A single-shard approximate NRA
@@ -396,8 +464,26 @@ fn fan_out<B: ListBackend + Sync>(
         // semantics); every multi-shard merge uses the total order.
         sort_hits(&mut merged);
     }
+    merge_span.end();
     merged.truncate(fetch);
-    (merged, produced)
+    let mut total = ExecStats::default();
+    for (i, st) in per_stats.iter_mut().enumerate() {
+        st.random_probes += probe_counts[i];
+        total.accumulate(st);
+    }
+    if traced {
+        for (i, st) in per_stats.iter().enumerate() {
+            ctx.tracer.record_shard(ShardStats {
+                shard: i,
+                sorted_accesses: st.sorted_accesses,
+                random_probes: st.random_probes,
+                entries_skipped: st.entries_skipped,
+                rounds: st.rounds,
+                io_fetches: backends[i].io_fetches().saturating_sub(io_before[i]),
+            });
+        }
+    }
+    (merged, produced, total)
 }
 
 /// One shard's work: the planned algorithm over one backend.
@@ -407,7 +493,7 @@ fn run_shard<B: ListBackend>(
     query: &Query,
     fetch: usize,
     tuning: NraTuning,
-) -> Vec<PhraseHit> {
+) -> (Vec<PhraseHit>, ExecStats) {
     run_shard_with(ctx, backend, query, fetch, tuning, None)
 }
 
@@ -427,7 +513,7 @@ fn run_shard_with<B: ListBackend>(
     fetch: usize,
     tuning: NraTuning,
     subset: Option<&ipm_index::postings::Postings>,
-) -> Vec<PhraseHit> {
+) -> (Vec<PhraseHit>, ExecStats) {
     match ctx.delta {
         Some(d) => {
             let overlay = DeltaOverlay::new(backend, d, ctx.miner.index());
@@ -438,7 +524,9 @@ fn run_shard_with<B: ListBackend>(
 }
 
 /// The algorithm dispatch for one shard, over a possibly delta-corrected
-/// backend.
+/// backend. Returns the shard's hits plus its [`ExecStats`] — each
+/// algorithm's native accounting mapped onto the shared counters (the
+/// exact scorer walks postings, not lists, and reports zeros).
 fn run_shard_backend<B: ListBackend>(
     ctx: &ExecContext<'_>,
     backend: &B,
@@ -446,7 +534,7 @@ fn run_shard_backend<B: ListBackend>(
     fetch: usize,
     tuning: NraTuning,
     subset: Option<&ipm_index::postings::Postings>,
-) -> Vec<PhraseHit> {
+) -> (Vec<PhraseHit>, ExecStats) {
     // This shard's budget gauge: every cooperative check also reports the
     // backend's simulated-IO fetch delta into the shared cap (the overlay
     // delegates `io_fetches` to the wrapped backend).
@@ -475,17 +563,40 @@ fn run_shard_backend<B: ListBackend>(
                 .iter()
                 .map(|&f| backend.score_cursor(f, fraction))
                 .collect();
-            run_nra_with(cursors, query.op, &cfg, &budget).hits
+            let out = run_nra_with(cursors, query.op, &cfg, &budget);
+            let stats = ExecStats {
+                sorted_accesses: out.stats.entries_read.iter().map(|&n| n as u64).sum(),
+                random_probes: 0,
+                entries_skipped: out.stats.entries_skipped as u64,
+                rounds: out.stats.prune_rounds as u64,
+            };
+            (out.hits, stats)
         }
-        Algorithm::Smj => run_smj_backend_with(backend, query, fetch, &budget),
+        Algorithm::Smj => {
+            let (hits, smj) = run_smj_backend_counted(backend, query, fetch, &budget);
+            let stats = ExecStats {
+                sorted_accesses: smj.entries_read,
+                random_probes: 0,
+                entries_skipped: 0,
+                rounds: smj.merge_steps,
+            };
+            (hits, stats)
+        }
         // TA's threshold stop assumes sorted streams; corrected values are
         // not monotone, so under a delta the scan runs to exhaustion and
         // stays exact (see `run_ta_backend_scan`).
         Algorithm::Ta => {
-            run_ta_backend_scan(backend, query, fetch, &budget, ctx.delta.is_none()).hits
+            let out = run_ta_backend_scan(backend, query, fetch, &budget, ctx.delta.is_none());
+            let stats = ExecStats {
+                sorted_accesses: out.stats.sorted_accesses.iter().map(|&n| n as u64).sum(),
+                random_probes: out.stats.random_accesses as u64,
+                entries_skipped: 0,
+                rounds: 0,
+            };
+            (out.hits, stats)
         }
         Algorithm::Exact => {
-            if let Some(d) = ctx.delta {
+            let hits = if let Some(d) = ctx.delta {
                 let materialized;
                 let s = match subset {
                     Some(s) => s,
@@ -494,7 +605,7 @@ fn run_shard_backend<B: ListBackend>(
                         &materialized
                     }
                 };
-                return exact::exact_top_k_delta_for_subset_range_with(
+                exact::exact_top_k_delta_for_subset_range_with(
                     ctx.miner.index(),
                     d,
                     query,
@@ -502,24 +613,26 @@ fn run_shard_backend<B: ListBackend>(
                     fetch,
                     backend.phrase_range(),
                     &budget,
-                );
-            }
-            match subset {
-                Some(s) => exact::exact_top_k_for_subset_range_with(
-                    ctx.miner.index(),
-                    s,
-                    fetch,
-                    backend.phrase_range(),
-                    &budget,
-                ),
-                None => exact::exact_top_k_range_with(
-                    ctx.miner.index(),
-                    query,
-                    fetch,
-                    backend.phrase_range(),
-                    &budget,
-                ),
-            }
+                )
+            } else {
+                match subset {
+                    Some(s) => exact::exact_top_k_for_subset_range_with(
+                        ctx.miner.index(),
+                        s,
+                        fetch,
+                        backend.phrase_range(),
+                        &budget,
+                    ),
+                    None => exact::exact_top_k_range_with(
+                        ctx.miner.index(),
+                        query,
+                        fetch,
+                        backend.phrase_range(),
+                        &budget,
+                    ),
+                }
+            };
+            (hits, ExecStats::default())
         }
     }
 }
@@ -528,18 +641,27 @@ fn run_shard_backend<B: ListBackend>(
 /// aggregate score via random probes into the owning shard (full probe
 /// lists: each probe returns the true `P(q|p)`). AND hits that turn out
 /// absent from some list resolve to `-∞` and are dropped — they were
-/// upper-bound phantoms, not real conjunctive matches.
-fn resolve_hits<B: ListBackend>(backends: &[&B], query: &Query, hits: &mut Vec<PhraseHit>) {
+/// upper-bound phantoms, not real conjunctive matches. Probes are counted
+/// into `probe_counts` (one slot per backend, indexed like `backends`) so
+/// the trace attributes resolution work to the owning shard.
+fn resolve_hits<B: ListBackend>(
+    backends: &[&B],
+    query: &Query,
+    hits: &mut Vec<PhraseHit>,
+    probe_counts: &mut [u64],
+) {
     hits.retain_mut(|h| {
         if h.is_resolved() {
             return true;
         }
-        let owner = backends
+        let owner_idx = backends
             .iter()
-            .find(|b| b.owns_phrase(h.phrase))
-            .unwrap_or(&backends[0]);
+            .position(|b| b.owns_phrase(h.phrase))
+            .unwrap_or(0);
+        let owner = &backends[owner_idx];
         let mut score = 0.0;
         for &f in &query.features {
+            probe_counts[owner_idx] += 1;
             let p = owner.probe(f, h.phrase);
             if p == 0.0 {
                 if matches!(query.op, Operator::And) {

@@ -129,6 +129,14 @@ impl<'e> SearchRequest<'e> {
         self
     }
 
+    /// Collect a structured per-stage trace with the response
+    /// ([`SearchResponse::trace`]). Never changes results or cache
+    /// identity.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.options.trace = on;
+        self
+    }
+
     /// Replaces the whole options struct at once (for callers migrating
     /// from the [`SearchOptions`]-based shims).
     pub fn options(mut self, options: SearchOptions) -> Self {
@@ -195,13 +203,23 @@ impl<'e> SearchRequest<'e> {
     /// execution started, [`SearchError::Cancelled`] when the cancel
     /// token fired.
     pub fn run(self) -> Result<SearchResponse, SearchError> {
+        let parse_started = std::time::Instant::now();
         let query = match self.input {
             Input::Parsed(ref q) => q.clone(),
             Input::Text(ref s) => self.engine.miner().parse_query_str(s)?,
         };
+        let parse_elapsed = parse_started.elapsed();
         let budget = self.build_budget();
-        self.engine
-            .execute_with_budget(query, self.k, &self.options, &budget)
+        let mut resp = self
+            .engine
+            .execute_with_budget(query, self.k, &self.options, &budget)?;
+        // Parsing runs before the engine's tracer exists; report it into
+        // the trace (and the response's wall time) after the fact.
+        if let Some(trace) = resp.trace.as_mut() {
+            trace.record_parse(parse_elapsed);
+        }
+        resp.elapsed += parse_elapsed;
+        Ok(resp)
     }
 }
 

@@ -44,12 +44,34 @@ pub fn run_smj_backend_with<B: ListBackend>(
     k: usize,
     budget: &ShardBudget<'_>,
 ) -> Vec<PhraseHit> {
+    run_smj_backend_counted(backend, query, k, budget).0
+}
+
+/// [`run_smj_backend_with`] that also reports the pass's [`SmjStats`]
+/// (the observability layer's loop counters).
+pub fn run_smj_backend_counted<B: ListBackend>(
+    backend: &B,
+    query: &Query,
+    k: usize,
+    budget: &ShardBudget<'_>,
+) -> (Vec<PhraseHit>, SmjStats) {
     let cursors: Vec<B::IdCursor<'_>> = query
         .features
         .iter()
         .map(|&f| backend.id_cursor(f))
         .collect();
-    run_smj_cursors_with(cursors, query.op, k, budget)
+    run_smj_cursors_counted(cursors, query.op, k, budget)
+}
+
+/// Work counters of one SMJ pass. Seeks count as one read (the landing
+/// entry), matching the IO accounting: skipped entries were never
+/// materialized.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmjStats {
+    /// Entries consumed across all cursors (initial heads included).
+    pub entries_read: u64,
+    /// Synchronized merge steps (one phrase id each).
+    pub merge_steps: u64,
 }
 
 /// SMJ core over raw id-ordered slices (exposed for benches and tests).
@@ -69,16 +91,28 @@ pub fn run_smj_cursors<C: IdListCursor>(cursors: Vec<C>, op: Operator, k: usize)
 /// [`run_smj_cursors`] under a cooperative execution budget (see
 /// [`run_smj_backend_with`]).
 pub fn run_smj_cursors_with<C: IdListCursor>(
-    mut cursors: Vec<C>,
+    cursors: Vec<C>,
     op: Operator,
     k: usize,
     budget: &ShardBudget<'_>,
 ) -> Vec<PhraseHit> {
+    run_smj_cursors_counted(cursors, op, k, budget).0
+}
+
+/// [`run_smj_cursors_with`] that also reports the pass's [`SmjStats`].
+pub fn run_smj_cursors_counted<C: IdListCursor>(
+    mut cursors: Vec<C>,
+    op: Operator,
+    k: usize,
+    budget: &ShardBudget<'_>,
+) -> (Vec<PhraseHit>, SmjStats) {
     assert!(k > 0, "k must be positive");
     let r = cursors.len();
+    let mut stats = SmjStats::default();
     // One-entry lookahead per cursor (cursors are forward-only; the merge
     // needs to peek the head of every list).
     let mut heads: Vec<Option<ListEntry>> = cursors.iter_mut().map(C::next_entry).collect();
+    stats.entries_read = heads.iter().flatten().count() as u64;
     let mut hits: Vec<PhraseHit> = Vec::new();
 
     loop {
@@ -105,6 +139,7 @@ pub fn run_smj_cursors_with<C: IdListCursor>(
             for i in 0..r {
                 if heads[i].is_some_and(|e| e.phrase < max) {
                     heads[i] = cursors[i].seek(max);
+                    stats.entries_read += u64::from(heads[i].is_some());
                 }
             }
             if heads.iter().any(Option::is_none) {
@@ -121,6 +156,7 @@ pub fn run_smj_cursors_with<C: IdListCursor>(
             });
         }
         let Some(id) = min_id else { break };
+        stats.merge_steps += 1;
 
         // Aggregate this phrase's terms from every list that has it.
         let mut score = 0.0;
@@ -131,6 +167,7 @@ pub fn run_smj_cursors_with<C: IdListCursor>(
                     score += entry_score(op, e.prob);
                     present += 1;
                     heads[i] = cursors[i].next_entry();
+                    stats.entries_read += u64::from(heads[i].is_some());
                 }
             }
         }
@@ -145,7 +182,7 @@ pub fn run_smj_cursors_with<C: IdListCursor>(
     }
 
     truncate_top_k(&mut hits, k);
-    hits
+    (hits, stats)
 }
 
 /// SMJ for OR queries scoring with the *full* inclusion–exclusion form of

@@ -1,0 +1,390 @@
+//! Grammar validation for Prometheus text exposition format.
+//!
+//! The renderer lives on [`crate::metrics::Registry`]; this module is the
+//! independent check the CLI (`ipm stats --metrics`), the CI smoke step
+//! and the test suite run against scraped output, so a renderer bug (or a
+//! drifting format) fails loudly instead of shipping an unscrapable
+//! endpoint. It validates the line grammar plus the histogram invariants
+//! the format implies (cumulative `le` buckets, a `+Inf` bucket whose
+//! count equals `_count`).
+
+use std::collections::BTreeMap;
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+fn is_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => s.parse().ok(),
+    }
+}
+
+/// Parses a `{k="v",...}` label block body (without the braces).
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = &rest[..eq];
+        if !is_label_name(key) {
+            return Err(format!("invalid label name: {key:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err("label value is not quoted".into());
+        }
+        // Scan to the closing quote, honouring escapes.
+        let mut value = String::new();
+        let mut chars = rest[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, e @ ('\\' | '"'))) => value.push(e),
+                    _ => return Err("bad escape in label value".into()),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        labels.push((key.to_owned(), value));
+        rest = &rest[1 + end + 1..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+            if rest.is_empty() {
+                return Err("trailing comma in label block".into());
+            }
+        } else if !rest.is_empty() {
+            return Err("junk after label value".into());
+        }
+    }
+    Ok(labels)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    // name[{labels}] value [timestamp]
+    let (name, rest) = match line.find(['{', ' ']) {
+        Some(i) => line.split_at(i),
+        None => return Err("sample has no value".into()),
+    };
+    if !is_metric_name(name) {
+        return Err(format!("invalid metric name: {name:?}"));
+    }
+    let (labels, rest) = if let Some(body) = rest.strip_prefix('{') {
+        let close = body.rfind('}').ok_or("unterminated label block")?;
+        (parse_labels(&body[..close])?, &body[close + 1..])
+    } else {
+        (Vec::new(), rest)
+    };
+    let mut fields = rest.split_whitespace();
+    let value = fields
+        .next()
+        .and_then(parse_value)
+        .ok_or("unparseable sample value")?;
+    if let Some(ts) = fields.next() {
+        ts.parse::<i64>().map_err(|_| "unparseable timestamp")?;
+    }
+    if fields.next().is_some() {
+        return Err("trailing fields after timestamp".into());
+    }
+    Ok(Sample {
+        name: name.to_owned(),
+        labels,
+        value,
+    })
+}
+
+/// The family a sample belongs to under a declared histogram type:
+/// `x_bucket`/`x_sum`/`x_count` all belong to `x`.
+fn base_name<'a>(name: &'a str, histograms: &BTreeMap<String, ()>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if histograms.contains_key(base) {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// Validates `text` as Prometheus text exposition format.
+///
+/// Checks, per line: comment/`HELP`/`TYPE` syntax, metric and label name
+/// character sets, quoted-and-escaped label values, parseable sample
+/// values. Across lines: samples of a `TYPE`-declared family appear after
+/// the declaration, at most one `TYPE` per family, and every declared
+/// histogram has cumulative non-decreasing `le` buckets ending in a
+/// `+Inf` bucket equal to its `_count`.
+///
+/// # Errors
+/// The first violation, prefixed with its 1-based line number.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, ()> = BTreeMap::new();
+    // name -> label-block (minus `le`) -> ascending (le, cumulative count)
+    type BucketMap = BTreeMap<String, Vec<(f64, f64)>>;
+    let mut buckets: BTreeMap<String, BucketMap> = BTreeMap::new();
+    let mut counts: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    let mut saw_sample = false;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            let mut fields = comment.splitn(3, ' ');
+            match fields.next() {
+                Some("HELP") => {
+                    let name = fields
+                        .next()
+                        .ok_or_else(|| at("HELP without name".into()))?;
+                    if !is_metric_name(name) {
+                        return Err(at(format!("HELP for invalid name {name:?}")));
+                    }
+                }
+                Some("TYPE") => {
+                    let name = fields
+                        .next()
+                        .ok_or_else(|| at("TYPE without name".into()))?;
+                    if !is_metric_name(name) {
+                        return Err(at(format!("TYPE for invalid name {name:?}")));
+                    }
+                    let kind = fields
+                        .next()
+                        .ok_or_else(|| at("TYPE without kind".into()))?;
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(at(format!("unknown TYPE kind {kind:?}")));
+                    }
+                    if types.insert(name.to_owned(), kind.to_owned()).is_some() {
+                        return Err(at(format!("duplicate TYPE for {name}")));
+                    }
+                    if kind == "histogram" {
+                        histograms.insert(name.to_owned(), ());
+                    }
+                }
+                // Free-form comments are legal.
+                _ => {}
+            }
+            continue;
+        }
+        let sample = parse_sample(line).map_err(&at)?;
+        saw_sample = true;
+        let base = base_name(&sample.name, &histograms).to_owned();
+        if histograms.contains_key(&base) {
+            let rest: Vec<String> = sample
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let series = rest.join(",");
+            if sample.name == format!("{base}_bucket") {
+                let le = sample
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .ok_or_else(|| at(format!("{} without le label", sample.name)))?;
+                let bound = parse_value(&le.1)
+                    .ok_or_else(|| at(format!("unparseable le bound {:?}", le.1)))?;
+                buckets
+                    .entry(base.clone())
+                    .or_default()
+                    .entry(series)
+                    .or_default()
+                    .push((bound, sample.value));
+            } else if sample.name == format!("{base}_count") {
+                counts
+                    .entry(base.clone())
+                    .or_default()
+                    .insert(series, sample.value);
+            }
+        }
+    }
+    if !saw_sample {
+        return Err("exposition has no samples".into());
+    }
+    for (name, series) in &buckets {
+        for (labels, rows) in series {
+            let mut prev = f64::NEG_INFINITY;
+            let mut prev_count = -1.0;
+            for &(bound, count) in rows {
+                if bound <= prev {
+                    return Err(format!("{name}{{{labels}}}: le bounds not ascending"));
+                }
+                if count < prev_count {
+                    return Err(format!("{name}{{{labels}}}: bucket counts not cumulative"));
+                }
+                prev = bound;
+                prev_count = count;
+            }
+            let Some(&(last_bound, last_count)) = rows.last() else {
+                continue;
+            };
+            if last_bound != f64::INFINITY {
+                return Err(format!("{name}{{{labels}}}: missing +Inf bucket"));
+            }
+            if let Some(total) = counts.get(name).and_then(|m| m.get(labels)) {
+                if *total != last_count {
+                    return Err(format!(
+                        "{name}{{{labels}}}: +Inf bucket {last_count} != _count {total}"
+                    ));
+                }
+            } else {
+                return Err(format!("{name}{{{labels}}}: histogram without _count"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Sums every sample of metric `name` (exact name match, any label set)
+/// in an exposition document. `None` when the metric does not appear.
+/// Convenience for tests and smoke checks (e.g. comparing
+/// `..._latency_seconds_count` against a served-queries counter).
+pub fn sample_sum(text: &str, name: &str) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut seen = false;
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if let Ok(s) = parse_sample(line) {
+            if s.name == name {
+                sum += s.value;
+                seen = true;
+            }
+        }
+    }
+    seen.then_some(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# HELP ipm_served_total queries served\n\
+# TYPE ipm_served_total counter\n\
+ipm_served_total 12\n\
+# HELP ipm_lat_seconds latency\n\
+# TYPE ipm_lat_seconds histogram\n\
+ipm_lat_seconds_bucket{le=\"0.001\"} 3\n\
+ipm_lat_seconds_bucket{le=\"0.01\"} 10\n\
+ipm_lat_seconds_bucket{le=\"+Inf\"} 12\n\
+ipm_lat_seconds_sum 0.5\n\
+ipm_lat_seconds_count 12\n";
+
+    #[test]
+    fn accepts_well_formed_exposition() {
+        validate_exposition(GOOD).unwrap();
+    }
+
+    #[test]
+    fn sample_sum_finds_and_sums() {
+        assert_eq!(sample_sum(GOOD, "ipm_served_total"), Some(12.0));
+        assert_eq!(sample_sum(GOOD, "ipm_lat_seconds_count"), Some(12.0));
+        assert_eq!(sample_sum(GOOD, "nope"), None);
+    }
+
+    #[test]
+    fn rejects_bad_metric_name() {
+        let text = "# TYPE 9bad counter\n";
+        assert!(validate_exposition(text).is_err());
+        assert!(validate_exposition("9bad 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unparseable_value() {
+        assert!(validate_exposition("ipm_x twelve\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_labels() {
+        assert!(validate_exposition("ipm_x{a=\"b\" 1\n").is_err());
+        assert!(validate_exposition("ipm_x{a=b} 1\n").is_err());
+        assert!(validate_exposition("ipm_x{a=\"b\",} 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_non_cumulative_histogram() {
+        let text = "\
+# TYPE h histogram\n\
+h_bucket{le=\"1\"} 5\n\
+h_bucket{le=\"2\"} 3\n\
+h_bucket{le=\"+Inf\"} 5\n\
+h_sum 1\n\
+h_count 5\n";
+        let err = validate_exposition(text).unwrap_err();
+        assert!(err.contains("not cumulative"), "{err}");
+    }
+
+    #[test]
+    fn rejects_histogram_without_inf_bucket() {
+        let text = "\
+# TYPE h histogram\n\
+h_bucket{le=\"1\"} 5\n\
+h_sum 1\n\
+h_count 5\n";
+        let err = validate_exposition(text).unwrap_err();
+        assert!(err.contains("+Inf"), "{err}");
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let text = "\
+# TYPE h histogram\n\
+h_bucket{le=\"+Inf\"} 4\n\
+h_sum 1\n\
+h_count 5\n";
+        let err = validate_exposition(text).unwrap_err();
+        assert!(err.contains("!= _count"), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_document() {
+        assert!(validate_exposition("").is_err());
+        assert!(validate_exposition("# HELP x y\n").is_err());
+    }
+
+    #[test]
+    fn accepts_escaped_label_values_and_timestamps() {
+        let text = "ipm_x{q=\"a\\\"b\\\\c\\nd\"} 1 1700000000\n";
+        validate_exposition(text).unwrap();
+    }
+
+    #[test]
+    fn rejects_duplicate_type() {
+        let text = "# TYPE x counter\n# TYPE x gauge\nx 1\n";
+        assert!(validate_exposition(text).is_err());
+    }
+}

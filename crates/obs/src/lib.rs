@@ -1,0 +1,27 @@
+//! Query-path observability for the interesting-phrase miner.
+//!
+//! Three layers, all std-only (this crate deliberately has no
+//! dependencies — it sits under every other crate in the workspace and
+//! must never put anything but atomics and `Instant` pairs on the query
+//! path):
+//!
+//! * [`metrics`] — atomic [`Counter`]s/[`Gauge`]s and fixed-bucket
+//!   log-scale [`Histogram`]s with mergeable snapshots and exact (at
+//!   bucket resolution) p50/p95/p99 readout, grouped in a [`Registry`];
+//! * [`trace`] — a per-query [`QueryTrace`] of timed stages and per-shard
+//!   counters collected through a cheap [`Tracer`]/[`Span`] API, plus the
+//!   ring-buffer [`SlowQueryLog`];
+//! * [`expo`] — Prometheus text exposition: the registry renders it, and
+//!   [`validate_exposition`] independently checks scraped output against
+//!   the format's grammar (used by the CLI, CI and tests).
+
+pub mod expo;
+pub mod metrics;
+pub mod trace;
+
+pub use expo::{sample_sum, validate_exposition};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use trace::{
+    QueryTrace, ShardStats, SlowQueryConfig, SlowQueryLog, Span, StageKind, StageRecord, TraceMeta,
+    TraceSink, Tracer,
+};

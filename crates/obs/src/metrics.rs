@@ -1,0 +1,644 @@
+//! Atomic counters, gauges and fixed-bucket log-scale histograms, grouped
+//! in a [`Registry`] that renders Prometheus text exposition format.
+//!
+//! Hot-path discipline: a handle ([`Counter`], [`Gauge`], [`Histogram`])
+//! is an `Arc` around plain atomics — updating one is lock-free and
+//! allocation-free. The registry's mutex is taken only at registration
+//! and render time, never per observation.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// atomic, so a handle can be stored wherever the hot path needs it.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A free-standing counter (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable instantaneous value (unsigned: every gauge this system
+/// exports — epoch, resident documents, active connections — is a count).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A free-standing gauge (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds one (e.g. a connection opened).
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one, saturating at zero (e.g. a connection closed).
+    pub fn dec(&self) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket bounds, seconds: 1 µs doubling up to ~33.5 s.
+/// Log-scale keeps relative quantile error bounded (a reported quantile
+/// is at most 2× the true value) across six decades with 26 buckets.
+fn default_latency_bounds() -> Arc<[f64]> {
+    (0..26).map(|i| 1e-6 * f64::from(1u32 << i)).collect()
+}
+
+/// Shared state of one histogram: finite bucket upper bounds plus an
+/// implicit `+Inf` bucket, observation count and sum (sum in nanoseconds
+/// so it can live in an atomic without losing precision).
+#[derive(Debug)]
+struct HistogramCore {
+    bounds: Arc<[f64]>,
+    /// One slot per finite bound, plus the trailing `+Inf` slot.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+/// A fixed-bucket histogram with atomic observation and mergeable
+/// snapshots. Built for latencies: the default bounds are log-scale
+/// seconds (see [`Histogram::new`]).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// A histogram over the default log-scale latency bounds (1 µs · 2^i,
+    /// i = 0..26, then `+Inf`).
+    pub fn new() -> Self {
+        Self::with_bounds(default_latency_bounds())
+    }
+
+    /// A histogram over explicit finite upper bounds (ascending; the
+    /// `+Inf` bucket is always appended).
+    pub fn with_bounds(bounds: Arc<[f64]>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly ascending"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            core: Arc::new(HistogramCore {
+                bounds,
+                buckets,
+                count: AtomicU64::new(0),
+                sum_nanos: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one duration.
+    pub fn observe(&self, d: Duration) {
+        self.observe_seconds(d.as_secs_f64());
+    }
+
+    /// Records one raw value (seconds for latency histograms).
+    pub fn observe_seconds(&self, v: f64) {
+        let c = &self.core;
+        // First bound >= v; `partition_point` is a branch-light binary
+        // search over a tiny slice.
+        let idx = c.bounds.partition_point(|&b| b < v);
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum_nanos
+            .fetch_add((v * 1e9).max(0.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the buckets, mergeable and queryable.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.core;
+        HistogramSnapshot {
+            bounds: c.bounds.clone(),
+            buckets: c
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: c.count.load(Ordering::Relaxed),
+            sum: c.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An immutable copy of a histogram's buckets. Snapshots over the same
+/// bounds merge by bucket-wise addition (e.g. per-shard or per-thread
+/// histograms folded into one), and quantiles read exactly from the
+/// merged counts (exact at bucket resolution: the reported value is the
+/// upper bound of the bucket holding the nearest-rank observation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    bounds: Arc<[f64]>,
+    /// One count per finite bound, plus the trailing `+Inf` count.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Adds another snapshot's counts into this one.
+    ///
+    /// # Panics
+    /// When the bucket bounds differ — merging is only defined across
+    /// histograms of identical geometry.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bounds"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observed values (seconds for latency histograms).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observed value; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The nearest-rank `q`-quantile (`0 < q <= 1`): the upper bound of
+    /// the bucket containing the `ceil(q · count)`-th observation.
+    /// Observations past the last finite bound report that last bound.
+    /// Returns `0.0` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds.get(i).copied().unwrap_or(
+                    // The +Inf bucket: report the largest finite bound
+                    // (the histogram cannot resolve beyond it).
+                    *self.bounds.last().expect("bounds are non-empty"),
+                );
+            }
+        }
+        *self.bounds.last().expect("bounds are non-empty")
+    }
+
+    /// `(p50, p95, p99)` in one call — the serving report's shape.
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+
+    /// The finite bucket bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Cumulative counts per finite bound, then the total — the shape
+    /// Prometheus `_bucket{le=...}` series carry.
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        let mut acc = 0u64;
+        for &c in &self.buckets {
+            acc += c;
+            out.push(acc);
+        }
+        out
+    }
+}
+
+/// What kind of metric a family holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One registered series handle.
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A metric family: one name, one type, one help string, N labelled
+/// series.
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: Kind,
+    /// Keyed by the rendered label block (`""` for unlabelled).
+    series: BTreeMap<String, Handle>,
+}
+
+/// A named collection of metrics, rendered as Prometheus text format.
+///
+/// Registration is idempotent: asking for an existing (name, labels)
+/// series returns a clone of its handle, so independent subsystems (the
+/// engine, the server) can share one registry without coordination.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Renders a label set as the exposition block body (`k1="v1",k2="v2"`),
+/// escaping `\`, `"` and newlines per the format.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| {
+            assert!(valid_label_name(k), "invalid label name: {k}");
+            let escaped: String = v
+                .chars()
+                .flat_map(|c| match c {
+                    '\\' => vec!['\\', '\\'],
+                    '"' => vec!['\\', '"'],
+                    '\n' => vec!['\\', 'n'],
+                    c => vec![c],
+                })
+                .collect();
+            format!("{k}=\"{escaped}\"")
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, name: &str, help: &str, kind: Kind, labels: &[(&str, &str)]) -> Handle {
+        assert!(valid_metric_name(name), "invalid metric name: {name}");
+        let key = render_labels(labels);
+        let mut families = self.families.lock().unwrap();
+        let family = families.entry(name.to_owned()).or_insert_with(|| Family {
+            help: help.to_owned(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name} re-registered as {} (was {})",
+            kind.name(),
+            family.kind.name()
+        );
+        family
+            .series
+            .entry(key)
+            .or_insert_with(|| match kind {
+                Kind::Counter => Handle::Counter(Counter::new()),
+                Kind::Gauge => Handle::Gauge(Gauge::new()),
+                Kind::Histogram => Handle::Histogram(Histogram::new()),
+            })
+            .clone()
+    }
+
+    /// Registers (or retrieves) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a labelled counter series.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, Kind::Counter, labels) {
+            Handle::Counter(c) => c,
+            _ => unreachable!("register returns the requested kind"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a labelled gauge series.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, Kind::Gauge, labels) {
+            Handle::Gauge(g) => g,
+            _ => unreachable!("register returns the requested kind"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled histogram over the default
+    /// log-scale latency bounds.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a labelled histogram series.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.register(name, help, Kind::Histogram, labels) {
+            Handle::Histogram(h) => h,
+            _ => unreachable!("register returns the requested kind"),
+        }
+    }
+
+    /// Renders every registered family in Prometheus text exposition
+    /// format (families sorted by name, series by label block, histograms
+    /// as cumulative `_bucket{le=...}` plus `_sum`/`_count`).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let families = self.families.lock().unwrap();
+        for (name, family) in families.iter() {
+            writeln!(out, "# HELP {name} {}", family.help).unwrap();
+            writeln!(out, "# TYPE {name} {}", family.kind.name()).unwrap();
+            for (labels, handle) in &family.series {
+                match handle {
+                    Handle::Counter(c) => {
+                        writeln!(out, "{name}{} {}", braced(labels), c.get()).unwrap();
+                    }
+                    Handle::Gauge(g) => {
+                        writeln!(out, "{name}{} {}", braced(labels), g.get()).unwrap();
+                    }
+                    Handle::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let cumulative = snap.cumulative();
+                        for (i, &bound) in snap.bounds().iter().enumerate() {
+                            let le = join_labels(labels, &format!("le=\"{bound}\""));
+                            writeln!(out, "{name}_bucket{{{le}}} {}", cumulative[i]).unwrap();
+                        }
+                        let le = join_labels(labels, "le=\"+Inf\"");
+                        writeln!(out, "{name}_bucket{{{le}}} {}", snap.count()).unwrap();
+                        writeln!(out, "{name}_sum{} {}", braced(labels), snap.sum()).unwrap();
+                        writeln!(out, "{name}_count{} {}", braced(labels), snap.count()).unwrap();
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Wraps a rendered label body in braces; empty body renders nothing.
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+/// Appends `extra` to a (possibly empty) label body.
+fn join_labels(labels: &str, extra: &str) -> String {
+    if labels.is_empty() {
+        extra.to_owned()
+    } else {
+        format!("{labels},{extra}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.inc();
+        g.dec();
+        g.dec();
+        assert_eq!(g.get(), 6);
+        g.set(0);
+        g.dec(); // saturates
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_against_known_distribution() {
+        // Bounds 1..=10; observe exactly the integers 1..=100 mapped into
+        // bounds by value/10, so each bucket holds 10 observations and
+        // the quantiles are known in closed form.
+        let bounds: Arc<[f64]> = (1..=10).map(f64::from).collect();
+        let h = Histogram::with_bounds(bounds);
+        for v in 1..=100 {
+            h.observe_seconds(f64::from(v) / 10.0);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        // Nearest-rank: rank 50 lands in bucket le=5, rank 95 in le=10,
+        // rank 99 in le=10.
+        assert_eq!(s.quantile(0.50), 5.0);
+        assert_eq!(s.quantile(0.95), 10.0);
+        assert_eq!(s.quantile(0.99), 10.0);
+        assert_eq!(s.quantile(0.10), 1.0);
+        assert_eq!(s.quantile(1.0), 10.0);
+        assert!((s.mean() - 5.05).abs() < 1e-3);
+        let (p50, p95, p99) = s.percentiles();
+        assert_eq!((p50, p95, p99), (5.0, 10.0, 10.0));
+    }
+
+    #[test]
+    fn histogram_overflow_reports_last_finite_bound() {
+        let bounds: Arc<[f64]> = vec![1.0, 2.0].into();
+        let h = Histogram::with_bounds(bounds);
+        h.observe_seconds(100.0); // lands in +Inf
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.quantile(0.5), 2.0);
+        assert_eq!(s.cumulative(), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn snapshots_merge_bucketwise() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.observe(Duration::from_micros(3));
+        b.observe(Duration::from_millis(5));
+        b.observe(Duration::from_millis(7));
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+        assert!((m.sum() - (3e-6 + 5e-3 + 7e-3)).abs() < 1e-6);
+        // Merged quantile sees all three observations.
+        assert!(m.quantile(1.0) >= 5e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let a = Histogram::new().snapshot();
+        let mut b = Histogram::with_bounds(vec![1.0].into()).snapshot();
+        b.merge(&a);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(Histogram::new().snapshot().quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn registry_is_idempotent_and_shares_handles() {
+        let r = Registry::new();
+        let c1 = r.counter("ipm_test_total", "a test counter");
+        let c2 = r.counter("ipm_test_total", "a test counter");
+        c1.inc();
+        c2.inc();
+        assert_eq!(c1.get(), 2, "both handles hit the same atomic");
+        let l1 = r.counter_with("ipm_labelled_total", "labelled", &[("backend", "disk")]);
+        let l2 = r.counter_with("ipm_labelled_total", "labelled", &[("backend", "memory")]);
+        l1.add(3);
+        assert_eq!(l2.get(), 0, "distinct label sets are distinct series");
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn registry_rejects_kind_change() {
+        let r = Registry::new();
+        r.counter("ipm_x", "x");
+        r.gauge("ipm_x", "x");
+    }
+
+    #[test]
+    fn render_has_help_type_and_samples() {
+        let r = Registry::new();
+        r.counter("ipm_served_total", "queries served").add(5);
+        r.gauge("ipm_epoch", "index epoch").set(2);
+        let h = r.histogram("ipm_latency_seconds", "query latency");
+        h.observe(Duration::from_micros(10));
+        let text = r.render();
+        assert!(text.contains("# HELP ipm_served_total queries served"));
+        assert!(text.contains("# TYPE ipm_served_total counter"));
+        assert!(text.contains("ipm_served_total 5"));
+        assert!(text.contains("# TYPE ipm_latency_seconds histogram"));
+        assert!(text.contains("ipm_latency_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("ipm_latency_seconds_count 1"));
+        crate::expo::validate_exposition(&text).expect("own renderer must validate");
+    }
+
+    #[test]
+    fn render_escapes_label_values() {
+        let r = Registry::new();
+        r.counter_with("ipm_q", "q", &[("query", "a\"b\\c\nd")])
+            .inc();
+        let text = r.render();
+        assert!(text.contains("query=\"a\\\"b\\\\c\\nd\""));
+        crate::expo::validate_exposition(&text).expect("escaped labels must validate");
+    }
+
+    #[test]
+    fn concurrent_observations_are_not_lost() {
+        let h = Histogram::new();
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        h.observe(Duration::from_micros(50));
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.snapshot().count(), 40_000);
+    }
+}

@@ -152,6 +152,21 @@ impl Client {
         self.roundtrip("{\"cmd\":\"stats\"}\n")
     }
 
+    /// Fetches the metrics exposition (protocol v4): the response's
+    /// `metrics` field is one Prometheus-text string covering the engine
+    /// and the serving layer.
+    ///
+    /// # Errors
+    /// See [`Client::roundtrip`], plus a protocol error when the
+    /// `metrics` field is missing from an ok response.
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        let v = self.roundtrip("{\"cmd\":\"metrics\"}\n")?;
+        v["metrics"]
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| std::io::Error::other("response carries no metrics field"))
+    }
+
     /// Liveness check.
     ///
     /// # Errors

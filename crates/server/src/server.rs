@@ -27,10 +27,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ipm_core::{
-    Budget, CacheKey, CacheStats, CompactionReport, LifecycleStats, Query, QueryEngine, QueryPlan,
-    SearchError, SearchOptions, SearchResponse,
+    BackendChoice, Budget, CacheKey, CacheStats, CompactionReport, LifecycleStats, Query,
+    QueryEngine, QueryPlan, SearchError, SearchOptions, SearchResponse,
 };
 use ipm_corpus::DocId;
+use ipm_obs::{Counter, Gauge, Histogram};
 use ipm_storage::IoStats;
 use serde_json::Value;
 
@@ -131,7 +132,7 @@ type BatchResult = Arc<Vec<ItemResult>>;
 /// One admitted unit of work.
 enum Job {
     /// A single search (possibly the leader of a coalesced flight).
-    Search(SearchJob),
+    Search(Box<SearchJob>),
     /// A `{"batch": [...]}` request: several searches behind one
     /// admission slot.
     Batch(BatchJob),
@@ -156,6 +157,12 @@ struct SearchJob {
     deadline: Option<Instant>,
     /// Simulated-IO fetch cap.
     io_budget: Option<u64>,
+    /// When the request arrived — the queue-wait histogram measures from
+    /// here to worker pickup.
+    arrived: Instant,
+    /// Connection-thread query-parse time, reported into the trace (the
+    /// engine's tracer starts after parsing).
+    parse: Duration,
     slot: Arc<Slot<FlightResult>>,
 }
 
@@ -168,10 +175,12 @@ struct BatchItem {
     delay: Duration,
     deadline: Option<Instant>,
     io_budget: Option<u64>,
+    parse: Duration,
 }
 
 struct BatchJob {
     items: Vec<Result<BatchItem, (ErrorKind, String)>>,
+    arrived: Instant,
     slot: Arc<Slot<BatchResult>>,
 }
 
@@ -186,11 +195,48 @@ struct Counters {
     cancelled: AtomicU64,
 }
 
+/// Server-layer metric instruments, registered on the *engine's* shared
+/// [`ipm_obs::Registry`] so one `metrics` scrape covers both layers. The
+/// queue-wait / execute split is the serving-path diagnostic the flat
+/// `stats` counters cannot give: a slow p99 with a fast execute histogram
+/// means admission backlog, not engine regression.
+struct ServerObs {
+    connections: Counter,
+    active_connections: Gauge,
+    queue_wait: Histogram,
+    execute: Histogram,
+}
+
+impl ServerObs {
+    fn new(engine: &QueryEngine) -> Self {
+        let r = engine.metrics_registry();
+        Self {
+            connections: r.counter(
+                "ipm_server_connections_total",
+                "TCP connections accepted by the serving loop.",
+            ),
+            active_connections: r.gauge(
+                "ipm_server_active_connections",
+                "Connections currently open.",
+            ),
+            queue_wait: r.histogram(
+                "ipm_server_queue_wait_seconds",
+                "Admission-to-execution wait per worker job (arrival to worker pickup).",
+            ),
+            execute: r.histogram(
+                "ipm_server_execute_seconds",
+                "Engine execution time per search, queue wait and simulated delay excluded.",
+            ),
+        }
+    }
+}
+
 struct Shared {
     engine: QueryEngine,
     queue: BoundedQueue<Job>,
     flights: SingleFlight<CacheKey, FlightResult>,
     counters: Counters,
+    obs: ServerObs,
     shutdown: AtomicBool,
     addr: SocketAddr,
     workers: usize,
@@ -218,6 +264,7 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
+        let obs = ServerObs::new(&engine);
         let shared = Arc::new(Shared {
             engine,
             queue: BoundedQueue::new(config.queue_depth),
@@ -232,6 +279,7 @@ impl Server {
                 budget_truncated: AtomicU64::new(0),
                 cancelled: AtomicU64::new(0),
             },
+            obs,
             shutdown: AtomicBool::new(false),
             addr,
             workers,
@@ -381,7 +429,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         match job {
-            Job::Search(job) => run_search_job(shared, job),
+            Job::Search(job) => run_search_job(shared, *job),
             Job::Batch(job) => run_batch_job(shared, job),
             Job::Compact(slot) => slot.publish(shared.engine.compact()),
         }
@@ -410,6 +458,7 @@ fn execute_budgeted(
     options: &SearchOptions,
     deadline: Option<Instant>,
     io_budget: Option<u64>,
+    parse: Duration,
 ) -> Result<Arc<SearchResponse>, ErrorKind> {
     let mut budget = Budget::unlimited();
     if let Some(dl) = deadline {
@@ -419,17 +468,26 @@ fn execute_budgeted(
         budget = budget.with_io_budget(cap);
     }
     let engine = &shared.engine;
+    let exec_started = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         engine.execute_with_budget(query, k, options, &budget)
     }));
+    shared.obs.execute.observe(exec_started.elapsed());
     match outcome {
-        Ok(Ok(resp)) => {
+        Ok(Ok(mut resp)) => {
             if resp.completeness.is_truncated() {
                 shared
                     .counters
                     .budget_truncated
                     .fetch_add(1, Ordering::Relaxed);
             }
+            // Parsing happened on the connection thread before the
+            // engine's tracer existed; fold it into the trace and the
+            // reported wall time (mirrors `SearchRequest::run`).
+            if let Some(trace) = resp.trace.as_mut() {
+                trace.record_parse(parse);
+            }
+            resp.elapsed += parse;
             Ok(Arc::new(resp))
         }
         Ok(Err(SearchError::DeadlineExceeded)) => {
@@ -459,15 +517,25 @@ fn run_search_job(shared: &Arc<Shared>, job: SearchJob) {
         delay,
         deadline,
         io_budget,
+        arrived,
+        parse,
         slot,
     } = job;
+    shared.obs.queue_wait.observe(arrived.elapsed());
     sleep_within_deadline(delay, deadline);
-    let value = execute_budgeted(shared, query, k, &options, deadline, io_budget);
+    let value = execute_budgeted(shared, query, k, &options, deadline, io_budget, parse);
     shared.flights.complete(&key, &slot, value);
 }
 
 fn run_batch_job(shared: &Arc<Shared>, job: BatchJob) {
-    let BatchJob { items, slot } = job;
+    let BatchJob {
+        items,
+        arrived,
+        slot,
+    } = job;
+    // One queue-wait sample per batch: the items shared one admission
+    // slot, so they shared one wait.
+    shared.obs.queue_wait.observe(arrived.elapsed());
     // The whole batch shares ONE delay allowance equal to the single-
     // request clamp: 64 items sleeping their per-item clamp back to back
     // would otherwise park this worker for minutes — exactly the pool
@@ -488,6 +556,7 @@ fn run_batch_job(shared: &Arc<Shared>, job: BatchJob) {
                     &item.options,
                     item.deadline,
                     item.io_budget,
+                    item.parse,
                 )
                 .map_err(|kind| (kind, error_message(shared, kind)))
             }
@@ -508,6 +577,8 @@ enum ConnAction {
 const MAX_LINE_BYTES: usize = 256 * 1024;
 
 fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    shared.obs.connections.inc();
+    shared.obs.active_connections.inc();
     let _ = stream.set_nodelay(true);
     // A short read timeout lets the loop observe shutdown without a
     // dedicated wakeup channel per connection.
@@ -565,6 +636,7 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
             Err(_) => break,
         }
     }
+    shared.obs.active_connections.dec();
 }
 
 fn serve_line(shared: &Arc<Shared>, line: &str) -> (String, ConnAction) {
@@ -584,6 +656,15 @@ fn serve_line(shared: &Arc<Shared>, line: &str) -> (String, ConnAction) {
             ConnAction::Continue,
         ),
         Ok(WireRequest::Stats) => (stats_line(shared), ConnAction::Continue),
+        // Prometheus text exposition, shipped as one JSON string field so
+        // the line-delimited framing stays intact (protocol v4).
+        Ok(WireRequest::Metrics) => (
+            wire::ok_line(vec![(
+                "metrics",
+                Value::String(shared.engine.render_metrics()),
+            )]),
+            ConnAction::Continue,
+        ),
         Ok(WireRequest::Shutdown) => {
             begin_shutdown(shared);
             (
@@ -751,23 +832,25 @@ fn prepare(
     shared: &Arc<Shared>,
     req: &SearchRequest,
     arrived: Instant,
-) -> Result<(Query, SearchOptions, Duration, Option<Instant>), String> {
+) -> Result<(Query, SearchOptions, Duration, Option<Instant>, Duration), String> {
+    let parse_started = Instant::now();
     let query = shared
         .engine
         .miner()
         .parse_query_str(&req.query)
         .map_err(|e| e.to_string())?;
+    let parse = parse_started.elapsed();
     let options = req.options();
     let delay = clamped_delay(req.delay_ms);
     let deadline = req
         .deadline_ms
         .map(|ms| arrived + Duration::from_millis(ms));
-    Ok((query, options, delay, deadline))
+    Ok((query, options, delay, deadline, parse))
 }
 
 fn serve_search(shared: &Arc<Shared>, req: SearchRequest) -> String {
     let arrived = Instant::now();
-    let (query, options, delay, deadline) = match prepare(shared, &req, arrived) {
+    let (query, options, delay, deadline, parse) = match prepare(shared, &req, arrived) {
         Ok(prepared) => prepared,
         Err(msg) => {
             shared
@@ -780,7 +863,7 @@ fn serve_search(shared: &Arc<Shared>, req: SearchRequest) -> String {
     let plan = QueryPlan::resolve(&options, shared.engine.default_shards());
     let key = CacheKey::new(&query, req.k, &options, plan.shards, shared.engine.epoch());
     let make_job = |slot: &Arc<Slot<FlightResult>>| {
-        Job::Search(SearchJob {
+        Job::Search(Box::new(SearchJob {
             key: key.clone(),
             query: query.clone(),
             k: req.k,
@@ -788,8 +871,10 @@ fn serve_search(shared: &Arc<Shared>, req: SearchRequest) -> String {
             delay,
             deadline,
             io_budget: req.io_budget,
+            arrived,
+            parse,
             slot: slot.clone(),
-        })
+        }))
     };
     let submit = |slot: &Arc<Slot<FlightResult>>| match shared.queue.try_push(make_job(slot)) {
         // The submitter waits like any follower; the worker publishes
@@ -811,12 +896,16 @@ fn serve_search(shared: &Arc<Shared>, req: SearchRequest) -> String {
         }
     };
 
-    let (result, coalesced) = if req.is_budgeted() {
+    let (result, coalesced) = if req.is_budgeted() || req.trace {
         // Budgeted requests never coalesce: a deadline- or IO-truncated
         // result reflects *this* request's budget, and serving it to (or
         // taking it from) another flight would hand callers the wrong
-        // completeness. The solo slot is still completed through the
-        // flight map API — it is simply never registered there.
+        // completeness. Traced requests ride solo for the same reason —
+        // the trace describes one concrete execution, and the flag is
+        // excluded from the cache key, so a follower could otherwise
+        // receive (or withhold) another request's trace. The solo slot is
+        // still completed through the flight map API — it is simply never
+        // registered there.
         (submit(&Slot::solo()), false)
     } else {
         match shared.flights.join(&key) {
@@ -859,13 +948,14 @@ fn serve_batch(shared: &Arc<Shared>, reqs: Vec<SearchRequest>) -> String {
     let items: Vec<Result<BatchItem, (ErrorKind, String)>> = reqs
         .iter()
         .map(|req| match prepare(shared, req, arrived) {
-            Ok((query, options, delay, deadline)) => Ok(BatchItem {
+            Ok((query, options, delay, deadline, parse)) => Ok(BatchItem {
                 query,
                 k: req.k,
                 options,
                 delay,
                 deadline,
                 io_budget: req.io_budget,
+                parse,
             }),
             Err(msg) => {
                 shared
@@ -879,6 +969,7 @@ fn serve_batch(shared: &Arc<Shared>, reqs: Vec<SearchRequest>) -> String {
     let slot = Slot::solo();
     let job = Job::Batch(BatchJob {
         items,
+        arrived,
         slot: slot.clone(),
     });
     let results: BatchResult = match shared.queue.try_push(job) {
@@ -926,10 +1017,29 @@ fn stats_line(shared: &Arc<Shared>) -> String {
     cache.insert("misses".to_owned(), Value::from(s.cache.misses));
     cache.insert("hit_rate".to_owned(), Value::from(s.cache.hit_rate()));
     // Per-backend aggregate IO. The memory backend performs no simulated
-    // IO by construction; its all-zero entry keeps the schema uniform.
+    // IO by construction, so it gets no entry here — its real work shows
+    // up in `access` below, where the old schema used to hard-code an
+    // all-zero IoStats.
     let mut io = std::collections::BTreeMap::new();
-    io.insert("memory".to_owned(), wire::io_value(&IoStats::default()));
     io.insert("disk".to_owned(), wire::io_value(&s.disk_io));
+    // Per-backend list-access totals from the engine's metrics registry:
+    // sorted accesses, random probes, block entries skipped by block-max
+    // pruning, and algorithm rounds — aggregated over every uncached
+    // execution.
+    let mut access = std::collections::BTreeMap::new();
+    for (name, choice) in [
+        ("memory", BackendChoice::Memory),
+        ("disk", BackendChoice::Disk),
+        ("block", BackendChoice::Block),
+    ] {
+        let t = shared.engine.access_totals(choice);
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("sorted_accesses".to_owned(), Value::from(t.sorted_accesses));
+        m.insert("random_probes".to_owned(), Value::from(t.random_probes));
+        m.insert("entries_skipped".to_owned(), Value::from(t.entries_skipped));
+        m.insert("rounds".to_owned(), Value::from(t.rounds));
+        access.insert(name.to_owned(), Value::Object(m));
+    }
     let mut stats = std::collections::BTreeMap::new();
     stats.insert("served".to_owned(), Value::from(s.served));
     stats.insert("coalesced".to_owned(), Value::from(s.coalesced));
@@ -967,6 +1077,7 @@ fn stats_line(shared: &Arc<Shared>) -> String {
     stats.insert("shards".to_owned(), Value::Object(shards));
     stats.insert("cache".to_owned(), Value::Object(cache));
     stats.insert("io".to_owned(), Value::Object(io));
+    stats.insert("access".to_owned(), Value::Object(access));
     stats.insert("queue_depth".to_owned(), Value::from(s.queue_depth));
     stats.insert("workers".to_owned(), Value::from(s.workers));
     stats.insert(

@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 
 use ipm_core::{
-    Algorithm, ApproxReason, BackendChoice, BudgetKind, Completeness, RedundancyConfig,
+    Algorithm, ApproxReason, BackendChoice, BudgetKind, Completeness, QueryTrace, RedundancyConfig,
     SearchOptions, SearchResponse,
 };
 use ipm_corpus::Corpus;
@@ -108,6 +108,9 @@ pub enum WireRequest {
     Compact,
     /// Report server counters.
     Stats,
+    /// Render the full metrics registry in Prometheus text exposition
+    /// format (protocol v4).
+    Metrics,
     /// Liveness check.
     Ping,
     /// Begin graceful shutdown (in-flight and queued work completes).
@@ -147,6 +150,10 @@ pub struct SearchRequest {
     /// Cap on simulated disk page fetches for this request (the §5.5
     /// unit of IO cost; meaningful on the disk backend).
     pub io_budget: Option<u64>,
+    /// Return a structured per-stage trace with the result (protocol v4).
+    /// Traced requests bypass single-flight coalescing — a shared flight
+    /// would hand one request's trace to every coalesced peer.
+    pub trace: bool,
 }
 
 impl SearchRequest {
@@ -164,6 +171,7 @@ impl SearchRequest {
             delay_ms: 0,
             deadline_ms: None,
             io_budget: None,
+            trace: false,
         }
     }
 
@@ -185,6 +193,7 @@ impl SearchRequest {
                 .map(|max_overlap| RedundancyConfig { max_overlap }),
             use_delta: self.use_delta,
             shards: self.shards,
+            trace: self.trace,
         }
     }
 
@@ -221,6 +230,9 @@ impl SearchRequest {
         }
         if let Some(cap) = self.io_budget {
             map.insert("io_budget".to_owned(), Value::from(cap));
+        }
+        if self.trace {
+            map.insert("trace".to_owned(), Value::from(true));
         }
         Value::Object(map)
     }
@@ -360,10 +372,11 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
             },
             "compact" => Ok(WireRequest::Compact),
             "stats" => Ok(WireRequest::Stats),
+            "metrics" => Ok(WireRequest::Metrics),
             "ping" => Ok(WireRequest::Ping),
             "shutdown" => Ok(WireRequest::Shutdown),
             other => Err(format!(
-                "unknown cmd: {other} (query|ingest|delete|compact|stats|ping|shutdown)"
+                "unknown cmd: {other} (query|ingest|delete|compact|stats|metrics|ping|shutdown)"
             )),
         };
     }
@@ -497,6 +510,7 @@ fn build_search(v: &Value) -> Result<SearchRequest, String> {
     req.delay_ms = field_u64(v, "delay_ms", 0)?;
     req.deadline_ms = field_opt_u64(v, "deadline_ms")?;
     req.io_budget = field_opt_u64(v, "io_budget")?;
+    req.trace = field_bool(v, "trace", false)?;
     Ok(req)
 }
 
@@ -579,6 +593,77 @@ pub fn io_value(io: &IoStats) -> Value {
     Value::Object(m)
 }
 
+/// Encodes a [`QueryTrace`] — the `"trace"` response field of a
+/// `trace: true` request (protocol v4).
+pub fn trace_value(t: &QueryTrace) -> Value {
+    let mut m = BTreeMap::new();
+    m.insert("query".to_owned(), Value::from(t.query.clone()));
+    m.insert("algorithm".to_owned(), Value::from(t.algorithm));
+    m.insert("backend".to_owned(), Value::from(t.backend));
+    m.insert("k".to_owned(), Value::from(t.k as u64));
+    m.insert("shards".to_owned(), Value::from(t.shards as u64));
+    m.insert("epoch".to_owned(), Value::from(t.epoch));
+    m.insert(
+        "served_from_cache".to_owned(),
+        Value::from(t.served_from_cache),
+    );
+    m.insert(
+        "completeness".to_owned(),
+        Value::from(t.completeness.clone()),
+    );
+    m.insert(
+        "budget_trip".to_owned(),
+        t.budget_trip.map(Value::from).unwrap_or(Value::Null),
+    );
+    m.insert(
+        "total_us".to_owned(),
+        Value::from(t.total.as_micros() as u64),
+    );
+    m.insert(
+        "stages".to_owned(),
+        Value::Array(
+            t.stages
+                .iter()
+                .map(|s| {
+                    let mut sm = BTreeMap::new();
+                    sm.insert("stage".to_owned(), Value::from(s.kind.name()));
+                    sm.insert(
+                        "shard".to_owned(),
+                        s.shard
+                            .map(|i| Value::from(i as u64))
+                            .unwrap_or(Value::Null),
+                    );
+                    sm.insert("started_us".to_owned(), Value::from(s.started_us));
+                    sm.insert(
+                        "duration_us".to_owned(),
+                        Value::from(s.duration.as_micros() as u64),
+                    );
+                    Value::Object(sm)
+                })
+                .collect(),
+        ),
+    );
+    m.insert(
+        "shard_stats".to_owned(),
+        Value::Array(
+            t.shard_totals()
+                .iter()
+                .map(|s| {
+                    let mut sm = BTreeMap::new();
+                    sm.insert("shard".to_owned(), Value::from(s.shard as u64));
+                    sm.insert("sorted_accesses".to_owned(), Value::from(s.sorted_accesses));
+                    sm.insert("random_probes".to_owned(), Value::from(s.random_probes));
+                    sm.insert("entries_skipped".to_owned(), Value::from(s.entries_skipped));
+                    sm.insert("rounds".to_owned(), Value::from(s.rounds));
+                    sm.insert("io_fetches".to_owned(), Value::from(s.io_fetches));
+                    Value::Object(sm)
+                })
+                .collect(),
+        ),
+    );
+    Value::Object(m)
+}
+
 /// Encodes a full [`SearchResponse`] in the shared wire shape (used by
 /// the server's `result` field and by `ipm query --json`).
 pub fn response_value(resp: &SearchResponse, corpus: &Corpus) -> Value {
@@ -603,6 +688,9 @@ pub fn response_value(resp: &SearchResponse, corpus: &Corpus) -> Value {
         "io".to_owned(),
         resp.io.as_ref().map(io_value).unwrap_or(Value::Null),
     );
+    if let Some(t) = &resp.trace {
+        m.insert("trace".to_owned(), trace_value(t));
+    }
     Value::Object(m)
 }
 
@@ -649,6 +737,7 @@ mod tests {
         req.delay_ms = 3;
         req.deadline_ms = Some(250);
         req.io_budget = Some(1_000);
+        req.trace = true;
         assert!(req.is_budgeted());
         let line = req.to_line();
         assert!(line.ends_with('\n'));
@@ -740,6 +829,7 @@ mod tests {
                 assert_eq!(s.delay_ms, 0);
                 assert_eq!(s.deadline_ms, None);
                 assert_eq!(s.io_budget, None);
+                assert!(!s.trace);
                 assert!(!s.is_budgeted());
             }
             other => panic!("wrong variant: {other:?}"),
@@ -763,6 +853,10 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"cmd":"stats"}"#).unwrap(),
             WireRequest::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"metrics"}"#).unwrap(),
+            WireRequest::Metrics
         );
         assert_eq!(
             parse_request(r#"{"cmd":"ping"}"#).unwrap(),

@@ -43,10 +43,10 @@ const USAGE: &str = "usage:
              [--deadline-ms N] [--io-budget N] [--json true]
   ipm serve  [--input <file>] [--host H] [--port N] [--workers N]
              [--queue-depth N] [--cache true|false] [--shards N]
-             [--min-df N] [--max-len N]
+             [--min-df N] [--max-len N] [--slow-query-ms N]
   ipm client --addr <host:port> <query string> [--k N] [--method M] [--backend B]
              [--shards N] [--delay-ms N] [--deadline-ms N] [--io-budget N]
-             [--use-delta true] [--json true]
+             [--use-delta true] [--trace true] [--json true]
   ipm client --addr <host:port> --stats true | --shutdown true
   ipm client --addr <host:port> --load-threads N [--load-requests N]
              [--delay-ms N] <query string>
@@ -54,7 +54,7 @@ const USAGE: &str = "usage:
   ipm delete  --addr <host:port> --doc N
   ipm compact --addr <host:port>
   ipm repl   [--input <file>] [--k N] [--filter-redundant true]
-  ipm stats  --input <file>
+  ipm stats  --input <file> | --addr <host:port> --metrics true
   ipm demo   <query string> [--k N]
 
 query strings: terms joined by AND or OR (one operator per query);
@@ -70,7 +70,10 @@ without --input. serve speaks the line-delimited JSON protocol
 documented in docs/protocol.md. ingest/delete/compact drive the index
 lifecycle over the wire (protocol v3): ingested documents correct
 queries sent with --use-delta true immediately, and compact flushes them
-into a full offline rebuild behind an atomic swap.";
+into a full offline rebuild behind an atomic swap. --trace true returns a
+per-stage execution trace with the response; stats --metrics true scrapes
+a serving process's Prometheus-text metrics (protocol v4); serve
+--slow-query-ms N keeps a ring of traces for queries slower than N ms.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -484,6 +487,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let queue_depth: usize = flags.get_parsed("queue-depth", 64)?;
     let cache: bool = flags.get_parsed("cache", true)?;
     let shards: usize = flags.get_parsed("shards", 1)?;
+    let slow_query_ms: u64 = flags.get_parsed("slow-query-ms", 0)?;
 
     let miner = miner_from_flags(&flags)?;
     let engine = QueryEngine::with_config(
@@ -491,6 +495,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         ipm_core::EngineConfig {
             cache: cache.then(Default::default),
             shards: shards.max(1),
+            slow_query: (slow_query_ms > 0).then(|| SlowQueryConfig {
+                threshold: std::time::Duration::from_millis(slow_query_ms),
+                ..Default::default()
+            }),
             ..Default::default()
         },
     );
@@ -562,6 +570,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     request.shards = (shards > 0).then_some(shards);
     request.delay_ms = flags.get_parsed("delay-ms", 0)?;
     request.use_delta = flags.get_parsed("use-delta", false)?;
+    request.trace = flags.get_parsed("trace", false)?;
     let budget = budget_flags(&flags)?;
     request.deadline_ms = budget.deadline_ms;
     request.io_budget = budget.io_budget;
@@ -615,6 +624,20 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             response["result"]["served_from_cache"] == true,
             response["server"]["coalesced"] == true,
         );
+        if let Some(stages) = response["result"]["trace"]["stages"].as_array() {
+            for s in stages {
+                println!(
+                    "  trace: {:<12} +{:>7} µs  {:>7} µs{}",
+                    s["stage"].as_str().unwrap_or("?"),
+                    s["started_us"].as_u64().unwrap_or(0),
+                    s["duration_us"].as_u64().unwrap_or(0),
+                    s["shard"]
+                        .as_u64()
+                        .map(|i| format!("  shard {i}"))
+                        .unwrap_or_default(),
+                );
+            }
+        }
         Ok(())
     } else {
         Err(format!(
@@ -768,6 +791,20 @@ fn cmd_repl(args: &[String]) -> Result<(), String> {
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
+    if flags.get_parsed("metrics", false)? {
+        let addr = flags
+            .get("addr")
+            .ok_or("stats --metrics true needs --addr <host:port>")?;
+        let text = Client::connect_with_retries(addr, 25, std::time::Duration::from_millis(200))
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?
+            .metrics()
+            .map_err(|e| e.to_string())?;
+        // Guard the scrape before printing: a malformed exposition should
+        // fail loudly here, not downstream in a collector.
+        validate_exposition(&text).map_err(|e| format!("invalid metrics exposition: {e}"))?;
+        print!("{text}");
+        return Ok(());
+    }
     let input = flags.get("input").ok_or("stats needs --input")?;
     let corpus = load_corpus(input)?;
     let stats = ipm_corpus::stats::CorpusStats::compute(&corpus);

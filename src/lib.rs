@@ -137,8 +137,8 @@ pub mod prelude {
     pub use ipm_core::cache::{CacheConfig, CacheStats};
     pub use ipm_core::delta::{DeltaIndex, DeltaOverlay};
     pub use ipm_core::engine::{
-        Algorithm, BackendChoice, CompactionReport, EngineConfig, LifecycleStats, QueryEngine,
-        SearchHit, SearchOptions, SearchResponse,
+        AccessTotals, Algorithm, BackendChoice, CompactionReport, EngineConfig, LifecycleStats,
+        QueryEngine, SearchHit, SearchOptions, SearchResponse,
     };
     pub use ipm_core::measures::Measure;
     pub use ipm_core::miner::{MinerConfig, PhraseMiner};
@@ -151,6 +151,10 @@ pub mod prelude {
         Corpus, CorpusBuilder, DocId, Feature, PhraseId, TokenizerConfig, WordId,
     };
     pub use ipm_index::phrase::PhraseDictionary;
+    pub use ipm_obs::{
+        sample_sum, validate_exposition, HistogramSnapshot, QueryTrace, Registry, SlowQueryConfig,
+        SlowQueryLog, StageKind,
+    };
     pub use ipm_server::{
         run_load, Client, SearchRequest as WireSearchRequest, Server, ServerConfig, ServerHandle,
         ServerStats,

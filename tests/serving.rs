@@ -278,7 +278,16 @@ fn control_verbs_and_graceful_shutdown() {
         s["io"]["disk"]["sequential_fetches"].as_u64().unwrap() > 0,
         "disk-backed query must show up in the per-backend IO aggregate"
     );
-    assert_eq!(s["io"]["memory"]["random_fetches"].as_u64(), Some(0));
+    // The memory backend performs no simulated IO, so it has no `io`
+    // entry; its real work is reported under `access` (the disk queries
+    // above touched the disk backend's sorted-access counters too).
+    assert!(s["io"]["memory"].is_null());
+    assert!(
+        s["access"]["disk"]["sorted_accesses"].as_u64().unwrap() > 0,
+        "uncached disk execution must aggregate into the access counters"
+    );
+    assert!(s["access"]["memory"]["entries_skipped"].as_u64().is_some());
+    assert!(s["access"]["block"]["rounds"].as_u64().is_some());
     let snap = handle.stats();
     assert_eq!(snap.served, 2);
     assert_eq!(snap.protocol_errors, 2);
@@ -734,4 +743,111 @@ fn wire_lifecycle_ingest_compact_stats() {
     assert_eq!(s["compactions"].as_u64(), Some(1));
     assert_eq!(s["delta_docs"].as_u64(), Some(0));
     assert!(s["epoch"].as_u64().unwrap() > 0);
+}
+
+/// Protocol v4 `metrics` verb: the exposition parses under the
+/// Prometheus-text grammar, the latency histogram's `_count` equals the
+/// engine's `queries_served`, and the serving layer's own instruments
+/// (connections, queue wait) appear in the same scrape.
+#[test]
+fn metrics_verb_exposes_valid_prometheus_text() {
+    let handle = spawn(build_engine(true), 2, 16);
+    let addr = handle.addr().to_string();
+    let terms = top_terms(handle.engine(), 2);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let mut req = WireSearchRequest::new(format!("{} AND {}", terms[0], terms[1]));
+    req.backend = BackendChoice::Disk;
+    assert_eq!(client.search(&req).unwrap()["ok"].as_bool(), Some(true));
+    // Same request again: a cache hit must also count into the histogram.
+    assert_eq!(client.search(&req).unwrap()["ok"].as_bool(), Some(true));
+
+    let text = client.metrics().expect("metrics verb");
+    validate_exposition(&text).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+
+    let queries_served = client.stats().unwrap()["stats"]["queries_served"]
+        .as_u64()
+        .unwrap();
+    assert_eq!(
+        sample_sum(&text, "ipm_query_latency_seconds_count"),
+        Some(queries_served as f64),
+        "every served query (cached or not) must be one histogram sample"
+    );
+    assert_eq!(sample_sum(&text, "ipm_cache_hits_total"), Some(1.0));
+    assert!(sample_sum(&text, "ipm_server_connections_total").unwrap() >= 1.0);
+    assert_eq!(
+        sample_sum(&text, "ipm_server_queue_wait_seconds_count"),
+        Some(2.0),
+        "both searches went through the worker queue"
+    );
+    assert!(
+        sample_sum(&text, "ipm_list_sorted_accesses_total").unwrap() > 0.0,
+        "the uncached disk execution must feed the per-backend counters"
+    );
+}
+
+/// `trace: true` on the wire returns the per-stage trace inline, and the
+/// flag stays out of cache identity: an untraced request for the same
+/// key is still a cache hit, and its response carries no trace.
+#[test]
+fn trace_flag_returns_inline_stage_trace() {
+    let handle = spawn(build_engine(true), 2, 16);
+    let addr = handle.addr().to_string();
+    let terms = top_terms(handle.engine(), 2);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let mut req = WireSearchRequest::new(format!("{} OR {}", terms[0], terms[1]));
+    req.backend = BackendChoice::Disk;
+    req.trace = true;
+    let resp = client.search(&req).expect("roundtrip");
+    assert_eq!(resp["ok"].as_bool(), Some(true), "{resp:?}");
+    let trace = &resp["result"]["trace"];
+    assert_eq!(trace["algorithm"], "nra");
+    assert_eq!(trace["backend"], "disk");
+    assert_eq!(trace["served_from_cache"], false);
+    assert!(trace["total_us"].as_u64().is_some());
+    let stages: Vec<&str> = trace["stages"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|s| s["stage"].as_str().unwrap())
+        .collect();
+    for want in ["parse", "plan", "cache_probe", "execute"] {
+        assert!(stages.contains(&want), "missing stage {want}: {stages:?}");
+    }
+    // One shard -> one shard_exec span and one shard_stats row whose IO
+    // matches the response's own accounting.
+    assert!(stages.contains(&"shard_exec"));
+    let shard_stats = trace["shard_stats"].as_array().unwrap();
+    assert_eq!(shard_stats.len(), 1);
+    let io_total = resp["result"]["io"]["sequential_fetches"].as_u64().unwrap()
+        + resp["result"]["io"]["random_fetches"].as_u64().unwrap();
+    assert_eq!(
+        shard_stats[0]["io_fetches"].as_u64().unwrap(),
+        io_total,
+        "per-shard trace IO must reconcile with the response IoStats"
+    );
+
+    // The traced execution populated the cache for the untraced twin.
+    req.trace = false;
+    let cached = client.search(&req).expect("roundtrip");
+    assert_eq!(cached["result"]["served_from_cache"], true);
+    assert!(
+        cached["result"]["trace"].is_null(),
+        "untraced requests must not carry a trace"
+    );
+
+    // A traced cache hit gets a trace without an execute stage re-run.
+    req.trace = true;
+    let warm = client.search(&req).expect("roundtrip");
+    assert_eq!(warm["result"]["served_from_cache"], true);
+    assert_eq!(warm["result"]["trace"]["served_from_cache"], true);
+    let warm_stages: Vec<&str> = warm["result"]["trace"]["stages"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|s| s["stage"].as_str().unwrap())
+        .collect();
+    assert!(warm_stages.contains(&"cache_probe"));
+    assert!(!warm_stages.contains(&"shard_exec"));
 }
