@@ -1,0 +1,229 @@
+//! Latency benchmark of the scatter-gather router (`ipm_server::Router`)
+//! over real loopback shard servers, written as `BENCH_router.json` at the
+//! repo root (schema in `ipm_bench::routerbench`, validated before the
+//! write).
+//!
+//! Two scenarios, each swept over hedging on/off:
+//!
+//! * `uniform` — fanout 1/2/4, two healthy replicas per shard. Baselines
+//!   the scatter overhead; with nothing slow the adaptive hedge delay sits
+//!   above the healthy tail, so hedging-on rows should fire few hedges.
+//! * `delayed` — fanout 2 where shard 0's *primary* replica injects a
+//!   25 ms service delay (`ServerConfig::fault_delay_ms`) and its second
+//!   replica is fast. Without hedging every request eats the delay; with
+//!   hedging the router escapes to the fast replica after a few
+//!   milliseconds. The validator enforces that the hedging-on p99 is no
+//!   worse than hedging-off here — the PR's headline claim.
+//!
+//! A closed loop with one client keeps the measurement a pure latency
+//! story. Per-row hedge counters are computed as `RouterStats` deltas:
+//! the router registers its counters on the engine's shared metrics
+//! registry, so routers spawned on the same engine accumulate into the
+//! same instruments. `IPM_ROUTERBENCH_REQUESTS` overrides the per-row
+//! request count.
+
+use ipm_bench::routerbench::{self, RouterRow, SCENARIO_DELAYED, SCENARIO_UNIFORM};
+use ipm_core::{EngineConfig, MinerConfig, PhraseMiner, QueryEngine};
+use ipm_obs::Histogram;
+use ipm_server::{
+    Client, HedgeConfig, Router, RouterConfig, SearchRequest, Server, ServerConfig, ServerHandle,
+};
+use std::time::{Duration, Instant};
+
+const ARTIFACT_K: usize = 5;
+const DELAYED_SHARD_MS: u64 = 25;
+/// Hedge delay for the delayed scenario: well under the injected fault,
+/// well over a healthy loopback roundtrip.
+const DELAYED_HEDGE_MS: u64 = 3;
+
+fn requests_per_row() -> usize {
+    std::env::var("IPM_ROUTERBENCH_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(40)
+}
+
+/// One engine clone serves every tier: shard servers, router, and the
+/// parity reference all see the same corpus build, so phrase-range
+/// partitions line up by construction. The result cache is disabled so
+/// each request exercises the full scatter path.
+fn engine_and_queries() -> (QueryEngine, Vec<String>) {
+    let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+    let miner = PhraseMiner::build(&corpus, MinerConfig::default());
+    let top = ipm_corpus::stats::top_words_by_df(miner.corpus(), 6);
+    let terms: Vec<String> = top
+        .iter()
+        .map(|&(w, _)| corpus.words().term(w).unwrap().to_owned())
+        .collect();
+    let queries = (0..terms.len() - 1)
+        .flat_map(|i| {
+            [
+                format!("{} AND {}", terms[i], terms[i + 1]),
+                format!("{} OR {}", terms[i], terms[i + 1]),
+            ]
+        })
+        .collect();
+    let engine = QueryEngine::with_config(
+        miner,
+        EngineConfig {
+            cache: None,
+            ..Default::default()
+        },
+    );
+    (engine, queries)
+}
+
+fn spawn_shard(engine: &QueryEngine, fault_delay_ms: u64) -> ServerHandle {
+    Server::spawn(
+        engine.clone(),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_depth: 64,
+            fault_delay_ms,
+        },
+    )
+    .expect("bind shard server")
+}
+
+/// Spawns a fresh router over `shards`, drives the closed loop, and
+/// returns the row built from the latency histogram plus the router's
+/// counter deltas.
+fn measure_row(
+    engine: &QueryEngine,
+    scenario: &str,
+    hedging: bool,
+    hedge_initial: Duration,
+    drain: Duration,
+    shards: Vec<Vec<String>>,
+    queries: &[String],
+) -> RouterRow {
+    let fanout = shards.len();
+    let mut router = Router::spawn(
+        engine.clone(),
+        RouterConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            shards,
+            hedge: HedgeConfig {
+                enabled: hedging,
+                initial_delay: hedge_initial,
+                ..Default::default()
+            },
+            rpc_timeout: Duration::from_secs(5),
+        },
+    )
+    .expect("spawn router");
+    let before = router.stats();
+    let histogram = Histogram::new();
+    let mut client = Client::connect(&router.addr().to_string()).expect("connect router");
+    for r in 0..requests_per_row() {
+        let q = &queries[r % queries.len()];
+        let mut req = SearchRequest::new(q.clone());
+        req.k = ARTIFACT_K;
+        let started = Instant::now();
+        let resp = client.search(&req).expect("routed roundtrip");
+        histogram.observe(started.elapsed());
+        assert_eq!(resp["ok"].as_bool(), Some(true), "routed request failed");
+    }
+    // Losing hedge attempts outlive their request: each leaves a job
+    // queued on the slow replica and increments `wasted_rpcs` only once
+    // that job completes. Counters are shared across routers on one
+    // engine, so without a drain those stragglers land in the *next*
+    // row's delta and their backlog inflates its first latencies.
+    std::thread::sleep(drain);
+    let after = router.stats();
+    router.shutdown();
+    RouterRow::from_snapshot(
+        scenario,
+        fanout,
+        hedging,
+        &histogram.snapshot(),
+        after.hedges_fired - before.hedges_fired,
+        after.hedges_won - before.hedges_won,
+        after.wasted_rpcs - before.wasted_rpcs,
+    )
+}
+
+fn print_row(row: &RouterRow) {
+    println!(
+        "{:<8} fanout {}  hedging {:<5} p50 {:>9.1} us  p95 {:>9.1} us  p99 {:>9.1} us  \
+         hedges {}/{} won  wasted {}",
+        row.scenario,
+        row.fanout,
+        row.hedging,
+        row.p50_us,
+        row.p95_us,
+        row.p99_us,
+        row.hedges_won,
+        row.hedges_fired,
+        row.wasted_rpcs,
+    );
+}
+
+fn main() {
+    let (engine, queries) = engine_and_queries();
+    let mut rows = Vec::new();
+
+    // Uniform tier: two healthy replicas per shard, enough servers for the
+    // widest fanout. Shard servers are fanout-agnostic (the request names
+    // its fanout and shard index), so fanout 1 and 2 reuse the same pool.
+    let pool: Vec<ServerHandle> = (0..8).map(|_| spawn_shard(&engine, 0)).collect();
+    let addrs: Vec<String> = pool.iter().map(|h| h.addr().to_string()).collect();
+    for fanout in [1usize, 2, 4] {
+        let shards: Vec<Vec<String>> = (0..fanout)
+            .map(|s| vec![addrs[2 * s].clone(), addrs[2 * s + 1].clone()])
+            .collect();
+        for hedging in [true, false] {
+            let row = measure_row(
+                &engine,
+                SCENARIO_UNIFORM,
+                hedging,
+                HedgeConfig::default().initial_delay,
+                Duration::from_millis(50),
+                shards.clone(),
+                &queries,
+            );
+            print_row(&row);
+            rows.push(row);
+        }
+    }
+
+    // Delayed tier: shard 0's primary replica is slow, its backup and all
+    // of shard 1 are fast. Only the hedge (or eating the delay) answers.
+    let slow = spawn_shard(&engine, DELAYED_SHARD_MS);
+    for hedging in [true, false] {
+        let shards = vec![
+            vec![slow.addr().to_string(), addrs[0].clone()],
+            vec![addrs[2].clone(), addrs[3].clone()],
+        ];
+        // Drain must cover the losing-attempt backlog on the slow
+        // replica: every hedged request strands a `DELAYED_SHARD_MS` job
+        // there, serviced two at a time.
+        let drain = Duration::from_millis(DELAYED_SHARD_MS * requests_per_row() as u64 / 2 + 100);
+        let row = measure_row(
+            &engine,
+            SCENARIO_DELAYED,
+            hedging,
+            Duration::from_millis(DELAYED_HEDGE_MS),
+            drain,
+            shards,
+            &queries,
+        );
+        print_row(&row);
+        rows.push(row);
+    }
+
+    let doc = routerbench::report("synth-tiny", ARTIFACT_K, DELAYED_SHARD_MS, &rows);
+    routerbench::validate(&doc).expect("generated artifact must match its own schema");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_router.json");
+    let json = serde_json::to_string_pretty(&doc).expect("serialize artifact");
+    std::fs::write(&path, json + "\n").expect("write BENCH_router.json");
+    println!("wrote {}", path.display());
+
+    for mut shard in pool {
+        shard.shutdown();
+    }
+    let mut slow = slow;
+    slow.shutdown();
+}

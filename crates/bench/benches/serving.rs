@@ -47,6 +47,7 @@ fn server_and_queries() -> (ipm_server::ServerHandle, Vec<String>) {
             addr: "127.0.0.1:0".to_owned(),
             workers: ARTIFACT_WORKERS,
             queue_depth: ARTIFACT_QUEUE_DEPTH,
+            fault_delay_ms: 0,
         },
     )
     .expect("bind loopback");

@@ -8,6 +8,7 @@ use ipm_eval::experiments::Report;
 use std::path::PathBuf;
 
 pub mod blockbench;
+pub mod routerbench;
 pub mod servingbench;
 
 /// Prints a report and, when `IPM_RESULTS` is set, writes

@@ -434,6 +434,14 @@ pub enum ApproxReason {
     /// §4.5.1 delta corrections were applied: the stale list order no
     /// longer guarantees NRA's pruning bounds.
     DeltaCorrections,
+    /// Distributed scatter-gather answered without some shards (every
+    /// replica failed or missed the deadline): the hits are exact over
+    /// the surviving phrase-id partitions, but phrases owned by the
+    /// missing shards are absent.
+    ShardsMissing {
+        /// How many shards produced no result.
+        missing: u32,
+    },
 }
 
 impl ApproxReason {
@@ -443,6 +451,7 @@ impl ApproxReason {
             ApproxReason::PartialLists => "partial_lists",
             ApproxReason::TruncatedImage => "truncated_image",
             ApproxReason::DeltaCorrections => "delta_corrections",
+            ApproxReason::ShardsMissing { .. } => "shards_missing",
         }
     }
 }

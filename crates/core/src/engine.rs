@@ -41,12 +41,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
+use crate::budget::ApproxReason;
 use crate::budget::{Budget, Completeness, SearchError, Trip};
 use crate::cache::{CacheConfig, CacheStats, ShardedLruCache};
 use crate::delta::DeltaIndex;
 use crate::miner::PhraseMiner;
 use crate::parse::ParseError;
-use crate::plan::{ExecContext, ExecStats, QueryPlan};
+use crate::plan::{
+    run_one_shard, run_query_on, ExecContext, ExecStats, NraTuning, QueryPlan, ShardExecutor,
+    ShardOutcome,
+};
 use crate::query::{Operator, Query};
 use crate::redundancy::RedundancyConfig;
 use crate::request::SearchRequest;
@@ -243,6 +247,24 @@ pub struct SearchResponse {
     /// The structured trace, when [`SearchOptions::trace`] asked for one
     /// (boxed: untraced responses pay one machine word).
     pub trace: Option<Box<QueryTrace>>,
+}
+
+/// One `shard_exec` call's execution parameters — what the wire-v5 verb
+/// carries beyond the query itself. The coordinator (the in-process
+/// fan-out or a remote router) owns fetch depth, seeded floor and batch
+/// scaling; the shard just executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardExecParams {
+    /// Fetch depth (the coordinator's over-fetch for this round).
+    pub fetch: usize,
+    /// Total shard fanout the coordinator is scattering over.
+    pub fanout: usize,
+    /// This shard's index in `[0, fanout)`.
+    pub shard: usize,
+    /// Seeded NRA defence line (`-∞` when inactive).
+    pub floor: f64,
+    /// Fanout-scaled NRA prune batch (`None` keeps the configured batch).
+    pub batch_size: Option<usize>,
 }
 
 /// A cloneable, thread-safe handle to an immutable phrase-mining index.
@@ -1503,6 +1525,301 @@ impl QueryEngine {
                 (resolved, Some(io), stats)
             }
         }
+    }
+
+    /// The half-open phrase-id range shard `shard` owns in a fanout-
+    /// `fanout` layout of this engine's current index generation (`None`
+    /// when `shard >= fanout`). Fanout 1 owns the full id space. Both
+    /// ends of a distributed deployment derive these ranges
+    /// deterministically from the corpus build, so a router can validate
+    /// its configured shard set against each shard server's answer.
+    pub fn shard_phrase_range(&self, fanout: usize, shard: usize) -> Option<(u32, u32)> {
+        let fanout = fanout.clamp(1, crate::plan::MAX_SHARDS);
+        if shard >= fanout {
+            return None;
+        }
+        if fanout == 1 {
+            return Some((0, u32::MAX));
+        }
+        let live = self.live();
+        let idx = self.sharded_index(&live.index, fanout);
+        let (lo, hi) = idx.mem.shards()[shard].range();
+        Some((lo.raw(), hi.raw()))
+    }
+
+    /// Executes exactly one shard of a fanout-`params.fanout` scatter —
+    /// the server-side half of the wire-v5 `shard_exec` verb. The node
+    /// carves shard `params.shard` out of its own fanout-wide layout
+    /// (deterministic equal-width phrase-id ranges, so every node serving
+    /// the same corpus build derives the same partition) and runs the
+    /// same per-shard unit a local scoped thread runs: algorithm dispatch
+    /// plus, on NRA's exact path, resolution of the shard's own hits.
+    ///
+    /// Disk- and block-backed calls serialize on the engine's disk gate
+    /// and reset the simulated pool, exactly like local execution — the
+    /// per-query cold-cache accounting (paper §5.5) then covers this
+    /// shard's run alone.
+    ///
+    /// A budget that trips *during* the run returns `Ok` with
+    /// [`ShardOutcome::tripped`] set — the anytime envelope at the
+    /// stopping point, which the router surfaces as a truncated response.
+    ///
+    /// # Errors
+    /// [`SearchError::DeadlineExceeded`] when the forwarded deadline
+    /// expired before execution started; [`SearchError::Cancelled`] when
+    /// the budget's cancel token fired.
+    pub fn execute_shard(
+        &self,
+        query: &Query,
+        options: &SearchOptions,
+        params: &ShardExecParams,
+        budget: &Budget,
+    ) -> Result<ShardOutcome, SearchError> {
+        if let Some(err) = budget.dead_on_arrival() {
+            return Err(err);
+        }
+        let tracer = Tracer::disabled();
+        let live = self.live();
+        let state = &live.index;
+        let m = &*state.miner;
+        let delta_snapshot = if options.use_delta {
+            live.delta.clone().filter(|d| !d.is_empty())
+        } else {
+            None
+        };
+        let ctx = ExecContext {
+            miner: m,
+            options,
+            image_truncated: matches!(options.backend, BackendChoice::Disk | BackendChoice::Block)
+                && self.inner.disk_fraction < 1.0,
+            delta: delta_snapshot.as_deref(),
+            exact_probes: Self::exact_probes(m),
+            budget,
+            tracer: &tracer,
+        };
+        let tuning = NraTuning {
+            lower_floor: params.floor,
+            batch_size: params.batch_size,
+        };
+        let fanout = params.fanout.clamp(1, crate::plan::MAX_SHARDS);
+        let shard = params.shard.min(fanout - 1);
+        let fetch = params.fetch;
+        let mut out = match options.backend {
+            BackendChoice::Memory if fanout == 1 => {
+                let backend = m.memory_backend();
+                run_one_shard(&ctx, &backend, query, fetch, tuning, None)
+            }
+            BackendChoice::Memory => {
+                let idx = self.sharded_index(state, fanout);
+                let backend = idx.mem.shards()[shard].backend();
+                run_one_shard(&ctx, &backend, query, fetch, tuning, None)
+            }
+            BackendChoice::Disk if fanout == 1 => {
+                let disk = self.disk_for(state);
+                let disk = &*disk;
+                let _serial = self.inner.disk_gate.lock().unwrap();
+                disk.reset_io(); // per-query cold cache (paper §5.5)
+                run_one_shard(&ctx, disk, query, fetch, tuning, None)
+            }
+            BackendChoice::Disk => {
+                let idx = self.sharded_index(state, fanout);
+                let image = idx.disk.get_or_init(|| {
+                    ShardedDiskImage::build(
+                        m.corpus(),
+                        &m.index().dict,
+                        &idx.mem,
+                        self.inner.disk_fraction,
+                        self.inner.pool,
+                        self.inner.cost,
+                    )
+                });
+                let _serial = self.inner.disk_gate.lock().unwrap();
+                image.reset_io(); // per-query cold cache
+                run_one_shard(&ctx, &image.shards()[shard], query, fetch, tuning, None)
+            }
+            BackendChoice::Block if fanout == 1 => {
+                let block = self.block_for(state);
+                let block = &*block;
+                let _serial = self.inner.disk_gate.lock().unwrap();
+                block.reset_io(); // per-query cold cache (paper §5.5)
+                run_one_shard(&ctx, block, query, fetch, tuning, None)
+            }
+            BackendChoice::Block => {
+                let idx = self.sharded_index(state, fanout);
+                let image = idx.block.get_or_init(|| {
+                    ShardedBlockImage::build(
+                        m.index(),
+                        &idx.mem,
+                        self.inner.disk_fraction,
+                        self.inner.pool,
+                        self.inner.cost,
+                    )
+                });
+                let _serial = self.inner.disk_gate.lock().unwrap();
+                image.reset_io(); // per-query cold cache
+                run_one_shard(&ctx, &image.shards()[shard], query, fetch, tuning, None)
+            }
+        };
+        if matches!(budget.trip_cause(), Some(Trip::Cancelled)) {
+            return Err(SearchError::Cancelled);
+        }
+        out.tripped = budget.is_tripped();
+        Ok(out)
+    }
+
+    /// Serves an already-parsed query by scattering it over `executors` —
+    /// one [`ShardExecutor`] per shard, typically a router's remote
+    /// `shard_exec` clients — and gathering under the same seeded-floor,
+    /// over-fetch and merge logic as the in-process fan-out: both paths
+    /// run the identical per-shard unit and the identical total-order
+    /// merge, which is what makes routed results bit-identical to
+    /// single-process sharded execution in the fully-resolved regime.
+    ///
+    /// Differences from [`QueryEngine::execute_with_budget`]: no result
+    /// cache (the shard tier ages independently of the router's epoch),
+    /// the NRA seed floor is computed from the router's own copy of the
+    /// lists (the floor is only consulted on the exact path, where the
+    /// untruncated lists match the memory lists entry for entry — the
+    /// value is identical on every node of the same corpus build), and
+    /// shards whose every replica failed degrade the response to
+    /// [`Completeness::Approximate`] with [`ApproxReason::ShardsMissing`]
+    /// instead of erroring — exact over the surviving partitions, honest
+    /// about the absent ones.
+    ///
+    /// # Errors
+    /// [`SearchError::DeadlineExceeded`] when the deadline expired before
+    /// execution started; [`SearchError::Cancelled`] when the budget's
+    /// cancel token fired.
+    pub fn execute_routed(
+        &self,
+        query: Query,
+        k: usize,
+        options: &SearchOptions,
+        budget: &Budget,
+        executors: &[&dyn ShardExecutor],
+    ) -> Result<SearchResponse, SearchError> {
+        let start = Instant::now();
+        let obs = &self.inner.obs;
+        if let Some(err) = budget.dead_on_arrival() {
+            return Err(err);
+        }
+        let tracer = if options.trace || obs.slow.is_some() {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        let plan_span = tracer.span(StageKind::Plan);
+        let n = executors.len().max(1);
+        let live = self.live();
+        let m = &*live.index.miner;
+        let delta_snapshot = if options.use_delta {
+            live.delta.clone().filter(|d| !d.is_empty())
+        } else {
+            None
+        };
+        let exact_probes = Self::exact_probes(m);
+        let image_truncated = matches!(options.backend, BackendChoice::Disk | BackendChoice::Block)
+            && self.inner.disk_fraction < 1.0;
+        let base = crate::plan::base_completeness(
+            options,
+            image_truncated,
+            delta_snapshot.is_some(),
+            exact_probes,
+            n,
+        );
+        plan_span.end();
+        let ctx = ExecContext {
+            miner: m,
+            options,
+            image_truncated,
+            delta: delta_snapshot.as_deref(),
+            exact_probes,
+            budget,
+            tracer: &tracer,
+        };
+        let seed = |fetch: usize| {
+            let idx = self.sharded_index(&live.index, n);
+            let backends: Vec<MemoryBackend<'_>> =
+                idx.mem.shards().iter().map(ListShard::backend).collect();
+            let refs: Vec<&MemoryBackend<'_>> = backends.iter().collect();
+            crate::plan::seed_floor(&ctx, &refs, &query, fetch)
+        };
+        let exec_span = tracer.span(StageKind::Execute);
+        let (hits, stats, report) = run_query_on(&ctx, executors, &seed, &query, k);
+        exec_span.end();
+        obs.record_execution(options.backend, &stats, None);
+        if matches!(budget.trip_cause(), Some(Trip::Cancelled)) {
+            return Err(SearchError::Cancelled);
+        }
+        let completeness = if !report.missing.is_empty() {
+            Completeness::Approximate {
+                reason: ApproxReason::ShardsMissing {
+                    missing: report.missing.len() as u32,
+                },
+            }
+        } else {
+            match budget.trip_cause() {
+                Some(Trip::Cancelled) => return Err(SearchError::Cancelled),
+                Some(trip) => {
+                    let kind = trip.budget_kind().expect("non-cancel trip maps to a kind");
+                    match kind {
+                        crate::budget::BudgetKind::Deadline => obs.trip_deadline.inc(),
+                        crate::budget::BudgetKind::Io => obs.trip_io.inc(),
+                        crate::budget::BudgetKind::Steps => obs.trip_steps.inc(),
+                    }
+                    Completeness::Truncated { budget_hit: kind }
+                }
+                // A shard's own deadline budget tripped even though the
+                // router's did not: the merge is an anytime envelope.
+                None if report.remote_tripped => Completeness::Truncated {
+                    budget_hit: crate::budget::BudgetKind::Deadline,
+                },
+                None => base,
+            }
+        };
+        if n > 1 {
+            self.inner.sharded_queries.fetch_add(1, Ordering::Relaxed);
+            obs.sharded_queries.inc();
+        }
+        self.inner.served.fetch_add(1, Ordering::Relaxed);
+        obs.queries_served.inc();
+        let text_span = tracer.span(StageKind::TextResolve);
+        let hits: Vec<SearchHit> = hits
+            .into_iter()
+            .map(|hit| SearchHit {
+                text: m.phrase_text(hit.phrase),
+                interestingness: estimated_interestingness(query.op, hit.score),
+                hit,
+            })
+            .collect();
+        text_span.end();
+        let elapsed = start.elapsed();
+        obs.latency.observe(elapsed);
+        let meta = TraceMeta {
+            query: query.render(m.corpus()),
+            algorithm: options.algorithm.name(),
+            backend: options.backend.name(),
+            k,
+            shards: n,
+            epoch: live.epoch,
+            served_from_cache: false,
+            completeness: completeness_label(&completeness),
+            budget_trip: budget.trip_cause().and_then(|t| match t {
+                Trip::Cancelled => Some("cancelled"),
+                t => t.budget_kind().map(crate::budget::BudgetKind::name),
+            }),
+        };
+        let trace = self.finish_trace(tracer, meta, options);
+        Ok(SearchResponse {
+            query,
+            hits,
+            elapsed,
+            io: None,
+            served_from_cache: false,
+            shards: n,
+            completeness,
+            trace,
+        })
     }
 }
 

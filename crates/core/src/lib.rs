@@ -80,7 +80,7 @@ pub use cache::{CacheConfig, CacheStats};
 pub use delta::{DeltaIndex, DeltaOverlay};
 pub use engine::{
     AccessTotals, Algorithm, BackendChoice, CacheKey, CompactionReport, EngineConfig,
-    LifecycleStats, QueryEngine, SearchHit, SearchOptions, SearchResponse,
+    LifecycleStats, QueryEngine, SearchHit, SearchOptions, SearchResponse, ShardExecParams,
 };
 pub use ipm_obs::{
     HistogramSnapshot, QueryTrace, Registry, ShardStats, SlowQueryConfig, SlowQueryLog, StageKind,
@@ -89,7 +89,7 @@ pub use ipm_obs::{
 pub use miner::{MinerConfig, PhraseMiner};
 pub use nra::{NraConfig, NraOutcome, TraversalStats};
 pub use parse::parse_query;
-pub use plan::{ExecStats, QueryPlan, MAX_SHARDS};
+pub use plan::{ExecStats, QueryPlan, ShardError, ShardExecutor, ShardOutcome, MAX_SHARDS};
 pub use query::{Operator, Query};
 pub use redundancy::RedundancyConfig;
 pub use request::SearchRequest;

@@ -240,12 +240,12 @@ const MIN_SHARD_BATCH: usize = 64;
 
 /// Per-shard NRA adjustments the fan-out hands each worker.
 #[derive(Debug, Clone, Copy)]
-struct NraTuning {
+pub(crate) struct NraTuning {
     /// Seeded global defence line (`NraConfig::lower_floor`).
-    lower_floor: f64,
+    pub(crate) lower_floor: f64,
     /// Fanout-scaled prune batch; `None` keeps the miner's configured
     /// batch size.
-    batch_size: Option<usize>,
+    pub(crate) batch_size: Option<usize>,
 }
 
 impl Default for NraTuning {
@@ -275,7 +275,7 @@ impl Default for NraTuning {
 /// tightly IO-capped request must not blow its whole cap on seeding, and
 /// an inactive (`-∞`) floor merely makes the shards stop on the tripped
 /// budget instead.
-fn seed_floor<B: ListBackend>(
+pub(crate) fn seed_floor<B: ListBackend>(
     ctx: &ExecContext<'_>,
     backends: &[&B],
     query: &Query,
@@ -326,6 +326,124 @@ fn seed_floor<B: ListBackend>(
     lowers[idx]
 }
 
+/// Why one shard of a fan-out produced no result. Local (in-process)
+/// shards never fail — a remote shard executor maps replica exhaustion,
+/// connection errors and missed RPC deadlines onto this type, and the
+/// merge answers with the surviving shards plus an honest
+/// [`Completeness::Approximate`] `shards_missing` label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// Every replica of the shard failed or missed its deadline.
+    Unavailable(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Unavailable(msg) => write!(f, "shard unavailable: {msg}"),
+        }
+    }
+}
+
+/// What one shard returns from one fetch depth: the seam's unit of
+/// exchange, identical for a local scoped thread and a remote `ipm serve`
+/// node (wire-v5 `shard_exec`).
+#[derive(Debug, Clone, Default)]
+pub struct ShardOutcome {
+    /// The shard's top-`fetch` hits. On NRA's exact path they are already
+    /// resolved to true aggregates (the shard owns every list entry of
+    /// its phrases, so per-shard resolution equals the old post-merge
+    /// resolution entry for entry) — the merge is then a pure
+    /// concatenate + total-order sort.
+    pub hits: Vec<PhraseHit>,
+    /// Raw candidate count *before* resolution dropped AND phantoms —
+    /// what the redundancy loop's exhaustion test must see.
+    pub raw_candidates: usize,
+    /// The shard's work counters (resolution probes included).
+    pub stats: ExecStats,
+    /// Simulated IO fetches the shard's backend charged during this call.
+    pub io_fetches: u64,
+    /// The shard-side budget tripped (remote executions run under their
+    /// own deadline budget; local shards share the coordinator's budget
+    /// and report `false` here).
+    pub tripped: bool,
+}
+
+/// The per-shard execution seam: one implementor per shard of a fan-out.
+/// `run_query_on` is generic over it, so a local scoped thread
+/// (`LocalShard`) and a remote `ipm serve` node speaking the wire-v5
+/// `shard_exec` verb are interchangeable — the scatter/gather, seeding
+/// and merge logic is written exactly once.
+pub trait ShardExecutor: Sync {
+    /// The trace stage recorded around each call ([`StageKind::ShardExec`]
+    /// for local threads, [`StageKind::ShardRpc`] for remote nodes — the
+    /// per-shard RPC spans in a routed query's trace).
+    fn stage(&self) -> StageKind {
+        StageKind::ShardExec
+    }
+
+    /// Runs the planned algorithm for this shard at one fetch depth.
+    /// `floor` is the TPUT-style seeded NRA defence line (`-∞` when
+    /// inactive) and `batch_size` the fanout-scaled prune batch (`None`
+    /// keeps the configured batch).
+    ///
+    /// # Errors
+    /// [`ShardError`] when the shard cannot answer at all (remote
+    /// executors only); the caller merges the surviving shards.
+    fn run_shard(
+        &self,
+        query: &Query,
+        fetch: usize,
+        floor: f64,
+        batch_size: Option<usize>,
+    ) -> Result<ShardOutcome, ShardError>;
+}
+
+/// The in-process executor: one borrowed backend per shard.
+pub(crate) struct LocalShard<'a, B: ListBackend> {
+    ctx: &'a ExecContext<'a>,
+    backend: &'a B,
+    /// Pre-materialized `D'` for the exact arm, shared across shards.
+    subset: Option<&'a ipm_index::postings::Postings>,
+    /// IO watermark, seeded at executor construction (before any seed
+    /// phase runs). Everything this shard's backend charged since the
+    /// last round — the coordinator's seed-prefix reads over these lists
+    /// included — is attributed to this shard's next outcome, so the
+    /// per-shard trace rows still sum to the response's full IO bill.
+    io_mark: std::sync::atomic::AtomicU64,
+}
+
+impl<B: ListBackend + Sync> ShardExecutor for LocalShard<'_, B> {
+    fn run_shard(
+        &self,
+        query: &Query,
+        fetch: usize,
+        floor: f64,
+        batch_size: Option<usize>,
+    ) -> Result<ShardOutcome, ShardError> {
+        let tuning = NraTuning {
+            lower_floor: floor,
+            batch_size,
+        };
+        let mut out = run_one_shard(self.ctx, self.backend, query, fetch, tuning, self.subset);
+        let now = self.backend.io_fetches();
+        let before = self.io_mark.swap(now, std::sync::atomic::Ordering::Relaxed);
+        out.io_fetches = now.saturating_sub(before);
+        Ok(out)
+    }
+}
+
+/// Everything [`run_query_on`] reports besides the merged hits.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RunReport {
+    /// Shard indices that produced no result ([`ShardError`]), deduped
+    /// and sorted.
+    pub missing: Vec<usize>,
+    /// Some shard's *own* budget tripped (remote deadline) even though
+    /// the coordinator's budget may not have.
+    pub remote_tripped: bool,
+}
+
 /// Executes one planned query over `backends` (one per shard; a single
 /// entry runs inline on the caller's thread), composing the §5.6
 /// redundancy filter's over-fetch loop with the fan-out: every round
@@ -336,10 +454,45 @@ pub(crate) fn run_query<B: ListBackend + Sync>(
     query: &Query,
     k: usize,
 ) -> (Vec<PhraseHit>, ExecStats) {
+    // The exact arm's subset algebra does not partition by phrase id;
+    // materialize D' once per query (it depends on the query only, not
+    // the fetch depth) and let every shard of every round count against
+    // it.
+    let subset = (backends.len() > 1 && matches!(ctx.options.algorithm, Algorithm::Exact))
+        .then(|| exact::materialize_subset(ctx.miner.index(), query));
+    let executors: Vec<LocalShard<'_, B>> = backends
+        .iter()
+        .map(|&backend| LocalShard {
+            ctx,
+            backend,
+            subset: subset.as_ref(),
+            io_mark: std::sync::atomic::AtomicU64::new(backend.io_fetches()),
+        })
+        .collect();
+    let refs: Vec<&LocalShard<'_, B>> = executors.iter().collect();
+    let seed = |fetch: usize| seed_floor(ctx, backends, query, fetch);
+    let (hits, stats, _report) = run_query_on(ctx, &refs, &seed, query, k);
+    (hits, stats)
+}
+
+/// The executor-generic form of [`run_query`]: the same over-fetch loop
+/// and merge over any [`ShardExecutor`] slice. `seed` computes the
+/// seeded NRA floor for one fetch depth from the *coordinator's* copy of
+/// the lists (the router carries the same corpus build as its shard
+/// tier, so its locally seeded floor equals the one the single-process
+/// path computes).
+pub(crate) fn run_query_on<E: ShardExecutor + ?Sized>(
+    ctx: &ExecContext<'_>,
+    executors: &[&E],
+    seed: &dyn Fn(usize) -> f64,
+    query: &Query,
+    k: usize,
+) -> (Vec<PhraseHit>, ExecStats, RunReport) {
+    let mut report = RunReport::default();
     let Some(red) = ctx.options.redundancy.as_ref() else {
-        let (mut hits, _, stats) = fan_out(ctx, backends, query, k);
+        let (mut hits, _, stats) = fan_out(ctx, executors, seed, query, k, &mut report);
         hits.truncate(k);
-        return (hits, stats);
+        return (hits, stats, report);
     };
     // First round 2k + 8, doubling; stops once the shards produce fewer
     // raw candidates than the fetch depth (candidate space exhausted).
@@ -350,51 +503,46 @@ pub(crate) fn run_query<B: ListBackend + Sync>(
     let mut fetch = k * 2 + 8;
     let mut total = ExecStats::default();
     loop {
-        let (mut hits, produced, stats) = fan_out(ctx, backends, query, fetch);
+        let (mut hits, produced, stats) = fan_out(ctx, executors, seed, query, fetch, &mut report);
         total.accumulate(&stats);
         let exhausted = produced < fetch;
         crate::redundancy::filter_hits(&ctx.miner.index().dict, query, &mut hits, red);
-        if hits.len() >= k || exhausted || ctx.budget.is_tripped() {
+        if hits.len() >= k || exhausted || ctx.budget.is_tripped() || !report.missing.is_empty() {
             // A tripped budget ends the over-fetch loop immediately:
             // deeper rounds would re-run against a sticky-failed budget
-            // and return nothing new.
+            // and return nothing new. A missing shard ends it too — the
+            // result is already an honest partial, and deeper rounds
+            // would just re-time-out against the dead shard.
             hits.truncate(k);
-            return (hits, total);
+            return (hits, total, report);
         }
         fetch *= 2;
     }
 }
 
-/// Runs one fetch depth across every shard and merges: per-shard top-k on
-/// scoped threads, NRA resolution on the exact path, then the
-/// deterministic total order and truncation. Also returns the number of
-/// raw candidates the shards produced before resolution dropped phantoms
-/// and before truncation — capped at `fetch`, this is what the redundancy
-/// loop's exhaustion test must see — and the round's summed [`ExecStats`].
+/// Runs one fetch depth across every shard and merges: per-shard top-k
+/// (scoped threads; each shard resolves its own NRA bounds on the exact
+/// path), then the deterministic total order and truncation. Also
+/// returns the number of raw candidates the shards produced before
+/// resolution dropped phantoms and before truncation — capped at
+/// `fetch`, this is what the redundancy loop's exhaustion test must see
+/// — and the round's summed [`ExecStats`]. Failed shards are recorded in
+/// `report.missing` and the merge proceeds over the survivors.
 ///
 /// When the request is traced, each shard's counters (plus the simulated
-/// fetches its backend charged over the whole round, seeding and probe
-/// resolution included) land in the trace as one [`ShardStats`] record
-/// per shard.
-fn fan_out<B: ListBackend + Sync>(
+/// fetches its backend charged, probe resolution included) land in the
+/// trace as one [`ShardStats`] record per shard.
+fn fan_out<E: ShardExecutor + ?Sized>(
     ctx: &ExecContext<'_>,
-    backends: &[&B],
+    executors: &[&E],
+    seed: &dyn Fn(usize) -> f64,
     query: &Query,
     fetch: usize,
+    report: &mut RunReport,
 ) -> (Vec<PhraseHit>, usize, ExecStats) {
     let traced = ctx.tracer.is_enabled();
-    let io_before: Vec<u64> = if traced {
-        backends.iter().map(|b| b.io_fetches()).collect()
-    } else {
-        Vec::new()
-    };
-    let single = backends.len() == 1;
-    let (mut merged, mut per_stats): (Vec<PhraseHit>, Vec<ExecStats>) = if single {
-        let span = ctx.tracer.shard_span(StageKind::ShardExec, 0);
-        let (hits, stats) = run_shard(ctx, backends[0], query, fetch, NraTuning::default());
-        span.end();
-        (hits, vec![stats])
-    } else {
+    let single = executors.len() == 1;
+    let (floor, batch_size) = if !single && ctx.exact_nra_path() {
         // Seed the global defence line so each shard stops at (roughly)
         // the unsharded depth divided by the fanout, instead of reading
         // to the depth its much weaker local k-th bound would demand.
@@ -403,33 +551,31 @@ fn fan_out<B: ListBackend + Sync>(
         // reason: a shard that could stop after depth/N entries must not
         // be forced to read a full unsharded batch first (batch size
         // never changes exact-path results — stops only move, and the
-        // merge resolves scores).
-        let tuning = if ctx.exact_nra_path() {
-            let seed_span = ctx.tracer.span(StageKind::SeedFloor);
-            let lower_floor = seed_floor(ctx, backends, query, fetch);
-            seed_span.end();
-            NraTuning {
-                lower_floor,
-                batch_size: Some(
-                    (ctx.miner.config().nra.batch_size / backends.len()).max(MIN_SHARD_BATCH),
-                ),
-            }
-        } else {
-            NraTuning::default()
-        };
-        // The exact arm's subset algebra does not partition by phrase id;
-        // materialize D' once and let every shard count against it.
-        let subset = matches!(ctx.options.algorithm, Algorithm::Exact)
-            .then(|| exact::materialize_subset(ctx.miner.index(), query));
-        let subset = subset.as_ref();
-        let per: Vec<(Vec<PhraseHit>, ExecStats)> = std::thread::scope(|s| {
-            let handles: Vec<_> = backends
+        // shards resolve scores).
+        let seed_span = ctx.tracer.span(StageKind::SeedFloor);
+        let floor = seed(fetch);
+        seed_span.end();
+        (
+            floor,
+            Some((ctx.miner.config().nra.batch_size / executors.len()).max(MIN_SHARD_BATCH)),
+        )
+    } else {
+        (f64::NEG_INFINITY, None)
+    };
+    let per: Vec<Result<ShardOutcome, ShardError>> = if single {
+        let span = ctx.tracer.shard_span(executors[0].stage(), 0);
+        let out = executors[0].run_shard(query, fetch, floor, batch_size);
+        span.end();
+        vec![out]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = executors
                 .iter()
                 .enumerate()
-                .map(|(i, &b)| {
+                .map(|(i, &e)| {
                     s.spawn(move || {
-                        let span = ctx.tracer.shard_span(StageKind::ShardExec, i);
-                        let out = run_shard_with(ctx, b, query, fetch, tuning, subset);
+                        let span = ctx.tracer.shard_span(e.stage(), i);
+                        let out = e.run_shard(query, fetch, floor, batch_size);
                         span.end();
                         out
                     })
@@ -439,62 +585,82 @@ fn fan_out<B: ListBackend + Sync>(
                 .into_iter()
                 .map(|h| h.join().expect("shard worker panicked"))
                 .collect()
-        });
-        let mut hits = Vec::new();
-        let mut stats = Vec::with_capacity(per.len());
-        for (h, st) in per {
-            hits.extend(h);
-            stats.push(st);
-        }
-        (hits, stats)
+        })
     };
-    let produced = merged.len().min(fetch);
+    let mut merged: Vec<PhraseHit> = Vec::new();
+    let mut raw_total = 0usize;
+    let mut total = ExecStats::default();
+    for (i, out) in per.into_iter().enumerate() {
+        match out {
+            Ok(out) => {
+                raw_total += out.raw_candidates;
+                total.accumulate(&out.stats);
+                report.remote_tripped |= out.tripped;
+                if traced {
+                    ctx.tracer.record_shard(ShardStats {
+                        shard: i,
+                        sorted_accesses: out.stats.sorted_accesses,
+                        random_probes: out.stats.random_probes,
+                        entries_skipped: out.stats.entries_skipped,
+                        rounds: out.stats.rounds,
+                        io_fetches: out.io_fetches,
+                    });
+                }
+                merged.extend(out.hits);
+            }
+            Err(_) => {
+                if !report.missing.contains(&i) {
+                    report.missing.push(i);
+                }
+            }
+        }
+    }
+    report.missing.sort_unstable();
+    let produced = raw_total.min(fetch);
     let merge_span = ctx.tracer.span(StageKind::Merge);
-    let mut probe_counts = vec![0u64; backends.len()];
-    if ctx.exact_nra_path() && !ctx.budget.is_tripped() {
-        // Budget-stopped runs skip probe resolution: the probes would
-        // charge further (random, 10×-priced) IO after the budget said
-        // stop, and a truncated response keeps anytime bound semantics
-        // anyway.
-        resolve_hits(backends, query, &mut merged, &mut probe_counts);
-        sort_hits(&mut merged);
-    } else if !single {
-        // The deterministic merge order. A single-shard approximate NRA
-        // run keeps the algorithm's native upper-bound ranking (legacy
+    if (ctx.exact_nra_path() && !ctx.budget.is_tripped()) || !single {
+        // The deterministic merge order (shards already resolved their
+        // bounds on the exact path). A single-shard approximate NRA run
+        // keeps the algorithm's native upper-bound ranking (legacy
         // semantics); every multi-shard merge uses the total order.
         sort_hits(&mut merged);
     }
     merge_span.end();
     merged.truncate(fetch);
-    let mut total = ExecStats::default();
-    for (i, st) in per_stats.iter_mut().enumerate() {
-        st.random_probes += probe_counts[i];
-        total.accumulate(st);
-    }
-    if traced {
-        for (i, st) in per_stats.iter().enumerate() {
-            ctx.tracer.record_shard(ShardStats {
-                shard: i,
-                sorted_accesses: st.sorted_accesses,
-                random_probes: st.random_probes,
-                entries_skipped: st.entries_skipped,
-                rounds: st.rounds,
-                io_fetches: backends[i].io_fetches().saturating_sub(io_before[i]),
-            });
-        }
-    }
     (merged, produced, total)
 }
 
-/// One shard's work: the planned algorithm over one backend.
-fn run_shard<B: ListBackend>(
+/// One shard's complete unit of work — algorithm dispatch plus, on NRA's
+/// exact path, resolution of this shard's own hits to true aggregates.
+/// This is exactly what the wire-v5 `shard_exec` verb executes on a
+/// remote node, and what [`LocalShard`] runs on a scoped thread; keeping
+/// them one function is what makes the router's merge bit-identical to
+/// the single-process sharded merge.
+pub(crate) fn run_one_shard<B: ListBackend>(
     ctx: &ExecContext<'_>,
     backend: &B,
     query: &Query,
     fetch: usize,
     tuning: NraTuning,
-) -> (Vec<PhraseHit>, ExecStats) {
-    run_shard_with(ctx, backend, query, fetch, tuning, None)
+    subset: Option<&ipm_index::postings::Postings>,
+) -> ShardOutcome {
+    let io_before = backend.io_fetches();
+    let (mut hits, mut stats) = run_shard_with(ctx, backend, query, fetch, tuning, subset);
+    let raw_candidates = hits.len();
+    if ctx.exact_nra_path() && !ctx.budget.is_tripped() {
+        // Budget-stopped runs skip probe resolution: the probes would
+        // charge further (random, 10×-priced) IO after the budget said
+        // stop, and a truncated response keeps anytime bound semantics
+        // anyway.
+        stats.random_probes += resolve_shard_hits(backend, query, &mut hits);
+    }
+    ShardOutcome {
+        raw_candidates,
+        stats,
+        io_fetches: backend.io_fetches().saturating_sub(io_before),
+        tripped: false,
+        hits,
+    }
 }
 
 /// [`run_shard`] with an optionally pre-materialized `D'` for the exact
@@ -638,31 +804,27 @@ fn run_shard_backend<B: ListBackend>(
 }
 
 /// Resolves every hit whose NRA bounds did not collapse to its true
-/// aggregate score via random probes into the owning shard (full probe
-/// lists: each probe returns the true `P(q|p)`). AND hits that turn out
-/// absent from some list resolve to `-∞` and are dropped — they were
-/// upper-bound phantoms, not real conjunctive matches. Probes are counted
-/// into `probe_counts` (one slot per backend, indexed like `backends`) so
-/// the trace attributes resolution work to the owning shard.
-fn resolve_hits<B: ListBackend>(
-    backends: &[&B],
+/// aggregate score via random probes into the shard's own backend (full
+/// probe lists: each probe returns the true `P(q|p)`; a shard owns every
+/// list entry of its phrases, so probing locally equals probing the
+/// owning shard of the old post-merge resolution). AND hits that turn
+/// out absent from some list resolve to `-∞` and are dropped — they were
+/// upper-bound phantoms, not real conjunctive matches. Returns the probe
+/// count so the trace attributes resolution work to this shard.
+fn resolve_shard_hits<B: ListBackend>(
+    backend: &B,
     query: &Query,
     hits: &mut Vec<PhraseHit>,
-    probe_counts: &mut [u64],
-) {
+) -> u64 {
+    let mut probes = 0u64;
     hits.retain_mut(|h| {
         if h.is_resolved() {
             return true;
         }
-        let owner_idx = backends
-            .iter()
-            .position(|b| b.owns_phrase(h.phrase))
-            .unwrap_or(0);
-        let owner = &backends[owner_idx];
         let mut score = 0.0;
         for &f in &query.features {
-            probe_counts[owner_idx] += 1;
-            let p = owner.probe(f, h.phrase);
+            probes += 1;
+            let p = backend.probe(f, h.phrase);
             if p == 0.0 {
                 if matches!(query.op, Operator::And) {
                     return false;
@@ -676,6 +838,7 @@ fn resolve_hits<B: ListBackend>(
         h.upper = score;
         true
     });
+    probes
 }
 
 #[cfg(test)]

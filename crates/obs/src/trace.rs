@@ -36,6 +36,9 @@ pub enum StageKind {
     SeedFloor,
     /// One shard's algorithm run (carries the shard index).
     ShardExec,
+    /// One shard's remote `shard_exec` RPC from the router (carries the
+    /// shard index; covers pooling, hedging and failover for that shard).
+    ShardRpc,
     /// Per-shard top-k merge, probe resolution and final ordering.
     Merge,
     /// Mapping result phrase ids to display text.
@@ -52,6 +55,7 @@ impl StageKind {
             StageKind::Execute => "execute",
             StageKind::SeedFloor => "seed_floor",
             StageKind::ShardExec => "shard_exec",
+            StageKind::ShardRpc => "shard_rpc",
             StageKind::Merge => "merge",
             StageKind::TextResolve => "text_resolve",
         }

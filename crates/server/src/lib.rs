@@ -21,6 +21,10 @@
 //!   shutdown (protocol verb or [`server::ServerHandle::shutdown`]).
 //! * [`client`] — a blocking client plus the closed-loop load generator
 //!   used by the CLI, the serving benchmark and the CI smoke job.
+//! * [`router`] — the scatter-gather coordinator (protocol v5): pooled
+//!   connections to a tier of shard servers, hedged requests after an
+//!   adaptive per-shard delay, replica failover, and honest partial
+//!   results when a whole shard is unreachable.
 //!
 //! ```no_run
 //! use ipm_core::{MinerConfig, PhraseMiner, QueryEngine};
@@ -36,10 +40,12 @@
 
 pub mod client;
 pub mod queue;
+pub mod router;
 pub mod server;
 pub mod singleflight;
 pub mod wire;
 
 pub use client::{run_load, Client, LoadReport};
+pub use router::{HedgeConfig, Router, RouterConfig, RouterHandle, RouterStats};
 pub use server::{clamped_delay, Server, ServerConfig, ServerHandle, ServerStats, MAX_DELAY_MS};
 pub use wire::{ErrorKind, SearchRequest, WireRequest, MAX_BATCH};

@@ -48,15 +48,22 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded queue depth — the admission-control limit (clamped to ≥ 1).
     pub queue_depth: usize,
+    /// Fault-injection knob: extra service delay applied to every
+    /// `shard_exec` execution, clamped like `delay_ms` (see
+    /// [`MAX_DELAY_MS`]). Lets tests and benches stand up a deterministic
+    /// *slow shard replica* — the scenario hedged requests exist for —
+    /// without touching the query path. `0` (the default) disables it.
+    pub fault_delay_ms: u64,
 }
 
 impl Default for ServerConfig {
-    /// Loopback ephemeral port, 4 workers, depth 64.
+    /// Loopback ephemeral port, 4 workers, depth 64, no fault injection.
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".to_owned(),
             workers: 4,
             queue_depth: 64,
+            fault_delay_ms: 0,
         }
     }
 }
@@ -142,6 +149,24 @@ enum Job {
     /// until the atomic swap, the *other* workers keep answering queries
     /// for the whole rebuild.
     Compact(Arc<Slot<CompactionReport>>),
+    /// A wire-v5 `shard_exec` from a router: one shard's execution under
+    /// the forwarded deadline. Never coalesced — each scatter leg is a
+    /// distinct unit of a distinct query round.
+    ShardExec(Box<ShardExecJob>),
+}
+
+/// What a shard_exec job publishes: the encoded outcome or an error.
+type ShardResult = Result<Value, (ErrorKind, String)>;
+
+struct ShardExecJob {
+    query: Query,
+    options: SearchOptions,
+    params: ipm_core::ShardExecParams,
+    /// Absolute deadline anchored at arrival (the router sent remaining
+    /// milliseconds; queue wait here counts against them).
+    deadline: Option<Instant>,
+    arrived: Instant,
+    slot: Arc<Slot<ShardResult>>,
 }
 
 struct SearchJob {
@@ -241,6 +266,8 @@ struct Shared {
     addr: SocketAddr,
     workers: usize,
     started: Instant,
+    /// Clamped [`ServerConfig::fault_delay_ms`] applied to `shard_exec`.
+    fault_delay: Duration,
     connections: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -284,6 +311,7 @@ impl Server {
             addr,
             workers,
             started: Instant::now(),
+            fault_delay: clamped_delay(config.fault_delay_ms),
             connections: Mutex::new(Vec::new()),
         });
 
@@ -432,6 +460,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             Job::Search(job) => run_search_job(shared, *job),
             Job::Batch(job) => run_batch_job(shared, job),
             Job::Compact(slot) => slot.publish(shared.engine.compact()),
+            Job::ShardExec(job) => run_shard_exec_job(shared, *job),
         }
     }
 }
@@ -565,6 +594,132 @@ fn run_batch_job(shared: &Arc<Shared>, job: BatchJob) {
     slot.publish(Arc::new(results));
 }
 
+/// Executes one `shard_exec` on a worker: the configured fault delay
+/// (never past the deadline), then the engine's per-shard unit under the
+/// forwarded deadline budget. Publishes the encoded outcome.
+fn run_shard_exec_job(shared: &Arc<Shared>, job: ShardExecJob) {
+    let ShardExecJob {
+        query,
+        options,
+        params,
+        deadline,
+        arrived,
+        slot,
+    } = job;
+    shared.obs.queue_wait.observe(arrived.elapsed());
+    sleep_within_deadline(shared.fault_delay, deadline);
+    let mut budget = Budget::unlimited();
+    if let Some(dl) = deadline {
+        budget = budget.with_deadline(dl);
+    }
+    let exec_started = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        shared
+            .engine
+            .execute_shard(&query, &options, &params, &budget)
+    }));
+    shared.obs.execute.observe(exec_started.elapsed());
+    let value = match outcome {
+        Ok(Ok(out)) => {
+            if out.tripped {
+                shared
+                    .counters
+                    .budget_truncated
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(wire::shard_outcome_value(&out))
+        }
+        Ok(Err(SearchError::DeadlineExceeded)) => {
+            shared
+                .counters
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            Err((
+                ErrorKind::DeadlineExceeded,
+                error_message(shared, ErrorKind::DeadlineExceeded),
+            ))
+        }
+        Ok(Err(SearchError::Cancelled)) => {
+            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            Err((
+                ErrorKind::Cancelled,
+                error_message(shared, ErrorKind::Cancelled),
+            ))
+        }
+        Ok(Err(SearchError::Parse(e))) => Err((ErrorKind::Query, e.to_string())),
+        Err(_) => Err((
+            ErrorKind::Internal,
+            error_message(shared, ErrorKind::Internal),
+        )),
+    };
+    slot.publish(value);
+}
+
+/// Serves a wire-v5 `shard_exec` verb: parses the query against this
+/// node's vocabulary, validates the router's idea of the owned phrase
+/// range against the locally derived one (a mis-wired shard set must
+/// fail loudly, not silently drop phrases), then runs the shard through
+/// the bounded admission queue like any other unit of work.
+fn serve_shard_exec(shared: &Arc<Shared>, req: &wire::ShardExecRequest) -> String {
+    let arrived = Instant::now();
+    let query = match shared.engine.miner().parse_query_str(&req.query) {
+        Ok(q) => q,
+        Err(e) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return wire::error_line(ErrorKind::Query, &e.to_string());
+        }
+    };
+    if let Some(want) = req.range {
+        let derived = shared.engine.shard_phrase_range(req.fanout, req.shard);
+        if derived != Some(want) {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return wire::error_line(
+                ErrorKind::Query,
+                &format!(
+                    "shard range mismatch: router expects {want:?} for shard {}/{} but this \
+                     node derives {derived:?} — the tiers are serving different corpus builds",
+                    req.shard, req.fanout
+                ),
+            );
+        }
+    }
+    let deadline = req
+        .deadline_ms
+        .map(|ms| arrived + Duration::from_millis(ms));
+    let slot = Slot::solo();
+    let job = Job::ShardExec(Box::new(ShardExecJob {
+        query,
+        options: req.options(),
+        params: req.params(),
+        deadline,
+        arrived,
+        slot: slot.clone(),
+    }));
+    match shared.queue.try_push(job) {
+        Ok(()) => match slot.wait() {
+            Ok(value) => wire::ok_line(vec![("shard", value)]),
+            Err((kind, msg)) => {
+                count_error(shared, kind);
+                wire::error_line(kind, &msg)
+            }
+        },
+        Err(push_err) => {
+            let kind = match push_err {
+                PushError::Full => ErrorKind::Overloaded,
+                PushError::Closed => ErrorKind::ShuttingDown,
+            };
+            count_error(shared, kind);
+            wire::error_line(kind, &error_message(shared, kind))
+        }
+    }
+}
+
 /// Per-request outcome for the connection loop.
 enum ConnAction {
     Continue,
@@ -679,6 +834,7 @@ fn serve_line(shared: &Arc<Shared>, line: &str) -> (String, ConnAction) {
         }
         Ok(WireRequest::Delete { doc }) => (serve_delete(shared, doc), ConnAction::Continue),
         Ok(WireRequest::Compact) => (serve_compact(shared), ConnAction::Continue),
+        Ok(WireRequest::ShardExec(req)) => (serve_shard_exec(shared, &req), ConnAction::Continue),
     }
 }
 

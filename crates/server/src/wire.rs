@@ -12,8 +12,8 @@
 use std::collections::BTreeMap;
 
 use ipm_core::{
-    Algorithm, ApproxReason, BackendChoice, BudgetKind, Completeness, QueryTrace, RedundancyConfig,
-    SearchOptions, SearchResponse,
+    Algorithm, ApproxReason, BackendChoice, BudgetKind, Completeness, ExecStats, PhraseHit,
+    QueryTrace, RedundancyConfig, SearchOptions, SearchResponse, ShardExecParams, ShardOutcome,
 };
 use ipm_corpus::Corpus;
 use ipm_storage::IoStats;
@@ -106,6 +106,10 @@ pub enum WireRequest {
     /// (protocol v3). Runs under the admission queue: queries keep being
     /// served from the old generation until the swap.
     Compact,
+    /// Execute exactly one shard of a distributed scatter (protocol v5).
+    /// Sent by the router to a shard server; never part of the public
+    /// client surface.
+    ShardExec(ShardExecRequest),
     /// Report server counters.
     Stats,
     /// Render the full metrics registry in Prometheus text exposition
@@ -371,12 +375,14 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
                 None => Err("delete needs a non-negative integer 'doc' field".into()),
             },
             "compact" => Ok(WireRequest::Compact),
+            "shard_exec" => Ok(WireRequest::ShardExec(build_shard_exec(&v)?)),
             "stats" => Ok(WireRequest::Stats),
             "metrics" => Ok(WireRequest::Metrics),
             "ping" => Ok(WireRequest::Ping),
             "shutdown" => Ok(WireRequest::Shutdown),
             other => Err(format!(
-                "unknown cmd: {other} (query|ingest|delete|compact|stats|metrics|ping|shutdown)"
+                "unknown cmd: {other} \
+                 (query|ingest|delete|compact|shard_exec|stats|metrics|ping|shutdown)"
             )),
         };
     }
@@ -514,6 +520,303 @@ fn build_search(v: &Value) -> Result<SearchRequest, String> {
     Ok(req)
 }
 
+/// Encodes an `f64` as its exact IEEE-754 bit pattern, 16 lowercase hex
+/// digits. The wire transports scores, bounds and the seeded NRA floor
+/// this way because the distributed merge must be *bit-identical* to the
+/// local one: a decimal round-trip can perturb the last ulp and flip a
+/// tie, and the floor is routinely `-∞`, which JSON numbers cannot carry
+/// at all.
+pub fn f64_to_bits_str(f: f64) -> String {
+    format!("{:016x}", f.to_bits())
+}
+
+/// Decodes [`f64_to_bits_str`].
+///
+/// # Errors
+/// A message when the string is not exactly 16 hex digits.
+pub fn f64_from_bits_str(s: &str) -> Result<f64, String> {
+    if s.len() != 16 {
+        return Err(format!("bit string must be 16 hex digits, got '{s}'"));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bit string must be 16 hex digits, got '{s}'"))
+}
+
+fn field_bits_f64(v: &Value, key: &str, default: f64) -> Result<f64, String> {
+    match field_str(v, key)? {
+        None => Ok(default),
+        Some(s) => f64_from_bits_str(s).map_err(|e| format!("field '{key}': {e}")),
+    }
+}
+
+/// One wire-v5 `shard_exec` request: the router's scatter unit. Carries
+/// everything [`ipm_core::QueryEngine::execute_shard`] needs — the query,
+/// the coordinator's fetch depth / seeded floor / batch scaling, the
+/// `(fanout, shard)` coordinates the node uses to carve its partition,
+/// and the *remaining* deadline re-anchored at each hop (the router
+/// computes it from its own arrival instant just before writing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardExecRequest {
+    /// The query string, parsed against the shard node's own vocabulary
+    /// (identical corpus builds yield identical parses).
+    pub query: String,
+    /// Fetch depth for this over-fetch round.
+    pub fetch: usize,
+    /// Total shard fanout of the scatter.
+    pub fanout: usize,
+    /// This node's shard index in `[0, fanout)`.
+    pub shard: usize,
+    /// Seeded NRA defence line (`-∞` when inactive), bit-exact.
+    pub floor: f64,
+    /// Fanout-scaled NRA prune batch (`None` keeps the node's default).
+    pub batch: Option<usize>,
+    /// Retrieval algorithm.
+    pub algorithm: Algorithm,
+    /// List backend.
+    pub backend: BackendChoice,
+    /// NRA list fraction (omitted = full lists).
+    pub nra_fraction: Option<f64>,
+    /// Apply the shard node's attached delta index.
+    pub use_delta: bool,
+    /// Remaining milliseconds of the query's deadline at send time.
+    pub deadline_ms: Option<u64>,
+    /// The phrase-id range the router believes this shard owns; the node
+    /// rejects the call if its own derived range disagrees (a mis-wired
+    /// shard set would otherwise silently drop or duplicate phrases).
+    pub range: Option<(u32, u32)>,
+}
+
+impl ShardExecRequest {
+    /// A request with default options for shard `shard` of `fanout`.
+    pub fn new(query: impl Into<String>, fanout: usize, shard: usize, fetch: usize) -> Self {
+        Self {
+            query: query.into(),
+            fetch,
+            fanout,
+            shard,
+            floor: f64::NEG_INFINITY,
+            batch: None,
+            algorithm: Algorithm::default(),
+            backend: BackendChoice::default(),
+            nra_fraction: None,
+            use_delta: false,
+            deadline_ms: None,
+            range: None,
+        }
+    }
+
+    /// The engine options this request maps to. Redundancy filtering and
+    /// tracing are coordinator-side concerns and never ride the scatter.
+    pub fn options(&self) -> SearchOptions {
+        SearchOptions {
+            algorithm: self.algorithm,
+            backend: self.backend,
+            nra_fraction: self.nra_fraction,
+            redundancy: None,
+            use_delta: self.use_delta,
+            shards: None,
+            trace: false,
+        }
+    }
+
+    /// The per-shard execution parameters this request maps to.
+    pub fn params(&self) -> ShardExecParams {
+        ShardExecParams {
+            fetch: self.fetch,
+            fanout: self.fanout,
+            shard: self.shard,
+            floor: self.floor,
+            batch_size: self.batch,
+        }
+    }
+
+    /// One request line (newline-terminated).
+    pub fn to_line(&self) -> String {
+        let mut m = BTreeMap::new();
+        m.insert("cmd".to_owned(), Value::from("shard_exec"));
+        m.insert("query".to_owned(), Value::from(self.query.clone()));
+        m.insert("fetch".to_owned(), Value::from(self.fetch as u64));
+        m.insert("fanout".to_owned(), Value::from(self.fanout as u64));
+        m.insert("shard".to_owned(), Value::from(self.shard as u64));
+        if self.floor != f64::NEG_INFINITY {
+            m.insert(
+                "floor_bits".to_owned(),
+                Value::from(f64_to_bits_str(self.floor)),
+            );
+        }
+        if let Some(b) = self.batch {
+            m.insert("batch".to_owned(), Value::from(b as u64));
+        }
+        m.insert(
+            "method".to_owned(),
+            Value::from(algorithm_name(self.algorithm)),
+        );
+        m.insert(
+            "backend".to_owned(),
+            Value::from(backend_name(self.backend)),
+        );
+        if let Some(f) = self.nra_fraction {
+            m.insert("nra_fraction".to_owned(), Value::from(f));
+        }
+        if self.use_delta {
+            m.insert("use_delta".to_owned(), Value::from(true));
+        }
+        if let Some(ms) = self.deadline_ms {
+            m.insert("deadline_ms".to_owned(), Value::from(ms));
+        }
+        if let Some((lo, hi)) = self.range {
+            m.insert(
+                "range".to_owned(),
+                Value::Array(vec![Value::from(lo as u64), Value::from(hi as u64)]),
+            );
+        }
+        let mut line = serde_json::to_string(&Value::Object(m)).expect("infallible");
+        line.push('\n');
+        line
+    }
+}
+
+fn build_shard_exec(v: &Value) -> Result<ShardExecRequest, String> {
+    let query = field_str(v, "query")?
+        .ok_or("shard_exec needs a 'query' string")?
+        .to_owned();
+    let fanout = field_u64(v, "fanout", 1)?.max(1) as usize;
+    let shard = field_u64(v, "shard", 0)? as usize;
+    if shard >= fanout {
+        return Err(format!("shard {shard} out of range for fanout {fanout}"));
+    }
+    let mut req = ShardExecRequest::new(query, fanout, shard, 10);
+    req.fetch = field_u64(v, "fetch", 10)?.max(1) as usize;
+    req.floor = field_bits_f64(v, "floor_bits", f64::NEG_INFINITY)?;
+    req.batch = field_opt_u64(v, "batch")?.map(|b| b as usize);
+    if let Some(m) = field_str(v, "method")? {
+        req.algorithm = algorithm_from_str(m)?;
+    }
+    if let Some(b) = field_str(v, "backend")? {
+        req.backend = backend_from_str(b)?;
+    }
+    req.nra_fraction = field_f64(v, "nra_fraction")?;
+    req.use_delta = field_bool(v, "use_delta", false)?;
+    req.deadline_ms = field_opt_u64(v, "deadline_ms")?;
+    req.range = match v.get("range") {
+        None | Some(Value::Null) => None,
+        Some(Value::Array(a)) if a.len() == 2 => {
+            let lo = a[0]
+                .as_u64()
+                .ok_or("field 'range' must be [lo, hi] phrase ids")?;
+            let hi = a[1]
+                .as_u64()
+                .ok_or("field 'range' must be [lo, hi] phrase ids")?;
+            if lo > u32::MAX as u64 || hi > u32::MAX as u64 || lo >= hi {
+                return Err("field 'range' must be [lo, hi] with lo < hi <= u32::MAX".into());
+            }
+            Some((lo as u32, hi as u32))
+        }
+        Some(_) => return Err("field 'range' must be [lo, hi] phrase ids".into()),
+    };
+    Ok(req)
+}
+
+/// Encodes a [`ShardOutcome`] — the `"shard"` field of a `shard_exec`
+/// response. Scores and bounds travel as bit patterns (see
+/// [`f64_to_bits_str`]): the router re-materializes `f64`s that compare
+/// exactly like the shard's own, so the gathered merge is bit-identical
+/// to the local one.
+pub fn shard_outcome_value(out: &ShardOutcome) -> Value {
+    let mut m = BTreeMap::new();
+    m.insert(
+        "hits".to_owned(),
+        Value::Array(
+            out.hits
+                .iter()
+                .map(|h| {
+                    let mut hm = BTreeMap::new();
+                    hm.insert("phrase".to_owned(), Value::from(h.phrase.raw() as u64));
+                    hm.insert(
+                        "score_bits".to_owned(),
+                        Value::from(f64_to_bits_str(h.score)),
+                    );
+                    hm.insert(
+                        "lower_bits".to_owned(),
+                        Value::from(f64_to_bits_str(h.lower)),
+                    );
+                    hm.insert(
+                        "upper_bits".to_owned(),
+                        Value::from(f64_to_bits_str(h.upper)),
+                    );
+                    Value::Object(hm)
+                })
+                .collect(),
+        ),
+    );
+    m.insert("raw".to_owned(), Value::from(out.raw_candidates as u64));
+    m.insert("tripped".to_owned(), Value::from(out.tripped));
+    m.insert("io_fetches".to_owned(), Value::from(out.io_fetches));
+    let mut sm = BTreeMap::new();
+    sm.insert(
+        "sorted_accesses".to_owned(),
+        Value::from(out.stats.sorted_accesses),
+    );
+    sm.insert(
+        "random_probes".to_owned(),
+        Value::from(out.stats.random_probes),
+    );
+    sm.insert(
+        "entries_skipped".to_owned(),
+        Value::from(out.stats.entries_skipped),
+    );
+    sm.insert("rounds".to_owned(), Value::from(out.stats.rounds));
+    m.insert("stats".to_owned(), Value::Object(sm));
+    Value::Object(m)
+}
+
+/// Decodes [`shard_outcome_value`] (router side).
+///
+/// # Errors
+/// A message when the object is structurally invalid.
+pub fn shard_outcome_from_value(v: &Value) -> Result<ShardOutcome, String> {
+    let hits_v = v
+        .get("hits")
+        .and_then(Value::as_array)
+        .ok_or("shard outcome needs a 'hits' array")?;
+    let mut hits = Vec::with_capacity(hits_v.len());
+    for h in hits_v {
+        let raw = h
+            .get("phrase")
+            .and_then(Value::as_u64)
+            .filter(|&p| p <= u32::MAX as u64)
+            .ok_or("hit needs a 'phrase' id")?;
+        let bits = |key: &str| -> Result<f64, String> {
+            f64_from_bits_str(
+                h.get(key)
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("hit needs a '{key}' bit string"))?,
+            )
+        };
+        hits.push(PhraseHit {
+            phrase: ipm_corpus::PhraseId::new(raw as u32),
+            score: bits("score_bits")?,
+            lower: bits("lower_bits")?,
+            upper: bits("upper_bits")?,
+        });
+    }
+    let stats_v = v.get("stats").cloned().unwrap_or(Value::Null);
+    let stat = |key: &str| stats_v.get(key).and_then(Value::as_u64).unwrap_or(0);
+    Ok(ShardOutcome {
+        hits,
+        raw_candidates: v.get("raw").and_then(Value::as_u64).unwrap_or(0) as usize,
+        stats: ExecStats {
+            sorted_accesses: stat("sorted_accesses"),
+            random_probes: stat("random_probes"),
+            entries_skipped: stat("entries_skipped"),
+            rounds: stat("rounds"),
+        },
+        io_fetches: v.get("io_fetches").and_then(Value::as_u64).unwrap_or(0),
+        tripped: v.get("tripped").and_then(Value::as_bool).unwrap_or(false),
+    })
+}
+
 /// Encodes the hits of a response — the part that must be byte-identical
 /// between a served response and a direct [`ipm_core::QueryEngine`] call.
 pub fn hits_value(resp: &SearchResponse) -> Value {
@@ -546,6 +849,9 @@ pub fn completeness_value(c: &Completeness) -> Value {
         Completeness::Approximate { reason } => {
             m.insert("kind".to_owned(), Value::from("approximate"));
             m.insert("reason".to_owned(), Value::from(reason.name()));
+            if let ApproxReason::ShardsMissing { missing } = reason {
+                m.insert("missing".to_owned(), Value::from(*missing as u64));
+            }
         }
         Completeness::Truncated { budget_hit } => {
             m.insert("kind".to_owned(), Value::from("truncated"));
@@ -564,6 +870,9 @@ pub fn completeness_from_value(v: &Value) -> Option<Completeness> {
                 "partial_lists" => ApproxReason::PartialLists,
                 "truncated_image" => ApproxReason::TruncatedImage,
                 "delta_corrections" => ApproxReason::DeltaCorrections,
+                "shards_missing" => ApproxReason::ShardsMissing {
+                    missing: v.get("missing")?.as_u64()? as u32,
+                },
                 _ => return None,
             };
             Some(Completeness::Approximate { reason })
@@ -899,6 +1208,117 @@ mod tests {
             ErrorKind::from_name(v["error"]["kind"].as_str().unwrap()),
             Some(ErrorKind::Overloaded)
         );
+    }
+
+    #[test]
+    fn f64_bits_roundtrip_exactly() {
+        for f in [
+            0.0,
+            -0.0,
+            1.5,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::MIN_POSITIVE,
+            -123.456789e-30,
+        ] {
+            let s = f64_to_bits_str(f);
+            assert_eq!(s.len(), 16);
+            assert_eq!(f64_from_bits_str(&s).unwrap().to_bits(), f.to_bits());
+        }
+        assert!(f64_from_bits_str("xyz").is_err());
+        assert!(f64_from_bits_str("0").is_err());
+    }
+
+    #[test]
+    fn shard_exec_request_roundtrip() {
+        let mut req = ShardExecRequest::new("a AND b", 4, 2, 28);
+        req.floor = 0.123456789;
+        req.batch = Some(64);
+        req.algorithm = Algorithm::Nra;
+        req.backend = BackendChoice::Block;
+        req.nra_fraction = Some(0.5);
+        req.use_delta = true;
+        req.deadline_ms = Some(75);
+        req.range = Some((100, 200));
+        let line = req.to_line();
+        match parse_request(&line).unwrap() {
+            WireRequest::ShardExec(got) => {
+                assert_eq!(got.floor.to_bits(), req.floor.to_bits());
+                assert_eq!(got, req);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // An inactive floor is omitted from the line and decodes to -inf.
+        let plain = ShardExecRequest::new("q", 2, 0, 10);
+        assert!(!plain.to_line().contains("floor_bits"));
+        match parse_request(&plain.to_line()).unwrap() {
+            WireRequest::ShardExec(got) => {
+                assert_eq!(got.floor, f64::NEG_INFINITY);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_shard_exec_is_rejected() {
+        for bad in [
+            r#"{"cmd":"shard_exec"}"#,
+            r#"{"cmd":"shard_exec","query":"a","fanout":2,"shard":2}"#,
+            r#"{"cmd":"shard_exec","query":"a","floor_bits":"zz"}"#,
+            r#"{"cmd":"shard_exec","query":"a","range":[5,5]}"#,
+            r#"{"cmd":"shard_exec","query":"a","range":"all"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn shard_outcome_roundtrip_is_bit_exact() {
+        let out = ShardOutcome {
+            hits: vec![
+                PhraseHit {
+                    phrase: ipm_corpus::PhraseId::new(7),
+                    score: -2.5000000000000004,
+                    lower: -3.0,
+                    upper: -2.0,
+                },
+                PhraseHit::exact(ipm_corpus::PhraseId::new(9), 0.1 + 0.2),
+            ],
+            raw_candidates: 5,
+            stats: ExecStats {
+                sorted_accesses: 11,
+                random_probes: 3,
+                entries_skipped: 2,
+                rounds: 4,
+            },
+            io_fetches: 17,
+            tripped: true,
+        };
+        let v = shard_outcome_value(&out);
+        let line = serde_json::to_string(&v).unwrap();
+        let back = shard_outcome_from_value(&serde_json::from_str(&line).unwrap()).unwrap();
+        assert_eq!(back.hits.len(), 2);
+        for (a, b) in back.hits.iter().zip(&out.hits) {
+            assert_eq!(a.phrase, b.phrase);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            assert_eq!(a.lower.to_bits(), b.lower.to_bits());
+            assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+        }
+        assert_eq!(back.raw_candidates, 5);
+        assert_eq!(back.stats, out.stats);
+        assert_eq!(back.io_fetches, 17);
+        assert!(back.tripped);
+    }
+
+    #[test]
+    fn shards_missing_completeness_roundtrips() {
+        let c = Completeness::Approximate {
+            reason: ApproxReason::ShardsMissing { missing: 2 },
+        };
+        let v = completeness_value(&c);
+        assert_eq!(v["reason"], "shards_missing");
+        assert_eq!(v["missing"].as_u64(), Some(2));
+        assert_eq!(completeness_from_value(&v), Some(c));
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn main() {
             addr: "127.0.0.1:0".to_owned(),
             workers: 4,
             queue_depth: 64,
+            fault_delay_ms: 0,
         },
     )
     .expect("bind loopback");

@@ -44,6 +44,10 @@ const USAGE: &str = "usage:
   ipm serve  [--input <file>] [--host H] [--port N] [--workers N]
              [--queue-depth N] [--cache true|false] [--shards N]
              [--min-df N] [--max-len N] [--slow-query-ms N]
+             [--fault-delay-ms N]
+  ipm route  --shard-addr <addr[,replica...]> [--shard-addr ...]
+             [--input <file>] [--host H] [--port N] [--no-hedge true]
+             [--hedge-delay-ms N] [--rpc-timeout-ms N]
   ipm client --addr <host:port> <query string> [--k N] [--method M] [--backend B]
              [--shards N] [--delay-ms N] [--deadline-ms N] [--io-budget N]
              [--use-delta true] [--trace true] [--json true]
@@ -73,7 +77,16 @@ queries sent with --use-delta true immediately, and compact flushes them
 into a full offline rebuild behind an atomic swap. --trace true returns a
 per-stage execution trace with the response; stats --metrics true scrapes
 a serving process's Prometheus-text metrics (protocol v4); serve
---slow-query-ms N keeps a ring of traces for queries slower than N ms.";
+--slow-query-ms N keeps a ring of traces for queries slower than N ms.
+route (also: serve --router true) scatters each query across a tier of
+serve processes speaking wire-v5 shard_exec — one --shard-addr per
+shard, commas separating a shard's replicas — gathers the per-shard
+top-k, and merges bit-identically to local sharded execution; replicas
+beyond the first serve hedged requests (fired after an adaptive
+per-shard p95 delay; --no-hedge true disables) and failover, and an
+unreachable shard degrades the answer to an honest approximate result
+instead of an error. serve --fault-delay-ms N injects a fixed service
+delay into shard_exec (a test/bench knob for the slow-replica case).";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -84,6 +97,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "index" => cmd_index(rest),
         "query" => cmd_query(rest),
         "serve" => cmd_serve(rest),
+        "route" => cmd_route(rest),
         "client" => cmd_client(rest),
         "ingest" => cmd_ingest(rest),
         "delete" => cmd_delete(rest),
@@ -138,6 +152,16 @@ impl Flags {
                 .parse()
                 .map_err(|_| format!("invalid value for --{key}: {v}")),
         }
+    }
+
+    /// Every value given for a repeatable flag, in command-line order
+    /// (`--shard-addr a --shard-addr b`).
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.named
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 }
 
@@ -481,6 +505,9 @@ fn miner_from_flags(flags: &Flags) -> Result<PhraseMiner, String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
+    if flags.get_parsed("router", false)? {
+        return cmd_route(args);
+    }
     let host = flags.get("host").unwrap_or("127.0.0.1");
     let port: u16 = flags.get_parsed("port", 7341)?;
     let workers: usize = flags.get_parsed("workers", 4)?;
@@ -488,6 +515,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let cache: bool = flags.get_parsed("cache", true)?;
     let shards: usize = flags.get_parsed("shards", 1)?;
     let slow_query_ms: u64 = flags.get_parsed("slow-query-ms", 0)?;
+    let fault_delay_ms: u64 = flags.get_parsed("fault-delay-ms", 0)?;
 
     let miner = miner_from_flags(&flags)?;
     let engine = QueryEngine::with_config(
@@ -508,6 +536,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             addr: format!("{host}:{port}"),
             workers,
             queue_depth,
+            fault_delay_ms,
         },
     )
     .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
@@ -530,6 +559,81 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         engine.queries_served(),
         cache_stats.hits,
         cache_stats.misses,
+    );
+    Ok(())
+}
+
+/// `ipm route` (also `ipm serve --router true`): the scatter-gather
+/// coordinator over a tier of `ipm serve` shard servers. Each
+/// `--shard-addr` names one shard's replica set (comma-separated; the
+/// first replica is the primary, the rest serve hedges and failover);
+/// the scatter fanout is the number of `--shard-addr` flags. The router
+/// must be built from the same corpus (--input/--min-df/--max-len) as
+/// the shard tier — it derives each shard's phrase-id range locally and
+/// the shards reject a mismatched partition loudly.
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let host = flags.get("host").unwrap_or("127.0.0.1");
+    let port: u16 = flags.get_parsed("port", 7340)?;
+    let no_hedge: bool = flags.get_parsed("no-hedge", false)?;
+    let hedge_delay_ms: u64 = flags.get_parsed("hedge-delay-ms", 25)?;
+    let rpc_timeout_ms: u64 = flags.get_parsed("rpc-timeout-ms", 5_000)?;
+    let shard_flags = flags.get_all("shard-addr");
+    if shard_flags.is_empty() {
+        return Err("route needs at least one --shard-addr <addr[,replica...]>".into());
+    }
+    let shards: Vec<Vec<String>> = shard_flags
+        .iter()
+        .map(|spec| {
+            spec.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    if shards.iter().any(Vec::is_empty) {
+        return Err("every --shard-addr needs at least one replica address".into());
+    }
+
+    let miner = miner_from_flags(&flags)?;
+    let engine = QueryEngine::with_config(
+        miner,
+        ipm_core::EngineConfig {
+            cache: None, // routed responses are never cached
+            ..Default::default()
+        },
+    );
+    let fanout = shards.len();
+    let replicas: usize = shards.iter().map(Vec::len).sum();
+    let handle = ipm_server::Router::spawn(
+        engine.clone(),
+        ipm_server::RouterConfig {
+            addr: format!("{host}:{port}"),
+            shards,
+            hedge: ipm_server::HedgeConfig {
+                enabled: !no_hedge,
+                initial_delay: std::time::Duration::from_millis(hedge_delay_ms),
+                ..Default::default()
+            },
+            rpc_timeout: std::time::Duration::from_millis(rpc_timeout_ms.max(1)),
+        },
+    )
+    .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
+    println!(
+        "routing on {} ({fanout} shards, {replicas} replicas, hedging {})",
+        handle.addr(),
+        if no_hedge { "off" } else { "on" },
+    );
+    eprintln!(
+        "protocol: one JSON object per line (docs/protocol.md); \
+         send {{\"cmd\":\"shutdown\"}} to stop"
+    );
+    // Blocks until a client sends the shutdown verb, then drains.
+    handle.join();
+    println!(
+        "router drained and stopped: {} routed queries served",
+        engine.queries_served(),
     );
     Ok(())
 }

@@ -156,7 +156,7 @@ pub mod prelude {
         SlowQueryLog, StageKind,
     };
     pub use ipm_server::{
-        run_load, Client, SearchRequest as WireSearchRequest, Server, ServerConfig, ServerHandle,
-        ServerStats,
+        run_load, Client, HedgeConfig, Router, RouterConfig, RouterHandle, RouterStats,
+        SearchRequest as WireSearchRequest, Server, ServerConfig, ServerHandle, ServerStats,
     };
 }

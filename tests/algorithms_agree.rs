@@ -740,3 +740,112 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Distributed merge parity (protocol v5): a router scattering over
+    /// loopback shard servers must return hits *byte-identical on the
+    /// wire* to single-process sharded execution of the same request —
+    /// for all four algorithms, all three backends, and fanouts 2 and 4.
+    /// The shard tier and the coordinator run separate engine handles
+    /// over the same corpus build, exactly the deployment contract.
+    #[test]
+    fn routed_matches_single_process_for_all_algorithms_backends_fanouts(
+        docs in proptest::prop::collection::vec(
+            proptest::prop::collection::vec(0u8..10, 2..20), 6..24),
+    ) {
+        let mut b = ipm_corpus::CorpusBuilder::new(ipm_corpus::TokenizerConfig::default());
+        for d in &docs {
+            let text: Vec<String> = d.iter().map(|t| format!("t{t}")).collect();
+            b.add_text(&text.join(" "));
+        }
+        let corpus = b.build();
+        let top = ipm_corpus::stats::top_words_by_df(&corpus, 2);
+        if top.len() < 2 {
+            return Ok(()); // degenerate single-word corpus: nothing to query
+        }
+        let miner = PhraseMiner::build(
+            &corpus,
+            MinerConfig {
+                index: ipm_index::corpus_index::IndexConfig {
+                    mining: ipm_index::mining::MiningConfig {
+                        min_df: 2,
+                        max_len: 3,
+                        min_len: 1,
+                    },
+                },
+                ..Default::default()
+            },
+        );
+        let engine = QueryEngine::with_config(miner, EngineConfig {
+            cache: None,
+            ..Default::default()
+        });
+        let words: Vec<&str> = top
+            .iter()
+            .map(|&(w, _)| corpus.words().term(w).unwrap())
+            .collect();
+        for fanout in [2usize, 4] {
+            let shard_servers: Vec<ServerHandle> = (0..fanout)
+                .map(|_| {
+                    Server::spawn(engine.clone(), ServerConfig {
+                        addr: "127.0.0.1:0".to_owned(),
+                        workers: 2,
+                        queue_depth: 16,
+                        fault_delay_ms: 0,
+                    })
+                    .expect("bind shard server")
+                })
+                .collect();
+            let router = Router::spawn(engine.clone(), RouterConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                shards: shard_servers
+                    .iter()
+                    .map(|s| vec![s.addr().to_string()])
+                    .collect(),
+                ..Default::default()
+            })
+            .expect("bind router");
+            let mut client = Client::connect(&router.addr().to_string()).expect("connect");
+            for op in ["AND", "OR"] {
+                let input = format!("{} {op} {}", words[0], words[1]);
+                for algorithm in ["nra", "smj", "ta", "exact"] {
+                    for backend in ["memory", "disk", "block"] {
+                        let mut req = WireSearchRequest::new(input.clone());
+                        req.k = 5;
+                        req.algorithm =
+                            ipm_server::wire::algorithm_from_str(algorithm).unwrap();
+                        req.backend = ipm_server::wire::backend_from_str(backend).unwrap();
+                        let routed = client.search(&req).expect("roundtrip");
+                        prop_assert_eq!(
+                            routed["ok"].as_bool(),
+                            Some(true),
+                            "router error ({} {} fanout {}): {:?}",
+                            algorithm, backend, fanout, routed
+                        );
+                        let mut opts = req.options();
+                        opts.shards = Some(fanout);
+                        let local = engine.search_with(&input, 5, &opts).unwrap();
+                        prop_assert_eq!(
+                            serde_json::to_string(&routed["result"]["hits"]).unwrap(),
+                            serde_json::to_string(&ipm_server::wire::hits_value(&local))
+                                .unwrap(),
+                            "{} {} fanout {}: routed hits must be byte-identical",
+                            algorithm, backend, fanout
+                        );
+                        prop_assert_eq!(
+                            serde_json::to_string(&routed["result"]["completeness"]).unwrap(),
+                            serde_json::to_string(&ipm_server::wire::completeness_value(
+                                &local.completeness
+                            ))
+                            .unwrap(),
+                            "{} {} fanout {}: completeness must agree",
+                            algorithm, backend, fanout
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -33,6 +33,7 @@ fn spawn(engine: QueryEngine, workers: usize, queue_depth: usize) -> ipm_server:
             addr: "127.0.0.1:0".to_owned(),
             workers,
             queue_depth,
+            fault_delay_ms: 0,
         },
     )
     .expect("bind loopback")
@@ -850,4 +851,249 @@ fn trace_flag_returns_inline_stage_trace() {
         .collect();
     assert!(warm_stages.contains(&"cache_probe"));
     assert!(!warm_stages.contains(&"shard_exec"));
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v5: the scatter-gather router over remote shard servers.
+// ---------------------------------------------------------------------------
+
+fn spawn_faulty(engine: QueryEngine, fault_delay_ms: u64) -> ipm_server::ServerHandle {
+    ipm_server::Server::spawn(
+        engine,
+        ipm_server::ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_depth: 16,
+            fault_delay_ms,
+        },
+    )
+    .expect("bind loopback")
+}
+
+fn spawn_router(
+    shards: Vec<Vec<String>>,
+    hedge: ipm_server::HedgeConfig,
+) -> ipm_server::RouterHandle {
+    ipm_server::Router::spawn(
+        build_engine(false),
+        ipm_server::RouterConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            shards,
+            hedge,
+            rpc_timeout: std::time::Duration::from_secs(5),
+        },
+    )
+    .expect("bind router")
+}
+
+/// Routed execution over two remote shard servers returns hits
+/// byte-identical to single-process sharded execution of the same
+/// query — the distributed merge is the same merge.
+#[test]
+fn router_matches_single_process_sharded_execution() {
+    let s0 = spawn_faulty(build_engine(false), 0);
+    let s1 = spawn_faulty(build_engine(false), 0);
+    let router = spawn_router(
+        vec![vec![s0.addr().to_string()], vec![s1.addr().to_string()]],
+        ipm_server::HedgeConfig::default(),
+    );
+    let terms = top_terms(s0.engine(), 3);
+    let mut local = Client::connect(&s0.addr().to_string()).expect("connect shard");
+    let mut routed = Client::connect(&router.addr().to_string()).expect("connect router");
+    for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+        for op in ["AND", "OR"] {
+            for method in ["nra", "smj", "ta", "exact"] {
+                let mut req = WireSearchRequest::new(format!("{} {op} {}", terms[a], terms[b]));
+                req.k = 5;
+                req.algorithm = wire::algorithm_from_str(method).unwrap();
+                let via_router = routed.search(&req).expect("roundtrip");
+                assert_eq!(
+                    via_router["ok"].as_bool(),
+                    Some(true),
+                    "router error: {via_router:?}"
+                );
+                assert_eq!(via_router["router"]["fanout"].as_u64(), Some(2));
+                assert_eq!(via_router["result"]["shards"].as_u64(), Some(2));
+                req.shards = Some(2);
+                let direct = local.search(&req).expect("roundtrip");
+                assert_eq!(direct["ok"].as_bool(), Some(true));
+                assert_eq!(
+                    serde_json::to_string(&via_router["result"]["hits"]).unwrap(),
+                    serde_json::to_string(&direct["result"]["hits"]).unwrap(),
+                    "{method} {op}: routed hits must be byte-identical to local sharded"
+                );
+                assert_eq!(
+                    serde_json::to_string(&via_router["result"]["completeness"]).unwrap(),
+                    serde_json::to_string(&direct["result"]["completeness"]).unwrap(),
+                    "{method} {op}: completeness must agree"
+                );
+            }
+        }
+    }
+    let stats = router.stats();
+    assert_eq!(stats.requests, 24);
+    assert!(stats.shard_rpcs >= 48, "two legs per request: {stats:?}");
+    assert_eq!(stats.partial_results, 0);
+}
+
+/// Killing one shard mid-flight degrades responses to a structured
+/// partial result — `approximate { shards_missing }` — instead of an
+/// error or a hang, and the router counts it.
+#[test]
+fn dead_shard_yields_honest_partial_results() {
+    let s0 = spawn_faulty(build_engine(false), 0);
+    let mut s1 = spawn_faulty(build_engine(false), 0);
+    let router = spawn_router(
+        vec![vec![s0.addr().to_string()], vec![s1.addr().to_string()]],
+        ipm_server::HedgeConfig::default(),
+    );
+    let terms = top_terms(s0.engine(), 2);
+    let mut client = Client::connect(&router.addr().to_string()).expect("connect");
+    let mut req = WireSearchRequest::new(format!("{} OR {}", terms[0], terms[1]));
+    req.k = 5;
+    let healthy = client.search(&req).expect("roundtrip");
+    assert_eq!(healthy["ok"].as_bool(), Some(true));
+    assert_eq!(
+        healthy["result"]["completeness"]["kind"].as_str(),
+        Some("exact")
+    );
+
+    s1.shutdown();
+    let degraded = client.search(&req).expect("roundtrip");
+    assert_eq!(
+        degraded["ok"].as_bool(),
+        Some(true),
+        "a dead shard must degrade, not error: {degraded:?}"
+    );
+    assert_eq!(
+        degraded["result"]["completeness"]["kind"].as_str(),
+        Some("approximate"),
+        "{degraded:?}"
+    );
+    assert_eq!(
+        degraded["result"]["completeness"]["reason"].as_str(),
+        Some("shards_missing")
+    );
+    assert_eq!(
+        degraded["result"]["completeness"]["missing"].as_u64(),
+        Some(1)
+    );
+    let stats = router.stats();
+    assert!(stats.partial_results >= 1, "{stats:?}");
+    assert!(stats.shard_failures >= 1, "{stats:?}");
+}
+
+/// A slow primary replica plus a fast second replica: the hedge fires
+/// after its delay, the fast replica's answer wins, and the response is
+/// still byte-identical to direct execution — hedging must never change
+/// the answer, only its latency.
+#[test]
+fn hedged_request_beats_a_slow_replica() {
+    let slow = spawn_faulty(build_engine(false), 250);
+    let fast = spawn_faulty(build_engine(false), 0);
+    let router = spawn_router(
+        vec![vec![slow.addr().to_string(), fast.addr().to_string()]],
+        ipm_server::HedgeConfig {
+            enabled: true,
+            initial_delay: std::time::Duration::from_millis(10),
+            min_delay: std::time::Duration::from_millis(1),
+            max_delay: std::time::Duration::from_millis(250),
+        },
+    );
+    let terms = top_terms(fast.engine(), 2);
+    let mut client = Client::connect(&router.addr().to_string()).expect("connect");
+    let mut req = WireSearchRequest::new(format!("{} OR {}", terms[0], terms[1]));
+    req.k = 5;
+    let started = std::time::Instant::now();
+    let resp = client.search(&req).expect("roundtrip");
+    let elapsed = started.elapsed();
+    assert_eq!(resp["ok"].as_bool(), Some(true), "{resp:?}");
+    assert!(
+        elapsed < std::time::Duration::from_millis(200),
+        "hedged response took {elapsed:?} against a 250 ms slow primary"
+    );
+    let direct = fast.engine().execute(
+        fast.engine().miner().parse_query_str(&req.query).unwrap(),
+        5,
+        &req.options(),
+    );
+    assert_eq!(
+        serde_json::to_string(&resp["result"]["hits"]).unwrap(),
+        serde_json::to_string(&wire::hits_value(&direct)).unwrap(),
+        "the hedge winner's hits must match direct execution"
+    );
+    let stats = router.stats();
+    assert!(stats.hedges_fired >= 1, "{stats:?}");
+    assert!(stats.hedges_won >= 1, "{stats:?}");
+}
+
+/// A deadline bounds the router even when the only replica of a shard is
+/// slower than the deadline: the response comes back promptly with an
+/// honest non-exact completeness label — never a hang.
+#[test]
+fn router_never_hangs_past_the_deadline() {
+    let slow = spawn_faulty(build_engine(false), 400);
+    let router = spawn_router(
+        vec![vec![slow.addr().to_string()]],
+        ipm_server::HedgeConfig {
+            enabled: false,
+            ..Default::default()
+        },
+    );
+    let terms = top_terms(slow.engine(), 2);
+    let mut client = Client::connect(&router.addr().to_string()).expect("connect");
+    let mut req = WireSearchRequest::new(format!("{} OR {}", terms[0], terms[1]));
+    req.k = 5;
+    req.deadline_ms = Some(120);
+    let started = std::time::Instant::now();
+    let resp = client.search(&req).expect("roundtrip");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_millis(350),
+        "router answered in {elapsed:?} despite a 120 ms deadline"
+    );
+    assert_eq!(resp["ok"].as_bool(), Some(true), "{resp:?}");
+    assert_ne!(
+        resp["result"]["completeness"]["kind"].as_str(),
+        Some("exact"),
+        "a deadline-starved scatter must not claim exactness: {resp:?}"
+    );
+}
+
+/// Reads one counter's value out of a Prometheus text exposition.
+fn scrape_counter(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|v| v as u64)
+        .unwrap_or_else(|| panic!("counter {name} not found in exposition"))
+}
+
+/// The load generator holds one TCP connection per worker for its whole
+/// run: N threads × M requests must accept exactly N connections, not
+/// N×M — the serving benchmark measures request service, not handshakes.
+#[test]
+fn load_generator_reuses_one_connection_per_worker() {
+    let handle = spawn(build_engine(true), 2, 32);
+    let addr = handle.addr().to_string();
+    let terms = top_terms(handle.engine(), 2);
+    let mut observer = Client::connect(&addr).expect("connect");
+    let before = scrape_counter(
+        &observer.metrics().expect("metrics"),
+        "ipm_server_connections_total",
+    );
+    let mut req = WireSearchRequest::new(format!("{} OR {}", terms[0], terms[1]));
+    req.k = 5;
+    let report = ipm_server::run_load(&addr, 4, 25, &req).expect("load run");
+    assert_eq!(report.ok, 100, "{report}");
+    let after = scrape_counter(
+        &observer.metrics().expect("metrics"),
+        "ipm_server_connections_total",
+    );
+    assert_eq!(
+        after - before,
+        4,
+        "4 workers × 25 requests must open exactly 4 connections"
+    );
 }
