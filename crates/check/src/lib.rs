@@ -1,0 +1,23 @@
+//! `ipm_check`: the repo's verification backstop.
+//!
+//! Three layers, all std-only (the container has no loom, kani or miri):
+//!
+//! * [`sched`] — a deterministic bounded schedule explorer: concurrent
+//!   scenarios as virtual threads of atomic steps, every interleaving
+//!   enumerated, failures replayable from a printed schedule string.
+//! * [`models`] — the engine's five hard concurrent cores modeled against
+//!   that explorer, each with exhaustive positive coverage and at least
+//!   one seeded-bug variant the explorer must catch.
+//! * [`harness`] — bounded proof harnesses for the algorithmic contracts
+//!   (block-max soundness, merge tie rules, histogram monotonicity, wire
+//!   round-trips): exhaustive small-domain `#[test]`s that double as
+//!   `kani::proof` harnesses when a kani toolchain is present.
+//!
+//! The [`lint`] module holds the repo-invariant lint pass behind the
+//! `ipm-lint` binary and `ipm lint`. The full invariant catalogue lives
+//! in `docs/verification.md`.
+
+pub mod harness;
+pub mod lint;
+pub mod models;
+pub mod sched;

@@ -1,0 +1,223 @@
+//! Model: epoch-keyed result-cache invalidation.
+//!
+//! Since PR 5 the engine never clears its result cache on mutation:
+//! every `CacheKey` carries the index epoch at key-build time, mutators
+//! bump the epoch, and stale entries simply stop matching. The soundness
+//! of that scheme is a *pairing* invariant, not an eviction one:
+//!
+//! 3. **Epoch-keyed cache coherence** — a cache entry keyed `(query,
+//!    epoch = e)` always holds the result computed against epoch `e`'s
+//!    index snapshot, and a hit under key `(query, e)` therefore never
+//!    serves another epoch's result. (Entries for dead epochs may linger;
+//!    they are unreachable, not wrong.)
+//!
+//! The model mirrors the engine's query path step for step: snapshot the
+//! head (epoch + index contents, one step — see
+//! [`crate::models::live_swap`]), probe the cache, execute against the
+//! *snapshot*, insert under the snapshot-keyed key. The seeded-bug
+//! variant executes against the **live** head instead of the snapshot —
+//! the classic time-of-key-to-time-of-compute race that whole-cache
+//! clearing used to paper over — and the explorer must catch it.
+
+use crate::sched::{Spec, Step, ThreadSpec};
+
+/// The "index": its serving value is a pure function of the epoch, so a
+/// result computed against epoch `e` is recognizably `value(e)`.
+fn value_at(epoch: u64) -> u64 {
+    epoch * 1000 + 7
+}
+
+/// Shared state: live epoch, the (single-query) cache, per-reader
+/// progress.
+#[derive(Debug, Clone)]
+pub struct State {
+    /// The live head's epoch.
+    pub epoch: u64,
+    /// Cache entries: `(key_epoch, stored_value)`.
+    pub cache: Vec<(u64, u64)>,
+    /// Per-reader snapshotted epoch (step 1 of the query path).
+    pub snap: Vec<Option<u64>>,
+    /// Per-reader computed-or-hit result `(key_epoch, value)`.
+    pub result: Vec<Option<(u64, u64)>>,
+}
+
+impl State {
+    fn new(readers: usize) -> Self {
+        Self {
+            epoch: 0,
+            cache: Vec::new(),
+            snap: vec![None; readers],
+            result: vec![None; readers],
+        }
+    }
+}
+
+fn bump(s: &mut State, _tid: usize) {
+    s.epoch += 1;
+}
+
+fn snapshot(s: &mut State, tid: usize) {
+    s.snap[tid - 1] = Some(s.epoch);
+}
+
+fn probe_or_execute_snapshot(s: &mut State, tid: usize) {
+    let e = s.snap[tid - 1].expect("snapshot step ran first");
+    let hit = s.cache.iter().find(|(k, _)| *k == e).map(|&(_, v)| v);
+    let v = match hit {
+        Some(v) => v,
+        None => {
+            // Execute against the pinned snapshot — the engine computes
+            // over the `Arc<IndexState>` captured with the epoch, so a
+            // concurrent bump cannot leak into this result.
+            let v = value_at(e);
+            s.cache.push((e, v));
+            v
+        }
+    };
+    s.result[tid - 1] = Some((e, v));
+}
+
+fn probe_or_execute_live(s: &mut State, tid: usize) {
+    // Seeded bug: key from the snapshot, result from the *live* head.
+    let e = s.snap[tid - 1].expect("snapshot step ran first");
+    let hit = s.cache.iter().find(|(k, _)| *k == e).map(|&(_, v)| v);
+    let v = match hit {
+        Some(v) => v,
+        None => {
+            let v = value_at(s.epoch);
+            s.cache.push((e, v));
+            v
+        }
+    };
+    s.result[tid - 1] = Some((e, v));
+}
+
+fn reader(buggy: bool) -> ThreadSpec<State> {
+    ThreadSpec::new(
+        if buggy { "live-reader" } else { "reader" },
+        vec![
+            Step::new("snapshot", snapshot),
+            Step::new(
+                "probe-or-execute",
+                if buggy {
+                    probe_or_execute_live
+                } else {
+                    probe_or_execute_snapshot
+                },
+            ),
+        ],
+    )
+}
+
+/// `readers` two-step query paths racing `bumps` single-step mutations.
+pub fn spec(bumps: usize, readers: usize) -> Spec<State> {
+    let mut threads = vec![ThreadSpec::new(
+        "mutator",
+        (0..bumps).map(|_| Step::new("bump-epoch", bump)).collect(),
+    )];
+    for _ in 0..readers {
+        threads.push(reader(false));
+    }
+    Spec::new(threads)
+}
+
+/// The seeded-bug variant: readers compute against the live head.
+pub fn buggy_spec(bumps: usize, readers: usize) -> Spec<State> {
+    let mut threads = vec![ThreadSpec::new(
+        "mutator",
+        (0..bumps).map(|_| Step::new("bump-epoch", bump)).collect(),
+    )];
+    for _ in 0..readers {
+        threads.push(reader(true));
+    }
+    Spec::new(threads)
+}
+
+/// Fresh state for `spec(_, readers)`.
+pub fn init(readers: usize) -> State {
+    State::new(readers)
+}
+
+/// Invariant 3: every cache entry and every served result pairs key-epoch
+/// with that epoch's value.
+pub fn invariant(s: &State) -> Result<(), String> {
+    for &(k, v) in &s.cache {
+        if v != value_at(k) {
+            return Err(format!(
+                "cache entry keyed epoch {k} holds {v}, epoch {k}'s value is {}",
+                value_at(k)
+            ));
+        }
+    }
+    for (i, r) in s.result.iter().enumerate() {
+        if let Some((k, v)) = r {
+            if *v != value_at(*k) {
+                return Err(format!(
+                    "reader {i} served {v} under key epoch {k} (expected {})",
+                    value_at(*k)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// End-of-schedule check: every reader completed.
+pub fn final_check(s: &State) -> Result<(), String> {
+    if s.result.iter().all(Option::is_some) {
+        Ok(())
+    } else {
+        Err("a reader never completed".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{interleavings, Explorer, FailureKind};
+
+    #[test]
+    fn snapshot_execution_is_coherent_under_every_schedule() {
+        let (bumps, readers) = (3, 2);
+        let report = Explorer::new()
+            .explore(
+                &spec(bumps, readers),
+                || init(readers),
+                invariant,
+                final_check,
+            )
+            .unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(report.schedules, interleavings(&[bumps, 2, 2]));
+    }
+
+    #[test]
+    fn three_readers_share_and_never_cross_epochs() {
+        let (bumps, readers) = (2, 3);
+        Explorer::new()
+            .explore(
+                &spec(bumps, readers),
+                || init(readers),
+                invariant,
+                final_check,
+            )
+            .unwrap_or_else(|f| panic!("{f}"));
+    }
+
+    #[test]
+    fn live_execution_race_is_caught() {
+        let failure = Explorer::new()
+            .explore(&buggy_spec(2, 1), || init(1), invariant, final_check)
+            .expect_err("computing against the live head must mis-key some schedule");
+        assert_eq!(failure.kind, FailureKind::Invariant);
+        let replayed = Explorer::new()
+            .replay_str(
+                &buggy_spec(2, 1),
+                || init(1),
+                invariant,
+                final_check,
+                &failure.schedule_str(),
+            )
+            .expect_err("replay reproduces the mis-keyed entry");
+        assert_eq!(replayed.message, failure.message);
+    }
+}

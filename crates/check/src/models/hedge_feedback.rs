@@ -1,0 +1,246 @@
+//! Model: the router's adaptive hedge-delay feedback loop.
+//!
+//! `ipm_server::Router` hedges a slow shard call after an adaptive delay:
+//! the per-shard latency histogram's p95 (clamped to a floor/ceiling)
+//! once `HEDGE_WARMUP` samples exist, the configured initial delay before
+//! that. The loop is only stable because of what is *kept out* of the
+//! histogram — `rpc()` observes a leg's latency only when the leg was not
+//! hedged (`if hedge_attempt.is_none()`). The invariant:
+//!
+//! 5. **Hedged wins never feed the p95** — the per-shard histogram holds
+//!    un-hedged primary-leg latencies only, and the computed delay is the
+//!    initial delay during warmup and the clamped p95 after. If hedge
+//!    wins (which finish fast by construction: that is why the hedge won)
+//!    were observed, the p95 would collapse, the delay would chase it
+//!    down, more requests would hedge, and the feedback loop would
+//!    converge on hedging everything.
+//!
+//! The model runs a fixed traffic tape of primary latencies against a
+//! retuning thread that recomputes the delay from the histogram, so stale
+//! delays, mid-tape retunes and every interleaving of the two are
+//! explored. The seeded-bug variant observes the winner's latency
+//! unconditionally — the explorer must find a schedule where a hedge-leg
+//! latency lands in the histogram.
+
+use crate::sched::{Spec, Step, ThreadSpec};
+
+/// Hedge-leg wins complete in this long (they won precisely because they
+/// were fast); any histogram entry below the primary floor is one.
+pub const HEDGE_WIN_LATENCY: u64 = 5;
+
+/// Every primary leg in the traffic tape takes at least this long, so
+/// `HEDGE_WIN_LATENCY` entries are unambiguously foreign.
+pub const PRIMARY_FLOOR: u64 = 100;
+
+/// Shared state: the per-shard histogram, the current delay, and the
+/// tape position.
+#[derive(Debug, Clone)]
+pub struct State {
+    /// Primary-leg latency per round (the traffic tape).
+    pub primaries: Vec<u64>,
+    /// The per-shard latency record (`EndpointState::rpc_latency`).
+    pub hist: Vec<u64>,
+    /// The hedge delay requests currently use (possibly stale).
+    pub delay: u64,
+    /// Next tape position.
+    pub round: usize,
+    /// Rounds whose hedge leg fired and won.
+    pub hedges_fired: u64,
+    /// Every retune as `(samples_seen, computed_delay)` — the warmup
+    /// witness.
+    pub tune_log: Vec<(usize, u64)>,
+    /// Config mirrors of `RouterConfig` / `HEDGE_WARMUP`.
+    pub initial_delay: u64,
+    pub warmup: usize,
+    pub min_delay: u64,
+    pub max_delay: u64,
+    /// Seeded bug switch: observe the winner unconditionally.
+    feed_hedged: bool,
+}
+
+impl State {
+    fn new(primaries: Vec<u64>) -> Self {
+        Self {
+            primaries,
+            hist: Vec::new(),
+            delay: 200,
+            round: 0,
+            hedges_fired: 0,
+            tune_log: Vec::new(),
+            initial_delay: 200,
+            warmup: 3,
+            min_delay: 50,
+            max_delay: 400,
+            feed_hedged: false,
+        }
+    }
+}
+
+/// Nearest-rank p95, as `HistogramSnapshot::quantile` resolves it.
+fn p95(sorted: &[u64]) -> u64 {
+    let rank = (sorted.len() * 95).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+/// One request round: the primary leg runs; if it outlasts the current
+/// delay the hedge fires and wins; only the un-hedged primary latency is
+/// observed (`if hedge_attempt.is_none()` in `rpc()`).
+fn request(s: &mut State, _tid: usize) {
+    let Some(&primary) = s.primaries.get(s.round) else {
+        return;
+    };
+    s.round += 1;
+    let hedged = primary > s.delay;
+    if hedged {
+        s.hedges_fired += 1;
+        if s.feed_hedged {
+            // Seeded bug: the winner's latency goes in regardless of
+            // which leg it was.
+            s.hist.push(HEDGE_WIN_LATENCY);
+        }
+    } else {
+        s.hist.push(primary);
+    }
+}
+
+/// One retune: `hedge_delay()` — initial during warmup, clamped p95
+/// after. Runs concurrently with traffic, so requests may use a stale
+/// delay; that is safe, feeding the histogram wrong is not.
+fn retune(s: &mut State, _tid: usize) {
+    let n = s.hist.len();
+    s.delay = if n < s.warmup {
+        s.initial_delay
+    } else {
+        let mut sorted = s.hist.clone();
+        sorted.sort_unstable();
+        p95(&sorted).clamp(s.min_delay, s.max_delay)
+    };
+    s.tune_log.push((n, s.delay));
+}
+
+fn threads(rounds: usize, retunes: usize) -> Vec<ThreadSpec<State>> {
+    vec![
+        ThreadSpec::new(
+            "traffic",
+            (0..rounds).map(|_| Step::new("request", request)).collect(),
+        ),
+        ThreadSpec::new(
+            "tuner",
+            (0..retunes).map(|_| Step::new("retune", retune)).collect(),
+        ),
+    ]
+}
+
+/// A traffic tape alternating comfortable and hedge-provoking primaries:
+/// the slow rounds always out-wait even the max clamped delay.
+pub fn tape() -> Vec<u64> {
+    vec![120, 500, 130, 480, 125, 510]
+}
+
+/// Traffic over [`tape`] racing `retunes` delay recomputations.
+pub fn spec(retunes: usize) -> Spec<State> {
+    Spec::new(threads(tape().len(), retunes))
+}
+
+/// Fresh state over [`tape`].
+pub fn init() -> State {
+    State::new(tape())
+}
+
+/// Seeded bug: hedged winners feed the histogram.
+pub fn feed_hedged_init() -> State {
+    let mut s = State::new(tape());
+    s.feed_hedged = true;
+    s
+}
+
+/// Invariant 5, checked after every step: the histogram holds primary-leg
+/// latencies only, and every retune respected warmup and the clamp.
+pub fn invariant(s: &State) -> Result<(), String> {
+    for &v in &s.hist {
+        if v < PRIMARY_FLOOR {
+            return Err(format!(
+                "hedge-leg latency {v} fed the histogram (primary floor {PRIMARY_FLOOR}) — \
+                 the p95 feedback loop would chase it down"
+            ));
+        }
+    }
+    for &(n, delay) in &s.tune_log {
+        if n < s.warmup {
+            if delay != s.initial_delay {
+                return Err(format!(
+                    "retune at {n} samples (warmup {}) gave {delay}, not the initial {}",
+                    s.warmup, s.initial_delay
+                ));
+            }
+        } else if !(s.min_delay..=s.max_delay).contains(&delay) {
+            return Err(format!(
+                "retune gave {delay}, outside the clamp [{}, {}]",
+                s.min_delay, s.max_delay
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// End-of-schedule check: the whole tape ran and the slow rounds hedged
+/// (they out-wait even the max delay, so this holds on every schedule).
+pub fn final_check(s: &State) -> Result<(), String> {
+    if s.round != s.primaries.len() {
+        return Err(format!(
+            "traffic stopped at round {} of {}",
+            s.round,
+            s.primaries.len()
+        ));
+    }
+    if s.hedges_fired == 0 {
+        return Err("no round hedged; the model exercises nothing".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{interleavings, Explorer, FailureKind};
+
+    const RETUNES: usize = 3;
+
+    #[test]
+    fn histogram_stays_unpoisoned_under_every_schedule() {
+        let report = Explorer::new()
+            .explore(&spec(RETUNES), init, invariant, final_check)
+            .unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(report.schedules, interleavings(&[tape().len(), RETUNES]));
+    }
+
+    #[test]
+    fn many_retunes_never_break_warmup_or_clamp() {
+        Explorer::new()
+            .explore(&spec(6), init, invariant, final_check)
+            .unwrap_or_else(|f| panic!("{f}"));
+    }
+
+    #[test]
+    fn feeding_hedged_wins_is_caught_and_replays() {
+        let failure = Explorer::new()
+            .explore(&spec(RETUNES), feed_hedged_init, invariant, final_check)
+            .expect_err("an unconditional observe must poison some schedule");
+        assert_eq!(failure.kind, FailureKind::Invariant);
+        assert!(
+            failure.message.contains("fed the histogram"),
+            "{}",
+            failure.message
+        );
+        let replayed = Explorer::new()
+            .replay_str(
+                &spec(RETUNES),
+                feed_hedged_init,
+                invariant,
+                final_check,
+                &failure.schedule_str(),
+            )
+            .expect_err("replay reproduces the poisoned histogram");
+        assert_eq!(replayed.message, failure.message);
+    }
+}

@@ -1,0 +1,231 @@
+//! Model: the engine's `LiveState` epoch/generation/delta swap.
+//!
+//! `QueryEngine` keeps its serving head as one `RwLock<LiveState>` holding
+//! `(epoch, Arc<IndexState>, delta)`. Queries clone the whole head under
+//! one read lock; mutators bump/swap all three fields under one write
+//! lock. The invariants that makes this sound:
+//!
+//! 1. **Epoch monotonicity** — every published head carries an epoch
+//!    strictly greater than the previous published head's whenever the
+//!    index observably changed (ingest, delete, compaction swap).
+//! 2. **No torn triple** — a query's snapshot `(epoch, generation,
+//!    delta)` is always one that a mutator actually published; never a new
+//!    epoch paired with an old generation or vice versa.
+//!
+//! The model's mutator publishes heads exactly like the engine: ingest
+//! bumps `epoch` and grows `delta`; compaction swaps `generation` up,
+//!    resets `delta` and bumps `epoch` — each as **one atomic step**,
+//! mirroring the write-lock critical section. Readers snapshot the head
+//! in one step, mirroring the read-lock clone. The negative variant
+//! splits the reader's snapshot into two steps (epoch first, then
+//! generation + delta) — the bug the `RwLock` exists to prevent — and the
+//! explorer must find the torn schedule.
+
+use crate::sched::{Spec, Step, ThreadSpec};
+
+/// One published serving head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Head {
+    /// Monotonic mutation counter (`LiveState::epoch`).
+    pub epoch: u64,
+    /// Which immutable index generation serves (`Arc<IndexState>`
+    /// identity).
+    pub generation: u64,
+    /// Logged-but-uncompacted documents (`DeltaOverlay` size).
+    pub delta: u64,
+}
+
+/// Shared state: the live head, the full publication history, and the
+/// readers' (possibly torn) snapshots.
+#[derive(Debug, Clone)]
+pub struct State {
+    /// The serving head (what the `RwLock` protects).
+    pub head: Head,
+    /// Every head ever published, in order — the set of valid snapshots.
+    pub published: Vec<Head>,
+    /// Per-reader snapshot buffer (`None` until that reader ran).
+    pub snapshots: Vec<Option<Head>>,
+    /// Scratch for the torn-reader variant: epoch read in step one.
+    pub torn_epoch: Vec<u64>,
+}
+
+impl State {
+    fn new(readers: usize) -> Self {
+        let head = Head {
+            epoch: 0,
+            generation: 0,
+            delta: 0,
+        };
+        Self {
+            head,
+            published: vec![head],
+            snapshots: vec![None; readers],
+            torn_epoch: vec![0; readers],
+        }
+    }
+}
+
+fn ingest(s: &mut State, _tid: usize) {
+    // One write-lock critical section: all fields move together.
+    s.head.epoch += 1;
+    s.head.delta += 1;
+    s.published.push(s.head);
+}
+
+fn compact(s: &mut State, _tid: usize) {
+    // The O(1) swap: new generation in, delta flushed, epoch bumped.
+    s.head.generation += 1;
+    s.head.delta = 0;
+    s.head.epoch += 1;
+    s.published.push(s.head);
+}
+
+fn snapshot(s: &mut State, tid: usize) {
+    // One read-lock clone of the whole head.
+    s.snapshots[tid - 1] = Some(s.head);
+}
+
+fn torn_read_epoch(s: &mut State, tid: usize) {
+    s.torn_epoch[tid - 1] = s.head.epoch;
+}
+
+fn torn_read_rest(s: &mut State, tid: usize) {
+    // Pairs the epoch read earlier with the *current* generation/delta —
+    // exactly what dropping the read lock between field reads would do.
+    s.snapshots[tid - 1] = Some(Head {
+        epoch: s.torn_epoch[tid - 1],
+        generation: s.head.generation,
+        delta: s.head.delta,
+    });
+}
+
+/// The mutator's step list: `ingests` ingest steps, then a compaction,
+/// then one more ingest (so the post-swap epoch keeps moving).
+fn mutator_thread(ingests: usize) -> ThreadSpec<State> {
+    let mut steps: Vec<Step<State>> = (0..ingests).map(|_| Step::new("ingest", ingest)).collect();
+    steps.push(Step::new("compact", compact));
+    steps.push(Step::new("ingest", ingest));
+    ThreadSpec::new("mutator", steps)
+}
+
+/// The real protocol: one atomic snapshot per reader thread, racing the
+/// mutator's ingest/compact/ingest sequence.
+pub fn spec(ingests: usize, readers: usize) -> Spec<State> {
+    let mut threads = vec![mutator_thread(ingests)];
+    for _ in 0..readers {
+        threads.push(ThreadSpec::new(
+            "reader",
+            vec![Step::new("snapshot", snapshot)],
+        ));
+    }
+    Spec::new(threads)
+}
+
+/// The seeded-bug variant: readers read the epoch and the rest of the
+/// head in two separate steps.
+pub fn torn_spec(ingests: usize, readers: usize) -> Spec<State> {
+    let mut threads = vec![mutator_thread(ingests)];
+    for _ in 0..readers {
+        threads.push(ThreadSpec::new(
+            "torn-reader",
+            vec![
+                Step::new("read-epoch", torn_read_epoch),
+                Step::new("read-rest", torn_read_rest),
+            ],
+        ));
+    }
+    Spec::new(threads)
+}
+
+/// Fresh state for `spec(_, readers)`.
+pub fn init(readers: usize) -> State {
+    State::new(readers)
+}
+
+/// Both invariants, checked after every step: published epochs strictly
+/// increase, and every completed snapshot is a published triple.
+pub fn invariant(s: &State) -> Result<(), String> {
+    for w in s.published.windows(2) {
+        if w[1].epoch <= w[0].epoch {
+            return Err(format!(
+                "epoch not monotonic: {} then {}",
+                w[0].epoch, w[1].epoch
+            ));
+        }
+    }
+    for (i, snap) in s.snapshots.iter().enumerate() {
+        if let Some(h) = snap {
+            if !s.published.contains(h) {
+                return Err(format!(
+                    "reader {i} observed torn head {h:?}; published: {:?}",
+                    s.published
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// End-of-schedule check: every reader got some snapshot.
+pub fn final_check(s: &State) -> Result<(), String> {
+    if s.snapshots.iter().all(Option::is_some) {
+        Ok(())
+    } else {
+        Err("a reader never completed".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{interleavings, Explorer, FailureKind};
+
+    #[test]
+    fn atomic_snapshots_hold_under_every_schedule() {
+        let (ingests, readers) = (2, 2);
+        let report = Explorer::new()
+            .explore(
+                &spec(ingests, readers),
+                || init(readers),
+                invariant,
+                final_check,
+            )
+            .unwrap_or_else(|f| panic!("{f}"));
+        // 4 mutator steps interleaved with two 1-step readers.
+        assert_eq!(report.schedules, interleavings(&[ingests + 2, 1, 1]));
+    }
+
+    #[test]
+    fn deeper_mutator_history_still_holds() {
+        let (ingests, readers) = (4, 3);
+        let report = Explorer::new()
+            .explore(
+                &spec(ingests, readers),
+                || init(readers),
+                invariant,
+                final_check,
+            )
+            .unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(report.schedules, interleavings(&[ingests + 2, 1, 1, 1]));
+    }
+
+    #[test]
+    fn torn_reader_is_caught_and_replays() {
+        let failure = Explorer::new()
+            .explore(&torn_spec(2, 1), || init(1), invariant, final_check)
+            .expect_err("a two-step snapshot must tear under some schedule");
+        assert_eq!(failure.kind, FailureKind::Invariant);
+        assert!(failure.message.contains("torn head"), "{}", failure.message);
+        // The printed schedule replays to the same violation.
+        let replayed = Explorer::new()
+            .replay_str(
+                &torn_spec(2, 1),
+                || init(1),
+                invariant,
+                final_check,
+                &failure.schedule_str(),
+            )
+            .expect_err("replay must reproduce the tear");
+        assert_eq!(replayed.message, failure.message);
+    }
+}

@@ -1,0 +1,353 @@
+//! Model: single-flight request coalescing.
+//!
+//! `ipm_server::SingleFlight` lets exactly one of N concurrent identical
+//! requests execute; the rest block on the leader's slot. Completion
+//! removes the key from the in-flight map **before** publishing the value
+//! so late arrivals start a fresh flight instead of latching onto a
+//! completed one. The invariant:
+//!
+//! 4. **Coalesced waiters get their leader's result or a clean retry** —
+//!    every participant ends with the value executed by the leader of the
+//!    flight it joined (never a value from a different flight, e.g. one
+//!    that executed against an older epoch), and nobody waits forever.
+//!
+//! To make "a different flight's value" observable the model stamps each
+//! execution with a monotonically bumping epoch, like the engine under
+//!    live ingest: flight values differ across flights, so mixing them up
+//! is caught. The model follows the real lock protocol step for step:
+//! `join` (one map-mutex critical section), `execute`, `retire` (remove
+//! key), `publish` (set value, notify), follower `wait` (guarded step).
+//! Two seeded bugs keep the explorer honest: a leader that never
+//! publishes (deadlock — found as an unfeasible schedule), and a
+//! completion that skips the retire so a late joiner couples onto a
+//! retired slot and reads a stale flight's value.
+
+use crate::sched::{Spec, Step, ThreadSpec};
+
+/// One rendezvous slot (`singleflight::Slot`).
+#[derive(Debug, Clone, Default)]
+pub struct Slot {
+    /// Published value, `None` until the leader publishes.
+    pub value: Option<u64>,
+}
+
+/// Shared state for one coalescing key.
+#[derive(Debug, Clone)]
+pub struct State {
+    /// The in-flight map entry: `Some(slot_id)` while a flight is open.
+    pub inflight: Option<usize>,
+    /// All slots ever created (slot ids index this).
+    pub slots: Vec<Slot>,
+    /// A bumping stamp: the "result" each execution produces (models the
+    /// epoch the leader executed against).
+    pub stamp: u64,
+    /// Executions performed (one per flight led).
+    pub executions: u64,
+    /// Per-thread: the slot this thread joined and its role.
+    pub joined: Vec<Option<(usize, Role)>>,
+    /// Per-thread final value.
+    pub result: Vec<Option<u64>>,
+    /// Leader value per slot id, recorded at execute time.
+    pub led_value: Vec<Option<u64>>,
+    /// Joins that coupled onto a slot whose value was already published —
+    /// impossible under retire-before-publish, the signature of the
+    /// stale-flight bug.
+    pub late_joins: u64,
+}
+
+/// The caller's role in its flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// First join: owns the execution.
+    Leader,
+    /// Coalesced behind an open flight.
+    Follower,
+}
+
+impl State {
+    fn new(threads: usize) -> Self {
+        Self {
+            inflight: None,
+            slots: Vec::new(),
+            stamp: 0,
+            executions: 0,
+            joined: vec![None; threads],
+            result: vec![None; threads],
+            led_value: Vec::new(),
+            late_joins: 0,
+        }
+    }
+}
+
+fn join(s: &mut State, tid: usize) {
+    // One lock of the in-flight map: follower if a slot is open,
+    // otherwise insert a fresh slot and lead.
+    match s.inflight {
+        Some(slot) => {
+            if s.slots[slot].value.is_some() {
+                // Coupling onto a flight that already completed: its
+                // value predates this request. Retire-before-publish
+                // makes this unreachable.
+                s.late_joins += 1;
+            }
+            s.joined[tid] = Some((slot, Role::Follower));
+        }
+        None => {
+            let slot = s.slots.len();
+            s.slots.push(Slot::default());
+            s.led_value.push(None);
+            s.inflight = Some(slot);
+            s.joined[tid] = Some((slot, Role::Leader));
+        }
+    }
+}
+
+fn execute(s: &mut State, tid: usize) {
+    if let Some((slot, Role::Leader)) = s.joined[tid] {
+        // The work: stamped by the current epoch-like counter, so two
+        // flights never produce the same value.
+        s.stamp += 1;
+        s.executions += 1;
+        s.led_value[slot] = Some(s.stamp);
+    }
+}
+
+fn retire(s: &mut State, tid: usize) {
+    if let Some((slot, Role::Leader)) = s.joined[tid] {
+        // `SingleFlight::complete`, first half: remove the key (only if
+        // this slot still owns it) so later joiners start fresh.
+        if s.inflight == Some(slot) {
+            s.inflight = None;
+        }
+    }
+}
+
+fn publish(s: &mut State, tid: usize) {
+    if let Some((slot, Role::Leader)) = s.joined[tid] {
+        // Second half: publish and notify; record own result.
+        s.slots[slot].value = s.led_value[slot];
+        s.result[tid] = s.led_value[slot];
+    }
+}
+
+/// Follower wait guard: enabled once the joined slot has a value (or if
+/// this thread turned out to be a leader, whose later steps handle it).
+fn wait_ready(s: &State, tid: usize) -> bool {
+    match s.joined[tid] {
+        Some((slot, Role::Follower)) => s.slots[slot].value.is_some(),
+        // Leaders pass through; their publish step already set result.
+        Some((_, Role::Leader)) => true,
+        None => false,
+    }
+}
+
+fn collect(s: &mut State, tid: usize) {
+    if let Some((slot, Role::Follower)) = s.joined[tid] {
+        s.result[tid] = s.slots[slot].value;
+    }
+}
+
+fn participant(skip_retire: bool, skip_publish: bool) -> ThreadSpec<State> {
+    let mut steps = vec![Step::new("join", join), Step::new("execute", execute)];
+    if !skip_retire {
+        steps.push(Step::new("retire", retire));
+    }
+    if !skip_publish {
+        steps.push(Step::new("publish", publish));
+    }
+    steps.push(Step::guarded("wait", wait_ready, collect));
+    ThreadSpec::new("caller", steps)
+}
+
+/// `n` identical concurrent requests for one key.
+pub fn spec(n: usize) -> Spec<State> {
+    Spec::new((0..n).map(|_| participant(false, false)).collect())
+}
+
+/// Seeded bug: the leader never publishes — followers must visibly hang
+/// (the explorer reports it as a deadlock).
+pub fn no_publish_spec(n: usize) -> Spec<State> {
+    Spec::new((0..n).map(|_| participant(false, true)).collect())
+}
+
+/// A follower that arrives while the flight is still open (its join is
+/// guarded on an in-flight entry), used to pin the no-publish bug to a
+/// guaranteed deadlock: on every schedule the second caller coalesces
+/// behind the leader, and without a publish its wait can never enable.
+pub fn coupled_no_publish_spec() -> Spec<State> {
+    let mut follower = participant(false, true);
+    let join_step = &mut follower.steps[0];
+    *join_step = Step::guarded("join-while-open", flight_open, join);
+    Spec::new(vec![participant(false, true), follower])
+}
+
+/// Guard for [`coupled_no_publish_spec`]: an open flight exists.
+fn flight_open(s: &State, _tid: usize) -> bool {
+    s.inflight.is_some()
+}
+
+/// Seeded bug: completion publishes without retiring the key, so a late
+/// joiner couples onto a finished flight and reads its stale value.
+pub fn no_retire_spec(n: usize) -> Spec<State> {
+    Spec::new((0..n).map(|_| participant(true, false)).collect())
+}
+
+/// Fresh state for an `n`-thread spec.
+pub fn init(n: usize) -> State {
+    State::new(n)
+}
+
+/// Invariant 4, checked after every step: any result a thread holds is
+/// the value its own flight's leader executed, and nobody ever coupled
+/// onto an already-completed flight.
+pub fn invariant(s: &State) -> Result<(), String> {
+    if s.late_joins > 0 {
+        return Err(format!(
+            "{} joiner(s) coupled onto an already-published flight (stale value served)",
+            s.late_joins
+        ));
+    }
+    for (tid, r) in s.result.iter().enumerate() {
+        if let Some(v) = r {
+            let Some((slot, _)) = s.joined[tid] else {
+                return Err(format!("thread {tid} has a result but never joined"));
+            };
+            match s.led_value[slot] {
+                Some(led) if led == *v => {}
+                Some(led) => {
+                    return Err(format!(
+                        "thread {tid} got {v} but its flight's leader produced {led}"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "thread {tid} got {v} from a flight that never executed"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// End-of-schedule: everyone finished with a value, one execution per
+/// led flight, and at least one flight happened.
+pub fn final_check(s: &State) -> Result<(), String> {
+    if !s.result.iter().all(Option::is_some) {
+        return Err("a participant never received a value".into());
+    }
+    let flights = s.led_value.iter().filter(|v| v.is_some()).count() as u64;
+    if s.executions != flights {
+        return Err(format!(
+            "{} executions for {flights} led flights",
+            s.executions
+        ));
+    }
+    if s.executions == 0 {
+        return Err("no flight executed".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{Explorer, FailureKind};
+
+    #[test]
+    fn every_schedule_coalesces_or_retries_cleanly() {
+        let report = Explorer::new()
+            .explore(&spec(3), || init(3), invariant, final_check)
+            .unwrap_or_else(|f| panic!("{f}"));
+        // Guards prune follower-before-publish orders; the space is still
+        // thousands of schedules deep.
+        assert!(
+            report.schedules > 1000,
+            "expected a deep exploration, got {}",
+            report.schedules
+        );
+    }
+
+    #[test]
+    fn two_callers_exhaustively() {
+        Explorer::new()
+            .explore(&spec(2), || init(2), invariant, final_check)
+            .unwrap_or_else(|f| panic!("{f}"));
+    }
+
+    #[test]
+    fn leader_that_never_publishes_strands_participants() {
+        // Free-running callers: the explorer finds *some* violating
+        // schedule — either a stranded follower (deadlock) or a leader
+        // that finished without ever producing its value (final check).
+        let failure = Explorer::new()
+            .explore(&no_publish_spec(2), || init(2), invariant, final_check)
+            .expect_err("an unpublished slot must strand a participant");
+        assert!(
+            matches!(
+                failure.kind,
+                FailureKind::Deadlock | FailureKind::FinalCheck
+            ),
+            "{failure}"
+        );
+        // Forcing the second caller to arrive while the flight is open
+        // pins it down: every schedule deadlocks the follower's wait.
+        let failure = Explorer::new()
+            .explore(
+                &coupled_no_publish_spec(),
+                || init(2),
+                invariant,
+                final_check,
+            )
+            .expect_err("a coupled follower must hang without a publish");
+        assert_eq!(failure.kind, FailureKind::Deadlock, "{failure}");
+    }
+
+    #[test]
+    fn completion_without_retire_leaks_stale_flights() {
+        // With the key never removed, a caller arriving after the first
+        // flight publishes couples onto the finished slot and would, in
+        // the real engine, receive a value computed before its request
+        // arrived (an epoch-stale result after an ingest). The invariant
+        // counts such late joins, so the explorer must find the schedule.
+        let failure = Explorer::new()
+            .explore(&no_retire_spec(2), || init(2), invariant, final_check)
+            .expect_err("without retire, some schedule couples a late joiner");
+        assert_eq!(failure.kind, FailureKind::Invariant);
+        assert!(
+            failure.message.contains("already-published"),
+            "{}",
+            failure.message
+        );
+        let replayed = Explorer::new()
+            .replay_str(
+                &no_retire_spec(2),
+                || init(2),
+                invariant,
+                final_check,
+                &failure.schedule_str(),
+            )
+            .expect_err("replay reproduces the late join");
+        assert_eq!(replayed.message, failure.message);
+        // The correct protocol never couples late: every post-completion
+        // joiner leads a fresh flight, so some schedules run 2 flights.
+        let fresh_flights = std::cell::Cell::new(0u64);
+        Explorer::new()
+            .explore(
+                &spec(2),
+                || init(2),
+                invariant,
+                |s| {
+                    if s.executions == 2 {
+                        fresh_flights.set(fresh_flights.get() + 1);
+                    }
+                    final_check(s)
+                },
+            )
+            .unwrap_or_else(|f| panic!("{f}"));
+        assert!(
+            fresh_flights.get() > 0,
+            "with retire-before-publish, late joiners start fresh flights"
+        );
+    }
+}

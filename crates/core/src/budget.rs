@@ -169,6 +169,7 @@ impl Budget {
 
     /// Sets the deadline `d` from now.
     pub fn deadline_in(self, d: Duration) -> Self {
+        // lint-allow: instant-now — builder runs once at query admission, not inside a scoring loop
         self.with_deadline(Instant::now() + d)
     }
 
@@ -213,12 +214,14 @@ impl Budget {
 
     /// Simulated page fetches reported against the IO cap so far.
     pub fn io_used(&self) -> u64 {
+        // lint-allow: relaxed-ordering — advisory stats read; enforcement goes through the SeqCst trip
         self.io_used.load(Ordering::Relaxed)
     }
 
     /// Records `pages` fetches against the IO cap (no-op without one).
     pub fn charge_io(&self, pages: u64) {
         if self.io_budget.is_some() && pages > 0 {
+            // lint-allow: relaxed-ordering — monotonic accumulation; a stale read only delays the trip by one poll
             self.io_used.fetch_add(pages, Ordering::Relaxed);
         }
     }
@@ -263,18 +266,21 @@ impl Budget {
             }
         }
         if let Some(deadline) = self.deadline {
+            // lint-allow: instant-now — deadline enforcement needs the wall clock; polled per check(), not per posting
             if Instant::now() >= deadline {
                 self.trip(TRIP_DEADLINE);
                 return false;
             }
         }
         if let Some(cap) = self.io_budget {
+            // lint-allow: relaxed-ordering — a stale read only delays the trip by one poll; the trip CAS is SeqCst
             if self.io_used.load(Ordering::Relaxed) >= cap {
                 self.trip(TRIP_IO);
                 return false;
             }
         }
         if let Some(cap) = self.step_budget {
+            // lint-allow: relaxed-ordering — step counting tolerates cap overshoot by in-flight increments
             if self.steps_used.fetch_add(1, Ordering::Relaxed) + 1 >= cap {
                 self.trip(TRIP_STEPS);
                 return false;
@@ -295,6 +301,7 @@ impl Budget {
             }
         }
         if let Some(deadline) = self.deadline {
+            // lint-allow: instant-now — runs once at admission to shed dead-on-arrival requests
             if Instant::now() >= deadline {
                 self.trip(TRIP_DEADLINE);
                 return Some(SearchError::DeadlineExceeded);

@@ -36,6 +36,7 @@ use crate::query::{Operator, Query};
 static DELTA_STAMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 fn next_stamp() -> u64 {
+    // lint-allow: relaxed-ordering — stamp uniqueness comes from fetch_add atomicity; no cross-variable ordering
     DELTA_STAMP.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
@@ -74,6 +75,7 @@ impl Clone for DeltaIndex {
             added_docs: self.added_docs.clone(),
             stamp: self.stamp,
             corrections: std::sync::atomic::AtomicU64::new(
+                // lint-allow: relaxed-ordering — clone snapshot of an advisory counter
                 self.corrections.load(std::sync::atomic::Ordering::Relaxed),
             ),
         }
@@ -118,6 +120,7 @@ impl DeltaIndex {
     /// How many `P(q|p)` corrections this delta has served (monotone
     /// while the delta is live; the count dies with it at compaction).
     pub fn corrections_applied(&self) -> u64 {
+        // lint-allow: relaxed-ordering — advisory stats read
         self.corrections.load(std::sync::atomic::Ordering::Relaxed)
     }
 
@@ -250,6 +253,7 @@ impl DeltaIndex {
             return stale_prob;
         }
         self.corrections
+            // lint-allow: relaxed-ordering — monotone correction counter, read only by stats
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let base_df = index.phrases.df(phrase) as f64;
         let base_joint = (stale_prob * base_df).round();

@@ -789,6 +789,7 @@ impl QueryEngine {
     /// Queries served across all clones of this engine (cache hits
     /// included).
     pub fn queries_served(&self) -> u64 {
+        // lint-allow: relaxed-ordering — monotonic query counter, read only for exposition
         self.inner.served.load(Ordering::Relaxed)
     }
 
@@ -800,6 +801,7 @@ impl QueryEngine {
     /// Uncached executions that fanned out across more than one shard
     /// (cache hits are not counted — they run nothing).
     pub fn sharded_queries(&self) -> u64 {
+        // lint-allow: relaxed-ordering — monotonic query counter, read only for exposition
         self.inner.sharded_queries.load(Ordering::Relaxed)
     }
 
@@ -813,13 +815,16 @@ impl QueryEngine {
     /// building it on first use and evicting the least-recently-used
     /// non-default layout past the cap.
     fn sharded_index(&self, state: &IndexState, n: usize) -> Arc<ShardedIndex> {
+        // lint-allow: relaxed-ordering — LRU recency clock; skew only costs a suboptimal eviction victim
         let stamp = state.layout_clock.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(idx) = state.sharded.read().unwrap().get(&n) {
+            // lint-allow: relaxed-ordering — LRU recency stamp; skew only costs a suboptimal eviction victim
             idx.last_used.store(stamp, Ordering::Relaxed);
             return idx.clone();
         }
         let mut map = state.sharded.write().unwrap();
         if let Some(idx) = map.get(&n) {
+            // lint-allow: relaxed-ordering — LRU recency stamp; skew only costs a suboptimal eviction victim
             idx.last_used.store(stamp, Ordering::Relaxed);
             return idx.clone();
         }
@@ -827,6 +832,7 @@ impl QueryEngine {
             let victim = map
                 .iter()
                 .filter(|&(&key, _)| key != self.inner.default_shards)
+                // lint-allow: relaxed-ordering — LRU recency read; skew only costs a suboptimal eviction victim
                 .min_by_key(|(_, v)| v.last_used.load(Ordering::Relaxed))
                 .map(|(&key, _)| key);
             match victim {
@@ -860,6 +866,7 @@ impl QueryEngine {
     /// Drops every cached result (counters keep accumulating).
     pub fn clear_cache(&self) {
         if let Some(cache) = &self.inner.cache {
+            // lint-allow: cache-clear — the admin escape hatch is the one sanctioned wholesale clear; serving invalidates by epoch key
             cache.clear();
         }
     }
@@ -991,6 +998,7 @@ impl QueryEngine {
         let delta = Arc::make_mut(live.delta.get_or_insert_with(Default::default));
         delta.add_document(index.miner.index(), tokens, facets);
         live.epoch += 1;
+        // lint-allow: relaxed-ordering — monotone lifecycle counter; mutations serialize on the live write lock
         self.inner.ingested.fetch_add(1, Ordering::Relaxed);
         self.inner.obs.docs_ingested.inc();
     }
@@ -1011,6 +1019,7 @@ impl QueryEngine {
         live.epoch += 1;
         self.inner
             .ingested
+            // lint-allow: relaxed-ordering — monotone lifecycle counter; mutations serialize on the live write lock
             .fetch_add(docs.len() as u64, Ordering::Relaxed);
         self.inner.obs.docs_ingested.add(docs.len() as u64);
     }
@@ -1031,6 +1040,7 @@ impl QueryEngine {
         let delta = Arc::make_mut(live.delta.get_or_insert_with(Default::default));
         delta.delete_document(doc);
         live.epoch += 1;
+        // lint-allow: relaxed-ordering — monotone lifecycle counter; mutations serialize on the live write lock
         self.inner.deleted.fetch_add(1, Ordering::Relaxed);
         self.inner.obs.docs_deleted.inc();
         true
@@ -1107,6 +1117,7 @@ impl QueryEngine {
             live.epoch += 1;
             live.epoch
         };
+        // lint-allow: relaxed-ordering — monotone lifecycle counter; mutations serialize on the live write lock
         self.inner.compactions.fetch_add(1, Ordering::Relaxed);
         self.inner.obs.compactions.inc();
         CompactionReport {
@@ -1122,8 +1133,11 @@ impl QueryEngine {
         let live = self.inner.live.read().unwrap();
         LifecycleStats {
             epoch: live.epoch,
+            // lint-allow: relaxed-ordering — stats snapshot; each counter is independently monotone
             ingested: self.inner.ingested.load(Ordering::Relaxed),
+            // lint-allow: relaxed-ordering — stats snapshot; each counter is independently monotone
             deleted: self.inner.deleted.load(Ordering::Relaxed),
+            // lint-allow: relaxed-ordering — stats snapshot; each counter is independently monotone
             compactions: self.inner.compactions.load(Ordering::Relaxed),
             delta_docs: live
                 .delta
@@ -1267,6 +1281,7 @@ impl QueryEngine {
             let cached = cache.get(&key);
             probe_span.end();
             if let Some(hits) = cached {
+                // lint-allow: relaxed-ordering — monotone query counter, read only by stats
                 self.inner.served.fetch_add(1, Ordering::Relaxed);
                 obs.queries_served.inc();
                 obs.cache_hits.inc();
@@ -1314,6 +1329,7 @@ impl QueryEngine {
             None => base,
         };
         if plan.shards > 1 {
+            // lint-allow: relaxed-ordering — monotone query counter, read only by stats
             self.inner.sharded_queries.fetch_add(1, Ordering::Relaxed);
             obs.sharded_queries.inc();
         }
@@ -1325,6 +1341,7 @@ impl QueryEngine {
                 cache.insert(key, Arc::new(hits.clone()));
             }
         }
+        // lint-allow: relaxed-ordering — monotone query counter, read only by stats
         self.inner.served.fetch_add(1, Ordering::Relaxed);
         obs.queries_served.inc();
         let elapsed = start.elapsed();
@@ -1778,9 +1795,11 @@ impl QueryEngine {
             }
         };
         if n > 1 {
+            // lint-allow: relaxed-ordering — monotone query counter, read only by stats
             self.inner.sharded_queries.fetch_add(1, Ordering::Relaxed);
             obs.sharded_queries.inc();
         }
+        // lint-allow: relaxed-ordering — monotone query counter, read only by stats
         self.inner.served.fetch_add(1, Ordering::Relaxed);
         obs.queries_served.inc();
         let text_span = tracer.span(StageKind::TextResolve);

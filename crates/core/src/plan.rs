@@ -427,6 +427,7 @@ impl<B: ListBackend + Sync> ShardExecutor for LocalShard<'_, B> {
         };
         let mut out = run_one_shard(self.ctx, self.backend, query, fetch, tuning, self.subset);
         let now = self.backend.io_fetches();
+        // lint-allow: relaxed-ordering — per-plan IO attribution; the swap is atomic and read on the same worker
         let before = self.io_mark.swap(now, std::sync::atomic::Ordering::Relaxed);
         out.io_fetches = now.saturating_sub(before);
         Ok(out)

@@ -31,11 +31,13 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // lint-allow: relaxed-ordering — monotonic counter cell; no cross-variable protocol
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // lint-allow: relaxed-ordering — monotonic counter read for exposition
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -55,11 +57,13 @@ impl Gauge {
 
     /// Sets the value.
     pub fn set(&self, v: u64) {
+        // lint-allow: relaxed-ordering — instantaneous gauge cell; no cross-variable protocol
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Adds one (e.g. a connection opened).
     pub fn inc(&self) {
+        // lint-allow: relaxed-ordering — instantaneous gauge cell; no cross-variable protocol
         self.value.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -67,6 +71,7 @@ impl Gauge {
     pub fn dec(&self) {
         let _ = self
             .value
+            // lint-allow: relaxed-ordering — instantaneous gauge cell; no cross-variable protocol
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
                 Some(v.saturating_sub(1))
             });
@@ -74,6 +79,7 @@ impl Gauge {
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // lint-allow: relaxed-ordering — instantaneous gauge read for exposition
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -142,28 +148,43 @@ impl Histogram {
         // First bound >= v; `partition_point` is a branch-light binary
         // search over a tiny slice.
         let idx = c.bounds.partition_point(|&b| b < v);
+        // lint-allow: relaxed-ordering — published by the Release count bump below
         c.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        c.count.fetch_add(1, Ordering::Relaxed);
         c.sum_nanos
+            // lint-allow: relaxed-ordering — published by the Release count bump below
             .fetch_add((v * 1e9).max(0.0) as u64, Ordering::Relaxed);
+        // Release pairs with the Acquire loads in `count`/`snapshot`: a
+        // reader that observes this count also sees the bucket and sum
+        // increments above. The router's hedge warmup gate counts on it —
+        // it trusts a snapshot's quantile once `count` crosses the
+        // warmup threshold.
+        c.count.fetch_add(1, Ordering::Release);
     }
 
     /// Total observations so far.
     pub fn count(&self) -> u64 {
-        self.core.count.load(Ordering::Relaxed)
+        // Acquire: see `observe_seconds` — observing a count promises the
+        // matching bucket increments are visible to a later `snapshot`.
+        self.core.count.load(Ordering::Acquire)
     }
 
     /// A point-in-time copy of the buckets, mergeable and queryable.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let c = &self.core;
+        // Acquire first: pairs with the Release in `observe_seconds`, so
+        // every bucket/sum increment ordered before the count we read is
+        // visible to the Relaxed loads below.
+        let count = c.count.load(Ordering::Acquire);
         HistogramSnapshot {
             bounds: c.bounds.clone(),
             buckets: c
                 .buckets
                 .iter()
+                // lint-allow: relaxed-ordering — ordered by the Acquire count load above
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
-            count: c.count.load(Ordering::Relaxed),
+            count,
+            // lint-allow: relaxed-ordering — ordered by the Acquire count load above
             sum: c.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9,
         }
     }

@@ -451,6 +451,7 @@ impl SlowQueryLog {
         if trace.total < self.config.threshold {
             return false;
         }
+        // lint-allow: relaxed-ordering — advisory total; the traces themselves travel under the ring mutex
         self.recorded.fetch_add(1, Ordering::Relaxed);
         let mut ring = self.ring.lock().unwrap();
         if ring.len() == self.config.capacity {
@@ -462,6 +463,7 @@ impl SlowQueryLog {
 
     /// Slow queries recorded since construction (evicted ones included).
     pub fn recorded(&self) -> u64 {
+        // lint-allow: relaxed-ordering — advisory total read for exposition
         self.recorded.load(Ordering::Relaxed)
     }
 

@@ -52,6 +52,7 @@ impl Client {
             }
             std::thread::sleep(delay);
         }
+        // lint-allow: server-unwrap — the retry loop above runs at least once, so last is always Some
         Err(last.expect("at least one attempt"))
     }
 

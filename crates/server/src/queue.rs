@@ -86,6 +86,7 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
+            // lint-allow: server-unwrap — condvar wait errs only on lock poison — same unrecoverable-poison idiom as lock().unwrap()
             inner = self.not_empty.wait(inner).unwrap();
         }
     }

@@ -52,7 +52,7 @@ use ipm_core::{
     ApproxReason, Budget, Completeness, Query, QueryEngine, SearchError, SearchOptions, ShardError,
     ShardExecutor, ShardOutcome, StageKind,
 };
-use ipm_obs::{Counter, Histogram};
+use ipm_obs::{Counter, Histogram, HistogramSnapshot};
 use serde_json::Value;
 
 use crate::wire::{self, ErrorKind, SearchRequest, ShardExecRequest, WireRequest};
@@ -151,6 +151,7 @@ pub struct RouterStats {
 /// tier too.
 struct RouterObs {
     requests: Counter,
+    conn_errors: Counter,
     shard_rpcs: Counter,
     hedges_fired: Counter,
     hedges_won: Counter,
@@ -167,6 +168,10 @@ impl RouterObs {
             requests: r.counter(
                 "ipm_router_requests_total",
                 "Search requests received by the router.",
+            ),
+            conn_errors: r.counter(
+                "ipm_router_connection_errors_total",
+                "Connections dropped by setup failures (thread spawn, stream clone).",
             ),
             shard_rpcs: r.counter(
                 "ipm_router_shard_rpcs_total",
@@ -299,6 +304,7 @@ impl Router {
             std::thread::Builder::new()
                 .name("ipm-router-accept".to_owned())
                 .spawn(move || accept_loop(&shared, listener))
+                // lint-allow: server-unwrap — startup spawn: failing to start the acceptor is fatal by design, before any connection exists
                 .expect("spawn router acceptor")
         };
         Ok(RouterHandle {
@@ -380,10 +386,18 @@ fn accept_loop(shared: &Arc<RouterShared>, listener: TcpListener) {
         }
         let Ok(stream) = stream else { continue };
         let conn_shared = shared.clone();
-        let handle = std::thread::Builder::new()
+        let handle = match std::thread::Builder::new()
             .name("ipm-router-conn".to_owned())
             .spawn(move || connection_loop(&conn_shared, stream))
-            .expect("spawn router connection thread");
+        {
+            Ok(h) => h,
+            Err(_) => {
+                // Keep routing under thread exhaustion: drop the one
+                // connection instead of panicking the accept loop.
+                shared.obs.conn_errors.inc();
+                continue;
+            }
+        };
         let mut conns = shared.connections.lock().unwrap();
         let mut i = 0;
         while i < conns.len() {
@@ -400,7 +414,15 @@ fn accept_loop(shared: &Arc<RouterShared>, listener: TcpListener) {
 fn connection_loop(shared: &Arc<RouterShared>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut writer = stream.try_clone().expect("clone stream");
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => {
+            // No way to answer on a stream that will not clone: count
+            // it as a disconnect and let the thread exit cleanly.
+            shared.obs.conn_errors.inc();
+            return;
+        }
+    };
     let mut reader = stream;
     let mut pending: Vec<u8> = Vec::new();
     let mut buf = [0u8; 4096];
@@ -643,13 +665,35 @@ type AttemptResult = Result<ShardOutcome, String>;
 /// the configured band, or the fixed initial delay until the histogram
 /// has [`HEDGE_WARMUP`] samples.
 fn hedge_delay(shared: &RouterShared, shard: usize) -> Duration {
-    let hedge = &shared.hedge;
-    let snap = shared.endpoints[shard].rpc_latency.snapshot();
+    delay_from(
+        &shared.endpoints[shard].rpc_latency.snapshot(),
+        &shared.hedge,
+    )
+}
+
+/// Pure core of [`hedge_delay`]: the delay a shard with this latency
+/// snapshot gets under this policy. Split from the router state so the
+/// feedback rules stay unit-testable without a live cluster.
+fn delay_from(snap: &HistogramSnapshot, hedge: &HedgeConfig) -> Duration {
     if snap.count() < HEDGE_WARMUP {
         return hedge.initial_delay;
     }
     let p95 = Duration::from_secs_f64(snap.quantile(0.95).max(0.0));
     p95.clamp(hedge.min_delay, hedge.max_delay)
+}
+
+/// Feeds a winning RPC's latency back into its shard's histogram —
+/// unless the win was hedged. A hedged win's latency is
+/// `hedge delay + fast replica`, so feeding it back would ratchet the
+/// p95 (and with it the delay) up one histogram bucket per round until
+/// hedging disarmed itself against a persistently slow primary. With
+/// every RPC to a slow shard hedged, the histogram stays in warmup and
+/// the configured initial delay keeps ruling — exactly the stable
+/// outcome we want: a hedged win must be a no-op on the adaptive delay.
+fn record_winning_leg(shard_latency: &Histogram, hedged: bool, elapsed: Duration) {
+    if !hedged {
+        shard_latency.observe(elapsed);
+    }
 }
 
 /// One shard RPC with pooling, hedging and failover. Returns the first
@@ -674,19 +718,24 @@ fn rpc(
         shared.obs.shard_rpcs.inc();
         let shared = shared.clone();
         let line = line.clone();
-        let tx = tx.clone();
-        std::thread::Builder::new()
+        let thread_tx = tx.clone();
+        if let Err(e) = std::thread::Builder::new()
             .name(format!("ipm-rpc-{shard}-{replica_idx}"))
             .spawn(move || {
                 let result = attempt(&shared, shard, replica_idx, &line, cutoff);
-                if tx.send((attempt_idx, result)).is_err() {
+                if thread_tx.send((attempt_idx, result)).is_err() {
                     // The winner was chosen (or the wait abandoned)
                     // before this attempt finished: its work is the
                     // price of the hedge.
                     shared.obs.wasted_rpcs.inc();
                 }
             })
-            .expect("spawn rpc attempt");
+        {
+            // A spawn failure is a failed attempt like any other:
+            // report it through the channel so the wait loop runs its
+            // normal failover instead of the router thread panicking.
+            let _ = tx.send((attempt_idx, Err(format!("spawn rpc thread: {e}"))));
+        }
     };
 
     spawn_attempt(0, 0);
@@ -729,17 +778,9 @@ fn rpc(
         match rx.recv_timeout(wait) {
             Ok((attempt_idx, Ok(out))) => {
                 let elapsed = started.elapsed();
-                // Only un-hedged RPCs feed the adaptive delay. A hedged
-                // win's latency is `hedge delay + fast replica`, so
-                // feeding it back would ratchet the p95 (and with it the
-                // delay) up one histogram bucket per round until hedging
-                // disarms itself against a persistently slow primary.
-                // With every RPC to a slow shard hedged, the histogram
-                // stays in warmup and the configured initial delay keeps
-                // ruling — exactly the stable outcome we want.
-                if hedge_attempt.is_none() {
-                    endpoint.rpc_latency.observe(elapsed);
-                }
+                // Only un-hedged RPCs feed the adaptive delay; see
+                // `record_winning_leg` for why a hedged win must not.
+                record_winning_leg(&endpoint.rpc_latency, hedge_attempt.is_some(), elapsed);
                 shared.obs.rpc_latency.observe(elapsed);
                 if hedge_attempt == Some(attempt_idx) {
                     shared.obs.hedges_won.inc();
@@ -896,6 +937,54 @@ fn decode_shard_response(v: &Value) -> AttemptResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hedged_win_is_a_no_op_on_the_adaptive_delay() {
+        let hedge = HedgeConfig::default();
+        let latency = Histogram::new();
+        // Warm the shard up with un-hedged wins slow enough that the
+        // adaptive delay leaves the initial value for the clamped p95.
+        let slow = Duration::from_millis(200);
+        for _ in 0..HEDGE_WARMUP {
+            record_winning_leg(&latency, false, slow);
+        }
+        let warmed = delay_from(&latency.snapshot(), &hedge);
+        assert!(
+            warmed > hedge.initial_delay,
+            "p95 of {slow:?} wins must rule"
+        );
+        assert!(warmed >= hedge.min_delay && warmed <= hedge.max_delay);
+
+        // A storm of fast *hedged* wins changes nothing: not the sample
+        // count, not the delay. Feeding them back would drag the p95 —
+        // and with it the delay — toward `hedge delay + fast replica`.
+        let count_before = latency.count();
+        for _ in 0..1000 {
+            record_winning_leg(&latency, true, Duration::from_millis(1));
+        }
+        assert_eq!(
+            latency.count(),
+            count_before,
+            "hedged wins must not feed the histogram"
+        );
+        assert_eq!(delay_from(&latency.snapshot(), &hedge), warmed);
+    }
+
+    #[test]
+    fn hedge_delay_stays_initial_through_warmup_then_tracks_clamped_p95() {
+        let hedge = HedgeConfig::default();
+        let latency = Histogram::new();
+        // Below the warmup threshold the configured initial delay rules,
+        // whatever the (still untrustworthy) samples say.
+        for _ in 0..HEDGE_WARMUP - 1 {
+            record_winning_leg(&latency, false, Duration::from_secs(1));
+            assert_eq!(delay_from(&latency.snapshot(), &hedge), hedge.initial_delay);
+        }
+        // The warmup-crossing sample flips it to the adaptive path; a
+        // 1 s p95 is far beyond the band, so the upper clamp rules.
+        record_winning_leg(&latency, false, Duration::from_secs(1));
+        assert_eq!(delay_from(&latency.snapshot(), &hedge), hedge.max_delay);
+    }
 
     #[test]
     fn hedge_config_defaults_are_sane() {

@@ -227,6 +227,7 @@ struct Counters {
 /// means admission backlog, not engine regression.
 struct ServerObs {
     connections: Counter,
+    conn_errors: Counter,
     active_connections: Gauge,
     queue_wait: Histogram,
     execute: Histogram,
@@ -239,6 +240,10 @@ impl ServerObs {
             connections: r.counter(
                 "ipm_server_connections_total",
                 "TCP connections accepted by the serving loop.",
+            ),
+            conn_errors: r.counter(
+                "ipm_server_connection_errors_total",
+                "Connections dropped by setup failures (thread spawn, stream clone).",
             ),
             active_connections: r.gauge(
                 "ipm_server_active_connections",
@@ -321,6 +326,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("ipm-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // lint-allow: server-unwrap — startup spawn: a server that cannot start its workers must not come up
                     .expect("spawn worker")
             })
             .collect();
@@ -330,6 +336,7 @@ impl Server {
             std::thread::Builder::new()
                 .name("ipm-accept".to_owned())
                 .spawn(move || accept_loop(&shared, listener))
+                // lint-allow: server-unwrap — startup spawn: a server that cannot start its acceptor must not come up
                 .expect("spawn acceptor")
         };
 
@@ -434,10 +441,19 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
         }
         let Ok(stream) = stream else { continue };
         let conn_shared = shared.clone();
-        let handle = std::thread::Builder::new()
+        let handle = match std::thread::Builder::new()
             .name("ipm-conn".to_owned())
             .spawn(move || connection_loop(&conn_shared, stream))
-            .expect("spawn connection thread");
+        {
+            Ok(h) => h,
+            Err(_) => {
+                // Thread exhaustion must not take the accept loop (and
+                // with it the whole server) down: drop this connection —
+                // the peer sees a clean close — and keep accepting.
+                shared.obs.conn_errors.inc();
+                continue;
+            }
+        };
         let mut conns = shared.connections.lock().unwrap();
         // Reap finished connection threads as we go: a long-lived server
         // handling many short-lived connections must not accumulate
@@ -738,7 +754,16 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
     // A short read timeout lets the loop observe shutdown without a
     // dedicated wakeup channel per connection.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut writer = stream.try_clone().expect("clone stream");
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => {
+            // A stream that cannot be cloned cannot be answered; treat
+            // it as an immediate disconnect, not a thread panic.
+            shared.obs.conn_errors.inc();
+            shared.obs.active_connections.dec();
+            return;
+        }
+    };
     let mut reader = stream;
     let mut pending: Vec<u8> = Vec::new();
     let mut buf = [0u8; 4096];

@@ -44,6 +44,7 @@ impl<V: Clone> Slot<V> {
             if let Some(v) = guard.as_ref() {
                 return v.clone();
             }
+            // lint-allow: server-unwrap — condvar wait errs only on lock poison — same unrecoverable-poison idiom as lock().unwrap()
             guard = self.ready.wait(guard).unwrap();
         }
     }

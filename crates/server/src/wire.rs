@@ -243,6 +243,7 @@ impl SearchRequest {
 
     /// One request line (newline-terminated).
     pub fn to_line(&self) -> String {
+        // lint-allow: server-unwrap — serializing an owned Value tree is infallible; no connection involved
         let mut line = serde_json::to_string(&self.to_value()).expect("infallible");
         line.push('\n');
         line
@@ -258,6 +259,7 @@ pub fn batch_line(requests: &[SearchRequest]) -> String {
         "batch".to_owned(),
         Value::Array(requests.iter().map(SearchRequest::to_value).collect()),
     );
+    // lint-allow: server-unwrap — serializing an owned Value tree is infallible; no connection involved
     let mut line = serde_json::to_string(&Value::Object(map)).expect("infallible");
     line.push('\n');
     line
@@ -471,6 +473,7 @@ pub fn ingest_line(tokens: &[String], facets: &[String]) -> String {
             Value::Array(facets.iter().map(|f| Value::from(f.clone())).collect()),
         );
     }
+    // lint-allow: server-unwrap — serializing an owned Value tree is infallible; no connection involved
     let mut line = serde_json::to_string(&Value::Object(m)).expect("infallible");
     line.push('\n');
     line
@@ -481,6 +484,7 @@ pub fn delete_line(doc: u64) -> String {
     let mut m = BTreeMap::new();
     m.insert("cmd".to_owned(), Value::from("delete"));
     m.insert("doc".to_owned(), Value::from(doc));
+    // lint-allow: server-unwrap — serializing an owned Value tree is infallible; no connection involved
     let mut line = serde_json::to_string(&Value::Object(m)).expect("infallible");
     line.push('\n');
     line
@@ -535,7 +539,9 @@ pub fn f64_to_bits_str(f: f64) -> String {
 /// # Errors
 /// A message when the string is not exactly 16 hex digits.
 pub fn f64_from_bits_str(s: &str) -> Result<f64, String> {
-    if s.len() != 16 {
+    // `from_str_radix` alone would wave through a leading `+` (15 digits
+    // plus sign), so require every byte to be a hex digit explicitly.
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
         return Err(format!("bit string must be 16 hex digits, got '{s}'"));
     }
     u64::from_str_radix(s, 16)
@@ -671,6 +677,7 @@ impl ShardExecRequest {
                 Value::Array(vec![Value::from(lo as u64), Value::from(hi as u64)]),
             );
         }
+        // lint-allow: server-unwrap — serializing an owned Value tree is infallible; no connection involved
         let mut line = serde_json::to_string(&Value::Object(m)).expect("infallible");
         line.push('\n');
         line
@@ -1011,6 +1018,7 @@ pub fn error_line(kind: ErrorKind, message: &str) -> String {
     let mut m = BTreeMap::new();
     m.insert("ok".to_owned(), Value::from(false));
     m.insert("error".to_owned(), Value::Object(err));
+    // lint-allow: server-unwrap — serializing an owned Value tree is infallible; no connection involved
     let mut line = serde_json::to_string(&Value::Object(m)).expect("infallible");
     line.push('\n');
     line
@@ -1024,6 +1032,7 @@ pub fn ok_line(fields: Vec<(&str, Value)>) -> String {
     for (k, v) in fields {
         m.insert(k.to_owned(), v);
     }
+    // lint-allow: server-unwrap — serializing an owned Value tree is infallible; no connection involved
     let mut line = serde_json::to_string(&Value::Object(m)).expect("infallible");
     line.push('\n');
     line

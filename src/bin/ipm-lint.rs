@@ -1,0 +1,23 @@
+//! `ipm-lint` — the repo-invariant lint pass as a standalone binary
+//! (CI's `verify` job runs it; `ipm lint` is the same pass behind the
+//! main CLI).
+//!
+//! ```text
+//! ipm-lint [--root <dir>]            # scan, nonzero exit on findings
+//! ipm-lint --list-rules
+//! ipm-lint --fix-allow <rule> [--dry-run]
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ipm_check::lint::cli(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -60,6 +60,8 @@ const USAGE: &str = "usage:
   ipm repl   [--input <file>] [--k N] [--filter-redundant true]
   ipm stats  --input <file> | --addr <host:port> --metrics true
   ipm demo   <query string> [--k N]
+  ipm lint   [--root <dir>] [--list-rules] [--fix-allow <rule> [--dry-run]]
+  ipm bench-check [--root <dir>]
 
 query strings: terms joined by AND or OR (one operator per query);
 key:value terms are metadata facets. Bare terms default to AND.
@@ -105,6 +107,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "repl" => cmd_repl(rest),
         "stats" => cmd_stats(rest),
         "demo" => cmd_demo(rest),
+        "lint" => cmd_lint(rest),
+        "bench-check" => cmd_bench_check(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -923,5 +927,39 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         "zipf slope:           {:.2}",
         ipm_corpus::stats::zipf_slope(&corpus)
     );
+    Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    if ipm_check::lint::cli(args)? {
+        Ok(())
+    } else {
+        Err(
+            "lint found violations (see above; allow with a reasoned `// lint-allow:` or fix)"
+                .into(),
+        )
+    }
+}
+
+/// Validates the committed `BENCH_*.json` artifacts against the same
+/// schema checks the benches enforce before every write — one command
+/// replacing CI's per-artifact python one-liners, runnable locally.
+fn cmd_bench_check(args: &[String]) -> Result<(), String> {
+    type Validator = fn(&serde_json::Value) -> Result<(), String>;
+    let flags = Flags::parse(args)?;
+    let root = std::path::PathBuf::from(flags.get("root").unwrap_or("."));
+    let artifacts: [(&str, Validator); 3] = [
+        ("BENCH_blocklists.json", ipm_bench::blockbench::validate),
+        ("BENCH_serving.json", ipm_bench::servingbench::validate),
+        ("BENCH_router.json", ipm_bench::routerbench::validate),
+    ];
+    for (name, validate) in artifacts {
+        let path = root.join(name);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let value = serde_json::from_str(&text).map_err(|e| format!("{name}: bad JSON: {e}"))?;
+        validate(&value).map_err(|e| format!("{name}: {e}"))?;
+        println!("{name}: ok");
+    }
     Ok(())
 }
