@@ -7,6 +7,7 @@
 use ipm_eval::experiments::Report;
 use std::path::PathBuf;
 
+pub mod batchbench;
 pub mod blockbench;
 pub mod routerbench;
 pub mod servingbench;

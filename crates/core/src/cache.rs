@@ -210,6 +210,14 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLruCache<K, V> {
         got
     }
 
+    /// Whether `key` is currently cached, without refreshing recency or
+    /// counting hit/miss. The batch executor's pre-probe: deciding
+    /// whether an item still needs a fused scan must not distort the
+    /// cache telemetry of the authoritative probe that follows.
+    pub fn peek(&self, key: &K) -> bool {
+        self.shard_of(key).lock().unwrap().map.contains_key(key)
+    }
+
     /// Inserts (or refreshes) an entry, evicting the shard's LRU entry
     /// when full.
     pub fn insert(&self, key: K, value: V) {

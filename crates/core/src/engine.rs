@@ -57,15 +57,16 @@ use crate::request::SearchRequest;
 use crate::result::PhraseHit;
 use crate::scoring::estimated_interestingness;
 use ipm_corpus::hash::FxHashMap;
-use ipm_corpus::{DocId, FacetId, WordId};
-use ipm_index::backend::MemoryBackend;
+use ipm_corpus::{DocId, FacetId, Feature, WordId};
+use ipm_index::backend::{ListBackend, MemoryBackend};
 use ipm_index::sharding::{ListShard, ShardedWordLists};
 use ipm_obs::{
     Counter, Gauge, Histogram, QueryTrace, Registry, SlowQueryConfig, SlowQueryLog, StageKind,
     TraceMeta, Tracer,
 };
 use ipm_storage::{
-    BlockImage, CostModel, DiskLists, IoStats, PoolConfig, ShardedBlockImage, ShardedDiskImage,
+    BlockImage, CachedBlockImage, CostModel, DecodeStats, DecodedBlockCache, DiskLists, IoStats,
+    PoolConfig, ShardedBlockImage, ShardedDiskImage,
 };
 
 /// Which retrieval algorithm serves a request.
@@ -193,6 +194,16 @@ pub struct EngineConfig {
     /// disables the log — and with it the internal tracing it forces on
     /// otherwise-untraced queries.
     pub slow_query: Option<SlowQueryConfig>,
+    /// Capacity (in 128-entry blocks) of the decoded-block cache the
+    /// **batch** executor shares across block-backed batch members, so
+    /// queries that walk the same word lists decode each block once
+    /// ([`QueryEngine::execute_batch`]). Entries are keyed by index epoch
+    /// — a generation swap invalidates them for free, like the result
+    /// cache. `0` disables the cache; single-query execution never uses
+    /// it (per-query §5.5 decode accounting stays untouched either way —
+    /// the cache sits behind the buffer-pool charge, so IO numbers are
+    /// identical; only decode CPU is saved).
+    pub decode_cache_blocks: usize,
 }
 
 impl Default for EngineConfig {
@@ -204,6 +215,7 @@ impl Default for EngineConfig {
             pool: PoolConfig::default(),
             cost: CostModel::default(),
             slow_query: None,
+            decode_cache_blocks: 4096,
         }
     }
 }
@@ -265,6 +277,40 @@ pub struct ShardExecParams {
     pub floor: f64,
     /// Fanout-scaled NRA prune batch (`None` keeps the configured batch).
     pub batch_size: Option<usize>,
+}
+
+/// One member of a [`QueryEngine::execute_batch`] call: the same request
+/// surface as [`QueryEngine::execute_with_budget`], with a per-item
+/// budget (use [`Budget::none`] for unbudgeted items).
+#[derive(Debug)]
+pub struct BatchItem<'a> {
+    /// The parsed query.
+    pub query: Query,
+    /// Result size.
+    pub k: usize,
+    /// Per-item options (algorithm, backend, fanout, ...).
+    pub options: SearchOptions,
+    /// Per-item execution budget; trips truncate this item only.
+    pub budget: &'a Budget,
+}
+
+/// The decoded-block cache binding one batch execution threads down to
+/// the block backend: the shared cache, the batch's pinned epoch, and the
+/// batch-local hit/miss tally.
+struct DecodeBinding<'a> {
+    cache: &'a DecodedBlockCache,
+    epoch: u64,
+    stats: &'a DecodeStats,
+}
+
+/// One fused batch member's precomputed execution: the shared scan's
+/// hits for this member plus its view of the work counters. Carried
+/// into `execute_one` in place of an `execute_uncached` run — cache
+/// probe/insert, completeness, tracing and response assembly stay on
+/// the one shared path.
+struct FusedHits {
+    hits: Vec<PhraseHit>,
+    stats: ExecStats,
 }
 
 /// A cloneable, thread-safe handle to an immutable phrase-mining index.
@@ -491,6 +537,14 @@ struct EngineObs {
     cache_misses: Counter,
     sharded_queries: Counter,
     latency: Histogram,
+    /// Batch-execution families: planner groups formed, items executed,
+    /// group-size distribution, decodes saved by the shared-scan cache.
+    batch_groups: Counter,
+    batch_items: Counter,
+    batch_group_size: Histogram,
+    fused_saved: Counter,
+    decode_hits: Counter,
+    decode_misses: Counter,
     trip_deadline: Counter,
     trip_io: Counter,
     trip_steps: Counter,
@@ -550,6 +604,30 @@ impl EngineObs {
             latency: r.histogram(
                 "ipm_query_latency_seconds",
                 "End-to-end engine service time per query (cache hits included)",
+            ),
+            batch_groups: r.counter(
+                "ipm_batch_groups_total",
+                "Shared-scan groups formed by the batch planner",
+            ),
+            batch_items: r.counter(
+                "ipm_batch_items_total",
+                "Queries executed through the batch path",
+            ),
+            batch_group_size: r.histogram(
+                "ipm_batch_group_size",
+                "Members per shared-scan batch group",
+            ),
+            fused_saved: r.counter(
+                "ipm_batch_fused_scans_saved_total",
+                "Block decodes skipped because a batch member reused a cached decoded block",
+            ),
+            decode_hits: r.counter(
+                "ipm_decode_cache_hits_total",
+                "Decoded-block cache hits across all batch executions",
+            ),
+            decode_misses: r.counter(
+                "ipm_decode_cache_misses_total",
+                "Decoded-block cache misses across all batch executions",
             ),
             trip_deadline: r.counter_with(
                 "ipm_budget_truncated_total",
@@ -666,6 +744,11 @@ struct Inner {
     /// but two concurrent queries must not interleave.
     disk_gate: Mutex<()>,
     cache: Option<ShardedLruCache<CacheKey, Arc<Vec<SearchHit>>>>,
+    /// Decoded-block cache shared by block-backed **batch** executions
+    /// (`None` when [`EngineConfig::decode_cache_blocks`] is `0`).
+    /// Entries are keyed by `(epoch, image, offset)`, so generation swaps
+    /// invalidate them exactly like the result cache.
+    decode_cache: Option<DecodedBlockCache>,
     /// Default shard fanout for requests that don't specify one.
     default_shards: usize,
     /// Uncached executions that fanned out to more than one shard.
@@ -712,6 +795,8 @@ impl QueryEngine {
                 cost: config.cost,
                 disk_gate: Mutex::new(()),
                 cache: config.cache.map(ShardedLruCache::new),
+                decode_cache: (config.decode_cache_blocks > 0)
+                    .then(|| DecodedBlockCache::new(config.decode_cache_blocks)),
                 default_shards: config.shards.max(1),
                 sharded_queries: AtomicU64::new(0),
                 served: AtomicU64::new(0),
@@ -1226,6 +1311,261 @@ impl QueryEngine {
         options: &SearchOptions,
         budget: &Budget,
     ) -> Result<SearchResponse, SearchError> {
+        // Snapshot the serving head once: a consistent (epoch, index,
+        // delta) triple. Everything below — cache key, completeness,
+        // execution — works off this snapshot, so a concurrent ingest or
+        // compaction never mixes generations within one request.
+        let live = self.live();
+        self.execute_one(&live, query, k, options, budget, None, None)
+    }
+
+    /// Serves several parsed queries as one batch: a single live-state
+    /// snapshot, the [`crate::plan::BatchPlan`] planner grouping items
+    /// that share query words (within one execution-config class), a
+    /// fused shared scan walking each group's distinct word lists **once**
+    /// for all eligible members (`fused.rs`), and — for block-backed
+    /// items — a shared decoded-block cache so each encoded block is
+    /// bit-unpacked once per group instead of once per query. Results come
+    /// back in input order.
+    ///
+    /// **Parity contract**: every item returns exactly what its own
+    /// [`QueryEngine::execute_with_budget`] call would have returned
+    /// against the same snapshot — bit-identical hits, the same per-item
+    /// [`Completeness`], per-item budgets still honored via their sticky
+    /// trips (budgeted members always take the per-item path; the shared
+    /// scan fuses only fully unbudgeted members). The one observable
+    /// difference: a fused member reports `io: None`, because the group's
+    /// shared scan cannot be attributed to single items — the group's
+    /// combined [`IoStats`] still lands in [`QueryEngine::io_totals`], and
+    /// the decoded-block tally books one logical read per member per
+    /// block, exactly what the per-item decode-cached path would report.
+    /// Grouping changes execution *order*, never hits.
+    pub fn execute_batch(
+        &self,
+        items: Vec<BatchItem<'_>>,
+    ) -> Vec<Result<SearchResponse, SearchError>> {
+        let obs = &self.inner.obs;
+        let live = self.live();
+        let plan = crate::plan::BatchPlan::group(
+            items.iter().map(|it| (&it.query, &it.options)),
+            self.inner.default_shards,
+        );
+        obs.batch_items.add(items.len() as u64);
+        obs.batch_groups.add(plan.groups.len() as u64);
+        let batch_stats = DecodeStats::default();
+        let mut items: Vec<Option<BatchItem<'_>>> = items.into_iter().map(Some).collect();
+        let mut out: Vec<Option<Result<SearchResponse, SearchError>>> =
+            (0..items.len()).map(|_| None).collect();
+        for group in &plan.groups {
+            obs.batch_group_size
+                .observe_seconds(group.members.len() as f64);
+            let decode = self.inner.decode_cache.as_ref().map(|cache| DecodeBinding {
+                cache,
+                epoch: live.epoch,
+                stats: &batch_stats,
+            });
+            let mut fused = self.try_fuse_group(&live, &items, &group.members, decode.as_ref());
+            for &i in &group.members {
+                let item = items[i].take().expect("planner emits each item once");
+                out[i] = Some(self.execute_one(
+                    &live,
+                    item.query,
+                    item.k,
+                    &item.options,
+                    item.budget,
+                    decode.as_ref(),
+                    fused.remove(&i),
+                ));
+            }
+        }
+        obs.fused_saved.add(batch_stats.hits());
+        obs.decode_hits.add(batch_stats.hits());
+        obs.decode_misses.add(batch_stats.misses());
+        out.into_iter()
+            .map(|r| r.expect("every item executed"))
+            .collect()
+    }
+
+    /// Attempts the shared-scan fused execution for one batch group.
+    /// Eligible members — single-shard SMJ on the memory or block
+    /// backend, no redundancy filter, no live delta, fully unlimited
+    /// budget, not already result-cached — are served by **one**
+    /// synchronized walk over the group's distinct word lists
+    /// ([`crate::fused::run_fused_smj`]), each decoded block touched once
+    /// for the whole group. Returns each fused member's hits keyed by
+    /// item index; members absent from the map (and groups that don't
+    /// qualify at all) fall back to the per-item path, which keeps budget
+    /// truncation, NRA/TA/exact semantics, redundancy filtering and
+    /// sharded fanout trivially identical to serial execution.
+    fn try_fuse_group(
+        &self,
+        live: &LiveState,
+        items: &[Option<BatchItem<'_>>],
+        members: &[usize],
+        decode: Option<&DecodeBinding<'_>>,
+    ) -> FxHashMap<usize, FusedHits> {
+        let mut fused = FxHashMap::default();
+        if members.len() < 2 {
+            return fused;
+        }
+        // The planner groups within one execution-config class, so the
+        // group-wide gates can read any member's options.
+        let first = items[members[0]].as_ref().expect("member not yet taken");
+        let plan = QueryPlan::resolve(&first.options, self.inner.default_shards);
+        if plan.algorithm != Algorithm::Smj
+            || plan.shards != 1
+            || !matches!(plan.backend, BackendChoice::Memory | BackendChoice::Block)
+            || first.options.redundancy.is_some()
+        {
+            return fused;
+        }
+        // Delta corrections ride the per-item overlay seam.
+        if first.options.use_delta && live.delta.as_ref().is_some_and(|d| !d.is_empty()) {
+            return fused;
+        }
+        // Per-member gates: a budget's trip point depends on the item's
+        // own traversal order, which a shared scan does not reproduce;
+        // result-cached items skip list work entirely. `peek` leaves the
+        // result cache's recency order and hit/miss counters untouched —
+        // the real probe in `execute_one` still books the hit.
+        let eligible: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let it = items[i].as_ref().expect("member not yet taken");
+                it.k > 0
+                    && it.budget.is_unlimited()
+                    && !self.inner.cache.as_ref().is_some_and(|c| {
+                        c.peek(&CacheKey::new(
+                            &it.query,
+                            it.k,
+                            &it.options,
+                            plan.shards,
+                            live.epoch,
+                        ))
+                    })
+            })
+            .collect();
+        if eligible.len() < 2 {
+            return fused;
+        }
+        // Distinct features in first-appearance order, plus each member's
+        // cursor positions in its own query feature order.
+        let mut index_of: FxHashMap<u64, usize> = FxHashMap::default();
+        let mut features: Vec<Feature> = Vec::new();
+        let mut specs: Vec<crate::fused::FusedSpec> = Vec::with_capacity(eligible.len());
+        for &i in &eligible {
+            let it = items[i].as_ref().expect("member not yet taken");
+            let positions = it
+                .query
+                .features
+                .iter()
+                .map(|&f| {
+                    *index_of.entry(f.encode()).or_insert_with(|| {
+                        features.push(f);
+                        features.len() - 1
+                    })
+                })
+                .collect();
+            specs.push(crate::fused::FusedSpec {
+                positions,
+                op: it.query.op,
+                k: it.k,
+            });
+        }
+        // Per-feature member multiplicity: the weight the decoded-block
+        // tally books per physical lookup, so fused counters equal what
+        // the per-item decode-cached walks would have reported.
+        let mut multiplicity = vec![0u64; features.len()];
+        for spec in &specs {
+            let mut seen: Vec<usize> = Vec::new();
+            for &ci in &spec.positions {
+                if !seen.contains(&ci) {
+                    seen.push(ci);
+                    multiplicity[ci] += 1;
+                }
+            }
+        }
+        let m = &*live.index.miner;
+        let results = match plan.backend {
+            BackendChoice::Memory => {
+                let backend = m.memory_backend();
+                let cursors: Vec<_> = features.iter().map(|&f| backend.id_cursor(f)).collect();
+                crate::fused::run_fused_smj(cursors, &specs)
+            }
+            BackendChoice::Block => {
+                let block = self.block_for(&live.index);
+                let block = &*block;
+                let _serial = self.inner.disk_gate.lock().unwrap();
+                block.reset_io(); // one shared cold scan for the whole group
+                let results = if let Some(d) = decode {
+                    let views: Vec<CachedBlockImage<'_>> = multiplicity
+                        .iter()
+                        .map(|&w| {
+                            CachedBlockImage::new(block, d.cache, d.epoch, d.stats).with_weight(w)
+                        })
+                        .collect();
+                    let cursors: Vec<_> = views
+                        .iter()
+                        .zip(&features)
+                        .map(|(v, &f)| v.id_cursor(f))
+                        .collect();
+                    crate::fused::run_fused_smj(cursors, &specs)
+                } else {
+                    let cursors: Vec<_> = features.iter().map(|&f| block.id_cursor(f)).collect();
+                    crate::fused::run_fused_smj(cursors, &specs)
+                };
+                let io = block.io_stats();
+                self.inner.io_totals.lock().unwrap().accumulate(&io);
+                results
+            }
+            _ => unreachable!("backend gated above"),
+        };
+        for (&i, (hits, smj)) in eligible.iter().zip(results) {
+            fused.insert(
+                i,
+                FusedHits {
+                    hits,
+                    stats: ExecStats {
+                        sorted_accesses: smj.entries_read,
+                        random_probes: 0,
+                        entries_skipped: 0,
+                        rounds: smj.merge_steps,
+                    },
+                },
+            );
+        }
+        fused
+    }
+
+    /// Cumulative decoded-block cache counters: `(hits, misses)`, both
+    /// zero when the cache is disabled or no batch has run.
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        self.inner
+            .decode_cache
+            .as_ref()
+            .map(|c| (c.stats().hits(), c.stats().misses()))
+            .unwrap_or((0, 0))
+    }
+
+    /// The single uncached-or-cached execution path behind
+    /// [`QueryEngine::execute_with_budget`] and every batch item, against
+    /// an already-pinned snapshot of the serving head. `decode` attaches
+    /// the shared decoded-block cache (batch path only); `fused` carries
+    /// hits already produced by the group's shared scan, which replace
+    /// the `execute_uncached` run while cache probe/insert, completeness,
+    /// counters and tracing stay on this one path.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_one(
+        &self,
+        live: &LiveState,
+        query: Query,
+        k: usize,
+        options: &SearchOptions,
+        budget: &Budget,
+        decode: Option<&DecodeBinding<'_>>,
+        fused: Option<FusedHits>,
+    ) -> Result<SearchResponse, SearchError> {
         let start = Instant::now();
         let obs = &self.inner.obs;
         if let Some(err) = budget.dead_on_arrival() {
@@ -1241,11 +1581,6 @@ impl QueryEngine {
         };
         let plan_span = tracer.span(StageKind::Plan);
         let plan = QueryPlan::resolve(options, self.inner.default_shards);
-        // Snapshot the serving head once: a consistent (epoch, index,
-        // delta) triple. Everything below — cache key, completeness,
-        // execution — works off this snapshot, so a concurrent ingest or
-        // compaction never mixes generations within one request.
-        let live = self.live();
         let key = CacheKey::new(&query, k, options, plan.shards, live.epoch);
         let delta_snapshot = if options.use_delta {
             live.delta.clone().filter(|d| !d.is_empty())
@@ -1303,16 +1638,38 @@ impl QueryEngine {
         }
 
         let exec_span = tracer.span(StageKind::Execute);
-        let (hits, io, stats) = self.execute_uncached(
-            &live.index,
-            &query,
-            k,
-            options,
-            &plan,
-            &delta_snapshot,
-            budget,
-            &tracer,
-        );
+        let (hits, io, stats) = match fused {
+            Some(f) => {
+                // Hits come from the group's shared scan; only text
+                // resolution remains. `io: None` — the fused walk's IO is
+                // a group quantity, accumulated once into the engine
+                // totals by `try_fuse_group`.
+                let m = &*live.index.miner;
+                let text_span = tracer.span(StageKind::TextResolve);
+                let resolved: Vec<SearchHit> = f
+                    .hits
+                    .into_iter()
+                    .map(|hit| SearchHit {
+                        text: m.phrase_text(hit.phrase),
+                        interestingness: estimated_interestingness(query.op, hit.score),
+                        hit,
+                    })
+                    .collect();
+                text_span.end();
+                (resolved, None, f.stats)
+            }
+            None => self.execute_uncached(
+                &live.index,
+                &query,
+                k,
+                options,
+                &plan,
+                &delta_snapshot,
+                budget,
+                &tracer,
+                decode,
+            ),
+        };
         exec_span.end();
         obs.record_execution(plan.backend, &stats, io.as_ref());
         let completeness = match budget.trip_cause() {
@@ -1399,6 +1756,7 @@ impl QueryEngine {
         delta_snapshot: &Option<Arc<DeltaIndex>>,
         budget: &Budget,
         tracer: &Tracer,
+        decode: Option<&DecodeBinding<'_>>,
     ) -> (Vec<SearchHit>, Option<IoStats>, ExecStats) {
         let m = &*state.miner;
         let ctx = ExecContext {
@@ -1502,7 +1860,12 @@ impl QueryEngine {
                 let block = &*block;
                 let _serial = self.inner.disk_gate.lock().unwrap();
                 block.reset_io(); // per-query cold cache (paper §5.5)
-                let (hits, stats) = crate::plan::run_query(&ctx, &[block], query, k);
+                let (hits, stats) = if let Some(d) = decode {
+                    let cached = CachedBlockImage::new(block, d.cache, d.epoch, d.stats);
+                    crate::plan::run_query(&ctx, &[&cached], query, k)
+                } else {
+                    crate::plan::run_query(&ctx, &[block], query, k)
+                };
                 // The block image carries no phrase file; texts resolve
                 // from the miner's in-memory dictionary (like the memory
                 // backend), so the IoStats are pure list traffic.
@@ -1529,8 +1892,18 @@ impl QueryEngine {
                 });
                 let _serial = self.inner.disk_gate.lock().unwrap();
                 image.reset_io(); // per-query cold cache across all shards
-                let refs: Vec<&BlockImage> = image.shards().iter().collect();
-                let (hits, stats) = crate::plan::run_query(&ctx, &refs, query, k);
+                let (hits, stats) = if let Some(d) = decode {
+                    let wrapped: Vec<CachedBlockImage<'_>> = image
+                        .shards()
+                        .iter()
+                        .map(|s| CachedBlockImage::new(s, d.cache, d.epoch, d.stats))
+                        .collect();
+                    let refs: Vec<&CachedBlockImage<'_>> = wrapped.iter().collect();
+                    crate::plan::run_query(&ctx, &refs, query, k)
+                } else {
+                    let refs: Vec<&BlockImage> = image.shards().iter().collect();
+                    crate::plan::run_query(&ctx, &refs, query, k)
+                };
                 let text_span = tracer.span(StageKind::TextResolve);
                 let resolved = hits
                     .into_iter()
@@ -2788,5 +3161,232 @@ mod tests {
             )
             .unwrap();
         assert!(!resp.hits.is_empty());
+    }
+
+    /// Uncached engine for batch tests: the result cache would otherwise
+    /// serve later batch members from earlier items' entries and hide the
+    /// execution path under test.
+    fn uncached_engine() -> QueryEngine {
+        let (c, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+        QueryEngine::with_config(
+            PhraseMiner::build(
+                &c,
+                MinerConfig {
+                    index: IndexConfig {
+                        mining: MiningConfig {
+                            min_df: 3,
+                            max_len: 4,
+                            min_len: 1,
+                        },
+                    },
+                    ..Default::default()
+                },
+            ),
+            EngineConfig {
+                cache: None,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn batch_matches_serial_execution_and_reuses_decoded_blocks() {
+        let e = uncached_engine();
+        let q = query_string(&e, Operator::Or);
+        let miner = e.miner();
+        let opts = SearchOptions {
+            backend: BackendChoice::Block,
+            algorithm: Algorithm::Smj,
+            ..Default::default()
+        };
+        // Serial baseline first (fresh IO state either way: per-query
+        // reset).
+        let serial: Vec<SearchResponse> = (0..6)
+            .map(|_| e.search_with(&q, 5, &opts).unwrap())
+            .collect();
+        let items: Vec<BatchItem<'_>> = (0..6)
+            .map(|_| BatchItem {
+                query: miner.parse_query_str(&q).unwrap(),
+                k: 5,
+                options: opts.clone(),
+                budget: Budget::none(),
+            })
+            .collect();
+        let batched = e.execute_batch(items);
+        assert_eq!(batched.len(), serial.len());
+        for (b, s) in batched.iter().zip(&serial) {
+            let b = b.as_ref().unwrap();
+            assert_eq!(b.hits.len(), s.hits.len());
+            for (x, y) in b.hits.iter().zip(&s.hits) {
+                assert_eq!(x.hit.phrase, y.hit.phrase);
+                assert_eq!(x.hit.score.to_bits(), y.hit.score.to_bits());
+                assert_eq!(x.text, y.text);
+            }
+            assert_eq!(
+                format!("{:?}", b.completeness),
+                format!("{:?}", s.completeness)
+            );
+            // Fused members report no per-item IO: the shared scan's
+            // block traffic is a group quantity (it lands in the engine's
+            // IO totals instead).
+            assert!(s.io.is_some(), "serial block query reports IO");
+            assert!(b.io.is_none(), "fused member IO is a group quantity");
+        }
+        let (hits, misses) = e.decode_cache_stats();
+        assert!(misses > 0, "first member decodes");
+        assert!(hits > 0, "later members must reuse decoded blocks");
+        // Identical queries share every block: 6 members, 5 reuse passes.
+        assert!(hits >= misses * 4, "hits {hits} vs misses {misses}");
+    }
+
+    /// The fused shared scan must be bit-identical to serial execution
+    /// for *distinct* member queries too: different word pairs sharing a
+    /// hot head word, AND and OR mixed in one group, on both fusable
+    /// backends.
+    #[test]
+    fn batch_fuses_distinct_word_sharing_queries_bit_for_bit() {
+        let e = uncached_engine();
+        let miner = e.miner();
+        let words: Vec<String> = {
+            let corpus = miner.corpus();
+            ipm_corpus::stats::top_words_by_df(corpus, 5)
+                .iter()
+                .map(|&(w, _)| corpus.words().term(w).unwrap().to_string())
+                .collect()
+        };
+        let queries: Vec<String> = words[1..]
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let op = if i % 2 == 0 { "OR" } else { "AND" };
+                format!("{} {op} {w}", words[0])
+            })
+            .collect();
+        for backend in [BackendChoice::Memory, BackendChoice::Block] {
+            let opts = SearchOptions {
+                backend,
+                algorithm: Algorithm::Smj,
+                ..Default::default()
+            };
+            let serial: Vec<SearchResponse> = queries
+                .iter()
+                .map(|q| e.search_with(q, 4, &opts).unwrap())
+                .collect();
+            let items: Vec<BatchItem<'_>> = queries
+                .iter()
+                .map(|q| BatchItem {
+                    query: miner.parse_query_str(q).unwrap(),
+                    k: 4,
+                    options: opts.clone(),
+                    budget: Budget::none(),
+                })
+                .collect();
+            let batched = e.execute_batch(items);
+            for (qs, (b, s)) in queries.iter().zip(batched.iter().zip(&serial)) {
+                let b = b.as_ref().unwrap();
+                assert_eq!(b.hits.len(), s.hits.len(), "{backend:?} {qs}");
+                for (x, y) in b.hits.iter().zip(&s.hits) {
+                    assert_eq!(x.hit.phrase, y.hit.phrase, "{backend:?} {qs}");
+                    assert_eq!(
+                        x.hit.score.to_bits(),
+                        y.hit.score.to_bits(),
+                        "{backend:?} {qs}"
+                    );
+                    assert_eq!(x.text, y.text, "{backend:?} {qs}");
+                }
+                assert_eq!(
+                    format!("{:?}", b.completeness),
+                    format!("{:?}", s.completeness),
+                    "{backend:?} {qs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_epoch_bump_invalidates_decoded_blocks() {
+        let e = uncached_engine();
+        let q = query_string(&e, Operator::Or);
+        let miner = e.miner();
+        let opts = SearchOptions {
+            backend: BackendChoice::Block,
+            ..Default::default()
+        };
+        let run_batch = |n: usize| {
+            let items: Vec<BatchItem<'_>> = (0..n)
+                .map(|_| BatchItem {
+                    query: miner.parse_query_str(&q).unwrap(),
+                    k: 5,
+                    options: opts.clone(),
+                    budget: Budget::none(),
+                })
+                .collect();
+            e.execute_batch(items)
+        };
+        run_batch(2);
+        let (_, misses_before) = e.decode_cache_stats();
+        // A delete bumps the epoch: the next batch must re-decode from
+        // scratch (old entries are unreachable under the new epoch key).
+        e.delete_document(ipm_corpus::DocId(0));
+        run_batch(1);
+        let (_, misses_after) = e.decode_cache_stats();
+        assert!(
+            misses_after > misses_before,
+            "post-bump batch must miss (stale blocks unreachable)"
+        );
+    }
+
+    #[test]
+    fn batch_honors_per_item_budgets_via_sticky_trips() {
+        let e = uncached_engine();
+        let q = query_string(&e, Operator::Or);
+        let miner = e.miner();
+        let opts = SearchOptions {
+            backend: BackendChoice::Block,
+            ..Default::default()
+        };
+        let tight = Budget::unlimited().with_io_budget(1);
+        let items = vec![
+            BatchItem {
+                query: miner.parse_query_str(&q).unwrap(),
+                k: 5,
+                options: opts.clone(),
+                budget: Budget::none(),
+            },
+            BatchItem {
+                query: miner.parse_query_str(&q).unwrap(),
+                k: 5,
+                options: opts.clone(),
+                budget: &tight,
+            },
+            BatchItem {
+                query: miner.parse_query_str(&q).unwrap(),
+                k: 5,
+                options: opts.clone(),
+                budget: Budget::none(),
+            },
+        ];
+        let out = e.execute_batch(items);
+        assert!(matches!(
+            out[1].as_ref().unwrap().completeness,
+            Completeness::Truncated { .. }
+        ));
+        for i in [0, 2] {
+            assert!(
+                !out[i].as_ref().unwrap().completeness.is_truncated(),
+                "item {i}: a neighbour's tripped budget must not leak"
+            );
+        }
+        // The truncated item matches its own serial execution exactly.
+        let tight2 = Budget::unlimited().with_io_budget(1);
+        let serial = e
+            .execute_with_budget(miner.parse_query_str(&q).unwrap(), 5, &opts, &tight2)
+            .unwrap();
+        let b = out[1].as_ref().unwrap();
+        assert_eq!(b.hits.len(), serial.hits.len());
+        for (x, y) in b.hits.iter().zip(&serial.hits) {
+            assert_eq!(x.hit.phrase, y.hit.phrase);
+            assert_eq!(x.hit.score.to_bits(), y.hit.score.to_bits());
+        }
     }
 }

@@ -60,6 +60,7 @@ pub mod cache;
 pub mod delta;
 pub mod engine;
 pub mod exact;
+mod fused;
 pub mod measures;
 pub mod miner;
 pub mod nra;
@@ -79,7 +80,7 @@ pub use budget::{
 pub use cache::{CacheConfig, CacheStats};
 pub use delta::{DeltaIndex, DeltaOverlay};
 pub use engine::{
-    AccessTotals, Algorithm, BackendChoice, CacheKey, CompactionReport, EngineConfig,
+    AccessTotals, Algorithm, BackendChoice, BatchItem, CacheKey, CompactionReport, EngineConfig,
     LifecycleStats, QueryEngine, SearchHit, SearchOptions, SearchResponse, ShardExecParams,
 };
 pub use ipm_obs::{
@@ -89,7 +90,10 @@ pub use ipm_obs::{
 pub use miner::{MinerConfig, PhraseMiner};
 pub use nra::{NraConfig, NraOutcome, TraversalStats};
 pub use parse::parse_query;
-pub use plan::{ExecStats, QueryPlan, ShardError, ShardExecutor, ShardOutcome, MAX_SHARDS};
+pub use plan::{
+    BatchGroup, BatchPlan, ExecStats, QueryPlan, ShardError, ShardExecutor, ShardOutcome,
+    MAX_SHARDS,
+};
 pub use query::{Operator, Query};
 pub use redundancy::RedundancyConfig;
 pub use request::SearchRequest;

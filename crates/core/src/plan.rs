@@ -101,6 +101,112 @@ impl QueryPlan {
     }
 }
 
+/// One shared-scan group the batch planner formed: member indices into
+/// the batch, in input order. Members share an execution-config class
+/// and are connected by shared query words, so running them back to back
+/// maximizes decoded-block reuse in the batch executor's cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchGroup {
+    /// Indices into the planned batch, ascending.
+    pub members: Vec<usize>,
+}
+
+/// The batch planner's output: a partition of the batch into shared-scan
+/// groups, ordered by each group's first member. Grouping is a pure
+/// scheduling decision — every item still executes its own plan with its
+/// own budget, so the partition can never change results, only how much
+/// decode work the shared cache amortizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// The groups; their members cover `0..n` exactly once.
+    pub groups: Vec<BatchGroup>,
+}
+
+/// The execution-config class two items must share before word overlap
+/// may group them: items in different classes walk different physical
+/// lists (backend, fanout layout, fraction, delta view), so fusing them
+/// shares no decoded blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct BatchClass {
+    algorithm: Algorithm,
+    backend: BackendChoice,
+    shards: usize,
+    fraction_bits: u64,
+    redundancy_bits: Option<u64>,
+    use_delta: bool,
+}
+
+impl BatchClass {
+    fn of(options: &SearchOptions, default_shards: usize) -> Self {
+        let plan = QueryPlan::resolve(options, default_shards);
+        Self {
+            algorithm: plan.algorithm,
+            backend: plan.backend,
+            shards: plan.shards,
+            fraction_bits: options.nra_fraction.unwrap_or(1.0).to_bits(),
+            redundancy_bits: options.redundancy.as_ref().map(|r| r.max_overlap.to_bits()),
+            use_delta: options.use_delta,
+        }
+    }
+}
+
+impl BatchPlan {
+    /// Groups a batch: union-find over items, joining two items when they
+    /// resolve to the same `BatchClass` *and* share at least one query
+    /// feature (sharing a word means sharing that word's list — the unit
+    /// of decoded-block reuse). Groups come out ordered by first member,
+    /// members ascending, so batch execution preserves input order within
+    /// and across groups as far as grouping allows.
+    pub fn group<'a, I>(items: I, default_shards: usize) -> Self
+    where
+        I: IntoIterator<Item = (&'a Query, &'a SearchOptions)>,
+    {
+        let items: Vec<_> = items.into_iter().collect();
+        let mut parent: Vec<usize> = (0..items.len()).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]]; // path halving
+                i = parent[i];
+            }
+            i
+        }
+        let mut seen: ipm_corpus::hash::FxHashMap<(BatchClass, u64), usize> =
+            ipm_corpus::hash::FxHashMap::default();
+        for (i, (query, options)) in items.iter().enumerate() {
+            let class = BatchClass::of(options, default_shards);
+            for feature in &query.features {
+                match seen.entry((class, feature.encode())) {
+                    std::collections::hash_map::Entry::Occupied(first) => {
+                        let a = find(&mut parent, *first.get());
+                        let b = find(&mut parent, i);
+                        if a != b {
+                            parent[b.max(a)] = b.min(a);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(i);
+                    }
+                }
+            }
+        }
+        let mut by_root: Vec<(usize, Vec<usize>)> = Vec::new();
+        for i in 0..items.len() {
+            let root = find(&mut parent, i);
+            match by_root.iter_mut().find(|(r, _)| *r == root) {
+                Some((_, members)) => members.push(i),
+                None => by_root.push((root, vec![i])),
+            }
+        }
+        by_root.sort_by_key(|(_, members)| members[0]);
+        Self {
+            groups: by_root
+                .into_iter()
+                .map(|(_, members)| BatchGroup { members })
+                .collect(),
+        }
+    }
+}
+
 /// Everything a shard worker needs besides its backend (shared read-only
 /// across the fan-out threads).
 pub(crate) struct ExecContext<'a> {
@@ -877,5 +983,69 @@ mod tests {
         assert_eq!(plan.algorithm, Algorithm::Ta);
         assert_eq!(plan.backend, BackendChoice::Disk);
         assert_eq!(plan.shards, MAX_SHARDS, "explicit fanout is clamped too");
+    }
+
+    fn word_query(words: &[u32]) -> Query {
+        Query {
+            features: words
+                .iter()
+                .map(|&w| ipm_corpus::Feature::Word(ipm_corpus::WordId(w)))
+                .collect(),
+            op: Operator::Or,
+        }
+    }
+
+    #[test]
+    fn batch_planner_groups_by_shared_words_within_a_class() {
+        let opts = SearchOptions::default();
+        // a: {1,2}  b: {2,3}  c: {9}  d: {3,9}  — a~b share 2, b~d share
+        // 3, d~c share 9, so everything chains into one group.
+        let qs = [
+            word_query(&[1, 2]),
+            word_query(&[2, 3]),
+            word_query(&[9]),
+            word_query(&[3, 9]),
+        ];
+        let plan = BatchPlan::group(qs.iter().map(|q| (q, &opts)), 1);
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.groups[0].members, vec![0, 1, 2, 3]);
+
+        // Disjoint word sets stay separate, ordered by first member.
+        let qs = [word_query(&[1]), word_query(&[7]), word_query(&[1, 4])];
+        let plan = BatchPlan::group(qs.iter().map(|q| (q, &opts)), 1);
+        assert_eq!(plan.groups.len(), 2);
+        assert_eq!(plan.groups[0].members, vec![0, 2]);
+        assert_eq!(plan.groups[1].members, vec![1]);
+    }
+
+    #[test]
+    fn batch_planner_separates_config_classes_and_covers_all_items() {
+        let mem = SearchOptions::default();
+        let block = SearchOptions {
+            backend: BackendChoice::Block,
+            ..Default::default()
+        };
+        // Same shared word, different backends: different physical lists,
+        // so no fusion across the class boundary.
+        let qs = [word_query(&[5]), word_query(&[5])];
+        let opts = [&mem, &block];
+        let plan = BatchPlan::group(qs.iter().zip(opts), 1);
+        assert_eq!(plan.groups.len(), 2);
+
+        // Resolved fanout matters, not the raw option: `None` under
+        // default 4 and an explicit `Some(4)` are the same class.
+        let four = SearchOptions {
+            shards: Some(4),
+            ..Default::default()
+        };
+        let plan = BatchPlan::group([(&qs[0], &mem), (&qs[1], &four)], 4);
+        assert_eq!(plan.groups.len(), 1);
+
+        // Every index appears exactly once no matter the shape.
+        let qs: Vec<Query> = (0..13).map(|i| word_query(&[i % 5, 50 + i])).collect();
+        let plan = BatchPlan::group(qs.iter().map(|q| (q, &mem)), 1);
+        let mut all: Vec<usize> = plan.groups.iter().flat_map(|g| g.members.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..13).collect::<Vec<_>>());
     }
 }

@@ -1,18 +1,25 @@
-//! A blocking protocol client plus a closed-loop load generator.
+//! A blocking protocol client plus closed- and open-loop load generators.
 //!
-//! The client speaks exactly the wire format of [`crate::wire`]; the load
-//! generator drives N threads of synchronous request/response traffic
-//! (closed loop: each thread has one request in flight at a time), which
-//! is also what the serving benchmark and the CI smoke job run.
+//! The client speaks exactly the wire format of [`crate::wire`]; the
+//! closed-loop generator drives N threads of synchronous request/response
+//! traffic (each thread has one request in flight at a time), which is
+//! what the serving benchmark and the CI smoke job run. The open-loop
+//! generator ([`run_open_loop`]) instead schedules arrivals on a fixed
+//! clock regardless of completions — the honest way to measure tail
+//! latency, because a slow server cannot slow the arrival process down
+//! (coordinated omission).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde_json::Value;
 
+use crate::queue::{BoundedQueue, PushError};
 use crate::wire::{ErrorKind, SearchRequest};
 
 /// A blocking line-protocol client over one TCP connection.
@@ -302,6 +309,259 @@ pub fn run_load(
         coalesced: coalesced.load(Ordering::Relaxed),
         overloaded: overloaded.load(Ordering::Relaxed),
         errors: errors.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+    })
+}
+
+/// Configuration of one open-loop run ([`run_open_loop`]).
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Target arrival rate, operations per second. Arrivals are scheduled
+    /// deterministically at `start + i/rate` — a slow server makes
+    /// operations *late*, it never thins the schedule.
+    pub rate: f64,
+    /// Wall-clock length of the arrival schedule.
+    pub duration: Duration,
+    /// Zipf exponent over the word pool: queries draw their two words
+    /// rank-proportionally to `1/(rank+1)^s`, so hot words repeat across
+    /// concurrent requests — the shared-scan case batching exists for.
+    pub zipf_s: f64,
+    /// Worker connections draining the pending queue (each synchronous).
+    pub conns: usize,
+    /// Every `ingest_every`-th operation is a wire ingest of zipfian
+    /// tokens instead of a query; `0` disables the write mix.
+    pub ingest_every: u64,
+    /// Words the sampler draws from, hottest first. Rank 0 is the most
+    /// likely word.
+    pub word_pool: Vec<String>,
+    /// Request template: `k`, algorithm, backend, budgets and the trace
+    /// flag are taken from here; the query string is replaced per sample.
+    pub template: SearchRequest,
+    /// Client-side pending-queue bound: when the workers fall this many
+    /// operations behind, further arrivals are shed at the client (the
+    /// open-loop analogue of server admission control).
+    pub queue_depth: usize,
+    /// RNG seed: same seed + pool + schedule → same operation sequence.
+    pub seed: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        Self {
+            rate: 200.0,
+            duration: Duration::from_secs(5),
+            zipf_s: 1.1,
+            conns: 4,
+            ingest_every: 0,
+            word_pool: Vec::new(),
+            template: SearchRequest::new(String::new()),
+            queue_depth: 512,
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregated outcome of an open-loop run. Latency is measured from the
+/// *scheduled* arrival (not the send) to completion, so client-side queue
+/// wait counts — the coordinated-omission-free number.
+#[derive(Debug, Clone, Default)]
+pub struct OpenLoopReport {
+    /// Arrivals the schedule produced.
+    pub scheduled: u64,
+    /// Successful responses (queries + ingests).
+    pub ok: u64,
+    /// Ingest operations among `ok`.
+    pub ingests: u64,
+    /// Shed operations: client-side queue overflow plus server-side
+    /// `overloaded` rejections.
+    pub shed: u64,
+    /// Transport or structured non-overload errors.
+    pub errors: u64,
+    /// Completion − scheduled arrival, in milliseconds.
+    pub p50_ms: f64,
+    /// See `p50_ms`.
+    pub p95_ms: f64,
+    /// See `p50_ms`.
+    pub p99_ms: f64,
+    /// Client-side queue wait (worker pickup − scheduled arrival), p95 ms.
+    pub queue_wait_p95_ms: f64,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+impl std::fmt::Display for OpenLoopReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scheduled={} ok={} ingests={} shed={} errors={} \
+             p50_ms={:.2} p95_ms={:.2} p99_ms={:.2} queue_wait_p95_ms={:.2} elapsed_ms={:.1}",
+            self.scheduled,
+            self.ok,
+            self.ingests,
+            self.shed,
+            self.errors,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.queue_wait_p95_ms,
+            self.elapsed.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample, in milliseconds.
+fn percentile_ms(samples: &mut [Duration], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable();
+    let rank = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len()) - 1;
+    samples[rank].as_secs_f64() * 1e3
+}
+
+/// One scheduled operation handed from the arrival thread to a worker.
+struct OpenLoopOp {
+    scheduled: Instant,
+    line: String,
+    is_ingest: bool,
+}
+
+/// Runs an open-loop zipfian workload against a serving process.
+///
+/// The arrival thread walks a deterministic schedule at `config.rate`,
+/// sampling two-word `OR` queries (and, when configured, ingests) from a
+/// zipfian word distribution, and pushes each operation into a bounded
+/// queue; `config.conns` worker connections drain it synchronously.
+/// Because arrivals never wait for completions, the reported p99 reflects
+/// what a real open client population would observe.
+///
+/// # Errors
+/// Connection setup and empty-word-pool configuration errors; per-request
+/// failures are counted in the report instead.
+pub fn run_open_loop(addr: &str, config: &OpenLoopConfig) -> std::io::Result<OpenLoopReport> {
+    if config.word_pool.is_empty() {
+        return Err(std::io::Error::other("open-loop word pool is empty"));
+    }
+    if !(config.rate.is_finite() && config.rate > 0.0) {
+        return Err(std::io::Error::other("open-loop rate must be positive"));
+    }
+    let conns = config.conns.max(1);
+    let mut clients = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        clients.push(Client::connect_with_retries(
+            addr,
+            25,
+            Duration::from_millis(200),
+        )?);
+    }
+
+    let zipf = ipm_corpus::synth::Zipf::new(config.word_pool.len(), config.zipf_s);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let queue: BoundedQueue<OpenLoopOp> = BoundedQueue::new(config.queue_depth);
+
+    let scheduled = AtomicU64::new(0);
+    let ok = AtomicU64::new(0);
+    let ingests = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
+    let queue_waits: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
+
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        let (queue, ok, ingests, shed, errors) = (&queue, &ok, &ingests, &shed, &errors);
+        let (latencies, queue_waits) = (&latencies, &queue_waits);
+        for mut client in clients {
+            s.spawn(move || {
+                let mut my_lat = Vec::new();
+                let mut my_wait = Vec::new();
+                while let Some(op) = queue.pop() {
+                    my_wait.push(op.scheduled.elapsed());
+                    match client.roundtrip(&op.line) {
+                        Ok(v) if v["ok"].as_bool() == Some(true) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            if op.is_ingest {
+                                ingests.fetch_add(1, Ordering::Relaxed);
+                            }
+                            my_lat.push(op.scheduled.elapsed());
+                        }
+                        Ok(v) => {
+                            let kind = v["error"]["kind"].as_str().and_then(ErrorKind::from_name);
+                            if kind == Some(ErrorKind::Overloaded) {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                latencies.lock().unwrap().extend(my_lat);
+                queue_waits.lock().unwrap().extend(my_wait);
+            });
+        }
+
+        // The arrival process: fixed schedule, never blocked by workers.
+        let interval = Duration::from_secs_f64(1.0 / config.rate);
+        let mut i: u64 = 0;
+        loop {
+            let due = started + interval * (i.min(u64::from(u32::MAX)) as u32);
+            let now = Instant::now();
+            if now.duration_since(started) >= config.duration {
+                break;
+            }
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            scheduled.fetch_add(1, Ordering::Relaxed);
+            let is_ingest = config.ingest_every > 0 && (i + 1).is_multiple_of(config.ingest_every);
+            let line = if is_ingest {
+                // A short zipfian document: hot words dominate writes
+                // just like reads, so the delta overlay stays relevant
+                // to the queries in flight.
+                let tokens: Vec<String> = (0..6)
+                    .map(|_| config.word_pool[zipf.sample(&mut rng)].clone())
+                    .collect();
+                crate::wire::ingest_line(&tokens, &[])
+            } else {
+                let a = zipf.sample(&mut rng);
+                let b = zipf.sample(&mut rng);
+                let mut req = config.template.clone();
+                req.query = format!("{} OR {}", config.word_pool[a], config.word_pool[b]);
+                req.to_line()
+            };
+            match queue.try_push(OpenLoopOp {
+                scheduled: due.max(started),
+                line,
+                is_ingest,
+            }) {
+                Ok(()) => {}
+                Err(PushError::Full) => {
+                    shed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(PushError::Closed) => break,
+            }
+            i += 1;
+        }
+        queue.close();
+    });
+
+    // lint-allow: server-unwrap — client-side report assembly after every scope thread joined (a worker panic already propagated through the scope), not a serving connection path
+    let mut lat = latencies.into_inner().unwrap();
+    // lint-allow: server-unwrap — same: post-join client-side mutex teardown, no connection to disconnect
+    let mut waits = queue_waits.into_inner().unwrap();
+    Ok(OpenLoopReport {
+        scheduled: scheduled.load(Ordering::Relaxed),
+        ok: ok.load(Ordering::Relaxed),
+        ingests: ingests.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        p50_ms: percentile_ms(&mut lat, 0.50),
+        p95_ms: percentile_ms(&mut lat, 0.95),
+        p99_ms: percentile_ms(&mut lat, 0.99),
+        queue_wait_p95_ms: percentile_ms(&mut waits, 0.95),
         elapsed: started.elapsed(),
     })
 }

@@ -45,7 +45,7 @@ pub mod server;
 pub mod singleflight;
 pub mod wire;
 
-pub use client::{run_load, Client, LoadReport};
+pub use client::{run_load, run_open_loop, Client, LoadReport, OpenLoopConfig, OpenLoopReport};
 pub use router::{HedgeConfig, Router, RouterConfig, RouterHandle, RouterStats};
 pub use server::{clamped_delay, Server, ServerConfig, ServerHandle, ServerStats, MAX_DELAY_MS};
 pub use wire::{ErrorKind, SearchRequest, WireRequest, MAX_BATCH};

@@ -572,40 +572,138 @@ fn run_search_job(shared: &Arc<Shared>, job: SearchJob) {
     shared.flights.complete(&key, &slot, value);
 }
 
+/// Folds one engine outcome from the fused batch path into a flight
+/// value, with the exact counter / trace / elapsed semantics of
+/// `execute_budgeted`. The item ran inside `QueryEngine::execute_batch`,
+/// so there is no per-item wall clock to sample here — the engine's own
+/// measured `resp.elapsed` (pre parse fold-in) feeds the execute
+/// histogram instead; error outcomes are dead-on-arrival or trip checks
+/// and observe as zero.
+fn fold_batch_outcome(
+    shared: &Arc<Shared>,
+    outcome: Result<SearchResponse, SearchError>,
+    parse: Duration,
+) -> Result<Arc<SearchResponse>, ErrorKind> {
+    match outcome {
+        Ok(mut resp) => {
+            shared.obs.execute.observe(resp.elapsed);
+            if resp.completeness.is_truncated() {
+                shared
+                    .counters
+                    .budget_truncated
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(trace) = resp.trace.as_mut() {
+                trace.record_parse(parse);
+            }
+            resp.elapsed += parse;
+            Ok(Arc::new(resp))
+        }
+        Err(SearchError::DeadlineExceeded) => {
+            shared.obs.execute.observe(Duration::ZERO);
+            shared
+                .counters
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            Err(ErrorKind::DeadlineExceeded)
+        }
+        Err(SearchError::Cancelled) => {
+            shared.obs.execute.observe(Duration::ZERO);
+            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            Err(ErrorKind::Cancelled)
+        }
+        // Items were parsed at admission; a parse error here cannot
+        // happen, but map it somewhere sane rather than panicking.
+        Err(SearchError::Parse(_)) => {
+            shared.obs.execute.observe(Duration::ZERO);
+            Err(ErrorKind::Query)
+        }
+    }
+}
+
 fn run_batch_job(shared: &Arc<Shared>, job: BatchJob) {
     let BatchJob {
         items,
         arrived,
         slot,
     } = job;
-    // One queue-wait sample per batch: the items shared one admission
-    // slot, so they shared one wait.
-    shared.obs.queue_wait.observe(arrived.elapsed());
+    // One queue-wait sample PER ITEM: the items shared one admission
+    // slot so they shared one wait interval, but the histogram counts
+    // items — matching the per-item execute samples recorded below.
+    let queue_wait = arrived.elapsed();
+    for _ in &items {
+        shared.obs.queue_wait.observe(queue_wait);
+    }
     // The whole batch shares ONE delay allowance equal to the single-
     // request clamp: 64 items sleeping their per-item clamp back to back
     // would otherwise park this worker for minutes — exactly the pool
-    // stall MAX_DELAY_MS exists to rule out.
+    // stall MAX_DELAY_MS exists to rule out. Delays are applied up front
+    // (before the fused execution) rather than interleaved between
+    // items: the engine walks shared lists once for the whole group, so
+    // there is no per-item boundary to sleep at.
     let mut delay_allowance = Duration::from_millis(MAX_DELAY_MS);
-    let results: Vec<ItemResult> = items
-        .into_iter()
-        .map(|item| match item {
-            Err(e) => Err(e),
+    let mut results: Vec<Option<ItemResult>> = Vec::with_capacity(items.len());
+    let mut prepared: Vec<(usize, BatchItem)> = Vec::new();
+    for (i, item) in items.into_iter().enumerate() {
+        match item {
+            Err(e) => results.push(Some(Err(e))),
             Ok(item) => {
                 let delay = item.delay.min(delay_allowance);
                 delay_allowance = delay_allowance.saturating_sub(delay);
                 sleep_within_deadline(delay, item.deadline);
-                execute_budgeted(
-                    shared,
-                    item.query,
-                    item.k,
-                    &item.options,
-                    item.deadline,
-                    item.io_budget,
-                    item.parse,
-                )
-                .map_err(|kind| (kind, error_message(shared, kind)))
+                results.push(None);
+                prepared.push((i, item));
             }
+        }
+    }
+    // Owned budgets first: the engine's batch items borrow them.
+    let budgets: Vec<Budget> = prepared
+        .iter()
+        .map(|(_, it)| {
+            let mut budget = Budget::unlimited();
+            if let Some(dl) = it.deadline {
+                budget = budget.with_deadline(dl);
+            }
+            if let Some(cap) = it.io_budget {
+                budget = budget.with_io_budget(cap);
+            }
+            budget
         })
+        .collect();
+    let engine_items: Vec<ipm_core::BatchItem<'_>> = prepared
+        .iter()
+        .zip(&budgets)
+        .map(|((_, it), budget)| ipm_core::BatchItem {
+            query: it.query.clone(),
+            k: it.k,
+            options: it.options.clone(),
+            budget,
+        })
+        .collect();
+    let engine = &shared.engine;
+    let outcome = catch_unwind(AssertUnwindSafe(|| engine.execute_batch(engine_items)));
+    match outcome {
+        Ok(out) => {
+            debug_assert_eq!(out.len(), prepared.len());
+            for (item_outcome, (i, it)) in out.into_iter().zip(&prepared) {
+                let value = fold_batch_outcome(shared, item_outcome, it.parse)
+                    .map_err(|kind| (kind, error_message(shared, kind)));
+                results[*i] = Some(value);
+            }
+        }
+        Err(_) => {
+            for (i, _) in &prepared {
+                results[*i] = Some(Err((
+                    ErrorKind::Internal,
+                    error_message(shared, ErrorKind::Internal),
+                )));
+            }
+        }
+    }
+    let results: Vec<ItemResult> = results
+        .into_iter()
+        // lint-allow: server-unwrap — structurally infallible: every index was filled by execution or the error backfill arm above, and publishing a partial batch would be worse than crashing the worker
+        .map(|r| r.expect("every batch item resolved"))
         .collect();
     slot.publish(Arc::new(results));
 }

@@ -35,7 +35,15 @@ pub struct BlockImage {
     lists: BlockLists,
     pool: Mutex<BufferPool>,
     cost: CostModel,
+    /// Process-unique id distinguishing this image's decoded blocks from
+    /// any other image's (shard slices, rebuilt generations) in the
+    /// shared [`crate::DecodedBlockCache`].
+    image_id: u64,
 }
+
+/// Source of [`BlockImage::image_id`] values: never reused, so a decoded
+/// block admitted by one image can never be served for another.
+static NEXT_IMAGE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl BlockImage {
     /// Wraps an encoded `BlockLists` with a pool in the paper's default
@@ -50,6 +58,7 @@ impl BlockImage {
             lists,
             pool: Mutex::new(BufferPool::new(pool)),
             cost,
+            image_id: NEXT_IMAGE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -98,13 +107,24 @@ impl BlockImage {
         self.pool.lock().reset();
     }
 
+    /// Process-unique image id (decoded-block cache key component).
+    pub fn image_id(&self) -> u64 {
+        self.image_id
+    }
+
+    /// The pool behind this image (for cache wrappers that need a charge
+    /// closure rather than a boxed hook).
+    pub(crate) fn pool_handle(&self) -> &Mutex<BufferPool> {
+        &self.pool
+    }
+
     /// Length of the simulated file: both encoded regions, contiguous.
-    fn file_len(&self) -> u64 {
+    pub(crate) fn file_len(&self) -> u64 {
         self.lists.image_bytes() as u64
     }
 
     /// A fetch hook charging one block's byte range to the pool.
-    fn charge_hook(&self) -> FetchHook<'_> {
+    pub(crate) fn charge_hook(&self) -> FetchHook<'_> {
         let file_len = self.file_len();
         Box::new(move |offset, len| self.pool.lock().access_range(offset, len, file_len))
     }

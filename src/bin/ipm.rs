@@ -54,6 +54,10 @@ const USAGE: &str = "usage:
   ipm client --addr <host:port> --stats true | --shutdown true
   ipm client --addr <host:port> --load-threads N [--load-requests N]
              [--delay-ms N] <query string>
+  ipm client --addr <host:port> --batch-query <q> [--batch-query <q> ...]
+  ipm client --addr <host:port> --open-loop true [--rate N] [--zipf S]
+             [--duration-s D] [--conns N] [--ingest-every N]
+             [--word-pool N | --words a,b,c] [--seed N] [--queue-depth N]
   ipm ingest  --addr <host:port> --text <tokens> [--facets k:v,k:v]
   ipm delete  --addr <host:port> --doc N
   ipm compact --addr <host:port>
@@ -61,7 +65,7 @@ const USAGE: &str = "usage:
   ipm stats  --input <file> | --addr <host:port> --metrics true
   ipm demo   <query string> [--k N]
   ipm lint   [--root <dir>] [--list-rules] [--fix-allow <rule> [--dry-run]]
-  ipm bench-check [--root <dir>]
+  ipm bench-check [--root <dir>] | --baseline <file> --fresh <file>
 
 query strings: terms joined by AND or OR (one operator per query);
 key:value terms are metadata facets. Bare terms default to AND.
@@ -88,7 +92,18 @@ beyond the first serve hedged requests (fired after an adaptive
 per-shard p95 delay; --no-hedge true disables) and failover, and an
 unreachable shard degrades the answer to an honest approximate result
 instead of an error. serve --fault-delay-ms N injects a fixed service
-delay into shard_exec (a test/bench knob for the slow-replica case).";
+delay into shard_exec (a test/bench knob for the slow-replica case).
+client --batch-query sends all given queries as ONE wire batch (one
+admission slot, fused shared-scan execution server-side, per-item
+results printed as JSON). client --open-loop true drives an open-loop
+zipfian workload: arrivals on a fixed --rate schedule regardless of
+completions (no coordinated omission), two-word OR queries drawn
+Zipf(--zipf)-distributed from the word pool, every --ingest-every'th
+operation a wire ingest; reports p50/p95/p99 from scheduled arrival to
+completion plus shed and client queue-wait. bench-check with --baseline
+and --fresh compares two bench artifacts field-by-field and fails on
+any latency field (p95s and batch totals) regressing more than 20%
+(plus 500 µs jitter slack).";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -664,11 +679,9 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    let query = flags
-        .positional
-        .first()
-        .ok_or("client needs a query string (or --stats/--shutdown true)")?;
-    let mut request = WireSearchRequest::new(query.clone());
+    // Shared request template: the query string (positional, batch item,
+    // or open-loop sample) is filled in per mode below.
+    let mut request = WireSearchRequest::new(String::new());
     request.k = flags.get_parsed("k", 5)?;
     request.algorithm = wire::algorithm_from_str(flags.get("method").unwrap_or("nra"))?;
     request.backend = wire::backend_from_str(flags.get("backend").unwrap_or("memory"))?;
@@ -682,6 +695,66 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     let budget = budget_flags(&flags)?;
     request.deadline_ms = budget.deadline_ms;
     request.io_budget = budget.io_budget;
+
+    if flags.get_parsed("open-loop", false)? {
+        let word_pool = match flags.get("words") {
+            // Explicit pool, hottest first.
+            Some(list) => list.split(',').map(str::to_owned).collect(),
+            // Default: the synthetic corpus vocabulary `w0..` — rank
+            // order matches document frequency there, so the zipfian
+            // sampler concentrates on genuinely hot lists.
+            None => {
+                let n: usize = flags.get_parsed("word-pool", 64)?;
+                (0..n.max(1)).map(|i| format!("w{i}")).collect()
+            }
+        };
+        let config = ipm_server::OpenLoopConfig {
+            rate: flags.get_parsed("rate", 200.0)?,
+            duration: std::time::Duration::from_secs_f64(flags.get_parsed("duration-s", 5.0)?),
+            zipf_s: flags.get_parsed("zipf", 1.1)?,
+            conns: flags.get_parsed("conns", 4)?,
+            ingest_every: flags.get_parsed("ingest-every", 0)?,
+            word_pool,
+            template: request,
+            queue_depth: flags.get_parsed("queue-depth", 512)?,
+            seed: flags.get_parsed("seed", 42)?,
+        };
+        let report = ipm_server::run_open_loop(addr, &config).map_err(|e| e.to_string())?;
+        println!("{report}");
+        if report.errors > 0 {
+            return Err(format!(
+                "{} protocol errors during open-loop run",
+                report.errors
+            ));
+        }
+        return Ok(());
+    }
+
+    let batch_queries = flags.get_all("batch-query");
+    if !batch_queries.is_empty() {
+        let reqs: Vec<WireSearchRequest> = batch_queries
+            .iter()
+            .map(|q| {
+                let mut r = request.clone();
+                r.query = (*q).to_owned();
+                r
+            })
+            .collect();
+        let response = connect()?.search_batch(&reqs).map_err(|e| e.to_string())?;
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?
+        );
+        return match response["ok"].as_bool() {
+            Some(true) => Ok(()),
+            _ => Err("batch request failed".into()),
+        };
+    }
+
+    let query = flags.positional.first().ok_or(
+        "client needs a query string (or --stats/--shutdown/--open-loop true, --batch-query)",
+    )?;
+    request.query = query.clone();
 
     if let Some(threads) = flags.get("load-threads") {
         let threads: usize = threads
@@ -941,17 +1014,109 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Recursively collects every numeric field whose key contains `p95`,
+/// labelled by its JSON path (`rows[3].fused.p95_us`).
+fn collect_p95_fields(value: &serde_json::Value, path: &str, out: &mut Vec<(String, f64)>) {
+    match value {
+        serde_json::Value::Object(map) => {
+            for (k, v) in map {
+                let child = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                // p95 latencies, plus the batch artifact's headline
+                // aggregate (its per-run latency-like figure).
+                if k.contains("p95") || k == "fused_total_us" {
+                    if let Some(n) = v.as_f64() {
+                        out.push((child.clone(), n));
+                        continue;
+                    }
+                }
+                collect_p95_fields(v, &child, out);
+            }
+        }
+        serde_json::Value::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                collect_p95_fields(v, &format!("{path}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Trajectory mode: compares a fresh bench artifact against the
+/// committed baseline and fails on any tracked latency field (p95s,
+/// plus the batch bench's fused totals) regressing by more than 20%.
+/// Schema drift (a field present in one file but not the other) also
+/// fails — a silently vanished measurement is not a pass.
+fn bench_check_trajectory(baseline_path: &str, fresh_path: &str) -> Result<(), String> {
+    let load = |path: &str| -> Result<serde_json::Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("{path}: bad JSON: {e}"))
+    };
+    let baseline = load(baseline_path)?;
+    let fresh = load(fresh_path)?;
+    let mut base_fields = Vec::new();
+    let mut fresh_fields = Vec::new();
+    collect_p95_fields(&baseline, "", &mut base_fields);
+    collect_p95_fields(&fresh, "", &mut fresh_fields);
+    if base_fields.is_empty() {
+        return Err(format!("{baseline_path}: no latency fields to compare"));
+    }
+    let fresh_map: std::collections::HashMap<&str, f64> =
+        fresh_fields.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let mut regressions = Vec::new();
+    for (path, base) in &base_fields {
+        let Some(now) = fresh_map.get(path.as_str()) else {
+            return Err(format!("{fresh_path}: latency field `{path}` disappeared"));
+        };
+        // 20% relative plus a small absolute slack: the artifact fields
+        // are microseconds, and CI reruns the benches at reduced sample
+        // counts where a sub-millisecond wobble is pure scheduler noise.
+        let limit = base * 1.20 + 500.0;
+        let verdict = if *now > limit {
+            regressions.push(path.clone());
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("{path}: baseline={base:.1} fresh={now:.1} limit={limit:.1} {verdict}");
+    }
+    if regressions.is_empty() {
+        println!(
+            "trajectory: {} latency fields within 20% of baseline",
+            base_fields.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "latency regression beyond 20%: {}",
+            regressions.join(", ")
+        ))
+    }
+}
+
 /// Validates the committed `BENCH_*.json` artifacts against the same
 /// schema checks the benches enforce before every write — one command
 /// replacing CI's per-artifact python one-liners, runnable locally.
+/// With `--baseline <file> --fresh <file>` it instead runs trajectory
+/// mode: every p95 field of the fresh artifact must stay within 20% of
+/// the committed baseline.
 fn cmd_bench_check(args: &[String]) -> Result<(), String> {
     type Validator = fn(&serde_json::Value) -> Result<(), String>;
     let flags = Flags::parse(args)?;
+    match (flags.get("baseline"), flags.get("fresh")) {
+        (Some(baseline), Some(fresh)) => return bench_check_trajectory(baseline, fresh),
+        (None, None) => {}
+        _ => return Err("trajectory mode needs both --baseline and --fresh".into()),
+    }
     let root = std::path::PathBuf::from(flags.get("root").unwrap_or("."));
-    let artifacts: [(&str, Validator); 3] = [
+    let artifacts: [(&str, Validator); 4] = [
         ("BENCH_blocklists.json", ipm_bench::blockbench::validate),
         ("BENCH_serving.json", ipm_bench::servingbench::validate),
         ("BENCH_router.json", ipm_bench::routerbench::validate),
+        ("BENCH_batch.json", ipm_bench::batchbench::validate),
     ];
     for (name, validate) in artifacts {
         let path = root.join(name);

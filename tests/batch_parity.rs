@@ -1,0 +1,251 @@
+//! Batched ≡ sequential parity: one `execute_batch` call must return,
+//! item for item, exactly what independent `execute_with_budget` calls
+//! return against the same index — bit-identical hits (phrase, score
+//! bits, text) and the same per-item `Completeness` — across all four
+//! algorithms, all three backends, fanouts 1 and 4, mixed AND/OR shapes,
+//! a live delta overlay, and a budget-truncated member sitting between
+//! unbudgeted neighbours.
+//!
+//! The fused shared-scan path only serves a subset of these shapes
+//! (single-shard SMJ, unlimited budgets, no delta); everything else must
+//! fall back to per-item execution. This suite pins the contract that
+//! the routing — whichever path an item takes — never changes results.
+
+use proptest::prelude::*;
+
+use ipm_core::{
+    Algorithm, BackendChoice, BatchItem, Budget, EngineConfig, MinerConfig, PhraseMiner,
+    QueryEngine, SearchOptions, SearchResponse,
+};
+use std::sync::OnceLock;
+
+fn build_engine() -> QueryEngine {
+    let (corpus, _) = ipm_corpus::synth::generate(&ipm_corpus::synth::tiny());
+    QueryEngine::with_config(
+        PhraseMiner::build(&corpus, MinerConfig::default()),
+        EngineConfig {
+            cache: None, // uncached: every parity pair pays a real traversal
+            ..Default::default()
+        },
+    )
+}
+
+/// Shared immutable engine (block/disk images build lazily, once).
+fn engine() -> &'static QueryEngine {
+    static ENGINE: OnceLock<QueryEngine> = OnceLock::new();
+    ENGINE.get_or_init(build_engine)
+}
+
+/// Engine with a live delta: one extra document over the hottest words,
+/// ingested at init so every test case sees the same delta state.
+fn delta_engine() -> &'static QueryEngine {
+    static ENGINE: OnceLock<QueryEngine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let e = build_engine();
+        let words: Vec<ipm_corpus::WordId> = {
+            let miner = e.miner();
+            ipm_corpus::stats::top_words_by_df(miner.corpus(), 4)
+                .iter()
+                .map(|&(w, _)| w)
+                .collect()
+        };
+        let doc: Vec<ipm_corpus::WordId> = words.iter().cycle().take(12).copied().collect();
+        e.ingest_document(&doc, &[]);
+        e
+    })
+}
+
+/// The hottest corpus words — shared across queries so the batch planner
+/// actually groups items (and the fused path engages where eligible).
+fn word_pool(e: &QueryEngine) -> Vec<String> {
+    let miner = e.miner();
+    let corpus = miner.corpus();
+    ipm_corpus::stats::top_words_by_df(corpus, 8)
+        .iter()
+        .map(|&(w, _)| corpus.words().term(w).unwrap().to_string())
+        .collect()
+}
+
+fn assert_item_parity(ctx: &str, batched: &SearchResponse, serial: &SearchResponse) {
+    assert_eq!(batched.hits.len(), serial.hits.len(), "{ctx}: hit count");
+    for (b, s) in batched.hits.iter().zip(&serial.hits) {
+        assert_eq!(b.hit.phrase, s.hit.phrase, "{ctx}: phrase");
+        assert_eq!(
+            b.hit.score.to_bits(),
+            s.hit.score.to_bits(),
+            "{ctx}: score bits for {:?}",
+            b.hit.phrase
+        );
+        assert_eq!(b.text, s.text, "{ctx}: text");
+    }
+    assert_eq!(
+        format!("{:?}", batched.completeness),
+        format!("{:?}", serial.completeness),
+        "{ctx}: completeness"
+    );
+}
+
+/// Serial run, then one batch over the same engine; every item compared.
+fn check_parity(e: &QueryEngine, queries: &[String], options: &SearchOptions, k: usize) {
+    let miner = e.miner();
+    let parsed: Vec<_> = queries
+        .iter()
+        .map(|q| miner.parse_query_str(q).expect("pool query parses"))
+        .collect();
+    let serial: Vec<SearchResponse> = parsed
+        .iter()
+        .map(|q| {
+            e.execute_with_budget(q.clone(), k, options, Budget::none())
+                .expect("unbudgeted serial execution")
+        })
+        .collect();
+    let items: Vec<BatchItem<'_>> = parsed
+        .iter()
+        .map(|q| BatchItem {
+            query: q.clone(),
+            k,
+            options: options.clone(),
+            budget: Budget::none(),
+        })
+        .collect();
+    let batched = e.execute_batch(items);
+    for (i, (b, s)) in batched.iter().zip(&serial).enumerate() {
+        let ctx = format!(
+            "{:?}/{:?}/shards={:?} item {i} ({})",
+            options.algorithm, options.backend, options.shards, queries[i]
+        );
+        assert_item_parity(&ctx, b.as_ref().expect("batched execution"), s);
+    }
+}
+
+const ALGORITHMS: [Algorithm; 4] = [
+    Algorithm::Nra,
+    Algorithm::Smj,
+    Algorithm::Ta,
+    Algorithm::Exact,
+];
+const BACKENDS: [BackendChoice; 3] = [
+    BackendChoice::Memory,
+    BackendChoice::Disk,
+    BackendChoice::Block,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random workload shapes over every algorithm × backend × fanout:
+    /// word-sharing two-feature queries with mixed operators, so one
+    /// batch typically holds fused-eligible and per-item members at once.
+    #[test]
+    fn batch_matches_serial_for_random_workloads(
+        alg in 0usize..4,
+        backend in 0usize..3,
+        wide_fanout in any::<bool>(),
+        shape in prop::collection::vec((0usize..8, 0usize..8, any::<bool>()), 2..6),
+        k in 1usize..8,
+    ) {
+        let e = engine();
+        let pool = word_pool(e);
+        let queries: Vec<String> = shape
+            .iter()
+            .map(|&(a, b, and)| {
+                let b = if a == b { (b + 1) % pool.len() } else { b };
+                let op = if and { "AND" } else { "OR" };
+                format!("{} {op} {}", pool[a], pool[b])
+            })
+            .collect();
+        let options = SearchOptions {
+            algorithm: ALGORITHMS[alg],
+            backend: BACKENDS[backend],
+            shards: Some(if wide_fanout { 4 } else { 1 }),
+            ..Default::default()
+        };
+        check_parity(e, &queries, &options, k);
+    }
+}
+
+/// A live delta overlay disables the fused path; batch results must
+/// still equal serial ones with corrections applied on both sides.
+#[test]
+fn batch_matches_serial_under_delta_overlay() {
+    let e = delta_engine();
+    let pool = word_pool(e);
+    let queries: Vec<String> = (1..5)
+        .map(|i| format!("{} OR {}", pool[0], pool[i]))
+        .collect();
+    for backend in [BackendChoice::Memory, BackendChoice::Block] {
+        let options = SearchOptions {
+            algorithm: Algorithm::Smj,
+            backend,
+            use_delta: true,
+            shards: Some(1),
+            ..Default::default()
+        };
+        check_parity(e, &queries, &options, 5);
+    }
+}
+
+/// One io-budgeted item in the middle of an otherwise fused-eligible
+/// batch: the member must truncate exactly like its serial twin, and the
+/// neighbours must stay complete and bit-identical.
+#[test]
+fn batch_budget_truncated_member_matches_serial() {
+    let e = engine();
+    let pool = word_pool(e);
+    let queries: Vec<String> = (1..4)
+        .map(|i| format!("{} OR {}", pool[0], pool[i]))
+        .collect();
+    let options = SearchOptions {
+        algorithm: Algorithm::Smj,
+        backend: BackendChoice::Block,
+        shards: Some(1),
+        ..Default::default()
+    };
+    let miner = e.miner();
+    let parsed: Vec<_> = queries
+        .iter()
+        .map(|q| miner.parse_query_str(q).unwrap())
+        .collect();
+
+    // Budgets trip stickily, so serial and batched runs each get a fresh
+    // tight budget for the middle item.
+    let serial_tight = Budget::unlimited().with_io_budget(1);
+    let serial: Vec<SearchResponse> = parsed
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let budget = if i == 1 {
+                &serial_tight
+            } else {
+                Budget::none()
+            };
+            e.execute_with_budget(q.clone(), 5, &options, budget)
+                .expect("serial execution")
+        })
+        .collect();
+
+    let batch_tight = Budget::unlimited().with_io_budget(1);
+    let items: Vec<BatchItem<'_>> = parsed
+        .iter()
+        .enumerate()
+        .map(|(i, q)| BatchItem {
+            query: q.clone(),
+            k: 5,
+            options: options.clone(),
+            budget: if i == 1 { &batch_tight } else { Budget::none() },
+        })
+        .collect();
+    let batched = e.execute_batch(items);
+
+    for (i, (b, s)) in batched.iter().zip(&serial).enumerate() {
+        assert_item_parity(
+            &format!("budgeted batch item {i}"),
+            b.as_ref().expect("batched execution"),
+            s,
+        );
+    }
+    assert!(
+        serial[1].completeness.is_truncated(),
+        "tight io budget must truncate the serial twin"
+    );
+}

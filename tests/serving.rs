@@ -562,6 +562,110 @@ fn batch_requests_return_per_item_results() {
     }
 }
 
+/// Open-loop zipfian workload: arrivals on a fixed schedule, mixed
+/// query/ingest traffic, no protocol errors, and a coherent latency
+/// report (p50 ≤ p95 ≤ p99, every scheduled op accounted for).
+#[test]
+fn open_loop_generator_reports_clean_percentiles() {
+    let handle = spawn(build_engine(false), 2, 64);
+    let words = top_terms(handle.engine(), 8);
+    let mut template = WireSearchRequest::new(String::new());
+    template.k = 5;
+    template.algorithm = ipm_server::wire::algorithm_from_str("smj").unwrap();
+    let config = ipm_server::OpenLoopConfig {
+        rate: 400.0,
+        duration: std::time::Duration::from_millis(800),
+        zipf_s: 1.1,
+        conns: 2,
+        ingest_every: 5,
+        word_pool: words,
+        template,
+        ..Default::default()
+    };
+    let report =
+        ipm_server::run_open_loop(&handle.addr().to_string(), &config).expect("open-loop run");
+    assert_eq!(report.errors, 0, "{report}");
+    assert!(report.ok > 0, "{report}");
+    assert!(report.ingests > 0, "mixed workload must ingest: {report}");
+    assert_eq!(report.scheduled, report.ok + report.shed + report.errors);
+    assert!(report.p50_ms <= report.p95_ms && report.p95_ms <= report.p99_ms);
+    let stats = handle.stats();
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+/// The wire batch verb routes through the fused shared-scan path: a
+/// batch of word-sharing block-backend queries must return hits byte-
+/// identical to single-shot execution, form at least one multi-member
+/// group (`ipm_batch_groups_total` < items), and hit the decoded-block
+/// cache while sharing list blocks within the group.
+#[test]
+fn batch_verb_routes_through_the_fused_path() {
+    let handle = spawn(build_engine(false), 2, 16);
+    let terms = top_terms(handle.engine(), 6);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+    let reqs: Vec<WireSearchRequest> = (1..terms.len())
+        .map(|i| {
+            let mut req = WireSearchRequest::new(format!("{} OR {}", terms[0], terms[i]));
+            req.k = 5;
+            req.algorithm = wire::algorithm_from_str("smj").unwrap();
+            req.backend = wire::backend_from_str("block").unwrap();
+            req
+        })
+        .collect();
+
+    // Single-shot baselines first: the decode cache is batch-only, so
+    // these cannot warm it — the batch below must produce its own
+    // misses-then-hits inside one fused group.
+    let singles: Vec<String> = reqs
+        .iter()
+        .map(|req| {
+            let resp = client.search(req).expect("roundtrip");
+            assert_eq!(resp["ok"].as_bool(), Some(true), "{resp:?}");
+            serde_json::to_string(&resp["result"]["hits"]).unwrap()
+        })
+        .collect();
+
+    let resp = client.search_batch(&reqs).expect("roundtrip");
+    assert_eq!(resp["ok"].as_bool(), Some(true), "{resp:?}");
+    let items = resp["batch"].as_array().expect("batch array");
+    assert_eq!(items.len(), reqs.len());
+    for (item, want) in items.iter().zip(&singles) {
+        assert_eq!(item["ok"].as_bool(), Some(true), "{item:?}");
+        assert_eq!(
+            serde_json::to_string(&item["result"]["hits"]).unwrap(),
+            *want,
+            "fused batch item must match single-shot execution"
+        );
+    }
+
+    let metrics = client.metrics().expect("metrics scrape");
+    let counter = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|v| v.trim().parse().ok()))
+            .unwrap_or_else(|| panic!("{name} not exposed:\n{metrics}"))
+    };
+    let groups = counter("ipm_batch_groups_total ");
+    let batch_items = counter("ipm_batch_items_total ");
+    assert!(groups >= 1, "no batch groups recorded");
+    assert_eq!(batch_items, reqs.len() as u64);
+    assert!(
+        groups < batch_items,
+        "word-sharing queries must coalesce into fewer groups than items \
+         (groups={groups}, items={batch_items})"
+    );
+    assert!(
+        counter("ipm_decode_cache_hits_total ") > 0,
+        "fused group over shared word lists must hit the decoded-block cache"
+    );
+    assert_eq!(
+        counter("ipm_batch_fused_scans_saved_total "),
+        counter("ipm_decode_cache_hits_total "),
+        "fused-scans-saved is defined as decode-cache hits"
+    );
+}
+
 /// Satellite of the lifecycle PR: wire requests with `use_delta: true`
 /// must be *honoured* by every algorithm — before this PR SMJ/TA/exact
 /// silently accepted and silently ignored the flag — and the response
